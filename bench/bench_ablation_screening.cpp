@@ -1,0 +1,91 @@
+// Ablation: the Appendix-E platform screens.
+//
+// What happens when the pair-resolver interception screen and the TTL-canary
+// screen are skipped: VPs behind interception middleboxes and TTL-mangling
+// providers enter the measurement, corrupting both phases — interception
+// answers decoys from spoofed addresses mid-path (biasing dest_ttl and hence
+// observer location), and TTL mangling flattens the Phase-II sweep.
+#include <cstdio>
+
+#include "core/analysis.h"
+#include "core/campaign.h"
+#include "core/report.h"
+#include "core/testbed.h"
+#include "shadow/profiles.h"
+
+using namespace shadowprobe;
+
+namespace {
+
+struct ScreenResult {
+  int usable_vps = 0;
+  int rejected = 0;
+  int dns_findings = 0;
+  int dns_at_destination = 0;
+  double short_dest_paths = 0.0;  // DNS findings whose dest_ttl < 4 hops
+                                  // (a spoofed answer arrived mid-path)
+};
+
+ScreenResult run(bool screening) {
+  core::TestbedConfig config;
+  config.topology = topo::TopologyConfig::from_env();
+  config.topology.apply_scale(0.5);
+  auto bed = core::Testbed::create(config);
+  shadow::ShadowConfig shadow_config;
+  auto deployment = shadow::deploy_standard_exhibitors(*bed, shadow_config);
+  core::CampaignConfig campaign_config;
+  campaign_config.screening = screening;
+  campaign_config.total_duration = 15 * kDay;
+  core::Campaign campaign(*bed, campaign_config);
+  campaign.run();
+
+  ScreenResult result;
+  result.usable_vps = campaign.screening().usable;
+  result.rejected = campaign.screening().candidates - campaign.screening().usable;
+  int short_paths = 0;
+  for (const auto& finding : campaign.findings()) {
+    if (finding.protocol != core::DecoyProtocol::kDns) continue;
+    ++result.dns_findings;
+    if (finding.at_destination) ++result.dns_at_destination;
+    if (finding.dest_ttl < 4) ++short_paths;
+  }
+  if (result.dns_findings > 0) {
+    result.short_dest_paths = static_cast<double>(short_paths) / result.dns_findings;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: Appendix-E screening on/off ==\n\n");
+  ScreenResult with = run(true);
+  ScreenResult without = run(false);
+
+  core::TextTable table({"metric", "screened (paper)", "unscreened"});
+  table.add_row({"usable VPs", std::to_string(with.usable_vps),
+                 std::to_string(without.usable_vps)});
+  table.add_row({"rejected VPs", std::to_string(with.rejected),
+                 std::to_string(without.rejected)});
+  table.add_row({"located DNS observers", std::to_string(with.dns_findings),
+                 std::to_string(without.dns_findings)});
+  table.add_row({"  at destination",
+                 core::percent(with.dns_findings
+                                   ? static_cast<double>(with.dns_at_destination) /
+                                         with.dns_findings
+                                   : 0.0),
+                 core::percent(without.dns_findings
+                                   ? static_cast<double>(without.dns_at_destination) /
+                                         without.dns_findings
+                                   : 0.0)});
+  table.add_row({"  with implausibly short paths (<4 hops)",
+                 core::percent(with.short_dest_paths),
+                 core::percent(without.short_dest_paths)});
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("reading: the unscreened platform keeps TTL-mangling and intercepted\n");
+  std::printf("VPs; intercepted paths get answers from spoofed addresses before the\n");
+  std::printf("decoy reaches the real resolver, which shows up as implausibly short\n");
+  std::printf("'destination' distances — the location bias Appendix E removes.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 3: ratio of client-server paths subject to traffic shadowing, per
+// destination, split into CN-platform and global-platform vantage points.
+//
+// Paper shapes: DNS decoys are far more susceptible than HTTP/TLS; Yandex,
+// 114DNS and One DNS exceed 70%; 114DNS is high only from CN VPs; roots,
+// TLDs and the self-built resolver are clean; HTTP/TLS problematic paths
+// concentrate on destinations in CN, AD, US, CA, with CN slightly ahead.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace shadowprobe;
+
+int main() {
+  auto world = bench::run_standard_campaign("Figure 3: problematic path ratios");
+
+  auto ratios = world.ratios();
+  std::printf("DNS decoys (per destination resolver):\n");
+  core::TextTable dns({"destination", "global VPs", "CN VPs", "all paths"});
+  for (const auto& dest : ratios.destinations_by_ratio(core::DecoyProtocol::kDns)) {
+    auto global = ratios.group(core::DecoyProtocol::kDns, dest, false);
+    auto cn = ratios.group(core::DecoyProtocol::kDns, dest, true);
+    auto total = ratios.total(core::DecoyProtocol::kDns, dest);
+    dns.add_row({dest, core::percent(global.ratio()), core::percent(cn.ratio()),
+                 core::percent(total.ratio())});
+  }
+  std::printf("%s\n", dns.str().c_str());
+
+  for (core::DecoyProtocol protocol : {core::DecoyProtocol::kHttp, core::DecoyProtocol::kTls}) {
+    std::printf("%s decoys (per destination country, top 10):\n",
+                core::decoy_protocol_name(protocol).c_str());
+    core::TextTable web({"dest country", "global VPs", "CN VPs", "all paths"});
+    int printed = 0;
+    for (const auto& dest : ratios.destinations_by_ratio(protocol)) {
+      auto global = ratios.group(protocol, dest, false);
+      auto cn = ratios.group(protocol, dest, true);
+      auto total = ratios.total(protocol, dest);
+      web.add_row({dest, core::percent(global.ratio()), core::percent(cn.ratio()),
+                   core::percent(total.ratio())});
+      if (++printed == 10) break;
+    }
+    std::printf("%s\n", web.str().c_str());
+  }
+
+  auto total_ratio = [&](core::DecoyProtocol protocol) {
+    core::PathRatioCell all;
+    for (const auto& dest : ratios.destinations_by_ratio(protocol)) {
+      auto cell = ratios.total(protocol, dest);
+      all.paths += cell.paths;
+      all.problematic += cell.problematic;
+    }
+    return all.ratio();
+  };
+  bench::paper_line("Yandex ratio", ">70% (~99%)",
+                    core::percent(ratios.total(core::DecoyProtocol::kDns, "Yandex").ratio()));
+  bench::paper_line("114DNS from CN VPs", "~85%",
+                    core::percent(ratios.group(core::DecoyProtocol::kDns, "114DNS", true).ratio()));
+  bench::paper_line("114DNS from global VPs", "low",
+                    core::percent(ratios.group(core::DecoyProtocol::kDns, "114DNS", false).ratio()));
+  bench::paper_line("roots/TLDs/self-built", "0%",
+                    core::percent(ratios.total(core::DecoyProtocol::kDns, "self-built").ratio()));
+  bench::paper_line("HTTP paths problematic overall", "<10%",
+                    core::percent(total_ratio(core::DecoyProtocol::kHttp)));
+  bench::paper_line("TLS paths problematic overall", "<10%",
+                    core::percent(total_ratio(core::DecoyProtocol::kTls)));
+  std::printf("\nResolver_h (top-5 shadowed resolvers): ");
+  for (const auto& name : world.resolver_h()) std::printf("%s; ", name.c_str());
+  std::printf("\n  paper: Yandex; 114DNS; One DNS; DNS PAI; VERCARA\n");
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the hot codecs and engine paths:
+// the campaign pushes every decoy through these encoders/decoders, so their
+// throughput bounds how large a campaign a given machine can simulate.
+#include <benchmark/benchmark.h>
+
+#include "core/decoy.h"
+#include "net/dns.h"
+#include "net/http.h"
+#include "net/ipv4.h"
+#include "net/tls.h"
+#include "net/udp.h"
+#include "sim/event_loop.h"
+#include "sim/routing.h"
+
+using namespace shadowprobe;
+
+namespace {
+
+void BM_Ipv4EncodeDecode(benchmark::State& state) {
+  net::Ipv4Header header;
+  header.src = net::Ipv4Addr(10, 0, 0, 1);
+  header.dst = net::Ipv4Addr(8, 8, 8, 8);
+  Bytes payload(64, 0xAB);
+  for (auto _ : state) {
+    Bytes wire = header.encode(BytesView(payload));
+    auto decoded = net::decode_ipv4(BytesView(wire));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_Ipv4EncodeDecode);
+
+void BM_DnsQueryEncodeDecode(benchmark::State& state) {
+  core::DecoyId id;
+  id.vp = net::Ipv4Addr(20, 0, 0, 1);
+  id.dst = net::Ipv4Addr(8, 8, 8, 8);
+  id.seq = 1234;
+  net::DnsMessage query = net::DnsMessage::query(77, core::decoy_domain(id),
+                                                 net::DnsType::kA);
+  for (auto _ : state) {
+    Bytes wire = query.encode();
+    auto decoded = net::DnsMessage::decode(BytesView(wire));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DnsQueryEncodeDecode);
+
+void BM_DnsResponseWithCompression(benchmark::State& state) {
+  net::DnsMessage response;
+  net::DnsName owner = net::DnsName::must_parse("abcdef.www.shadowprobe-exp.com");
+  response.questions.push_back({owner, net::DnsType::kA});
+  for (int i = 0; i < 3; ++i) {
+    response.answers.push_back(net::DnsRecord::a(owner, net::Ipv4Addr(20, 30, 0, 1)));
+  }
+  for (auto _ : state) {
+    Bytes wire = response.encode();
+    auto decoded = net::DnsMessage::decode(BytesView(wire));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DnsResponseWithCompression);
+
+void BM_HttpRequestEncodeDecode(benchmark::State& state) {
+  net::HttpRequest request;
+  request.target = "/admin";
+  request.headers.add("Host", "abcdef.www.shadowprobe-exp.com");
+  request.headers.add("User-Agent", "bench/1.0");
+  for (auto _ : state) {
+    Bytes wire = request.encode();
+    auto decoded = net::HttpRequest::decode(BytesView(wire));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_HttpRequestEncodeDecode);
+
+void BM_TlsClientHelloEncodeDecode(benchmark::State& state) {
+  net::TlsClientHello hello;
+  hello.cipher_suites = {0x1301, 0x1302, 0x1303};
+  hello.set_sni("abcdef.www.shadowprobe-exp.com");
+  hello.set_supported_versions({0x0304, 0x0303});
+  for (auto _ : state) {
+    Bytes wire = hello.encode_record();
+    auto decoded = net::TlsClientHello::decode_record(BytesView(wire));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_TlsClientHelloEncodeDecode);
+
+void BM_DecoyLabelRoundTrip(benchmark::State& state) {
+  core::DecoyId id;
+  id.time_sec = 1234567;
+  id.vp = net::Ipv4Addr(45, 32, 1, 9);
+  id.dst = net::Ipv4Addr(114, 114, 114, 114);
+  id.ttl = 12;
+  id.seq = 98765;
+  for (auto _ : state) {
+    std::string label = core::encode_decoy_label(id);
+    auto decoded = core::decode_decoy_label(label);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_DecoyLabelRoundTrip);
+
+void BM_RoutingLookup(benchmark::State& state) {
+  sim::RoutingTable table;
+  for (int i = 0; i < state.range(0); ++i) {
+    table.add(net::Prefix(net::Ipv4Addr(static_cast<std::uint32_t>(i) << 16), 16),
+              static_cast<sim::NodeId>(i));
+  }
+  table.set_default(0);
+  std::uint32_t probe = 0;
+  for (auto _ : state) {
+    auto hop = table.lookup(net::Ipv4Addr(probe));
+    benchmark::DoNotOptimize(hop);
+    probe += 0x00010007;
+  }
+}
+BENCHMARK(BM_RoutingLookup)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    long sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.schedule(i % 37, [&sink] { ++sink; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+#include "harness.h"
+
+#include <cstdio>
+
+namespace shadowprobe::bench {
+
+BenchWorld run_standard_campaign(const std::string& bench_name) {
+  core::TestbedConfig config;
+  config.topology = topo::TopologyConfig::from_env();
+  std::printf("== %s ==\n", bench_name.c_str());
+  std::printf("substrate: %d global VPs + %d CN VPs, %d web sites, seed %llu\n",
+              config.topology.global_vps, config.topology.cn_vps, config.topology.web_sites,
+              static_cast<unsigned long long>(config.topology.seed));
+
+  BenchWorld world;
+  world.bed = core::Testbed::create(config);
+  shadow::ShadowConfig shadow_config;
+  world.deployment = std::make_unique<shadow::ShadowDeployment>(
+      shadow::deploy_standard_exhibitors(*world.bed, shadow_config));
+  core::CampaignConfig campaign_config;
+  campaign_config.total_duration = 25 * kDay;
+  world.campaign = std::make_unique<core::Campaign>(*world.bed, campaign_config);
+  world.campaign->run();
+  std::printf("campaign: %zu decoys, %zu honeypot hits, %zu unsolicited requests, "
+              "%d usable VPs\n\n",
+              world.campaign->ledger().decoy_count(), world.bed->logbook().size(),
+              world.campaign->unsolicited().size(), world.campaign->screening().usable);
+  return world;
+}
+
+void paper_line(const std::string& what, const std::string& paper,
+                const std::string& measured) {
+  std::printf("  %-52s paper: %-14s measured: %s\n", what.c_str(), paper.c_str(),
+              measured.c_str());
+}
+
+}  // namespace shadowprobe::bench

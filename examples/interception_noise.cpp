@@ -1,0 +1,90 @@
+// Appendix E walkthrough: DNS interception middleboxes and the
+// pair-resolver screen.
+//
+// A replicating interception middlebox answers every DNS query crossing its
+// router with a response spoofed from the intended destination — including
+// queries to "pair resolver" addresses that offer no DNS service at all.
+// The paper screens vantage points by querying those pair addresses: any
+// answer means the path is intercepted and the VP is dropped.
+//
+// This example runs the same campaign twice — screening on and off — and
+// shows what the filter is protecting the results from.
+
+#include <cstdio>
+
+#include "core/analysis.h"
+#include "core/campaign.h"
+#include "core/testbed.h"
+#include "shadow/profiles.h"
+
+using namespace shadowprobe;
+
+namespace {
+
+struct RunResult {
+  int usable_vps = 0;
+  int rejected_interception = 0;
+  std::size_t unsolicited = 0;
+  std::size_t located = 0;
+};
+
+RunResult run(bool screening_enabled) {
+  core::TestbedConfig config;
+  config.topology.seed = 99;
+  config.topology.global_vps = 24;
+  config.topology.cn_vps = 48;  // interceptors live in CN provinces
+  config.topology.web_sites = 8;
+  auto bed = core::Testbed::create(config);
+
+  shadow::ShadowConfig shadow_config;
+  shadow_config.fleet_size = 2;
+  auto deployment = shadow::deploy_standard_exhibitors(*bed, shadow_config);
+  std::printf("  %zu interception middleboxes deployed\n", deployment.interceptors.size());
+
+  core::CampaignConfig campaign_config;
+  campaign_config.screening = screening_enabled;
+  campaign_config.phase1_window = 4 * kHour;
+  campaign_config.phase2_grace = 12 * kHour;
+  campaign_config.total_duration = 6 * kDay;
+  core::Campaign campaign(*bed, campaign_config);
+  campaign.run();
+
+  std::uint64_t intercepted_queries = 0;
+  for (const auto& interceptor : deployment.interceptors) {
+    intercepted_queries += interceptor->intercepted();
+  }
+  std::printf("  middleboxes intercepted %llu queries during the campaign\n",
+              static_cast<unsigned long long>(intercepted_queries));
+
+  RunResult result;
+  result.usable_vps = campaign.screening().usable;
+  result.rejected_interception = campaign.screening().rejected_interception;
+  result.unsolicited = campaign.unsolicited().size();
+  result.located = campaign.findings().size();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("with pair-resolver screening (the paper's method):\n");
+  RunResult with = run(/*screening_enabled=*/true);
+  std::printf("  usable VPs: %d (interception removed %d)\n\n", with.usable_vps,
+              with.rejected_interception);
+
+  std::printf("without screening (what the filter protects against):\n");
+  RunResult without = run(/*screening_enabled=*/false);
+  std::printf("  usable VPs: %d (no screen: intercepted VPs measure through "
+              "middleboxes that answer from spoofed resolver addresses)\n\n",
+              without.usable_vps);
+
+  std::printf("summary:\n");
+  std::printf("  screened run:   %d VPs, %zu unsolicited, %zu located paths\n",
+              with.usable_vps, with.unsolicited, with.located);
+  std::printf("  unscreened run: %d VPs, %zu unsolicited, %zu located paths\n",
+              without.usable_vps, without.unsolicited, without.located);
+  std::printf("\nunder interception, decoys are answered before reaching the real\n"
+              "resolver, so responses no longer witness the destination and Phase II\n"
+              "would mislocate observers at the destination (Appendix E's bias).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "common/base32.h"
+
+#include <array>
+
+namespace shadowprobe {
+
+namespace {
+constexpr std::string_view kAlphabet = "abcdefghijklmnopqrstuvwxyz234567";
+
+std::array<std::int8_t, 256> make_reverse() {
+  std::array<std::int8_t, 256> rev{};
+  rev.fill(-1);
+  for (std::size_t i = 0; i < kAlphabet.size(); ++i) {
+    rev[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+    rev[static_cast<unsigned char>(kAlphabet[i] - 'a' + 'A')] = static_cast<std::int8_t>(i);
+  }
+  return rev;
+}
+}  // namespace
+
+std::string base32_encode(BytesView data) {
+  std::string out;
+  out.reserve((data.size() * 8 + 4) / 5);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (std::uint8_t b : data) {
+    acc = (acc << 8) | b;
+    bits += 8;
+    while (bits >= 5) {
+      bits -= 5;
+      out.push_back(kAlphabet[(acc >> bits) & 0x1F]);
+    }
+  }
+  if (bits > 0) out.push_back(kAlphabet[(acc << (5 - bits)) & 0x1F]);
+  return out;
+}
+
+std::optional<Bytes> base32_decode(std::string_view text) {
+  static const std::array<std::int8_t, 256> rev = make_reverse();
+  // Valid unpadded lengths mod 8 are {0,2,4,5,7}: they correspond to whole
+  // byte counts mod 5 of {0,1,2,3,4}.
+  switch (text.size() % 8) {
+    case 1:
+    case 3:
+    case 6:
+      return std::nullopt;
+    default:
+      break;
+  }
+  Bytes out;
+  out.reserve(text.size() * 5 / 8);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  for (char c : text) {
+    std::int8_t v = rev[static_cast<unsigned char>(c)];
+    if (v < 0) return std::nullopt;
+    acc = (acc << 5) | static_cast<std::uint32_t>(v);
+    bits += 5;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xFF));
+    }
+  }
+  // Leftover bits must be zero padding.
+  if (bits > 0 && (acc & ((1U << bits) - 1)) != 0) return std::nullopt;
+  return out;
+}
+
+}  // namespace shadowprobe

@@ -1,0 +1,24 @@
+// DNS-safe base32 codec (RFC 4648 alphabet, lowercase, unpadded).
+//
+// Decoy identifier strings must survive being embedded in DNS labels, so the
+// alphabet is restricted to [a-z2-7]; lowercase because DNS names are
+// case-insensitive (0x20 randomization would otherwise corrupt identifiers).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace shadowprobe {
+
+/// Encodes bytes as unpadded lowercase base32.
+std::string base32_encode(BytesView data);
+
+/// Decodes unpadded lowercase base32 (uppercase accepted — DNS resolvers may
+/// legally change case in flight). Returns nullopt on any invalid character
+/// or impossible length.
+std::optional<Bytes> base32_decode(std::string_view text);
+
+}  // namespace shadowprobe

@@ -1,0 +1,113 @@
+#include "common/bytes.h"
+
+#include <stdexcept>
+
+namespace shadowprobe {
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(BytesView b) {
+  return std::string(b.begin(), b.end());
+}
+
+std::string hex(BytesView b) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (std::uint8_t v : b) {
+    out.push_back(kDigits[v >> 4]);
+    out.push_back(kDigits[v & 0xF]);
+  }
+  return out;
+}
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void ByteWriter::raw(std::string_view s) {
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > buf_.size()) throw std::out_of_range("ByteWriter::patch_u16 past end");
+  buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+bool ByteReader::ensure(std::size_t n) noexcept {
+  if (failed_ || pos_ + n > data_.size()) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!ensure(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  if (!ensure(2)) return 0;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  if (!ensure(4)) return 0;
+  std::uint32_t v = static_cast<std::uint32_t>(data_[pos_]) << 24 |
+                    static_cast<std::uint32_t>(data_[pos_ + 1]) << 16 |
+                    static_cast<std::uint32_t>(data_[pos_ + 2]) << 8 |
+                    static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  std::uint64_t hi = u32();
+  std::uint64_t lo = u32();
+  return hi << 32 | lo;
+}
+
+BytesView ByteReader::raw(std::size_t n) {
+  if (!ensure(n)) return {};
+  BytesView v = data_.subspan(pos_, n);
+  pos_ += n;
+  return v;
+}
+
+std::string ByteReader::str(std::size_t n) {
+  BytesView v = raw(n);
+  return std::string(v.begin(), v.end());
+}
+
+void ByteReader::skip(std::size_t n) {
+  if (ensure(n)) pos_ += n;
+}
+
+void ByteReader::seek(std::size_t offset) {
+  if (offset > data_.size()) {
+    failed_ = true;
+    return;
+  }
+  pos_ = offset;
+}
+
+}  // namespace shadowprobe

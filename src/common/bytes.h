@@ -1,0 +1,90 @@
+// Bounds-checked binary readers/writers used by every wire-format codec.
+//
+// All multi-byte integers are network byte order (big-endian), matching the
+// protocols implemented in src/net. Readers never throw on truncated input;
+// they set a sticky error flag that callers must check via ok()/error().
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shadowprobe {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Converts a string payload to raw bytes (byte-for-byte).
+Bytes to_bytes(std::string_view s);
+/// Converts raw bytes back to a std::string (byte-for-byte).
+std::string to_string(BytesView b);
+/// Hex dump, lowercase, no separators ("dead beef" -> "deadbeef").
+std::string hex(BytesView b);
+
+/// Sequential big-endian writer that appends to an internal buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(BytesView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+  void raw(std::string_view s);
+
+  /// Overwrites 2 bytes at an absolute offset (for back-patched length
+  /// fields, e.g. TLS record/handshake lengths, IPv4 checksum).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const Bytes& bytes() const& noexcept { return buf_; }
+  [[nodiscard]] Bytes take() && noexcept { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Sequential big-endian reader over a non-owning view.
+///
+/// On underflow the reader latches an error and every subsequent read returns
+/// zero / empty, so decoders can parse straight-line and check once at the
+/// end (the pattern every codec in src/net uses).
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  /// Reads exactly n bytes; returns an empty view (and latches the error) on
+  /// underflow.
+  BytesView raw(std::size_t n);
+  std::string str(std::size_t n);
+
+  void skip(std::size_t n);
+  /// Absolute reposition (used by DNS name-compression pointer chasing).
+  void seek(std::size_t offset);
+
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return pos_ <= data_.size() ? data_.size() - pos_ : 0;
+  }
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  /// Latches a caller-detected semantic error (bad magic, invalid enum ...).
+  void fail() noexcept { failed_ = true; }
+
+ private:
+  [[nodiscard]] bool ensure(std::size_t n) noexcept;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace shadowprobe

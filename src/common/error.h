@@ -1,0 +1,58 @@
+// Minimal expected-like result type used by parsers and codecs.
+//
+// Wire-format decoding routinely fails on hostile or truncated input, so the
+// decode API surfaces errors as values instead of exceptions (the encoders,
+// whose failures are programming errors, throw).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace shadowprobe {
+
+/// Error payload carried by Result<T>. A short machine-friendly code plus a
+/// human-readable message.
+struct Error {
+  std::string message;
+
+  explicit Error(std::string msg) : message(std::move(msg)) {}
+};
+
+/// A value-or-error sum type. Intentionally tiny: it supports exactly the
+/// operations the codecs need (construction, testing, value access).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error err) : data_(std::move(err)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  /// Access the value; throws std::logic_error when called on an error, so a
+  /// forgotten check fails loudly instead of reading garbage.
+  [[nodiscard]] const T& value() const& {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    if (!ok()) throw std::logic_error("Result::value() on error: " + error().message);
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    if (!ok()) throw std::logic_error("Result::take() on error: " + error().message);
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    if (ok()) throw std::logic_error("Result::error() on value");
+    return std::get<Error>(data_);
+  }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+}  // namespace shadowprobe

@@ -1,0 +1,35 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by design (determinism), so the logger is
+// deliberately simple: a global level, writes to stderr, no locking needed
+// beyond what stdio provides.
+#pragma once
+
+#include <string>
+
+namespace shadowprobe {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+void log_message(LogLevel level, const std::string& msg);
+
+#define SP_LOG_DEBUG(msg)                                             \
+  do {                                                                \
+    if (::shadowprobe::log_level() <= ::shadowprobe::LogLevel::kDebug) \
+      ::shadowprobe::log_message(::shadowprobe::LogLevel::kDebug, (msg)); \
+  } while (0)
+#define SP_LOG_INFO(msg)                                              \
+  do {                                                                \
+    if (::shadowprobe::log_level() <= ::shadowprobe::LogLevel::kInfo)  \
+      ::shadowprobe::log_message(::shadowprobe::LogLevel::kInfo, (msg)); \
+  } while (0)
+#define SP_LOG_WARN(msg)                                              \
+  do {                                                                \
+    if (::shadowprobe::log_level() <= ::shadowprobe::LogLevel::kWarn)  \
+      ::shadowprobe::log_message(::shadowprobe::LogLevel::kWarn, (msg)); \
+  } while (0)
+
+}  // namespace shadowprobe

@@ -1,0 +1,78 @@
+#include "common/stats.h"
+
+#include "common/strutil.h"
+
+namespace shadowprobe {
+
+void Cdf::sort() const {
+  if (dirty_) {
+    std::sort(samples_.begin(), samples_.end());
+    dirty_ = false;
+  }
+}
+
+double Cdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  sort();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double Cdf::quantile(double p) const {
+  if (samples_.empty()) return 0.0;
+  sort();
+  p = std::clamp(p, 0.0, 1.0);
+  std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(samples_.size()));
+  if (idx >= samples_.size()) idx = samples_.size() - 1;
+  return samples_[idx];
+}
+
+double Cdf::min() const {
+  if (samples_.empty()) return 0.0;
+  sort();
+  return samples_.front();
+}
+
+double Cdf::max() const {
+  if (samples_.empty()) return 0.0;
+  sort();
+  return samples_.back();
+}
+
+double Cdf::mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::series(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  sort();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Probe at quantile positions so the series tracks the data's own scale
+    // (log-spanning delays would waste probes on a linear x grid).
+    std::size_t idx = i * (samples_.size() - 1) / (points > 1 ? points - 1 : 1);
+    double x = samples_[idx];
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+void BucketHistogram::add(double sample) {
+  std::size_t bucket = 0;
+  while (bucket < edges_.size() && sample >= edges_[bucket]) ++bucket;
+  ++counts_[bucket];
+  ++total_;
+}
+
+std::string BucketHistogram::label(std::size_t bucket) const {
+  if (edges_.empty()) return "all";
+  if (bucket == 0) return strprintf("< %.6g", edges_.front());
+  if (bucket >= edges_.size()) return strprintf(">= %.6g", edges_.back());
+  return strprintf("[%.6g, %.6g)", edges_[bucket - 1], edges_[bucket]);
+}
+
+}  // namespace shadowprobe

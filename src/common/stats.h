@@ -1,0 +1,97 @@
+// Statistics containers used by the behavioral analyzers (Figures 4-7 and
+// the section-level statistics): empirical CDFs, bucketed histograms, and a
+// generic counter with share/top-k reporting.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace shadowprobe {
+
+/// Empirical cumulative distribution over double samples.
+class Cdf {
+ public:
+  void add(double sample) { samples_.push_back(sample); dirty_ = true; }
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+
+  /// Fraction of samples <= x, in [0,1]. Returns 0 for an empty CDF.
+  [[nodiscard]] double at(double x) const;
+  /// p-quantile for p in [0,1] (nearest-rank). Returns 0 for an empty CDF.
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+
+  /// Evenly probed series of (x, F(x)) points for plotting-style output.
+  [[nodiscard]] std::vector<std::pair<double, double>> series(std::size_t points) const;
+
+ private:
+  void sort() const;
+  mutable std::vector<double> samples_;
+  mutable bool dirty_ = false;
+};
+
+/// Counter over arbitrary ordered keys with ratio and top-k views.
+template <typename K>
+class Counter {
+ public:
+  void add(const K& key, std::uint64_t n = 1) {
+    counts_[key] += n;
+    total_ += n;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t get(const K& key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] double share(const K& key) const {
+    return total_ == 0 ? 0.0 : static_cast<double>(get(key)) / static_cast<double>(total_);
+  }
+  [[nodiscard]] std::size_t distinct() const noexcept { return counts_.size(); }
+
+  /// Keys sorted by descending count (ties broken by key order, so output is
+  /// deterministic).
+  [[nodiscard]] std::vector<std::pair<K, std::uint64_t>> top(std::size_t k) const {
+    std::vector<std::pair<K, std::uint64_t>> v(counts_.begin(), counts_.end());
+    std::stable_sort(v.begin(), v.end(),
+                     [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (v.size() > k) v.resize(k);
+    return v;
+  }
+
+  [[nodiscard]] const std::map<K, std::uint64_t>& raw() const noexcept { return counts_; }
+
+ private:
+  std::map<K, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Fixed-edge bucketed histogram; bucket i covers [edge[i-1], edge[i]), the
+/// first bucket covers (-inf, edge[0]) and the last [edge.back(), +inf).
+class BucketHistogram {
+ public:
+  explicit BucketHistogram(std::vector<double> edges) : edges_(std::move(edges)),
+                                                        counts_(edges_.size() + 1, 0) {}
+
+  void add(double sample);
+  [[nodiscard]] std::size_t buckets() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double share(std::size_t bucket) const {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(counts_.at(bucket)) / static_cast<double>(total_);
+  }
+  [[nodiscard]] std::string label(std::size_t bucket) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace shadowprobe

@@ -1,0 +1,35 @@
+// Small string helpers shared across modules (no locale dependence).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shadowprobe {
+
+/// Splits on a single character; empty fields are kept ("a..b" -> a,"",b).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII-only lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality (HTTP header names, DNS names).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Parses a non-negative decimal integer; returns -1 on any non-digit or
+/// overflow past int64.
+long long parse_uint(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace shadowprobe

@@ -1,0 +1,58 @@
+// Simulated-time primitives.
+//
+// All timestamps in the simulator are SimTime — microseconds since the start
+// of the measurement campaign. The event loop advances this clock; nothing
+// in the library reads wall-clock time, which is what makes a two-month
+// campaign (and 10-day retention delays) replayable in seconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace shadowprobe {
+
+/// Duration in simulated microseconds.
+using SimDuration = std::int64_t;
+
+/// Absolute simulated time (microseconds since campaign start).
+using SimTime = std::int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+constexpr SimDuration kDay = 24 * kHour;
+
+constexpr double to_seconds(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr SimDuration from_seconds(double s) noexcept {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+/// Human-readable rendering ("2d 3h", "51s", "420ms") for reports.
+inline std::string format_duration(SimDuration d) {
+  if (d < 0) return "-" + format_duration(-d);
+  if (d >= kDay) {
+    auto days = d / kDay;
+    auto hours = (d % kDay) / kHour;
+    return std::to_string(days) + "d " + std::to_string(hours) + "h";
+  }
+  if (d >= kHour) {
+    auto hours = d / kHour;
+    auto mins = (d % kHour) / kMinute;
+    return std::to_string(hours) + "h " + std::to_string(mins) + "m";
+  }
+  if (d >= kMinute) {
+    auto mins = d / kMinute;
+    auto secs = (d % kMinute) / kSecond;
+    return std::to_string(mins) + "m " + std::to_string(secs) + "s";
+  }
+  if (d >= kSecond) return std::to_string(d / kSecond) + "s";
+  if (d >= kMillisecond) return std::to_string(d / kMillisecond) + "ms";
+  return std::to_string(d) + "us";
+}
+
+}  // namespace shadowprobe

@@ -1,0 +1,375 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <set>
+
+namespace shadowprobe::core {
+
+// -- Table 1 ------------------------------------------------------------------
+
+std::vector<PlatformGroupSummary> summarize_platform(
+    const std::vector<const topo::VantagePoint*>& vps) {
+  struct Acc {
+    std::set<std::string> providers;
+    std::set<net::Ipv4Addr> ips;
+    std::set<std::uint32_t> ases;
+    std::set<std::string> regions;
+  };
+  Acc global, cn, total;
+  for (const auto* vp : vps) {
+    Acc& acc = vp->cn_platform ? cn : global;
+    acc.providers.insert(vp->provider);
+    acc.ips.insert(vp->addr);
+    acc.ases.insert(vp->asn);
+    acc.regions.insert(vp->cn_platform ? vp->province : vp->country);
+    total.providers.insert(vp->provider);
+    total.ips.insert(vp->addr);
+    total.ases.insert(vp->asn);
+    total.regions.insert(vp->country);
+  }
+  auto row = [](const std::string& name, const Acc& acc) {
+    return PlatformGroupSummary{name, static_cast<int>(acc.providers.size()),
+                                static_cast<int>(acc.ips.size()),
+                                static_cast<int>(acc.ases.size()),
+                                static_cast<int>(acc.regions.size())};
+  };
+  return {row("Global (excl. CN)", global), row("China (CN mainland)", cn),
+          row("Total", total)};
+}
+
+// -- Figure 3 -----------------------------------------------------------------
+
+namespace {
+
+std::string dest_label_of(const PathRecord& path) {
+  return path.protocol == DecoyProtocol::kDns ? path.dest_name : path.dest_country;
+}
+
+}  // namespace
+
+PathRatioCell PathRatioTable::total(DecoyProtocol protocol,
+                                    const std::string& dest_label) const {
+  PathRatioCell out;
+  auto it = cells.find({protocol, dest_label});
+  if (it == cells.end()) return out;
+  for (const auto& [country, cell] : it->second) {
+    out.paths += cell.paths;
+    out.problematic += cell.problematic;
+  }
+  return out;
+}
+
+PathRatioCell PathRatioTable::group(DecoyProtocol protocol, const std::string& dest_label,
+                                    bool cn_platform) const {
+  PathRatioCell out;
+  auto it = cells.find({protocol, dest_label});
+  if (it == cells.end()) return out;
+  for (const auto& [country, cell] : it->second) {
+    bool is_cn = country == "CN";
+    if (is_cn != cn_platform) continue;
+    out.paths += cell.paths;
+    out.problematic += cell.problematic;
+  }
+  return out;
+}
+
+std::vector<std::string> PathRatioTable::destinations_by_ratio(DecoyProtocol protocol) const {
+  std::vector<std::pair<std::string, double>> order;
+  for (const auto& [key, by_country] : cells) {
+    if (key.first != protocol) continue;
+    order.emplace_back(key.second, total(protocol, key.second).ratio());
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::string> out;
+  out.reserve(order.size());
+  for (auto& [label, ratio] : order) out.push_back(label);
+  return out;
+}
+
+PathRatioTable path_ratios(const DecoyLedger& ledger,
+                           const std::vector<UnsolicitedRequest>& unsolicited) {
+  PathRatioTable table;
+  std::set<std::uint32_t> problematic = Correlator::problematic_paths(unsolicited);
+  for (const auto& path : ledger.paths()) {
+    PathRatioCell& cell =
+        table.cells[{path.protocol, dest_label_of(path)}][path.vp->country];
+    ++cell.paths;
+    if (problematic.count(path.path_id) > 0) ++cell.problematic;
+  }
+  return table;
+}
+
+std::vector<std::string> top_shadowed_resolvers(const PathRatioTable& table,
+                                                std::size_t count) {
+  auto order = table.destinations_by_ratio(DecoyProtocol::kDns);
+  if (order.size() > count) order.resize(count);
+  return order;
+}
+
+// -- Table 2 ------------------------------------------------------------------
+
+LocationDistribution observer_locations(const std::vector<ObserverFinding>& findings) {
+  LocationDistribution out;
+  std::map<DecoyProtocol, Counter<int>> counters;
+  for (const auto& finding : findings) {
+    counters[finding.protocol].add(finding.normalized_hop);
+  }
+  for (const auto& [protocol, counter] : counters) {
+    out.located_paths[protocol] = static_cast<int>(counter.total());
+    for (int hop = 1; hop <= 10; ++hop) {
+      out.shares[protocol][hop] = counter.share(hop);
+    }
+  }
+  return out;
+}
+
+// -- Table 3 ------------------------------------------------------------------
+
+ObserverAsTable observer_ases(const std::vector<ObserverFinding>& findings,
+                              const intel::GeoDatabase& geo) {
+  ObserverAsTable out;
+  std::map<DecoyProtocol, std::set<net::Ipv4Addr>> observers;
+  std::set<net::Ipv4Addr> all;
+  for (const auto& finding : findings) {
+    if (!finding.observer_addr) continue;
+    observers[finding.protocol].insert(*finding.observer_addr);
+    all.insert(*finding.observer_addr);
+  }
+  out.total_observer_ips = static_cast<int>(all.size());
+  for (net::Ipv4Addr addr : all) out.observer_countries.add(geo.country(addr));
+
+  for (const auto& [protocol, addrs] : observers) {
+    std::map<std::uint32_t, ObserverAsRow> by_as;
+    for (net::Ipv4Addr addr : addrs) {
+      auto entry = geo.lookup(addr);
+      std::uint32_t asn = entry ? entry->asn : 0;
+      ObserverAsRow& row = by_as[asn];
+      row.asn = asn;
+      if (entry) {
+        row.as_name = entry->as_name;
+        row.country = entry->country;
+      }
+      ++row.observer_ips;
+    }
+    std::vector<ObserverAsRow> rows;
+    rows.reserve(by_as.size());
+    for (auto& [asn, row] : by_as) {
+      row.share = addrs.empty() ? 0.0
+                                : static_cast<double>(row.observer_ips) /
+                                      static_cast<double>(addrs.size());
+      rows.push_back(std::move(row));
+    }
+    std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.observer_ips > b.observer_ips;
+    });
+    out.rows[protocol] = std::move(rows);
+  }
+  return out;
+}
+
+// -- Figures 4 & 7 --------------------------------------------------------------
+
+std::map<std::string, Cdf> interval_cdf_by_resolver(
+    const DecoyLedger& ledger, const std::vector<UnsolicitedRequest>& unsolicited,
+    const std::vector<std::string>& resolvers) {
+  std::set<std::string> wanted(resolvers.begin(), resolvers.end());
+  std::map<std::string, Cdf> out;
+  for (const auto& request : unsolicited) {
+    const PathRecord& path = ledger.path(request.path_id);
+    if (path.protocol != DecoyProtocol::kDns) continue;
+    if (!wanted.empty() && wanted.count(path.dest_name) == 0) continue;
+    out[path.dest_name].add(to_seconds(request.interval));
+  }
+  return out;
+}
+
+std::map<DecoyProtocol, Cdf> interval_cdf_by_protocol(
+    const std::vector<UnsolicitedRequest>& unsolicited) {
+  std::map<DecoyProtocol, Cdf> out;
+  for (const auto& request : unsolicited) {
+    if (request.decoy_protocol == DecoyProtocol::kDns) continue;
+    out[request.decoy_protocol].add(to_seconds(request.interval));
+  }
+  return out;
+}
+
+// -- Figure 5 -----------------------------------------------------------------
+
+std::string decoy_outcome_name(DecoyOutcome outcome) {
+  switch (outcome) {
+    case DecoyOutcome::kNoUnsolicited: return "none";
+    case DecoyOutcome::kDnsWithinHour: return "DNS-DNS <1h";
+    case DecoyOutcome::kDnsAfterHours: return "DNS-DNS >1h";
+    case DecoyOutcome::kWebWithinDay: return "DNS-HTTP(S) <1d";
+    case DecoyOutcome::kWebAfterDays: return "DNS-HTTP(S) >1d";
+  }
+  return "?";
+}
+
+ComboBreakdown protocol_combos(const DecoyLedger& ledger,
+                               const std::vector<UnsolicitedRequest>& unsolicited,
+                               const std::vector<std::string>& vp_countries) {
+  std::set<std::string> wanted_countries(vp_countries.begin(), vp_countries.end());
+  auto vp_selected = [&](const PathRecord& path) {
+    return wanted_countries.empty() || wanted_countries.count(path.vp->country) > 0;
+  };
+  // Most-telling outcome per Phase-I DNS decoy.
+  std::map<std::uint32_t, DecoyOutcome> outcome;  // by seq
+  for (const auto& request : unsolicited) {
+    const DecoyRecord* record = ledger.by_seq(request.seq);
+    if (record == nullptr || record->phase2 ||
+        record->id.protocol != DecoyProtocol::kDns) {
+      continue;
+    }
+    DecoyOutcome candidate;
+    if (request.request_protocol == RequestProtocol::kDns) {
+      candidate = request.interval <= kHour ? DecoyOutcome::kDnsWithinHour
+                                            : DecoyOutcome::kDnsAfterHours;
+    } else {
+      candidate = request.interval <= kDay ? DecoyOutcome::kWebWithinDay
+                                           : DecoyOutcome::kWebAfterDays;
+    }
+    auto [it, inserted] = outcome.emplace(request.seq, candidate);
+    if (!inserted && static_cast<int>(candidate) > static_cast<int>(it->second)) {
+      it->second = candidate;
+    }
+  }
+
+  ComboBreakdown out;
+  std::map<std::string, Counter<int>> counters;
+  for (const auto& decoy : ledger.decoys()) {
+    if (decoy.phase2 || decoy.id.protocol != DecoyProtocol::kDns) continue;
+    const PathRecord& path = ledger.path(decoy.path_id);
+    if (!vp_selected(path)) continue;
+    auto it = outcome.find(decoy.id.seq);
+    DecoyOutcome o = it == outcome.end() ? DecoyOutcome::kNoUnsolicited : it->second;
+    counters[path.dest_name].add(static_cast<int>(o));
+    ++out.decoys[path.dest_name];
+  }
+  for (const auto& [dest, counter] : counters) {
+    for (int o = 0; o <= static_cast<int>(DecoyOutcome::kWebAfterDays); ++o) {
+      out.shares[dest][static_cast<DecoyOutcome>(o)] = counter.share(o);
+    }
+  }
+  return out;
+}
+
+// -- Figure 6 -----------------------------------------------------------------
+
+OriginAsTable origin_ases(const DecoyLedger& ledger,
+                          const std::vector<UnsolicitedRequest>& unsolicited,
+                          const std::vector<std::string>& resolvers,
+                          const intel::GeoDatabase& geo, const intel::Blocklist& blocklist) {
+  std::set<std::string> wanted(resolvers.begin(), resolvers.end());
+  OriginAsTable out;
+  std::set<net::Ipv4Addr> dns_origins;
+  for (const auto& request : unsolicited) {
+    const PathRecord& path = ledger.path(request.path_id);
+    if (path.protocol != DecoyProtocol::kDns) continue;
+    if (!wanted.empty() && wanted.count(path.dest_name) == 0) continue;
+    auto entry = geo.lookup(request.hit.origin);
+    std::string label = entry ? "AS" + std::to_string(entry->asn) + " " + entry->as_name
+                              : "unknown";
+    out.per_resolver[path.dest_name].add(label);
+    if (request.request_protocol == RequestProtocol::kDns) {
+      dns_origins.insert(request.hit.origin);
+    }
+  }
+  out.distinct_dns_origins = static_cast<int>(dns_origins.size());
+  out.dns_origin_blocklisted = blocklist.hit_rate(
+      std::vector<net::Ipv4Addr>(dns_origins.begin(), dns_origins.end()));
+  return out;
+}
+
+// -- Section 5.1 ----------------------------------------------------------------
+
+RetentionStats retention_stats(const DecoyLedger& ledger,
+                               const std::vector<UnsolicitedRequest>& unsolicited,
+                               const std::vector<std::string>& resolvers,
+                               const std::string& long_retention_resolver) {
+  std::set<std::string> wanted(resolvers.begin(), resolvers.end());
+  std::map<std::uint32_t, int> late_requests;      // seq -> count after 1h
+  std::map<std::uint32_t, bool> web_after_10d;     // seq (to the named resolver)
+  for (const auto& request : unsolicited) {
+    const DecoyRecord* record = ledger.by_seq(request.seq);
+    if (record == nullptr || record->phase2 ||
+        record->id.protocol != DecoyProtocol::kDns) {
+      continue;
+    }
+    if (request.interval > kHour) ++late_requests[request.seq];
+    const PathRecord& path = ledger.path(request.path_id);
+    if (path.dest_name == long_retention_resolver && request.interval >= 10 * kDay &&
+        request.request_protocol != RequestProtocol::kDns) {
+      web_after_10d[request.seq] = true;
+    }
+  }
+
+  RetentionStats stats;
+  int total = 0;
+  int over3 = 0;
+  int over10 = 0;
+  int named_total = 0;
+  int named_10d = 0;
+  for (const auto& decoy : ledger.decoys()) {
+    if (decoy.phase2 || decoy.id.protocol != DecoyProtocol::kDns) continue;
+    const PathRecord& decoy_path = ledger.path(decoy.path_id);
+    if (!wanted.empty() && wanted.count(decoy_path.dest_name) == 0) continue;
+    ++total;
+    auto it = late_requests.find(decoy.id.seq);
+    int count = it == late_requests.end() ? 0 : it->second;
+    if (count > 3) ++over3;
+    if (count > 10) ++over10;
+    if (decoy_path.dest_name == long_retention_resolver) {
+      ++named_total;
+      if (web_after_10d.count(decoy.id.seq) > 0) ++named_10d;
+    }
+  }
+  stats.considered_decoys = total;
+  if (total > 0) {
+    stats.over3_after_1h = static_cast<double>(over3) / total;
+    stats.over10_after_1h = static_cast<double>(over10) / total;
+  }
+  if (named_total > 0) {
+    stats.web_after_10d = static_cast<double>(named_10d) / named_total;
+  }
+  return stats;
+}
+
+// -- Section 5 payloads & reputation ---------------------------------------------
+
+IncentiveStats incentive_stats(const std::vector<UnsolicitedRequest>& unsolicited,
+                               const intel::SignatureDb& signatures,
+                               const intel::Blocklist& blocklist) {
+  IncentiveStats stats;
+  Counter<int> payloads;
+  std::map<std::pair<bool, RequestProtocol>, std::set<net::Ipv4Addr>> origins;
+  for (const auto& request : unsolicited) {
+    bool dns_decoy = request.decoy_protocol == DecoyProtocol::kDns;
+    if (request.request_protocol == RequestProtocol::kHttp) {
+      intel::PayloadClass cls = signatures.classify_target(request.hit.http_target);
+      payloads.add(static_cast<int>(cls));
+      if (cls == intel::PayloadClass::kExploitAttempt) stats.exploits_found = true;
+    }
+    if (request.request_protocol != RequestProtocol::kDns) {
+      origins[{dns_decoy, request.request_protocol}].insert(request.hit.origin);
+    }
+  }
+  stats.http_requests = static_cast<int>(payloads.total());
+  for (int c = 0; c <= static_cast<int>(intel::PayloadClass::kOther); ++c) {
+    stats.payload_shares[static_cast<intel::PayloadClass>(c)] = payloads.share(c);
+  }
+  auto rate = [&](bool dns_decoy, RequestProtocol protocol) {
+    auto it = origins.find({dns_decoy, protocol});
+    if (it == origins.end()) return 0.0;
+    return blocklist.hit_rate(
+        std::vector<net::Ipv4Addr>(it->second.begin(), it->second.end()));
+  };
+  stats.dns_decoy_http_origin_blocklisted = rate(true, RequestProtocol::kHttp);
+  stats.dns_decoy_https_origin_blocklisted = rate(true, RequestProtocol::kHttps);
+  stats.web_decoy_http_origin_blocklisted = rate(false, RequestProtocol::kHttp);
+  stats.web_decoy_https_origin_blocklisted = rate(false, RequestProtocol::kHttps);
+  return stats;
+}
+
+}  // namespace shadowprobe::core

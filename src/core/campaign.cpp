@@ -1,0 +1,256 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace shadowprobe::core {
+
+namespace {
+/// Pair resolver: the non-serving sibling three addresses above the service
+/// address in the same /24 (the paper's example: 1.1.1.4 as to 1.1.1.1).
+net::Ipv4Addr pair_resolver_of(net::Ipv4Addr service) {
+  return net::Ipv4Addr((service.value() & 0xFFFFFF00) |
+                       ((service.value() + 3) & 0xFF));
+}
+}  // namespace
+
+Campaign::Campaign(Testbed& bed, CampaignConfig config)
+    : bed_(bed), config_(config), rng_(bed.fork_rng("campaign")) {
+  // Agents for every candidate VP; screened-out VPs simply never send.
+  for (const auto& vp : bed_.topology().vantage_points()) {
+    VpAgent::Hooks hooks;
+    hooks.on_dest_response = [this](std::uint32_t seq, SimTime when) {
+      ledger_.mark_response(seq, when);
+      if (++response_counts_[seq] > 1) replicated_seqs_.insert(seq);
+    };
+    hooks.on_hop = [this](std::uint32_t seq, net::Ipv4Addr hop, SimTime) {
+      hop_log_.emplace(seq, hop);
+    };
+    hooks.on_interception = [this](const topo::VantagePoint& vp, net::Ipv4Addr) {
+      intercepted_vps_.insert(&vp);
+    };
+    auto agent = std::make_unique<VpAgent>(vp, rng_.fork("vp-" + vp.id), std::move(hooks));
+    agent->bind(bed_.net());
+    agent->set_dns_transport(config_.dns_transport, bed_.oblivious_proxy_addr());
+    agent->set_tls_ech(config_.tls_decoys_use_ech);
+    agent_index_[&vp] = agent.get();
+    agents_.push_back(std::move(agent));
+  }
+  // Control server for the TTL canary, hosted next to the US honeypot.
+  control_server_ = std::make_unique<ControlServer>();
+  sim::NodeId node = bed_.topology().add_host_in_as(
+      bed_.net(), bed_.topology().honeypots().front().asn, "control-server",
+      control_server_.get());
+  control_addr_ = bed_.net().address(node);
+}
+
+Campaign::~Campaign() = default;
+
+VpAgent* Campaign::agent_for(const topo::VantagePoint* vp) { return agent_index_.at(vp); }
+
+void Campaign::run() {
+  if (config_.screening) {
+    run_screening();
+  } else {
+    for (const auto& vp : bed_.topology().vantage_points()) active_vps_.push_back(&vp);
+    screening_.candidates = screening_.usable = static_cast<int>(active_vps_.size());
+  }
+  schedule_phase1();
+  // Phase II is planned at its start time, from whatever the honeypots have
+  // captured by then.
+  bed_.loop().schedule_at(config_.phase1_window + config_.phase2_grace,
+                          [this] { schedule_phase2(); });
+  bed_.loop().run_until(config_.total_duration);
+
+  Correlator correlator(ledger_);
+  unsolicited_ = correlator.classify(bed_.logbook().hits(), &replicated_seqs_);
+  ObserverLocator locator(ledger_, hop_log_);
+  findings_ = locator.locate(unsolicited_);
+  SP_LOG_INFO(strprintf("campaign complete: %zu decoys, %zu honeypot hits, "
+                        "%zu unsolicited, %zu located paths",
+                        ledger_.decoy_count(), bed_.logbook().size(),
+                        unsolicited_.size(), findings_.size()));
+}
+
+void Campaign::run_screening() {
+  const auto& vps = bed_.topology().vantage_points();
+  screening_.candidates = static_cast<int>(vps.size());
+
+  // TTL canaries: two datagrams with distinct initial TTLs; an honest
+  // tunnel preserves their difference end-to-end.
+  constexpr std::uint8_t kCanaryLow = 40;
+  constexpr std::uint8_t kCanaryHigh = 50;
+  for (const auto& vp : vps) {
+    if (vp.residential) continue;  // rejected at provider vetting already
+    VpAgent* agent = agent_for(&vp);
+    agent->send_ttl_canary(control_addr_, kCanaryLow, 1);
+    agent->send_ttl_canary(control_addr_, kCanaryHigh, 2);
+    // Pair-resolver probes towards every public resolver's sibling address.
+    for (const auto& target : bed_.topology().dns_target_hosts()) {
+      if (target.info.kind != topo::DnsTargetKind::kPublicResolver) continue;
+      agent->send_pair_probe(pair_resolver_of(target.addr));
+    }
+  }
+  // Let the probes settle (a few RTTs suffice; one simulated hour is safe).
+  bed_.loop().run_until(bed_.loop().now() + kHour);
+
+  for (const auto& vp : vps) {
+    if (vp.residential) {
+      ++screening_.rejected_residential;
+      continue;
+    }
+    int low = control_server_->arrival_ttl(vp.addr, 1);
+    int high = control_server_->arrival_ttl(vp.addr, 2);
+    if (low < 0 || high < 0 || high - low != kCanaryHigh - kCanaryLow) {
+      ++screening_.rejected_ttl_mangling;
+      continue;
+    }
+    if (intercepted_vps_.count(&vp) > 0) {
+      ++screening_.rejected_interception;
+      continue;
+    }
+    active_vps_.push_back(&vp);
+  }
+  screening_.usable = static_cast<int>(active_vps_.size());
+  SP_LOG_INFO(strprintf("screening: %d candidates, %d usable (-%d residential, "
+                        "-%d ttl, -%d interception)",
+                        screening_.candidates, screening_.usable,
+                        screening_.rejected_residential, screening_.rejected_ttl_mangling,
+                        screening_.rejected_interception));
+}
+
+void Campaign::schedule_phase1() {
+  SimTime start = bed_.loop().now();
+  int rounds = std::max(1, config_.phase1_rounds);
+  auto emission_time = [&](int round, std::size_t ordinal, std::size_t total) {
+    // Round-robin over VPs, evenly spread across the window: this realizes
+    // the paper's strict per-target rate limit (each destination sees the
+    // whole VP fleet once per window, far below 2 packets/second).
+    if (total == 0) total = 1;
+    return start + static_cast<SimDuration>(round) * config_.phase1_window +
+           static_cast<SimDuration>(
+               static_cast<double>(ordinal % total) / static_cast<double>(total) *
+               static_cast<double>(config_.phase1_window));
+  };
+
+  const std::size_t total_dns =
+      active_vps_.size() * bed_.topology().dns_target_hosts().size();
+  const std::size_t total_web = active_vps_.size() * bed_.topology().web_sites().size();
+
+  if (config_.measure_dns) {
+    std::size_t ordinal = 0;
+    for (const topo::VantagePoint* vp : active_vps_) {
+      for (const auto& target : bed_.topology().dns_target_hosts()) {
+        PathRecord path;
+        path.vp = vp;
+        switch (target.info.kind) {
+          case topo::DnsTargetKind::kPublicResolver:
+            path.dest_kind = DestKind::kPublicResolver;
+            break;
+          case topo::DnsTargetKind::kSelfBuilt:
+            path.dest_kind = DestKind::kSelfBuilt;
+            break;
+          case topo::DnsTargetKind::kRoot:
+            path.dest_kind = DestKind::kRoot;
+            break;
+          case topo::DnsTargetKind::kTld:
+            path.dest_kind = DestKind::kTld;
+            break;
+        }
+        path.dest_name = target.info.name;
+        path.dest_addr = target.addr;
+        path.dest_country = target.info.country;
+        path.protocol = DecoyProtocol::kDns;
+        std::uint32_t path_id = ledger_.add_path(path);
+        for (int round = 0; round < rounds; ++round) {
+          SimTime when = emission_time(round, ordinal, total_dns);
+          bed_.loop().schedule_at(when, [this, path_id, vp, addr = target.addr, when] {
+            DecoyRecord& record = ledger_.create(path_id, when, vp->addr, addr,
+                                                 DecoyProtocol::kDns, 64, false);
+            agent_for(vp)->send_dns_decoy(record);
+          });
+        }
+        ++ordinal;
+      }
+    }
+  }
+
+  std::size_t ordinal = 0;
+  for (const topo::VantagePoint* vp : active_vps_) {
+    for (const auto& site : bed_.topology().web_sites()) {
+      for (DecoyProtocol protocol : {DecoyProtocol::kHttp, DecoyProtocol::kTls}) {
+        if (protocol == DecoyProtocol::kHttp && !config_.measure_http) continue;
+        if (protocol == DecoyProtocol::kTls && !config_.measure_tls) continue;
+        PathRecord path;
+        path.vp = vp;
+        path.dest_kind = DestKind::kWebSite;
+        path.dest_name = site.domain;
+        path.dest_addr = site.addr;
+        path.dest_country = site.country;
+        path.protocol = protocol;
+        std::uint32_t path_id = ledger_.add_path(path);
+        for (int round = 0; round < rounds; ++round) {
+          SimTime when = emission_time(round, ordinal, total_web);
+          bed_.loop().schedule_at(when,
+                                  [this, path_id, vp, addr = site.addr, protocol, when] {
+            DecoyRecord& record =
+                ledger_.create(path_id, when, vp->addr, addr, protocol, 64, false);
+            if (protocol == DecoyProtocol::kHttp) {
+              agent_for(vp)->send_http_decoy(record);
+            } else {
+              agent_for(vp)->send_tls_decoy(record);
+            }
+          });
+        }
+      }
+      ++ordinal;
+    }
+  }
+}
+
+void Campaign::schedule_phase2() {
+  // Problematic paths as known at this point in the campaign.
+  Correlator correlator(ledger_);
+  auto so_far = correlator.classify(bed_.logbook().hits(), &replicated_seqs_);
+  auto paths = Correlator::problematic_paths(so_far);
+  SP_LOG_INFO(strprintf("phase II: sweeping %zu problematic paths", paths.size()));
+
+  SimTime start = bed_.loop().now();
+  std::size_t index = 0;
+  for (std::uint32_t path_id : paths) {
+    const PathRecord& path = ledger_.path(path_id);
+    SimTime when = start + static_cast<SimDuration>(
+                               static_cast<double>(index++) /
+                               static_cast<double>(paths.size()) *
+                               static_cast<double>(config_.phase2_window));
+    sweep_path(path, when);
+  }
+}
+
+void Campaign::sweep_path(const PathRecord& path, SimTime start) {
+  // Consecutive decoys, one per initial TTL, 200 ms apart — each TTL value
+  // yields a fresh identifier so the honeypot can attribute unsolicited
+  // requests to the exact hop count.
+  for (int ttl = 1; ttl <= config_.max_sweep_ttl; ++ttl) {
+    SimTime when = start + static_cast<SimDuration>(ttl) * 200 * kMillisecond;
+    std::uint32_t path_id = path.path_id;
+    const topo::VantagePoint* vp = path.vp;
+    net::Ipv4Addr dst = path.dest_addr;
+    DecoyProtocol protocol = path.protocol;
+    bed_.loop().schedule_at(when, [this, path_id, vp, dst, protocol, ttl, when] {
+      DecoyRecord& record = ledger_.create(path_id, when, vp->addr, dst, protocol,
+                                           static_cast<std::uint8_t>(ttl), true);
+      if (protocol == DecoyProtocol::kDns) {
+        agent_for(vp)->send_dns_decoy(record);
+      } else {
+        // No TCP handshake during tracerouting (the sweep would otherwise
+        // hold destination connections open until the TTL grows enough).
+        agent_for(vp)->send_raw_decoy(record);
+      }
+    });
+  }
+}
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,124 @@
+// Campaign orchestrator: runs the full two-phase measurement.
+//
+//   Screening  — provider vetting (residential exclusion), TTL-canary check
+//                (drops providers that rewrite TTLs), pair-resolver check
+//                (drops VPs behind DNS interception) — Appendices C and E.
+//   Phase I    — every usable VP sends one DNS decoy to each of the 36 DNS
+//                destinations and one HTTP + one TLS decoy (after a real TCP
+//                handshake) to each web destination, spread over the
+//                emission window under a per-target rate limit.
+//   Phase II   — for every path Phase I found problematic, a hop-by-hop TTL
+//                sweep (handshake-less for HTTP/TLS) locates the observer.
+//
+// The campaign then lets the clock run to the configured horizon so that
+// long-retention replays (days) arrive, and produces the correlated results
+// every analyzer consumes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/correlator.h"
+#include "core/ledger.h"
+#include "core/locate.h"
+#include "core/testbed.h"
+#include "core/vp_agent.h"
+
+namespace shadowprobe::core {
+
+struct CampaignConfig {
+  /// Emission window of one Phase-I round.
+  SimDuration phase1_window = 12 * kHour;
+  /// Number of Phase-I rounds: the paper emits "continuously in a
+  /// round-robin fashion without stop" for two months; each round sends a
+  /// fresh decoy over every path.
+  int phase1_rounds = 1;
+  /// Delay after Phase I before problematic paths are computed and swept
+  /// (gives slow exhibitors time to reveal themselves).
+  SimDuration phase2_grace = 36 * kHour;
+  SimDuration phase2_window = 12 * kHour;
+  /// Campaign horizon: how long honeypots keep capturing (the paper ran for
+  /// two months; 30 simulated days cover the 10-day retention tail).
+  SimDuration total_duration = 30 * kDay;
+  /// TTL sweep ceiling (the paper sweeps to 64; synthetic paths are <= 12
+  /// hops, so a lower ceiling saves events without losing coverage).
+  int max_sweep_ttl = 16;
+  bool screening = true;
+  bool measure_dns = true;
+  bool measure_http = true;
+  bool measure_tls = true;
+  /// Mitigation study knobs (paper Section 6): encrypted / oblivious DNS
+  /// transports and TLS ECH for the decoys.
+  DnsDecoyTransport dns_transport = DnsDecoyTransport::kPlain;
+  bool tls_decoys_use_ech = false;
+};
+
+struct ScreeningReport {
+  int candidates = 0;
+  int rejected_residential = 0;
+  int rejected_ttl_mangling = 0;
+  int rejected_interception = 0;
+  int usable = 0;
+};
+
+class Campaign {
+ public:
+  Campaign(Testbed& bed, CampaignConfig config);
+  ~Campaign();
+
+  Campaign(const Campaign&) = delete;
+  Campaign& operator=(const Campaign&) = delete;
+
+  /// Runs screening, both phases, and the capture horizon; then performs
+  /// the final correlation and localization passes.
+  void run();
+
+  [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const DecoyLedger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] const ScreeningReport& screening() const noexcept { return screening_; }
+  [[nodiscard]] const std::vector<const topo::VantagePoint*>& active_vps() const noexcept {
+    return active_vps_;
+  }
+  [[nodiscard]] const std::vector<UnsolicitedRequest>& unsolicited() const noexcept {
+    return unsolicited_;
+  }
+  [[nodiscard]] const std::vector<ObserverFinding>& findings() const noexcept {
+    return findings_;
+  }
+  /// seq -> ICMP-revealed hop address (Phase II raw data).
+  [[nodiscard]] const std::map<std::uint32_t, net::Ipv4Addr>& hop_log() const noexcept {
+    return hop_log_;
+  }
+  /// Decoys whose VP received more than one response (request replication;
+  /// excluded from shadowing per Appendix E).
+  [[nodiscard]] const std::set<std::uint32_t>& replicated_seqs() const noexcept {
+    return replicated_seqs_;
+  }
+
+ private:
+  void run_screening();
+  void schedule_phase1();
+  void schedule_phase2();
+  void sweep_path(const PathRecord& path, SimTime start);
+  VpAgent* agent_for(const topo::VantagePoint* vp);
+
+  Testbed& bed_;
+  CampaignConfig config_;
+  Rng rng_;
+  DecoyLedger ledger_;
+  ScreeningReport screening_;
+  std::vector<std::unique_ptr<VpAgent>> agents_;
+  std::map<const topo::VantagePoint*, VpAgent*> agent_index_;
+  std::vector<const topo::VantagePoint*> active_vps_;
+  std::map<std::uint32_t, net::Ipv4Addr> hop_log_;
+  std::map<std::uint32_t, int> response_counts_;
+  std::set<std::uint32_t> replicated_seqs_;
+  std::set<const topo::VantagePoint*> intercepted_vps_;
+  std::vector<UnsolicitedRequest> unsolicited_;
+  std::vector<ObserverFinding> findings_;
+  std::unique_ptr<ControlServer> control_server_;
+  net::Ipv4Addr control_addr_;
+};
+
+}  // namespace shadowprobe::core

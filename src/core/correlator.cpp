@@ -1,0 +1,63 @@
+#include "core/correlator.h"
+
+namespace shadowprobe::core {
+
+std::vector<UnsolicitedRequest> Correlator::classify(
+    const std::vector<HoneypotHit>& hits,
+    const std::set<std::uint32_t>* replicated_seqs) const {
+  std::vector<UnsolicitedRequest> out;
+  // Sequence numbers whose solicited resolution has already been seen.
+  std::set<std::uint32_t> resolved_once;
+  for (const auto& hit : hits) {
+    if (!hit.decoy) continue;
+    const DecoyRecord* record = ledger_.by_seq(hit.decoy->seq);
+    if (record == nullptr || !(record->id == *hit.decoy)) continue;  // forged/mangled
+    const PathRecord& path = ledger_.path(record->path_id);
+
+    bool unsolicited = false;
+    if (hit.protocol == RequestProtocol::kHttp || hit.protocol == RequestProtocol::kHttps) {
+      unsolicited = true;  // criteria (i)/(ii)
+    } else if (replicated_seqs != nullptr && replicated_seqs->count(record->id.seq) > 0 &&
+               record->id.protocol == DecoyProtocol::kDns) {
+      // Replicated decoy: extra DNS queries come from the interception
+      // middlebox's alternative resolver, not from shadowing.
+      continue;
+    } else {
+      // DNS request. Criterion (i): non-DNS decoy data in a DNS query.
+      if (record->id.protocol != DecoyProtocol::kDns) {
+        unsolicited = true;
+      } else {
+        // Criterion (iii): decoys aimed at recursive resolvers produce one
+        // solicited resolution; everything after it — and everything for
+        // decoys aimed at authoritative-only destinations — is unsolicited.
+        bool expects_resolution = path.dest_kind == DestKind::kPublicResolver ||
+                                  path.dest_kind == DestKind::kSelfBuilt;
+        if (expects_resolution && resolved_once.count(record->id.seq) == 0) {
+          resolved_once.insert(record->id.seq);
+        } else {
+          unsolicited = true;
+        }
+      }
+    }
+    if (!unsolicited) continue;
+
+    UnsolicitedRequest request;
+    request.hit = hit;
+    request.seq = record->id.seq;
+    request.path_id = record->path_id;
+    request.decoy_protocol = record->id.protocol;
+    request.request_protocol = hit.protocol;
+    request.interval = hit.time - record->sent;
+    out.push_back(std::move(request));
+  }
+  return out;
+}
+
+std::set<std::uint32_t> Correlator::problematic_paths(
+    const std::vector<UnsolicitedRequest>& requests) {
+  std::set<std::uint32_t> paths;
+  for (const auto& r : requests) paths.insert(r.path_id);
+  return paths;
+}
+
+}  // namespace shadowprobe::core

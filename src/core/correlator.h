@@ -1,0 +1,59 @@
+// Correlator: joins honeypot hits with the decoy ledger and classifies
+// unsolicited requests.
+//
+// Implements the paper's three criteria (Section 3, Phase I): an incoming
+// request bearing decoy data is unsolicited if
+//   (i)   its protocol differs from the decoy protocol, or
+//   (ii)  it is HTTP or HTTPS (no HTTP/TLS decoy is ever aimed at the
+//         honeypots), or
+//   (iii) it is DNS and the unique query name already appeared in an
+//         earlier DNS query — for decoys sent to recursive resolvers, that
+//         earlier query is the resolver's own (solicited) resolution; for
+//         decoys sent to authoritative servers no resolution is expected,
+//         so every honeypot DNS arrival is unsolicited.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "core/honeypot.h"
+#include "core/ledger.h"
+
+namespace shadowprobe::core {
+
+struct UnsolicitedRequest {
+  HoneypotHit hit;
+  std::uint32_t seq = 0;       // triggering decoy
+  std::uint32_t path_id = 0;
+  DecoyProtocol decoy_protocol = DecoyProtocol::kDns;
+  RequestProtocol request_protocol = RequestProtocol::kDns;
+  SimDuration interval = 0;    // hit time minus decoy emission time
+};
+
+class Correlator {
+ public:
+  explicit Correlator(const DecoyLedger& ledger) : ledger_(ledger) {}
+
+  /// Full classification pass over `hits` (time-ordered, as the logbook
+  /// stores them). Hits whose identifier does not decode, does not match
+  /// the ledger, or fails the unsolicited criteria are dropped.
+  ///
+  /// `replicated_seqs` (optional) lists decoys whose VP received more than
+  /// one response — the signature of request *replication* by interception
+  /// middleboxes. Appendix E excludes those from traffic shadowing
+  /// ("communication ... is intercepted when clients are waiting for
+  /// responses, as opposed to silent on-path observers"): their DNS-DNS
+  /// repetitions are dropped here.
+  [[nodiscard]] std::vector<UnsolicitedRequest> classify(
+      const std::vector<HoneypotHit>& hits,
+      const std::set<std::uint32_t>* replicated_seqs = nullptr) const;
+
+  /// Path ids with at least one unsolicited request in `requests`.
+  [[nodiscard]] static std::set<std::uint32_t> problematic_paths(
+      const std::vector<UnsolicitedRequest>& requests);
+
+ private:
+  const DecoyLedger& ledger_;
+};
+
+}  // namespace shadowprobe::core

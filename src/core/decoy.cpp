@@ -1,0 +1,72 @@
+#include "core/decoy.h"
+
+#include "common/base32.h"
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/strutil.h"
+
+namespace shadowprobe::core {
+
+namespace {
+
+std::uint8_t checksum(BytesView data) {
+  // Low byte of FNV-1a over the payload: enough to reject mangled labels.
+  std::uint64_t h = fnv1a(std::string_view(reinterpret_cast<const char*>(data.data()),
+                                           data.size()));
+  return static_cast<std::uint8_t>(h & 0xFF);
+}
+
+}  // namespace
+
+std::string encode_decoy_label(const DecoyId& id) {
+  ByteWriter w(16);
+  w.u32(id.time_sec);
+  w.u32(id.vp.value());
+  w.u32(id.dst.value());
+  w.u8(id.ttl);
+  w.u8(static_cast<std::uint8_t>(id.protocol));
+  Bytes payload = std::move(w).take();
+  payload.push_back(checksum(BytesView(payload)));
+  return base32_encode(BytesView(payload)) + "-" + std::to_string(id.seq);
+}
+
+std::optional<DecoyId> decode_decoy_label(std::string_view label) {
+  std::size_t dash = label.rfind('-');
+  if (dash == std::string_view::npos) return std::nullopt;
+  long long seq = parse_uint(label.substr(dash + 1));
+  if (seq < 0) return std::nullopt;
+  auto payload = base32_decode(label.substr(0, dash));
+  if (!payload || payload->size() != 15) return std::nullopt;
+  BytesView body = BytesView(*payload).subspan(0, 14);
+  if (checksum(body) != (*payload)[14]) return std::nullopt;
+  ByteReader r(body);
+  DecoyId id;
+  id.time_sec = r.u32();
+  id.vp = net::Ipv4Addr(r.u32());
+  id.dst = net::Ipv4Addr(r.u32());
+  id.ttl = r.u8();
+  std::uint8_t proto = r.u8();
+  if (proto > 2) return std::nullopt;
+  id.protocol = static_cast<DecoyProtocol>(proto);
+  id.seq = static_cast<std::uint32_t>(seq);
+  return id;
+}
+
+net::DnsName decoy_domain(const DecoyId& id) {
+  return experiment_suffix().child(encode_decoy_label(id));
+}
+
+std::optional<DecoyId> decoy_from_name(const net::DnsName& name) {
+  const net::DnsName& suffix = experiment_suffix();
+  if (!name.is_subdomain_of(suffix)) return std::nullopt;
+  if (name.label_count() != suffix.label_count() + 1) return std::nullopt;
+  return decode_decoy_label(name.labels().front());
+}
+
+std::optional<DecoyId> decoy_from_host(std::string_view host) {
+  auto name = net::DnsName::parse(host);
+  if (!name) return std::nullopt;
+  return decoy_from_name(*name);
+}
+
+}  // namespace shadowprobe::core

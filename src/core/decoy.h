@@ -1,0 +1,55 @@
+// Decoy identifier codec and decoy domain construction.
+//
+// Every decoy embeds a unique domain of the form
+//
+//     <identifier>-<seq>.www.<experiment zone>
+//
+// where the identifier is a base32 encoding of (send time, VP address,
+// destination address, initial IP TTL, decoy protocol) plus a checksum —
+// mirroring the paper's "identifier string (time, IP, TTL)". Because the
+// initial TTL is part of the identity, every TTL variant sent during the
+// Phase-II traceroute sweep yields a distinct domain, and the honeypot can
+// map any unsolicited request back to the exact decoy (and hop) that
+// leaked it.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/time.h"
+#include "core/types.h"
+#include "net/dns.h"
+#include "net/ipv4.h"
+
+namespace shadowprobe::core {
+
+struct DecoyId {
+  std::uint32_t time_sec = 0;  // campaign time of emission, seconds
+  net::Ipv4Addr vp;
+  net::Ipv4Addr dst;
+  std::uint8_t ttl = 64;
+  DecoyProtocol protocol = DecoyProtocol::kDns;
+  std::uint32_t seq = 0;  // ledger sequence number (the "-9982" suffix)
+
+  bool operator==(const DecoyId&) const = default;
+};
+
+/// Encodes the identifier into a DNS-label-safe string ("g6d8...-9982").
+std::string encode_decoy_label(const DecoyId& id);
+
+/// Decodes a label; nullopt on malformed input or checksum mismatch (the
+/// honeypot sees plenty of junk labels — resolver case randomization, typos
+/// of scanners — and must reject them cleanly).
+std::optional<DecoyId> decode_decoy_label(std::string_view label);
+
+/// Full decoy domain: "<label>.www.<experiment zone>".
+net::DnsName decoy_domain(const DecoyId& id);
+
+/// Extracts and decodes the identifier from any name under the experiment
+/// suffix; nullopt for names that are not decoy domains.
+std::optional<DecoyId> decoy_from_name(const net::DnsName& name);
+
+/// Extracts the identifier from a host string (HTTP Host header / TLS SNI).
+std::optional<DecoyId> decoy_from_host(std::string_view host);
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,150 @@
+#include "core/honeypot.h"
+
+#include "net/http.h"
+#include "net/tls.h"
+
+namespace shadowprobe::core {
+
+void HoneypotLogbook::add(HoneypotHit hit) {
+  hits_.push_back(hit);
+  for (const auto& observer : observers_) observer(hits_.back());
+}
+
+dnssrv::Zone build_experiment_zone(const std::vector<net::Ipv4Addr>& honeypot_addrs) {
+  const net::DnsName& zone_name = experiment_zone();
+  dnssrv::Zone zone(zone_name);
+  net::SoaData soa;
+  soa.mname = zone_name.child("ns1");
+  soa.rname = zone_name.child("hostmaster");
+  soa.serial = 2024030101;
+  soa.minimum = 300;
+  zone.add(net::DnsRecord::soa(zone_name, soa));
+  for (std::size_t i = 0; i < honeypot_addrs.size(); ++i) {
+    net::DnsName ns = zone_name.child("ns" + std::to_string(i + 1));
+    zone.add(net::DnsRecord::ns(zone_name, ns));
+    zone.add(net::DnsRecord::a(ns, honeypot_addrs[i]));
+  }
+  net::DnsName www = zone_name.child("www");
+  for (net::Ipv4Addr addr : honeypot_addrs) {
+    zone.add(net::DnsRecord::a(zone_name, addr, 3600));
+    zone.add(net::DnsRecord::a(www, addr, 3600));
+    // The paper's wildcard: every decoy domain resolves here, TTL 3600.
+    zone.add(net::DnsRecord::a(www.child("*"), addr, 3600));
+  }
+  return zone;
+}
+
+HoneypotServer::HoneypotServer(std::string location, HoneypotLogbook& logbook, Rng rng)
+    : location_(std::move(location)), logbook_(logbook), rng_(rng) {}
+
+void HoneypotServer::bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr addr,
+                          dnssrv::Zone zone) {
+  net_ = &net;
+  addr_ = addr;
+  auth_.add_zone(std::move(zone));
+  auth_.add_query_observer([this](const dnssrv::QueryLogEntry& entry) {
+    HoneypotHit hit;
+    hit.time = entry.time;
+    hit.protocol = RequestProtocol::kDns;
+    hit.origin = entry.client;
+    hit.honeypot_addr = entry.server_addr;
+    hit.location = location_;
+    hit.domain = entry.question.name;
+    hit.decoy = decoy_from_name(entry.question.name);
+    logbook_.add(std::move(hit));
+  });
+  tcp_ = std::make_unique<sim::TcpStack>(net, node, rng_.fork("tcp"));
+  tcp_->listen(80, [this](const sim::ConnKey& key, BytesView data) {
+    return serve_http(key, data);
+  });
+  tcp_->listen(443, [this](const sim::ConnKey& key, BytesView data) {
+    return serve_tls(key, data);
+  });
+  net.set_handler(node, this);
+}
+
+void HoneypotServer::on_datagram(sim::Network& net, sim::NodeId self,
+                                 const net::Ipv4Datagram& dgram) {
+  switch (dgram.header.protocol) {
+    case net::IpProto::kUdp:
+      auth_.on_datagram(net, self, dgram);
+      break;
+    case net::IpProto::kTcp:
+      tcp_->on_segment(dgram);
+      break;
+    case net::IpProto::kIcmp:
+      break;  // nothing to do with stray ICMP
+  }
+}
+
+Bytes HoneypotServer::serve_http(const sim::ConnKey& key, BytesView data) {
+  auto request = net::HttpRequest::decode(data);
+  if (!request.ok()) return {};
+  const net::HttpRequest& req = request.value();
+
+  HoneypotHit hit;
+  hit.time = net_->now();
+  hit.protocol = RequestProtocol::kHttp;
+  hit.origin = key.remote_addr;
+  hit.honeypot_addr = key.local_addr;
+  hit.location = location_;
+  if (auto name = net::DnsName::parse(req.host())) hit.domain = *name;
+  hit.decoy = decoy_from_host(req.host());
+  hit.http_method = req.method;
+  hit.http_target = req.target;
+  logbook_.add(std::move(hit));
+
+  net::HttpResponse response;
+  if (req.path() == "/" || req.path() == "/index.html") {
+    // Ethics: the homepage documents the experiment and a contact address
+    // for accidental visitors and origins of unsolicited requests.
+    response.status = 200;
+    response.reason = "OK";
+    response.headers.add("Content-Type", "text/html");
+    response.body = to_bytes(
+        "<html><head><title>Internet measurement experiment</title></head>"
+        "<body><h1>Traffic shadowing measurement</h1>"
+        "<p>This host is part of an academic measurement of Internet traffic"
+        " shadowing. The domains resolving here carry experiment identifiers"
+        " only and no personal data.</p>"
+        "<p>Contact: research@shadowprobe-exp.com</p></body></html>");
+  } else {
+    response.status = 404;
+    response.reason = "Not Found";
+    response.headers.add("Content-Type", "text/plain");
+    response.body = to_bytes("not found\n");
+  }
+  return response.encode();
+}
+
+Bytes HoneypotServer::serve_tls(const sim::ConnKey& key, BytesView data) {
+  auto hello = net::TlsClientHello::decode_record(data);
+  if (!hello.ok()) return {};
+
+  HoneypotHit hit;
+  hit.time = net_->now();
+  hit.protocol = RequestProtocol::kHttps;
+  hit.origin = key.remote_addr;
+  hit.honeypot_addr = key.local_addr;
+  hit.location = location_;
+  std::optional<std::string> sni = hello.value().has_ech()
+                                       ? hello.value().ech_inner_sni()
+                                       : hello.value().sni();
+  if (sni) {
+    if (auto name = net::DnsName::parse(*sni)) hit.domain = *name;
+    hit.decoy = decoy_from_host(*sni);
+  }
+  logbook_.add(std::move(hit));
+
+  // Log-and-greet: a minimal ServerHello keeps well-behaved probers from
+  // retrying, then the peer is expected to abandon the handshake (our
+  // honeypot has nothing to say after this).
+  net::TlsServerHello server_hello;
+  for (std::size_t i = 0; i < server_hello.random.size(); ++i) {
+    server_hello.random[i] = static_cast<std::uint8_t>(rng_.bits());
+  }
+  server_hello.session_id = hello.value().session_id;
+  return server_hello.encode_record();
+}
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,90 @@
+// Honeypot infrastructure: the sensors of the measurement.
+//
+// Each honeypot node (US, DE, SG) runs three services on one address:
+//   - UDP/53:  authoritative DNS for the experiment zone (every recursive
+//              resolution of a decoy domain, and every later unsolicited
+//              re-query, is logged here),
+//   - TCP/80:  the honey website (logs unsolicited HTTP requests; serves a
+//              homepage documenting the experiment, per the ethics section),
+//   - TCP/443: a TLS endpoint (logs ClientHello SNI of unsolicited HTTPS).
+//
+// All hits land in a shared HoneypotLogbook, the single input of the
+// correlator.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/decoy.h"
+#include "core/types.h"
+#include "dnssrv/auth_server.h"
+#include "sim/network.h"
+#include "sim/tcp_stack.h"
+
+namespace shadowprobe::core {
+
+struct HoneypotHit {
+  SimTime time = 0;
+  RequestProtocol protocol = RequestProtocol::kDns;
+  net::Ipv4Addr origin;         // source address of the request
+  net::Ipv4Addr honeypot_addr;  // which honeypot service it hit
+  std::string location;         // "US" / "DE" / "SG"
+  net::DnsName domain;          // QNAME / Host header / SNI
+  std::optional<DecoyId> decoy; // decoded identifier, when the domain is ours
+  std::string http_method;      // HTTP only
+  std::string http_target;      // HTTP only (path + query)
+};
+
+/// Append-only hit log shared by all honeypot instances.
+class HoneypotLogbook {
+ public:
+  using Observer = std::function<void(const HoneypotHit&)>;
+
+  void add(HoneypotHit hit);
+  void add_observer(Observer observer) { observers_.push_back(std::move(observer)); }
+
+  [[nodiscard]] const std::vector<HoneypotHit>& hits() const noexcept { return hits_; }
+  [[nodiscard]] std::size_t size() const noexcept { return hits_.size(); }
+
+ private:
+  std::vector<HoneypotHit> hits_;
+  std::vector<Observer> observers_;
+};
+
+/// Builds the experiment zone served by every honeypot: SOA/NS, and the
+/// wildcard "*.www.<zone>" A records (TTL 3600, as in the paper) resolving
+/// all decoy domains to the honeypot addresses.
+dnssrv::Zone build_experiment_zone(const std::vector<net::Ipv4Addr>& honeypot_addrs);
+
+class HoneypotServer : public sim::DatagramHandler {
+ public:
+  HoneypotServer(std::string location, HoneypotLogbook& logbook, Rng rng);
+
+  /// Attaches to a node and starts all three services. The zone must list
+  /// this (and the sibling) honeypots' addresses.
+  void bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr addr, dnssrv::Zone zone);
+
+  void on_datagram(sim::Network& net, sim::NodeId self,
+                   const net::Ipv4Datagram& dgram) override;
+
+  [[nodiscard]] const std::string& location() const noexcept { return location_; }
+  [[nodiscard]] net::Ipv4Addr addr() const noexcept { return addr_; }
+
+ private:
+  Bytes serve_http(const sim::ConnKey& key, BytesView data);
+  Bytes serve_tls(const sim::ConnKey& key, BytesView data);
+
+  std::string location_;
+  HoneypotLogbook& logbook_;
+  Rng rng_;
+  dnssrv::AuthoritativeServer auth_;
+  std::unique_ptr<sim::TcpStack> tcp_;
+  sim::Network* net_ = nullptr;
+  net::Ipv4Addr addr_;
+};
+
+}  // namespace shadowprobe::core

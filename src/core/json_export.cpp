@@ -1,0 +1,272 @@
+#include "core/json_export.h"
+
+#include "common/strutil.h"
+
+namespace shadowprobe::core {
+
+void JsonWriter::separator() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value directly follows "key":
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::escape_into(std::string_view text) {
+  out_ += '"';
+  for (char c : text) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out_ += strprintf("\\u%04x", c);
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separator();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  ++depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  needs_comma_.pop_back();
+  --depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separator();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  ++depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  needs_comma_.pop_back();
+  --depth_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separator();
+  escape_into(name);
+  out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  separator();
+  escape_into(text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  separator();
+  out_ += strprintf("%.10g", number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  separator();
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separator();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separator();
+  out_ += "null";
+  return *this;
+}
+
+namespace {
+
+void write_cdf(JsonWriter& json, const Cdf& cdf) {
+  json.begin_object();
+  json.key("count").value(static_cast<std::int64_t>(cdf.count()));
+  json.key("quantiles_seconds").begin_object();
+  for (double p : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    json.key(strprintf("p%02d", static_cast<int>(p * 100))).value(cdf.quantile(p));
+  }
+  json.end_object();
+  json.key("at").begin_object();
+  json.key("1min").value(cdf.at(60));
+  json.key("1h").value(cdf.at(3600));
+  json.key("1d").value(cdf.at(86400));
+  json.key("10d").value(cdf.at(10 * 86400.0));
+  json.end_object();
+  json.end_object();
+}
+
+}  // namespace
+
+std::string export_campaign_json(Testbed& bed, const Campaign& campaign) {
+  JsonWriter json;
+  json.begin_object();
+
+  json.key("config").begin_object();
+  json.key("seed").value(static_cast<std::int64_t>(bed.config().topology.seed));
+  json.key("global_vps").value(bed.config().topology.global_vps);
+  json.key("cn_vps").value(bed.config().topology.cn_vps);
+  json.key("web_sites").value(bed.config().topology.web_sites);
+  json.key("total_duration_days")
+      .value(to_seconds(campaign.config().total_duration) / 86400.0);
+  json.end_object();
+
+  const auto& screening = campaign.screening();
+  json.key("screening").begin_object();
+  json.key("candidates").value(screening.candidates);
+  json.key("usable").value(screening.usable);
+  json.key("rejected_residential").value(screening.rejected_residential);
+  json.key("rejected_ttl_mangling").value(screening.rejected_ttl_mangling);
+  json.key("rejected_interception").value(screening.rejected_interception);
+  json.end_object();
+
+  json.key("volume").begin_object();
+  json.key("decoys").value(static_cast<std::int64_t>(campaign.ledger().decoy_count()));
+  json.key("paths").value(static_cast<std::int64_t>(campaign.ledger().paths().size()));
+  json.key("honeypot_hits").value(static_cast<std::int64_t>(bed.logbook().size()));
+  json.key("unsolicited_requests")
+      .value(static_cast<std::int64_t>(campaign.unsolicited().size()));
+  json.end_object();
+
+  auto ratios = path_ratios(campaign.ledger(), campaign.unsolicited());
+  auto resolver_h = top_shadowed_resolvers(ratios, 5);
+  json.key("resolver_h").begin_array();
+  for (const auto& name : resolver_h) json.value(name);
+  json.end_array();
+
+  json.key("path_ratios").begin_array();
+  for (DecoyProtocol protocol :
+       {DecoyProtocol::kDns, DecoyProtocol::kHttp, DecoyProtocol::kTls}) {
+    for (const auto& dest : ratios.destinations_by_ratio(protocol)) {
+      auto total = ratios.total(protocol, dest);
+      auto cn = ratios.group(protocol, dest, true);
+      auto global = ratios.group(protocol, dest, false);
+      json.begin_object();
+      json.key("protocol").value(decoy_protocol_name(protocol));
+      json.key("destination").value(dest);
+      json.key("paths").value(total.paths);
+      json.key("problematic").value(total.problematic);
+      json.key("ratio").value(total.ratio());
+      json.key("cn_ratio").value(cn.ratio());
+      json.key("global_ratio").value(global.ratio());
+      json.end_object();
+    }
+  }
+  json.end_array();
+
+  auto locations = observer_locations(campaign.findings());
+  json.key("observer_locations").begin_object();
+  for (const auto& [protocol, shares] : locations.shares) {
+    json.key(decoy_protocol_name(protocol)).begin_array();
+    for (int hop = 1; hop <= 10; ++hop) json.value(shares.count(hop) ? shares.at(hop) : 0.0);
+    json.end_array();
+  }
+  json.end_object();
+
+  auto ases = observer_ases(campaign.findings(), bed.topology().geo());
+  json.key("observer_ases").begin_object();
+  json.key("total_observer_ips").value(ases.total_observer_ips);
+  json.key("cn_share").value(ases.observer_countries.share("CN"));
+  for (const auto& [protocol, rows] : ases.rows) {
+    json.key(decoy_protocol_name(protocol)).begin_array();
+    std::size_t printed = 0;
+    for (const auto& row : rows) {
+      json.begin_object();
+      json.key("asn").value(static_cast<std::int64_t>(row.asn));
+      json.key("name").value(row.as_name);
+      json.key("country").value(row.country);
+      json.key("observer_ips").value(row.observer_ips);
+      json.key("share").value(row.share);
+      json.end_object();
+      if (++printed == 5) break;
+    }
+    json.end_array();
+  }
+  json.end_object();
+
+  auto dns_cdfs = interval_cdf_by_resolver(campaign.ledger(), campaign.unsolicited(),
+                                           resolver_h);
+  json.key("interval_cdf_dns").begin_object();
+  for (const auto& [name, cdf] : dns_cdfs) {
+    json.key(name);
+    write_cdf(json, cdf);
+  }
+  json.end_object();
+
+  auto web_cdfs = interval_cdf_by_protocol(campaign.unsolicited());
+  json.key("interval_cdf_web").begin_object();
+  for (const auto& [protocol, cdf] : web_cdfs) {
+    json.key(decoy_protocol_name(protocol));
+    write_cdf(json, cdf);
+  }
+  json.end_object();
+
+  auto combos = protocol_combos(campaign.ledger(), campaign.unsolicited());
+  json.key("decoy_outcomes").begin_object();
+  for (const auto& [dest, shares] : combos.shares) {
+    json.key(dest).begin_object();
+    for (const auto& [outcome, share] : shares) {
+      json.key(decoy_outcome_name(outcome)).value(share);
+    }
+    json.end_object();
+  }
+  json.end_object();
+
+  auto retention = retention_stats(campaign.ledger(), campaign.unsolicited(), resolver_h,
+                                   resolver_h.empty() ? "Yandex" : resolver_h.front());
+  json.key("retention").begin_object();
+  json.key("over3_after_1h").value(retention.over3_after_1h);
+  json.key("over10_after_1h").value(retention.over10_after_1h);
+  json.key("web_after_10d").value(retention.web_after_10d);
+  json.key("considered_decoys").value(retention.considered_decoys);
+  json.end_object();
+
+  auto incentives = incentive_stats(campaign.unsolicited(), bed.signatures(),
+                                    bed.blocklist());
+  json.key("incentives").begin_object();
+  json.key("http_requests").value(incentives.http_requests);
+  json.key("exploits_found").value(incentives.exploits_found);
+  json.key("payload_classes").begin_object();
+  for (const auto& [cls, share] : incentives.payload_shares) {
+    json.key(intel::payload_class_name(cls)).value(share);
+  }
+  json.end_object();
+  json.key("blocklist_rates").begin_object();
+  json.key("dns_decoy_http").value(incentives.dns_decoy_http_origin_blocklisted);
+  json.key("dns_decoy_https").value(incentives.dns_decoy_https_origin_blocklisted);
+  json.key("web_decoy_http").value(incentives.web_decoy_http_origin_blocklisted);
+  json.key("web_decoy_https").value(incentives.web_decoy_https_origin_blocklisted);
+  json.end_object();
+  json.end_object();
+
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,48 @@
+#include "core/ledger.h"
+
+namespace shadowprobe::core {
+
+std::uint32_t DecoyLedger::add_path(PathRecord path) {
+  path.path_id = static_cast<std::uint32_t>(paths_.size());
+  paths_.push_back(std::move(path));
+  return paths_.back().path_id;
+}
+
+DecoyRecord& DecoyLedger::create(std::uint32_t path_id, SimTime now, net::Ipv4Addr vp_addr,
+                                 net::Ipv4Addr dst_addr, DecoyProtocol protocol,
+                                 std::uint8_t ttl, bool phase2) {
+  DecoyRecord record;
+  record.id.seq = static_cast<std::uint32_t>(decoys_.size());
+  record.id.time_sec = static_cast<std::uint32_t>(now / kSecond);
+  record.id.vp = vp_addr;
+  record.id.dst = dst_addr;
+  record.id.ttl = ttl;
+  record.id.protocol = protocol;
+  record.domain = decoy_domain(record.id);
+  record.sent = now;
+  record.path_id = path_id;
+  record.phase2 = phase2;
+  decoys_.push_back(std::move(record));
+  return decoys_.back();
+}
+
+DecoyRecord* DecoyLedger::by_seq(std::uint32_t seq) {
+  if (seq >= decoys_.size()) return nullptr;
+  return &decoys_[seq];
+}
+
+const DecoyRecord* DecoyLedger::by_seq(std::uint32_t seq) const {
+  if (seq >= decoys_.size()) return nullptr;
+  return &decoys_[seq];
+}
+
+void DecoyLedger::mark_response(std::uint32_t seq, SimTime when) {
+  if (DecoyRecord* record = by_seq(seq)) {
+    if (!record->dest_responded) {
+      record->dest_responded = true;
+      record->response_time = when;
+    }
+  }
+}
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,73 @@
+// Decoy ledger: the campaign's ground record of what was sent where.
+//
+// Every decoy emission (Phase I and every Phase II TTL variant) gets a
+// ledger entry keyed by its sequence number — the number embedded in the
+// decoy identifier — so any honeypot hit whose identifier decodes is
+// attributable to the exact emission. The ledger also maintains the path
+// table: one row per (VP, destination) pair, the unit over which Figure 3's
+// "ratio of problematic paths" is computed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "core/decoy.h"
+#include "topo/topology.h"
+
+namespace shadowprobe::core {
+
+/// What kind of destination a path points at.
+enum class DestKind { kPublicResolver, kSelfBuilt, kRoot, kTld, kWebSite };
+
+struct PathRecord {
+  std::uint32_t path_id = 0;
+  const topo::VantagePoint* vp = nullptr;
+  DestKind dest_kind = DestKind::kPublicResolver;
+  std::string dest_name;     // resolver name or site domain
+  net::Ipv4Addr dest_addr;
+  std::string dest_country;  // operator/hosting country of the destination
+  DecoyProtocol protocol = DecoyProtocol::kDns;
+};
+
+struct DecoyRecord {
+  DecoyId id;                // id.seq is the ledger key
+  net::DnsName domain;
+  SimTime sent = 0;
+  std::uint32_t path_id = 0;
+  bool phase2 = false;       // TTL-sweep variant
+  // Filled in as responses arrive at the VP:
+  bool dest_responded = false;
+  SimTime response_time = 0;
+};
+
+class DecoyLedger {
+ public:
+  /// Registers a path; returns its id (idempotent per (vp,dest,protocol)).
+  std::uint32_t add_path(PathRecord path);
+
+  /// Creates a decoy record; allocates the sequence number and builds the
+  /// identifier/domain. The returned record is stable until the next add.
+  DecoyRecord& create(std::uint32_t path_id, SimTime now, net::Ipv4Addr vp_addr,
+                      net::Ipv4Addr dst_addr, DecoyProtocol protocol, std::uint8_t ttl,
+                      bool phase2);
+
+  [[nodiscard]] DecoyRecord* by_seq(std::uint32_t seq);
+  [[nodiscard]] const DecoyRecord* by_seq(std::uint32_t seq) const;
+  [[nodiscard]] const PathRecord& path(std::uint32_t path_id) const {
+    return paths_.at(path_id);
+  }
+  [[nodiscard]] const std::vector<PathRecord>& paths() const noexcept { return paths_; }
+  [[nodiscard]] const std::vector<DecoyRecord>& decoys() const noexcept { return decoys_; }
+  [[nodiscard]] std::size_t decoy_count() const noexcept { return decoys_.size(); }
+
+  void mark_response(std::uint32_t seq, SimTime when);
+
+ private:
+  std::vector<PathRecord> paths_;
+  std::vector<DecoyRecord> decoys_;  // index == seq
+};
+
+}  // namespace shadowprobe::core

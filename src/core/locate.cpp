@@ -1,0 +1,70 @@
+#include "core/locate.h"
+
+#include <algorithm>
+
+namespace shadowprobe::core {
+
+int normalize_hop(int trigger_ttl, int dest_ttl) {
+  if (dest_ttl <= 0) return 10;
+  if (trigger_ttl >= dest_ttl) return 10;
+  int normalized = static_cast<int>((static_cast<double>(trigger_ttl) * 10.0 +
+                                     static_cast<double>(dest_ttl) - 1) /
+                                    static_cast<double>(dest_ttl));
+  return std::clamp(normalized, 1, 9);
+}
+
+std::vector<ObserverFinding> ObserverLocator::locate(
+    const std::vector<UnsolicitedRequest>& unsolicited) const {
+  // Smallest triggering TTL per path, over Phase-II decoys only.
+  struct PathState {
+    int min_trigger = 0;       // 0 = none yet
+    std::uint32_t trigger_seq = 0;
+    int dest_ttl = 0;
+    DecoyProtocol protocol = DecoyProtocol::kDns;
+    bool has_phase2 = false;
+  };
+  std::map<std::uint32_t, PathState> paths;
+
+  for (const auto& decoy : ledger_.decoys()) {
+    if (!decoy.phase2) continue;
+    PathState& state = paths[decoy.path_id];
+    state.has_phase2 = true;
+    state.protocol = decoy.id.protocol;
+    if (decoy.dest_responded &&
+        (state.dest_ttl == 0 || decoy.id.ttl < state.dest_ttl)) {
+      state.dest_ttl = decoy.id.ttl;
+    }
+  }
+  for (const auto& request : unsolicited) {
+    const DecoyRecord* record = ledger_.by_seq(request.seq);
+    if (record == nullptr || !record->phase2) continue;
+    PathState& state = paths[record->path_id];
+    if (state.min_trigger == 0 || record->id.ttl < state.min_trigger) {
+      state.min_trigger = record->id.ttl;
+      state.trigger_seq = record->id.seq;
+    }
+  }
+
+  std::vector<ObserverFinding> findings;
+  for (const auto& [path_id, state] : paths) {
+    if (!state.has_phase2 || state.min_trigger == 0 || state.dest_ttl == 0) continue;
+    ObserverFinding finding;
+    finding.path_id = path_id;
+    finding.protocol = state.protocol;
+    finding.min_trigger_ttl = state.min_trigger;
+    finding.dest_ttl = state.dest_ttl;
+    finding.normalized_hop = normalize_hop(state.min_trigger, state.dest_ttl);
+    finding.at_destination = state.min_trigger >= state.dest_ttl;
+    if (!finding.at_destination) {
+      // The decoy that expired exactly at the observer hop revealed the
+      // device address via ICMP (observers need not originate unsolicited
+      // requests themselves, so source addresses cannot reveal them).
+      auto hop = hop_log_.find(state.trigger_seq);
+      if (hop != hop_log_.end()) finding.observer_addr = hop->second;
+    }
+    findings.push_back(finding);
+  }
+  return findings;
+}
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,47 @@
+// Observer locator: Phase II analysis.
+//
+// For every problematic path swept with TTL variants, the smallest initial
+// TTL whose decoy still triggered unsolicited requests is the observer's
+// hop; the ICMP Time-Exceeded source for that variant exposes the observer
+// device's address (Figure 2 of the paper). Hops are normalized to a 1-10
+// scale with 10 = destination (Table 2's axis).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/correlator.h"
+#include "core/ledger.h"
+
+namespace shadowprobe::core {
+
+struct ObserverFinding {
+  std::uint32_t path_id = 0;
+  DecoyProtocol protocol = DecoyProtocol::kDns;
+  int min_trigger_ttl = 0;  // smallest initial TTL that still triggered
+  int dest_ttl = 0;         // path length: smallest TTL reaching the destination
+  int normalized_hop = 10;  // 1..10, 10 = destination
+  bool at_destination = true;
+  std::optional<net::Ipv4Addr> observer_addr;  // ICMP-revealed when on-wire
+};
+
+class ObserverLocator {
+ public:
+  ObserverLocator(const DecoyLedger& ledger,
+                  const std::map<std::uint32_t, net::Ipv4Addr>& hop_log)
+      : ledger_(ledger), hop_log_(hop_log) {}
+
+  /// Produces one finding per problematic path that has Phase-II coverage.
+  [[nodiscard]] std::vector<ObserverFinding> locate(
+      const std::vector<UnsolicitedRequest>& unsolicited) const;
+
+ private:
+  const DecoyLedger& ledger_;
+  const std::map<std::uint32_t, net::Ipv4Addr>& hop_log_;  // seq -> ICMP source
+};
+
+/// Normalizes hop `t` on a path of length `dest_ttl` to the 1-10 scale.
+int normalize_hop(int trigger_ttl, int dest_ttl);
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,80 @@
+#include "core/portscan.h"
+
+namespace shadowprobe::core {
+
+std::uint16_t PortScanSummary::top_open_port() const {
+  std::uint16_t best = 0;
+  int best_count = 0;
+  for (const auto& [port, count] : open_port_counts) {
+    if (count > best_count) {
+      best = port;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+const std::vector<std::uint16_t>& PortScanner::default_ports() {
+  static const std::vector<std::uint16_t> kPorts = {21,  22,  23,  25,   53,   80,  110,
+                                                    143, 179, 443, 3389, 8080};
+  return kPorts;
+}
+
+void PortScanner::bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr addr) {
+  net_ = &net;
+  addr_ = addr;
+  tcp_ = std::make_unique<sim::TcpStack>(net, node, rng_.fork("tcp"));
+  tcp_->set_on_established([this](const sim::ConnKey& key) {
+    verdict(key, PortState::kOpen);
+    tcp_->close(key);
+  });
+  tcp_->set_on_reset([this](const sim::ConnKey& key, bool during_handshake) {
+    if (during_handshake) verdict(key, PortState::kClosed);
+  });
+  net.set_handler(node, this);
+}
+
+void PortScanner::scan(const std::vector<net::Ipv4Addr>& targets,
+                       const std::vector<std::uint16_t>& ports, SimDuration timeout) {
+  for (net::Ipv4Addr target : targets) {
+    std::size_t index = results_.size();
+    PortScanResult result;
+    result.target = target;
+    for (std::uint16_t port : ports) {
+      result.ports[port] = PortState::kFiltered;  // until proven otherwise
+      sim::ConnKey key = tcp_->connect(addr_, target, port);
+      probes_[key] = {index, port};
+      net_->loop().schedule(timeout, [this, key] { probes_.erase(key); });
+    }
+    results_.push_back(std::move(result));
+  }
+}
+
+void PortScanner::on_datagram(sim::Network& net, sim::NodeId self,
+                              const net::Ipv4Datagram& dgram) {
+  (void)net;
+  (void)self;
+  if (dgram.header.protocol == net::IpProto::kTcp) tcp_->on_segment(dgram);
+}
+
+void PortScanner::verdict(const sim::ConnKey& key, PortState state) {
+  auto it = probes_.find(key);
+  if (it == probes_.end()) return;
+  auto [index, port] = it->second;
+  results_[index].ports[port] = state;
+  probes_.erase(it);
+}
+
+PortScanSummary PortScanner::summarize() const {
+  PortScanSummary summary;
+  summary.targets = static_cast<int>(results_.size());
+  for (const auto& result : results_) {
+    if (result.any_open()) ++summary.with_open_ports;
+    for (const auto& [port, state] : result.ports) {
+      if (state == PortState::kOpen) ++summary.open_port_counts[port];
+    }
+  }
+  return summary;
+}
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,27 @@
+// Plain-text table rendering for benches and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shadowprobe::core {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Renders with column alignment and a header rule.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "12.3%" formatting helper.
+std::string percent(double fraction, int decimals = 1);
+
+}  // namespace shadowprobe::core

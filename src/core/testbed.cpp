@@ -1,0 +1,186 @@
+#include "core/testbed.h"
+
+#include "dnssrv/zone.h"
+
+namespace shadowprobe::core {
+
+Testbed::Testbed(const TestbedConfig& config)
+    : config_(config),
+      rng_(config.topology.seed ^ 0x73686477u),  // decorrelate from topology streams
+      signatures_(intel::SignatureDb::standard()) {
+  net_ = std::make_unique<sim::Network>(loop_);
+  topology_ = std::make_unique<topo::Topology>(topo::Topology::build(*net_, config.topology));
+}
+
+std::unique_ptr<Testbed> Testbed::create(const TestbedConfig& config) {
+  std::unique_ptr<Testbed> bed(new Testbed(config));
+  bed->build_honeypots();  // zone addresses are needed by the TLD delegation
+  bed->build_dns_infrastructure();
+  bed->build_web_farm();
+  bed->oblivious_proxy_ = std::make_unique<dnssrv::ObliviousProxy>(
+      bed->fork_rng("oblivious-proxy"));
+  sim::NodeId proxy_node = bed->topology_->add_host_in_as(
+      *bed->net_, 13335, "oblivious-proxy", bed->oblivious_proxy_.get());
+  bed->oblivious_proxy_->bind(*bed->net_, proxy_node, bed->net_->address(proxy_node));
+  return bed;
+}
+
+void Testbed::build_honeypots() {
+  std::vector<net::Ipv4Addr> addrs;
+  for (const auto& pot : topology_->honeypots()) addrs.push_back(pot.addr);
+  for (const auto& pot : topology_->honeypots()) {
+    auto server = std::make_unique<HoneypotServer>(pot.location, logbook_,
+                                                   fork_rng("honeypot-" + pot.location));
+    server->bind(*net_, pot.node, pot.addr, build_experiment_zone(addrs));
+    honeypot_servers_.push_back(std::move(server));
+  }
+}
+
+void Testbed::build_dns_infrastructure() {
+  using net::DnsName;
+  using net::DnsRecord;
+
+  const DnsName com = DnsName::must_parse("com");
+  const DnsName org = DnsName::must_parse("org");
+  net::Ipv4Addr com_addr;
+  net::Ipv4Addr org_addr;
+  for (const auto& target : topology_->dns_target_hosts()) {
+    if (target.info.name == ".com") com_addr = target.addr;
+    if (target.info.name == ".org") org_addr = target.addr;
+    if (target.info.kind == topo::DnsTargetKind::kRoot) roots_.push_back(target.addr);
+  }
+
+  // Root zone: delegations for the two TLDs we operate.
+  auto make_root_zone = [&] {
+    dnssrv::Zone root(DnsName{});
+    net::SoaData soa;
+    soa.mname = DnsName::must_parse("a.root-servers.net");
+    soa.rname = DnsName::must_parse("nstld.verisign-grs.com");
+    root.add(DnsRecord::soa(DnsName{}, soa, 86400));
+    root.add(DnsRecord::ns(com, DnsName::must_parse("a.gtld-servers.net"), 172800));
+    root.add(DnsRecord::a(DnsName::must_parse("a.gtld-servers.net"), com_addr, 172800));
+    root.add(DnsRecord::ns(org, DnsName::must_parse("a0.org.afilias-nst.info"), 172800));
+    root.add(DnsRecord::a(DnsName::must_parse("a0.org.afilias-nst.info"), org_addr, 172800));
+    return root;
+  };
+
+  // .com zone: the delegation of the experiment zone to the honeypots.
+  auto make_com_zone = [&] {
+    dnssrv::Zone zone(com);
+    net::SoaData soa;
+    soa.mname = DnsName::must_parse("a.gtld-servers.net");
+    soa.rname = DnsName::must_parse("nstld.com");
+    zone.add(DnsRecord::soa(com, soa, 900));
+    const DnsName exp = experiment_zone();
+    for (std::size_t i = 0; i < topology_->honeypots().size(); ++i) {
+      DnsName ns = exp.child("ns" + std::to_string(i + 1));
+      zone.add(DnsRecord::ns(exp, ns, 172800));
+      zone.add(DnsRecord::a(ns, topology_->honeypots()[i].addr, 172800));
+    }
+    return zone;
+  };
+
+  auto make_org_zone = [&] {
+    dnssrv::Zone zone(org);
+    net::SoaData soa;
+    soa.mname = DnsName::must_parse("a0.org");
+    soa.rname = DnsName::must_parse("hostmaster.org");
+    zone.add(DnsRecord::soa(org, soa, 900));
+    return zone;
+  };
+
+  for (const auto& target : topology_->dns_target_hosts()) {
+    switch (target.info.kind) {
+      case topo::DnsTargetKind::kRoot: {
+        auto server = std::make_unique<dnssrv::AuthoritativeServer>();
+        server->add_zone(make_root_zone());
+        net_->set_handler(target.node, server.get());
+        auth_servers_.push_back(std::move(server));
+        break;
+      }
+      case topo::DnsTargetKind::kTld: {
+        auto server = std::make_unique<dnssrv::AuthoritativeServer>();
+        server->add_zone(target.info.name == ".com" ? make_com_zone() : make_org_zone());
+        net_->set_handler(target.node, server.get());
+        auth_servers_.push_back(std::move(server));
+        break;
+      }
+      case topo::DnsTargetKind::kPublicResolver:
+      case topo::DnsTargetKind::kSelfBuilt:
+        add_resolver(target.info.name, target.node, target.addr, target.asn);
+        break;
+    }
+  }
+
+  // 114DNS anycast: the US instance is a second, independent resolver
+  // process answering the same service address (case study II).
+  if (const auto* target = topology_->dns_target("114DNS")) {
+    for (const auto& [country, node] : target->anycast_instances) {
+      if (country == "US") add_resolver("114DNS-US", node, target->addr, 21859);
+    }
+  }
+}
+
+void Testbed::add_resolver(const std::string& name, sim::NodeId node, net::Ipv4Addr service,
+                           std::uint32_t asn) {
+  auto resolver = std::make_unique<dnssrv::RecursiveResolver>(name, roots_,
+                                                              fork_rng("resolver-" + name));
+  dnssrv::ResolverQuirks quirks;
+  quirks.requery_probability = config_.resolver_requery_probability;
+  quirks.requery_delay_mean = config_.resolver_requery_delay;
+  quirks.refresh_on_expiry = config_.resolver_refresh_on_expiry;
+  // Implementation choices differ per operator: our own control resolver is
+  // clean by construction (the paper finds zero unsolicited requests on its
+  // paths), and 114DNS's US edge barely re-queries — which is what keeps
+  // its problematic-path ratio CN-only (case study II).
+  if (name == "self-built") {
+    quirks.requery_probability = 0.0;
+  } else if (name == "114DNS-US") {
+    quirks.requery_probability = 0.02;
+  } else {
+    // Spread rates deterministically per operator instead of one uniform
+    // knob: repetition behaviour in the wild varies widely.
+    double jitter = static_cast<double>(fnv1a(name) % 1000) / 1000.0;  // [0,1)
+    quirks.requery_probability *= 0.5 + jitter;
+  }
+  resolver->set_quirks(quirks);
+
+  // Split service/egress addresses: upstream queries originate from a
+  // unicast egress in the operator's prefix (required for anycast instances,
+  // realistic for all).
+  net::Ipv4Addr primary = net_->address(node);
+  net::Ipv4Addr egress;
+  if (primary == service) {
+    egress = net::Ipv4Addr(service.value() + 9);
+    net_->add_address(node, egress);
+  } else {
+    egress = primary;  // anycast instance: unicast identity is the egress
+  }
+  if (const auto* as = topology_->as_by_number(asn)) {
+    net_->routes(as->access).add(net::Prefix(egress, 32), node);
+  }
+  resolver->bind(*net_, node, service, egress);
+  resolvers_[name] = std::move(resolver);
+  resolver_names_.push_back(name);
+}
+
+void Testbed::build_web_farm() {
+  for (const auto& site : topology_->web_sites()) {
+    auto server = std::make_unique<WebSiteServer>(site.domain,
+                                                  fork_rng("web-" + site.domain));
+    server->bind(*net_, site.node, site.addr);
+    web_servers_[site.rank] = std::move(server);
+  }
+}
+
+dnssrv::RecursiveResolver* Testbed::resolver(const std::string& name) {
+  auto it = resolvers_.find(name);
+  return it == resolvers_.end() ? nullptr : it->second.get();
+}
+
+WebSiteServer* Testbed::web_server(int rank) {
+  auto it = web_servers_.find(rank);
+  return it == web_servers_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace shadowprobe::core

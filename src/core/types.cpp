@@ -1,0 +1,37 @@
+#include "core/types.h"
+
+namespace shadowprobe::core {
+
+std::string decoy_protocol_name(DecoyProtocol p) {
+  switch (p) {
+    case DecoyProtocol::kDns: return "DNS";
+    case DecoyProtocol::kHttp: return "HTTP";
+    case DecoyProtocol::kTls: return "TLS";
+  }
+  return "?";
+}
+
+std::string request_protocol_name(RequestProtocol p) {
+  switch (p) {
+    case RequestProtocol::kDns: return "DNS";
+    case RequestProtocol::kHttp: return "HTTP";
+    case RequestProtocol::kHttps: return "HTTPS";
+  }
+  return "?";
+}
+
+std::string combo_label(DecoyProtocol decoy, RequestProtocol request) {
+  return decoy_protocol_name(decoy) + "-" + request_protocol_name(request);
+}
+
+const net::DnsName& experiment_zone() {
+  static const net::DnsName kZone = net::DnsName::must_parse("shadowprobe-exp.com");
+  return kZone;
+}
+
+const net::DnsName& experiment_suffix() {
+  static const net::DnsName kSuffix = experiment_zone().child("www");
+  return kSuffix;
+}
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,31 @@
+// Shared vocabulary of the measurement pipeline.
+#pragma once
+
+#include <string>
+
+#include "net/dns.h"
+
+namespace shadowprobe::core {
+
+/// Protocol a decoy is sent over (the "Decoy" half of the paper's
+/// Decoy-Request labels).
+enum class DecoyProtocol : std::uint8_t { kDns = 0, kHttp = 1, kTls = 2 };
+
+/// Protocol an incoming honeypot request arrives over (the "Request" half).
+/// HTTPS is TLS-to-port-443 on the honeypot, matching the paper's labels.
+enum class RequestProtocol : std::uint8_t { kDns = 0, kHttp = 1, kHttps = 2 };
+
+std::string decoy_protocol_name(DecoyProtocol p);
+std::string request_protocol_name(RequestProtocol p);
+
+/// "DNS-HTTP"-style combination label.
+std::string combo_label(DecoyProtocol decoy, RequestProtocol request);
+
+/// The experiment zone registered exclusively for the campaign. Decoy
+/// domains are "<identifier>.www.<zone>"; a wildcard resolves them to the
+/// honeypots.
+const net::DnsName& experiment_zone();
+/// "www.<zone>" — the suffix every decoy domain hangs under.
+const net::DnsName& experiment_suffix();
+
+}  // namespace shadowprobe::core

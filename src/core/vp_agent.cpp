@@ -1,0 +1,268 @@
+#include "core/vp_agent.h"
+
+#include "dnssrv/oblivious.h"
+#include "dnssrv/resolver.h"
+#include "net/dns.h"
+#include "net/http.h"
+#include "net/icmp.h"
+#include "net/udp.h"
+#include "sim/udp_util.h"
+
+namespace shadowprobe::core {
+
+namespace {
+
+constexpr std::uint16_t kCanaryPort = 7777;
+
+Bytes http_decoy_payload(const net::DnsName& domain) {
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = "/";
+  request.headers.add("Host", domain.str());
+  request.headers.add("User-Agent", "shadowprobe-measurement/1.0");
+  request.headers.add("Accept", "*/*");
+  return request.encode();
+}
+
+Bytes tls_decoy_payload(const net::DnsName& domain, Rng& rng, bool use_ech) {
+  net::TlsClientHello hello;
+  for (auto& b : hello.random) b = static_cast<std::uint8_t>(rng.bits());
+  hello.cipher_suites = {0x1301, 0x1302, 0x1303, 0xC02B, 0xC02F};
+  if (use_ech) {
+    // The true name rides encrypted; on-path parties see only the shared
+    // provider front (TLS 1.3 ECH, the paper's Section 6 recommendation).
+    hello.set_ech(domain.str(), "public.ech-shield.example");
+  } else {
+    hello.set_sni(domain.str());
+  }
+  hello.set_supported_versions({0x0304, 0x0303});
+  hello.set_alpn({"h2", "http/1.1"});
+  return hello.encode_record();
+}
+
+}  // namespace
+
+VpAgent::VpAgent(const topo::VantagePoint& vp, Rng rng, Hooks hooks)
+    : vp_(vp), rng_(rng), hooks_(std::move(hooks)) {}
+
+void VpAgent::bind(sim::Network& net) {
+  net_ = &net;
+  tcp_ = std::make_unique<sim::TcpStack>(net, vp_.node, rng_.fork("tcp"));
+  tcp_->set_on_established([this](const sim::ConnKey& key) {
+    auto it = conn_to_seq_.find(key);
+    if (it == conn_to_seq_.end()) return;
+    auto payload = conn_payload_.find(key);
+    if (payload == conn_payload_.end()) return;
+    tcp_->send_data(key, BytesView(payload->second));
+  });
+  tcp_->set_on_data([this](const sim::ConnKey& key, BytesView) {
+    auto it = conn_to_seq_.find(key);
+    if (it == conn_to_seq_.end()) return;
+    if (hooks_.on_dest_response) hooks_.on_dest_response(it->second, net_->now());
+    std::uint32_t seq = it->second;
+    (void)seq;
+    conn_to_seq_.erase(it);
+    conn_payload_.erase(key);
+    tcp_->close(key);
+  });
+  tcp_->set_on_reset([this](const sim::ConnKey& key, bool) {
+    conn_to_seq_.erase(key);
+    conn_payload_.erase(key);
+  });
+  net.set_handler(vp_.node, this);
+}
+
+std::uint16_t VpAgent::next_ip_id(std::uint32_t seq) {
+  std::uint16_t id = next_ipid_++;
+  if (next_ipid_ == 0) next_ipid_ = 1;
+  ipid_to_seq_[id] = seq;
+  return id;
+}
+
+void VpAgent::send_dns_decoy(const DecoyRecord& record) {
+  std::uint16_t qid = next_qid_++;
+  if (next_qid_ == 0) next_qid_ = 1;
+  qid_to_seq_[qid] = record.id.seq;
+  net::DnsMessage query = net::DnsMessage::query(qid, record.domain, net::DnsType::kA);
+  Bytes wire = query.encode();
+  switch (dns_transport_) {
+    case DnsDecoyTransport::kPlain:
+      sim::send_udp(*net_, vp_.node, vp_.addr, record.id.dst, 30000, 53, BytesView(wire),
+                    effective_ttl(record.id.ttl), next_ip_id(record.id.seq));
+      break;
+    case DnsDecoyTransport::kEncrypted: {
+      Bytes sealed = net::tls_opaque_record(BytesView(wire));
+      sim::send_udp(*net_, vp_.node, vp_.addr, record.id.dst, 30000,
+                    dnssrv::kEncryptedDnsPort, BytesView(sealed),
+                    effective_ttl(record.id.ttl), next_ip_id(record.id.seq));
+      break;
+    }
+    case DnsDecoyTransport::kOblivious: {
+      Bytes envelope = dnssrv::oblivious_envelope(record.id.dst, BytesView(wire));
+      sim::send_udp(*net_, vp_.node, vp_.addr, oblivious_proxy_, 30000,
+                    dnssrv::kObliviousPort, BytesView(envelope),
+                    effective_ttl(record.id.ttl), next_ip_id(record.id.seq));
+      break;
+    }
+  }
+}
+
+void VpAgent::send_http_decoy(const DecoyRecord& record) {
+  sim::ConnKey key = tcp_->connect(vp_.addr, record.id.dst, 80, effective_ttl(record.id.ttl));
+  conn_to_seq_[key] = record.id.seq;
+  conn_payload_[key] = http_decoy_payload(record.domain);
+}
+
+void VpAgent::send_tls_decoy(const DecoyRecord& record) {
+  sim::ConnKey key = tcp_->connect(vp_.addr, record.id.dst, 443,
+                                   effective_ttl(record.id.ttl));
+  conn_to_seq_[key] = record.id.seq;
+  conn_payload_[key] = tls_decoy_payload(record.domain, rng_, tls_ech_);
+}
+
+void VpAgent::send_raw_decoy(const DecoyRecord& record) {
+  // No handshake: a lone PSH|ACK data segment carries the decoy payload so
+  // on-wire observers can read it; the destination answers with RST, which
+  // doubles as the "decoy reached destination" signal.
+  std::uint16_t local_port = next_rawport_++;
+  if (next_rawport_ < 20000) next_rawport_ = 20000;
+  rawport_to_seq_[local_port] = record.id.seq;
+  net::TcpSegment segment;
+  segment.src_port = local_port;
+  segment.dst_port = record.id.protocol == DecoyProtocol::kTls ? 443 : 80;
+  segment.seq = static_cast<std::uint32_t>(rng_.bits());
+  segment.ack = static_cast<std::uint32_t>(rng_.bits());
+  segment.flags = {.ack = true, .psh = true};
+  segment.payload = record.id.protocol == DecoyProtocol::kTls
+                        ? tls_decoy_payload(record.domain, rng_, tls_ech_)
+                        : http_decoy_payload(record.domain);
+  net::Ipv4Header header;
+  header.src = vp_.addr;
+  header.dst = record.id.dst;
+  header.ttl = effective_ttl(record.id.ttl);
+  header.protocol = net::IpProto::kTcp;
+  header.identification = next_ip_id(record.id.seq);
+  net_->send(vp_.node, header, segment.encode(vp_.addr, record.id.dst));
+}
+
+void VpAgent::send_pair_probe(net::Ipv4Addr pair_addr) {
+  std::uint16_t qid = next_qid_++;
+  if (next_qid_ == 0) next_qid_ = 1;
+  pair_probes_[qid] = pair_addr;
+  // A neutral name outside the decoy namespace; interceptors answer it,
+  // real (non-)services do not.
+  net::DnsName name = experiment_zone().child("check").child("pair-" + vp_.id);
+  net::DnsMessage query = net::DnsMessage::query(qid, name, net::DnsType::kA);
+  Bytes wire = query.encode();
+  sim::send_udp(*net_, vp_.node, vp_.addr, pair_addr, 30001, 53, BytesView(wire),
+                effective_ttl(64));
+}
+
+void VpAgent::send_ttl_canary(net::Ipv4Addr control_server, std::uint8_t initial_ttl,
+                              std::uint32_t token) {
+  ByteWriter w(10);
+  w.raw("canary");
+  w.u32(token);
+  sim::send_udp(*net_, vp_.node, vp_.addr, control_server, 30002, kCanaryPort,
+                BytesView(w.bytes()), effective_ttl(initial_ttl));
+}
+
+void VpAgent::on_datagram(sim::Network& net, sim::NodeId self,
+                          const net::Ipv4Datagram& dgram) {
+  (void)net;
+  (void)self;
+  switch (dgram.header.protocol) {
+    case net::IpProto::kIcmp:
+      handle_icmp(dgram);
+      break;
+    case net::IpProto::kUdp:
+      handle_udp(dgram);
+      break;
+    case net::IpProto::kTcp:
+      handle_tcp(dgram);
+      break;
+  }
+}
+
+void VpAgent::handle_icmp(const net::Ipv4Datagram& dgram) {
+  auto icmp = net::IcmpMessage::decode(BytesView(dgram.payload));
+  if (!icmp.ok() || icmp.value().type != net::IcmpType::kTimeExceeded) return;
+  auto quoted = icmp.value().quoted_datagram();
+  if (!quoted.ok()) return;
+  auto it = ipid_to_seq_.find(quoted.value().header.identification);
+  if (it == ipid_to_seq_.end()) return;
+  if (hooks_.on_hop) hooks_.on_hop(it->second, dgram.header.src, net_->now());
+}
+
+void VpAgent::handle_udp(const net::Ipv4Datagram& dgram) {
+  auto udp = net::UdpDatagram::decode(BytesView(dgram.payload), dgram.header.src,
+                                      dgram.header.dst);
+  if (!udp.ok()) return;
+  Bytes opened;
+  BytesView dns_bytes;
+  if (udp.value().src_port == 53) {
+    dns_bytes = BytesView(udp.value().payload);
+  } else if (udp.value().src_port == dnssrv::kEncryptedDnsPort ||
+             udp.value().src_port == dnssrv::kObliviousPort) {
+    auto inner = net::tls_opaque_unwrap(BytesView(udp.value().payload));
+    if (!inner.ok()) return;
+    opened = std::move(inner).take();
+    dns_bytes = BytesView(opened);
+  } else {
+    return;
+  }
+  auto dns = net::DnsMessage::decode(dns_bytes);
+  if (!dns.ok() || !dns.value().header.qr) return;
+  std::uint16_t qid = dns.value().header.id;
+  if (auto pair = pair_probes_.find(qid); pair != pair_probes_.end()) {
+    // A response from an address that offers no DNS service: interception.
+    net::Ipv4Addr pair_addr = pair->second;
+    pair_probes_.erase(pair);
+    if (hooks_.on_interception) hooks_.on_interception(vp_, pair_addr);
+    return;
+  }
+  auto it = qid_to_seq_.find(qid);
+  if (it == qid_to_seq_.end()) return;
+  if (hooks_.on_dest_response) hooks_.on_dest_response(it->second, net_->now());
+  // Keep the mapping: interceptors may deliver a second (real) response,
+  // and Phase II variants reuse response arrival as the path-length signal.
+}
+
+void VpAgent::handle_tcp(const net::Ipv4Datagram& dgram) {
+  // Raw-probe RSTs: segments addressed to one of our raw source ports are
+  // consumed here; everything else belongs to the handshake stack.
+  auto seg = net::TcpSegment::decode(BytesView(dgram.payload), dgram.header.src,
+                                     dgram.header.dst);
+  if (seg.ok()) {
+    auto it = rawport_to_seq_.find(seg.value().dst_port);
+    if (it != rawport_to_seq_.end()) {
+      if (seg.value().flags.rst && hooks_.on_dest_response) {
+        hooks_.on_dest_response(it->second, net_->now());
+      }
+      return;
+    }
+  }
+  tcp_->on_segment(dgram);
+}
+
+void ControlServer::on_datagram(sim::Network& net, sim::NodeId self,
+                                const net::Ipv4Datagram& dgram) {
+  (void)net;
+  (void)self;
+  if (dgram.header.protocol != net::IpProto::kUdp) return;
+  auto udp = net::UdpDatagram::decode(BytesView(dgram.payload), dgram.header.src,
+                                      dgram.header.dst);
+  if (!udp.ok() || udp.value().dst_port != kCanaryPort) return;
+  ByteReader r{BytesView(udp.value().payload)};
+  if (r.str(6) != "canary") return;
+  std::uint32_t token = r.u32();
+  if (!r.ok()) return;
+  arrivals_[{dgram.header.src, token}] = dgram.header.ttl;
+}
+
+int ControlServer::arrival_ttl(net::Ipv4Addr vp, std::uint32_t token) const {
+  auto it = arrivals_.find({vp, token});
+  return it == arrivals_.end() ? -1 : static_cast<int>(it->second);
+}
+
+}  // namespace shadowprobe::core

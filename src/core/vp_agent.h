@@ -1,0 +1,131 @@
+// Vantage-point agent: the measurement client running "behind" one VPN VP.
+//
+// Emits the three decoy types with controllable initial TTL (the Phase-II
+// instrument), performs the platform-screening probes (pair-resolver
+// interception check, TTL-canary check), and reports what comes back:
+// destination responses, ICMP Time-Exceeded hops, and interception hits.
+//
+// Providers that mangle outgoing TTLs are modeled here: when the underlying
+// VP's provider resets TTLs, every packet leaves with TTL 64 regardless of
+// what the scheduler asked for — precisely the defect the canary screen
+// must catch (Appendix E).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/rng.h"
+#include "core/ledger.h"
+#include "net/tls.h"
+#include "sim/network.h"
+#include "sim/tcp_stack.h"
+#include "topo/topology.h"
+
+namespace shadowprobe::core {
+
+/// How DNS decoys travel to their destination resolver (the paper's
+/// Section 6 mitigation spectrum).
+enum class DnsDecoyTransport {
+  kPlain,      // classic UDP/53, QNAME in the clear
+  kEncrypted,  // DoT/DoH-style opaque session to port 853
+  kOblivious,  // ODoH-style: sealed envelope via an oblivious proxy
+};
+
+class VpAgent : public sim::DatagramHandler {
+ public:
+  struct Hooks {
+    /// Destination answered decoy `seq` (DNS response / HTTP response / TLS
+    /// ServerHello / TCP RST to a raw probe).
+    std::function<void(std::uint32_t seq, SimTime when)> on_dest_response;
+    /// ICMP Time-Exceeded for decoy `seq` from `hop_addr`.
+    std::function<void(std::uint32_t seq, net::Ipv4Addr hop_addr, SimTime when)> on_hop;
+    /// A pair-resolver probe was answered: DNS interception on this VP.
+    std::function<void(const topo::VantagePoint& vp, net::Ipv4Addr pair_addr)>
+        on_interception;
+  };
+
+  VpAgent(const topo::VantagePoint& vp, Rng rng, Hooks hooks);
+
+  void bind(sim::Network& net);
+
+  /// Mitigation options (defaults reproduce the paper's plain-text decoys).
+  void set_dns_transport(DnsDecoyTransport transport, net::Ipv4Addr oblivious_proxy = {}) {
+    dns_transport_ = transport;
+    oblivious_proxy_ = oblivious_proxy;
+  }
+  void set_tls_ech(bool use_ech) noexcept { tls_ech_ = use_ech; }
+
+  // -- decoys ----------------------------------------------------------------
+
+  /// UDP DNS query for the decoy domain (Phase I and Phase II).
+  void send_dns_decoy(const DecoyRecord& record);
+  /// TCP handshake, then GET with the decoy domain as Host (Phase I).
+  void send_http_decoy(const DecoyRecord& record);
+  /// TCP handshake, then ClientHello with the decoy domain as SNI (Phase I).
+  void send_tls_decoy(const DecoyRecord& record);
+  /// Handshake-less data segment carrying the HTTP GET / ClientHello
+  /// (Phase II traceroute — the paper skips handshakes there to avoid
+  /// holding destination connections open across the TTL sweep).
+  void send_raw_decoy(const DecoyRecord& record);
+
+  // -- screening probes --------------------------------------------------------
+
+  /// Queries the non-serving sibling address of a resolver ("pair
+  /// resolver"); any answer flags on-path DNS interception.
+  void send_pair_probe(net::Ipv4Addr pair_addr);
+  /// Emits a canary datagram with the requested initial TTL towards the
+  /// control server; the server-side TTL arithmetic exposes providers that
+  /// rewrite TTLs.
+  void send_ttl_canary(net::Ipv4Addr control_server, std::uint8_t initial_ttl,
+                       std::uint32_t token);
+
+  void on_datagram(sim::Network& net, sim::NodeId self,
+                   const net::Ipv4Datagram& dgram) override;
+
+  [[nodiscard]] const topo::VantagePoint& vp() const noexcept { return vp_; }
+
+ private:
+  std::uint8_t effective_ttl(std::uint8_t requested) const noexcept {
+    return vp_.resets_ttl ? 64 : requested;
+  }
+  std::uint16_t next_ip_id(std::uint32_t seq);
+  void handle_icmp(const net::Ipv4Datagram& dgram);
+  void handle_udp(const net::Ipv4Datagram& dgram);
+  void handle_tcp(const net::Ipv4Datagram& dgram);
+
+  const topo::VantagePoint& vp_;
+  Rng rng_;
+  Hooks hooks_;
+  sim::Network* net_ = nullptr;
+  std::unique_ptr<sim::TcpStack> tcp_;
+
+  std::map<std::uint16_t, std::uint32_t> qid_to_seq_;    // DNS decoys in flight
+  std::map<std::uint16_t, std::uint32_t> ipid_to_seq_;   // ICMP correlation
+  std::map<std::uint16_t, std::uint32_t> rawport_to_seq_;  // raw TCP decoys
+  std::map<sim::ConnKey, std::uint32_t> conn_to_seq_;    // handshake decoys
+  std::map<sim::ConnKey, Bytes> conn_payload_;           // payload queued on connect
+  std::map<std::uint16_t, net::Ipv4Addr> pair_probes_;   // qid -> pair addr
+  std::uint16_t next_qid_ = 1;
+  std::uint16_t next_ipid_ = 1;
+  std::uint16_t next_rawport_ = 20000;
+  DnsDecoyTransport dns_transport_ = DnsDecoyTransport::kPlain;
+  net::Ipv4Addr oblivious_proxy_;
+  bool tls_ech_ = false;
+};
+
+/// Control server for the TTL-canary screen: records the arrival TTL of
+/// every canary datagram, keyed by (VP address, token).
+class ControlServer : public sim::DatagramHandler {
+ public:
+  void on_datagram(sim::Network& net, sim::NodeId self,
+                   const net::Ipv4Datagram& dgram) override;
+
+  /// Arrival TTL for (vp, token); -1 if the canary never arrived.
+  [[nodiscard]] int arrival_ttl(net::Ipv4Addr vp, std::uint32_t token) const;
+
+ private:
+  std::map<std::pair<net::Ipv4Addr, std::uint32_t>, std::uint8_t> arrivals_;
+};
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,75 @@
+#include "core/web_server.h"
+
+#include "common/strutil.h"
+#include "net/http.h"
+#include "net/tls.h"
+
+namespace shadowprobe::core {
+
+WebSiteServer::WebSiteServer(std::string domain, Rng rng)
+    : domain_(std::move(domain)), rng_(rng) {}
+
+void WebSiteServer::bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr addr) {
+  (void)addr;
+  tcp_ = std::make_unique<sim::TcpStack>(net, node, rng_.fork("tcp"));
+  tcp_->listen(80, [this](const sim::ConnKey& key, BytesView data) {
+    return serve_http(key, data);
+  });
+  tcp_->listen(443, [this](const sim::ConnKey& key, BytesView data) {
+    return serve_tls(key, data);
+  });
+  net.set_handler(node, this);
+}
+
+void WebSiteServer::on_datagram(sim::Network& net, sim::NodeId self,
+                                const net::Ipv4Datagram& dgram) {
+  (void)net;
+  (void)self;
+  if (dgram.header.protocol == net::IpProto::kTcp) tcp_->on_segment(dgram);
+}
+
+Bytes WebSiteServer::serve_http(const sim::ConnKey& key, BytesView data) {
+  auto request = net::HttpRequest::decode(data);
+  if (!request.ok()) return {};
+  ++http_requests_;
+  const net::HttpRequest& req = request.value();
+  if (host_observer_) {
+    if (auto name = net::DnsName::parse(req.host())) host_observer_(key.remote_addr, *name);
+  }
+  net::HttpResponse response;
+  // A decoy's Host header never matches this site (the paper notes this
+  // mismatch explicitly); big sites typically answer such requests with a
+  // default page or a 404 — either way the transaction completes.
+  if (iequals(req.host(), domain_)) {
+    response.status = 200;
+    response.reason = "OK";
+    response.headers.add("Content-Type", "text/html");
+    response.body = to_bytes("<html><body><h1>" + domain_ + "</h1></body></html>");
+  } else {
+    response.status = 404;
+    response.reason = "Not Found";
+    response.headers.add("Content-Type", "text/plain");
+    response.body = to_bytes("unknown host\n");
+  }
+  return response.encode();
+}
+
+Bytes WebSiteServer::serve_tls(const sim::ConnKey& key, BytesView data) {
+  auto hello = net::TlsClientHello::decode_record(data);
+  if (!hello.ok()) return {};
+  ++tls_handshakes_;
+  if (sni_observer_) {
+    std::optional<std::string> sni = hello.value().has_ech()
+                                         ? hello.value().ech_inner_sni()
+                                         : hello.value().sni();
+    if (sni) {
+      if (auto name = net::DnsName::parse(*sni)) sni_observer_(key.remote_addr, *name);
+    }
+  }
+  net::TlsServerHello server_hello;
+  for (auto& b : server_hello.random) b = static_cast<std::uint8_t>(rng_.bits());
+  server_hello.session_id = hello.value().session_id;
+  return server_hello.encode_record();
+}
+
+}  // namespace shadowprobe::core

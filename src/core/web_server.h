@@ -1,0 +1,55 @@
+// Destination web server behind a Tranco-style top site.
+//
+// HTTP and TLS decoys are sent (after a real TCP handshake) to these hosts,
+// exactly as the paper sends decoys to addresses behind the Tranco top 1K.
+// The server answers GETs and ClientHellos like an ordinary site; its
+// observer hooks are the attachment point for *destination-side* TLS/HTTP
+// shadowing (the paper finds 65% of TLS observers at the destination).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "net/dns.h"
+#include "sim/network.h"
+#include "sim/tcp_stack.h"
+
+namespace shadowprobe::core {
+
+class WebSiteServer : public sim::DatagramHandler {
+ public:
+  /// (time is implicit via the network clock) host header / SNI observers.
+  using NameObserver = std::function<void(net::Ipv4Addr client, const net::DnsName& name)>;
+
+  WebSiteServer(std::string domain, Rng rng);
+
+  void bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr addr);
+
+  /// Called with the Host header of every HTTP request served.
+  void set_host_observer(NameObserver observer) { host_observer_ = std::move(observer); }
+  /// Called with the SNI of every TLS ClientHello served.
+  void set_sni_observer(NameObserver observer) { sni_observer_ = std::move(observer); }
+
+  void on_datagram(sim::Network& net, sim::NodeId self,
+                   const net::Ipv4Datagram& dgram) override;
+
+  [[nodiscard]] const std::string& domain() const noexcept { return domain_; }
+  [[nodiscard]] std::uint64_t http_requests() const noexcept { return http_requests_; }
+  [[nodiscard]] std::uint64_t tls_handshakes() const noexcept { return tls_handshakes_; }
+
+ private:
+  Bytes serve_http(const sim::ConnKey& key, BytesView data);
+  Bytes serve_tls(const sim::ConnKey& key, BytesView data);
+
+  std::string domain_;
+  Rng rng_;
+  std::unique_ptr<sim::TcpStack> tcp_;
+  NameObserver host_observer_;
+  NameObserver sni_observer_;
+  std::uint64_t http_requests_ = 0;
+  std::uint64_t tls_handshakes_ = 0;
+};
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,72 @@
+#include "dnssrv/auth_server.h"
+
+#include "common/log.h"
+
+namespace shadowprobe::dnssrv {
+
+const Zone* AuthoritativeServer::best_zone(const net::DnsName& qname) const {
+  const Zone* best = nullptr;
+  for (const auto& zone : zones_) {
+    if (!qname.is_subdomain_of(zone.origin())) continue;
+    if (best == nullptr || zone.origin().label_count() > best->origin().label_count()) {
+      best = &zone;
+    }
+  }
+  return best;
+}
+
+void AuthoritativeServer::on_datagram(sim::Network& net, sim::NodeId self,
+                                      const net::Ipv4Datagram& dgram) {
+  if (dgram.header.protocol != net::IpProto::kUdp) return;
+  auto udp = net::UdpDatagram::decode(BytesView(dgram.payload), dgram.header.src,
+                                      dgram.header.dst);
+  if (!udp.ok() || udp.value().dst_port != 53) return;
+  auto query = net::DnsMessage::decode(BytesView(udp.value().payload));
+  if (!query.ok() || query.value().header.qr || query.value().questions.empty()) return;
+  const net::DnsMessage& q = query.value();
+  const net::DnsQuestion& question = q.questions.front();
+
+  QueryLogEntry entry{net.now(), dgram.header.src, dgram.header.dst, question};
+  for (const auto& observer : observers_) observer(entry);
+
+  net::DnsMessage response = net::DnsMessage::response_to(q, net::DnsRcode::kNoError);
+  response.header.ra = false;  // authoritative-only service
+  if (q.edns) response.edns = net::EdnsInfo{};  // RFC 6891: answer in kind
+  const Zone* zone = best_zone(question.name);
+  if (zone == nullptr) {
+    ++refused_;
+    response.header.rcode = net::DnsRcode::kRefused;
+  } else {
+    LookupResult result = zone->lookup(question.name, question.type);
+    switch (result.kind) {
+      case LookupKind::kAnswer:
+        response.header.aa = true;
+        response.answers = std::move(result.answers);
+        break;
+      case LookupKind::kDelegation:
+        response.authorities = std::move(result.authority);
+        response.additionals = std::move(result.additionals);
+        break;
+      case LookupKind::kNoData:
+        response.header.aa = true;
+        response.authorities = std::move(result.authority);
+        break;
+      case LookupKind::kNxDomain:
+        response.header.aa = true;
+        response.header.rcode = net::DnsRcode::kNxDomain;
+        response.authorities = std::move(result.authority);
+        break;
+      case LookupKind::kNotInZone:
+        response.header.rcode = net::DnsRcode::kRefused;
+        break;
+    }
+    ++served_;
+  }
+  Bytes wire = response.encode();
+  // Reply from the address the query was sent to (anycast instances answer
+  // as the service address, not their unicast identity).
+  sim::send_udp(net, self, dgram.header.dst, dgram.header.src, 53,
+                udp.value().src_port, BytesView(wire));
+}
+
+}  // namespace shadowprobe::dnssrv

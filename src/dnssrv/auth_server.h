@@ -1,0 +1,56 @@
+// Authoritative DNS server: a DatagramHandler serving one or more zones
+// over UDP/53.
+//
+// Three roles in the reproduction: the 13 root servers (root zone), the two
+// TLD servers (.com/.org), and the experiment's honeypot authoritative
+// server — whose query log is the primary sensor: every recursive
+// resolution of a decoy domain, and every later unsolicited re-query, lands
+// here.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dnssrv/zone.h"
+#include "sim/network.h"
+#include "sim/udp_util.h"
+
+namespace shadowprobe::dnssrv {
+
+/// One observed query, as the honeypot logs it.
+struct QueryLogEntry {
+  SimTime time = 0;
+  net::Ipv4Addr client;       // source address of the query
+  net::Ipv4Addr server_addr;  // which of our addresses it hit
+  net::DnsQuestion question;
+};
+
+class AuthoritativeServer : public sim::DatagramHandler {
+ public:
+  using QueryObserver = std::function<void(const QueryLogEntry&)>;
+
+  /// Adds a zone this server is authoritative for.
+  void add_zone(Zone zone) { zones_.push_back(std::move(zone)); }
+
+  /// Registers a log callback (honeypot sensor); multiple allowed.
+  void add_query_observer(QueryObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  void on_datagram(sim::Network& net, sim::NodeId self,
+                   const net::Ipv4Datagram& dgram) override;
+
+  [[nodiscard]] std::uint64_t queries_served() const noexcept { return served_; }
+  [[nodiscard]] std::uint64_t queries_refused() const noexcept { return refused_; }
+
+ private:
+  [[nodiscard]] const Zone* best_zone(const net::DnsName& qname) const;
+
+  std::vector<Zone> zones_;
+  std::vector<QueryObserver> observers_;
+  std::uint64_t served_ = 0;
+  std::uint64_t refused_ = 0;
+};
+
+}  // namespace shadowprobe::dnssrv

@@ -1,0 +1,33 @@
+#include "dnssrv/cache.h"
+
+namespace shadowprobe::dnssrv {
+
+void DnsCache::put(const net::DnsName& name, net::DnsType type,
+                   std::vector<net::DnsRecord> records, std::uint32_t ttl, SimTime now) {
+  CacheEntry entry;
+  entry.records = std::move(records);
+  entry.expires = now + static_cast<SimDuration>(ttl) * kSecond;
+  entries_[{name, static_cast<int>(type)}] = std::move(entry);
+}
+
+void DnsCache::put_negative(const net::DnsName& name, net::DnsType type, net::DnsRcode rcode,
+                            std::uint32_t ttl, SimTime now) {
+  CacheEntry entry;
+  entry.negative = true;
+  entry.rcode = rcode;
+  entry.expires = now + static_cast<SimDuration>(ttl) * kSecond;
+  entries_[{name, static_cast<int>(type)}] = std::move(entry);
+}
+
+std::optional<CacheEntry> DnsCache::get(const net::DnsName& name, net::DnsType type,
+                                        SimTime now) {
+  auto it = entries_.find({name, static_cast<int>(type)});
+  if (it == entries_.end()) return std::nullopt;
+  if (it->second.expires <= now) {
+    entries_.erase(it);
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+}  // namespace shadowprobe::dnssrv

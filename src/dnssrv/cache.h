@@ -1,0 +1,40 @@
+// Resolver cache with simulated-time TTL expiry and optional negative
+// caching (RFC 2308).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/time.h"
+#include "net/dns.h"
+
+namespace shadowprobe::dnssrv {
+
+struct CacheEntry {
+  std::vector<net::DnsRecord> records;  // empty for negative entries
+  bool negative = false;
+  net::DnsRcode rcode = net::DnsRcode::kNoError;
+  SimTime expires = 0;
+};
+
+class DnsCache {
+ public:
+  void put(const net::DnsName& name, net::DnsType type, std::vector<net::DnsRecord> records,
+           std::uint32_t ttl, SimTime now);
+  void put_negative(const net::DnsName& name, net::DnsType type, net::DnsRcode rcode,
+                    std::uint32_t ttl, SimTime now);
+
+  /// Live entry or nullopt; expired entries are evicted on access.
+  [[nodiscard]] std::optional<CacheEntry> get(const net::DnsName& name, net::DnsType type,
+                                              SimTime now);
+
+  void clear() { entries_.clear(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  using Key = std::pair<net::DnsName, int>;
+  std::map<Key, CacheEntry> entries_;
+};
+
+}  // namespace shadowprobe::dnssrv

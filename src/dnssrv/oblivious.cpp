@@ -1,0 +1,66 @@
+#include "dnssrv/oblivious.h"
+
+#include "net/tls.h"
+#include "net/udp.h"
+#include "sim/udp_util.h"
+
+namespace shadowprobe::dnssrv {
+
+Bytes oblivious_envelope(net::Ipv4Addr target_resolver, BytesView dns_query) {
+  ByteWriter w(dns_query.size() + 8);
+  w.u32(target_resolver.value());
+  w.raw(dns_query);
+  return net::tls_opaque_record(BytesView(w.bytes()));
+}
+
+void ObliviousProxy::bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr addr) {
+  net_ = &net;
+  node_ = node;
+  addr_ = addr;
+  net.set_handler(node, this);
+}
+
+void ObliviousProxy::on_datagram(sim::Network& net, sim::NodeId self,
+                                 const net::Ipv4Datagram& dgram) {
+  (void)net;
+  (void)self;
+  if (dgram.header.protocol != net::IpProto::kUdp) return;
+  auto udp = net::UdpDatagram::decode(BytesView(dgram.payload), dgram.header.src,
+                                      dgram.header.dst);
+  if (!udp.ok()) return;
+
+  if (udp.value().dst_port == kObliviousPort) {
+    // Client -> proxy envelope.
+    auto opened = net::tls_opaque_unwrap(BytesView(udp.value().payload));
+    if (!opened.ok()) return;
+    ByteReader r{BytesView(opened.value())};
+    net::Ipv4Addr target(r.u32());
+    BytesView query = r.raw(r.remaining());
+    if (!r.ok() || query.empty()) return;
+    std::uint16_t relay_port = next_port_++;
+    if (next_port_ < 50000) next_port_ = 50000;
+    pending_[relay_port] = {dgram.header.src, udp.value().src_port};
+    // Forward from the proxy's own address: the resolver never learns the
+    // client. The query itself travels as plain DNS on this leg (the
+    // resolver must read it); oblivious deployments combine this with
+    // resolver-side encryption, which changes nothing observable here.
+    sim::send_udp(*net_, node_, addr_, target, relay_port, 53, query);
+    ++relayed_;
+    // Reap the slot if the resolver never answers.
+    net_->loop().schedule(10 * kSecond, [this, relay_port] { pending_.erase(relay_port); });
+    return;
+  }
+
+  if (udp.value().src_port == 53) {
+    // Resolver -> proxy answer: relay to the waiting client, sealed.
+    auto it = pending_.find(udp.value().dst_port);
+    if (it == pending_.end()) return;
+    Pending client = it->second;
+    pending_.erase(it);
+    Bytes sealed = net::tls_opaque_record(BytesView(udp.value().payload));
+    sim::send_udp(*net_, node_, addr_, client.client, kObliviousPort, client.client_port,
+                  BytesView(sealed));
+  }
+}
+
+}  // namespace shadowprobe::dnssrv

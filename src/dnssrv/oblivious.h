@@ -1,0 +1,56 @@
+// Oblivious DNS proxy (ODoH-style, RFC 9230 shape).
+//
+// The paper's closing recommendation: encryption alone does not stop the
+// destination resolver from harvesting query data, so privacy needs
+// "oblivious" relaying that splits who-is-asking from what-is-asked. This
+// proxy implements that split: clients send an opaque envelope carrying the
+// target resolver and an (opaque) DNS query; the proxy forwards the query
+// to the target *from its own address* and relays the answer back. The
+// resolver learns the content but attributes it to the proxy; the proxy
+// knows the client but never reads the query.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "net/ipv4.h"
+#include "sim/network.h"
+
+namespace shadowprobe::dnssrv {
+
+/// Port the proxy accepts client envelopes on.
+constexpr std::uint16_t kObliviousPort = 8853;
+
+/// Builds the client->proxy envelope: target resolver + opaque DNS query.
+Bytes oblivious_envelope(net::Ipv4Addr target_resolver, BytesView dns_query);
+
+class ObliviousProxy : public sim::DatagramHandler {
+ public:
+  explicit ObliviousProxy(Rng rng) : rng_(rng) {}
+
+  void bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr addr);
+
+  void on_datagram(sim::Network& net, sim::NodeId self,
+                   const net::Ipv4Datagram& dgram) override;
+
+  [[nodiscard]] net::Ipv4Addr addr() const noexcept { return addr_; }
+  [[nodiscard]] std::uint64_t relayed() const noexcept { return relayed_; }
+
+ private:
+  struct Pending {
+    net::Ipv4Addr client;
+    std::uint16_t client_port = 0;
+  };
+
+  Rng rng_;
+  sim::Network* net_ = nullptr;
+  sim::NodeId node_ = sim::kInvalidNode;
+  net::Ipv4Addr addr_;
+  std::map<std::uint16_t, Pending> pending_;  // by upstream source port
+  std::uint16_t next_port_ = 50000;
+  std::uint64_t relayed_ = 0;
+};
+
+}  // namespace shadowprobe::dnssrv

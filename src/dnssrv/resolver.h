@@ -1,0 +1,131 @@
+// Recursive DNS resolver: a DatagramHandler implementing full iterative
+// resolution (root -> TLD -> authoritative, following glued referrals) with
+// a TTL cache, retry/timeout logic, and configurable behavior quirks.
+//
+// Every public resolver of paper Table 4 — and the paper's self-built
+// control resolver — is an instance of this class. The quirks model the
+// *benign* causes of repeated queries the paper had to separate from true
+// shadowing: duplicate/verification re-queries arriving within a minute,
+// and (off by default, as the paper observed no hourly spikes) active cache
+// refresh at TTL expiry.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dnssrv/auth_server.h"
+#include "dnssrv/cache.h"
+#include "sim/network.h"
+
+namespace shadowprobe::dnssrv {
+
+struct ResolverQuirks {
+  /// Probability that a completed resolution is followed by duplicate
+  /// re-queries of the final authoritative server ("DNS zombies" of the
+  /// benign kind — the paper's <1 min DNS-DNS cluster).
+  double requery_probability = 0.0;
+  /// Mean of the exponential delay before each re-query.
+  SimDuration requery_delay_mean = 20 * kSecond;
+  int requery_count = 1;
+  /// Re-resolve names when their cache entry expires (ablation knob; the
+  /// paper found no TTL-aligned spikes, so default off). Chains are capped:
+  /// a name is refreshed at most refresh_chain_limit times, as real
+  /// prefetchers only keep hot names warm.
+  bool refresh_on_expiry = false;
+  int refresh_chain_limit = 2;
+  /// Upstream query timeout and attempts.
+  SimDuration upstream_timeout = 2 * kSecond;
+  int upstream_attempts = 3;
+};
+
+/// Well-known encrypted-DNS service port handled by RecursiveResolver
+/// (stands in for DoT/DoH sessions; queries arrive as opaque records).
+constexpr std::uint16_t kEncryptedDnsPort = 853;
+
+class RecursiveResolver : public sim::DatagramHandler {
+ public:
+  /// `roots` are the root-server hint addresses the resolver iterates from.
+  RecursiveResolver(std::string name, std::vector<net::Ipv4Addr> roots, Rng rng);
+
+  /// Attaches the resolver to its node. `service_addr` is the address
+  /// clients query; `egress_addr` is the unicast source of upstream queries
+  /// (must also be local to `node`) — split exactly like production anycast
+  /// resolvers split their service and egress addresses.
+  void bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr service_addr,
+            net::Ipv4Addr egress_addr);
+
+  void set_quirks(ResolverQuirks quirks) { quirks_ = quirks; }
+  [[nodiscard]] const ResolverQuirks& quirks() const noexcept { return quirks_; }
+
+  /// Observer over *client* queries (attachment point for shadowing
+  /// exhibitors that harvest resolver query streams).
+  void add_client_query_observer(AuthoritativeServer::QueryObserver observer) {
+    observers_.push_back(std::move(observer));
+  }
+
+  void on_datagram(sim::Network& net, sim::NodeId self,
+                   const net::Ipv4Datagram& dgram) override;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] net::Ipv4Addr egress_addr() const noexcept { return egress_; }
+  [[nodiscard]] std::uint64_t client_queries() const noexcept { return client_queries_; }
+  [[nodiscard]] std::uint64_t cache_hits() const noexcept { return cache_hits_; }
+  [[nodiscard]] std::uint64_t upstream_queries() const noexcept { return upstream_queries_; }
+  [[nodiscard]] std::uint64_t servfails() const noexcept { return servfails_; }
+
+ private:
+  struct Task {
+    // Client side (unset for internal tasks: quirk re-queries / refreshes).
+    bool internal = false;
+    bool encrypted = false;  // client spoke encrypted DNS: answer in kind
+    int refresh_budget = 0;  // remaining TTL-expiry refreshes for this name
+    net::Ipv4Addr client;
+    std::uint16_t client_port = 0;
+    std::uint16_t client_qid = 0;
+    net::Ipv4Addr service_addr;  // address the client queried
+    net::DnsQuestion question;
+    // Upstream side.
+    net::Ipv4Addr current_server;
+    std::uint16_t sport = 0;
+    int referrals = 0;
+    int attempts = 0;
+    std::uint64_t timeout_token = 0;
+  };
+
+  void handle_client_query(const net::Ipv4Datagram& dgram, const net::UdpDatagram& udp,
+                           const net::DnsMessage& query, bool encrypted);
+  void handle_encrypted_query(const net::Ipv4Datagram& dgram, const net::UdpDatagram& udp);
+  void handle_upstream_response(const net::UdpDatagram& udp, const net::DnsMessage& response);
+  void start_task(Task task);
+  void send_upstream(std::uint16_t qid);
+  void finish_answer(std::uint16_t qid, const net::DnsMessage& response);
+  void finish_servfail(std::uint16_t qid);
+  void respond_to_client(const Task& task, net::DnsRcode rcode,
+                         const std::vector<net::DnsRecord>& answers);
+  void maybe_schedule_requeries(const Task& task);
+  std::uint16_t fresh_qid();
+
+  std::string name_;
+  std::vector<net::Ipv4Addr> roots_;
+  Rng rng_;
+  ResolverQuirks quirks_;
+  DnsCache cache_;
+  sim::Network* net_ = nullptr;
+  sim::NodeId node_ = sim::kInvalidNode;
+  net::Ipv4Addr service_;
+  net::Ipv4Addr egress_;
+  std::map<std::uint16_t, Task> tasks_;  // keyed by upstream qid
+  std::uint16_t next_sport_ = 40000;
+  std::uint64_t next_token_ = 1;
+  std::vector<AuthoritativeServer::QueryObserver> observers_;
+
+  std::uint64_t client_queries_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t upstream_queries_ = 0;
+  std::uint64_t servfails_ = 0;
+};
+
+}  // namespace shadowprobe::dnssrv

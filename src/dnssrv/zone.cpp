@@ -1,0 +1,114 @@
+#include "dnssrv/zone.h"
+
+#include <stdexcept>
+
+namespace shadowprobe::dnssrv {
+
+void Zone::add(net::DnsRecord record) {
+  if (!record.name.is_subdomain_of(origin_))
+    throw std::invalid_argument("record " + record.name.str() + " outside zone " +
+                                origin_.str());
+  records_[record.name][record.type].push_back(std::move(record));
+  ++count_;
+}
+
+const std::vector<net::DnsRecord>* Zone::find(const net::DnsName& name,
+                                              net::DnsType type) const {
+  auto node = records_.find(name);
+  if (node == records_.end()) return nullptr;
+  auto set = node->second.find(type);
+  if (set == node->second.end()) return nullptr;
+  return &set->second;
+}
+
+bool Zone::name_exists(const net::DnsName& name) const {
+  // A name "exists" if it owns records or is an empty non-terminal (some
+  // descendant owns records).
+  if (records_.count(name) > 0) return true;
+  for (const auto& [owner, sets] : records_) {
+    (void)sets;
+    if (owner.is_subdomain_of(name) && !(owner == name)) return true;
+  }
+  return false;
+}
+
+void Zone::append_glue(const std::vector<net::DnsRecord>& ns_records,
+                       LookupResult& result) const {
+  for (const auto& ns : ns_records) {
+    const auto* target = std::get_if<net::DnsName>(&ns.rdata);
+    if (target == nullptr) continue;
+    if (const auto* glue = find(*target, net::DnsType::kA)) {
+      result.additionals.insert(result.additionals.end(), glue->begin(), glue->end());
+    }
+  }
+}
+
+LookupResult Zone::lookup(const net::DnsName& qname, net::DnsType qtype) const {
+  LookupResult result;
+  if (!qname.is_subdomain_of(origin_)) {
+    result.kind = LookupKind::kNotInZone;
+    return result;
+  }
+
+  // Zone cut check: the closest enclosing delegation below the origin (but
+  // not the origin itself) takes precedence over anything else.
+  std::size_t depth = qname.label_count() - origin_.label_count();
+  for (std::size_t up = depth == 0 ? 1 : 1; up < depth; ++up) {
+    net::DnsName cut = qname.parent(up);
+    if (cut == origin_) break;
+    if (const auto* ns = find(cut, net::DnsType::kNs)) {
+      result.kind = LookupKind::kDelegation;
+      result.authority = *ns;
+      append_glue(*ns, result);
+      return result;
+    }
+  }
+  // The qname itself may be a delegation point (unless it is the apex).
+  if (!(qname == origin_) && qtype != net::DnsType::kNs) {
+    if (const auto* ns = find(qname, net::DnsType::kNs)) {
+      result.kind = LookupKind::kDelegation;
+      result.authority = *ns;
+      append_glue(*ns, result);
+      return result;
+    }
+  }
+
+  if (const auto* exact = find(qname, qtype)) {
+    result.kind = LookupKind::kAnswer;
+    result.answers = *exact;
+    return result;
+  }
+  // CNAME at the name answers any qtype.
+  if (const auto* cname = find(qname, net::DnsType::kCname)) {
+    result.kind = LookupKind::kAnswer;
+    result.answers = *cname;
+    return result;
+  }
+
+  if (name_exists(qname)) {
+    result.kind = LookupKind::kNoData;
+    if (const auto* soa = find(origin_, net::DnsType::kSoa)) result.authority = *soa;
+    return result;
+  }
+
+  // Wildcard synthesis: the source of synthesis is "*.<ancestor>" for the
+  // closest ancestor that exists.
+  for (std::size_t up = 1; up <= depth; ++up) {
+    net::DnsName wildcard = qname.parent(up).child("*");
+    if (const auto* match = find(wildcard, qtype)) {
+      result.kind = LookupKind::kAnswer;
+      for (net::DnsRecord rr : *match) {
+        rr.name = qname;  // synthesized owner
+        result.answers.push_back(std::move(rr));
+      }
+      return result;
+    }
+    if (name_exists(wildcard)) break;  // wildcard exists but lacks qtype: NODATA
+  }
+
+  result.kind = LookupKind::kNxDomain;
+  if (const auto* soa = find(origin_, net::DnsType::kSoa)) result.authority = *soa;
+  return result;
+}
+
+}  // namespace shadowprobe::dnssrv

@@ -1,0 +1,55 @@
+// Authoritative DNS zone data with RFC 1034 lookup semantics: exact match,
+// zone cuts (delegations with glue), wildcard synthesis, NXDOMAIN vs NODATA
+// distinction.
+//
+// The experiment zone uses exactly the paper's trick: a wildcard under
+// *.www.<experiment domain> whose A records point at the honeypots, so that
+// any unsolicited probe of an observed decoy domain lands on infrastructure
+// we control.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "net/dns.h"
+
+namespace shadowprobe::dnssrv {
+
+enum class LookupKind { kAnswer, kDelegation, kNxDomain, kNoData, kNotInZone };
+
+struct LookupResult {
+  LookupKind kind = LookupKind::kNxDomain;
+  std::vector<net::DnsRecord> answers;
+  std::vector<net::DnsRecord> authority;
+  std::vector<net::DnsRecord> additionals;
+};
+
+class Zone {
+ public:
+  explicit Zone(net::DnsName origin) : origin_(std::move(origin)) {}
+
+  [[nodiscard]] const net::DnsName& origin() const noexcept { return origin_; }
+
+  /// Adds a record; the record name must be at or under the origin.
+  void add(net::DnsRecord record);
+
+  /// Resolves (qname, qtype) inside this zone. Delegations win over
+  /// authoritative data below the cut; wildcards synthesize answers for
+  /// names with no exact match (the "*" label must be leftmost).
+  [[nodiscard]] LookupResult lookup(const net::DnsName& qname, net::DnsType qtype) const;
+
+  [[nodiscard]] std::size_t record_count() const noexcept { return count_; }
+
+ private:
+  [[nodiscard]] const std::vector<net::DnsRecord>* find(const net::DnsName& name,
+                                                        net::DnsType type) const;
+  [[nodiscard]] bool name_exists(const net::DnsName& name) const;
+  void append_glue(const std::vector<net::DnsRecord>& ns_records,
+                   LookupResult& result) const;
+
+  net::DnsName origin_;
+  std::map<net::DnsName, std::map<net::DnsType, std::vector<net::DnsRecord>>> records_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace shadowprobe::dnssrv

@@ -1,0 +1,22 @@
+#include "intel/blocklist.h"
+
+namespace shadowprobe::intel {
+
+bool Blocklist::contains(net::Ipv4Addr addr) const {
+  if (addrs_.count(addr) > 0) return true;
+  for (const auto& p : prefixes_) {
+    if (p.contains(addr)) return true;
+  }
+  return false;
+}
+
+double Blocklist::hit_rate(const std::vector<net::Ipv4Addr>& addrs) const {
+  if (addrs.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (auto a : addrs) {
+    if (contains(a)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(addrs.size());
+}
+
+}  // namespace shadowprobe::intel

@@ -1,0 +1,47 @@
+#include "intel/geoip.h"
+
+namespace shadowprobe::intel {
+
+std::string prefix_type_name(PrefixType t) {
+  switch (t) {
+    case PrefixType::kIsp: return "isp";
+    case PrefixType::kHosting: return "hosting";
+    case PrefixType::kEducation: return "education";
+    case PrefixType::kGovernment: return "government";
+    case PrefixType::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+void GeoDatabase::add(net::Prefix prefix, GeoEntry entry) {
+  auto& bucket = by_length_[prefix.length()];
+  auto [it, inserted] = bucket.insert_or_assign(prefix.base(), std::move(entry));
+  (void)it;
+  if (inserted) ++count_;
+}
+
+std::optional<GeoEntry> GeoDatabase::lookup(net::Ipv4Addr addr) const {
+  for (const auto& [length, bucket] : by_length_) {
+    net::Prefix probe(addr, length);
+    auto it = bucket.find(probe.base());
+    if (it != bucket.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::string GeoDatabase::country(net::Ipv4Addr addr) const {
+  auto e = lookup(addr);
+  return e ? e->country : "??";
+}
+
+std::uint32_t GeoDatabase::asn(net::Ipv4Addr addr) const {
+  auto e = lookup(addr);
+  return e ? e->asn : 0;
+}
+
+std::string GeoDatabase::as_name(net::Ipv4Addr addr) const {
+  auto e = lookup(addr);
+  return e ? e->as_name : "UNKNOWN";
+}
+
+}  // namespace shadowprobe::intel

@@ -1,0 +1,55 @@
+// Prefix-indexed geolocation / AS database (the simulator's stand-in for
+// ip-api.com and IPinfo).
+//
+// The paper geolocates VP source addresses and observer addresses by IP
+// database lookup rather than trusting provider-advertised locations; the
+// analyzers here do exactly the same against this database, which the
+// topology builder populates from the ground-truth address plan.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace shadowprobe::intel {
+
+/// IPinfo-style usage label of a prefix.
+enum class PrefixType { kIsp, kHosting, kEducation, kGovernment, kUnknown };
+
+std::string prefix_type_name(PrefixType t);
+
+struct GeoEntry {
+  std::string country;      // ISO 3166 alpha-2, e.g. "CN"
+  std::string subdivision;  // province/state when known, e.g. "Jiangsu"
+  std::uint32_t asn = 0;    // autonomous system number
+  std::string as_name;      // e.g. "CHINANET-BACKBONE"
+  PrefixType type = PrefixType::kUnknown;
+};
+
+class GeoDatabase {
+ public:
+  /// Registers a prefix; later registrations may refine (longer prefixes
+  /// win on lookup, ties go to the most recent registration).
+  void add(net::Prefix prefix, GeoEntry entry);
+
+  /// Longest-prefix-match lookup; nullopt for unregistered space.
+  [[nodiscard]] std::optional<GeoEntry> lookup(net::Ipv4Addr addr) const;
+
+  /// Convenience accessors with fallbacks for unregistered space.
+  [[nodiscard]] std::string country(net::Ipv4Addr addr) const;
+  [[nodiscard]] std::uint32_t asn(net::Ipv4Addr addr) const;
+  [[nodiscard]] std::string as_name(net::Ipv4Addr addr) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+ private:
+  // Keyed by prefix length (descending scan) then base address.
+  std::map<int, std::map<net::Ipv4Addr, GeoEntry>, std::greater<>> by_length_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace shadowprobe::intel

@@ -1,0 +1,75 @@
+#include "intel/signatures.h"
+
+#include "common/strutil.h"
+
+namespace shadowprobe::intel {
+
+std::string payload_class_name(PayloadClass c) {
+  switch (c) {
+    case PayloadClass::kBenignFetch: return "benign-fetch";
+    case PayloadClass::kPathEnumeration: return "path-enumeration";
+    case PayloadClass::kExploitAttempt: return "exploit-attempt";
+    case PayloadClass::kOther: return "other";
+  }
+  return "other";
+}
+
+SignatureDb SignatureDb::standard() {
+  SignatureDb db;
+  // Directory-bruteforce wordlist (dirb/gobuster-style) — what "95% of
+  // requests performing path enumeration" looks like on a honeypot.
+  for (const char* p :
+       {"/admin",          "/admin/login",   "/login",        "/wp-login.php",
+        "/wp-admin",       "/backup",        "/backup.zip",   "/db.sql",
+        "/.git/config",    "/.env",          "/.svn/entries", "/config.php",
+        "/phpinfo.php",    "/server-status", "/cgi-bin/",     "/console",
+        "/manager/html",   "/actuator",      "/api/",         "/api/v1/",
+        "/static/",        "/uploads/",      "/test",         "/tmp",
+        "/old",            "/dev",           "/staging",      "/.well-known/security.txt",
+        "/sitemap.xml",    "/.DS_Store",     "/web.config",   "/phpmyadmin/",
+        "/mysql/",         "/dump.sql",      "/id_rsa",       "/.ssh/id_rsa"}) {
+    db.add_enumeration_path(p);
+  }
+  // Exploit markers (exploit-db distillate). The measurement found *no*
+  // requests matching these — the signatures exist so that "no exploits"
+  // is a verified claim, not an unexercised branch.
+  for (const char* m :
+       {"../../",           "..%2f",          "/etc/passwd",   "cmd.exe",
+        "powershell",       "union select",   "' or 1=1",      "<script>",
+        "${jndi:",          "eval(",          "base64_decode", "wget http",
+        "curl http",        "/bin/sh",        "chmod 777",     "allow_url_include",
+        "php://input",      "win.ini",        "xp_cmdshell",   "{{7*7}}"}) {
+    db.add_exploit_signature(m);
+  }
+  return db;
+}
+
+void SignatureDb::add_enumeration_path(std::string path) {
+  enum_paths_.push_back(std::move(path));
+}
+
+void SignatureDb::add_exploit_signature(std::string marker) {
+  exploit_markers_.push_back(to_lower(marker));
+}
+
+PayloadClass SignatureDb::classify(const net::HttpRequest& request) const {
+  return classify_target(request.target, to_string(BytesView(request.body)));
+}
+
+PayloadClass SignatureDb::classify_target(std::string_view target,
+                                          std::string_view body) const {
+  std::string t = to_lower(target);
+  std::string b = to_lower(body);
+  for (const auto& marker : exploit_markers_) {
+    if (t.find(marker) != std::string::npos || b.find(marker) != std::string::npos)
+      return PayloadClass::kExploitAttempt;
+  }
+  if (t == "/" || t == "/index.html" || t == "/favicon.ico" || t == "/robots.txt")
+    return PayloadClass::kBenignFetch;
+  for (const auto& path : enum_paths_) {
+    if (starts_with(t, to_lower(path))) return PayloadClass::kPathEnumeration;
+  }
+  return PayloadClass::kOther;
+}
+
+}  // namespace shadowprobe::intel

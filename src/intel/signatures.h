@@ -1,0 +1,54 @@
+// HTTP payload signature database (the simulator's exploit-db stand-in).
+//
+// Section 5 of the paper classifies unsolicited HTTP payloads: ~95% path
+// enumeration against the honey website, zero exploit payloads. This module
+// provides the classifier the analyzers use: a wordlist of enumeration
+// targets plus a signature list of exploit markers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/http.h"
+
+namespace shadowprobe::intel {
+
+enum class PayloadClass {
+  kBenignFetch,       // "/", "/index.html", "/favicon.ico", "/robots.txt"
+  kPathEnumeration,   // directory/wordlist probing
+  kExploitAttempt,    // matches an exploit signature
+  kOther,
+};
+
+std::string payload_class_name(PayloadClass c);
+
+class SignatureDb {
+ public:
+  /// Builds the default database: a directory-bruteforce wordlist matching
+  /// the reconnaissance tooling the paper observed, plus exploit signatures
+  /// distilled from common exploit-db entries (path traversal, SQLi, log4j
+  /// JNDI, PHP/cgi RCE markers, webshell drops).
+  static SignatureDb standard();
+
+  void add_enumeration_path(std::string path);
+  void add_exploit_signature(std::string marker);
+
+  [[nodiscard]] PayloadClass classify(const net::HttpRequest& request) const;
+  /// Classifies a raw request-target + body pair without a parsed request.
+  [[nodiscard]] PayloadClass classify_target(std::string_view target,
+                                             std::string_view body = {}) const;
+
+  /// The enumeration wordlist (exposed so probers can draw from the same
+  /// list the classifier recognizes — the paper's scanners and its
+  /// classifier agreed the same way).
+  [[nodiscard]] const std::vector<std::string>& enumeration_paths() const noexcept {
+    return enum_paths_;
+  }
+
+ private:
+  std::vector<std::string> enum_paths_;
+  std::vector<std::string> exploit_markers_;
+};
+
+}  // namespace shadowprobe::intel

@@ -1,0 +1,25 @@
+#include "intel/use_metrics.h"
+
+namespace shadowprobe::intel {
+
+const std::vector<ResolverUsage>& resolver_use_metrics() {
+  static const std::vector<ResolverUsage> kMetrics = {
+      {"Google", 0.300},     {"Cloudflare", 0.070}, {"OpenDNS", 0.020},
+      {"Quad9", 0.010},      {"DNSPod", 0.050},     {"114DNS", 0.060},
+      {"Baidu", 0.015},      {"CNNIC", 0.010},      {"Yandex", 0.012},
+      {"Level3", 0.008},     {"VERCARA", 0.006},    {"One DNS", 0.006},
+      {"DNS PAI", 0.005},    {"DNS.Watch", 0.002},  {"Oracle Dyn", 0.002},
+      {"Hurricane", 0.002},  {"Open NIC", 0.001},   {"SafeDNS", 0.001},
+      {"Freenom", 0.001},    {"Quad101", 0.001},
+  };
+  return kMetrics;
+}
+
+double resolver_share(const std::string& name) {
+  for (const auto& m : resolver_use_metrics()) {
+    if (m.name == name) return m.world_share;
+  }
+  return 0.0;
+}
+
+}  // namespace shadowprobe::intel

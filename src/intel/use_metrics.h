@@ -1,0 +1,29 @@
+// Public-resolver use metrics (the simulator's APNIC-Labs stand-in).
+//
+// The paper selected its 20 destination resolvers "after consulting their
+// use metrics" and explains the dominance of Google among unsolicited-query
+// origins by Google Public DNS being the most-used service. This table
+// carries those popularity shares so that both decisions can be made the
+// same way in the reproduction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shadowprobe::intel {
+
+struct ResolverUsage {
+  std::string name;
+  double world_share = 0.0;  // fraction of world population using it
+};
+
+/// Popularity table, descending by share (approximate shapes from the
+/// public APNIC per-resolver world metrics: Google far ahead, then
+/// Cloudflare, OpenDNS, Quad9, and regional services).
+const std::vector<ResolverUsage>& resolver_use_metrics();
+
+/// Share for `name`; 0 for unlisted resolvers.
+double resolver_share(const std::string& name);
+
+}  // namespace shadowprobe::intel

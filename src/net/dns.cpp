@@ -1,0 +1,418 @@
+#include "net/dns.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strutil.h"
+
+namespace shadowprobe::net {
+
+namespace {
+constexpr std::size_t kMaxLabel = 63;
+constexpr std::size_t kMaxName = 253;
+constexpr std::uint16_t kClassIn = 1;
+
+std::string fold(std::string_view s) { return to_lower(s); }
+}  // namespace
+
+DnsName::DnsName(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+
+std::optional<DnsName> DnsName::parse(std::string_view text) {
+  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
+  if (text.empty()) return DnsName{};
+  if (text.size() > kMaxName) return std::nullopt;
+  std::vector<std::string> labels;
+  for (auto& label : split(text, '.')) {
+    if (label.empty() || label.size() > kMaxLabel) return std::nullopt;
+    labels.push_back(std::move(label));
+  }
+  return DnsName(std::move(labels));
+}
+
+DnsName DnsName::must_parse(std::string_view text) {
+  auto name = parse(text);
+  if (!name) throw std::invalid_argument("bad DNS name: " + std::string(text));
+  return *name;
+}
+
+std::string DnsName::str() const {
+  if (labels_.empty()) return ".";
+  return join(labels_, ".");
+}
+
+bool DnsName::is_subdomain_of(const DnsName& zone) const {
+  if (zone.labels_.size() > labels_.size()) return false;
+  auto offset = labels_.size() - zone.labels_.size();
+  for (std::size_t i = 0; i < zone.labels_.size(); ++i) {
+    if (!iequals(labels_[offset + i], zone.labels_[i])) return false;
+  }
+  return true;
+}
+
+DnsName DnsName::parent(std::size_t n) const {
+  if (n >= labels_.size()) return DnsName{};
+  return DnsName(std::vector<std::string>(labels_.begin() + static_cast<std::ptrdiff_t>(n),
+                                          labels_.end()));
+}
+
+DnsName DnsName::child(std::string_view label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return DnsName(std::move(labels));
+}
+
+bool DnsName::operator==(const DnsName& other) const {
+  if (labels_.size() != other.labels_.size()) return false;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (!iequals(labels_[i], other.labels_[i])) return false;
+  }
+  return true;
+}
+
+bool DnsName::operator<(const DnsName& other) const {
+  std::size_t n = std::min(labels_.size(), other.labels_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string a = fold(labels_[i]);
+    std::string b = fold(other.labels_[i]);
+    if (a != b) return a < b;
+  }
+  return labels_.size() < other.labels_.size();
+}
+
+std::string dns_type_name(DnsType t) {
+  switch (t) {
+    case DnsType::kA: return "A";
+    case DnsType::kNs: return "NS";
+    case DnsType::kCname: return "CNAME";
+    case DnsType::kSoa: return "SOA";
+    case DnsType::kPtr: return "PTR";
+    case DnsType::kTxt: return "TXT";
+    case DnsType::kAaaa: return "AAAA";
+    case DnsType::kOpt: return "OPT";
+    case DnsType::kAny: return "ANY";
+  }
+  return "TYPE" + std::to_string(static_cast<int>(t));
+}
+
+DnsRecord DnsRecord::a(DnsName name, Ipv4Addr addr, std::uint32_t ttl) {
+  return {std::move(name), DnsType::kA, ttl, addr};
+}
+DnsRecord DnsRecord::ns(DnsName name, DnsName target, std::uint32_t ttl) {
+  return {std::move(name), DnsType::kNs, ttl, std::move(target)};
+}
+DnsRecord DnsRecord::cname(DnsName name, DnsName target, std::uint32_t ttl) {
+  return {std::move(name), DnsType::kCname, ttl, std::move(target)};
+}
+DnsRecord DnsRecord::txt(DnsName name, std::vector<std::string> strings, std::uint32_t ttl) {
+  return {std::move(name), DnsType::kTxt, ttl, std::move(strings)};
+}
+DnsRecord DnsRecord::soa(DnsName name, SoaData data, std::uint32_t ttl) {
+  return {std::move(name), DnsType::kSoa, ttl, std::move(data)};
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Writes a name with RFC 1035 §4.1.4 compression: the longest suffix of the
+/// name already emitted is replaced with a pointer.
+class NameCompressor {
+ public:
+  void write(ByteWriter& w, const DnsName& name) {
+    const auto& labels = name.labels();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      std::string suffix = suffix_key(labels, i);
+      auto it = offsets_.find(suffix);
+      if (it != offsets_.end()) {
+        w.u16(static_cast<std::uint16_t>(0xC000 | it->second));
+        return;
+      }
+      // Pointers can only address the first 16 KiB - 2 bits worth of offset.
+      if (w.size() <= 0x3FFF) offsets_.emplace(std::move(suffix), w.size());
+      w.u8(static_cast<std::uint8_t>(labels[i].size()));
+      w.raw(labels[i]);
+    }
+    w.u8(0);  // root label
+  }
+
+ private:
+  static std::string suffix_key(const std::vector<std::string>& labels, std::size_t from) {
+    std::string key;
+    for (std::size_t i = from; i < labels.size(); ++i) {
+      key += fold(labels[i]);
+      key += '.';
+    }
+    return key;
+  }
+
+  std::map<std::string, std::size_t> offsets_;
+};
+
+void write_rdata(ByteWriter& w, NameCompressor& names, const DnsRecord& rr) {
+  std::size_t len_at = w.size();
+  w.u16(0);  // RDLENGTH placeholder
+  std::size_t start = w.size();
+  std::visit(
+      [&](const auto& value) {
+        using T = std::decay_t<decltype(value)>;
+        if constexpr (std::is_same_v<T, Ipv4Addr>) {
+          w.u32(value.value());
+        } else if constexpr (std::is_same_v<T, DnsName>) {
+          names.write(w, value);
+        } else if constexpr (std::is_same_v<T, SoaData>) {
+          names.write(w, value.mname);
+          names.write(w, value.rname);
+          w.u32(value.serial);
+          w.u32(value.refresh);
+          w.u32(value.retry);
+          w.u32(value.expire);
+          w.u32(value.minimum);
+        } else if constexpr (std::is_same_v<T, std::vector<std::string>>) {
+          for (const auto& s : value) {
+            w.u8(static_cast<std::uint8_t>(std::min<std::size_t>(s.size(), 255)));
+            w.raw(std::string_view(s).substr(0, 255));
+          }
+        } else {
+          w.raw(BytesView(value));
+        }
+      },
+      rr.rdata);
+  w.patch_u16(len_at, static_cast<std::uint16_t>(w.size() - start));
+}
+
+void write_record(ByteWriter& w, NameCompressor& names, const DnsRecord& rr) {
+  names.write(w, rr.name);
+  w.u16(static_cast<std::uint16_t>(rr.type));
+  w.u16(kClassIn);
+  w.u32(rr.ttl);
+  write_rdata(w, names, rr);
+}
+
+}  // namespace
+
+Bytes DnsMessage::encode() const {
+  ByteWriter w(128);
+  w.u16(header.id);
+  std::uint16_t flags = 0;
+  if (header.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>((header.opcode & 0x0F) << 11);
+  if (header.aa) flags |= 0x0400;
+  if (header.tc) flags |= 0x0200;
+  if (header.rd) flags |= 0x0100;
+  if (header.ra) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(header.rcode) & 0x0F;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authorities.size()));
+  w.u16(static_cast<std::uint16_t>(additionals.size() + (edns ? 1 : 0)));
+  NameCompressor names;
+  for (const auto& q : questions) {
+    names.write(w, q.name);
+    w.u16(static_cast<std::uint16_t>(q.type));
+    w.u16(kClassIn);
+  }
+  for (const auto& rr : answers) write_record(w, names, rr);
+  for (const auto& rr : authorities) write_record(w, names, rr);
+  for (const auto& rr : additionals) write_record(w, names, rr);
+  if (edns) {
+    // OPT pseudo-record: root owner, CLASS carries the UDP payload size,
+    // TTL packs extended-rcode / version / DO flag.
+    w.u8(0);  // root name
+    w.u16(static_cast<std::uint16_t>(DnsType::kOpt));
+    w.u16(edns->udp_payload_size);
+    std::uint32_t flags = static_cast<std::uint32_t>(edns->extended_rcode) << 24 |
+                          static_cast<std::uint32_t>(edns->version) << 16 |
+                          (edns->dnssec_ok ? 0x8000u : 0u);
+    w.u32(flags);
+    w.u16(0);  // no options
+  }
+  return std::move(w).take();
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Reads a possibly-compressed name. Guards: pointers must go strictly
+/// backwards and total label bytes are bounded, so malicious pointer loops
+/// terminate.
+bool read_name(ByteReader& r, BytesView whole, DnsName& out) {
+  std::vector<std::string> labels;
+  std::size_t total = 0;
+  std::size_t jumps = 0;
+  std::optional<std::size_t> resume;  // position after the first pointer
+  std::size_t min_pointer_target = whole.size();
+  for (;;) {
+    std::uint8_t len = r.u8();
+    if (!r.ok()) return false;
+    if ((len & 0xC0) == 0xC0) {
+      std::uint8_t low = r.u8();
+      if (!r.ok()) return false;
+      std::size_t target = (static_cast<std::size_t>(len & 0x3F) << 8) | low;
+      if (target >= min_pointer_target) return false;  // must move backwards
+      min_pointer_target = target;
+      if (++jumps > 64) return false;
+      if (!resume) resume = r.pos();
+      r.seek(target);
+      continue;
+    }
+    if (len & 0xC0) return false;  // 01/10 prefixes are reserved
+    if (len == 0) break;
+    std::string label = r.str(len);
+    if (!r.ok()) return false;
+    total += label.size() + 1;
+    if (total > kMaxName + 1) return false;
+    labels.push_back(std::move(label));
+  }
+  if (resume) r.seek(*resume);
+  (void)whole;
+  out = DnsName(std::move(labels));
+  return true;
+}
+
+bool read_record(ByteReader& r, BytesView whole, DnsRecord& rr) {
+  if (!read_name(r, whole, rr.name)) return false;
+  std::uint16_t type = r.u16();
+  std::uint16_t klass = r.u16();
+  rr.ttl = r.u32();
+  std::uint16_t rdlength = r.u16();
+  if (!r.ok()) return false;
+  rr.type = static_cast<DnsType>(type);
+  // OPT repurposes CLASS for the advertised UDP payload size; everything
+  // else must be IN.
+  if (rr.type != DnsType::kOpt && klass != kClassIn) return false;
+  rr.opt_class = klass;
+  std::size_t end = r.pos() + rdlength;
+  if (end > whole.size()) return false;
+  switch (rr.type) {
+    case DnsType::kA: {
+      if (rdlength != 4) return false;
+      rr.rdata = Ipv4Addr(r.u32());
+      break;
+    }
+    case DnsType::kNs:
+    case DnsType::kCname:
+    case DnsType::kPtr: {
+      DnsName target;
+      if (!read_name(r, whole, target)) return false;
+      rr.rdata = std::move(target);
+      break;
+    }
+    case DnsType::kSoa: {
+      SoaData soa;
+      if (!read_name(r, whole, soa.mname)) return false;
+      if (!read_name(r, whole, soa.rname)) return false;
+      soa.serial = r.u32();
+      soa.refresh = r.u32();
+      soa.retry = r.u32();
+      soa.expire = r.u32();
+      soa.minimum = r.u32();
+      rr.rdata = std::move(soa);
+      break;
+    }
+    case DnsType::kTxt: {
+      std::vector<std::string> strings;
+      while (r.pos() < end) {
+        std::uint8_t len = r.u8();
+        if (!r.ok() || r.pos() + len > end) return false;
+        strings.push_back(r.str(len));
+      }
+      rr.rdata = std::move(strings);
+      break;
+    }
+    default: {
+      BytesView raw = r.raw(rdlength);
+      rr.rdata = Bytes(raw.begin(), raw.end());
+      break;
+    }
+  }
+  if (!r.ok() || r.pos() != end) return false;
+  return true;
+}
+
+}  // namespace
+
+Result<DnsMessage> DnsMessage::decode(BytesView wire) {
+  ByteReader r(wire);
+  DnsMessage m;
+  m.header.id = r.u16();
+  std::uint16_t flags = r.u16();
+  m.header.qr = flags & 0x8000;
+  m.header.opcode = static_cast<std::uint8_t>((flags >> 11) & 0x0F);
+  m.header.aa = flags & 0x0400;
+  m.header.tc = flags & 0x0200;
+  m.header.rd = flags & 0x0100;
+  m.header.ra = flags & 0x0080;
+  m.header.rcode = static_cast<DnsRcode>(flags & 0x0F);
+  std::uint16_t qdcount = r.u16();
+  std::uint16_t ancount = r.u16();
+  std::uint16_t nscount = r.u16();
+  std::uint16_t arcount = r.u16();
+  if (!r.ok()) return Error("truncated DNS header");
+  for (std::uint16_t i = 0; i < qdcount; ++i) {
+    DnsQuestion q;
+    if (!read_name(r, wire, q.name)) return Error("bad DNS question name");
+    std::uint16_t type = r.u16();
+    std::uint16_t klass = r.u16();
+    if (!r.ok() || klass != kClassIn) return Error("bad DNS question");
+    q.type = static_cast<DnsType>(type);
+    m.questions.push_back(std::move(q));
+  }
+  auto read_section = [&](std::uint16_t count, std::vector<DnsRecord>& section,
+                          const char* what) -> std::optional<Error> {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      DnsRecord rr;
+      if (!read_record(r, wire, rr)) return Error(std::string("bad DNS record in ") + what);
+      section.push_back(std::move(rr));
+    }
+    return std::nullopt;
+  };
+  if (auto e = read_section(ancount, m.answers, "answer")) return *e;
+  if (auto e = read_section(nscount, m.authorities, "authority")) return *e;
+  if (auto e = read_section(arcount, m.additionals, "additional")) return *e;
+  // Strip the EDNS OPT pseudo-record out of the additional section.
+  auto it = m.additionals.begin();
+  while (it != m.additionals.end()) {
+    if (it->type != DnsType::kOpt) {
+      ++it;
+      continue;
+    }
+    if (m.edns) return Error("multiple OPT records");
+    EdnsInfo edns;
+    edns.udp_payload_size = it->opt_class;
+    edns.extended_rcode = static_cast<std::uint8_t>(it->ttl >> 24);
+    edns.version = static_cast<std::uint8_t>(it->ttl >> 16);
+    edns.dnssec_ok = (it->ttl & 0x8000u) != 0;
+    m.edns = edns;
+    it = m.additionals.erase(it);
+  }
+  return m;
+}
+
+DnsMessage DnsMessage::query(std::uint16_t id, DnsName name, DnsType type) {
+  DnsMessage m;
+  m.header.id = id;
+  m.header.qr = false;
+  m.header.rd = true;
+  m.questions.push_back({std::move(name), type});
+  return m;
+}
+
+DnsMessage DnsMessage::response_to(const DnsMessage& query, DnsRcode rcode) {
+  DnsMessage m;
+  m.header = query.header;
+  m.header.qr = true;
+  m.header.ra = true;
+  m.header.rcode = rcode;
+  m.questions = query.questions;
+  return m;
+}
+
+}  // namespace shadowprobe::net

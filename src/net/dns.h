@@ -1,0 +1,164 @@
+// DNS message codec (RFC 1035), complete enough to run real resolvers:
+// header flags, questions, resource records with typed RDATA (A, NS, CNAME,
+// SOA, PTR, TXT), name compression on encode and pointer chasing (with loop
+// guards) on decode.
+//
+// DNS decoys are the paper's most productive lure: the QNAME carries the
+// decoy identifier in clear text and is the field on-path observers record.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "net/ipv4.h"
+
+namespace shadowprobe::net {
+
+/// A domain name as a sequence of labels (no trailing root label stored).
+/// Comparison and matching are case-insensitive per RFC 1035 §2.3.3.
+class DnsName {
+ public:
+  DnsName() = default;
+  explicit DnsName(std::vector<std::string> labels);
+
+  /// Parses presentation format ("www.example.com", trailing dot allowed).
+  /// Enforces label (≤63) and name (≤253) length limits and non-empty
+  /// labels; nullopt otherwise. The empty string parses to the root name.
+  static std::optional<DnsName> parse(std::string_view text);
+  static DnsName must_parse(std::string_view text);
+
+  [[nodiscard]] const std::vector<std::string>& labels() const noexcept { return labels_; }
+  [[nodiscard]] bool is_root() const noexcept { return labels_.empty(); }
+  [[nodiscard]] std::size_t label_count() const noexcept { return labels_.size(); }
+  [[nodiscard]] std::string str() const;
+
+  /// True when this name equals `zone` or is under it ("a.b.c" under "b.c").
+  [[nodiscard]] bool is_subdomain_of(const DnsName& zone) const;
+  /// Name with the first `n` labels removed.
+  [[nodiscard]] DnsName parent(std::size_t n = 1) const;
+  /// New name with `label` prepended.
+  [[nodiscard]] DnsName child(std::string_view label) const;
+
+  bool operator==(const DnsName& other) const;
+  bool operator<(const DnsName& other) const;  // canonical (case-folded) order
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+enum class DnsType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kSoa = 6,
+  kPtr = 12,
+  kTxt = 16,
+  kAaaa = 28,
+  kOpt = 41,  // EDNS0 pseudo-record (RFC 6891)
+  kAny = 255,
+};
+
+std::string dns_type_name(DnsType t);
+
+enum class DnsRcode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+struct DnsQuestion {
+  DnsName name;
+  DnsType type = DnsType::kA;
+  // Class is always IN for this library; encoded/decoded but not stored.
+
+  bool operator==(const DnsQuestion&) const = default;
+};
+
+struct SoaData {
+  DnsName mname;
+  DnsName rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 3600;
+  std::uint32_t retry = 600;
+  std::uint32_t expire = 86400;
+  std::uint32_t minimum = 300;
+
+  bool operator==(const SoaData&) const = default;
+};
+
+/// Typed RDATA. Unknown types carry raw bytes.
+using DnsRdata = std::variant<Ipv4Addr,                 // A
+                              DnsName,                  // NS / CNAME / PTR
+                              SoaData,                  // SOA
+                              std::vector<std::string>, // TXT
+                              Bytes>;                   // anything else
+
+struct DnsRecord {
+  DnsName name;
+  DnsType type = DnsType::kA;
+  std::uint32_t ttl = 3600;
+  DnsRdata rdata = Bytes{};
+  /// Wire CLASS. IN (1) for ordinary records; the OPT pseudo-record abuses
+  /// it for the UDP payload size, which is why it is kept around.
+  std::uint16_t opt_class = 1;
+
+  static DnsRecord a(DnsName name, Ipv4Addr addr, std::uint32_t ttl = 3600);
+  static DnsRecord ns(DnsName name, DnsName target, std::uint32_t ttl = 3600);
+  static DnsRecord cname(DnsName name, DnsName target, std::uint32_t ttl = 3600);
+  static DnsRecord txt(DnsName name, std::vector<std::string> strings,
+                       std::uint32_t ttl = 3600);
+  static DnsRecord soa(DnsName name, SoaData data, std::uint32_t ttl = 3600);
+};
+
+/// EDNS0 (RFC 6891): the OPT pseudo-record's fixed fields, surfaced as a
+/// message-level attribute rather than a record (matching how software
+/// treats it). Encoding appends the OPT RR to the additional section;
+/// decoding strips it back out into this struct.
+struct EdnsInfo {
+  std::uint16_t udp_payload_size = 1232;  // the DNS-flag-day recommendation
+  std::uint8_t extended_rcode = 0;
+  std::uint8_t version = 0;
+  bool dnssec_ok = false;
+
+  bool operator==(const EdnsInfo&) const = default;
+};
+
+struct DnsHeader {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  std::uint8_t opcode = 0;
+  bool aa = false;
+  bool tc = false;
+  bool rd = true;
+  bool ra = false;
+  DnsRcode rcode = DnsRcode::kNoError;
+};
+
+struct DnsMessage {
+  DnsHeader header;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsRecord> answers;
+  std::vector<DnsRecord> authorities;
+  std::vector<DnsRecord> additionals;
+  /// EDNS0 OPT pseudo-record, when present.
+  std::optional<EdnsInfo> edns;
+
+  [[nodiscard]] Bytes encode() const;
+  static Result<DnsMessage> decode(BytesView wire);
+
+  /// Convenience factory: a standard recursive query for (name, type).
+  static DnsMessage query(std::uint16_t id, DnsName name, DnsType type);
+  /// Convenience factory: a response skeleton echoing a query's id/question.
+  static DnsMessage response_to(const DnsMessage& query, DnsRcode rcode);
+};
+
+}  // namespace shadowprobe::net

@@ -1,0 +1,169 @@
+#include "net/http.h"
+
+#include "common/strutil.h"
+
+namespace shadowprobe::net {
+
+void HttpHeaders::add(std::string name, std::string value) {
+  headers_.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string_view> HttpHeaders::get(std::string_view name) const {
+  for (const auto& [n, v] : headers_) {
+    if (iequals(n, name)) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+void HttpHeaders::set(std::string_view name, std::string value) {
+  for (auto& [n, v] : headers_) {
+    if (iequals(n, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  add(std::string(name), std::move(value));
+}
+
+namespace {
+
+void write_headers(ByteWriter& w, const HttpHeaders& headers, std::size_t body_size,
+                   bool force_content_length) {
+  bool have_length = headers.get("Content-Length").has_value();
+  for (const auto& [name, value] : headers.all()) {
+    w.raw(name);
+    w.raw(": ");
+    w.raw(value);
+    w.raw("\r\n");
+  }
+  if (!have_length && (body_size > 0 || force_content_length)) {
+    w.raw("Content-Length: " + std::to_string(body_size) + "\r\n");
+  }
+  w.raw("\r\n");
+}
+
+struct HeadLines {
+  std::string start_line;
+  HttpHeaders headers;
+  std::size_t body_offset = 0;
+};
+
+Result<HeadLines> parse_head(BytesView wire) {
+  std::string_view text(reinterpret_cast<const char*>(wire.data()), wire.size());
+  std::size_t head_end = text.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) return Error("HTTP head not terminated");
+  HeadLines out;
+  out.body_offset = head_end + 4;
+  std::string_view head = text.substr(0, head_end);
+  std::size_t line_end = head.find("\r\n");
+  out.start_line = std::string(head.substr(0, line_end));
+  std::string_view rest = line_end == std::string_view::npos ? std::string_view{}
+                                                             : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    std::size_t eol = rest.find("\r\n");
+    std::string_view line = rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view{} : rest.substr(eol + 2);
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return Error("HTTP header line missing colon");
+    out.headers.add(std::string(trim(line.substr(0, colon))),
+                    std::string(trim(line.substr(colon + 1))));
+  }
+  return out;
+}
+
+Result<Bytes> parse_body(BytesView wire, const HeadLines& head) {
+  std::size_t declared = 0;
+  if (auto cl = head.headers.get("Content-Length")) {
+    long long n = parse_uint(trim(*cl));
+    if (n < 0) return Error("bad Content-Length");
+    declared = static_cast<std::size_t>(n);
+  }
+  if (head.body_offset + declared > wire.size()) return Error("HTTP body truncated");
+  BytesView body = wire.subspan(head.body_offset, declared);
+  return Bytes(body.begin(), body.end());
+}
+
+}  // namespace
+
+std::string HttpRequest::host() const {
+  auto h = headers.get("Host");
+  if (!h) return {};
+  std::string_view v = trim(*h);
+  std::size_t colon = v.find(':');
+  if (colon != std::string_view::npos) v = v.substr(0, colon);
+  return std::string(v);
+}
+
+std::string HttpRequest::path() const {
+  std::size_t q = target.find('?');
+  return q == std::string::npos ? target : target.substr(0, q);
+}
+
+Bytes HttpRequest::encode() const {
+  ByteWriter w(128 + body.size());
+  w.raw(method);
+  w.raw(" ");
+  w.raw(target);
+  w.raw(" ");
+  w.raw(version);
+  w.raw("\r\n");
+  write_headers(w, headers, body.size(), /*force_content_length=*/false);
+  w.raw(BytesView(body));
+  return std::move(w).take();
+}
+
+Result<HttpRequest> HttpRequest::decode(BytesView wire) {
+  auto head = parse_head(wire);
+  if (!head.ok()) return head.error();
+  auto parts = split(head.value().start_line, ' ');
+  if (parts.size() != 3) return Error("bad HTTP request line");
+  HttpRequest req;
+  req.method = parts[0];
+  req.target = parts[1];
+  req.version = parts[2];
+  if (!starts_with(req.version, "HTTP/")) return Error("bad HTTP version");
+  auto body = parse_body(wire, head.value());
+  if (!body.ok()) return body.error();
+  req.headers = std::move(head.value().headers);
+  req.body = std::move(body).take();
+  return req;
+}
+
+Bytes HttpResponse::encode() const {
+  ByteWriter w(128 + body.size());
+  w.raw(version);
+  w.raw(" ");
+  w.raw(std::to_string(status));
+  w.raw(" ");
+  w.raw(reason);
+  w.raw("\r\n");
+  write_headers(w, headers, body.size(), /*force_content_length=*/true);
+  w.raw(BytesView(body));
+  return std::move(w).take();
+}
+
+Result<HttpResponse> HttpResponse::decode(BytesView wire) {
+  auto head = parse_head(wire);
+  if (!head.ok()) return head.error();
+  const std::string& line = head.value().start_line;
+  auto first_space = line.find(' ');
+  if (first_space == std::string::npos) return Error("bad HTTP status line");
+  auto second_space = line.find(' ', first_space + 1);
+  HttpResponse resp;
+  resp.version = line.substr(0, first_space);
+  if (!starts_with(resp.version, "HTTP/")) return Error("bad HTTP version");
+  std::string code = second_space == std::string::npos
+                         ? line.substr(first_space + 1)
+                         : line.substr(first_space + 1, second_space - first_space - 1);
+  long long status = parse_uint(code);
+  if (status < 100 || status > 599) return Error("bad HTTP status code");
+  resp.status = static_cast<int>(status);
+  resp.reason = second_space == std::string::npos ? "" : line.substr(second_space + 1);
+  auto body = parse_body(wire, head.value());
+  if (!body.ok()) return body.error();
+  resp.headers = std::move(head.value().headers);
+  resp.body = std::move(body).take();
+  return resp;
+}
+
+}  // namespace shadowprobe::net

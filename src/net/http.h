@@ -1,0 +1,65 @@
+// HTTP/1.1 message codec (RFC 9112 subset: request line, status line,
+// headers, Content-Length bodies).
+//
+// HTTP decoys are GET requests whose Host header carries the experiment
+// domain; honeypot servers parse arriving requests with the same codec and
+// the payload analyzers (path enumeration / exploit signatures) consume the
+// parsed request target.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace shadowprobe::net {
+
+/// Ordered header list with case-insensitive lookup (order is preserved
+/// because header ordering is itself a fingerprinting signal).
+class HttpHeaders {
+ public:
+  void add(std::string name, std::string value);
+  /// First value for `name` (case-insensitive); nullopt when absent.
+  [[nodiscard]] std::optional<std::string_view> get(std::string_view name) const;
+  void set(std::string_view name, std::string value);
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& all() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return headers_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> headers_;
+};
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  HttpHeaders headers;
+  Bytes body;
+
+  /// The Host header (without port), empty when absent.
+  [[nodiscard]] std::string host() const;
+  /// The request path without the query string.
+  [[nodiscard]] std::string path() const;
+
+  [[nodiscard]] Bytes encode() const;
+  static Result<HttpRequest> decode(BytesView wire);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  HttpHeaders headers;
+  Bytes body;
+
+  [[nodiscard]] Bytes encode() const;
+  static Result<HttpResponse> decode(BytesView wire);
+};
+
+}  // namespace shadowprobe::net

@@ -1,0 +1,87 @@
+#include "net/icmp.h"
+
+#include <algorithm>
+
+namespace shadowprobe::net {
+
+Bytes IcmpMessage::encode() const {
+  ByteWriter w(8 + body.size());
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(code);
+  w.u16(0);  // checksum placeholder
+  w.u32(rest);
+  w.raw(body);
+  std::uint16_t csum = internet_checksum(w.bytes());
+  Bytes out = std::move(w).take();
+  out[2] = static_cast<std::uint8_t>(csum >> 8);
+  out[3] = static_cast<std::uint8_t>(csum);
+  return out;
+}
+
+Result<IcmpMessage> IcmpMessage::decode(BytesView message) {
+  if (message.size() < 8) return Error("truncated ICMP message");
+  if (internet_checksum(message) != 0) return Error("ICMP checksum mismatch");
+  ByteReader r(message);
+  IcmpMessage m;
+  std::uint8_t type = r.u8();
+  switch (type) {
+    case 0: m.type = IcmpType::kEchoReply; break;
+    case 3: m.type = IcmpType::kDestUnreachable; break;
+    case 8: m.type = IcmpType::kEchoRequest; break;
+    case 11: m.type = IcmpType::kTimeExceeded; break;
+    default: return Error("unsupported ICMP type " + std::to_string(type));
+  }
+  m.code = r.u8();
+  r.u16();  // checksum
+  m.rest = r.u32();
+  BytesView body = r.raw(r.remaining());
+  m.body.assign(body.begin(), body.end());
+  return m;
+}
+
+IcmpMessage IcmpMessage::time_exceeded(BytesView original_datagram) {
+  IcmpMessage m;
+  m.type = IcmpType::kTimeExceeded;
+  m.code = 0;  // TTL expired in transit
+  // RFC 792: quote the IP header plus the first 64 bits of payload. Quoting
+  // more is permitted (RFC 1812) but the minimum is what traceroute needs:
+  // enough to recover the transport ports / query ID.
+  std::size_t quote = std::min<std::size_t>(original_datagram.size(),
+                                            Ipv4Header::kSize + 8);
+  m.body.assign(original_datagram.begin(),
+                original_datagram.begin() + static_cast<std::ptrdiff_t>(quote));
+  return m;
+}
+
+Result<Ipv4Datagram> IcmpMessage::quoted_datagram() const {
+  if (type != IcmpType::kTimeExceeded && type != IcmpType::kDestUnreachable)
+    return Error("ICMP message does not quote a datagram");
+  // The quote is usually truncated, so decode() (which validates total
+  // length against buffer size) cannot be reused directly; parse the header
+  // fields only and attach whatever payload bytes were quoted.
+  if (body.size() < Ipv4Header::kSize) return Error("quoted datagram too short");
+  ByteReader r{BytesView(body)};
+  std::uint8_t vihl = r.u8();
+  if ((vihl >> 4) != 4 || (vihl & 0x0F) != 5) return Error("quoted header not plain IPv4");
+  Ipv4Datagram d;
+  d.header.tos = r.u8();
+  r.u16();  // total length of the original (may exceed the quote)
+  d.header.identification = r.u16();
+  r.u16();  // flags/fragment
+  d.header.ttl = r.u8();
+  std::uint8_t proto = r.u8();
+  r.u16();  // checksum
+  d.header.src = Ipv4Addr(r.u32());
+  d.header.dst = Ipv4Addr(r.u32());
+  switch (proto) {
+    case 1: d.header.protocol = IpProto::kIcmp; break;
+    case 6: d.header.protocol = IpProto::kTcp; break;
+    case 17: d.header.protocol = IpProto::kUdp; break;
+    default: return Error("quoted datagram has unsupported protocol");
+  }
+  BytesView rest = r.raw(r.remaining());
+  d.payload.assign(rest.begin(), rest.end());
+  return d;
+}
+
+}  // namespace shadowprobe::net

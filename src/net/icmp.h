@@ -1,0 +1,45 @@
+// ICMP codec (RFC 792) — Time Exceeded and Echo.
+//
+// ICMP Time-Exceeded messages are how Phase II reveals observer addresses:
+// when a decoy's TTL expires at hop t, the router at hop t returns this
+// message (quoting the expired datagram's IP header + 8 payload bytes), and
+// its source address identifies the device at that hop.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "net/ipv4.h"
+
+namespace shadowprobe::net {
+
+enum class IcmpType : std::uint8_t {
+  kEchoReply = 0,
+  kDestUnreachable = 3,
+  kEchoRequest = 8,
+  kTimeExceeded = 11,
+};
+
+struct IcmpMessage {
+  IcmpType type = IcmpType::kEchoRequest;
+  std::uint8_t code = 0;
+  /// Echo: identifier/sequence packed big-endian. Time Exceeded: unused (0).
+  std::uint32_t rest = 0;
+  /// Echo: user data. Time Exceeded / Unreachable: the quoted original IP
+  /// header plus at least the first 8 bytes of its payload.
+  Bytes body;
+
+  [[nodiscard]] Bytes encode() const;
+  static Result<IcmpMessage> decode(BytesView message);
+
+  /// Builds the RFC-792 Time Exceeded (TTL expired in transit) quoting the
+  /// offending datagram.
+  static IcmpMessage time_exceeded(BytesView original_datagram);
+
+  /// Extracts the quoted original IPv4 header from a Time Exceeded /
+  /// Destination Unreachable body.
+  [[nodiscard]] Result<Ipv4Datagram> quoted_datagram() const;
+};
+
+}  // namespace shadowprobe::net

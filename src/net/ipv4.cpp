@@ -1,0 +1,126 @@
+#include "net/ipv4.h"
+
+#include "common/strutil.h"
+
+namespace shadowprobe::net {
+
+std::string Ipv4Addr::str() const {
+  return strprintf("%u.%u.%u.%u", value_ >> 24, (value_ >> 16) & 0xFF, (value_ >> 8) & 0xFF,
+                   value_ & 0xFF);
+}
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  auto parts = split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto& p : parts) {
+    long long octet = parse_uint(p);
+    if (octet < 0 || octet > 255) return std::nullopt;
+    value = value << 8 | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4Addr(value);
+}
+
+Ipv4Addr Ipv4Addr::must_parse(std::string_view text) {
+  auto addr = parse(text);
+  if (!addr) throw std::invalid_argument("bad IPv4 literal: " + std::string(text));
+  return *addr;
+}
+
+Prefix::Prefix(Ipv4Addr base, int length) : length_(length) {
+  if (length < 0 || length > 32) throw std::invalid_argument("bad prefix length");
+  base_ = Ipv4Addr(base.value() & mask());
+}
+
+std::uint32_t Prefix::mask() const noexcept {
+  if (length_ == 0) return 0;
+  return ~0U << (32 - length_);
+}
+
+bool Prefix::contains(Ipv4Addr addr) const noexcept {
+  return (addr.value() & mask()) == base_.value();
+}
+
+Ipv4Addr Prefix::at(std::uint32_t offset) const {
+  if (offset >= size()) throw std::out_of_range("Prefix::at offset outside prefix");
+  return Ipv4Addr(base_.value() + offset);
+}
+
+std::uint64_t Prefix::size() const noexcept {
+  return 1ULL << (32 - length_);
+}
+
+std::string Prefix::str() const {
+  return base_.str() + "/" + std::to_string(length_);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto base = Ipv4Addr::parse(text.substr(0, slash));
+  long long len = parse_uint(text.substr(slash + 1));
+  if (!base || len < 0 || len > 32) return std::nullopt;
+  return Prefix(*base, static_cast<int>(len));
+}
+
+std::uint16_t internet_checksum(BytesView data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+Bytes Ipv4Header::encode(BytesView payload) const {
+  ByteWriter w(kSize + payload.size());
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(tos);
+  w.u16(static_cast<std::uint16_t>(kSize + payload.size()));
+  w.u16(identification);
+  w.u16(0x4000);  // DF set, fragment offset 0
+  w.u8(ttl);
+  w.u8(static_cast<std::uint8_t>(protocol));
+  w.u16(0);  // checksum placeholder
+  w.u32(src.value());
+  w.u32(dst.value());
+  std::uint16_t csum = internet_checksum(BytesView(w.bytes()).subspan(0, kSize));
+  w.patch_u16(10, csum);
+  w.raw(payload);
+  return std::move(w).take();
+}
+
+Result<Ipv4Datagram> decode_ipv4(BytesView datagram) {
+  ByteReader r(datagram);
+  std::uint8_t vihl = r.u8();
+  if ((vihl >> 4) != 4) return Error("not an IPv4 datagram");
+  if ((vihl & 0x0F) != 5) return Error("IPv4 options unsupported (IHL != 5)");
+  Ipv4Datagram d;
+  d.header.tos = r.u8();
+  std::uint16_t total_length = r.u16();
+  d.header.identification = r.u16();
+  r.u16();  // flags/fragment: the simulator never fragments
+  d.header.ttl = r.u8();
+  std::uint8_t proto = r.u8();
+  r.u16();  // checksum (verified below over the raw header bytes)
+  d.header.src = Ipv4Addr(r.u32());
+  d.header.dst = Ipv4Addr(r.u32());
+  if (!r.ok()) return Error("truncated IPv4 header");
+  if (total_length < Ipv4Header::kSize || total_length > datagram.size())
+    return Error("IPv4 total length inconsistent with datagram size");
+  switch (proto) {
+    case 1: d.header.protocol = IpProto::kIcmp; break;
+    case 6: d.header.protocol = IpProto::kTcp; break;
+    case 17: d.header.protocol = IpProto::kUdp; break;
+    default: return Error("unsupported IP protocol " + std::to_string(proto));
+  }
+  if (internet_checksum(datagram.subspan(0, Ipv4Header::kSize)) != 0)
+    return Error("IPv4 header checksum mismatch");
+  BytesView payload = datagram.subspan(Ipv4Header::kSize, total_length - Ipv4Header::kSize);
+  d.payload.assign(payload.begin(), payload.end());
+  return d;
+}
+
+}  // namespace shadowprobe::net

@@ -1,0 +1,108 @@
+// IPv4 addressing and header codec (RFC 791).
+//
+// The TTL field of this header is the core instrument of the reproduction:
+// Phase II of the methodology locates on-path observers by sweeping the
+// initial TTL of decoy packets and watching where ICMP Time-Exceeded errors
+// and unsolicited requests start to appear.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace shadowprobe::net {
+
+/// IPv4 address as a strong type (host-order internally; network order on
+/// the wire).
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_(static_cast<std::uint32_t>(a) << 24 | static_cast<std::uint32_t>(b) << 16 |
+               static_cast<std::uint32_t>(c) << 8 | d) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] std::string str() const;
+
+  /// Parses dotted-quad notation; nullopt on malformed input.
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+  /// Parses dotted-quad and throws std::invalid_argument on failure —
+  /// for compile-time-known literals in catalogs.
+  static Ipv4Addr must_parse(std::string_view text);
+
+  constexpr auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// CIDR prefix, e.g. 114.114.114.0/24.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  /// Canonicalizes: host bits of `base` are cleared.
+  Prefix(Ipv4Addr base, int length);
+
+  [[nodiscard]] Ipv4Addr base() const noexcept { return base_; }
+  [[nodiscard]] int length() const noexcept { return length_; }
+  [[nodiscard]] std::uint32_t mask() const noexcept;
+  [[nodiscard]] bool contains(Ipv4Addr addr) const noexcept;
+  /// Address at `offset` within the prefix (offset 0 == base).
+  [[nodiscard]] Ipv4Addr at(std::uint32_t offset) const;
+  /// Number of addresses covered (2^(32-length)), capped at 2^32-1 for /0.
+  [[nodiscard]] std::uint64_t size() const noexcept;
+  [[nodiscard]] std::string str() const;
+
+  static std::optional<Prefix> parse(std::string_view text);
+
+  auto operator<=>(const Prefix&) const = default;
+
+ private:
+  Ipv4Addr base_{};
+  int length_ = 32;
+};
+
+/// IP protocol numbers used by the stack.
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// IPv4 header (no options — IHL always 5, as every packet the measurement
+/// emits is option-free; decode rejects IHL != 5 plainly rather than half-
+/// supporting options).
+struct Ipv4Header {
+  std::uint8_t tos = 0;
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kUdp;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  static constexpr std::size_t kSize = 20;
+
+  /// Serializes header + payload into one datagram; total-length and
+  /// checksum fields are computed here.
+  [[nodiscard]] Bytes encode(BytesView payload) const;
+};
+
+/// Parsed datagram: header plus a copy of the payload bytes.
+struct Ipv4Datagram {
+  Ipv4Header header;
+  Bytes payload;
+};
+
+/// Decodes a full datagram, validating version, IHL, length and checksum.
+Result<Ipv4Datagram> decode_ipv4(BytesView datagram);
+
+/// RFC 1071 Internet checksum over a byte range.
+std::uint16_t internet_checksum(BytesView data);
+
+}  // namespace shadowprobe::net

@@ -1,0 +1,91 @@
+#include "net/tcp.h"
+
+namespace shadowprobe::net {
+
+std::uint8_t TcpFlags::encode() const noexcept {
+  std::uint8_t bits = 0;
+  if (fin) bits |= 0x01;
+  if (syn) bits |= 0x02;
+  if (rst) bits |= 0x04;
+  if (psh) bits |= 0x08;
+  if (ack) bits |= 0x10;
+  return bits;
+}
+
+TcpFlags TcpFlags::decode(std::uint8_t bits) noexcept {
+  TcpFlags f;
+  f.fin = bits & 0x01;
+  f.syn = bits & 0x02;
+  f.rst = bits & 0x04;
+  f.psh = bits & 0x08;
+  f.ack = bits & 0x10;
+  return f;
+}
+
+std::string TcpFlags::str() const {
+  std::string s;
+  if (syn) s += "S";
+  if (ack) s += "A";
+  if (psh) s += "P";
+  if (fin) s += "F";
+  if (rst) s += "R";
+  return s.empty() ? "-" : s;
+}
+
+namespace {
+
+std::uint16_t tcp_checksum(Ipv4Addr src, Ipv4Addr dst, BytesView tcp_bytes) {
+  ByteWriter pseudo(12 + tcp_bytes.size());
+  pseudo.u32(src.value());
+  pseudo.u32(dst.value());
+  pseudo.u8(0);
+  pseudo.u8(static_cast<std::uint8_t>(IpProto::kTcp));
+  pseudo.u16(static_cast<std::uint16_t>(tcp_bytes.size()));
+  pseudo.raw(tcp_bytes);
+  return internet_checksum(pseudo.bytes());
+}
+
+}  // namespace
+
+Bytes TcpSegment::encode(Ipv4Addr src, Ipv4Addr dst) const {
+  ByteWriter w(kHeaderSize + payload.size());
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(5 << 4);  // data offset 5 words, no options
+  w.u8(flags.encode());
+  w.u16(window);
+  w.u16(0);  // checksum placeholder
+  w.u16(0);  // urgent pointer
+  w.raw(payload);
+  std::uint16_t csum = tcp_checksum(src, dst, w.bytes());
+  Bytes out = std::move(w).take();
+  out[16] = static_cast<std::uint8_t>(csum >> 8);
+  out[17] = static_cast<std::uint8_t>(csum);
+  return out;
+}
+
+Result<TcpSegment> TcpSegment::decode(BytesView segment, Ipv4Addr src, Ipv4Addr dst) {
+  ByteReader r(segment);
+  TcpSegment s;
+  s.src_port = r.u16();
+  s.dst_port = r.u16();
+  s.seq = r.u32();
+  s.ack = r.u32();
+  std::uint8_t offset_words = r.u8() >> 4;
+  s.flags = TcpFlags::decode(r.u8());
+  s.window = r.u16();
+  r.u16();  // checksum (verified over the raw bytes below)
+  r.u16();  // urgent pointer
+  if (!r.ok()) return Error("truncated TCP header");
+  std::size_t header_len = static_cast<std::size_t>(offset_words) * 4;
+  if (header_len < kHeaderSize || header_len > segment.size())
+    return Error("TCP data offset inconsistent");
+  if (tcp_checksum(src, dst, segment) != 0) return Error("TCP checksum mismatch");
+  BytesView body = segment.subspan(header_len);
+  s.payload.assign(body.begin(), body.end());
+  return s;
+}
+
+}  // namespace shadowprobe::net

@@ -1,0 +1,49 @@
+// TCP segment codec (RFC 9293 header format, options-free).
+//
+// The simulator implements just enough of TCP for the measurement: a
+// three-way handshake, in-order data, and FIN teardown (src/sim/tcp_stack).
+// The paper's HTTP/TLS decoys are sent after a successful handshake in
+// Phase I, and *without* a handshake in Phase II (to avoid keeping server
+// connections idle during TTL sweeps) — both paths use this codec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "net/ipv4.h"
+
+namespace shadowprobe::net {
+
+/// TCP flag bits (subset the stack uses).
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+
+  [[nodiscard]] std::uint8_t encode() const noexcept;
+  static TcpFlags decode(std::uint8_t bits) noexcept;
+  [[nodiscard]] std::string str() const;
+
+  bool operator==(const TcpFlags&) const = default;
+};
+
+struct TcpSegment {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 65535;
+  Bytes payload;
+
+  static constexpr std::size_t kHeaderSize = 20;
+
+  [[nodiscard]] Bytes encode(Ipv4Addr src, Ipv4Addr dst) const;
+  static Result<TcpSegment> decode(BytesView segment, Ipv4Addr src, Ipv4Addr dst);
+};
+
+}  // namespace shadowprobe::net

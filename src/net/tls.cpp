@@ -1,0 +1,311 @@
+#include "net/tls.h"
+
+namespace shadowprobe::net {
+
+namespace {
+
+void write_extensions(ByteWriter& w, const std::vector<TlsExtension>& extensions) {
+  std::size_t len_at = w.size();
+  w.u16(0);
+  std::size_t start = w.size();
+  for (const auto& ext : extensions) {
+    w.u16(ext.type);
+    w.u16(static_cast<std::uint16_t>(ext.body.size()));
+    w.raw(BytesView(ext.body));
+  }
+  w.patch_u16(len_at, static_cast<std::uint16_t>(w.size() - start));
+}
+
+bool read_extensions(ByteReader& r, std::vector<TlsExtension>& out) {
+  if (r.remaining() == 0) return true;  // extensions block is optional
+  std::uint16_t total = r.u16();
+  if (!r.ok() || total > r.remaining()) return false;
+  std::size_t end = r.pos() + total;
+  while (r.pos() < end) {
+    TlsExtension ext;
+    ext.type = r.u16();
+    std::uint16_t len = r.u16();
+    if (!r.ok() || r.pos() + len > end) return false;
+    BytesView body = r.raw(len);
+    ext.body.assign(body.begin(), body.end());
+    out.push_back(std::move(ext));
+  }
+  return r.pos() == end;
+}
+
+/// Wraps a handshake body in handshake + record framing.
+Bytes wrap_record(TlsHandshakeType hs_type, BytesView body) {
+  ByteWriter w(body.size() + 9);
+  w.u8(static_cast<std::uint8_t>(TlsContentType::kHandshake));
+  w.u16(0x0301);  // record legacy_version: TLS 1.0 for maximal middlebox tolerance
+  w.u16(static_cast<std::uint16_t>(body.size() + 4));
+  w.u8(static_cast<std::uint8_t>(hs_type));
+  // 24-bit handshake length.
+  w.u8(static_cast<std::uint8_t>(body.size() >> 16));
+  w.u16(static_cast<std::uint16_t>(body.size() & 0xFFFF));
+  w.raw(body);
+  return std::move(w).take();
+}
+
+/// Unwraps record + handshake framing; checks the expected handshake type.
+Result<Bytes> unwrap_record(BytesView record, TlsHandshakeType expected) {
+  ByteReader r(record);
+  std::uint8_t content_type = r.u8();
+  if (content_type != static_cast<std::uint8_t>(TlsContentType::kHandshake))
+    return Error("not a TLS handshake record");
+  std::uint16_t record_version = r.u16();
+  if ((record_version >> 8) != 3) return Error("unsupported TLS record version");
+  std::uint16_t record_len = r.u16();
+  if (!r.ok() || record_len != r.remaining()) return Error("TLS record length mismatch");
+  std::uint8_t hs_type = r.u8();
+  if (hs_type != static_cast<std::uint8_t>(expected))
+    return Error("unexpected TLS handshake type " + std::to_string(hs_type));
+  std::uint32_t hs_len = static_cast<std::uint32_t>(r.u8()) << 16 | r.u16();
+  if (!r.ok() || hs_len != r.remaining()) return Error("TLS handshake length mismatch");
+  BytesView body = r.raw(hs_len);
+  return Bytes(body.begin(), body.end());
+}
+
+}  // namespace
+
+std::optional<std::string> TlsClientHello::sni() const {
+  for (const auto& ext : extensions) {
+    if (ext.type != kExtServerName) continue;
+    ByteReader r{BytesView(ext.body)};
+    std::uint16_t list_len = r.u16();
+    if (!r.ok() || list_len != r.remaining()) return std::nullopt;
+    while (r.remaining() > 0) {
+      std::uint8_t name_type = r.u8();
+      std::uint16_t name_len = r.u16();
+      if (!r.ok()) return std::nullopt;
+      std::string name = r.str(name_len);
+      if (!r.ok()) return std::nullopt;
+      if (name_type == 0) return name;  // host_name
+    }
+    return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+void TlsClientHello::set_sni(std::string_view host_name) {
+  ByteWriter w(host_name.size() + 5);
+  w.u16(static_cast<std::uint16_t>(host_name.size() + 3));  // server_name_list length
+  w.u8(0);                                                  // host_name
+  w.u16(static_cast<std::uint16_t>(host_name.size()));
+  w.raw(host_name);
+  // Replace an existing SNI extension in place; append otherwise.
+  for (auto& ext : extensions) {
+    if (ext.type == kExtServerName) {
+      ext.body = std::move(w).take();
+      return;
+    }
+  }
+  extensions.push_back({kExtServerName, std::move(w).take()});
+}
+
+std::vector<std::string> TlsClientHello::alpn() const {
+  std::vector<std::string> out;
+  for (const auto& ext : extensions) {
+    if (ext.type != kExtAlpn) continue;
+    ByteReader r{BytesView(ext.body)};
+    std::uint16_t list_len = r.u16();
+    if (!r.ok() || list_len != r.remaining()) return {};
+    while (r.remaining() > 0) {
+      std::uint8_t len = r.u8();
+      std::string proto = r.str(len);
+      if (!r.ok()) return {};
+      out.push_back(std::move(proto));
+    }
+  }
+  return out;
+}
+
+void TlsClientHello::set_alpn(const std::vector<std::string>& protocols) {
+  ByteWriter w(32);
+  std::size_t len_at = w.size();
+  w.u16(0);
+  std::size_t start = w.size();
+  for (const auto& p : protocols) {
+    w.u8(static_cast<std::uint8_t>(p.size()));
+    w.raw(p);
+  }
+  w.patch_u16(len_at, static_cast<std::uint16_t>(w.size() - start));
+  extensions.push_back({kExtAlpn, std::move(w).take()});
+}
+
+void TlsClientHello::set_supported_versions(const std::vector<std::uint16_t>& versions) {
+  ByteWriter w(versions.size() * 2 + 1);
+  w.u8(static_cast<std::uint8_t>(versions.size() * 2));
+  for (std::uint16_t v : versions) w.u16(v);
+  extensions.push_back({kExtSupportedVersions, std::move(w).take()});
+}
+
+std::vector<std::uint16_t> TlsClientHello::supported_versions() const {
+  for (const auto& ext : extensions) {
+    if (ext.type != kExtSupportedVersions) continue;
+    ByteReader r{BytesView(ext.body)};
+    std::uint8_t len = r.u8();
+    if (!r.ok() || len != r.remaining() || len % 2 != 0) return {};
+    std::vector<std::uint16_t> out;
+    for (int i = 0; i < len / 2; ++i) out.push_back(r.u16());
+    return r.ok() ? out : std::vector<std::uint16_t>{};
+  }
+  return {};
+}
+
+Bytes TlsClientHello::encode_record() const {
+  ByteWriter w(256);
+  w.u16(legacy_version);
+  w.raw(BytesView(random.data(), random.size()));
+  w.u8(static_cast<std::uint8_t>(session_id.size()));
+  w.raw(BytesView(session_id));
+  w.u16(static_cast<std::uint16_t>(cipher_suites.size() * 2));
+  for (std::uint16_t suite : cipher_suites) w.u16(suite);
+  w.u8(1);  // compression methods length
+  w.u8(0);  // null compression
+  write_extensions(w, extensions);
+  return wrap_record(TlsHandshakeType::kClientHello, w.bytes());
+}
+
+Result<TlsClientHello> TlsClientHello::decode_record(BytesView record) {
+  auto body = unwrap_record(record, TlsHandshakeType::kClientHello);
+  if (!body.ok()) return body.error();
+  ByteReader r{BytesView(body.value())};
+  TlsClientHello hello;
+  hello.legacy_version = r.u16();
+  BytesView random = r.raw(32);
+  if (!r.ok()) return Error("truncated ClientHello");
+  std::copy(random.begin(), random.end(), hello.random.begin());
+  std::uint8_t session_len = r.u8();
+  BytesView session = r.raw(session_len);
+  hello.session_id.assign(session.begin(), session.end());
+  std::uint16_t suites_len = r.u16();
+  if (!r.ok() || suites_len % 2 != 0 || suites_len > r.remaining())
+    return Error("bad ClientHello cipher suite list");
+  for (int i = 0; i < suites_len / 2; ++i) hello.cipher_suites.push_back(r.u16());
+  std::uint8_t compression_len = r.u8();
+  r.skip(compression_len);
+  if (!r.ok()) return Error("truncated ClientHello compression methods");
+  if (!read_extensions(r, hello.extensions)) return Error("bad ClientHello extensions");
+  return hello;
+}
+
+Bytes TlsServerHello::encode_record() const {
+  ByteWriter w(128);
+  w.u16(legacy_version);
+  w.raw(BytesView(random.data(), random.size()));
+  w.u8(static_cast<std::uint8_t>(session_id.size()));
+  w.raw(BytesView(session_id));
+  w.u16(cipher_suite);
+  w.u8(0);  // null compression
+  write_extensions(w, extensions);
+  return wrap_record(TlsHandshakeType::kServerHello, w.bytes());
+}
+
+Result<TlsServerHello> TlsServerHello::decode_record(BytesView record) {
+  auto body = unwrap_record(record, TlsHandshakeType::kServerHello);
+  if (!body.ok()) return body.error();
+  ByteReader r{BytesView(body.value())};
+  TlsServerHello hello;
+  hello.legacy_version = r.u16();
+  BytesView random = r.raw(32);
+  if (!r.ok()) return Error("truncated ServerHello");
+  std::copy(random.begin(), random.end(), hello.random.begin());
+  std::uint8_t session_len = r.u8();
+  BytesView session = r.raw(session_len);
+  hello.session_id.assign(session.begin(), session.end());
+  hello.cipher_suite = r.u16();
+  r.u8();  // compression
+  if (!r.ok()) return Error("truncated ServerHello");
+  if (!read_extensions(r, hello.extensions)) return Error("bad ServerHello extensions");
+  return hello;
+}
+
+namespace {
+/// Whitening keystream for opaque bodies: not cryptography, just enough to
+/// keep passive parsers from reading the bytes (as real ciphertext would).
+void whiten(Bytes& data) {
+  std::uint8_t state = 0x5A;
+  for (auto& b : data) {
+    b ^= state;
+    state = static_cast<std::uint8_t>(state * 73 + 41);
+  }
+}
+}  // namespace
+
+void TlsClientHello::set_ech(std::string_view inner_name,
+                             std::string_view outer_public_name) {
+  set_sni(outer_public_name);
+  ByteWriter w(inner_name.size() + 8);
+  w.u16(0x0001);  // HPKE cipher-suite placeholder
+  w.u16(static_cast<std::uint16_t>(inner_name.size()));
+  w.raw(inner_name);
+  Bytes body = std::move(w).take();
+  whiten(body);
+  for (auto& ext : extensions) {
+    if (ext.type == kExtEncryptedClientHello) {
+      ext.body = std::move(body);
+      return;
+    }
+  }
+  extensions.push_back({kExtEncryptedClientHello, std::move(body)});
+}
+
+bool TlsClientHello::has_ech() const {
+  for (const auto& ext : extensions) {
+    if (ext.type == kExtEncryptedClientHello) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> TlsClientHello::ech_inner_sni() const {
+  for (const auto& ext : extensions) {
+    if (ext.type != kExtEncryptedClientHello) continue;
+    Bytes body = ext.body;
+    whiten(body);  // XOR whitening is its own inverse per position
+    ByteReader r{BytesView(body)};
+    r.u16();  // cipher-suite placeholder
+    std::uint16_t len = r.u16();
+    std::string name = r.str(len);
+    if (!r.ok() || r.remaining() != 0) return std::nullopt;
+    return name;
+  }
+  return std::nullopt;
+}
+
+Bytes tls_opaque_record(BytesView payload) {
+  Bytes body(payload.begin(), payload.end());
+  whiten(body);
+  ByteWriter w(body.size() + 5);
+  w.u8(static_cast<std::uint8_t>(TlsContentType::kApplicationData));
+  w.u16(0x0303);
+  w.u16(static_cast<std::uint16_t>(body.size()));
+  w.raw(BytesView(body));
+  return std::move(w).take();
+}
+
+Result<Bytes> tls_opaque_unwrap(BytesView record) {
+  ByteReader r(record);
+  std::uint8_t content_type = r.u8();
+  if (content_type != static_cast<std::uint8_t>(TlsContentType::kApplicationData))
+    return Error("not an application-data record");
+  r.u16();  // version
+  std::uint16_t len = r.u16();
+  if (!r.ok() || len != r.remaining()) return Error("opaque record length mismatch");
+  BytesView body = r.raw(len);
+  Bytes out(body.begin(), body.end());
+  whiten(out);
+  return out;
+}
+
+Bytes tls_alert_record(std::uint8_t level, std::uint8_t description) {
+  ByteWriter w(7);
+  w.u8(static_cast<std::uint8_t>(TlsContentType::kAlert));
+  w.u16(0x0303);
+  w.u16(2);
+  w.u8(level);
+  w.u8(description);
+  return std::move(w).take();
+}
+
+}  // namespace shadowprobe::net

@@ -1,0 +1,99 @@
+// TLS record and ClientHello codec (RFC 8446 wire format subset).
+//
+// TLS decoys carry the experiment domain in the clear-text Server Name
+// Indication extension of the ClientHello — the one field of a TLS session
+// an on-path observer can read without breaking the handshake. The codec
+// produces byte-faithful records: record layer, handshake framing, cipher
+// suites, and the SNI / ALPN / supported_versions extensions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace shadowprobe::net {
+
+enum class TlsContentType : std::uint8_t {
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+enum class TlsHandshakeType : std::uint8_t {
+  kClientHello = 1,
+  kServerHello = 2,
+};
+
+/// A raw TLS extension (type + opaque body).
+struct TlsExtension {
+  std::uint16_t type = 0;
+  Bytes body;
+};
+
+constexpr std::uint16_t kExtServerName = 0;
+constexpr std::uint16_t kExtAlpn = 16;
+constexpr std::uint16_t kExtSupportedVersions = 43;
+constexpr std::uint16_t kExtEncryptedClientHello = 0xfe0d;
+
+struct TlsClientHello {
+  std::uint16_t legacy_version = 0x0303;  // TLS 1.2 on the wire, per RFC 8446
+  std::array<std::uint8_t, 32> random{};
+  Bytes session_id;
+  std::vector<std::uint16_t> cipher_suites;
+  std::vector<TlsExtension> extensions;
+
+  /// Convenience accessors over the extension list.
+  [[nodiscard]] std::optional<std::string> sni() const;
+  void set_sni(std::string_view host_name);
+  [[nodiscard]] std::vector<std::string> alpn() const;
+  void set_alpn(const std::vector<std::string>& protocols);
+  void set_supported_versions(const std::vector<std::uint16_t>& versions);
+  [[nodiscard]] std::vector<std::uint16_t> supported_versions() const;
+
+  /// Encrypted Client Hello (draft-ietf-tls-esni): moves the true server
+  /// name into an encrypted extension body and leaves only the provider's
+  /// public outer name in the clear SNI. On-path observers see
+  /// `outer_public_name`; only the terminating party can recover
+  /// `inner_name`. (This library carries the inner name obfuscated rather
+  /// than HPKE-encrypted — the observable surface is identical: parsers
+  /// without the "key" cannot read it; see ech_inner_sni.)
+  void set_ech(std::string_view inner_name, std::string_view outer_public_name);
+  [[nodiscard]] bool has_ech() const;
+  /// Recovers the inner name — models decryption by the key-holding
+  /// terminating server. Nullopt when no ECH extension is present.
+  [[nodiscard]] std::optional<std::string> ech_inner_sni() const;
+
+  /// Encodes the full record: TLS record header + handshake header + body.
+  [[nodiscard]] Bytes encode_record() const;
+  /// Decodes a full record; rejects anything that is not a ClientHello.
+  static Result<TlsClientHello> decode_record(BytesView record);
+};
+
+struct TlsServerHello {
+  std::uint16_t legacy_version = 0x0303;
+  std::array<std::uint8_t, 32> random{};
+  Bytes session_id;
+  std::uint16_t cipher_suite = 0x1301;  // TLS_AES_128_GCM_SHA256
+  std::vector<TlsExtension> extensions;
+
+  [[nodiscard]] Bytes encode_record() const;
+  static Result<TlsServerHello> decode_record(BytesView record);
+};
+
+/// A fatal TLS alert record (used by honeypots to close handshakes politely
+/// after logging the ClientHello).
+Bytes tls_alert_record(std::uint8_t level, std::uint8_t description);
+
+/// Wraps a payload as an opaque application-data record (content type 23).
+/// The body is whitened so passive parsers cannot read it — the simulator's
+/// stand-in for an established encrypted session (DoT/DoH transports).
+Bytes tls_opaque_record(BytesView payload);
+/// Unwraps a record produced by tls_opaque_record (the "key-holding" side).
+Result<Bytes> tls_opaque_unwrap(BytesView record);
+
+}  // namespace shadowprobe::net

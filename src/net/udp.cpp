@@ -1,0 +1,63 @@
+#include "net/udp.h"
+
+namespace shadowprobe::net {
+
+namespace {
+
+std::uint16_t udp_checksum(Ipv4Addr src, Ipv4Addr dst, BytesView udp_bytes) {
+  ByteWriter pseudo(12 + udp_bytes.size());
+  pseudo.u32(src.value());
+  pseudo.u32(dst.value());
+  pseudo.u8(0);
+  pseudo.u8(static_cast<std::uint8_t>(IpProto::kUdp));
+  pseudo.u16(static_cast<std::uint16_t>(udp_bytes.size()));
+  pseudo.raw(udp_bytes);
+  std::uint16_t sum = internet_checksum(pseudo.bytes());
+  // An all-zero checksum is transmitted as 0xFFFF (zero means "no checksum").
+  return sum == 0 ? 0xFFFF : sum;
+}
+
+}  // namespace
+
+Bytes UdpDatagram::encode(Ipv4Addr src, Ipv4Addr dst) const {
+  ByteWriter w(kHeaderSize + payload.size());
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(static_cast<std::uint16_t>(kHeaderSize + payload.size()));
+  w.u16(0);
+  w.raw(payload);
+  std::uint16_t csum = udp_checksum(src, dst, w.bytes());
+  Bytes out = std::move(w).take();
+  out[6] = static_cast<std::uint8_t>(csum >> 8);
+  out[7] = static_cast<std::uint8_t>(csum);
+  return out;
+}
+
+Result<UdpDatagram> UdpDatagram::decode(BytesView segment, Ipv4Addr src, Ipv4Addr dst) {
+  ByteReader r(segment);
+  UdpDatagram d;
+  d.src_port = r.u16();
+  d.dst_port = r.u16();
+  std::uint16_t length = r.u16();
+  std::uint16_t csum = r.u16();
+  if (!r.ok()) return Error("truncated UDP header");
+  if (length < kHeaderSize || length > segment.size())
+    return Error("UDP length field inconsistent");
+  if (csum != 0) {
+    // Verify with the pseudo-header: the sum over pseudo-header plus the
+    // whole segment (checksum field included) must fold to zero.
+    ByteWriter pseudo(12 + length);
+    pseudo.u32(src.value());
+    pseudo.u32(dst.value());
+    pseudo.u8(0);
+    pseudo.u8(static_cast<std::uint8_t>(IpProto::kUdp));
+    pseudo.u16(length);
+    pseudo.raw(segment.subspan(0, length));
+    if (internet_checksum(pseudo.bytes()) != 0) return Error("UDP checksum mismatch");
+  }
+  BytesView body = segment.subspan(kHeaderSize, length - kHeaderSize);
+  d.payload.assign(body.begin(), body.end());
+  return d;
+}
+
+}  // namespace shadowprobe::net

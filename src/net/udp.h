@@ -1,0 +1,30 @@
+// UDP header codec (RFC 768).
+//
+// The simulator carries DNS decoys and honeypot responses over UDP. The
+// checksum is computed over the standard pseudo-header so that captures are
+// byte-faithful to what a real stack would emit.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "net/ipv4.h"
+
+namespace shadowprobe::net {
+
+struct UdpDatagram {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Bytes payload;
+
+  static constexpr std::size_t kHeaderSize = 8;
+
+  /// Encodes header+payload; src/dst addresses are needed for the checksum
+  /// pseudo-header.
+  [[nodiscard]] Bytes encode(Ipv4Addr src, Ipv4Addr dst) const;
+
+  static Result<UdpDatagram> decode(BytesView segment, Ipv4Addr src, Ipv4Addr dst);
+};
+
+}  // namespace shadowprobe::net

@@ -1,0 +1,77 @@
+#include "shadow/exhibitor.h"
+
+#include <algorithm>
+
+namespace shadowprobe::shadow {
+
+void Exhibitor::observe(SimTime now, const net::DnsName& domain, net::Ipv4Addr client,
+                        net::Ipv4Addr server, core::DecoyProtocol seen_in) {
+  switch (seen_in) {
+    case core::DecoyProtocol::kDns:
+      if (!config_.sees_dns) return;
+      break;
+    case core::DecoyProtocol::kHttp:
+      if (!config_.sees_http) return;
+      break;
+    case core::DecoyProtocol::kTls:
+      if (!config_.sees_tls) return;
+      break;
+  }
+  // An exhibitor recognizes (and does not re-harvest) its own probing
+  // traffic passing back through the networks it watches.
+  for (const ProberHost* prober : probers_) {
+    if (prober->addr() == client) return;
+  }
+  if (seen_.count(domain) > 0) return;
+  auto [pair_it, fresh] = monitored_.try_emplace({client, server}, false);
+  if (fresh) pair_it->second = rng_.chance(config_.observe_probability);
+  if (!pair_it->second) return;
+  seen_.insert(domain);
+
+  Observation obs;
+  obs.captured = now;
+  obs.domain = domain;
+  obs.client = client;
+  obs.server = server;
+  obs.seen_in = seen_in;
+  std::size_t item = store_.record(std::move(obs));
+  for (const auto& wave : config_.waves) {
+    if (rng_.chance(wave.probability)) schedule_wave(item, wave);
+  }
+}
+
+void Exhibitor::schedule_wave(std::size_t item, const ReplayWave& wave) {
+  int requests = static_cast<int>(rng_.range(wave.requests_min, wave.requests_max));
+  for (int i = 0; i < requests; ++i) {
+    double seconds = rng_.lognormal(to_seconds(wave.delay_median), wave.delay_sigma);
+    seconds = std::max(seconds, to_seconds(wave.delay_floor));
+    // Capture wave parameters by value: profiles outlive the deployment but
+    // the lambda must not reference caller stack frames.
+    ReplayWave w = wave;
+    loop_.schedule(from_seconds(seconds), [this, item, w] { fire_request(item, w); });
+  }
+}
+
+void Exhibitor::fire_request(std::size_t item, const ReplayWave& wave) {
+  if (probers_.empty()) return;
+  const Observation& obs = store_.at(item);
+  std::size_t pick = rng_.weighted({wave.dns_weight, wave.http_weight, wave.https_weight});
+  const std::vector<ProberHost*>& pool =
+      pick == 0 ? (dns_probers_.empty() ? probers_ : dns_probers_)
+                : (web_probers_.empty() ? probers_ : web_probers_);
+  ProberHost* prober = pool[static_cast<std::size_t>(rng_.below(pool.size()))];
+  switch (pick) {
+    case 0:
+      prober->probe_dns(obs.domain, config_.probe_resolver);
+      break;
+    case 1:
+      prober->probe_http(obs.domain, config_.probe_resolver, wave.http_paths);
+      break;
+    default:
+      prober->probe_https(obs.domain, config_.probe_resolver);
+      break;
+  }
+  store_.count_replay(item);
+}
+
+}  // namespace shadowprobe::shadow

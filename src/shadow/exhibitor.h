@@ -1,0 +1,112 @@
+// Exhibitor engine: turns observations into unsolicited requests.
+//
+// An Exhibitor is the ground-truth model of one traffic-shadowing party.
+// Observations flow in (from a resolver hook or an on-wire tap), pass an
+// observation filter, enter the retention store, and are then replayed in
+// one or more "waves" — each wave an independent chance of a burst of
+// unsolicited requests after a heavy-tailed delay, split across request
+// protocols. The wave vocabulary expresses every behaviour the paper
+// measures: sub-minute re-queries, same-day probing, multi-day retention,
+// multi-use of a single observation, and protocol conversion (DNS decoy ->
+// HTTP probe).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "shadow/prober.h"
+#include "shadow/retention.h"
+#include "sim/event_loop.h"
+
+namespace shadowprobe::shadow {
+
+struct ReplayWave {
+  /// Chance this wave fires for a retained observation.
+  double probability = 1.0;
+  /// Log-normal delay from observation to each request of the wave.
+  SimDuration delay_median = kHour;
+  double delay_sigma = 1.0;
+  /// Lower clamp on the delay (security pipelines batch their scans; the
+  /// paper sees no HTTP(S) probe earlier than one hour after the decoy).
+  SimDuration delay_floor = 0;
+  /// Requests per firing (uniform in [min, max]).
+  int requests_min = 1;
+  int requests_max = 1;
+  /// Request-protocol mix.
+  double dns_weight = 1.0;
+  double http_weight = 0.0;
+  double https_weight = 0.0;
+  /// GETs per HTTP probe connection (path enumeration depth).
+  int http_paths = 4;
+};
+
+struct ExhibitorConfig {
+  std::string name;
+  /// Fraction of passing observations actually retained.
+  double observe_probability = 1.0;
+  /// Which carrying protocols this exhibitor can see (a DPI box may parse
+  /// HTTP but not TLS, a resolver sees only DNS).
+  bool sees_dns = true;
+  bool sees_http = true;
+  bool sees_tls = true;
+  std::vector<ReplayWave> waves;
+  /// Resolver the prober fleet uses for lookups (the paper finds Google
+  /// Public DNS dominant among unsolicited-query origins).
+  net::Ipv4Addr probe_resolver;
+};
+
+class Exhibitor {
+ public:
+  Exhibitor(ExhibitorConfig config, Rng rng, sim::EventLoop& loop)
+      : config_(std::move(config)), rng_(rng), loop_(loop) {}
+
+  Exhibitor(const Exhibitor&) = delete;
+  Exhibitor& operator=(const Exhibitor&) = delete;
+
+  /// The fleet emitting this exhibitor's unsolicited requests. Not owned.
+  /// `web_role` probers send the HTTP/HTTPS probes (the heavily blocklisted
+  /// scanning proxies of Section 5); the rest perform the DNS lookups (whose
+  /// origins the paper finds mostly clean, 5.2% listed). With a single-role
+  /// fleet, every prober does everything.
+  void add_prober(ProberHost* prober, bool web_role = true) {
+    (web_role ? web_probers_ : dns_probers_).push_back(prober);
+    probers_.push_back(prober);
+  }
+
+  /// Feeds one observation (called by resolver hooks / wire taps).
+  void observe(SimTime now, const net::DnsName& domain, net::Ipv4Addr client,
+               net::Ipv4Addr server, core::DecoyProtocol seen_in);
+
+  [[nodiscard]] const ExhibitorConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const RetentionStore& store() const noexcept { return store_; }
+  [[nodiscard]] std::uint64_t observations() const noexcept { return store_.size(); }
+
+ private:
+  void schedule_wave(std::size_t item, const ReplayWave& wave);
+  void fire_request(std::size_t item, const ReplayWave& wave);
+
+  ExhibitorConfig config_;
+  Rng rng_;
+  sim::EventLoop& loop_;
+  RetentionStore store_;
+  std::vector<ProberHost*> probers_;
+  std::vector<ProberHost*> web_probers_;
+  std::vector<ProberHost*> dns_probers_;
+  /// Exhibitors key on *newly observed* domains (per the paper's operator
+  /// feedback); repeats — including echoes of our own probes crossing the
+  /// same networks — are not re-armed.
+  std::set<net::DnsName> seen_;
+  /// Monitoring is selected per (client, server) pair, deterministically:
+  /// a DPI device either watches a flow pair or it does not. This is what
+  /// makes the Phase-II TTL sweep crisp — every variant of a monitored
+  /// path is observed once it reaches the device's hop, so the smallest
+  /// triggering TTL is exactly the device's hop.
+  std::map<std::pair<net::Ipv4Addr, net::Ipv4Addr>, bool> monitored_;
+};
+
+}  // namespace shadowprobe::shadow

@@ -1,0 +1,99 @@
+#include "shadow/observers.h"
+
+#include "net/http.h"
+#include "net/tcp.h"
+#include "net/tls.h"
+#include "net/udp.h"
+#include "sim/udp_util.h"
+
+namespace shadowprobe::shadow {
+
+void WireTap::on_packet(sim::Network& net, sim::NodeId node,
+                        const net::Ipv4Datagram& dgram) {
+  (void)node;
+  if (dgram.header.protocol == net::IpProto::kUdp && filter_.dns) {
+    auto udp = net::UdpDatagram::decode(BytesView(dgram.payload), dgram.header.src,
+                                        dgram.header.dst);
+    if (!udp.ok() || udp.value().dst_port != 53) return;
+    auto dns = net::DnsMessage::decode(BytesView(udp.value().payload));
+    if (!dns.ok() || dns.value().header.qr || dns.value().questions.empty()) return;
+    ++parsed_;
+    exhibitor_.observe(net.now(), dns.value().questions.front().name, dgram.header.src,
+                       dgram.header.dst, core::DecoyProtocol::kDns);
+    return;
+  }
+  if (dgram.header.protocol != net::IpProto::kTcp) return;
+  auto tcp = net::TcpSegment::decode(BytesView(dgram.payload), dgram.header.src,
+                                     dgram.header.dst);
+  if (!tcp.ok() || tcp.value().payload.empty()) return;
+  const net::TcpSegment& seg = tcp.value();
+  if (seg.dst_port == 80 && filter_.http) {
+    auto request = net::HttpRequest::decode(BytesView(seg.payload));
+    if (!request.ok()) return;
+    auto host = net::DnsName::parse(request.value().host());
+    if (!host) return;
+    ++parsed_;
+    exhibitor_.observe(net.now(), *host, dgram.header.src, dgram.header.dst,
+                       core::DecoyProtocol::kHttp);
+    return;
+  }
+  if (seg.dst_port == 443 && filter_.tls) {
+    auto hello = net::TlsClientHello::decode_record(BytesView(seg.payload));
+    if (!hello.ok()) return;
+    // ECH hides the true name from on-path devices: they see only the
+    // provider's outer public name. A terminating-party tap recovers it.
+    std::optional<std::string> sni;
+    if (hello.value().has_ech()) {
+      sni = terminating_ ? hello.value().ech_inner_sni() : hello.value().sni();
+    } else {
+      sni = hello.value().sni();
+    }
+    if (!sni) return;
+    auto host = net::DnsName::parse(*sni);
+    if (!host) return;
+    ++parsed_;
+    exhibitor_.observe(net.now(), *host, dgram.header.src, dgram.header.dst,
+                       core::DecoyProtocol::kTls);
+  }
+}
+
+void RouterServices::bind(sim::Network& net, sim::NodeId router) {
+  tcp_ = std::make_unique<sim::TcpStack>(net, router, rng_.fork("tcp"));
+  for (std::uint16_t port : open_ports_) {
+    tcp_->listen(port, [](const sim::ConnKey&, BytesView) { return Bytes{}; });
+  }
+  net.set_handler(router, this);
+}
+
+void RouterServices::on_datagram(sim::Network& net, sim::NodeId self,
+                                 const net::Ipv4Datagram& dgram) {
+  (void)net;
+  (void)self;
+  if (dgram.header.protocol == net::IpProto::kTcp) tcp_->on_segment(dgram);
+}
+
+void DnsInterceptor::on_packet(sim::Network& net, sim::NodeId node,
+                               const net::Ipv4Datagram& dgram) {
+  if (dgram.header.protocol != net::IpProto::kUdp) return;
+  auto udp = net::UdpDatagram::decode(BytesView(dgram.payload), dgram.header.src,
+                                      dgram.header.dst);
+  if (!udp.ok() || udp.value().dst_port != 53) return;
+  auto dns = net::DnsMessage::decode(BytesView(udp.value().payload));
+  if (!dns.ok() || dns.value().header.qr || dns.value().questions.empty()) return;
+  ++intercepted_;
+  // Replicating interception: the original query continues towards its
+  // destination (taps are passive); the middlebox injects its own answer
+  // with the source address spoofed as the intended destination.
+  net::DnsMessage response = net::DnsMessage::response_to(dns.value(),
+                                                          net::DnsRcode::kNoError);
+  const net::DnsQuestion& question = dns.value().questions.front();
+  if (question.type == net::DnsType::kA || question.type == net::DnsType::kAny) {
+    response.answers.push_back(net::DnsRecord::a(question.name, answer_, 60));
+  }
+  Bytes wire = response.encode();
+  sim::send_udp(net, node, dgram.header.dst, dgram.header.src, 53, udp.value().src_port,
+                BytesView(wire), /*ttl=*/64,
+                static_cast<std::uint16_t>(rng_.bits()));
+}
+
+}  // namespace shadowprobe::shadow

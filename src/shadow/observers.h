@@ -1,0 +1,94 @@
+// Observer attachments: how exhibitors get to see traffic.
+//
+// WireTap is a passive DPI device on a router: it parses passing datagrams
+// for the three clear-text name fields (DNS QNAME, HTTP Host, TLS SNI) and
+// feeds an Exhibitor. A tap sees a decoy only if the decoy's TTL sufficed
+// to reach its hop — which is exactly the property Phase II's TTL sweep
+// exploits to locate it.
+//
+// DnsInterceptor models the Appendix-E noise source: a replicating DNS
+// interception middlebox that answers queries crossing its router with a
+// response spoofed from the *destination* address. It answers queries to
+// non-serving "pair resolver" addresses too, which is how the paper's
+// pair-resolver screen detects and removes affected vantage points.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/dns.h"
+#include "shadow/exhibitor.h"
+#include "sim/network.h"
+#include "sim/tcp_stack.h"
+
+namespace shadowprobe::shadow {
+
+class WireTap : public sim::PacketTap {
+ public:
+  struct Filter {
+    bool dns = true;
+    bool http = true;
+    bool tls = true;
+  };
+
+  /// `terminating` marks a tap at the session's terminating party (e.g. a
+  /// destination-side sniffer with access to the server's keys): it can
+  /// recover ECH inner names, which pure on-path devices cannot.
+  WireTap(Exhibitor& exhibitor, Filter filter, bool terminating = false)
+      : exhibitor_(exhibitor), filter_(filter), terminating_(terminating) {}
+
+  void on_packet(sim::Network& net, sim::NodeId node,
+                 const net::Ipv4Datagram& dgram) override;
+
+  [[nodiscard]] std::uint64_t parsed() const noexcept { return parsed_; }
+
+ private:
+  Exhibitor& exhibitor_;
+  Filter filter_;
+  bool terminating_ = false;
+  std::uint64_t parsed_ = 0;
+};
+
+/// Management plane of an observer router that exposes services: a small
+/// TCP stack answering its open ports (most commonly BGP/179) and RST-ing
+/// the rest. Routers without RouterServices stay silent — the "filtered"
+/// majority (92%) of the paper's observer port scan.
+class RouterServices : public sim::DatagramHandler {
+ public:
+  RouterServices(Rng rng, std::vector<std::uint16_t> open_ports)
+      : rng_(rng), open_ports_(std::move(open_ports)) {}
+
+  void bind(sim::Network& net, sim::NodeId router);
+
+  void on_datagram(sim::Network& net, sim::NodeId self,
+                   const net::Ipv4Datagram& dgram) override;
+
+ private:
+  Rng rng_;
+  std::vector<std::uint16_t> open_ports_;
+  std::unique_ptr<sim::TcpStack> tcp_;
+};
+
+class DnsInterceptor : public sim::PacketTap {
+ public:
+  /// `spoofed_answer` is the A record the middlebox injects for every
+  /// intercepted query (interceptors typically front a local cache or
+  /// filtering resolver).
+  DnsInterceptor(net::Ipv4Addr spoofed_answer, Rng rng)
+      : answer_(spoofed_answer), rng_(rng) {}
+
+  void on_packet(sim::Network& net, sim::NodeId node,
+                 const net::Ipv4Datagram& dgram) override;
+
+  [[nodiscard]] std::uint64_t intercepted() const noexcept { return intercepted_; }
+
+ private:
+  net::Ipv4Addr answer_;
+  Rng rng_;
+  std::uint64_t intercepted_ = 0;
+};
+
+}  // namespace shadowprobe::shadow

@@ -1,0 +1,54 @@
+// Retention store: what a traffic-shadowing exhibitor keeps.
+//
+// An observer (at a resolver or on the wire) records domain names it sees in
+// passing traffic. The store retains each observation with its capture time
+// and context; replay policies later draw on it to produce unsolicited
+// requests — possibly days later and more than once, which is precisely the
+// behaviour the paper measures (data "retained or even presumably stored
+// longer than expected").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "core/types.h"
+#include "net/dns.h"
+#include "net/ipv4.h"
+
+namespace shadowprobe::shadow {
+
+struct Observation {
+  SimTime captured = 0;
+  net::DnsName domain;
+  net::Ipv4Addr client;              // who sent the packet that leaked it
+  net::Ipv4Addr server;              // where the packet was going
+  core::DecoyProtocol seen_in = core::DecoyProtocol::kDns;  // carrying protocol
+  std::uint64_t replays = 0;         // how often it has been leveraged so far
+};
+
+class RetentionStore {
+ public:
+  /// Records an observation and returns its index.
+  std::size_t record(Observation obs) {
+    items_.push_back(std::move(obs));
+    return items_.size() - 1;
+  }
+
+  [[nodiscard]] Observation& at(std::size_t index) { return items_.at(index); }
+  [[nodiscard]] const Observation& at(std::size_t index) const { return items_.at(index); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] std::uint64_t total_replays() const noexcept { return total_replays_; }
+
+  void count_replay(std::size_t index) {
+    ++items_.at(index).replays;
+    ++total_replays_;
+  }
+
+ private:
+  std::vector<Observation> items_;
+  std::uint64_t total_replays_ = 0;
+};
+
+}  // namespace shadowprobe::shadow

@@ -1,0 +1,39 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+namespace shadowprobe::sim {
+
+void EventLoop::schedule(SimDuration delay, Action action) {
+  if (delay < 0) delay = 0;
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void EventLoop::schedule_at(SimTime when, Action action) {
+  if (when < now_) when = now_;
+  queue_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move via const_cast is safe because the
+  // entry is popped immediately after.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.when;
+  ++processed_;
+  entry.action();
+  return true;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+void EventLoop::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace shadowprobe::sim

@@ -1,0 +1,57 @@
+// Discrete-event loop driving the simulated clock.
+//
+// The whole measurement campaign is a single-threaded event program: every
+// packet hop, resolver timer, and exhibitor replay is an event. Determinism
+// holds because ties are broken by insertion order (a strictly increasing
+// sequence number), never by heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace shadowprobe::sim {
+
+class EventLoop {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` to run at now() + delay (delay < 0 clamps to now()).
+  void schedule(SimDuration delay, Action action);
+  /// Schedules at an absolute time (clamped to now()).
+  void schedule_at(SimTime when, Action action);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Runs events until the queue drains.
+  void run();
+  /// Runs events with time <= deadline; the clock ends at deadline.
+  void run_until(SimTime deadline);
+  /// Runs a single event; returns false when the queue is empty.
+  bool step();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+
+    bool operator>(const Entry& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace shadowprobe::sim

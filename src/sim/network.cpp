@@ -1,0 +1,155 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace shadowprobe::sim {
+
+NodeId Network::add_node(std::string name, NodeKind kind, net::Ipv4Addr addr,
+                         DatagramHandler* handler) {
+  if (addr_owner_.count(addr) != 0)
+    throw std::invalid_argument("address already assigned: " + addr.str());
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node node;
+  node.name = std::move(name);
+  node.kind = kind;
+  node.primary = addr;
+  node.addresses.push_back(addr);
+  node.handler = handler;
+  nodes_.push_back(std::move(node));
+  addr_owner_[addr] = id;
+  return id;
+}
+
+NodeId Network::add_router(std::string name, net::Ipv4Addr addr) {
+  return add_node(std::move(name), NodeKind::kRouter, addr, nullptr);
+}
+
+NodeId Network::add_host(std::string name, net::Ipv4Addr addr, DatagramHandler* handler) {
+  return add_node(std::move(name), NodeKind::kHost, addr, handler);
+}
+
+void Network::add_address(NodeId node, net::Ipv4Addr addr) {
+  if (addr_owner_.count(addr) != 0)
+    throw std::invalid_argument("address already assigned: " + addr.str());
+  nodes_.at(node).addresses.push_back(addr);
+  addr_owner_[addr] = node;
+}
+
+void Network::add_anycast_address(NodeId node, net::Ipv4Addr addr) {
+  nodes_.at(node).addresses.push_back(addr);
+  addr_owner_.emplace(addr, node);  // first instance wins owner_of(); others unlisted
+}
+
+void Network::set_handler(NodeId node, DatagramHandler* handler) {
+  nodes_.at(node).handler = handler;
+}
+
+RoutingTable& Network::routes(NodeId node) { return nodes_.at(node).routes; }
+
+void Network::set_link_latency(NodeId a, NodeId b, SimDuration latency) {
+  link_latency_[{std::min(a, b), std::max(a, b)}] = latency;
+}
+
+void Network::add_tap(NodeId node, PacketTap* tap) { nodes_.at(node).taps.push_back(tap); }
+
+void Network::remove_tap(NodeId node, PacketTap* tap) {
+  auto& taps = nodes_.at(node).taps;
+  taps.erase(std::remove(taps.begin(), taps.end(), tap), taps.end());
+}
+
+const std::string& Network::name(NodeId node) const { return nodes_.at(node).name; }
+NodeKind Network::kind(NodeId node) const { return nodes_.at(node).kind; }
+net::Ipv4Addr Network::address(NodeId node) const { return nodes_.at(node).primary; }
+
+NodeId Network::owner_of(net::Ipv4Addr addr) const {
+  auto it = addr_owner_.find(addr);
+  return it == addr_owner_.end() ? kInvalidNode : it->second;
+}
+
+SimDuration Network::latency(NodeId a, NodeId b) const {
+  auto it = link_latency_.find({std::min(a, b), std::max(a, b)});
+  return it == link_latency_.end() ? default_latency_ : it->second;
+}
+
+bool Network::is_local(const Node& n, net::Ipv4Addr addr) const {
+  return std::find(n.addresses.begin(), n.addresses.end(), addr) != n.addresses.end();
+}
+
+void Network::send(NodeId from, net::Ipv4Header header, BytesView payload) {
+  // Loopback delivery without touching the wire.
+  const Node& origin = nodes_.at(from);
+  if (is_local(origin, header.dst)) {
+    Bytes body(payload.begin(), payload.end());
+    loop_.schedule(0, [this, from, header, body = std::move(body)]() mutable {
+      arrive(from, header, std::move(body));
+    });
+    return;
+  }
+  forward(from, header, Bytes(payload.begin(), payload.end()), /*decrement_ttl=*/false);
+}
+
+void Network::forward(NodeId node, net::Ipv4Header header, Bytes payload,
+                      bool decrement_ttl) {
+  const Node& n = nodes_.at(node);
+  // TTL is checked before the routing decision, as real routers do: an
+  // expiring packet draws Time-Exceeded even when there is no route onward.
+  if (decrement_ttl) {
+    if (header.ttl <= 1) {
+      drops_.add(static_cast<int>(DropReason::kTtlExpired));
+      emit_time_exceeded(node, header, BytesView(payload));
+      return;
+    }
+  }
+  auto next = n.routes.lookup(header.dst);
+  if (!next) {
+    drops_.add(static_cast<int>(DropReason::kNoRoute));
+    SP_LOG_DEBUG("no route from " + n.name + " to " + header.dst.str());
+    return;
+  }
+  if (decrement_ttl) {
+    --header.ttl;
+    ++forwarded_;
+  }
+  NodeId next_hop = *next;
+  SimDuration delay = latency(node, next_hop);
+  loop_.schedule(delay, [this, next_hop, header, payload = std::move(payload)]() mutable {
+    arrive(next_hop, header, std::move(payload));
+  });
+}
+
+void Network::arrive(NodeId node, net::Ipv4Header header, Bytes payload) {
+  Node& n = nodes_.at(node);
+  net::Ipv4Datagram dgram{header, std::move(payload)};
+  // Taps fire on physical arrival, before any delivery/forwarding decision —
+  // an on-wire observer sees even packets that expire at this hop.
+  for (PacketTap* tap : n.taps) tap->on_packet(*this, node, dgram);
+  if (is_local(n, header.dst)) {
+    ++delivered_;
+    if (n.handler != nullptr) n.handler->on_datagram(*this, node, dgram);
+    return;
+  }
+  forward(node, dgram.header, std::move(dgram.payload), /*decrement_ttl=*/true);
+}
+
+void Network::emit_time_exceeded(NodeId router, const net::Ipv4Header& header,
+                                 BytesView payload) {
+  // Hosts silently drop expired packets; only routers answer with ICMP
+  // (RFC 1812 §4.3.2.4 also forbids ICMP about ICMP errors).
+  const Node& n = nodes_.at(router);
+  if (n.kind != NodeKind::kRouter) return;
+  if (header.protocol == net::IpProto::kIcmp) return;
+  Bytes original = header.encode(payload);
+  net::IcmpMessage icmp = net::IcmpMessage::time_exceeded(original);
+  net::Ipv4Header reply;
+  reply.src = n.primary;
+  reply.dst = header.src;
+  reply.ttl = 64;
+  reply.protocol = net::IpProto::kIcmp;
+  Bytes body = icmp.encode();
+  forward(router, reply, std::move(body), /*decrement_ttl=*/false);
+}
+
+}  // namespace shadowprobe::sim

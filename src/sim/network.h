@@ -1,0 +1,130 @@
+// Simulated IPv4 network: nodes (hosts and routers), links with latency,
+// longest-prefix-match forwarding, per-hop TTL decrement with ICMP
+// Time-Exceeded generation, and packet taps.
+//
+// This is the substrate substituting for the live Internet (see DESIGN.md):
+// Phase II of the methodology depends only on TTL expiry semantics and ICMP
+// error quoting, both implemented here to RFC behaviour. Packet taps are the
+// attachment point for on-wire traffic observers (src/shadow) — a tap sees a
+// datagram exactly when the device at that hop physically receives it, i.e.
+// only when the sender's initial TTL was large enough to reach the hop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/stats.h"
+#include "common/time.h"
+#include "net/icmp.h"
+#include "net/ipv4.h"
+#include "sim/event_loop.h"
+#include "sim/routing.h"
+
+namespace shadowprobe::sim {
+
+class Network;
+
+/// Application layer of a node: receives datagrams addressed to it.
+class DatagramHandler {
+ public:
+  virtual ~DatagramHandler() = default;
+  virtual void on_datagram(Network& net, NodeId self, const net::Ipv4Datagram& dgram) = 0;
+};
+
+/// Passive on-path observer: sees every datagram that *arrives at* the
+/// tapped node (whether it is then delivered, forwarded, or dropped for TTL).
+class PacketTap {
+ public:
+  virtual ~PacketTap() = default;
+  virtual void on_packet(Network& net, NodeId node, const net::Ipv4Datagram& dgram) = 0;
+};
+
+enum class NodeKind { kHost, kRouter };
+
+enum class DropReason { kNoRoute, kTtlExpired };
+
+class Network {
+ public:
+  explicit Network(EventLoop& loop) : loop_(loop) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // -- topology construction ------------------------------------------------
+
+  NodeId add_router(std::string name, net::Ipv4Addr addr);
+  NodeId add_host(std::string name, net::Ipv4Addr addr, DatagramHandler* handler);
+  /// Additional local address (multi-homed honeypots).
+  void add_address(NodeId node, net::Ipv4Addr addr);
+  /// Anycast: registers `addr` as local to `node` without claiming global
+  /// ownership, so several instances may serve the same address; routing
+  /// tables decide which instance a given client reaches (exactly how
+  /// 114DNS's CN and US instances differ in the paper's case study II).
+  void add_anycast_address(NodeId node, net::Ipv4Addr addr);
+  /// Routers normally have no application layer; attaching one lets a
+  /// router answer probes (used by the observer port-scan study).
+  void set_handler(NodeId node, DatagramHandler* handler);
+
+  RoutingTable& routes(NodeId node);
+  /// Symmetric per-link propagation delay; unset links use default_latency.
+  void set_link_latency(NodeId a, NodeId b, SimDuration latency);
+  void set_default_latency(SimDuration latency) noexcept { default_latency_ = latency; }
+
+  void add_tap(NodeId node, PacketTap* tap);
+  void remove_tap(NodeId node, PacketTap* tap);
+
+  // -- traffic --------------------------------------------------------------
+
+  /// Emits a datagram from `from`'s network stack. The origin's routing
+  /// table picks the first hop; the origin does not decrement its own TTL.
+  void send(NodeId from, net::Ipv4Header header, BytesView payload);
+
+  // -- introspection --------------------------------------------------------
+
+  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+  [[nodiscard]] SimTime now() const noexcept { return loop_.now(); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const std::string& name(NodeId node) const;
+  [[nodiscard]] NodeKind kind(NodeId node) const;
+  [[nodiscard]] net::Ipv4Addr address(NodeId node) const;
+  /// Node owning `addr` as a local address; kInvalidNode when unowned.
+  [[nodiscard]] NodeId owner_of(net::Ipv4Addr addr) const;
+
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+  [[nodiscard]] const Counter<int>& drops() const noexcept { return drops_; }
+
+ private:
+  struct Node {
+    std::string name;
+    NodeKind kind = NodeKind::kHost;
+    net::Ipv4Addr primary;
+    std::vector<net::Ipv4Addr> addresses;
+    DatagramHandler* handler = nullptr;
+    RoutingTable routes;
+    std::vector<PacketTap*> taps;
+  };
+
+  NodeId add_node(std::string name, NodeKind kind, net::Ipv4Addr addr,
+                  DatagramHandler* handler);
+  void arrive(NodeId node, net::Ipv4Header header, Bytes payload);
+  void forward(NodeId node, net::Ipv4Header header, Bytes payload, bool decrement_ttl);
+  void emit_time_exceeded(NodeId router, const net::Ipv4Header& header, BytesView payload);
+  [[nodiscard]] SimDuration latency(NodeId a, NodeId b) const;
+  [[nodiscard]] bool is_local(const Node& n, net::Ipv4Addr addr) const;
+
+  EventLoop& loop_;
+  std::vector<Node> nodes_;
+  std::map<net::Ipv4Addr, NodeId> addr_owner_;
+  std::map<std::pair<NodeId, NodeId>, SimDuration> link_latency_;
+  SimDuration default_latency_ = 5 * kMillisecond;
+
+  std::uint64_t delivered_ = 0;
+  std::uint64_t forwarded_ = 0;
+  Counter<int> drops_;  // keyed by static_cast<int>(DropReason)
+};
+
+}  // namespace shadowprobe::sim

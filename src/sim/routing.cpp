@@ -1,0 +1,27 @@
+#include "sim/routing.h"
+
+#include <algorithm>
+
+namespace shadowprobe::sim {
+
+void RoutingTable::add(net::Prefix prefix, NodeId next_hop) {
+  auto pos = std::find_if(entries_.begin(), entries_.end(),
+                          [&](const Entry& e) { return e.prefix == prefix; });
+  if (pos != entries_.end()) {
+    pos->next_hop = next_hop;
+    return;
+  }
+  entries_.push_back({prefix, next_hop});
+  std::stable_sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+    return a.prefix.length() > b.prefix.length();
+  });
+}
+
+std::optional<NodeId> RoutingTable::lookup(net::Ipv4Addr dst) const {
+  for (const auto& e : entries_) {
+    if (e.prefix.contains(dst)) return e.next_hop;
+  }
+  return std::nullopt;
+}
+
+}  // namespace shadowprobe::sim

@@ -1,0 +1,40 @@
+// Longest-prefix-match forwarding table.
+//
+// Every simulated node (host or router) owns one. Hosts typically carry a
+// single default route to their gateway; routers carry the prefixes the
+// topology builder installs along generated paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace shadowprobe::sim {
+
+/// Opaque node handle inside a Network.
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = ~0U;
+
+class RoutingTable {
+ public:
+  /// Installs (or replaces) a route; longer prefixes win on lookup.
+  void add(net::Prefix prefix, NodeId next_hop);
+  void set_default(NodeId next_hop) { add(net::Prefix(net::Ipv4Addr(0), 0), next_hop); }
+
+  /// Longest-prefix-match; nullopt when no route (not even default) covers.
+  [[nodiscard]] std::optional<NodeId> lookup(net::Ipv4Addr dst) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    net::Prefix prefix;
+    NodeId next_hop;
+  };
+  // Sorted by descending prefix length so lookup returns the first match.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace shadowprobe::sim

@@ -1,0 +1,208 @@
+#include "sim/tcp_stack.h"
+
+#include "common/log.h"
+
+namespace shadowprobe::sim {
+
+TcpStack::TcpStack(Network& net, NodeId self, Rng rng)
+    : net_(net), self_(self), rng_(rng) {}
+
+void TcpStack::listen(std::uint16_t port, ServerDataFn on_data) {
+  listeners_[port] = std::move(on_data);
+}
+
+std::uint16_t TcpStack::alloc_port() {
+  // Ephemeral range sweep; wraps after 16K connections, which outlives any
+  // single VP's concurrently-open connections by orders of magnitude.
+  std::uint16_t p = next_ephemeral_++;
+  if (next_ephemeral_ == 0) next_ephemeral_ = 49152;
+  return p;
+}
+
+ConnKey TcpStack::connect(net::Ipv4Addr local_addr, net::Ipv4Addr remote_addr,
+                          std::uint16_t remote_port, std::uint8_t ttl) {
+  ConnKey key{local_addr, alloc_port(), remote_addr, remote_port};
+  Conn conn;
+  conn.state = TcpState::kSynSent;
+  conn.snd_nxt = static_cast<std::uint32_t>(rng_.bits());
+  conn.ttl = ttl;
+  emit(key, conn, {.syn = true}, conn.snd_nxt, 0, {});
+  conn.snd_nxt += 1;  // SYN consumes one sequence number
+  conns_[key] = conn;
+  return key;
+}
+
+void TcpStack::send_data(const ConnKey& key, BytesView data) {
+  auto it = conns_.find(key);
+  if (it == conns_.end() || it->second.state != TcpState::kEstablished) {
+    SP_LOG_WARN("TcpStack::send_data on non-established connection");
+    return;
+  }
+  Conn& conn = it->second;
+  emit(key, conn, {.ack = true, .psh = true}, conn.snd_nxt, conn.rcv_nxt, data);
+  conn.snd_nxt += static_cast<std::uint32_t>(data.size());
+}
+
+void TcpStack::close(const ConnKey& key) {
+  auto it = conns_.find(key);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  if (conn.state == TcpState::kEstablished || conn.state == TcpState::kSynReceived) {
+    emit(key, conn, {.ack = true, .fin = true}, conn.snd_nxt, conn.rcv_nxt, {});
+    conn.snd_nxt += 1;  // FIN consumes one sequence number
+    conn.state = TcpState::kFinWait;
+  } else {
+    conns_.erase(it);
+  }
+}
+
+std::optional<TcpState> TcpStack::state(const ConnKey& key) const {
+  auto it = conns_.find(key);
+  if (it == conns_.end()) return std::nullopt;
+  return it->second.state;
+}
+
+void TcpStack::emit(const ConnKey& key, const Conn& conn, net::TcpFlags flags,
+                    std::uint32_t seq, std::uint32_t ack, BytesView payload) {
+  net::TcpSegment seg;
+  seg.src_port = key.local_port;
+  seg.dst_port = key.remote_port;
+  seg.seq = seq;
+  seg.ack = ack;
+  seg.flags = flags;
+  seg.payload.assign(payload.begin(), payload.end());
+  net::Ipv4Header header;
+  header.src = key.local_addr;
+  header.dst = key.remote_addr;
+  header.ttl = conn.ttl;
+  header.protocol = net::IpProto::kTcp;
+  header.identification = static_cast<std::uint16_t>(rng_.bits());
+  net_.send(self_, header, seg.encode(key.local_addr, key.remote_addr));
+}
+
+void TcpStack::send_rst(const net::Ipv4Datagram& dgram, const net::TcpSegment& seg) {
+  if (!respond_rst_ || seg.flags.rst) return;
+  net::TcpSegment rst;
+  rst.src_port = seg.dst_port;
+  rst.dst_port = seg.src_port;
+  rst.flags = {.ack = true, .rst = true};
+  rst.seq = seg.ack;
+  rst.ack = seg.seq + (seg.flags.syn ? 1 : 0) + static_cast<std::uint32_t>(seg.payload.size());
+  net::Ipv4Header header;
+  header.src = dgram.header.dst;
+  header.dst = dgram.header.src;
+  header.ttl = 64;
+  header.protocol = net::IpProto::kTcp;
+  net_.send(self_, header, rst.encode(header.src, header.dst));
+}
+
+void TcpStack::on_segment(const net::Ipv4Datagram& dgram) {
+  auto decoded = net::TcpSegment::decode(BytesView(dgram.payload), dgram.header.src,
+                                         dgram.header.dst);
+  if (!decoded.ok()) {
+    SP_LOG_DEBUG("dropping undecodable TCP segment: " + decoded.error().message);
+    return;
+  }
+  const net::TcpSegment& seg = decoded.value();
+  ConnKey key{dgram.header.dst, seg.dst_port, dgram.header.src, seg.src_port};
+  auto it = conns_.find(key);
+
+  if (it == conns_.end()) {
+    // New inbound SYN to a listening port opens a connection; anything else
+    // to an unknown tuple draws RST (or silence for filtering devices).
+    if (seg.flags.syn && !seg.flags.ack && listeners_.count(key.local_port) > 0) {
+      Conn conn;
+      conn.server = true;
+      conn.state = TcpState::kSynReceived;
+      conn.rcv_nxt = seg.seq + 1;
+      conn.snd_nxt = static_cast<std::uint32_t>(rng_.bits());
+      emit(key, conn, {.syn = true, .ack = true}, conn.snd_nxt, conn.rcv_nxt, {});
+      conn.snd_nxt += 1;
+      conns_[key] = conn;
+      return;
+    }
+    send_rst(dgram, seg);
+    return;
+  }
+
+  Conn& conn = it->second;
+  if (seg.flags.rst) {
+    bool handshake = conn.state == TcpState::kSynSent;
+    conns_.erase(it);
+    if (on_reset_) on_reset_(key, handshake);
+    return;
+  }
+
+  switch (conn.state) {
+    case TcpState::kSynSent: {
+      if (seg.flags.syn && seg.flags.ack && seg.ack == conn.snd_nxt) {
+        conn.rcv_nxt = seg.seq + 1;
+        conn.state = TcpState::kEstablished;
+        emit(key, conn, {.ack = true}, conn.snd_nxt, conn.rcv_nxt, {});
+        if (on_established_) on_established_(key);
+      }
+      return;
+    }
+    case TcpState::kSynReceived: {
+      if (seg.flags.ack && seg.ack == conn.snd_nxt) {
+        conn.state = TcpState::kEstablished;
+        // The handshake ACK may already carry data (common for probes that
+        // coalesce); fall through to data handling.
+        break;
+      }
+      return;
+    }
+    case TcpState::kEstablished:
+    case TcpState::kFinWait:
+      break;
+    case TcpState::kClosed:
+      return;
+  }
+
+  // In-order data only: the network never reorders within a path, so an
+  // unexpected sequence number means a stale duplicate — acknowledge and
+  // drop.
+  if (!seg.payload.empty()) {
+    if (seg.seq == conn.rcv_nxt) {
+      conn.rcv_nxt += static_cast<std::uint32_t>(seg.payload.size());
+      emit(key, conn, {.ack = true}, conn.snd_nxt, conn.rcv_nxt, {});
+      if (conn.server) {
+        auto listener = listeners_.find(key.local_port);
+        if (listener != listeners_.end()) {
+          Bytes response = listener->second(key, BytesView(seg.payload));
+          if (!response.empty() && conns_.count(key) > 0 &&
+              conns_[key].state == TcpState::kEstablished) {
+            send_data(key, BytesView(response));
+          }
+        }
+      } else if (on_client_data_) {
+        on_client_data_(key, BytesView(seg.payload));
+      }
+    } else {
+      emit(key, conn, {.ack = true}, conn.snd_nxt, conn.rcv_nxt, {});
+    }
+  }
+
+  if (conns_.count(key) == 0) return;  // callback may have closed it
+  Conn& conn2 = conns_[key];
+  if (seg.flags.fin) {
+    conn2.rcv_nxt = seg.seq + static_cast<std::uint32_t>(seg.payload.size()) + 1;
+    if (conn2.state == TcpState::kFinWait) {
+      // Simultaneous/reply FIN: acknowledge and the connection is done.
+      emit(key, conn2, {.ack = true}, conn2.snd_nxt, conn2.rcv_nxt, {});
+      conns_.erase(key);
+    } else {
+      // Passive close: ACK+FIN in one segment (no lingering half-close use).
+      emit(key, conn2, {.ack = true, .fin = true}, conn2.snd_nxt, conn2.rcv_nxt, {});
+      conn2.snd_nxt += 1;
+      conn2.state = TcpState::kFinWait;
+    }
+    return;
+  }
+  if (conn2.state == TcpState::kFinWait && seg.flags.ack && seg.ack == conn2.snd_nxt &&
+      seg.payload.empty() && !seg.flags.fin) {
+    conns_.erase(key);
+  }
+}
+
+}  // namespace shadowprobe::sim

@@ -1,0 +1,111 @@
+// Minimal event-driven TCP implementation over the simulated network.
+//
+// Implements exactly what the measurement needs: three-way handshake,
+// in-order data with correct sequence arithmetic, FIN teardown, and RST for
+// closed ports. The simulated network is loss-free (packets die only to TTL
+// expiry or missing routes), so there is no retransmission machinery; links
+// have no MTU, so one write is one segment. Both simplifications are
+// documented behaviour of the substrate, not protocol shortcuts on the wire:
+// every segment is a byte-faithful RFC 9293 header.
+//
+// Usage: a host's DatagramHandler owns a TcpStack and feeds it every TCP
+// datagram via on_segment(); the stack replies through Network::send().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "net/ipv4.h"
+#include "net/tcp.h"
+#include "sim/network.h"
+
+namespace shadowprobe::sim {
+
+/// Connection 4-tuple from the owning stack's perspective.
+struct ConnKey {
+  net::Ipv4Addr local_addr;
+  std::uint16_t local_port = 0;
+  net::Ipv4Addr remote_addr;
+  std::uint16_t remote_port = 0;
+
+  auto operator<=>(const ConnKey&) const = default;
+};
+
+enum class TcpState { kSynSent, kSynReceived, kEstablished, kFinWait, kClosed };
+
+class TcpStack {
+ public:
+  /// Server-side data callback: receives application bytes; whatever it
+  /// returns (possibly empty) is written back on the connection.
+  using ServerDataFn = std::function<Bytes(const ConnKey& key, BytesView data)>;
+  /// Client-side events.
+  using EstablishedFn = std::function<void(const ConnKey& key)>;
+  using ClientDataFn = std::function<void(const ConnKey& key, BytesView data)>;
+  /// Connection refused (RST in SYN_SENT) or reset while open.
+  using ResetFn = std::function<void(const ConnKey& key, bool during_handshake)>;
+
+  TcpStack(Network& net, NodeId self, Rng rng);
+
+  /// Opens `port` for inbound connections.
+  void listen(std::uint16_t port, ServerDataFn on_data);
+  [[nodiscard]] bool listening(std::uint16_t port) const { return listeners_.count(port) > 0; }
+
+  /// Initiates a handshake from `local_addr` (must be a local address of the
+  /// node). Returns the connection key; events fire as segments arrive.
+  /// `ttl` is the initial IP TTL used for every segment of this connection —
+  /// the hop-by-hop tracerouting hook.
+  ConnKey connect(net::Ipv4Addr local_addr, net::Ipv4Addr remote_addr,
+                  std::uint16_t remote_port, std::uint8_t ttl = 64);
+
+  /// Sends application data on an established connection.
+  void send_data(const ConnKey& key, BytesView data);
+  /// Starts FIN teardown.
+  void close(const ConnKey& key);
+
+  /// Feeds one inbound TCP datagram (caller has verified protocol == kTcp).
+  void on_segment(const net::Ipv4Datagram& dgram);
+
+  void set_on_established(EstablishedFn fn) { on_established_ = std::move(fn); }
+  void set_on_data(ClientDataFn fn) { on_client_data_ = std::move(fn); }
+  void set_on_reset(ResetFn fn) { on_reset_ = std::move(fn); }
+
+  /// When true (default), RST answers segments to closed ports. Disabling
+  /// this models silently-filtering devices (most observer routers in the
+  /// paper's port-scan study do not respond at all).
+  void set_respond_rst(bool respond) noexcept { respond_rst_ = respond; }
+
+  [[nodiscard]] std::optional<TcpState> state(const ConnKey& key) const;
+  [[nodiscard]] std::size_t open_connections() const noexcept { return conns_.size(); }
+
+ private:
+  struct Conn {
+    TcpState state = TcpState::kClosed;
+    std::uint32_t snd_nxt = 0;  // next sequence number to send
+    std::uint32_t rcv_nxt = 0;  // next sequence number expected
+    std::uint8_t ttl = 64;
+    bool server = false;
+  };
+
+  void emit(const ConnKey& key, const Conn& conn, net::TcpFlags flags, std::uint32_t seq,
+            std::uint32_t ack, BytesView payload);
+  void send_rst(const net::Ipv4Datagram& dgram, const net::TcpSegment& seg);
+  std::uint16_t alloc_port();
+
+  Network& net_;
+  NodeId self_;
+  Rng rng_;
+  std::map<std::uint16_t, ServerDataFn> listeners_;
+  std::map<ConnKey, Conn> conns_;
+  std::uint16_t next_ephemeral_ = 49152;
+  bool respond_rst_ = true;
+
+  EstablishedFn on_established_;
+  ClientDataFn on_client_data_;
+  ResetFn on_reset_;
+};
+
+}  // namespace shadowprobe::sim

@@ -1,0 +1,149 @@
+#include "sim/trace.h"
+
+#include "common/strutil.h"
+#include "net/dns.h"
+#include "net/http.h"
+#include "net/icmp.h"
+#include "net/tcp.h"
+#include "net/tls.h"
+#include "net/udp.h"
+
+namespace shadowprobe::sim {
+
+namespace {
+
+const char* proto_name(net::IpProto protocol) {
+  switch (protocol) {
+    case net::IpProto::kIcmp: return "ICMP";
+    case net::IpProto::kTcp: return "TCP";
+    case net::IpProto::kUdp: return "UDP";
+  }
+  return "?";
+}
+
+std::string summarize_app_payload(std::uint16_t dst_port, BytesView payload) {
+  if (payload.empty()) return "";
+  if (dst_port == 53) {
+    auto dns = net::DnsMessage::decode(payload);
+    if (dns.ok() && !dns.value().questions.empty()) {
+      return strprintf("DNS %s %s %s", dns.value().header.qr ? "response" : "query",
+                       dns.value().questions.front().name.str().c_str(),
+                       net::dns_type_name(dns.value().questions.front().type).c_str());
+    }
+  }
+  if (dst_port == 80) {
+    auto request = net::HttpRequest::decode(payload);
+    if (request.ok()) {
+      return strprintf("HTTP %s %s host=%s", request.value().method.c_str(),
+                       request.value().target.c_str(), request.value().host().c_str());
+    }
+  }
+  if (dst_port == 443) {
+    auto hello = net::TlsClientHello::decode_record(payload);
+    if (hello.ok()) {
+      std::string sni = hello.value().sni().value_or("-");
+      return strprintf("TLS ClientHello sni=%s%s", sni.c_str(),
+                       hello.value().has_ech() ? " +ech" : "");
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string summarize_packet(const net::Ipv4Datagram& dgram) {
+  switch (dgram.header.protocol) {
+    case net::IpProto::kIcmp: {
+      auto icmp = net::IcmpMessage::decode(BytesView(dgram.payload));
+      if (!icmp.ok()) return "ICMP (undecodable)";
+      switch (icmp.value().type) {
+        case net::IcmpType::kTimeExceeded: return "ICMP time-exceeded";
+        case net::IcmpType::kDestUnreachable: return "ICMP unreachable";
+        case net::IcmpType::kEchoRequest: return "ICMP echo request";
+        case net::IcmpType::kEchoReply: return "ICMP echo reply";
+      }
+      return "ICMP";
+    }
+    case net::IpProto::kUdp: {
+      auto udp = net::UdpDatagram::decode(BytesView(dgram.payload), dgram.header.src,
+                                          dgram.header.dst);
+      if (!udp.ok()) return "UDP (undecodable)";
+      std::string app = summarize_app_payload(udp.value().dst_port,
+                                              BytesView(udp.value().payload));
+      return app.empty() ? strprintf("UDP %u bytes", static_cast<unsigned>(
+                                                         udp.value().payload.size()))
+                         : app;
+    }
+    case net::IpProto::kTcp: {
+      auto tcp = net::TcpSegment::decode(BytesView(dgram.payload), dgram.header.src,
+                                         dgram.header.dst);
+      if (!tcp.ok()) return "TCP (undecodable)";
+      std::string app = summarize_app_payload(tcp.value().dst_port,
+                                              BytesView(tcp.value().payload));
+      if (!app.empty()) return app;
+      return strprintf("TCP [%s] seq=%u %u bytes", tcp.value().flags.str().c_str(),
+                       tcp.value().seq,
+                       static_cast<unsigned>(tcp.value().payload.size()));
+    }
+  }
+  return "?";
+}
+
+void TraceRecorder::on_packet(Network& net, NodeId node, const net::Ipv4Datagram& dgram) {
+  ++captured_;
+  protocols_.add(proto_name(dgram.header.protocol));
+  if (entries_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  TraceEntry entry;
+  entry.time = net.now();
+  entry.node = node;
+  entry.src = dgram.header.src;
+  entry.dst = dgram.header.dst;
+  entry.protocol = dgram.header.protocol;
+  entry.ttl = dgram.header.ttl;
+  entry.payload_bytes = dgram.payload.size();
+  if (dgram.header.protocol == net::IpProto::kUdp) {
+    auto udp = net::UdpDatagram::decode(BytesView(dgram.payload), dgram.header.src,
+                                        dgram.header.dst);
+    if (udp.ok()) {
+      entry.src_port = udp.value().src_port;
+      entry.dst_port = udp.value().dst_port;
+    }
+  } else if (dgram.header.protocol == net::IpProto::kTcp) {
+    auto tcp = net::TcpSegment::decode(BytesView(dgram.payload), dgram.header.src,
+                                       dgram.header.dst);
+    if (tcp.ok()) {
+      entry.src_port = tcp.value().src_port;
+      entry.dst_port = tcp.value().dst_port;
+    }
+  }
+  entry.info = summarize_packet(dgram);
+  entries_.push_back(std::move(entry));
+}
+
+std::string TraceRecorder::dump(std::size_t max_lines) const {
+  std::string out;
+  std::size_t lines = std::min(max_lines, entries_.size());
+  for (std::size_t i = 0; i < lines; ++i) {
+    const TraceEntry& entry = entries_[i];
+    out += strprintf("%-12s %s:%u > %s:%u ttl=%u  %s\n",
+                     format_duration(entry.time).c_str(), entry.src.str().c_str(),
+                     entry.src_port, entry.dst.str().c_str(), entry.dst_port, entry.ttl,
+                     entry.info.c_str());
+  }
+  if (entries_.size() > lines) {
+    out += strprintf("... %zu more entries\n", entries_.size() - lines);
+  }
+  return out;
+}
+
+void TraceRecorder::clear() {
+  entries_.clear();
+  captured_ = 0;
+  dropped_ = 0;
+  protocols_ = {};
+}
+
+}  // namespace shadowprobe::sim

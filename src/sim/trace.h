@@ -1,0 +1,65 @@
+// Packet trace recorder: a PacketTap that captures per-packet summaries at
+// one or more nodes — the simulator's tcpdump.
+//
+// Used by examples and debugging sessions to inspect exactly what crosses a
+// hop (the measurement pipeline itself never needs it: honeypot logs and
+// ICMP are its only sensors, as in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "net/ipv4.h"
+#include "sim/network.h"
+
+namespace shadowprobe::sim {
+
+struct TraceEntry {
+  SimTime time = 0;
+  NodeId node = kInvalidNode;
+  net::Ipv4Addr src;
+  net::Ipv4Addr dst;
+  net::IpProto protocol = net::IpProto::kUdp;
+  std::uint8_t ttl = 0;
+  std::uint16_t src_port = 0;  // 0 for ICMP
+  std::uint16_t dst_port = 0;
+  std::size_t payload_bytes = 0;
+  std::string info;  // one-line protocol summary ("DNS query x.example A", ...)
+};
+
+class TraceRecorder : public PacketTap {
+ public:
+  /// `capacity` bounds memory; older entries are dropped once exceeded
+  /// (dropped() reports how many).
+  explicit TraceRecorder(std::size_t capacity = 65536) : capacity_(capacity) {}
+
+  void on_packet(Network& net, NodeId node, const net::Ipv4Datagram& dgram) override;
+
+  [[nodiscard]] const std::vector<TraceEntry>& entries() const noexcept { return entries_; }
+  [[nodiscard]] std::uint64_t captured() const noexcept { return captured_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Packet counts per transport ("UDP"/"TCP"/"ICMP").
+  [[nodiscard]] const Counter<std::string>& protocol_counts() const noexcept {
+    return protocols_;
+  }
+
+  /// tcpdump-style text rendering of the captured entries.
+  [[nodiscard]] std::string dump(std::size_t max_lines = 100) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEntry> entries_;
+  std::uint64_t captured_ = 0;
+  std::uint64_t dropped_ = 0;
+  Counter<std::string> protocols_;
+};
+
+/// Builds the one-line summary for a datagram (exposed for tests).
+std::string summarize_packet(const net::Ipv4Datagram& dgram);
+
+}  // namespace shadowprobe::sim

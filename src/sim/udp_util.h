@@ -1,0 +1,26 @@
+// Convenience for emitting a UDP datagram from a node.
+#pragma once
+
+#include "net/ipv4.h"
+#include "net/udp.h"
+#include "sim/network.h"
+
+namespace shadowprobe::sim {
+
+inline void send_udp(Network& net, NodeId from, net::Ipv4Addr src, net::Ipv4Addr dst,
+                     std::uint16_t src_port, std::uint16_t dst_port, BytesView payload,
+                     std::uint8_t ttl = 64, std::uint16_t ip_id = 0) {
+  net::UdpDatagram udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.payload.assign(payload.begin(), payload.end());
+  net::Ipv4Header header;
+  header.src = src;
+  header.dst = dst;
+  header.ttl = ttl;
+  header.identification = ip_id;
+  header.protocol = net::IpProto::kUdp;
+  net.send(from, header, udp.encode(src, dst));
+}
+
+}  // namespace shadowprobe::sim

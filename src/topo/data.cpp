@@ -1,0 +1,192 @@
+#include "topo/data.h"
+
+namespace shadowprobe::topo {
+
+const std::vector<CountryInfo>& countries() {
+  // vp_weight: where commercial datacenter VPN exits concentrate (US/EU
+  // heavy). web_weight: where Tranco-top-1K server addresses concentrate.
+  static const std::vector<CountryInfo> kCountries = {
+      {"US", "United States", "NA", 0.18, 0.34},
+      {"DE", "Germany", "EU", 0.07, 0.06},
+      {"GB", "United Kingdom", "EU", 0.06, 0.04},
+      {"NL", "Netherlands", "EU", 0.06, 0.05},
+      {"FR", "France", "EU", 0.05, 0.03},
+      {"CA", "Canada", "NA", 0.04, 0.03},
+      {"SG", "Singapore", "AS", 0.04, 0.03},
+      {"JP", "Japan", "AS", 0.04, 0.04},
+      {"HK", "Hong Kong", "AS", 0.03, 0.02},
+      {"AU", "Australia", "OC", 0.03, 0.02},
+      {"SE", "Sweden", "EU", 0.03, 0.01},
+      {"CH", "Switzerland", "EU", 0.02, 0.01},
+      {"PL", "Poland", "EU", 0.02, 0.01},
+      {"ES", "Spain", "EU", 0.02, 0.01},
+      {"IT", "Italy", "EU", 0.02, 0.01},
+      {"RO", "Romania", "EU", 0.02, 0.01},
+      {"RU", "Russia", "EU", 0.03, 0.02},
+      {"BR", "Brazil", "SA", 0.03, 0.02},
+      {"IN", "India", "AS", 0.03, 0.02},
+      {"KR", "South Korea", "AS", 0.02, 0.02},
+      {"TW", "Taiwan", "AS", 0.02, 0.01},
+      {"ZA", "South Africa", "AF", 0.02, 0.01},
+      {"MX", "Mexico", "NA", 0.02, 0.01},
+      {"AR", "Argentina", "SA", 0.01, 0.01},
+      {"CL", "Chile", "SA", 0.01, 0.01},
+      {"TR", "Turkey", "EU", 0.01, 0.01},
+      {"UA", "Ukraine", "EU", 0.01, 0.01},
+      {"CZ", "Czechia", "EU", 0.01, 0.01},
+      {"AT", "Austria", "EU", 0.01, 0.01},
+      {"NO", "Norway", "EU", 0.01, 0.01},
+      {"FI", "Finland", "EU", 0.01, 0.01},
+      {"DK", "Denmark", "EU", 0.01, 0.01},
+      {"IE", "Ireland", "EU", 0.01, 0.02},
+      {"AD", "Andorra", "EU", 0.01, 0.01},
+      {"VN", "Vietnam", "AS", 0.01, 0.01},
+      {"TH", "Thailand", "AS", 0.01, 0.01},
+      {"MY", "Malaysia", "AS", 0.01, 0.01},
+      {"ID", "Indonesia", "AS", 0.01, 0.01},
+      {"NG", "Nigeria", "AF", 0.01, 0.01},
+      {"EG", "Egypt", "AF", 0.01, 0.01},
+      // CN carries no global-platform weight: global commercial VPNs lack
+      // mainland exits, which is exactly why the paper built the CN
+      // platform separately.
+      {"CN", "China", "AS", 0.00, 0.05},
+  };
+  return kCountries;
+}
+
+const std::vector<std::string>& cn_provinces() {
+  static const std::vector<std::string> kProvinces = {
+      "Beijing",   "Shanghai",  "Jiangsu",  "Guangdong", "Zhejiang", "Shandong",
+      "Sichuan",   "Hubei",     "Henan",    "Hebei",     "Hunan",    "Fujian",
+      "Anhui",     "Liaoning",  "Shaanxi",  "Chongqing", "Jiangxi",  "Yunnan",
+      "Guangxi",   "Shanxi",    "Tianjin",  "Guizhou",   "Jilin",    "Heilongjiang",
+      "Xinjiang",  "Gansu",     "Hainan",   "Ningxia",   "Qinghai",  "Inner Mongolia",
+  };
+  return kProvinces;
+}
+
+const std::vector<VpnProviderInfo>& vpn_providers() {
+  static const std::vector<VpnProviderInfo> kProviders = {
+      // Global platform (paper Table 5).
+      {"Anonine", "https://anonine.com/", false, false, false},
+      {"AzireVPN", "https://www.azirevpn.com/", false, false, false},
+      {"Cryptostorm", "https://cryptostorm.is/", false, false, false},
+      {"HideMe", "https://hide.me/", false, false, false},
+      {"PrivateInt", "https://www.privateinternetaccess.com/", false, false, false},
+      {"PureVPN", "https://www.purevpn.com/", false, false, false},
+      // China platform (paper Table 5).
+      {"QiXun", "https://www.ipkuip.com/product/Buy?id=3", true, false, false},
+      {"XunYou", "https://www.ipkuip.com/product/Buy?id=6", true, false, false},
+      {"YOYO", "https://www.ipkuip.com/product/Buy?id=51", true, false, false},
+      {"BeiKe", "https://www.ipkuip.com/product/Buy?id=44", true, false, false},
+      {"SunYunD", "https://www.ipkuip.com/product/Buy?id=92", true, false, false},
+      {"HuoJian", "https://www.ipkuip.com/product/Buy?id=128", true, false, false},
+      {"DuoDuo", "https://www.ipkuip.com/product/Buy?id=116", true, false, false},
+      {"MoGu", "https://www.juip.com/product/Buy?id=1032", true, false, false},
+      {"QiangZi", "https://www.juip.com/product/Buy", true, false, false},
+      {"XunLian", "https://www.juip.com/product/Buy", true, false, false},
+      {"TianTian", "https://www.juip.com/product/Buy?id=71", true, false, false},
+      {"JiKe", "https://www.juip.com/product/Buy", true, false, false},
+      {"XiGua", "https://www.juip.com/product/Buy", true, false, false},
+      // Screened-out providers: they exist so the Appendix-E filters are
+      // exercised, and never contribute vantage points to experiments.
+      {"TtlMangler", "https://example-rejected.test/", false, true, false},
+      {"HomeNodes", "https://example-rejected.test/", false, false, true},
+      {"ShenQi", "https://example-rejected.test/", true, true, false},
+  };
+  return kProviders;
+}
+
+const std::vector<DnsTargetInfo>& dns_targets() {
+  static const std::vector<DnsTargetInfo> kTargets = {
+      // 20 public resolvers (paper Table 4, primary addresses).
+      {"Cloudflare", DnsTargetKind::kPublicResolver, "1.1.1.1", "US"},
+      {"CNNIC", DnsTargetKind::kPublicResolver, "1.2.4.8", "CN"},
+      {"DNS PAI", DnsTargetKind::kPublicResolver, "101.226.4.6", "CN"},
+      {"DNSPod", DnsTargetKind::kPublicResolver, "119.29.29.29", "CN"},
+      {"DNS.Watch", DnsTargetKind::kPublicResolver, "84.200.69.80", "DE"},
+      {"Oracle Dyn", DnsTargetKind::kPublicResolver, "216.146.35.35", "US"},
+      {"Google", DnsTargetKind::kPublicResolver, "8.8.8.8", "US"},
+      {"Hurricane", DnsTargetKind::kPublicResolver, "74.82.42.42", "US"},
+      {"Level3", DnsTargetKind::kPublicResolver, "209.244.0.3", "US"},
+      {"VERCARA", DnsTargetKind::kPublicResolver, "156.154.70.1", "US"},
+      {"One DNS", DnsTargetKind::kPublicResolver, "117.50.10.10", "CN"},
+      {"OpenDNS", DnsTargetKind::kPublicResolver, "208.67.222.222", "US"},
+      {"Open NIC", DnsTargetKind::kPublicResolver, "217.160.166.161", "DE"},
+      {"Quad9", DnsTargetKind::kPublicResolver, "9.9.9.9", "CH"},
+      {"Yandex", DnsTargetKind::kPublicResolver, "77.88.8.8", "RU"},
+      {"SafeDNS", DnsTargetKind::kPublicResolver, "195.46.39.39", "RU"},
+      {"Freenom", DnsTargetKind::kPublicResolver, "80.80.80.80", "NL"},
+      {"Baidu", DnsTargetKind::kPublicResolver, "180.76.76.76", "CN"},
+      {"114DNS", DnsTargetKind::kPublicResolver, "114.114.114.114", "CN"},
+      {"Quad101", DnsTargetKind::kPublicResolver, "101.101.101.101", "TW"},
+      // Self-built control resolver (address assigned by the builder).
+      {"self-built", DnsTargetKind::kSelfBuilt, "", "US"},
+      // 13 root servers.
+      {"a.root", DnsTargetKind::kRoot, "198.41.0.4", "US"},
+      {"b.root", DnsTargetKind::kRoot, "170.247.170.2", "US"},
+      {"c.root", DnsTargetKind::kRoot, "192.33.4.12", "US"},
+      {"d.root", DnsTargetKind::kRoot, "199.7.91.13", "US"},
+      {"e.root", DnsTargetKind::kRoot, "192.203.230.10", "US"},
+      {"f.root", DnsTargetKind::kRoot, "192.5.5.241", "US"},
+      {"g.root", DnsTargetKind::kRoot, "192.112.36.4", "US"},
+      {"h.root", DnsTargetKind::kRoot, "198.97.190.53", "US"},
+      {"i.root", DnsTargetKind::kRoot, "192.36.148.17", "SE"},
+      {"j.root", DnsTargetKind::kRoot, "192.58.128.30", "US"},
+      {"k.root", DnsTargetKind::kRoot, "193.0.14.129", "NL"},
+      {"l.root", DnsTargetKind::kRoot, "199.7.83.42", "US"},
+      {"m.root", DnsTargetKind::kRoot, "202.12.27.33", "JP"},
+      // 2 TLD authoritative servers.
+      {".com", DnsTargetKind::kTld, "192.12.94.30", "US"},
+      {".org", DnsTargetKind::kTld, "199.19.57.1", "US"},
+  };
+  return kTargets;
+}
+
+const std::vector<AsSeedInfo>& seed_ases() {
+  static const std::vector<AsSeedInfo> kSeeds = {
+      // Observer ASes named by paper Table 3.
+      {4134, "CHINANET-BACKBONE", "CN", intel::PrefixType::kIsp},
+      {58563, "CHINANET Hubei province network", "CN", intel::PrefixType::kIsp},
+      {137697, "CHINATELECOM JiangSu", "CN", intel::PrefixType::kIsp},
+      {4812, "China Telecom (Group)", "CN", intel::PrefixType::kIsp},
+      {23650, "CHINANET jiangsu backbone", "CN", intel::PrefixType::kIsp},
+      {4808, "China Unicom Beijing Province Network", "CN", intel::PrefixType::kIsp},
+      {140292, "CHINATELECOM Jiangsu", "CN", intel::PrefixType::kIsp},
+      {203020, "HostRoyale Technologies Pvt Ltd", "GB", intel::PrefixType::kHosting},
+      {21859, "Zenlayer Inc", "US", intel::PrefixType::kHosting},
+      // Observer ASes named by Section 5.2.
+      {40444, "Constant Contact", "US", intel::PrefixType::kHosting},
+      {29988, "Rogers Communications", "CA", intel::PrefixType::kIsp},
+      // Resolver / platform operators appearing among request origins.
+      {15169, "Google LLC", "US", intel::PrefixType::kHosting},
+      {13335, "Cloudflare Inc", "US", intel::PrefixType::kHosting},
+      {36692, "Cisco OpenDNS", "US", intel::PrefixType::kHosting},
+      {19281, "Quad9", "CH", intel::PrefixType::kHosting},
+      {13238, "Yandex LLC", "RU", intel::PrefixType::kHosting},
+      {23724, "CHINANET IDC Beijing", "CN", intel::PrefixType::kHosting},
+      {45090, "Tencent Cloud (DNSPod)", "CN", intel::PrefixType::kHosting},
+      {38365, "Baidu Netcom", "CN", intel::PrefixType::kHosting},
+      {4837, "China Unicom Backbone", "CN", intel::PrefixType::kIsp},
+      {9808, "China Mobile", "CN", intel::PrefixType::kIsp},
+      // Large transit/eyeball networks for filler paths.
+      {3356, "Level 3 Parent LLC", "US", intel::PrefixType::kIsp},
+      {1299, "Arelion (Telia)", "SE", intel::PrefixType::kIsp},
+      {174, "Cogent Communications", "US", intel::PrefixType::kIsp},
+      {3257, "GTT Communications", "DE", intel::PrefixType::kIsp},
+      {6939, "Hurricane Electric", "US", intel::PrefixType::kIsp},
+      {9009, "M247 Europe", "RO", intel::PrefixType::kHosting},
+      {16509, "Amazon.com", "US", intel::PrefixType::kHosting},
+      {8075, "Microsoft Corporation", "US", intel::PrefixType::kHosting},
+      {24940, "Hetzner Online", "DE", intel::PrefixType::kHosting},
+      {16276, "OVH SAS", "FR", intel::PrefixType::kHosting},
+      {14061, "DigitalOcean LLC", "US", intel::PrefixType::kHosting},
+      {20473, "Vultr Holdings", "US", intel::PrefixType::kHosting},
+      {51167, "Contabo GmbH", "DE", intel::PrefixType::kHosting},
+      {12876, "Scaleway", "FR", intel::PrefixType::kHosting},
+      {63949, "Akamai (Linode)", "US", intel::PrefixType::kHosting},
+  };
+  return kSeeds;
+}
+
+}  // namespace shadowprobe::topo

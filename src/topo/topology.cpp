@@ -1,0 +1,569 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+
+#include "common/strutil.h"
+
+namespace shadowprobe::topo {
+
+void TopologyConfig::apply_scale(double factor) {
+  if (factor <= 0) return;
+  auto scale = [factor](int v) { return std::max(1, static_cast<int>(v * factor)); };
+  global_vps = scale(global_vps);
+  cn_vps = scale(cn_vps);
+  web_sites = scale(web_sites);
+}
+
+TopologyConfig TopologyConfig::from_env() {
+  TopologyConfig config;
+  if (const char* scale = std::getenv("SHADOWPROBE_SCALE")) {
+    config.apply_scale(std::atof(scale));
+  }
+  if (const char* seed = std::getenv("SHADOWPROBE_SEED")) {
+    config.seed = static_cast<std::uint64_t>(std::atoll(seed));
+  }
+  return config;
+}
+
+namespace {
+
+/// Latency tiers of the hierarchy (one-way, per link).
+constexpr SimDuration kHostLink = 1 * kMillisecond;
+constexpr SimDuration kIntraAs = 2 * kMillisecond;
+constexpr SimDuration kAsToGateway = 3 * kMillisecond;
+constexpr SimDuration kGatewayToCore = 10 * kMillisecond;
+constexpr SimDuration kCoreToCore = 40 * kMillisecond;
+
+/// Region -> transit AS hosting that region's core router.
+const std::vector<std::pair<std::string, std::uint32_t>>& region_transit() {
+  static const std::vector<std::pair<std::string, std::uint32_t>> kMap = {
+      {"NA", 3356}, {"EU", 1299}, {"AS", 6939}, {"SA", 174}, {"AF", 3257}, {"OC", 20473},
+  };
+  return kMap;
+}
+
+/// Resolver operator name -> real-world ASN (targets without an entry get a
+/// generated operator AS).
+std::uint32_t operator_asn(const std::string& target_name) {
+  static const std::map<std::string, std::uint32_t> kOperators = {
+      {"Google", 15169},  {"Cloudflare", 13335}, {"OpenDNS", 36692},
+      {"Quad9", 19281},   {"Yandex", 13238},     {"DNSPod", 45090},
+      {"Baidu", 38365},   {"Hurricane", 6939},   {"Level3", 3356},
+  };
+  auto it = kOperators.find(target_name);
+  return it == kOperators.end() ? 0 : it->second;
+}
+
+/// Province assignments for seed CN ASes (provincial ISP networks).
+std::string seed_as_province(std::uint32_t asn) {
+  switch (asn) {
+    case 58563: return "Hubei";
+    case 137697: return "Jiangsu";
+    case 23650: return "Jiangsu";
+    case 140292: return "Jiangsu";
+    case 4808: return "Beijing";
+    case 4812: return "Shanghai";
+    case 45090: return "Guangdong";
+    case 38365: return "Beijing";
+    case 23724: return "Beijing";
+    default: return "";
+  }
+}
+
+}  // namespace
+
+class TopologyBuilder {
+ public:
+  TopologyBuilder(sim::Network& net, const TopologyConfig& config)
+      : net_(net), topo_(), rng_(config.seed) {
+    topo_.config_ = config;
+    // AsRecord references are held across create_as calls inside the build
+    // steps; reserving up front keeps them stable.
+    topo_.ases_.reserve(4096);
+  }
+
+  Topology build() {
+    reserve_target_space();
+    create_seed_ases();
+    create_country_infrastructure();
+    create_cn_provinces();
+    create_regional_cores();
+    wire_gateways_and_cores();
+    wire_all_ases();
+    infrastructure_ready_ = true;
+    create_dns_targets();
+    create_web_farm();
+    create_honeypots();
+    recruit_vantage_points();
+    return std::move(topo_);
+  }
+
+ private:
+  // -- address plan ---------------------------------------------------------
+
+  void reserve_target_space() {
+    for (const auto& t : dns_targets()) {
+      if (t.address.empty()) continue;
+      auto addr = net::Ipv4Addr::must_parse(t.address);
+      net::Prefix service(addr, 16);
+      reserved_.insert(service.base());
+      // Known operators must own the /16 their public service address lives
+      // in, so that origin analysis attributes e.g. 8.8.8.8 to AS15169.
+      std::uint32_t asn = operator_asn(t.name);
+      if (asn != 0 && operator_prefix_.count(asn) == 0) operator_prefix_[asn] = service;
+    }
+  }
+
+  net::Prefix allocate_slash16() {
+    for (;;) {
+      net::Ipv4Addr base(next16_);
+      next16_ += 0x10000;
+      if (next16_ >= net::Ipv4Addr(73, 0, 0, 0).value())
+        throw std::runtime_error("address plan exhausted");
+      if (reserved_.count(base) == 0) return net::Prefix(base, 16);
+    }
+  }
+
+  std::uint32_t auto_asn() { return next_auto_asn_++; }
+
+  // -- AS construction ------------------------------------------------------
+
+  AsRecord& create_as(std::uint32_t asn, std::string name, std::string country,
+                      intel::PrefixType type, std::optional<net::Prefix> prefix = {},
+                      std::string subdivision = "") {
+    if (topo_.as_index_.count(asn) > 0) return topo_.ases_[topo_.as_index_.at(asn)];
+    AsRecord as;
+    as.asn = asn;
+    as.name = std::move(name);
+    as.country = std::move(country);
+    as.subdivision = std::move(subdivision);
+    as.type = type;
+    as.prefix = prefix ? *prefix : allocate_slash16();
+    reserved_.insert(as.prefix.base());
+    as.border = net_.add_router("border-AS" + std::to_string(asn), as.prefix.at(1));
+    as.access = net_.add_router("access-AS" + std::to_string(asn), as.prefix.at(2));
+    net_.set_link_latency(as.border, as.access, kIntraAs);
+    net_.routes(as.access).set_default(as.border);
+    net_.routes(as.border).add(as.prefix, as.access);
+    topo_.geo_.add(as.prefix, intel::GeoEntry{as.country, as.subdivision, as.asn, as.name,
+                                              as.type});
+    topo_.as_index_[asn] = topo_.ases_.size();
+    topo_.ases_.push_back(as);
+    AsRecord& stored = topo_.ases_.back();
+    if (infrastructure_ready_) wire_as(stored);
+    return stored;
+  }
+
+  AsRecord& as_ref(std::uint32_t asn) { return topo_.ases_[topo_.as_index_.at(asn)]; }
+
+  void create_seed_ases() {
+    for (const auto& seed : seed_ases()) {
+      std::optional<net::Prefix> prefix;
+      auto it = operator_prefix_.find(seed.asn);
+      if (it != operator_prefix_.end()) prefix = it->second;
+      create_as(seed.asn, seed.name, seed.country, seed.type, prefix,
+                seed_as_province(seed.asn));
+    }
+  }
+
+  /// Picks (or creates) an AS in `country` of the wanted type (first match,
+  /// deterministic — backbone selection relies on seed ordering).
+  AsRecord& as_in_country(const std::string& country, intel::PrefixType type) {
+    for (auto& as : topo_.ases_) {
+      if (as.country == country && as.type == type && as.subdivision.empty()) return as;
+    }
+    std::string label = type == intel::PrefixType::kHosting ? "Hosting" : "Telecom";
+    return create_as(auto_asn(), country + " " + label + " Network", country, type);
+  }
+
+  /// Uniformly random AS of the wanted type in `country` (creates one when
+  /// the country has none) — spreads hosts across ASes for path variety.
+  AsRecord& pick_as_in_country(Rng& rng, const std::string& country, intel::PrefixType type) {
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < topo_.ases_.size(); ++i) {
+      const AsRecord& as = topo_.ases_[i];
+      if (as.country == country && as.type == type && as.subdivision.empty())
+        candidates.push_back(i);
+    }
+    if (candidates.empty()) return as_in_country(country, type);
+    return topo_.ases_[rng.pick(candidates)];
+  }
+
+  // -- country / region infrastructure --------------------------------------
+
+  void create_country_infrastructure() {
+    for (const auto& country : countries()) {
+      // Backbone AS: prefer an existing ISP seed in the country; CN always
+      // resolves to AS4134 because it is the first CN ISP seed.
+      AsRecord& backbone = as_in_country(country.code, intel::PrefixType::kIsp);
+      backbone_asn_[country.code] = backbone.asn;
+      // National gateway lives in the backbone AS's address space.
+      net::Ipv4Addr gw_addr = backbone.prefix.at(backbone.next_host++);
+      sim::NodeId gw = net_.add_router("natgw-" + country.code, gw_addr);
+      topo_.national_gateways_[country.code] = gw;
+      // Filler hosting ASes give datacenter VPNs somewhere to live.
+      for (int i = 0; i < topo_.config_.filler_ases_per_country; ++i) {
+        as_in_country(country.code, intel::PrefixType::kHosting);
+      }
+    }
+  }
+
+  void create_cn_provinces() {
+    AsRecord& backbone = as_ref(backbone_asn_.at("CN"));
+    sim::NodeId cn_gw = topo_.national_gateways_.at("CN");
+    for (const auto& province : cn_provinces()) {
+      // Provincial ISP AS (seeded for the provinces the paper names).
+      AsRecord* prov_as = nullptr;
+      for (auto& as : topo_.ases_) {
+        if (as.country == "CN" && as.subdivision == province &&
+            as.type == intel::PrefixType::kIsp) {
+          prov_as = &as;
+          break;
+        }
+      }
+      if (prov_as == nullptr) {
+        prov_as = &create_as(auto_asn(), "CHINANET " + province + " province network", "CN",
+                             intel::PrefixType::kIsp, std::nullopt, province);
+      }
+      // Province aggregation router: a CHINANET-BACKBONE hop between the
+      // provincial network and the national gateway (the extra depth of CN
+      // paths, and the attachment point of many on-wire observers).
+      net::Ipv4Addr agg_addr = backbone.prefix.at(backbone.next_host++);
+      sim::NodeId agg = net_.add_router("cnagg-" + province, agg_addr);
+      topo_.province_aggs_[province] = agg;
+      net_.routes(agg).set_default(cn_gw);
+      net_.set_link_latency(agg, cn_gw, kAsToGateway);
+      // The aggregator's own address must be reachable (Section 5.2 probes
+      // observer devices for open ports): host-route it from the gateway.
+      net_.routes(cn_gw).add(net::Prefix(agg_addr, 32), agg);
+    }
+  }
+
+  void create_regional_cores() {
+    for (const auto& [region, asn] : region_transit()) {
+      AsRecord& transit = as_ref(asn);
+      net::Ipv4Addr addr = transit.prefix.at(transit.next_host++);
+      sim::NodeId core = net_.add_router("core-" + region, addr);
+      topo_.regional_cores_[region] = core;
+    }
+    // Full mesh between cores.
+    for (const auto& [ra, ca] : topo_.regional_cores_) {
+      for (const auto& [rb, cb] : topo_.regional_cores_) {
+        if (ra < rb) net_.set_link_latency(ca, cb, kCoreToCore);
+      }
+    }
+  }
+
+  [[nodiscard]] std::string region_of(const std::string& country) const {
+    for (const auto& c : countries()) {
+      if (c.code == country) return c.region;
+    }
+    return "NA";
+  }
+
+  void wire_gateways_and_cores() {
+    for (const auto& [country, gw] : topo_.national_gateways_) {
+      sim::NodeId core = topo_.regional_cores_.at(region_of(country));
+      net_.routes(gw).set_default(core);
+      net_.set_link_latency(gw, core, kGatewayToCore);
+    }
+  }
+
+  /// Wires one AS into the hierarchy: border <-> gateway (through the CN
+  /// province aggregator where applicable) and core routes for its prefix.
+  void wire_as(AsRecord& as) {
+    std::string country =
+        topo_.national_gateways_.count(as.country) > 0 ? as.country : "US";
+    sim::NodeId gw = topo_.national_gateways_.at(country);
+    sim::NodeId attach = gw;
+    if (as.country == "CN" && !as.subdivision.empty()) {
+      auto agg = topo_.province_aggs_.find(as.subdivision);
+      if (agg != topo_.province_aggs_.end()) {
+        attach = agg->second;
+        net_.routes(gw).add(as.prefix, attach);
+      }
+    }
+    net_.routes(as.border).set_default(attach);
+    net_.routes(attach).add(as.prefix, as.border);
+    net_.set_link_latency(as.border, attach, attach == gw ? kAsToGateway : kIntraAs);
+    // Each core routes the prefix either down to the owning country's
+    // gateway (same region) or across to the owning region's core.
+    std::string region = region_of(country);
+    sim::NodeId home_core = topo_.regional_cores_.at(region);
+    for (const auto& [r, core] : topo_.regional_cores_) {
+      net_.routes(core).add(as.prefix, r == region ? gw : home_core);
+    }
+  }
+
+  void wire_all_ases() {
+    for (auto& as : topo_.ases_) wire_as(as);
+  }
+
+  // -- hosts ----------------------------------------------------------------
+
+  sim::NodeId attach_host(AsRecord& as, const std::string& name, net::Ipv4Addr addr) {
+    sim::NodeId host = net_.add_host(name, addr, nullptr);
+    net_.routes(host).set_default(as.access);
+    net_.routes(as.access).add(net::Prefix(addr, 32), host);
+    net_.set_link_latency(host, as.access, kHostLink);
+    return host;
+  }
+
+  sim::NodeId attach_host_auto(AsRecord& as, const std::string& name) {
+    return attach_host(as, name, as.prefix.at(as.next_host++));
+  }
+
+  void create_dns_targets() {
+    for (const auto& info : dns_targets()) {
+      DnsTargetHost host;
+      host.info = info;
+      if (info.address.empty()) {
+        // Self-built control resolver: ordinary host in a US hosting AS.
+        AsRecord& as = as_in_country("US", intel::PrefixType::kHosting);
+        host.addr = as.prefix.at(as.next_host++);
+        host.node = attach_host(as, "dns-" + info.name, host.addr);
+        host.asn = as.asn;
+        topo_.dns_hosts_.push_back(std::move(host));
+        continue;
+      }
+      host.addr = net::Ipv4Addr::must_parse(info.address);
+      net::Prefix service_prefix(host.addr, 16);
+      std::uint32_t asn = operator_asn(info.name);
+      AsRecord* as = nullptr;
+      // Some targets share a /16 (e.g. d.root and l.root in 199.7.0.0/16);
+      // the second one joins the AS that already owns the covering prefix.
+      for (auto& existing : topo_.ases_) {
+        if (existing.prefix.contains(host.addr)) {
+          as = &existing;
+          break;
+        }
+      }
+      if (as != nullptr) {
+        // fall through with the covering AS
+      } else if (asn != 0 && topo_.as_index_.count(asn) > 0) {
+        // Known operator: move the AS onto the service prefix if it was
+        // seeded with a generated one and has no hosts yet.
+        as = &as_ref(asn);
+        if (!as->prefix.contains(host.addr)) {
+          as = &create_as(auto_asn(), as->name + " (anycast edge)", info.country,
+                          intel::PrefixType::kHosting, service_prefix);
+        }
+      } else {
+        as = &create_as(asn != 0 ? asn : auto_asn(), info.name + " operations", info.country,
+                        intel::PrefixType::kHosting, service_prefix);
+      }
+      host.asn = as->asn;
+      host.node = attach_host(*as, "dns-" + info.name, host.addr);
+      host.anycast_instances.emplace_back(info.country, host.node);
+      topo_.dns_hosts_.push_back(std::move(host));
+    }
+    create_114dns_us_instance();
+  }
+
+  /// 114DNS case study II: the service is anycast with distinct CN and US
+  /// instances. The US instance answers queries routed through non-AS
+  /// regional cores; the CN instance serves CN (and AS-region) clients.
+  void create_114dns_us_instance() {
+    auto* target = const_cast<DnsTargetHost*>(topo_.dns_target("114DNS"));
+    if (target == nullptr) return;
+    AsRecord& us_as = as_ref(21859);  // Zenlayer hosts the US edge
+    sim::NodeId instance = attach_host_auto(us_as, "dns-114DNS-us");
+    net_.add_anycast_address(instance, target->addr);
+    target->anycast_instances.emplace_back("US", instance);
+    // Route the service /16 to the US instance from every regional core.
+    // CN clients still reach the CN instance because the CN national
+    // gateway holds a direct route to the operator AS (their queries never
+    // climb to a core) — exactly the paper's "CN instances serve CN
+    // clients" split.
+    net::Prefix service(target->addr, 16);
+    sim::NodeId us_gw = topo_.national_gateways_.at("US");
+    for (const auto& [region, core] : topo_.regional_cores_) {
+      net_.routes(core).add(service, region == "NA" ? us_gw
+                                                    : topo_.regional_cores_.at("NA"));
+    }
+    net_.routes(us_gw).add(service, us_as.border);
+    net_.routes(us_as.border).add(service, us_as.access);
+    net_.routes(us_as.access).add(net::Prefix(target->addr, 32), instance);
+  }
+
+  void add_web_site(int rank, AsRecord& as) {
+    WebSite site;
+    site.rank = rank;
+    site.domain = strprintf("www.top%04d-site.com", rank);
+    site.addr = as.prefix.at(as.next_host++);
+    site.node = attach_host(as, site.domain, site.addr);
+    site.asn = as.asn;
+    site.country = as.country;
+    topo_.sites_.push_back(std::move(site));
+  }
+
+  void create_web_farm() {
+    Rng rng = rng_.fork("web-farm");
+    int rank = 1;
+    // Guarantee coverage of the destination networks the paper's findings
+    // hinge on: observer ASes hosting top sites (Constant Contact, Rogers,
+    // Chinanet) and the small destination countries of Figure 3 (AD).
+    for (std::uint32_t asn : {40444U, 29988U, 4134U}) add_web_site(rank++, as_ref(asn));
+    add_web_site(rank++, as_in_country("AD", intel::PrefixType::kHosting));
+    std::vector<double> weights;
+    for (const auto& c : countries()) weights.push_back(c.web_weight);
+    for (; rank <= topo_.config_.web_sites; ++rank) {
+      const CountryInfo& country = countries()[rng.weighted(weights)];
+      // Top sites live in both clouds (hosting) and large eyeball ISPs.
+      intel::PrefixType type = rng.chance(0.8) ? intel::PrefixType::kHosting
+                                               : intel::PrefixType::kIsp;
+      AsRecord& as = pick_as_in_country(rng, country.code, type);
+      add_web_site(rank, as);
+    }
+  }
+
+  void create_honeypots() {
+    for (const char* location : {"US", "DE", "SG"}) {
+      AsRecord& as = as_in_country(location, intel::PrefixType::kHosting);
+      Honeypot pot;
+      pot.location = location;
+      pot.addr = as.prefix.at(as.next_host++);
+      pot.node = attach_host(as, std::string("honeypot-") + location, pot.addr);
+      pot.asn = as.asn;
+      topo_.honeypots_.push_back(std::move(pot));
+    }
+  }
+
+  void recruit_vantage_points() {
+    Rng rng = rng_.fork("vps");
+    std::vector<const VpnProviderInfo*> global_providers;
+    std::vector<const VpnProviderInfo*> cn_providers;
+    for (const auto& p : vpn_providers()) {
+      (p.cn_platform ? cn_providers : global_providers).push_back(&p);
+    }
+    std::vector<double> weights;
+    for (const auto& c : countries()) weights.push_back(c.vp_weight);
+
+    for (int i = 0; i < topo_.config_.global_vps; ++i) {
+      const VpnProviderInfo* provider = global_providers[i % global_providers.size()];
+      // Screened-out providers contribute only a thin slice of candidate
+      // nodes (they are rejected later, in platform screening).
+      if ((provider->resets_ttl || provider->residential) && !rng.chance(0.25)) {
+        provider = global_providers[rng.below(6)];  // the 6 accepted ones lead the list
+      }
+      const CountryInfo& country = countries()[rng.weighted(weights)];
+      AsRecord& as = pick_as_in_country(rng, country.code, intel::PrefixType::kHosting);
+      VantagePoint vp;
+      vp.id = strprintf("%s-%04d", provider->name.c_str(), i);
+      vp.provider = provider->name;
+      vp.cn_platform = false;
+      vp.country = country.code;
+      vp.asn = as.asn;
+      vp.addr = as.prefix.at(as.next_host++);
+      vp.node = attach_host(as, "vp-" + vp.id, vp.addr);
+      vp.resets_ttl = provider->resets_ttl;
+      vp.residential = provider->residential;
+      topo_.vps_.push_back(std::move(vp));
+    }
+
+    const auto& provinces = cn_provinces();
+    for (int i = 0; i < topo_.config_.cn_vps; ++i) {
+      const VpnProviderInfo* provider = cn_providers[i % cn_providers.size()];
+      if (provider->resets_ttl && !rng.chance(0.25)) {
+        provider = cn_providers[rng.below(13)];
+      }
+      // First pass covers every province once (providers advertise broad
+      // footprints); the remainder skews to populous provinces, Zipf-style.
+      std::size_t pick;
+      if (static_cast<std::size_t>(i) < provinces.size()) {
+        pick = static_cast<std::size_t>(i);
+      } else {
+        pick = std::min<std::size_t>(static_cast<std::size_t>(rng.pareto(1.0, 1.2)) - 1,
+                                     provinces.size() - 1);
+      }
+      const std::string& province = provinces[pick];
+      AsRecord* as = nullptr;
+      for (auto& candidate : topo_.ases_) {
+        if (candidate.country == "CN" && candidate.subdivision == province &&
+            candidate.type == intel::PrefixType::kIsp) {
+          as = &candidate;
+          break;
+        }
+      }
+      VantagePoint vp;
+      vp.id = strprintf("%s-%04d", provider->name.c_str(), i);
+      vp.provider = provider->name;
+      vp.cn_platform = true;
+      vp.country = "CN";
+      vp.province = province;
+      vp.asn = as->asn;
+      vp.addr = as->prefix.at(as->next_host++);
+      vp.node = attach_host(*as, "vp-" + vp.id, vp.addr);
+      vp.resets_ttl = provider->resets_ttl;
+      vp.residential = provider->residential;
+      topo_.vps_.push_back(std::move(vp));
+    }
+  }
+
+  sim::Network& net_;
+  Topology topo_;
+  Rng rng_;
+  std::set<net::Ipv4Addr> reserved_;
+  std::uint32_t next16_ = net::Ipv4Addr(20, 0, 0, 0).value();
+  std::uint32_t next_auto_asn_ = 64512;
+  std::map<std::string, std::uint32_t> backbone_asn_;
+  std::map<std::uint32_t, net::Prefix> operator_prefix_;
+  bool infrastructure_ready_ = false;
+};
+
+Topology Topology::build(sim::Network& net, const TopologyConfig& config) {
+  TopologyBuilder builder(net, config);
+  return builder.build();
+}
+
+const AsRecord* Topology::as_by_number(std::uint32_t asn) const {
+  auto it = as_index_.find(asn);
+  return it == as_index_.end() ? nullptr : &ases_[it->second];
+}
+
+const DnsTargetHost* Topology::dns_target(const std::string& name) const {
+  for (const auto& t : dns_hosts_) {
+    if (t.info.name == name) return &t;
+  }
+  return nullptr;
+}
+
+sim::NodeId Topology::national_gateway(const std::string& country) const {
+  auto it = national_gateways_.find(country);
+  return it == national_gateways_.end() ? sim::kInvalidNode : it->second;
+}
+
+sim::NodeId Topology::regional_core(const std::string& region) const {
+  auto it = regional_cores_.find(region);
+  return it == regional_cores_.end() ? sim::kInvalidNode : it->second;
+}
+
+sim::NodeId Topology::province_aggregation(const std::string& province) const {
+  auto it = province_aggs_.find(province);
+  return it == province_aggs_.end() ? sim::kInvalidNode : it->second;
+}
+
+sim::NodeId Topology::add_host_in_as(sim::Network& net, std::uint32_t asn,
+                                     const std::string& name, sim::DatagramHandler* handler) {
+  auto it = as_index_.find(asn);
+  if (it == as_index_.end()) throw std::invalid_argument("unknown AS " + std::to_string(asn));
+  AsRecord& as = ases_[it->second];
+  net::Ipv4Addr addr = as.prefix.at(as.next_host++);
+  sim::NodeId host = net.add_host(name, addr, handler);
+  net.routes(host).set_default(as.access);
+  net.routes(as.access).add(net::Prefix(addr, 32), host);
+  net.set_link_latency(host, as.access, 1 * kMillisecond);
+  return host;
+}
+
+net::Ipv4Addr Topology::peek_host_addr(std::uint32_t asn) const {
+  auto it = as_index_.find(asn);
+  if (it == as_index_.end()) throw std::invalid_argument("unknown AS " + std::to_string(asn));
+  const AsRecord& as = ases_[it->second];
+  return as.prefix.at(as.next_host);
+}
+
+}  // namespace shadowprobe::topo

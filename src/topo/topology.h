@@ -1,0 +1,160 @@
+// Synthetic Internet topology builder.
+//
+// Builds, inside a sim::Network, the hierarchical structure the measurement
+// runs over:
+//
+//   VP host -> access router -> AS border [-> province aggregation (CN)]
+//           -> national gateway -> regional core(s) -> national gateway
+//           -> AS border -> access router -> destination host
+//
+// National gateways belong to each country's backbone AS (CHINANET-BACKBONE
+// for CN), so ICMP Time-Exceeded from a gateway geolocates to the backbone
+// AS — which is how the paper's Table 3 attributes on-wire observers.
+//
+// The builder also produces the measurement platform's inventory: vantage
+// points (with the screened-out TTL-resetting / residential providers the
+// Appendix-E filters must reject), the Table-4 DNS destinations at their
+// real addresses (114DNS with separate CN/US anycast instances), a
+// Tranco-style web farm, honeypots in US/DE/SG, and a GeoDatabase over the
+// whole address plan.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "intel/geoip.h"
+#include "net/ipv4.h"
+#include "sim/network.h"
+#include "topo/data.h"
+
+namespace shadowprobe::topo {
+
+struct TopologyConfig {
+  std::uint64_t seed = 20240301;
+
+  /// Vantage points recruited onto each platform half (paper: 2,179 global /
+  /// 2,185 CN). Scaled down by default so the full campaign runs in seconds.
+  int global_vps = 96;
+  int cn_vps = 96;
+  /// Web destinations behind Tranco-style top sites (paper: 2,325 in 234
+  /// ASes).
+  int web_sites = 48;
+  /// Extra unnamed hosting/ISP ASes generated per country for path variety.
+  int filler_ases_per_country = 1;
+
+  /// Multiplies the three size knobs above (honors SHADOWPROBE_SCALE).
+  void apply_scale(double factor);
+  /// Reads SHADOWPROBE_SCALE / SHADOWPROBE_SEED from the environment.
+  static TopologyConfig from_env();
+};
+
+/// One autonomous system: prefix, routers, address allocation cursor.
+struct AsRecord {
+  std::uint32_t asn = 0;
+  std::string name;
+  std::string country;
+  std::string subdivision;  // CN province for provincial ISP ASes
+  intel::PrefixType type = intel::PrefixType::kUnknown;
+  net::Prefix prefix;
+  sim::NodeId border = sim::kInvalidNode;
+  sim::NodeId access = sim::kInvalidNode;
+  std::uint32_t next_host = 16;  // low offsets reserved for routers
+};
+
+struct VantagePoint {
+  std::string id;        // "PureVPN-0017"
+  std::string provider;
+  bool cn_platform = false;
+  std::string country;
+  std::string province;  // CN platform only
+  std::uint32_t asn = 0;
+  net::Ipv4Addr addr;
+  sim::NodeId node = sim::kInvalidNode;
+  bool resets_ttl = false;   // provider mangles outgoing TTL (screened)
+  bool residential = false;  // user-hosted provider (screened)
+};
+
+struct WebSite {
+  std::string domain;  // "www.top0001-site.com"
+  int rank = 0;        // Tranco-style rank, 1-based
+  net::Ipv4Addr addr;
+  sim::NodeId node = sim::kInvalidNode;
+  std::uint32_t asn = 0;
+  std::string country;
+};
+
+struct DnsTargetHost {
+  DnsTargetInfo info;
+  net::Ipv4Addr addr;
+  /// Primary instance node; anycast services list every instance (the
+  /// routing tables decide which instance a client reaches).
+  sim::NodeId node = sim::kInvalidNode;
+  std::vector<std::pair<std::string, sim::NodeId>> anycast_instances;  // (country, node)
+  std::uint32_t asn = 0;
+};
+
+struct Honeypot {
+  std::string location;  // "US" / "DE" / "SG"
+  net::Ipv4Addr addr;
+  sim::NodeId node = sim::kInvalidNode;
+  std::uint32_t asn = 0;
+};
+
+class Topology {
+ public:
+  /// Builds the full topology into `net`. All hosts are created with null
+  /// handlers; application layers (resolvers, honeypots, VP clients, web
+  /// servers) attach afterwards via Network::set_handler.
+  static Topology build(sim::Network& net, const TopologyConfig& config);
+
+  [[nodiscard]] const TopologyConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<VantagePoint>& vantage_points() const noexcept {
+    return vps_;
+  }
+  [[nodiscard]] const std::vector<WebSite>& web_sites() const noexcept { return sites_; }
+  [[nodiscard]] const std::vector<DnsTargetHost>& dns_target_hosts() const noexcept {
+    return dns_hosts_;
+  }
+  [[nodiscard]] const std::vector<Honeypot>& honeypots() const noexcept { return honeypots_; }
+  [[nodiscard]] const intel::GeoDatabase& geo() const noexcept { return geo_; }
+  [[nodiscard]] const std::vector<AsRecord>& ases() const noexcept { return ases_; }
+
+  [[nodiscard]] const AsRecord* as_by_number(std::uint32_t asn) const;
+  [[nodiscard]] const DnsTargetHost* dns_target(const std::string& name) const;
+  /// National gateway router of `country`; kInvalidNode when absent.
+  [[nodiscard]] sim::NodeId national_gateway(const std::string& country) const;
+  /// Regional core router for region code ("NA", "EU", ...).
+  [[nodiscard]] sim::NodeId regional_core(const std::string& region) const;
+  /// CN province aggregation router (the extra CN hop); kInvalidNode if the
+  /// province was not instantiated.
+  [[nodiscard]] sim::NodeId province_aggregation(const std::string& province) const;
+
+  /// Allocates one more host address inside AS `asn` and creates a host
+  /// node wired to the AS access router (used by shadow prober fleets).
+  sim::NodeId add_host_in_as(sim::Network& net, std::uint32_t asn, const std::string& name,
+                             sim::DatagramHandler* handler = nullptr);
+  /// Address the next add_host_in_as call in `asn` would receive.
+  [[nodiscard]] net::Ipv4Addr peek_host_addr(std::uint32_t asn) const;
+
+ private:
+  friend class TopologyBuilder;
+
+  TopologyConfig config_;
+  std::vector<VantagePoint> vps_;
+  std::vector<WebSite> sites_;
+  std::vector<DnsTargetHost> dns_hosts_;
+  std::vector<Honeypot> honeypots_;
+  std::vector<AsRecord> ases_;
+  std::map<std::uint32_t, std::size_t> as_index_;
+  std::map<std::string, sim::NodeId> national_gateways_;
+  std::map<std::string, sim::NodeId> regional_cores_;
+  std::map<std::string, sim::NodeId> province_aggs_;
+  intel::GeoDatabase geo_;
+};
+
+}  // namespace shadowprobe::topo

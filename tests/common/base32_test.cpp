@@ -1,0 +1,81 @@
+#include "common/base32.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace shadowprobe {
+namespace {
+
+TEST(Base32, EmptyInput) {
+  EXPECT_EQ(base32_encode({}), "");
+  auto decoded = base32_decode("");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Base32, Rfc4648Vectors) {
+  // RFC 4648 test vectors (lowercased, unpadded).
+  EXPECT_EQ(base32_encode(to_bytes("f")), "my");
+  EXPECT_EQ(base32_encode(to_bytes("fo")), "mzxq");
+  EXPECT_EQ(base32_encode(to_bytes("foo")), "mzxw6");
+  EXPECT_EQ(base32_encode(to_bytes("foob")), "mzxw6yq");
+  EXPECT_EQ(base32_encode(to_bytes("fooba")), "mzxw6ytb");
+  EXPECT_EQ(base32_encode(to_bytes("foobar")), "mzxw6ytboi");
+}
+
+TEST(Base32, DecodeAcceptsUppercase) {
+  auto decoded = base32_decode("MZXW6YTBOI");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(to_string(BytesView(*decoded)), "foobar");
+}
+
+TEST(Base32, RejectsInvalidCharacters) {
+  EXPECT_FALSE(base32_decode("mzxw6yt1").has_value());  // '1' not in alphabet
+  EXPECT_FALSE(base32_decode("mzxw-6yt").has_value());
+  EXPECT_FALSE(base32_decode("m z").has_value());
+}
+
+TEST(Base32, RejectsImpossibleLengths) {
+  // Lengths 1, 3, 6 mod 8 cannot arise from whole bytes.
+  EXPECT_FALSE(base32_decode("a").has_value());
+  EXPECT_FALSE(base32_decode("abc").has_value());
+  EXPECT_FALSE(base32_decode("abcdef").has_value());
+}
+
+TEST(Base32, RejectsNonzeroPaddingBits) {
+  // "mz" decodes to 1 byte with 2 leftover bits; those bits must be zero.
+  // 'z' = 25 = 0b11001 -> leftover bits 01 != 0 for crafted input "mb"?
+  // Construct explicitly: encode {0xFF} -> "74"; tamper the final char so
+  // the leftover bits become nonzero.
+  std::string good = base32_encode(Bytes{0xFF});
+  ASSERT_EQ(good.size(), 2u);
+  std::string bad = good;
+  bad[1] = 'z';  // 'z'=25=0b11001, leftover 001 pattern non-zero
+  auto decoded = base32_decode(bad);
+  EXPECT_FALSE(decoded.has_value());
+}
+
+class Base32RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(Base32RoundTrip, RandomBuffersSurvive) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  for (int round = 0; round < 50; ++round) {
+    Bytes data(static_cast<std::size_t>(GetParam()));
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.bits());
+    std::string encoded = base32_encode(BytesView(data));
+    // DNS-label-safe alphabet only.
+    for (char c : encoded) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '2' && c <= '7')) << c;
+    }
+    auto decoded = base32_decode(encoded);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Base32RoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 15, 16, 31, 64));
+
+}  // namespace
+}  // namespace shadowprobe

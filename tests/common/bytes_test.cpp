@@ -1,0 +1,123 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe {
+namespace {
+
+TEST(ByteWriter, WritesBigEndianIntegers) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ULL);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 15u);
+  EXPECT_EQ(b[0], 0xAB);
+  EXPECT_EQ(b[1], 0x12);
+  EXPECT_EQ(b[2], 0x34);
+  EXPECT_EQ(b[3], 0xDE);
+  EXPECT_EQ(b[6], 0xEF);
+  EXPECT_EQ(b[7], 0x01);
+  EXPECT_EQ(b[14], 0x08);
+}
+
+TEST(ByteWriter, RawAppendsStringsAndBytes) {
+  ByteWriter w;
+  w.raw("abc");
+  w.raw(to_bytes("def"));
+  EXPECT_EQ(to_string(BytesView(w.bytes())), "abcdef");
+}
+
+TEST(ByteWriter, PatchU16OverwritesInPlace) {
+  ByteWriter w;
+  w.u16(0);
+  w.raw("xy");
+  w.patch_u16(0, 0xBEEF);
+  EXPECT_EQ(w.bytes()[0], 0xBE);
+  EXPECT_EQ(w.bytes()[1], 0xEF);
+  EXPECT_EQ(w.bytes()[2], 'x');
+}
+
+TEST(ByteWriter, PatchPastEndThrows) {
+  ByteWriter w;
+  w.u8(1);
+  EXPECT_THROW(w.patch_u16(0, 1), std::out_of_range);
+  EXPECT_THROW(w.patch_u16(5, 1), std::out_of_range);
+}
+
+TEST(ByteWriter, TakeMovesBuffer) {
+  ByteWriter w;
+  w.u32(42);
+  Bytes taken = std::move(w).take();
+  EXPECT_EQ(taken.size(), 4u);
+}
+
+TEST(ByteReader, ReadsBackWhatWriterWrote) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16(300);
+  w.u32(1u << 31);
+  w.u64(0xFFFFFFFFFFFFFFFFULL);
+  w.raw("tail");
+  ByteReader r{BytesView(w.bytes())};
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 300);
+  EXPECT_EQ(r.u32(), 1u << 31);
+  EXPECT_EQ(r.u64(), 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(r.str(4), "tail");
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, UnderflowLatchesErrorAndReturnsZero) {
+  Bytes data = {0x01, 0x02};
+  ByteReader r{BytesView(data)};
+  EXPECT_EQ(r.u32(), 0u);  // only 2 bytes available
+  EXPECT_FALSE(r.ok());
+  // Error is sticky: even in-range reads now fail.
+  EXPECT_EQ(r.u8(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, RawUnderflowReturnsEmpty) {
+  Bytes data = {1, 2, 3};
+  ByteReader r{BytesView(data)};
+  EXPECT_TRUE(r.raw(10).empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, SkipAndSeek) {
+  Bytes data = {1, 2, 3, 4, 5};
+  ByteReader r{BytesView(data)};
+  r.skip(2);
+  EXPECT_EQ(r.u8(), 3);
+  r.seek(0);
+  EXPECT_EQ(r.u8(), 1);
+  r.seek(5);  // end is a valid seek target
+  EXPECT_TRUE(r.ok());
+  r.seek(6);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ByteReader, ManualFailLatches) {
+  Bytes data = {1};
+  ByteReader r{BytesView(data)};
+  r.fail();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u8(), 0u);
+}
+
+TEST(BytesUtil, HexFormatsLowercase) {
+  Bytes data = {0x00, 0xFF, 0xAB};
+  EXPECT_EQ(hex(BytesView(data)), "00ffab");
+  EXPECT_EQ(hex({}), "");
+}
+
+TEST(BytesUtil, StringRoundTrip) {
+  std::string s = "hello\x00world";
+  EXPECT_EQ(to_string(BytesView(to_bytes(s))), s);
+}
+
+}  // namespace
+}  // namespace shadowprobe

@@ -1,0 +1,50 @@
+// Coverage for the small utilities: Result, logging levels.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace shadowprobe {
+namespace {
+
+TEST(ResultType, ValueAndErrorAccess) {
+  Result<int> ok_result(42);
+  EXPECT_TRUE(ok_result.ok());
+  EXPECT_TRUE(static_cast<bool>(ok_result));
+  EXPECT_EQ(ok_result.value(), 42);
+  EXPECT_THROW((void)ok_result.error(), std::logic_error);
+
+  Result<int> bad_result(Error("boom"));
+  EXPECT_FALSE(bad_result.ok());
+  EXPECT_EQ(bad_result.error().message, "boom");
+  EXPECT_THROW((void)bad_result.value(), std::logic_error);
+}
+
+TEST(ResultType, TakeMovesOutOfRvalue) {
+  Result<std::string> result(std::string("payload"));
+  std::string taken = std::move(result).take();
+  EXPECT_EQ(taken, "payload");
+  Result<std::string> bad(Error("x"));
+  EXPECT_THROW((void)std::move(bad).take(), std::logic_error);
+}
+
+TEST(ResultType, MutableValueAccess) {
+  Result<std::vector<int>> result(std::vector<int>{1});
+  result.value().push_back(2);
+  EXPECT_EQ(result.value().size(), 2u);
+}
+
+TEST(Logging, LevelGateIsRespected) {
+  LogLevel before = log_level();
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  // No way to capture stderr portably here; the contract under test is the
+  // level round-trip and that logging below the gate is a no-op call.
+  log_message(LogLevel::kDebug, "must not crash");
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace shadowprobe

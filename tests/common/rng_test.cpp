@@ -1,0 +1,161 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace shadowprobe {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.bits(), b.bits());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.bits() == b.bits()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent1(7);
+  Rng parent2(7);
+  Rng child1 = parent1.fork("alpha");
+  Rng child2 = parent2.fork("alpha");
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1.bits(), child2.bits());
+
+  Rng parent3(7);
+  Rng other = parent3.fork("beta");
+  Rng again = Rng(7).fork("alpha");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (other.bits() == again.bits()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (std::uint64_t n : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(n), n);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    std::int64_t v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(rng.range(3, 3), 3);
+  EXPECT_EQ(rng.range(5, 1), 5);  // degenerate collapses to lo
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(6);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceEdgesAreExact) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(8);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.25);
+}
+
+TEST(Rng, LognormalMedianApproximatelyCorrect) {
+  Rng rng(10);
+  std::vector<double> samples;
+  for (int i = 0; i < 10001; ++i) samples.push_back(rng.lognormal(100.0, 1.0));
+  std::sort(samples.begin(), samples.end());
+  EXPECT_NEAR(samples[samples.size() / 2], 100.0, 10.0);
+  for (double s : samples) EXPECT_GT(s, 0.0);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, WeightedSelectsByWeight) {
+  Rng rng(12);
+  std::vector<double> weights = {0.0, 9.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(counts[1] / 10000.0, 0.9, 0.03);
+}
+
+TEST(Rng, WeightedDegenerateFallsBack) {
+  Rng rng(13);
+  EXPECT_EQ(rng.weighted({0.0, 0.0}), 0u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(14);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Fnv1a, KnownVectorsAndDistinctness) {
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_NE(fnv1a("ab"), fnv1a("ba"));
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  std::uint64_t first = sm.next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.next(), first);
+  EXPECT_NE(sm.next(), first);
+}
+
+}  // namespace
+}  // namespace shadowprobe

@@ -1,0 +1,117 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe {
+namespace {
+
+TEST(Cdf, EmptyIsZeroEverywhere) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_EQ(cdf.at(123.0), 0.0);
+  EXPECT_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_EQ(cdf.mean(), 0.0);
+}
+
+TEST(Cdf, AtComputesInclusiveFraction) {
+  Cdf cdf;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) cdf.add(x);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(Cdf, QuantileNearestRank) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_NEAR(cdf.quantile(0.5), 51.0, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+}
+
+TEST(Cdf, MinMaxMean) {
+  Cdf cdf;
+  cdf.add(10);
+  cdf.add(-4);
+  cdf.add(6);
+  EXPECT_DOUBLE_EQ(cdf.min(), -4.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.mean(), 4.0);
+}
+
+TEST(Cdf, InterleavedAddAndQuery) {
+  Cdf cdf;
+  cdf.add(1);
+  EXPECT_DOUBLE_EQ(cdf.at(1), 1.0);
+  cdf.add(3);  // re-dirties after a query
+  EXPECT_DOUBLE_EQ(cdf.at(1), 0.5);
+}
+
+TEST(Cdf, SeriesIsMonotone) {
+  Cdf cdf;
+  for (int i = 0; i < 50; ++i) cdf.add(i * i);
+  auto series = cdf.series(10);
+  ASSERT_EQ(series.size(), 10u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_GE(series[i].first, series[i - 1].first);
+    EXPECT_GE(series[i].second, series[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(Counter, SharesAndTotals) {
+  Counter<std::string> counter;
+  counter.add("a", 3);
+  counter.add("b");
+  counter.add("a");
+  EXPECT_EQ(counter.total(), 5u);
+  EXPECT_EQ(counter.get("a"), 4u);
+  EXPECT_EQ(counter.get("missing"), 0u);
+  EXPECT_DOUBLE_EQ(counter.share("a"), 0.8);
+  EXPECT_DOUBLE_EQ(counter.share("missing"), 0.0);
+  EXPECT_EQ(counter.distinct(), 2u);
+}
+
+TEST(Counter, TopOrdersByCountThenKey) {
+  Counter<std::string> counter;
+  counter.add("x", 2);
+  counter.add("y", 5);
+  counter.add("z", 2);
+  auto top = counter.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "y");
+  EXPECT_EQ(top[1].first, "x");  // tie broken by key order (stable sort)
+}
+
+TEST(Counter, EmptyShareIsZero) {
+  Counter<int> counter;
+  EXPECT_DOUBLE_EQ(counter.share(1), 0.0);
+  EXPECT_TRUE(counter.top(5).empty());
+}
+
+TEST(BucketHistogram, BucketBoundaries) {
+  BucketHistogram h({10.0, 100.0});
+  h.add(5);     // bucket 0: < 10
+  h.add(10);    // bucket 1: [10, 100)
+  h.add(99.9);  // bucket 1
+  h.add(100);   // bucket 2: >= 100
+  h.add(1e9);   // bucket 2
+  EXPECT_EQ(h.buckets(), 3u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.share(1), 0.4);
+}
+
+TEST(BucketHistogram, Labels) {
+  BucketHistogram h({1.0, 60.0});
+  EXPECT_EQ(h.label(0), "< 1");
+  EXPECT_EQ(h.label(1), "[1, 60)");
+  EXPECT_EQ(h.label(2), ">= 60");
+}
+
+}  // namespace
+}  // namespace shadowprobe

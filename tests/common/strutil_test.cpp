@@ -1,0 +1,69 @@
+#include "common/strutil.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe {
+namespace {
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(split("a.b.c", '.'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a..b", '.'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("", '.'), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(".", '.'), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Join, InverseOfSplit) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, "."), "x.y.z");
+  EXPECT_EQ(join({}, "."), "");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC123-Z"), "abc123-z");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Trim, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\r\n a b \n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StartsEndsWith, Basics) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(ends_with("ar", "bar"));
+  EXPECT_TRUE(starts_with("x", ""));
+  EXPECT_TRUE(ends_with("x", ""));
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("Host", "hOST"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("host", "hosts"));
+  EXPECT_FALSE(iequals("a", "b"));
+}
+
+TEST(ParseUint, ValidAndInvalid) {
+  EXPECT_EQ(parse_uint("0"), 0);
+  EXPECT_EQ(parse_uint("12345"), 12345);
+  EXPECT_EQ(parse_uint(""), -1);
+  EXPECT_EQ(parse_uint("-1"), -1);
+  EXPECT_EQ(parse_uint("12x"), -1);
+  EXPECT_EQ(parse_uint(" 1"), -1);
+  // Value near int64 max parses; overflow is rejected.
+  EXPECT_EQ(parse_uint("9223372036854775807"), 9223372036854775807LL);
+  EXPECT_EQ(parse_uint("9223372036854775808"), -1);
+}
+
+TEST(StrPrintf, FormatsLikePrintf) {
+  EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strprintf("%.2f%%", 12.345), "12.35%");
+  EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace shadowprobe

@@ -1,0 +1,36 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe {
+namespace {
+
+TEST(SimTime, UnitRelationships) {
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+}
+
+TEST(SimTime, SecondsConversionRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kDay), 86400.0);
+  EXPECT_EQ(from_seconds(1.5), 1500 * kMillisecond);
+  EXPECT_EQ(from_seconds(to_seconds(42 * kMinute)), 42 * kMinute);
+}
+
+TEST(FormatDuration, PicksSensibleUnits) {
+  EXPECT_EQ(format_duration(500), "500us");
+  EXPECT_EQ(format_duration(3 * kMillisecond), "3ms");
+  EXPECT_EQ(format_duration(5 * kSecond), "5s");
+  EXPECT_EQ(format_duration(kMinute + 30 * kSecond), "1m 30s");
+  EXPECT_EQ(format_duration(2 * kHour + 5 * kMinute), "2h 5m");
+  EXPECT_EQ(format_duration(3 * kDay + 4 * kHour), "3d 4h");
+}
+
+TEST(FormatDuration, NegativeDurations) {
+  EXPECT_EQ(format_duration(-5 * kSecond), "-5s");
+}
+
+}  // namespace
+}  // namespace shadowprobe

@@ -1,0 +1,286 @@
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+
+namespace shadowprobe::core {
+namespace {
+
+using net::Ipv4Addr;
+
+class AnalysisTest : public ::testing::Test {
+ protected:
+  AnalysisTest() {
+    vp_cn.id = "cn-vp";
+    vp_cn.cn_platform = true;
+    vp_cn.country = "CN";
+    vp_cn.province = "Jiangsu";
+    vp_cn.provider = "QiXun";
+    vp_cn.asn = 137697;
+    vp_cn.addr = Ipv4Addr(60, 0, 0, 1);
+    vp_us.id = "us-vp";
+    vp_us.country = "US";
+    vp_us.provider = "PureVPN";
+    vp_us.asn = 21859;
+    vp_us.addr = Ipv4Addr(61, 0, 0, 1);
+  }
+
+  std::uint32_t add_dns_path(const topo::VantagePoint& vp, const std::string& resolver) {
+    PathRecord path;
+    path.vp = &vp;
+    path.dest_kind = DestKind::kPublicResolver;
+    path.dest_name = resolver;
+    path.dest_addr = Ipv4Addr(8, 8, 8, 8);
+    path.protocol = DecoyProtocol::kDns;
+    return ledger.add_path(path);
+  }
+
+  DecoyRecord add_decoy(std::uint32_t path_id) {
+    const PathRecord& path = ledger.path(path_id);
+    return ledger.create(path_id, 0, path.vp->addr, path.dest_addr, path.protocol, 64,
+                         false);
+  }
+
+  UnsolicitedRequest request_for(const DecoyRecord& decoy, RequestProtocol protocol,
+                                 SimDuration interval,
+                                 Ipv4Addr origin = Ipv4Addr(50, 0, 0, 1),
+                                 std::string http_target = "/admin") {
+    UnsolicitedRequest request;
+    request.seq = decoy.id.seq;
+    request.path_id = decoy.path_id;
+    request.decoy_protocol = decoy.id.protocol;
+    request.request_protocol = protocol;
+    request.interval = interval;
+    request.hit.time = decoy.sent + interval;
+    request.hit.origin = origin;
+    request.hit.protocol = protocol;
+    request.hit.http_target = std::move(http_target);
+    request.hit.decoy = decoy.id;
+    return request;
+  }
+
+  topo::VantagePoint vp_cn, vp_us;
+  DecoyLedger ledger;
+};
+
+TEST_F(AnalysisTest, PlatformSummaryCountsGroups) {
+  auto rows = summarize_platform({&vp_cn, &vp_us});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].group, "Global (excl. CN)");
+  EXPECT_EQ(rows[0].ips, 1);
+  EXPECT_EQ(rows[1].group, "China (CN mainland)");
+  EXPECT_EQ(rows[1].ips, 1);
+  EXPECT_EQ(rows[1].regions, 1);  // one province
+  EXPECT_EQ(rows[2].group, "Total");
+  EXPECT_EQ(rows[2].ips, 2);
+  EXPECT_EQ(rows[2].providers, 2);
+}
+
+TEST_F(AnalysisTest, PathRatiosSplitByCountryAndGroup) {
+  std::uint32_t cn_path = add_dns_path(vp_cn, "114DNS");
+  std::uint32_t us_path = add_dns_path(vp_us, "114DNS");
+  DecoyRecord cn_decoy = add_decoy(cn_path);
+  add_decoy(us_path);
+
+  auto ratios = path_ratios(
+      ledger, {request_for(cn_decoy, RequestProtocol::kHttp, kHour)});
+  // The CN VP's path is problematic, the US VP's is not — the paper's
+  // 114DNS asymmetry.
+  auto cn_cell = ratios.group(DecoyProtocol::kDns, "114DNS", /*cn_platform=*/true);
+  EXPECT_EQ(cn_cell.paths, 1);
+  EXPECT_EQ(cn_cell.problematic, 1);
+  auto global_cell = ratios.group(DecoyProtocol::kDns, "114DNS", /*cn_platform=*/false);
+  EXPECT_EQ(global_cell.paths, 1);
+  EXPECT_EQ(global_cell.problematic, 0);
+  EXPECT_DOUBLE_EQ(ratios.total(DecoyProtocol::kDns, "114DNS").ratio(), 0.5);
+  EXPECT_EQ(ratios.total(DecoyProtocol::kDns, "missing").paths, 0);
+}
+
+TEST_F(AnalysisTest, TopShadowedResolversOrderByRatio) {
+  std::uint32_t heavy = add_dns_path(vp_us, "Yandex");
+  std::uint32_t light = add_dns_path(vp_us, "Google");
+  add_dns_path(vp_cn, "Google");  // second Google path, never problematic
+  DecoyRecord heavy_decoy = add_decoy(heavy);
+  DecoyRecord light_decoy = add_decoy(light);
+  add_decoy(light);
+  auto ratios = path_ratios(ledger, {
+      request_for(heavy_decoy, RequestProtocol::kHttp, kHour),
+      request_for(light_decoy, RequestProtocol::kDns, 2 * kHour),
+  });
+  auto top = top_shadowed_resolvers(ratios, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], "Yandex");
+  EXPECT_EQ(top[1], "Google");
+}
+
+TEST_F(AnalysisTest, ObserverLocationSharesSumToOne) {
+  std::vector<ObserverFinding> findings;
+  for (int i = 0; i < 7; ++i) {
+    ObserverFinding finding;
+    finding.protocol = DecoyProtocol::kDns;
+    finding.normalized_hop = 10;
+    finding.at_destination = true;
+    findings.push_back(finding);
+  }
+  ObserverFinding wire;
+  wire.protocol = DecoyProtocol::kDns;
+  wire.normalized_hop = 4;
+  wire.at_destination = false;
+  findings.push_back(wire);
+
+  auto locations = observer_locations(findings);
+  EXPECT_EQ(locations.located_paths[DecoyProtocol::kDns], 8);
+  double sum = 0;
+  for (int hop = 1; hop <= 10; ++hop) sum += locations.shares[DecoyProtocol::kDns][hop];
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_NEAR(locations.shares[DecoyProtocol::kDns][10], 7.0 / 8.0, 1e-9);
+}
+
+TEST_F(AnalysisTest, ObserverAsTableGroupsDistinctIps) {
+  intel::GeoDatabase geo;
+  geo.add(net::Prefix(Ipv4Addr(100, 1, 0, 0), 16),
+          {"CN", "", 4134, "CHINANET-BACKBONE", intel::PrefixType::kIsp});
+  geo.add(net::Prefix(Ipv4Addr(100, 2, 0, 0), 16),
+          {"US", "", 40444, "Constant Contact", intel::PrefixType::kHosting});
+  std::vector<ObserverFinding> findings;
+  auto add = [&](DecoyProtocol protocol, Ipv4Addr addr) {
+    ObserverFinding finding;
+    finding.protocol = protocol;
+    finding.at_destination = false;
+    finding.normalized_hop = 5;
+    finding.observer_addr = addr;
+    findings.push_back(finding);
+  };
+  add(DecoyProtocol::kHttp, Ipv4Addr(100, 1, 0, 1));
+  add(DecoyProtocol::kHttp, Ipv4Addr(100, 1, 0, 1));  // duplicate IP: one observer
+  add(DecoyProtocol::kHttp, Ipv4Addr(100, 1, 0, 2));
+  add(DecoyProtocol::kHttp, Ipv4Addr(100, 2, 0, 1));
+  add(DecoyProtocol::kTls, Ipv4Addr(100, 1, 0, 3));
+
+  auto table = observer_ases(findings, geo);
+  EXPECT_EQ(table.total_observer_ips, 4);
+  ASSERT_FALSE(table.rows[DecoyProtocol::kHttp].empty());
+  EXPECT_EQ(table.rows[DecoyProtocol::kHttp][0].asn, 4134u);
+  EXPECT_EQ(table.rows[DecoyProtocol::kHttp][0].observer_ips, 2);
+  EXPECT_NEAR(table.rows[DecoyProtocol::kHttp][0].share, 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(table.observer_countries.get("CN"), 3u);
+}
+
+TEST_F(AnalysisTest, ProtocolCombosPickMostTellingOutcome) {
+  std::uint32_t path = add_dns_path(vp_us, "Yandex");
+  DecoyRecord quiet = add_decoy(path);
+  DecoyRecord dns_early = add_decoy(path);
+  DecoyRecord web_late = add_decoy(path);
+  (void)quiet;
+  auto combos = protocol_combos(ledger, {
+      request_for(dns_early, RequestProtocol::kDns, kMinute),
+      // web_late has both an early DNS and a late HTTPS: the HTTPS wins.
+      request_for(web_late, RequestProtocol::kDns, kMinute),
+      request_for(web_late, RequestProtocol::kHttps, 3 * kDay),
+  });
+  EXPECT_EQ(combos.decoys["Yandex"], 3);
+  EXPECT_NEAR(combos.shares["Yandex"][DecoyOutcome::kNoUnsolicited], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(combos.shares["Yandex"][DecoyOutcome::kDnsWithinHour], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(combos.shares["Yandex"][DecoyOutcome::kWebAfterDays], 1.0 / 3.0, 1e-9);
+}
+
+TEST_F(AnalysisTest, OriginAsesJoinGeoAndBlocklist) {
+  intel::GeoDatabase geo;
+  geo.add(net::Prefix(Ipv4Addr(8, 8, 0, 0), 16),
+          {"US", "", 15169, "Google LLC", intel::PrefixType::kHosting});
+  intel::Blocklist blocklist;
+  blocklist.add(Ipv4Addr(8, 8, 8, 100));
+
+  std::uint32_t path = add_dns_path(vp_us, "Yandex");
+  DecoyRecord decoy = add_decoy(path);
+  auto table = origin_ases(
+      ledger,
+      {
+          request_for(decoy, RequestProtocol::kDns, kHour, Ipv4Addr(8, 8, 8, 100)),
+          request_for(decoy, RequestProtocol::kDns, 2 * kHour, Ipv4Addr(8, 8, 8, 101)),
+      },
+      {"Yandex"}, geo, blocklist);
+  EXPECT_EQ(table.per_resolver["Yandex"].get("AS15169 Google LLC"), 2u);
+  EXPECT_EQ(table.distinct_dns_origins, 2);
+  EXPECT_DOUBLE_EQ(table.dns_origin_blocklisted, 0.5);
+}
+
+TEST_F(AnalysisTest, RetentionStatsCountLateRequests) {
+  std::uint32_t path = add_dns_path(vp_us, "Yandex");
+  DecoyRecord busy = add_decoy(path);
+  DecoyRecord calm = add_decoy(path);
+  std::vector<UnsolicitedRequest> requests;
+  for (int i = 0; i < 5; ++i) {
+    requests.push_back(request_for(busy, RequestProtocol::kDns, kHour + (i + 1) * kMinute));
+  }
+  requests.push_back(request_for(busy, RequestProtocol::kHttp, 11 * kDay));
+  requests.push_back(request_for(calm, RequestProtocol::kDns, kMinute));  // early only
+  auto stats = retention_stats(ledger, requests, {}, "Yandex");
+  EXPECT_EQ(stats.considered_decoys, 2);
+  EXPECT_DOUBLE_EQ(stats.over3_after_1h, 0.5);   // busy has 6 late requests
+  EXPECT_DOUBLE_EQ(stats.over10_after_1h, 0.0);
+  EXPECT_DOUBLE_EQ(stats.web_after_10d, 0.5);    // busy's HTTP at day 11
+}
+
+TEST_F(AnalysisTest, IncentiveStatsClassifyPayloadsAndReputation) {
+  intel::SignatureDb signatures = intel::SignatureDb::standard();
+  intel::Blocklist blocklist;
+  blocklist.add(Ipv4Addr(70, 0, 0, 1));
+
+  std::uint32_t path = add_dns_path(vp_us, "Yandex");
+  DecoyRecord decoy = add_decoy(path);
+  std::vector<UnsolicitedRequest> requests = {
+      request_for(decoy, RequestProtocol::kHttp, kHour, Ipv4Addr(70, 0, 0, 1), "/admin"),
+      request_for(decoy, RequestProtocol::kHttp, kHour, Ipv4Addr(70, 0, 0, 2), "/backup.zip"),
+      request_for(decoy, RequestProtocol::kHttp, kHour, Ipv4Addr(70, 0, 0, 2), "/"),
+      request_for(decoy, RequestProtocol::kHttps, kHour, Ipv4Addr(70, 0, 0, 1), ""),
+  };
+  auto stats = incentive_stats(requests, signatures, blocklist);
+  EXPECT_EQ(stats.http_requests, 3);
+  EXPECT_FALSE(stats.exploits_found);
+  EXPECT_NEAR(stats.payload_shares[intel::PayloadClass::kPathEnumeration], 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(stats.payload_shares[intel::PayloadClass::kBenignFetch], 1.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.dns_decoy_http_origin_blocklisted, 0.5);
+  EXPECT_DOUBLE_EQ(stats.dns_decoy_https_origin_blocklisted, 1.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer-name", "22"});
+  std::string out = table.str();
+  EXPECT_NE(out.find("name         value"), std::string::npos);
+  EXPECT_NE(out.find("longer-name  22"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Percent, Formatting) {
+  EXPECT_EQ(percent(0.5), "50.0%");
+  EXPECT_EQ(percent(0.123, 2), "12.30%");
+  EXPECT_EQ(percent(0.997), "99.7%");
+}
+
+}  // namespace
+}  // namespace shadowprobe::core
+
+namespace shadowprobe::core {
+namespace {
+
+TEST_F(AnalysisTest, ProtocolCombosVpCountryFilter) {
+  std::uint32_t cn_path = add_dns_path(vp_cn, "114DNS");
+  std::uint32_t us_path = add_dns_path(vp_us, "114DNS");
+  DecoyRecord cn_decoy = add_decoy(cn_path);
+  add_decoy(us_path);  // the US decoy stays quiet
+  auto cn_only = protocol_combos(
+      ledger, {request_for(cn_decoy, RequestProtocol::kHttps, 2 * kDay)}, {"CN"});
+  EXPECT_EQ(cn_only.decoys["114DNS"], 1);
+  EXPECT_DOUBLE_EQ(cn_only.shares["114DNS"][DecoyOutcome::kWebAfterDays], 1.0);
+  auto both = protocol_combos(
+      ledger, {request_for(cn_decoy, RequestProtocol::kHttps, 2 * kDay)});
+  EXPECT_EQ(both.decoys["114DNS"], 2);
+  EXPECT_DOUBLE_EQ(both.shares["114DNS"][DecoyOutcome::kWebAfterDays], 0.5);
+}
+
+}  // namespace
+}  // namespace shadowprobe::core

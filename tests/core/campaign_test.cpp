@@ -1,0 +1,193 @@
+// Campaign orchestration units: phase structure, ledger bookkeeping,
+// screening toggles, measurement toggles, mitigation plumbing.
+#include "core/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "shadow/profiles.h"
+
+namespace shadowprobe::core {
+namespace {
+
+TestbedConfig small_config(std::uint64_t seed = 61) {
+  TestbedConfig config;
+  config.topology.seed = seed;
+  config.topology.global_vps = 6;
+  config.topology.cn_vps = 6;
+  config.topology.web_sites = 4;
+  return config;
+}
+
+CampaignConfig fast_campaign() {
+  CampaignConfig config;
+  config.phase1_window = 2 * kHour;
+  config.phase2_grace = 4 * kHour;
+  config.phase2_window = 2 * kHour;
+  config.total_duration = 3 * kDay;
+  return config;
+}
+
+TEST(CampaignTest, Phase1CoversEveryUsableVpTimesEveryDestination) {
+  auto bed = Testbed::create(small_config());
+  Campaign campaign(*bed, fast_campaign());
+  campaign.run();
+  std::size_t vps = campaign.active_vps().size();
+  std::size_t dns_targets = bed->topology().dns_target_hosts().size();
+  std::size_t sites = bed->topology().web_sites().size();
+  // Path table: one DNS path per (VP, DNS target), one HTTP and one TLS
+  // path per (VP, site).
+  EXPECT_EQ(campaign.ledger().paths().size(), vps * (dns_targets + 2 * sites));
+  // Phase I emits exactly one decoy per path (no exhibitors -> no phase II).
+  std::size_t phase1 = 0;
+  for (const auto& decoy : campaign.ledger().decoys()) {
+    if (!decoy.phase2) ++phase1;
+  }
+  EXPECT_EQ(phase1, campaign.ledger().paths().size());
+}
+
+TEST(CampaignTest, DecoysReachDestinationsAndComeBack) {
+  auto bed = Testbed::create(small_config());
+  Campaign campaign(*bed, fast_campaign());
+  campaign.run();
+  std::size_t responded = 0;
+  std::size_t total = 0;
+  for (const auto& decoy : campaign.ledger().decoys()) {
+    if (decoy.phase2) continue;
+    ++total;
+    const PathRecord& path = campaign.ledger().path(decoy.path_id);
+    // Root/TLD referrals, resolver answers, HTTP responses, TLS greetings:
+    // everything answers something.
+    if (path.dest_kind != DestKind::kWebSite || path.protocol != DecoyProtocol::kTls) {
+      if (decoy.dest_responded) ++responded;
+    } else if (decoy.dest_responded) {
+      ++responded;
+    }
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(responded) / static_cast<double>(total), 0.97);
+}
+
+TEST(CampaignTest, NoExhibitorsMeansNoUnsolicitedBeyondQuirks) {
+  TestbedConfig config = small_config();
+  config.resolver_requery_probability = 0.0;  // clean resolvers
+  auto bed = Testbed::create(config);
+  Campaign campaign(*bed, fast_campaign());
+  campaign.run();
+  EXPECT_EQ(campaign.unsolicited().size(), 0u);
+  EXPECT_TRUE(campaign.findings().empty());
+}
+
+TEST(CampaignTest, Phase2SweepsOnlyProblematicPaths) {
+  auto bed = Testbed::create(small_config());
+  shadow::ShadowConfig shadow_config;
+  shadow_config.fleet_size = 2;
+  auto deployment = shadow::deploy_standard_exhibitors(*bed, shadow_config);
+  CampaignConfig config = fast_campaign();
+  config.max_sweep_ttl = 12;
+  Campaign campaign(*bed, config);
+  campaign.run();
+  std::set<std::uint32_t> swept;
+  for (const auto& decoy : campaign.ledger().decoys()) {
+    if (decoy.phase2) swept.insert(decoy.path_id);
+  }
+  ASSERT_FALSE(swept.empty());
+  EXPECT_LT(swept.size(), campaign.ledger().paths().size());
+  // Each swept path received exactly max_sweep_ttl variants.
+  std::map<std::uint32_t, int> per_path;
+  for (const auto& decoy : campaign.ledger().decoys()) {
+    if (decoy.phase2) ++per_path[decoy.path_id];
+  }
+  for (const auto& [path, count] : per_path) EXPECT_EQ(count, 12);
+}
+
+TEST(CampaignTest, MeasurementTogglesPruneProtocols) {
+  auto bed = Testbed::create(small_config());
+  CampaignConfig config = fast_campaign();
+  config.measure_http = false;
+  config.measure_tls = false;
+  Campaign campaign(*bed, config);
+  campaign.run();
+  for (const auto& path : campaign.ledger().paths()) {
+    EXPECT_EQ(path.protocol, DecoyProtocol::kDns);
+  }
+}
+
+TEST(CampaignTest, ScreeningOffKeepsEveryCandidate) {
+  auto bed = Testbed::create(small_config());
+  CampaignConfig config = fast_campaign();
+  config.screening = false;
+  Campaign campaign(*bed, config);
+  campaign.run();
+  EXPECT_EQ(campaign.active_vps().size(), bed->topology().vantage_points().size());
+}
+
+TEST(CampaignTest, EmissionTimesRespectTheWindow) {
+  auto bed = Testbed::create(small_config());
+  CampaignConfig config = fast_campaign();
+  Campaign campaign(*bed, config);
+  campaign.run();
+  SimTime screening_end = kHour;  // screening occupies the first hour
+  for (const auto& decoy : campaign.ledger().decoys()) {
+    if (decoy.phase2) continue;
+    EXPECT_GE(decoy.sent, screening_end);
+    EXPECT_LE(decoy.sent, screening_end + config.phase1_window);
+  }
+}
+
+TEST(CampaignTest, MitigationFlagsReachTheAgents) {
+  // DoT campaign: on-wire DNS wiretaps see nothing, resolvers still answer.
+  auto bed = Testbed::create(small_config());
+  shadow::ShadowConfig shadow_config;
+  shadow_config.fleet_size = 2;
+  auto deployment = shadow::deploy_standard_exhibitors(*bed, shadow_config);
+  CampaignConfig config = fast_campaign();
+  config.dns_transport = DnsDecoyTransport::kEncrypted;
+  Campaign campaign(*bed, config);
+  campaign.run();
+  const auto* misc = deployment.find("wire:dns-misc");
+  ASSERT_NE(misc, nullptr);
+  EXPECT_EQ(misc->exhibitor->observations(), 0u);
+  // Destination shadowing persists.
+  auto ratios = path_ratios(campaign.ledger(), campaign.unsolicited());
+  EXPECT_GT(ratios.total(DecoyProtocol::kDns, "Yandex").ratio(), 0.8);
+}
+
+}  // namespace
+}  // namespace shadowprobe::core
+
+namespace shadowprobe::core {
+namespace {
+
+TEST(CampaignTest, MultipleRoundsEmitFreshDecoysPerPath) {
+  auto bed = Testbed::create(small_config());
+  CampaignConfig config = fast_campaign();
+  config.phase1_rounds = 3;
+  config.phase2_grace = config.phase1_window * 3 + 2 * kHour;
+  Campaign campaign(*bed, config);
+  campaign.run();
+  std::map<std::uint32_t, int> per_path;
+  std::set<net::DnsName> domains;
+  for (const auto& decoy : campaign.ledger().decoys()) {
+    if (decoy.phase2) continue;
+    ++per_path[decoy.path_id];
+    EXPECT_TRUE(domains.insert(decoy.domain).second) << "duplicate decoy domain";
+  }
+  for (const auto& [path, count] : per_path) EXPECT_EQ(count, 3);
+}
+
+TEST(CampaignTest, RoundsDoNotInflateUnsolicitedOnCleanPaths) {
+  TestbedConfig config = small_config();
+  config.resolver_requery_probability = 0.0;
+  auto bed = Testbed::create(config);
+  CampaignConfig campaign_config = fast_campaign();
+  campaign_config.phase1_rounds = 2;
+  Campaign campaign(*bed, campaign_config);
+  campaign.run();
+  // Each round's decoy resolves once (solicited); criterion (iii) tracks
+  // per-decoy, so repeated rounds stay clean.
+  EXPECT_EQ(campaign.unsolicited().size(), 0u);
+}
+
+}  // namespace
+}  // namespace shadowprobe::core

@@ -1,0 +1,184 @@
+#include "core/correlator.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/topology.h"
+
+namespace shadowprobe::core {
+namespace {
+
+using net::Ipv4Addr;
+
+/// Builds a ledger with one VP and a few paths/decoys, plus synthetic hits.
+class CorrelatorTest : public ::testing::Test {
+ protected:
+  CorrelatorTest() {
+    vp.id = "test-vp";
+    vp.addr = Ipv4Addr(30, 0, 0, 1);
+
+    PathRecord resolver_path;
+    resolver_path.vp = &vp;
+    resolver_path.dest_kind = DestKind::kPublicResolver;
+    resolver_path.dest_name = "Google";
+    resolver_path.dest_addr = Ipv4Addr(8, 8, 8, 8);
+    resolver_path.protocol = DecoyProtocol::kDns;
+    resolver_pid = ledger.add_path(resolver_path);
+
+    PathRecord root_path = resolver_path;
+    root_path.dest_kind = DestKind::kRoot;
+    root_path.dest_name = "a.root";
+    root_path.dest_addr = Ipv4Addr(198, 41, 0, 4);
+    root_pid = ledger.add_path(root_path);
+
+    PathRecord web_path;
+    web_path.vp = &vp;
+    web_path.dest_kind = DestKind::kWebSite;
+    web_path.dest_name = "www.top0001-site.com";
+    web_path.dest_addr = Ipv4Addr(40, 0, 0, 1);
+    web_path.protocol = DecoyProtocol::kHttp;
+    web_pid = ledger.add_path(web_path);
+  }
+
+  DecoyRecord make_decoy(std::uint32_t path_id, DecoyProtocol protocol,
+                          SimTime sent = 1000 * kSecond) {
+    const PathRecord& path = ledger.path(path_id);
+    return ledger.create(path_id, sent, vp.addr, path.dest_addr, protocol, 64, false);
+  }
+
+  HoneypotHit hit_for(const DecoyRecord& decoy, RequestProtocol protocol,
+                      SimDuration after, Ipv4Addr origin = Ipv4Addr(50, 0, 0, 1)) {
+    HoneypotHit hit;
+    hit.time = decoy.sent + after;
+    hit.protocol = protocol;
+    hit.origin = origin;
+    hit.domain = decoy.domain;
+    hit.decoy = decoy.id;
+    return hit;
+  }
+
+  topo::VantagePoint vp;
+  DecoyLedger ledger;
+  std::uint32_t resolver_pid = 0, root_pid = 0, web_pid = 0;
+};
+
+TEST_F(CorrelatorTest, FirstResolutionIsSolicitedRestIsNot) {
+  DecoyRecord decoy = make_decoy(resolver_pid, DecoyProtocol::kDns);
+  std::vector<HoneypotHit> hits = {
+      hit_for(decoy, RequestProtocol::kDns, 300 * kMillisecond),  // recursion: solicited
+      hit_for(decoy, RequestProtocol::kDns, 20 * kSecond),        // duplicate: unsolicited
+      hit_for(decoy, RequestProtocol::kDns, 2 * kDay),            // late: unsolicited
+  };
+  Correlator correlator(ledger);
+  auto unsolicited = correlator.classify(hits);
+  ASSERT_EQ(unsolicited.size(), 2u);
+  EXPECT_EQ(unsolicited[0].interval, 20 * kSecond);
+  EXPECT_EQ(unsolicited[1].interval, 2 * kDay);
+  EXPECT_EQ(unsolicited[0].decoy_protocol, DecoyProtocol::kDns);
+  EXPECT_EQ(unsolicited[0].request_protocol, RequestProtocol::kDns);
+}
+
+TEST_F(CorrelatorTest, HttpAndHttpsRequestsAreAlwaysUnsolicited) {
+  DecoyRecord decoy = make_decoy(resolver_pid, DecoyProtocol::kDns);
+  std::vector<HoneypotHit> hits = {
+      hit_for(decoy, RequestProtocol::kHttp, kHour),
+      hit_for(decoy, RequestProtocol::kHttps, 2 * kHour),
+  };
+  Correlator correlator(ledger);
+  auto unsolicited = correlator.classify(hits);
+  EXPECT_EQ(unsolicited.size(), 2u);
+}
+
+TEST_F(CorrelatorTest, DnsQueryBearingWebDecoyDataIsUnsolicited) {
+  // Criterion (i): HTTP decoy data re-appearing as a DNS query.
+  DecoyRecord decoy = make_decoy(web_pid, DecoyProtocol::kHttp);
+  std::vector<HoneypotHit> hits = {hit_for(decoy, RequestProtocol::kDns, kMinute)};
+  Correlator correlator(ledger);
+  auto unsolicited = correlator.classify(hits);
+  ASSERT_EQ(unsolicited.size(), 1u);
+  EXPECT_EQ(unsolicited[0].decoy_protocol, DecoyProtocol::kHttp);
+}
+
+TEST_F(CorrelatorTest, DecoysToAuthoritativeDestinationsExpectNoResolution) {
+  // A DNS decoy aimed at a root server: even the first honeypot DNS query
+  // is unsolicited (no recursive resolution is expected on that path).
+  DecoyRecord decoy = make_decoy(root_pid, DecoyProtocol::kDns);
+  std::vector<HoneypotHit> hits = {hit_for(decoy, RequestProtocol::kDns, kHour)};
+  Correlator correlator(ledger);
+  auto unsolicited = correlator.classify(hits);
+  EXPECT_EQ(unsolicited.size(), 1u);
+}
+
+TEST_F(CorrelatorTest, HitsWithoutValidIdentifierAreDropped) {
+  DecoyRecord decoy = make_decoy(resolver_pid, DecoyProtocol::kDns);
+  HoneypotHit no_id = hit_for(decoy, RequestProtocol::kHttp, kHour);
+  no_id.decoy.reset();
+  HoneypotHit forged = hit_for(decoy, RequestProtocol::kHttp, kHour);
+  forged.decoy->vp = Ipv4Addr(99, 99, 99, 99);  // identifier does not match ledger
+  HoneypotHit unknown_seq = hit_for(decoy, RequestProtocol::kHttp, kHour);
+  unknown_seq.decoy->seq = 424242;
+  Correlator correlator(ledger);
+  auto unsolicited = correlator.classify({no_id, forged, unknown_seq});
+  EXPECT_TRUE(unsolicited.empty());
+}
+
+TEST_F(CorrelatorTest, ProblematicPathsAreDeduplicated) {
+  DecoyRecord a = make_decoy(resolver_pid, DecoyProtocol::kDns);
+  DecoyRecord b = make_decoy(web_pid, DecoyProtocol::kHttp);
+  Correlator correlator(ledger);
+  auto unsolicited = correlator.classify({
+      hit_for(a, RequestProtocol::kHttp, kHour),
+      hit_for(a, RequestProtocol::kHttps, 2 * kHour),
+      hit_for(b, RequestProtocol::kDns, kMinute),
+  });
+  auto paths = Correlator::problematic_paths(unsolicited);
+  EXPECT_EQ(paths.size(), 2u);
+  EXPECT_TRUE(paths.count(resolver_pid));
+  EXPECT_TRUE(paths.count(web_pid));
+}
+
+TEST_F(CorrelatorTest, IntervalIsMeasuredFromEmission) {
+  DecoyRecord decoy = make_decoy(resolver_pid, DecoyProtocol::kDns, 5 * kDay);
+  Correlator correlator(ledger);
+  auto unsolicited = correlator.classify({hit_for(decoy, RequestProtocol::kHttp, 10 * kDay)});
+  ASSERT_EQ(unsolicited.size(), 1u);
+  EXPECT_EQ(unsolicited[0].interval, 10 * kDay);
+  EXPECT_EQ(unsolicited[0].hit.time, 15 * kDay);
+}
+
+TEST_F(CorrelatorTest, PerDecoySolicitedTracking) {
+  // Two decoys on the same path: each gets its own solicited first query.
+  DecoyRecord first = make_decoy(resolver_pid, DecoyProtocol::kDns);
+  DecoyRecord second = make_decoy(resolver_pid, DecoyProtocol::kDns);
+  Correlator correlator(ledger);
+  auto unsolicited = correlator.classify({
+      hit_for(first, RequestProtocol::kDns, kSecond),
+      hit_for(second, RequestProtocol::kDns, kSecond),
+  });
+  EXPECT_TRUE(unsolicited.empty());
+}
+
+}  // namespace
+}  // namespace shadowprobe::core
+
+namespace shadowprobe::core {
+namespace {
+
+TEST_F(CorrelatorTest, ReplicatedDecoysAreExcludedFromDnsShadowing) {
+  DecoyRecord decoy = make_decoy(resolver_pid, DecoyProtocol::kDns);
+  std::vector<HoneypotHit> hits = {
+      hit_for(decoy, RequestProtocol::kDns, 300 * kMillisecond),  // resolution
+      hit_for(decoy, RequestProtocol::kDns, 1 * kSecond),         // replica's resolver
+      hit_for(decoy, RequestProtocol::kHttp, kHour),              // probing stays counted
+  };
+  Correlator correlator(ledger);
+  std::set<std::uint32_t> replicated = {decoy.id.seq};
+  auto filtered = correlator.classify(hits, &replicated);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].request_protocol, RequestProtocol::kHttp);
+  // Without the filter, the duplicate DNS arrival counts as unsolicited.
+  auto unfiltered = correlator.classify(hits);
+  EXPECT_EQ(unfiltered.size(), 2u);
+}
+
+}  // namespace
+}  // namespace shadowprobe::core

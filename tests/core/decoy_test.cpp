@@ -1,0 +1,139 @@
+#include "core/decoy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strutil.h"
+
+namespace shadowprobe::core {
+namespace {
+
+DecoyId sample_id() {
+  DecoyId id;
+  id.time_sec = 1234567;
+  id.vp = net::Ipv4Addr(45, 32, 1, 9);
+  id.dst = net::Ipv4Addr(8, 8, 8, 8);
+  id.ttl = 17;
+  id.protocol = DecoyProtocol::kTls;
+  id.seq = 9982;
+  return id;
+}
+
+TEST(DecoyLabel, RoundTrip) {
+  DecoyId id = sample_id();
+  std::string label = encode_decoy_label(id);
+  auto decoded = decode_decoy_label(label);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, id);
+}
+
+TEST(DecoyLabel, ShapeMatchesPaperFormat) {
+  // "<base32>-<digits>", DNS-label-safe, short enough for one label.
+  std::string label = encode_decoy_label(sample_id());
+  EXPECT_LE(label.size(), 63u);
+  auto dash = label.rfind('-');
+  ASSERT_NE(dash, std::string::npos);
+  EXPECT_EQ(label.substr(dash + 1), "9982");
+  for (char c : label.substr(0, dash)) {
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '2' && c <= '7')) << c;
+  }
+}
+
+TEST(DecoyLabel, CaseInsensitiveDecode) {
+  // Resolvers may 0x20-randomize query names; identifiers must survive.
+  DecoyId id = sample_id();
+  std::string upper = encode_decoy_label(id);
+  for (char& c : upper) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  auto decoded = decode_decoy_label(upper);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, id);
+}
+
+TEST(DecoyLabel, ChecksumRejectsTampering) {
+  std::string label = encode_decoy_label(sample_id());
+  // Flip one character of the base32 part.
+  std::string tampered = label;
+  tampered[0] = tampered[0] == 'a' ? 'b' : 'a';
+  EXPECT_FALSE(decode_decoy_label(tampered).has_value());
+}
+
+TEST(DecoyLabel, RejectsGarbage) {
+  EXPECT_FALSE(decode_decoy_label("").has_value());
+  EXPECT_FALSE(decode_decoy_label("no-digits-x").has_value());
+  EXPECT_FALSE(decode_decoy_label("plainword").has_value());
+  EXPECT_FALSE(decode_decoy_label("-5").has_value());
+  EXPECT_FALSE(decode_decoy_label("abc!def-5").has_value());
+  EXPECT_FALSE(decode_decoy_label("aaaa-").has_value());
+}
+
+TEST(DecoyDomain, BuildsUnderExperimentSuffix) {
+  DecoyId id = sample_id();
+  net::DnsName domain = decoy_domain(id);
+  EXPECT_TRUE(domain.is_subdomain_of(experiment_suffix()));
+  EXPECT_TRUE(ends_with(domain.str(), ".www.shadowprobe-exp.com"));
+  auto extracted = decoy_from_name(domain);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_EQ(*extracted, id);
+}
+
+TEST(DecoyDomain, RejectsWrongShapeNames) {
+  EXPECT_FALSE(decoy_from_name(net::DnsName::must_parse("www.shadowprobe-exp.com")));
+  EXPECT_FALSE(decoy_from_name(net::DnsName::must_parse("x.other.com")));
+  // Extra level under a valid decoy domain is not a decoy.
+  net::DnsName deep = decoy_domain(sample_id()).child("extra");
+  EXPECT_FALSE(decoy_from_name(deep).has_value());
+  // Non-decoy label directly under the suffix.
+  EXPECT_FALSE(decoy_from_name(experiment_suffix().child("hello")).has_value());
+}
+
+TEST(DecoyDomain, FromHostString) {
+  DecoyId id = sample_id();
+  std::string host = decoy_domain(id).str();
+  auto extracted = decoy_from_host(host);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_EQ(*extracted, id);
+  EXPECT_FALSE(decoy_from_host("not a hostname..").has_value());
+  EXPECT_FALSE(decoy_from_host("example.com").has_value());
+}
+
+class DecoyLabelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DecoyLabelSweep, AllTtlAndProtocolVariantsRoundTrip) {
+  // Phase II generates one identifier per (TTL, protocol); every variant
+  // must decode to exactly its own parameters.
+  int ttl = GetParam();
+  for (DecoyProtocol protocol :
+       {DecoyProtocol::kDns, DecoyProtocol::kHttp, DecoyProtocol::kTls}) {
+    DecoyId id;
+    id.time_sec = 1700000000u + static_cast<std::uint32_t>(ttl);
+    id.vp = net::Ipv4Addr(10, 0, static_cast<std::uint8_t>(ttl), 1);
+    id.dst = net::Ipv4Addr(114, 114, 114, 114);
+    id.ttl = static_cast<std::uint8_t>(ttl);
+    id.protocol = protocol;
+    id.seq = static_cast<std::uint32_t>(ttl) * 1000 + static_cast<std::uint32_t>(protocol);
+    auto decoded = decoy_from_name(decoy_domain(id));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TtlSweep, DecoyLabelSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 32, 64, 255));
+
+TEST(DecoyLabel, DistinctIdsYieldDistinctLabels) {
+  DecoyId a = sample_id();
+  DecoyId b = sample_id();
+  b.ttl = 18;
+  EXPECT_NE(encode_decoy_label(a), encode_decoy_label(b));
+  DecoyId c = sample_id();
+  c.seq = 9983;
+  EXPECT_NE(encode_decoy_label(a), encode_decoy_label(c));
+}
+
+TEST(ComboLabel, FormatsLikeThePaper) {
+  EXPECT_EQ(combo_label(DecoyProtocol::kDns, RequestProtocol::kHttp), "DNS-HTTP");
+  EXPECT_EQ(combo_label(DecoyProtocol::kTls, RequestProtocol::kHttps), "TLS-HTTPS");
+  EXPECT_EQ(combo_label(DecoyProtocol::kHttp, RequestProtocol::kDns), "HTTP-DNS");
+}
+
+}  // namespace
+}  // namespace shadowprobe::core

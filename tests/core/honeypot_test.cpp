@@ -1,0 +1,211 @@
+// Honeypot services on a miniature star network: DNS wildcard answers and
+// logging, HTTP homepage/404 and logging, TLS SNI capture.
+#include "core/honeypot.h"
+
+#include <gtest/gtest.h>
+
+#include "net/http.h"
+#include "net/tls.h"
+#include "net/udp.h"
+#include "sim/tcp_stack.h"
+#include "sim/udp_util.h"
+
+namespace shadowprobe::core {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+constexpr Ipv4Addr kPotAddr(20, 30, 0, 1);
+constexpr Ipv4Addr kClientAddr(20, 40, 0, 1);
+
+class HoneypotTest : public ::testing::Test {
+ protected:
+  HoneypotTest() : net(loop), server("US", logbook, Rng(1)), client_stack_rng(2) {
+    hub = net.add_router("hub", Ipv4Addr(20, 20, 0, 1));
+    pot_node = net.add_host("pot", kPotAddr, nullptr);
+    client_node = net.add_host("client", kClientAddr, nullptr);
+    net.routes(pot_node).set_default(hub);
+    net.routes(client_node).set_default(hub);
+    net.routes(hub).add(Prefix(kPotAddr, 32), pot_node);
+    net.routes(hub).add(Prefix(kClientAddr, 32), client_node);
+    server.bind(net, pot_node, kPotAddr, build_experiment_zone({kPotAddr}));
+
+    client = std::make_unique<ClientHost>(net, client_node);
+    net.set_handler(client_node, client.get());
+  }
+
+  struct ClientHost : sim::DatagramHandler {
+    ClientHost(sim::Network& net, sim::NodeId node) : stack(net, node, Rng(3)) {}
+    void on_datagram(sim::Network&, sim::NodeId, const net::Ipv4Datagram& dgram) override {
+      if (dgram.header.protocol == net::IpProto::kTcp) {
+        stack.on_segment(dgram);
+      } else if (dgram.header.protocol == net::IpProto::kUdp) {
+        auto udp = net::UdpDatagram::decode(BytesView(dgram.payload), dgram.header.src,
+                                            dgram.header.dst);
+        if (!udp.ok()) return;
+        auto dns = net::DnsMessage::decode(BytesView(udp.value().payload));
+        if (dns.ok()) dns_responses.push_back(dns.value());
+      }
+    }
+    sim::TcpStack stack;
+    std::vector<net::DnsMessage> dns_responses;
+  };
+
+  DecoyId make_decoy(std::uint32_t seq) {
+    DecoyId id;
+    id.time_sec = 100;
+    id.vp = kClientAddr;
+    id.dst = Ipv4Addr(8, 8, 8, 8);
+    id.ttl = 64;
+    id.protocol = DecoyProtocol::kDns;
+    id.seq = seq;
+    return id;
+  }
+
+  sim::EventLoop loop;
+  sim::Network net;
+  HoneypotLogbook logbook;
+  HoneypotServer server;
+  sim::NodeId hub, pot_node, client_node;
+  std::unique_ptr<ClientHost> client;
+  Rng client_stack_rng;
+};
+
+TEST_F(HoneypotTest, DnsQueriesForDecoyDomainsAnsweredAndLogged) {
+  DecoyId id = make_decoy(42);
+  net::DnsMessage query = net::DnsMessage::query(5, decoy_domain(id), net::DnsType::kA);
+  Bytes wire = query.encode();
+  sim::send_udp(net, client_node, kClientAddr, kPotAddr, 4444, 53, BytesView(wire));
+  loop.run();
+
+  ASSERT_EQ(client->dns_responses.size(), 1u);
+  const auto& response = client->dns_responses[0];
+  EXPECT_TRUE(response.header.aa);
+  ASSERT_EQ(response.answers.size(), 1u);
+  EXPECT_EQ(std::get<Ipv4Addr>(response.answers[0].rdata), kPotAddr);
+  EXPECT_EQ(response.answers[0].ttl, 3600u);  // the paper's wildcard TTL
+
+  ASSERT_EQ(logbook.size(), 1u);
+  const HoneypotHit& hit = logbook.hits()[0];
+  EXPECT_EQ(hit.protocol, RequestProtocol::kDns);
+  EXPECT_EQ(hit.origin, kClientAddr);
+  EXPECT_EQ(hit.location, "US");
+  ASSERT_TRUE(hit.decoy.has_value());
+  EXPECT_EQ(hit.decoy->seq, 42u);
+}
+
+TEST_F(HoneypotTest, NonDecoyNamesLoggedWithoutIdentifier) {
+  net::DnsMessage query = net::DnsMessage::query(
+      6, experiment_zone().child("www"), net::DnsType::kA);
+  Bytes wire = query.encode();
+  sim::send_udp(net, client_node, kClientAddr, kPotAddr, 4444, 53, BytesView(wire));
+  loop.run();
+  ASSERT_EQ(logbook.size(), 1u);
+  EXPECT_FALSE(logbook.hits()[0].decoy.has_value());
+  ASSERT_EQ(client->dns_responses.size(), 1u);
+  EXPECT_FALSE(client->dns_responses[0].answers.empty());
+}
+
+TEST_F(HoneypotTest, HttpHomepageDocumentsTheExperiment) {
+  DecoyId id = make_decoy(7);
+  std::string host = decoy_domain(id).str();
+  std::string body_received;
+  client->stack.set_on_established([&](const sim::ConnKey& key) {
+    net::HttpRequest request;
+    request.target = "/";
+    request.headers.add("Host", host);
+    Bytes wire = request.encode();
+    client->stack.send_data(key, BytesView(wire));
+  });
+  client->stack.set_on_data([&](const sim::ConnKey&, BytesView data) {
+    auto response = net::HttpResponse::decode(data);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response.value().status, 200);
+    body_received = to_string(BytesView(response.value().body));
+  });
+  client->stack.connect(kClientAddr, kPotAddr, 80);
+  loop.run();
+  EXPECT_NE(body_received.find("measurement"), std::string::npos);
+  EXPECT_NE(body_received.find("Contact"), std::string::npos);
+
+  ASSERT_EQ(logbook.size(), 1u);
+  const HoneypotHit& hit = logbook.hits()[0];
+  EXPECT_EQ(hit.protocol, RequestProtocol::kHttp);
+  EXPECT_EQ(hit.http_target, "/");
+  ASSERT_TRUE(hit.decoy.has_value());
+  EXPECT_EQ(hit.decoy->seq, 7u);
+}
+
+TEST_F(HoneypotTest, HttpEnumerationGets404ButIsLogged) {
+  int status = 0;
+  client->stack.set_on_established([&](const sim::ConnKey& key) {
+    net::HttpRequest request;
+    request.target = "/.git/config";
+    request.headers.add("Host", "irrelevant.example.com");
+    Bytes wire = request.encode();
+    client->stack.send_data(key, BytesView(wire));
+  });
+  client->stack.set_on_data([&](const sim::ConnKey&, BytesView data) {
+    auto response = net::HttpResponse::decode(data);
+    ASSERT_TRUE(response.ok());
+    status = response.value().status;
+  });
+  client->stack.connect(kClientAddr, kPotAddr, 80);
+  loop.run();
+  EXPECT_EQ(status, 404);
+  ASSERT_EQ(logbook.size(), 1u);
+  EXPECT_EQ(logbook.hits()[0].http_target, "/.git/config");
+  EXPECT_FALSE(logbook.hits()[0].decoy.has_value());
+}
+
+TEST_F(HoneypotTest, TlsClientHelloSniCapturedAndGreeted) {
+  DecoyId id = make_decoy(9);
+  bool got_server_hello = false;
+  client->stack.set_on_established([&](const sim::ConnKey& key) {
+    net::TlsClientHello hello;
+    hello.cipher_suites = {0x1301};
+    hello.set_sni(decoy_domain(id).str());
+    Bytes record = hello.encode_record();
+    client->stack.send_data(key, BytesView(record));
+  });
+  client->stack.set_on_data([&](const sim::ConnKey&, BytesView data) {
+    got_server_hello = net::TlsServerHello::decode_record(data).ok();
+  });
+  client->stack.connect(kClientAddr, kPotAddr, 443);
+  loop.run();
+  EXPECT_TRUE(got_server_hello);
+  ASSERT_EQ(logbook.size(), 1u);
+  const HoneypotHit& hit = logbook.hits()[0];
+  EXPECT_EQ(hit.protocol, RequestProtocol::kHttps);
+  ASSERT_TRUE(hit.decoy.has_value());
+  EXPECT_EQ(hit.decoy->seq, 9u);
+}
+
+TEST_F(HoneypotTest, LogbookObserversFireOnEveryHit) {
+  int observed = 0;
+  logbook.add_observer([&](const HoneypotHit&) { ++observed; });
+  DecoyId id = make_decoy(1);
+  net::DnsMessage query = net::DnsMessage::query(5, decoy_domain(id), net::DnsType::kA);
+  Bytes wire = query.encode();
+  sim::send_udp(net, client_node, kClientAddr, kPotAddr, 4444, 53, BytesView(wire));
+  sim::send_udp(net, client_node, kClientAddr, kPotAddr, 4445, 53, BytesView(wire));
+  loop.run();
+  EXPECT_EQ(observed, 2);
+}
+
+TEST(ExperimentZone, WildcardResolvesToAllHoneypots) {
+  std::vector<Ipv4Addr> pots = {Ipv4Addr(1, 0, 0, 1), Ipv4Addr(2, 0, 0, 1),
+                                Ipv4Addr(3, 0, 0, 1)};
+  dnssrv::Zone zone = build_experiment_zone(pots);
+  auto result = zone.lookup(experiment_suffix().child("whatever-label"), net::DnsType::kA);
+  ASSERT_EQ(result.kind, dnssrv::LookupKind::kAnswer);
+  EXPECT_EQ(result.answers.size(), 3u);
+  // NS records for delegation exist.
+  auto ns = zone.lookup(experiment_zone(), net::DnsType::kNs);
+  EXPECT_EQ(ns.kind, dnssrv::LookupKind::kAnswer);
+  EXPECT_EQ(ns.answers.size(), 3u);
+}
+
+}  // namespace
+}  // namespace shadowprobe::core

@@ -1,0 +1,78 @@
+#include "core/ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::core {
+namespace {
+
+using net::Ipv4Addr;
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  LedgerTest() {
+    vp.id = "vp";
+    vp.addr = Ipv4Addr(30, 0, 0, 1);
+  }
+  PathRecord make_path(const std::string& dest) {
+    PathRecord path;
+    path.vp = &vp;
+    path.dest_name = dest;
+    path.dest_addr = Ipv4Addr(8, 8, 8, 8);
+    return path;
+  }
+  topo::VantagePoint vp;
+  DecoyLedger ledger;
+};
+
+TEST_F(LedgerTest, PathIdsAreSequential) {
+  EXPECT_EQ(ledger.add_path(make_path("a")), 0u);
+  EXPECT_EQ(ledger.add_path(make_path("b")), 1u);
+  EXPECT_EQ(ledger.paths().size(), 2u);
+  EXPECT_EQ(ledger.path(1).dest_name, "b");
+}
+
+TEST_F(LedgerTest, CreateFillsIdentityFields) {
+  std::uint32_t pid = ledger.add_path(make_path("a"));
+  DecoyRecord record = ledger.create(pid, 90 * kSecond, vp.addr, Ipv4Addr(8, 8, 8, 8),
+                                     DecoyProtocol::kTls, 7, true);
+  EXPECT_EQ(record.id.seq, 0u);
+  EXPECT_EQ(record.id.time_sec, 90u);
+  EXPECT_EQ(record.id.vp, vp.addr);
+  EXPECT_EQ(record.id.ttl, 7);
+  EXPECT_EQ(record.id.protocol, DecoyProtocol::kTls);
+  EXPECT_TRUE(record.phase2);
+  EXPECT_FALSE(record.dest_responded);
+  // The embedded domain decodes back to the same identity.
+  auto decoded = decoy_from_name(record.domain);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, record.id);
+}
+
+TEST_F(LedgerTest, SequenceNumbersAreDenseAndLookupable) {
+  std::uint32_t pid = ledger.add_path(make_path("a"));
+  for (int i = 0; i < 10; ++i) {
+    ledger.create(pid, 0, vp.addr, Ipv4Addr(8, 8, 8, 8), DecoyProtocol::kDns, 64, false);
+  }
+  EXPECT_EQ(ledger.decoy_count(), 10u);
+  for (std::uint32_t seq = 0; seq < 10; ++seq) {
+    ASSERT_NE(ledger.by_seq(seq), nullptr);
+    EXPECT_EQ(ledger.by_seq(seq)->id.seq, seq);
+  }
+  EXPECT_EQ(ledger.by_seq(10), nullptr);
+  EXPECT_EQ(ledger.by_seq(4242), nullptr);
+}
+
+TEST_F(LedgerTest, MarkResponseIsFirstWriteWins) {
+  std::uint32_t pid = ledger.add_path(make_path("a"));
+  DecoyRecord record = ledger.create(pid, 0, vp.addr, Ipv4Addr(8, 8, 8, 8),
+                                     DecoyProtocol::kDns, 64, false);
+  ledger.mark_response(record.id.seq, 5 * kSecond);
+  ledger.mark_response(record.id.seq, 9 * kSecond);  // duplicate response
+  const DecoyRecord* stored = ledger.by_seq(record.id.seq);
+  EXPECT_TRUE(stored->dest_responded);
+  EXPECT_EQ(stored->response_time, 5 * kSecond);
+  ledger.mark_response(4242, kSecond);  // unknown seq: no-op
+}
+
+}  // namespace
+}  // namespace shadowprobe::core

@@ -1,0 +1,156 @@
+#include "core/locate.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/topology.h"
+
+namespace shadowprobe::core {
+namespace {
+
+using net::Ipv4Addr;
+
+TEST(NormalizeHop, DestinationIsAlwaysTen) {
+  EXPECT_EQ(normalize_hop(9, 9), 10);
+  EXPECT_EQ(normalize_hop(12, 9), 10);
+  EXPECT_EQ(normalize_hop(1, 1), 10);
+}
+
+TEST(NormalizeHop, ScalesToTenBuckets) {
+  EXPECT_EQ(normalize_hop(5, 10), 5);
+  EXPECT_EQ(normalize_hop(1, 10), 1);
+  EXPECT_EQ(normalize_hop(9, 10), 9);
+  // Short paths spread proportionally.
+  EXPECT_EQ(normalize_hop(2, 5), 4);
+  EXPECT_EQ(normalize_hop(3, 5), 6);
+  // On-wire hops never normalize to 10.
+  for (int dest = 2; dest <= 16; ++dest) {
+    for (int hop = 1; hop < dest; ++hop) {
+      int n = normalize_hop(hop, dest);
+      EXPECT_GE(n, 1);
+      EXPECT_LE(n, 9) << "hop " << hop << " dest " << dest;
+    }
+  }
+}
+
+TEST(NormalizeHop, MonotoneInTriggerHop) {
+  for (int dest : {5, 9, 12}) {
+    int prev = 0;
+    for (int hop = 1; hop <= dest; ++hop) {
+      int n = normalize_hop(hop, dest);
+      EXPECT_GE(n, prev);
+      prev = n;
+    }
+  }
+}
+
+class LocatorTest : public ::testing::Test {
+ protected:
+  LocatorTest() {
+    vp.id = "vp";
+    vp.addr = Ipv4Addr(30, 0, 0, 1);
+    PathRecord path;
+    path.vp = &vp;
+    path.dest_kind = DestKind::kWebSite;
+    path.dest_name = "site";
+    path.dest_addr = Ipv4Addr(40, 0, 0, 1);
+    path.protocol = DecoyProtocol::kHttp;
+    pid = ledger.add_path(path);
+  }
+
+  /// Creates the Phase-II sweep: TTL 1..max; destination responds from
+  /// dest_ttl upward; ICMP hop addresses are 10.0.0.<ttl>.
+  void sweep(int max_ttl, int dest_ttl) {
+    for (int ttl = 1; ttl <= max_ttl; ++ttl) {
+      DecoyRecord& record = ledger.create(pid, ttl * kSecond, vp.addr,
+                                          Ipv4Addr(40, 0, 0, 1), DecoyProtocol::kHttp,
+                                          static_cast<std::uint8_t>(ttl), true);
+      if (ttl >= dest_ttl) {
+        ledger.mark_response(record.id.seq, record.sent + 100 * kMillisecond);
+      } else {
+        hop_log[record.id.seq] = Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(ttl));
+      }
+    }
+  }
+
+  UnsolicitedRequest trigger_at(int ttl) {
+    // Find the sweep decoy with this TTL.
+    for (const auto& decoy : ledger.decoys()) {
+      if (decoy.id.ttl == ttl && decoy.phase2) {
+        UnsolicitedRequest request;
+        request.seq = decoy.id.seq;
+        request.path_id = decoy.path_id;
+        request.decoy_protocol = decoy.id.protocol;
+        request.request_protocol = RequestProtocol::kHttp;
+        request.interval = kHour;
+        return request;
+      }
+    }
+    ADD_FAILURE() << "no sweep decoy with ttl " << ttl;
+    return {};
+  }
+
+  topo::VantagePoint vp;
+  DecoyLedger ledger;
+  std::map<std::uint32_t, Ipv4Addr> hop_log;
+  std::uint32_t pid = 0;
+};
+
+TEST_F(LocatorTest, MidPathObserverLocatedWithIcmpAddress) {
+  sweep(/*max_ttl=*/12, /*dest_ttl=*/9);
+  // Observer at hop 4: decoys with TTL >= 4 trigger.
+  std::vector<UnsolicitedRequest> unsolicited;
+  for (int ttl = 4; ttl <= 12; ++ttl) unsolicited.push_back(trigger_at(ttl));
+  ObserverLocator locator(ledger, hop_log);
+  auto findings = locator.locate(unsolicited);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].min_trigger_ttl, 4);
+  EXPECT_EQ(findings[0].dest_ttl, 9);
+  EXPECT_FALSE(findings[0].at_destination);
+  EXPECT_EQ(findings[0].normalized_hop, normalize_hop(4, 9));
+  ASSERT_TRUE(findings[0].observer_addr.has_value());
+  EXPECT_EQ(*findings[0].observer_addr, Ipv4Addr(10, 0, 0, 4));
+}
+
+TEST_F(LocatorTest, DestinationObserverHasNoIcmpAddress) {
+  sweep(12, 9);
+  std::vector<UnsolicitedRequest> unsolicited;
+  for (int ttl = 9; ttl <= 12; ++ttl) unsolicited.push_back(trigger_at(ttl));
+  ObserverLocator locator(ledger, hop_log);
+  auto findings = locator.locate(unsolicited);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_TRUE(findings[0].at_destination);
+  EXPECT_EQ(findings[0].normalized_hop, 10);
+  EXPECT_FALSE(findings[0].observer_addr.has_value());
+}
+
+TEST_F(LocatorTest, PathsWithoutUnsolicitedSweepResultsAreSkipped) {
+  sweep(12, 9);
+  ObserverLocator locator(ledger, hop_log);
+  EXPECT_TRUE(locator.locate({}).empty());
+}
+
+TEST_F(LocatorTest, Phase1OnlyRequestsDoNotLocate) {
+  sweep(12, 9);
+  // A Phase-I decoy (phase2=false) with unsolicited requests: not locatable.
+  DecoyRecord phase1 = ledger.create(pid, 0, vp.addr, Ipv4Addr(40, 0, 0, 1),
+                                      DecoyProtocol::kHttp, 64, false);
+  UnsolicitedRequest request;
+  request.seq = phase1.id.seq;
+  request.path_id = phase1.path_id;
+  ObserverLocator locator(ledger, hop_log);
+  EXPECT_TRUE(locator.locate({request}).empty());
+}
+
+TEST_F(LocatorTest, MinTriggerWinsOverLaterTriggers) {
+  sweep(12, 9);
+  // Out-of-order evidence: TTL 7 then TTL 3.
+  std::vector<UnsolicitedRequest> unsolicited = {trigger_at(7), trigger_at(3)};
+  ObserverLocator locator(ledger, hop_log);
+  auto findings = locator.locate(unsolicited);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].min_trigger_ttl, 3);
+  EXPECT_EQ(*findings[0].observer_addr, Ipv4Addr(10, 0, 0, 3));
+}
+
+}  // namespace
+}  // namespace shadowprobe::core

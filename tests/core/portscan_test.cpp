@@ -1,0 +1,105 @@
+#include "core/portscan.h"
+
+#include <gtest/gtest.h>
+
+#include "shadow/observers.h"
+
+namespace shadowprobe::core {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+class PortScanTest : public ::testing::Test {
+ protected:
+  PortScanTest() : net(loop), scanner(Rng(1)) {
+    hub = net.add_router("hub", Ipv4Addr(10, 0, 0, 254));
+    scanner_node = add_node(Ipv4Addr(10, 0, 0, 1), "scanner");
+    open_router = net.add_router("bgp-router", Ipv4Addr(10, 0, 1, 1));
+    wire(open_router);
+    dark_router = net.add_router("dark-router", Ipv4Addr(10, 0, 2, 1));
+    wire(dark_router);
+    rst_host = add_node(Ipv4Addr(10, 0, 3, 1), "rst-host");
+
+    // BGP service on the open router.
+    services = std::make_unique<shadow::RouterServices>(Rng(2),
+                                                        std::vector<std::uint16_t>{179});
+    services->bind(net, open_router);
+    // A host with a plain TCP stack: closed ports answer RST.
+    rst_stack = std::make_unique<HostStack>(net, rst_host);
+    net.set_handler(rst_host, rst_stack.get());
+
+    scanner.bind(net, scanner_node, Ipv4Addr(10, 0, 0, 1));
+  }
+
+  struct HostStack : sim::DatagramHandler {
+    HostStack(sim::Network& net, sim::NodeId node) : stack(net, node, Rng(3)) {}
+    void on_datagram(sim::Network&, sim::NodeId, const net::Ipv4Datagram& dgram) override {
+      if (dgram.header.protocol == net::IpProto::kTcp) stack.on_segment(dgram);
+    }
+    sim::TcpStack stack;
+  };
+
+  sim::NodeId add_node(Ipv4Addr addr, const std::string& name) {
+    sim::NodeId node = net.add_host(name, addr, nullptr);
+    wire(node);
+    return node;
+  }
+
+  void wire(sim::NodeId node) {
+    net.routes(node).set_default(hub);
+    net.routes(hub).add(Prefix(net.address(node), 32), node);
+  }
+
+  sim::EventLoop loop;
+  sim::Network net;
+  PortScanner scanner;
+  sim::NodeId hub, scanner_node, open_router, dark_router, rst_host;
+  std::unique_ptr<shadow::RouterServices> services;
+  std::unique_ptr<HostStack> rst_stack;
+};
+
+TEST_F(PortScanTest, ClassifiesOpenClosedAndFiltered) {
+  scanner.scan({Ipv4Addr(10, 0, 1, 1), Ipv4Addr(10, 0, 2, 1), Ipv4Addr(10, 0, 3, 1)},
+               {179, 22});
+  loop.run();
+  const auto& results = scanner.results();
+  ASSERT_EQ(results.size(), 3u);
+  // BGP router: 179 open, 22 closed (its stack RSTs unknown ports).
+  EXPECT_EQ(results[0].ports.at(179), PortState::kOpen);
+  EXPECT_EQ(results[0].ports.at(22), PortState::kClosed);
+  EXPECT_TRUE(results[0].any_open());
+  // Dark router: no handler at all -> silence -> filtered.
+  EXPECT_EQ(results[1].ports.at(179), PortState::kFiltered);
+  EXPECT_EQ(results[1].ports.at(22), PortState::kFiltered);
+  EXPECT_FALSE(results[1].any_open());
+  // Plain host: everything closed.
+  EXPECT_EQ(results[2].ports.at(179), PortState::kClosed);
+}
+
+TEST_F(PortScanTest, SummaryFindsTopOpenPort) {
+  scanner.scan({Ipv4Addr(10, 0, 1, 1), Ipv4Addr(10, 0, 2, 1), Ipv4Addr(10, 0, 3, 1)},
+               PortScanner::default_ports());
+  loop.run();
+  auto summary = scanner.summarize();
+  EXPECT_EQ(summary.targets, 3);
+  EXPECT_EQ(summary.with_open_ports, 1);
+  EXPECT_NEAR(summary.no_open_share(), 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(summary.top_open_port(), 179);
+}
+
+TEST_F(PortScanTest, EmptyScanSummary) {
+  auto summary = scanner.summarize();
+  EXPECT_EQ(summary.targets, 0);
+  EXPECT_DOUBLE_EQ(summary.no_open_share(), 0.0);
+  EXPECT_EQ(summary.top_open_port(), 0);
+}
+
+TEST_F(PortScanTest, DefaultPortsIncludeBgp) {
+  const auto& ports = PortScanner::default_ports();
+  EXPECT_NE(std::find(ports.begin(), ports.end(), 179), ports.end());
+  EXPECT_GE(ports.size(), 10u);
+}
+
+}  // namespace
+}  // namespace shadowprobe::core

@@ -1,0 +1,104 @@
+// Testbed assembly invariants: every substrate service is reachable and
+// correctly configured.
+#include "core/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include "net/udp.h"
+#include "sim/udp_util.h"
+
+namespace shadowprobe::core {
+namespace {
+
+class TestbedTest : public ::testing::Test {
+ protected:
+  TestbedTest() {
+    TestbedConfig config;
+    config.topology.seed = 71;
+    config.topology.global_vps = 4;
+    config.topology.cn_vps = 4;
+    config.topology.web_sites = 6;
+    bed = Testbed::create(config);
+  }
+  std::unique_ptr<Testbed> bed;
+};
+
+TEST_F(TestbedTest, AllResolversInstantiated) {
+  // 20 public + self-built + the 114DNS US anycast instance.
+  EXPECT_EQ(bed->resolver_names().size(), 22u);
+  EXPECT_NE(bed->resolver("Google"), nullptr);
+  EXPECT_NE(bed->resolver("114DNS"), nullptr);
+  EXPECT_NE(bed->resolver("114DNS-US"), nullptr);
+  EXPECT_NE(bed->resolver("self-built"), nullptr);
+  EXPECT_EQ(bed->resolver("nonexistent"), nullptr);
+}
+
+TEST_F(TestbedTest, RootHintsCoverThirteenRoots) {
+  EXPECT_EQ(bed->root_hints().size(), 13u);
+}
+
+TEST_F(TestbedTest, ControlResolverIsClean) {
+  EXPECT_EQ(bed->resolver("self-built")->quirks().requery_probability, 0.0);
+  // Other resolvers carry operator-specific (nonzero) re-query rates.
+  EXPECT_GT(bed->resolver("Google")->quirks().requery_probability, 0.0);
+  // The 114DNS US edge barely re-queries (case study II support).
+  EXPECT_LT(bed->resolver("114DNS-US")->quirks().requery_probability,
+            bed->resolver("114DNS")->quirks().requery_probability);
+}
+
+TEST_F(TestbedTest, ResolverEgressSplitsFromServiceAddress) {
+  auto* google = bed->resolver("Google");
+  EXPECT_NE(google->egress_addr(), net::Ipv4Addr::must_parse("8.8.8.8"));
+  EXPECT_TRUE(net::Prefix(net::Ipv4Addr::must_parse("8.8.8.8"), 16)
+                  .contains(google->egress_addr()));
+}
+
+TEST_F(TestbedTest, WebServersServeEverySite) {
+  for (const auto& site : bed->topology().web_sites()) {
+    EXPECT_NE(bed->web_server(site.rank), nullptr) << site.domain;
+  }
+  EXPECT_EQ(bed->web_server(424242), nullptr);
+}
+
+TEST_F(TestbedTest, ObliviousProxyIsUp) {
+  net::Ipv4Addr proxy = bed->oblivious_proxy_addr();
+  EXPECT_NE(proxy.value(), 0u);
+  // Hosted in Cloudflare's network (a neutral relay operator).
+  EXPECT_EQ(bed->topology().geo().asn(proxy), 13335u);
+}
+
+TEST_F(TestbedTest, HoneypotsShareOneLogbook) {
+  // A DNS query to each honeypot lands in the same logbook.
+  sim::NodeId client = bed->topology().add_host_in_as(bed->net(), 24940, "logbook-client");
+  net::Ipv4Addr client_addr = bed->net().address(client);
+  for (const auto& pot : bed->topology().honeypots()) {
+    net::DnsMessage query = net::DnsMessage::query(
+        1, experiment_zone().child("www").child("probe-" + pot.location),
+        net::DnsType::kA);
+    Bytes wire = query.encode();
+    sim::send_udp(bed->net(), client, client_addr, pot.addr, 4000, 53, BytesView(wire));
+  }
+  bed->loop().run_until(kMinute);
+  EXPECT_EQ(bed->logbook().size(), 3u);
+  std::set<std::string> locations;
+  for (const auto& hit : bed->logbook().hits()) locations.insert(hit.location);
+  EXPECT_EQ(locations.size(), 3u);
+}
+
+TEST_F(TestbedTest, ForkRngIsLabelDependent) {
+  Rng a = bed->fork_rng("alpha");
+  Rng b = bed->fork_rng("beta");
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.bits() == b.bits()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST_F(TestbedTest, SignatureDbAndBlocklistAvailable) {
+  EXPECT_GE(bed->signatures().enumeration_paths().size(), 20u);
+  EXPECT_EQ(bed->blocklist().entry_count(), 0u);  // populated by deployments
+}
+
+}  // namespace
+}  // namespace shadowprobe::core

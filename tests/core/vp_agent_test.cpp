@@ -1,0 +1,213 @@
+// VpAgent behaviour on a real testbed: decoy emission over each protocol
+// and transport, screening probes, ICMP hop correlation, TTL mangling.
+#include "core/vp_agent.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ledger.h"
+#include "core/testbed.h"
+#include "sim/udp_util.h"
+
+namespace shadowprobe::core {
+namespace {
+
+class VpAgentTest : public ::testing::Test {
+ protected:
+  VpAgentTest() {
+    TestbedConfig config;
+    config.topology.seed = 41;
+    config.topology.global_vps = 16;
+    config.topology.cn_vps = 8;
+    config.topology.web_sites = 4;
+    bed = Testbed::create(config);
+    for (const auto& candidate : bed->topology().vantage_points()) {
+      if (!candidate.resets_ttl && !candidate.residential) {
+        vp = &candidate;
+        break;
+      }
+    }
+    VpAgent::Hooks hooks;
+    hooks.on_dest_response = [this](std::uint32_t seq, SimTime) { responses.insert(seq); };
+    hooks.on_hop = [this](std::uint32_t seq, net::Ipv4Addr hop, SimTime) {
+      hops[seq] = hop;
+    };
+    hooks.on_interception = [this](const topo::VantagePoint&, net::Ipv4Addr) {
+      ++interceptions;
+    };
+    agent = std::make_unique<VpAgent>(*vp, bed->fork_rng("agent"), hooks);
+    agent->bind(bed->net());
+  }
+
+  DecoyRecord& make_decoy(net::Ipv4Addr dst, DecoyProtocol protocol, std::uint8_t ttl,
+                          DestKind kind = DestKind::kPublicResolver) {
+    PathRecord path;
+    path.vp = vp;
+    path.dest_kind = kind;
+    path.dest_addr = dst;
+    path.protocol = protocol;
+    std::uint32_t pid = ledger.add_path(path);
+    return ledger.create(pid, bed->loop().now(), vp->addr, dst, protocol, ttl, ttl != 64);
+  }
+
+  std::unique_ptr<Testbed> bed;
+  const topo::VantagePoint* vp = nullptr;
+  std::unique_ptr<VpAgent> agent;
+  DecoyLedger ledger;
+  std::set<std::uint32_t> responses;
+  std::map<std::uint32_t, net::Ipv4Addr> hops;
+  int interceptions = 0;
+};
+
+TEST_F(VpAgentTest, DnsDecoyResolvesAndHitsHoneypot) {
+  DecoyRecord decoy = make_decoy(net::Ipv4Addr(8, 8, 8, 8), DecoyProtocol::kDns, 64);
+  agent->send_dns_decoy(decoy);
+  bed->loop().run_until(kMinute);
+  EXPECT_TRUE(responses.count(decoy.id.seq));
+  ASSERT_EQ(bed->logbook().size(), 1u);
+  EXPECT_EQ(bed->logbook().hits()[0].decoy->seq, decoy.id.seq);
+}
+
+TEST_F(VpAgentTest, HttpDecoyCompletesHandshakeAndGetsAnswer) {
+  net::Ipv4Addr site = bed->topology().web_sites().front().addr;
+  DecoyRecord decoy = make_decoy(site, DecoyProtocol::kHttp, 64, DestKind::kWebSite);
+  agent->send_http_decoy(decoy);
+  bed->loop().run_until(kMinute);
+  EXPECT_TRUE(responses.count(decoy.id.seq));
+  // HTTP decoys never aim at honeypots; only the web site saw it.
+  EXPECT_EQ(bed->logbook().size(), 0u);
+  EXPECT_GT(bed->web_server(bed->topology().web_sites().front().rank)->http_requests(), 0u);
+}
+
+TEST_F(VpAgentTest, TlsDecoyDeliversSniToSite) {
+  const auto& site = bed->topology().web_sites().front();
+  DecoyRecord decoy = make_decoy(site.addr, DecoyProtocol::kTls, 64, DestKind::kWebSite);
+  agent->send_tls_decoy(decoy);
+  bed->loop().run_until(kMinute);
+  EXPECT_TRUE(responses.count(decoy.id.seq));
+  EXPECT_GT(bed->web_server(site.rank)->tls_handshakes(), 0u);
+}
+
+TEST_F(VpAgentTest, LowTtlDecoyDrawsIcmpFromExactHop) {
+  DecoyRecord decoy = make_decoy(net::Ipv4Addr(8, 8, 8, 8), DecoyProtocol::kDns, 1);
+  agent->send_dns_decoy(decoy);
+  bed->loop().run_until(kMinute);
+  EXPECT_FALSE(responses.count(decoy.id.seq));
+  ASSERT_TRUE(hops.count(decoy.id.seq));
+  // Hop 1 is the VP's AS access router.
+  const topo::AsRecord* as = bed->topology().as_by_number(vp->asn);
+  EXPECT_EQ(hops[decoy.id.seq], bed->net().address(as->access));
+}
+
+TEST_F(VpAgentTest, TtlSweepWalksThePath) {
+  std::map<int, net::Ipv4Addr> by_ttl;
+  for (std::uint8_t ttl = 1; ttl <= 12; ++ttl) {
+    DecoyRecord decoy = make_decoy(net::Ipv4Addr(8, 8, 8, 8), DecoyProtocol::kDns, ttl);
+    agent->send_dns_decoy(decoy);
+    bed->loop().run_until(bed->loop().now() + kSecond);
+    if (hops.count(decoy.id.seq)) by_ttl[ttl] = hops[decoy.id.seq];
+  }
+  bed->loop().run_until(bed->loop().now() + kMinute);
+  // Several distinct hops revealed, strictly before the destination answers.
+  std::set<net::Ipv4Addr> distinct;
+  for (auto& [ttl, addr] : by_ttl) distinct.insert(addr);
+  EXPECT_GE(distinct.size(), 4u);
+  // Large-TTL variants reached the resolver instead (no ICMP).
+  EXPECT_LT(by_ttl.rbegin()->first, 12);
+}
+
+TEST_F(VpAgentTest, RawDecoyDrawsRstAsDestinationSignal) {
+  net::Ipv4Addr site = bed->topology().web_sites().front().addr;
+  DecoyRecord decoy = make_decoy(site, DecoyProtocol::kHttp, 64, DestKind::kWebSite);
+  agent->send_raw_decoy(decoy);
+  bed->loop().run_until(kMinute);
+  EXPECT_TRUE(responses.count(decoy.id.seq));  // the RST
+}
+
+TEST_F(VpAgentTest, PairProbeStaysSilentWithoutInterception) {
+  agent->send_pair_probe(net::Ipv4Addr(8, 8, 8, 11));  // 8.8.8.8 + 3
+  bed->loop().run_until(kMinute);
+  EXPECT_EQ(interceptions, 0);
+}
+
+TEST_F(VpAgentTest, EncryptedTransportStillResolves) {
+  agent->set_dns_transport(DnsDecoyTransport::kEncrypted);
+  DecoyRecord decoy = make_decoy(net::Ipv4Addr(8, 8, 8, 8), DecoyProtocol::kDns, 64);
+  agent->send_dns_decoy(decoy);
+  bed->loop().run_until(kMinute);
+  EXPECT_TRUE(responses.count(decoy.id.seq));
+  EXPECT_EQ(bed->logbook().size(), 1u);  // honeypot recursion still happens
+}
+
+TEST_F(VpAgentTest, ObliviousTransportStillResolves) {
+  agent->set_dns_transport(DnsDecoyTransport::kOblivious, bed->oblivious_proxy_addr());
+  DecoyRecord decoy = make_decoy(net::Ipv4Addr(8, 8, 8, 8), DecoyProtocol::kDns, 64);
+  agent->send_dns_decoy(decoy);
+  bed->loop().run_until(kMinute);
+  EXPECT_TRUE(responses.count(decoy.id.seq));
+}
+
+TEST_F(VpAgentTest, EchDecoyHidesDomainFromHoneypotOnlyLogically) {
+  // With ECH the honeypot (terminating party) still decodes the identifier.
+  agent->set_tls_ech(true);
+  net::Ipv4Addr pot = bed->topology().honeypots().front().addr;
+  DecoyRecord decoy = make_decoy(pot, DecoyProtocol::kTls, 64, DestKind::kWebSite);
+  agent->send_tls_decoy(decoy);
+  bed->loop().run_until(kMinute);
+  ASSERT_EQ(bed->logbook().size(), 1u);
+  ASSERT_TRUE(bed->logbook().hits()[0].decoy.has_value());
+  EXPECT_EQ(bed->logbook().hits()[0].decoy->seq, decoy.id.seq);
+}
+
+TEST_F(VpAgentTest, TtlManglingProviderRewritesEverything) {
+  // A VP whose provider rewrites TTLs: same node, mangling flag forced
+  // (the catalog draws such providers only occasionally at tiny scales).
+  topo::VantagePoint mangler = bed->topology().vantage_points()[1];
+  mangler.resets_ttl = true;
+  VpAgent::Hooks hooks;
+  std::set<std::uint32_t> mangler_hops;
+  std::set<std::uint32_t> mangler_responses;
+  hooks.on_hop = [&](std::uint32_t seq, net::Ipv4Addr, SimTime) {
+    mangler_hops.insert(seq);
+  };
+  hooks.on_dest_response = [&](std::uint32_t seq, SimTime) {
+    mangler_responses.insert(seq);
+  };
+  VpAgent bad(mangler, bed->fork_rng("bad"), hooks);
+  bad.bind(bed->net());
+  PathRecord path;
+  path.vp = &mangler;
+  path.dest_addr = net::Ipv4Addr(8, 8, 8, 8);
+  std::uint32_t pid = ledger.add_path(path);
+  // TTL=1 should die at hop 1 — but the provider rewrites it to 64, so the
+  // decoy sails through to the resolver instead of drawing ICMP.
+  DecoyRecord decoy = ledger.create(pid, 0, mangler.addr, path.dest_addr,
+                                    DecoyProtocol::kDns, 1, true);
+  bad.send_dns_decoy(decoy);
+  bed->loop().run_until(kMinute);
+  EXPECT_TRUE(mangler_hops.empty());
+  EXPECT_TRUE(mangler_responses.count(decoy.id.seq));
+}
+
+TEST(ControlServerTest, RecordsArrivalTtls) {
+  ControlServer server;
+  sim::EventLoop loop;
+  sim::Network net(loop);
+  sim::NodeId ctrl = net.add_host("ctrl", net::Ipv4Addr(9, 0, 0, 1), &server);
+  sim::NodeId client = net.add_host("client", net::Ipv4Addr(9, 0, 0, 2), nullptr);
+  sim::NodeId router = net.add_router("r", net::Ipv4Addr(9, 0, 0, 3));
+  net.routes(client).set_default(router);
+  net.routes(router).add(net::Prefix(net::Ipv4Addr(9, 0, 0, 1), 32), ctrl);
+
+  ByteWriter w;
+  w.raw("canary");
+  w.u32(77);
+  sim::send_udp(net, client, net::Ipv4Addr(9, 0, 0, 2), net::Ipv4Addr(9, 0, 0, 1), 30002,
+                7777, BytesView(w.bytes()), /*ttl=*/40);
+  loop.run();
+  EXPECT_EQ(server.arrival_ttl(net::Ipv4Addr(9, 0, 0, 2), 77), 39);  // one router hop
+  EXPECT_EQ(server.arrival_ttl(net::Ipv4Addr(9, 0, 0, 2), 78), -1);
+  EXPECT_EQ(server.arrival_ttl(net::Ipv4Addr(9, 9, 9, 9), 77), -1);
+}
+
+}  // namespace
+}  // namespace shadowprobe::core

@@ -1,0 +1,80 @@
+#include "dnssrv/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::dnssrv {
+namespace {
+
+using net::DnsName;
+using net::DnsRecord;
+using net::DnsType;
+using net::Ipv4Addr;
+
+TEST(DnsCache, HitBeforeExpiryMissAfter) {
+  DnsCache cache;
+  DnsName name = DnsName::must_parse("x.example.com");
+  cache.put(name, DnsType::kA, {DnsRecord::a(name, Ipv4Addr(1, 2, 3, 4), 60)}, 60, 0);
+  auto hit = cache.get(name, DnsType::kA, 59 * kSecond);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->records.size(), 1u);
+  EXPECT_FALSE(hit->negative);
+  // Expiry boundary is exclusive: at exactly 60s the entry is gone.
+  EXPECT_FALSE(cache.get(name, DnsType::kA, 60 * kSecond).has_value());
+}
+
+TEST(DnsCache, ExpiredEntriesAreEvictedOnAccess) {
+  DnsCache cache;
+  DnsName name = DnsName::must_parse("y.example.com");
+  cache.put(name, DnsType::kA, {}, 1, 0);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.get(name, DnsType::kA, 2 * kSecond);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(DnsCache, KeysAreNameAndType) {
+  DnsCache cache;
+  DnsName name = DnsName::must_parse("z.example.com");
+  cache.put(name, DnsType::kA, {}, 100, 0);
+  EXPECT_TRUE(cache.get(name, DnsType::kA, 0).has_value());
+  EXPECT_FALSE(cache.get(name, DnsType::kTxt, 0).has_value());
+  EXPECT_FALSE(cache.get(DnsName::must_parse("w.example.com"), DnsType::kA, 0).has_value());
+}
+
+TEST(DnsCache, NegativeEntriesCarryRcode) {
+  DnsCache cache;
+  DnsName name = DnsName::must_parse("nx.example.com");
+  cache.put_negative(name, DnsType::kA, net::DnsRcode::kNxDomain, 300, 0);
+  auto hit = cache.get(name, DnsType::kA, 100 * kSecond);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->negative);
+  EXPECT_EQ(hit->rcode, net::DnsRcode::kNxDomain);
+  EXPECT_TRUE(hit->records.empty());
+}
+
+TEST(DnsCache, OverwriteRefreshesEntry) {
+  DnsCache cache;
+  DnsName name = DnsName::must_parse("r.example.com");
+  cache.put(name, DnsType::kA, {DnsRecord::a(name, Ipv4Addr(1, 1, 1, 1), 10)}, 10, 0);
+  cache.put(name, DnsType::kA, {DnsRecord::a(name, Ipv4Addr(2, 2, 2, 2), 10)}, 10,
+            5 * kSecond);
+  auto hit = cache.get(name, DnsType::kA, 12 * kSecond);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(std::get<Ipv4Addr>(hit->records[0].rdata), Ipv4Addr(2, 2, 2, 2));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DnsCache, CaseInsensitiveNames) {
+  DnsCache cache;
+  cache.put(DnsName::must_parse("MiXeD.example.com"), DnsType::kA, {}, 100, 0);
+  EXPECT_TRUE(cache.get(DnsName::must_parse("mixed.EXAMPLE.com"), DnsType::kA, 0).has_value());
+}
+
+TEST(DnsCache, ClearEmpties) {
+  DnsCache cache;
+  cache.put(DnsName::must_parse("a.b"), DnsType::kA, {}, 100, 0);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace shadowprobe::dnssrv

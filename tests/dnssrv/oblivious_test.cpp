@@ -1,0 +1,115 @@
+// ObliviousProxy end-to-end against a real testbed: the resolver answers,
+// but attributes the query to the proxy instead of the client.
+#include "dnssrv/oblivious.h"
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "net/tls.h"
+#include "net/udp.h"
+#include "sim/udp_util.h"
+
+namespace shadowprobe::dnssrv {
+namespace {
+
+class ObliviousTest : public ::testing::Test {
+ protected:
+  ObliviousTest() {
+    core::TestbedConfig config;
+    config.topology.seed = 31;
+    config.topology.global_vps = 2;
+    config.topology.cn_vps = 2;
+    config.topology.web_sites = 2;
+    bed = core::Testbed::create(config);
+    client_node = bed->topology().add_host_in_as(bed->net(), 24940, "odoh-client", &client);
+    client_addr = bed->net().address(client_node);
+  }
+
+  struct Client : sim::DatagramHandler {
+    void on_datagram(sim::Network&, sim::NodeId, const net::Ipv4Datagram& dgram) override {
+      if (dgram.header.protocol != net::IpProto::kUdp) return;
+      auto udp = net::UdpDatagram::decode(BytesView(dgram.payload), dgram.header.src,
+                                          dgram.header.dst);
+      if (!udp.ok() || udp.value().src_port != kObliviousPort) return;
+      auto inner = net::tls_opaque_unwrap(BytesView(udp.value().payload));
+      if (!inner.ok()) return;
+      auto dns = net::DnsMessage::decode(BytesView(inner.value()));
+      if (dns.ok()) responses.push_back(dns.value());
+    }
+    std::vector<net::DnsMessage> responses;
+  } client;
+
+  std::unique_ptr<core::Testbed> bed;
+  sim::NodeId client_node;
+  net::Ipv4Addr client_addr;
+};
+
+TEST_F(ObliviousTest, RelaysQueryAndSealsAnswer) {
+  // Ask Google for a decoy-style name through the proxy.
+  core::DecoyId id;
+  id.vp = client_addr;
+  id.dst = net::Ipv4Addr(8, 8, 8, 8);
+  id.seq = 5;
+  net::DnsMessage query = net::DnsMessage::query(99, core::decoy_domain(id),
+                                                 net::DnsType::kA);
+  Bytes envelope = oblivious_envelope(net::Ipv4Addr(8, 8, 8, 8),
+                                      BytesView(query.encode()));
+  sim::send_udp(bed->net(), client_node, client_addr, bed->oblivious_proxy_addr(), 6000,
+                kObliviousPort, BytesView(envelope));
+  bed->loop().run_until(kMinute);
+
+  // The client received a sealed, correct answer.
+  ASSERT_EQ(client.responses.size(), 1u);
+  EXPECT_EQ(client.responses[0].header.id, 99);
+  ASSERT_FALSE(client.responses[0].answers.empty());
+
+  // The honeypot's authoritative log attributes the recursion to Google's
+  // egress (normal), and Google itself saw the *proxy* as its client:
+  // the resolver-side observer hook proves the identity split.
+  bool saw_client_addr = false;
+  dnssrv::RecursiveResolver* google = bed->resolver("Google");
+  ASSERT_NE(google, nullptr);
+  EXPECT_EQ(google->client_queries(), 1u);
+  for (const auto& hit : bed->logbook().hits()) {
+    if (hit.origin == client_addr) saw_client_addr = true;
+  }
+  EXPECT_FALSE(saw_client_addr);
+}
+
+TEST_F(ObliviousTest, ResolverSeesProxyAsClient) {
+  std::vector<net::Ipv4Addr> observed_clients;
+  bed->resolver("Google")->add_client_query_observer(
+      [&](const QueryLogEntry& entry) { observed_clients.push_back(entry.client); });
+
+  net::DnsMessage query = net::DnsMessage::query(
+      7, net::DnsName::must_parse("who-is-asking.www.shadowprobe-exp.com"),
+      net::DnsType::kA);
+  Bytes envelope = oblivious_envelope(net::Ipv4Addr(8, 8, 8, 8),
+                                      BytesView(query.encode()));
+  sim::send_udp(bed->net(), client_node, client_addr, bed->oblivious_proxy_addr(), 6001,
+                kObliviousPort, BytesView(envelope));
+  bed->loop().run_until(kMinute);
+
+  ASSERT_EQ(observed_clients.size(), 1u);
+  EXPECT_EQ(observed_clients[0], bed->oblivious_proxy_addr());
+  EXPECT_NE(observed_clients[0], client_addr);
+}
+
+TEST_F(ObliviousTest, GarbageEnvelopesAreDropped) {
+  sim::send_udp(bed->net(), client_node, client_addr, bed->oblivious_proxy_addr(), 6002,
+                kObliviousPort, BytesView(to_bytes("not an envelope")));
+  bed->loop().run_until(kMinute);
+  EXPECT_TRUE(client.responses.empty());
+  EXPECT_EQ(bed->resolver("Google")->client_queries(), 0u);
+}
+
+TEST_F(ObliviousTest, EnvelopeHidesQueryFromTheWire) {
+  net::DnsMessage query = net::DnsMessage::query(
+      7, net::DnsName::must_parse("hidden-name.www.shadowprobe-exp.com"), net::DnsType::kA);
+  Bytes envelope = oblivious_envelope(net::Ipv4Addr(8, 8, 8, 8), BytesView(query.encode()));
+  std::string raw = to_string(BytesView(envelope));
+  EXPECT_EQ(raw.find("hidden-name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shadowprobe::dnssrv

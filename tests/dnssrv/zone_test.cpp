@@ -1,0 +1,132 @@
+#include "dnssrv/zone.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::dnssrv {
+namespace {
+
+using net::DnsName;
+using net::DnsRecord;
+using net::DnsType;
+using net::Ipv4Addr;
+
+Zone make_zone() {
+  Zone zone(DnsName::must_parse("example.com"));
+  net::SoaData soa;
+  soa.mname = DnsName::must_parse("ns1.example.com");
+  soa.rname = DnsName::must_parse("admin.example.com");
+  soa.minimum = 300;
+  zone.add(DnsRecord::soa(DnsName::must_parse("example.com"), soa));
+  zone.add(DnsRecord::a(DnsName::must_parse("www.example.com"), Ipv4Addr(1, 1, 1, 1)));
+  zone.add(DnsRecord::a(DnsName::must_parse("www.example.com"), Ipv4Addr(1, 1, 1, 2)));
+  zone.add(DnsRecord::txt(DnsName::must_parse("www.example.com"), {"v=1"}));
+  // Wildcard under probe.example.com.
+  zone.add(DnsRecord::a(DnsName::must_parse("*.probe.example.com"), Ipv4Addr(9, 9, 9, 9), 3600));
+  // Delegation: sub.example.com -> ns.sub.example.com (with glue).
+  zone.add(DnsRecord::ns(DnsName::must_parse("sub.example.com"),
+                         DnsName::must_parse("ns.sub.example.com")));
+  zone.add(DnsRecord::a(DnsName::must_parse("ns.sub.example.com"), Ipv4Addr(7, 7, 7, 7)));
+  return zone;
+}
+
+TEST(Zone, ExactMatchReturnsAllRecordsOfType) {
+  Zone zone = make_zone();
+  auto result = zone.lookup(DnsName::must_parse("www.example.com"), DnsType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kAnswer);
+  EXPECT_EQ(result.answers.size(), 2u);
+}
+
+TEST(Zone, NoDataForExistingNameMissingType) {
+  Zone zone = make_zone();
+  auto result = zone.lookup(DnsName::must_parse("www.example.com"), DnsType::kNs);
+  EXPECT_EQ(result.kind, LookupKind::kNoData);
+  ASSERT_EQ(result.authority.size(), 1u);
+  EXPECT_EQ(result.authority[0].type, DnsType::kSoa);
+}
+
+TEST(Zone, NxDomainForUnknownName) {
+  Zone zone = make_zone();
+  auto result = zone.lookup(DnsName::must_parse("nothere.example.com"), DnsType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kNxDomain);
+  ASSERT_EQ(result.authority.size(), 1u);
+  EXPECT_EQ(result.authority[0].type, DnsType::kSoa);
+}
+
+TEST(Zone, WildcardSynthesizesOwnerName) {
+  Zone zone = make_zone();
+  DnsName qname = DnsName::must_parse("anything-at-all.probe.example.com");
+  auto result = zone.lookup(qname, DnsType::kA);
+  ASSERT_EQ(result.kind, LookupKind::kAnswer);
+  ASSERT_EQ(result.answers.size(), 1u);
+  EXPECT_EQ(result.answers[0].name, qname);  // synthesized owner
+  EXPECT_EQ(std::get<Ipv4Addr>(result.answers[0].rdata), Ipv4Addr(9, 9, 9, 9));
+  EXPECT_EQ(result.answers[0].ttl, 3600u);
+}
+
+TEST(Zone, WildcardMatchesDeepNames) {
+  Zone zone = make_zone();
+  auto result = zone.lookup(DnsName::must_parse("a.b.c.probe.example.com"), DnsType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kAnswer);
+}
+
+TEST(Zone, WildcardDoesNotOverrideExactMatch) {
+  Zone zone = make_zone();
+  zone.add(DnsRecord::a(DnsName::must_parse("fixed.probe.example.com"), Ipv4Addr(5, 5, 5, 5)));
+  auto result = zone.lookup(DnsName::must_parse("fixed.probe.example.com"), DnsType::kA);
+  ASSERT_EQ(result.kind, LookupKind::kAnswer);
+  EXPECT_EQ(std::get<Ipv4Addr>(result.answers[0].rdata), Ipv4Addr(5, 5, 5, 5));
+}
+
+TEST(Zone, DelegationWinsBelowTheCut) {
+  Zone zone = make_zone();
+  auto result = zone.lookup(DnsName::must_parse("deep.under.sub.example.com"), DnsType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kDelegation);
+  ASSERT_EQ(result.authority.size(), 1u);
+  EXPECT_EQ(result.authority[0].type, DnsType::kNs);
+  // Glue present.
+  ASSERT_EQ(result.additionals.size(), 1u);
+  EXPECT_EQ(std::get<Ipv4Addr>(result.additionals[0].rdata), Ipv4Addr(7, 7, 7, 7));
+}
+
+TEST(Zone, QueryAtDelegationPointReturnsDelegation) {
+  Zone zone = make_zone();
+  auto result = zone.lookup(DnsName::must_parse("sub.example.com"), DnsType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kDelegation);
+}
+
+TEST(Zone, NamesOutsideZoneAreRejected) {
+  Zone zone = make_zone();
+  auto result = zone.lookup(DnsName::must_parse("www.other.org"), DnsType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kNotInZone);
+}
+
+TEST(Zone, AddOutsideOriginThrows) {
+  Zone zone(DnsName::must_parse("example.com"));
+  EXPECT_THROW(zone.add(DnsRecord::a(DnsName::must_parse("x.other.org"), Ipv4Addr())),
+               std::invalid_argument);
+}
+
+TEST(Zone, EmptyNonTerminalIsNoDataNotNxDomain) {
+  Zone zone = make_zone();
+  // "probe.example.com" owns no records but has a descendant (the wildcard).
+  auto result = zone.lookup(DnsName::must_parse("probe.example.com"), DnsType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kNoData);
+}
+
+TEST(Zone, ApexLookupWorks) {
+  Zone zone = make_zone();
+  auto result = zone.lookup(DnsName::must_parse("example.com"), DnsType::kSoa);
+  EXPECT_EQ(result.kind, LookupKind::kAnswer);
+}
+
+TEST(Zone, RootZoneDelegatesTlds) {
+  Zone root{DnsName{}};
+  root.add(DnsRecord::ns(DnsName::must_parse("com"), DnsName::must_parse("a.gtld.net")));
+  root.add(DnsRecord::a(DnsName::must_parse("a.gtld.net"), Ipv4Addr(192, 12, 94, 30)));
+  auto result = root.lookup(DnsName::must_parse("x.www.deep.example.com"), DnsType::kA);
+  EXPECT_EQ(result.kind, LookupKind::kDelegation);
+  ASSERT_EQ(result.additionals.size(), 1u);
+}
+
+}  // namespace
+}  // namespace shadowprobe::dnssrv

@@ -1,0 +1,43 @@
+#include "intel/blocklist.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::intel {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+TEST(Blocklist, ExplicitAddresses) {
+  Blocklist list;
+  list.add(Ipv4Addr(1, 2, 3, 4));
+  EXPECT_TRUE(list.contains(Ipv4Addr(1, 2, 3, 4)));
+  EXPECT_FALSE(list.contains(Ipv4Addr(1, 2, 3, 5)));
+  EXPECT_EQ(list.entry_count(), 1u);
+}
+
+TEST(Blocklist, PrefixEntries) {
+  Blocklist list;
+  list.add(Prefix(Ipv4Addr(5, 5, 0, 0), 16));
+  EXPECT_TRUE(list.contains(Ipv4Addr(5, 5, 200, 1)));
+  EXPECT_FALSE(list.contains(Ipv4Addr(5, 6, 0, 1)));
+}
+
+TEST(Blocklist, HitRate) {
+  Blocklist list;
+  list.add(Ipv4Addr(9, 0, 0, 1));
+  list.add(Ipv4Addr(9, 0, 0, 2));
+  std::vector<Ipv4Addr> sample = {Ipv4Addr(9, 0, 0, 1), Ipv4Addr(9, 0, 0, 2),
+                                  Ipv4Addr(9, 0, 0, 3), Ipv4Addr(9, 0, 0, 4)};
+  EXPECT_DOUBLE_EQ(list.hit_rate(sample), 0.5);
+  EXPECT_DOUBLE_EQ(list.hit_rate({}), 0.0);
+}
+
+TEST(Blocklist, EmptyListMatchesNothing) {
+  Blocklist list;
+  EXPECT_FALSE(list.contains(Ipv4Addr(1, 1, 1, 1)));
+  EXPECT_EQ(list.entry_count(), 0u);
+}
+
+}  // namespace
+}  // namespace shadowprobe::intel

@@ -1,0 +1,58 @@
+#include "intel/geoip.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::intel {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+TEST(GeoDatabase, LongestPrefixWins) {
+  GeoDatabase db;
+  db.add(Prefix(Ipv4Addr(114, 0, 0, 0), 8), {"CN", "", 4134, "CHINANET-BACKBONE", PrefixType::kIsp});
+  db.add(Prefix(Ipv4Addr(114, 114, 0, 0), 16), {"CN", "Jiangsu", 64512, "114DNS operations", PrefixType::kHosting});
+  auto coarse = db.lookup(Ipv4Addr(114, 1, 1, 1));
+  ASSERT_TRUE(coarse.has_value());
+  EXPECT_EQ(coarse->asn, 4134u);
+  auto fine = db.lookup(Ipv4Addr(114, 114, 114, 114));
+  ASSERT_TRUE(fine.has_value());
+  EXPECT_EQ(fine->asn, 64512u);
+  EXPECT_EQ(fine->subdivision, "Jiangsu");
+}
+
+TEST(GeoDatabase, MissReturnsNulloptAndFallbacks) {
+  GeoDatabase db;
+  db.add(Prefix(Ipv4Addr(10, 0, 0, 0), 8), {"US", "", 1, "TEN-NET", PrefixType::kHosting});
+  EXPECT_FALSE(db.lookup(Ipv4Addr(11, 0, 0, 1)).has_value());
+  EXPECT_EQ(db.country(Ipv4Addr(11, 0, 0, 1)), "??");
+  EXPECT_EQ(db.asn(Ipv4Addr(11, 0, 0, 1)), 0u);
+  EXPECT_EQ(db.as_name(Ipv4Addr(11, 0, 0, 1)), "UNKNOWN");
+  EXPECT_EQ(db.country(Ipv4Addr(10, 1, 1, 1)), "US");
+}
+
+TEST(GeoDatabase, ReRegistrationRefines) {
+  GeoDatabase db;
+  db.add(Prefix(Ipv4Addr(20, 0, 0, 0), 16), {"DE", "", 5, "A", PrefixType::kIsp});
+  db.add(Prefix(Ipv4Addr(20, 0, 0, 0), 16), {"FR", "", 6, "B", PrefixType::kIsp});
+  auto entry = db.lookup(Ipv4Addr(20, 0, 1, 1));
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->country, "FR");
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(GeoDatabase, HostRoutesSupported) {
+  GeoDatabase db;
+  db.add(Prefix(Ipv4Addr(8, 8, 8, 8), 32), {"US", "", 15169, "Google LLC", PrefixType::kHosting});
+  EXPECT_EQ(db.asn(Ipv4Addr(8, 8, 8, 8)), 15169u);
+  EXPECT_EQ(db.asn(Ipv4Addr(8, 8, 8, 9)), 0u);
+}
+
+TEST(PrefixTypeName, AllValues) {
+  EXPECT_EQ(prefix_type_name(PrefixType::kIsp), "isp");
+  EXPECT_EQ(prefix_type_name(PrefixType::kHosting), "hosting");
+  EXPECT_EQ(prefix_type_name(PrefixType::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace shadowprobe::intel

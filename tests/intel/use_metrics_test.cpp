@@ -1,0 +1,28 @@
+#include "intel/use_metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::intel {
+namespace {
+
+TEST(UseMetrics, GoogleLeadsAndSharesAreSane) {
+  const auto& metrics = resolver_use_metrics();
+  ASSERT_EQ(metrics.size(), 20u);  // the paper's 20 public resolvers
+  EXPECT_EQ(metrics.front().name, "Google");
+  double total = 0;
+  for (const auto& m : metrics) {
+    EXPECT_GT(m.world_share, 0.0);
+    EXPECT_LT(m.world_share, 1.0);
+    EXPECT_GE(metrics.front().world_share, m.world_share);
+    total += m.world_share;
+  }
+  EXPECT_LT(total, 1.0);  // shares are fractions of world population
+}
+
+TEST(UseMetrics, LookupByName) {
+  EXPECT_GT(resolver_share("Google"), resolver_share("Quad9"));
+  EXPECT_EQ(resolver_share("not-a-resolver"), 0.0);
+}
+
+}  // namespace
+}  // namespace shadowprobe::intel

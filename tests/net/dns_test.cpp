@@ -1,0 +1,283 @@
+#include "net/dns.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::net {
+namespace {
+
+// -- names ---------------------------------------------------------------------
+
+TEST(DnsName, ParseBasics) {
+  auto name = DnsName::parse("www.example.com");
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(name->label_count(), 3u);
+  EXPECT_EQ(name->labels()[0], "www");
+  EXPECT_EQ(name->str(), "www.example.com");
+}
+
+TEST(DnsName, TrailingDotAndRoot) {
+  EXPECT_EQ(DnsName::must_parse("example.com.").str(), "example.com");
+  auto root = DnsName::parse("");
+  ASSERT_TRUE(root.has_value());
+  EXPECT_TRUE(root->is_root());
+  EXPECT_EQ(root->str(), ".");
+}
+
+TEST(DnsName, RejectsLimitViolations) {
+  EXPECT_FALSE(DnsName::parse("a..b").has_value());
+  EXPECT_FALSE(DnsName::parse(std::string(64, 'x') + ".com").has_value());
+  // 253-char limit: four 63-char labels joined exceed it.
+  std::string big = std::string(63, 'a') + "." + std::string(63, 'b') + "." +
+                    std::string(63, 'c') + "." + std::string(63, 'd');
+  EXPECT_FALSE(DnsName::parse(big).has_value());
+  EXPECT_THROW(DnsName::must_parse("a..b"), std::invalid_argument);
+}
+
+TEST(DnsName, ComparisonIsCaseInsensitive) {
+  EXPECT_EQ(DnsName::must_parse("WWW.Example.COM"), DnsName::must_parse("www.example.com"));
+  EXPECT_FALSE(DnsName::must_parse("a.com") == DnsName::must_parse("b.com"));
+}
+
+TEST(DnsName, SubdomainChecks) {
+  DnsName zone = DnsName::must_parse("example.com");
+  EXPECT_TRUE(DnsName::must_parse("a.b.example.com").is_subdomain_of(zone));
+  EXPECT_TRUE(zone.is_subdomain_of(zone));
+  EXPECT_FALSE(DnsName::must_parse("example.org").is_subdomain_of(zone));
+  EXPECT_FALSE(DnsName::must_parse("notexample.com").is_subdomain_of(zone));
+  EXPECT_TRUE(zone.is_subdomain_of(DnsName{}));  // everything under root
+}
+
+TEST(DnsName, ParentAndChild) {
+  DnsName name = DnsName::must_parse("a.b.c");
+  EXPECT_EQ(name.parent().str(), "b.c");
+  EXPECT_EQ(name.parent(2).str(), "c");
+  EXPECT_TRUE(name.parent(3).is_root());
+  EXPECT_TRUE(name.parent(9).is_root());
+  EXPECT_EQ(name.child("x").str(), "x.a.b.c");
+}
+
+TEST(DnsName, OrderingFoldsCase) {
+  DnsName a = DnsName::must_parse("Alpha.com");
+  DnsName b = DnsName::must_parse("beta.com");
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < DnsName::must_parse("alpha.COM"));
+  EXPECT_FALSE(DnsName::must_parse("alpha.COM") < a);
+}
+
+// -- messages ------------------------------------------------------------------
+
+TEST(DnsMessage, QueryRoundTrip) {
+  DnsMessage query = DnsMessage::query(0x1234, DnsName::must_parse("x.example.com"),
+                                       DnsType::kA);
+  Bytes wire = query.encode();
+  auto decoded = DnsMessage::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().header.id, 0x1234);
+  EXPECT_FALSE(decoded.value().header.qr);
+  EXPECT_TRUE(decoded.value().header.rd);
+  ASSERT_EQ(decoded.value().questions.size(), 1u);
+  EXPECT_EQ(decoded.value().questions[0].name.str(), "x.example.com");
+  EXPECT_EQ(decoded.value().questions[0].type, DnsType::kA);
+}
+
+TEST(DnsMessage, ResponseWithAllRdataTypesRoundTrips) {
+  DnsMessage query = DnsMessage::query(7, DnsName::must_parse("example.com"), DnsType::kAny);
+  DnsMessage response = DnsMessage::response_to(query, DnsRcode::kNoError);
+  DnsName owner = DnsName::must_parse("example.com");
+  response.answers.push_back(DnsRecord::a(owner, Ipv4Addr(1, 2, 3, 4), 60));
+  response.answers.push_back(DnsRecord::ns(owner, DnsName::must_parse("ns1.example.com")));
+  response.answers.push_back(
+      DnsRecord::cname(owner.child("alias"), DnsName::must_parse("target.example.com")));
+  response.answers.push_back(DnsRecord::txt(owner, {"hello", "world"}));
+  SoaData soa;
+  soa.mname = DnsName::must_parse("ns1.example.com");
+  soa.rname = DnsName::must_parse("admin.example.com");
+  soa.serial = 99;
+  response.authorities.push_back(DnsRecord::soa(owner, soa));
+  response.additionals.push_back(
+      DnsRecord::a(DnsName::must_parse("ns1.example.com"), Ipv4Addr(9, 9, 9, 9)));
+
+  Bytes wire = response.encode();
+  auto decoded = DnsMessage::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  const DnsMessage& m = decoded.value();
+  EXPECT_TRUE(m.header.qr);
+  ASSERT_EQ(m.answers.size(), 4u);
+  EXPECT_EQ(std::get<Ipv4Addr>(m.answers[0].rdata), Ipv4Addr(1, 2, 3, 4));
+  EXPECT_EQ(m.answers[0].ttl, 60u);
+  EXPECT_EQ(std::get<DnsName>(m.answers[1].rdata).str(), "ns1.example.com");
+  EXPECT_EQ(std::get<DnsName>(m.answers[2].rdata).str(), "target.example.com");
+  EXPECT_EQ(std::get<std::vector<std::string>>(m.answers[3].rdata),
+            (std::vector<std::string>{"hello", "world"}));
+  ASSERT_EQ(m.authorities.size(), 1u);
+  EXPECT_EQ(std::get<SoaData>(m.authorities[0].rdata).serial, 99u);
+  ASSERT_EQ(m.additionals.size(), 1u);
+}
+
+TEST(DnsMessage, CompressionShrinksRepeatedSuffixes) {
+  DnsMessage response;
+  DnsName owner = DnsName::must_parse("aaaa.very-long-zone-name.example.com");
+  for (int i = 0; i < 10; ++i) {
+    response.answers.push_back(DnsRecord::a(owner, Ipv4Addr(1, 1, 1, static_cast<std::uint8_t>(i))));
+  }
+  Bytes wire = response.encode();
+  // Without compression each A record repeats the 36-byte name; with
+  // compression subsequent owners are a 2-byte pointer.
+  EXPECT_LT(wire.size(), 12 + 38 + 10 * (2 + 10 + 4));
+  auto decoded = DnsMessage::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok());
+  for (const auto& rr : decoded.value().answers) EXPECT_EQ(rr.name, owner);
+}
+
+TEST(DnsMessage, DecodeRejectsPointerLoops) {
+  // Hand-craft a message whose QNAME is a self-pointing pointer.
+  ByteWriter w;
+  w.u16(1);   // id
+  w.u16(0);   // flags
+  w.u16(1);   // qdcount
+  w.u16(0);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0xC00C);  // pointer to itself (offset 12)
+  w.u16(1);       // qtype
+  w.u16(1);       // qclass
+  auto decoded = DnsMessage::decode(BytesView(w.bytes()));
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(DnsMessage, DecodeRejectsForwardPointers) {
+  ByteWriter w;
+  w.u16(1);
+  w.u16(0);
+  w.u16(1);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0);
+  w.u16(0xC020);  // points forward past itself
+  w.u16(1);
+  w.u16(1);
+  EXPECT_FALSE(DnsMessage::decode(BytesView(w.bytes())).ok());
+}
+
+TEST(DnsMessage, DecodeRejectsTruncation) {
+  DnsMessage query = DnsMessage::query(5, DnsName::must_parse("host.example.com"),
+                                       DnsType::kA);
+  Bytes wire = query.encode();
+  for (std::size_t cut : std::vector<std::size_t>{4, 11, 13, wire.size() - 1}) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(DnsMessage::decode(BytesView(truncated)).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(DnsMessage, DecodeRejectsBadRdlength) {
+  DnsMessage response;
+  response.answers.push_back(DnsRecord::a(DnsName::must_parse("a.com"), Ipv4Addr(1, 2, 3, 4)));
+  Bytes wire = response.encode();
+  // Locate the RDLENGTH (last 6 bytes are rdlength(2) + rdata(4)).
+  wire[wire.size() - 6] = 0x00;
+  wire[wire.size() - 5] = 0x03;  // A record with rdlength 3 is invalid
+  EXPECT_FALSE(DnsMessage::decode(BytesView(wire)).ok());
+}
+
+TEST(DnsMessage, HeaderFlagsRoundTrip) {
+  DnsMessage m;
+  m.header.id = 0xFFFF;
+  m.header.qr = true;
+  m.header.opcode = 2;
+  m.header.aa = true;
+  m.header.tc = true;
+  m.header.rd = false;
+  m.header.ra = true;
+  m.header.rcode = DnsRcode::kNxDomain;
+  Bytes wire = m.encode();
+  auto decoded = DnsMessage::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().header.id, 0xFFFF);
+  EXPECT_TRUE(decoded.value().header.qr);
+  EXPECT_EQ(decoded.value().header.opcode, 2);
+  EXPECT_TRUE(decoded.value().header.aa);
+  EXPECT_TRUE(decoded.value().header.tc);
+  EXPECT_FALSE(decoded.value().header.rd);
+  EXPECT_TRUE(decoded.value().header.ra);
+  EXPECT_EQ(decoded.value().header.rcode, DnsRcode::kNxDomain);
+}
+
+TEST(DnsMessage, UnknownRdataCarriedAsRawBytes) {
+  DnsMessage m;
+  DnsRecord rr;
+  rr.name = DnsName::must_parse("x.com");
+  rr.type = static_cast<DnsType>(99);
+  rr.rdata = to_bytes("opaque");
+  m.answers.push_back(rr);
+  Bytes wire = m.encode();
+  auto decoded = DnsMessage::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::get<Bytes>(decoded.value().answers[0].rdata), to_bytes("opaque"));
+}
+
+TEST(DnsTypeName, CoversCommonTypes) {
+  EXPECT_EQ(dns_type_name(DnsType::kA), "A");
+  EXPECT_EQ(dns_type_name(DnsType::kSoa), "SOA");
+  EXPECT_EQ(dns_type_name(static_cast<DnsType>(77)), "TYPE77");
+}
+
+}  // namespace
+}  // namespace shadowprobe::net
+
+namespace shadowprobe::net {
+namespace {
+
+TEST(DnsEdns, OptRecordRoundTrips) {
+  DnsMessage query = DnsMessage::query(9, DnsName::must_parse("e.example.com"),
+                                       DnsType::kA);
+  EdnsInfo edns;
+  edns.udp_payload_size = 4096;
+  edns.dnssec_ok = true;
+  query.edns = edns;
+  Bytes wire = query.encode();
+  auto decoded = DnsMessage::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  ASSERT_TRUE(decoded.value().edns.has_value());
+  EXPECT_EQ(decoded.value().edns->udp_payload_size, 4096);
+  EXPECT_TRUE(decoded.value().edns->dnssec_ok);
+  EXPECT_EQ(decoded.value().edns->version, 0);
+  // The OPT pseudo-record does not surface as an additional record.
+  EXPECT_TRUE(decoded.value().additionals.empty());
+}
+
+TEST(DnsEdns, AbsentWhenNotSet) {
+  DnsMessage query = DnsMessage::query(9, DnsName::must_parse("plain.example.com"),
+                                       DnsType::kA);
+  Bytes wire = query.encode();
+  auto decoded = DnsMessage::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().edns.has_value());
+}
+
+TEST(DnsEdns, CoexistsWithRealAdditionals) {
+  DnsMessage message;
+  message.additionals.push_back(
+      DnsRecord::a(DnsName::must_parse("glue.example.com"), Ipv4Addr(1, 2, 3, 4)));
+  message.edns = EdnsInfo{};
+  Bytes wire = message.encode();
+  auto decoded = DnsMessage::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded.value().edns.has_value());
+  ASSERT_EQ(decoded.value().additionals.size(), 1u);
+  EXPECT_EQ(decoded.value().additionals[0].type, DnsType::kA);
+}
+
+TEST(DnsEdns, DuplicateOptRejected) {
+  DnsMessage message;
+  message.edns = EdnsInfo{};
+  Bytes wire = message.encode();
+  // Append a second OPT by raw surgery: bump ARCOUNT and duplicate the
+  // trailing 11-byte OPT record.
+  Bytes doubled = wire;
+  doubled.insert(doubled.end(), wire.end() - 11, wire.end());
+  doubled[11] = static_cast<std::uint8_t>(doubled[11] + 1);
+  EXPECT_FALSE(DnsMessage::decode(BytesView(doubled)).ok());
+}
+
+}  // namespace
+}  // namespace shadowprobe::net

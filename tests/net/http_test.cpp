@@ -1,0 +1,127 @@
+#include "net/http.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::net {
+namespace {
+
+TEST(HttpHeaders, CaseInsensitiveLookupPreservesOrder) {
+  HttpHeaders headers;
+  headers.add("Host", "example.com");
+  headers.add("Accept", "*/*");
+  headers.add("X-Dup", "one");
+  headers.add("X-Dup", "two");
+  EXPECT_EQ(headers.get("host").value(), "example.com");
+  EXPECT_EQ(headers.get("HOST").value(), "example.com");
+  EXPECT_EQ(headers.get("X-DUP").value(), "one");  // first wins
+  EXPECT_FALSE(headers.get("missing").has_value());
+  EXPECT_EQ(headers.all()[0].first, "Host");
+  EXPECT_EQ(headers.size(), 4u);
+}
+
+TEST(HttpHeaders, SetReplacesOrAppends) {
+  HttpHeaders headers;
+  headers.set("Host", "a");
+  headers.set("host", "b");
+  EXPECT_EQ(headers.size(), 1u);
+  EXPECT_EQ(headers.get("Host").value(), "b");
+}
+
+TEST(HttpRequest, EncodeDecodeRoundTrip) {
+  HttpRequest request;
+  request.method = "GET";
+  request.target = "/path?query=1";
+  request.headers.add("Host", "decoy.www.example.com");
+  request.headers.add("User-Agent", "test/1.0");
+  Bytes wire = request.encode();
+  std::string text = to_string(BytesView(wire));
+  EXPECT_EQ(text.substr(0, 30), "GET /path?query=1 HTTP/1.1\r\nHo");
+
+  auto decoded = HttpRequest::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().method, "GET");
+  EXPECT_EQ(decoded.value().target, "/path?query=1");
+  EXPECT_EQ(decoded.value().host(), "decoy.www.example.com");
+  EXPECT_EQ(decoded.value().path(), "/path");
+}
+
+TEST(HttpRequest, BodyWithContentLength) {
+  HttpRequest request;
+  request.method = "POST";
+  request.target = "/submit";
+  request.headers.add("Host", "h");
+  request.body = to_bytes("key=value");
+  Bytes wire = request.encode();
+  auto decoded = HttpRequest::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().body, to_bytes("key=value"));
+}
+
+TEST(HttpRequest, HostStripsPort) {
+  HttpRequest request;
+  request.headers.add("Host", "example.com:8080");
+  EXPECT_EQ(request.host(), "example.com");
+}
+
+TEST(HttpRequest, MissingHostIsEmpty) {
+  HttpRequest request;
+  EXPECT_EQ(request.host(), "");
+}
+
+TEST(HttpRequest, DecodeRejectsMalformed) {
+  auto expect_bad = [](std::string_view text) {
+    Bytes wire = to_bytes(text);
+    EXPECT_FALSE(HttpRequest::decode(BytesView(wire)).ok()) << text;
+  };
+  expect_bad("GET /\r\n\r\n");                       // missing version
+  expect_bad("GET / HTTP/1.1\r\nNoColonHere\r\n\r\n");
+  expect_bad("GET / HTTP/1.1\r\nHost: h\r\n");       // unterminated head
+  expect_bad("GET / FTP/1.0\r\n\r\n");               // wrong protocol token
+  expect_bad("GET / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort");
+  expect_bad("GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n");
+}
+
+TEST(HttpResponse, EncodeDecodeRoundTrip) {
+  HttpResponse response;
+  response.status = 404;
+  response.reason = "Not Found";
+  response.headers.add("Content-Type", "text/plain");
+  response.body = to_bytes("nope");
+  Bytes wire = response.encode();
+  std::string text = to_string(BytesView(wire));
+  EXPECT_EQ(text.substr(0, 24), "HTTP/1.1 404 Not Found\r\n");
+  EXPECT_NE(text.find("Content-Length: 4\r\n"), std::string::npos);
+
+  auto decoded = HttpResponse::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().status, 404);
+  EXPECT_EQ(decoded.value().reason, "Not Found");
+  EXPECT_EQ(decoded.value().body, to_bytes("nope"));
+}
+
+TEST(HttpResponse, EmptyBodyGetsExplicitZeroLength) {
+  HttpResponse response;
+  Bytes wire = response.encode();
+  std::string text = to_string(BytesView(wire));
+  EXPECT_NE(text.find("Content-Length: 0\r\n"), std::string::npos);
+}
+
+TEST(HttpResponse, DecodeRejectsBadStatus) {
+  Bytes wire = to_bytes("HTTP/1.1 99 Weird\r\n\r\n");
+  EXPECT_FALSE(HttpResponse::decode(BytesView(wire)).ok());
+  wire = to_bytes("HTTP/1.1 abc OK\r\n\r\n");
+  EXPECT_FALSE(HttpResponse::decode(BytesView(wire)).ok());
+  wire = to_bytes("banana\r\n\r\n");
+  EXPECT_FALSE(HttpResponse::decode(BytesView(wire)).ok());
+}
+
+TEST(HttpResponse, ReasonlessStatusLineAccepted) {
+  Bytes wire = to_bytes("HTTP/1.1 204\r\n\r\n");
+  auto decoded = HttpResponse::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().status, 204);
+  EXPECT_EQ(decoded.value().reason, "");
+}
+
+}  // namespace
+}  // namespace shadowprobe::net

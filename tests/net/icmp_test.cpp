@@ -1,0 +1,94 @@
+#include "net/icmp.h"
+
+#include <gtest/gtest.h>
+
+#include "net/udp.h"
+
+namespace shadowprobe::net {
+namespace {
+
+TEST(Icmp, EchoRoundTrip) {
+  IcmpMessage echo;
+  echo.type = IcmpType::kEchoRequest;
+  echo.rest = 0x00010002;  // id 1, seq 2
+  echo.body = to_bytes("ping payload");
+  Bytes wire = echo.encode();
+
+  auto decoded = IcmpMessage::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().type, IcmpType::kEchoRequest);
+  EXPECT_EQ(decoded.value().rest, 0x00010002u);
+  EXPECT_EQ(decoded.value().body, echo.body);
+}
+
+TEST(Icmp, ChecksumValidatedOnDecode) {
+  IcmpMessage echo;
+  echo.body = to_bytes("x");
+  Bytes wire = echo.encode();
+  wire.back() ^= 1;
+  EXPECT_FALSE(IcmpMessage::decode(BytesView(wire)).ok());
+}
+
+TEST(Icmp, RejectsTruncatedAndUnknownTypes) {
+  Bytes tiny = {11, 0, 0, 0};
+  EXPECT_FALSE(IcmpMessage::decode(BytesView(tiny)).ok());
+
+  IcmpMessage weird;
+  weird.type = static_cast<IcmpType>(99);
+  Bytes wire = weird.encode();
+  EXPECT_FALSE(IcmpMessage::decode(BytesView(wire)).ok());
+}
+
+TEST(Icmp, TimeExceededQuotesHeaderPlus8Bytes) {
+  // Build an original datagram: IPv4 + UDP with a distinctive id/ports.
+  Ipv4Header header;
+  header.identification = 0x4242;
+  header.ttl = 1;
+  header.src = Ipv4Addr(10, 0, 0, 1);
+  header.dst = Ipv4Addr(10, 0, 0, 2);
+  UdpDatagram udp;
+  udp.src_port = 33333;
+  udp.dst_port = 53;
+  udp.payload = to_bytes("this part should be truncated away entirely");
+  Bytes original = header.encode(BytesView(udp.encode(header.src, header.dst)));
+
+  IcmpMessage te = IcmpMessage::time_exceeded(BytesView(original));
+  EXPECT_EQ(te.type, IcmpType::kTimeExceeded);
+  EXPECT_EQ(te.body.size(), Ipv4Header::kSize + 8);
+
+  Bytes wire = te.encode();
+  auto decoded = IcmpMessage::decode(BytesView(wire));
+  ASSERT_TRUE(decoded.ok());
+  auto quoted = decoded.value().quoted_datagram();
+  ASSERT_TRUE(quoted.ok()) << quoted.error().message;
+  EXPECT_EQ(quoted.value().header.identification, 0x4242);
+  EXPECT_EQ(quoted.value().header.src, header.src);
+  EXPECT_EQ(quoted.value().header.dst, header.dst);
+  // The 8 quoted payload bytes are the UDP header: ports recoverable.
+  ASSERT_GE(quoted.value().payload.size(), 4u);
+  EXPECT_EQ(quoted.value().payload[0], 33333 >> 8);
+  EXPECT_EQ(quoted.value().payload[1], 33333 & 0xFF);
+}
+
+TEST(Icmp, QuotedDatagramRejectsNonErrorTypes) {
+  IcmpMessage echo;
+  echo.type = IcmpType::kEchoRequest;
+  echo.body = to_bytes("data");
+  EXPECT_FALSE(echo.quoted_datagram().ok());
+}
+
+TEST(Icmp, QuotedDatagramRejectsShortQuote) {
+  IcmpMessage te;
+  te.type = IcmpType::kTimeExceeded;
+  te.body = Bytes(10, 0x45);
+  EXPECT_FALSE(te.quoted_datagram().ok());
+}
+
+TEST(Icmp, TimeExceededOfShortDatagramQuotesWhatExists) {
+  Bytes tiny(Ipv4Header::kSize + 3, 0);
+  IcmpMessage te = IcmpMessage::time_exceeded(BytesView(tiny));
+  EXPECT_EQ(te.body.size(), tiny.size());
+}
+
+}  // namespace
+}  // namespace shadowprobe::net

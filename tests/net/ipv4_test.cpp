@@ -1,0 +1,135 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::net {
+namespace {
+
+TEST(Ipv4Addr, ParseAndFormat) {
+  auto addr = Ipv4Addr::parse("8.8.8.8");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(addr->value(), 0x08080808u);
+  EXPECT_EQ(addr->str(), "8.8.8.8");
+  EXPECT_EQ(Ipv4Addr(1, 2, 3, 4).str(), "1.2.3.4");
+  EXPECT_EQ(Ipv4Addr(255, 255, 255, 255).str(), "255.255.255.255");
+  EXPECT_EQ(Ipv4Addr().str(), "0.0.0.0");
+}
+
+TEST(Ipv4Addr, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse("").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.256").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.x").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.-1").has_value());
+  EXPECT_THROW(Ipv4Addr::must_parse("bogus"), std::invalid_argument);
+}
+
+TEST(Ipv4Addr, Ordering) {
+  EXPECT_LT(Ipv4Addr(1, 0, 0, 0), Ipv4Addr(2, 0, 0, 0));
+  EXPECT_EQ(Ipv4Addr(1, 2, 3, 4), *Ipv4Addr::parse("1.2.3.4"));
+}
+
+TEST(Prefix, CanonicalizesHostBits) {
+  Prefix p(Ipv4Addr(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.base().str(), "10.1.0.0");
+  EXPECT_EQ(p.str(), "10.1.0.0/16");
+}
+
+TEST(Prefix, ContainsAndSize) {
+  Prefix p(Ipv4Addr(192, 168, 1, 0), 24);
+  EXPECT_TRUE(p.contains(Ipv4Addr(192, 168, 1, 200)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(192, 168, 2, 1)));
+  EXPECT_EQ(p.size(), 256u);
+  EXPECT_EQ(p.at(5).str(), "192.168.1.5");
+  EXPECT_THROW(p.at(256), std::out_of_range);
+}
+
+TEST(Prefix, ZeroLengthCoversEverything) {
+  Prefix any(Ipv4Addr(9, 9, 9, 9), 0);
+  EXPECT_TRUE(any.contains(Ipv4Addr(0, 0, 0, 0)));
+  EXPECT_TRUE(any.contains(Ipv4Addr(255, 255, 255, 255)));
+  EXPECT_EQ(any.base().value(), 0u);
+}
+
+TEST(Prefix, ParseAndInvalid) {
+  auto p = Prefix::parse("114.114.0.0/16");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 16);
+  EXPECT_FALSE(Prefix::parse("1.2.3.4").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/33").has_value());
+  EXPECT_FALSE(Prefix::parse("bogus/8").has_value());
+  EXPECT_THROW(Prefix(Ipv4Addr(), 33), std::invalid_argument);
+}
+
+TEST(InternetChecksum, Rfc1071Example) {
+  // Classic example: words 0x0001, 0xf203, 0xf4f5, 0xf6f7 -> sum 0xddf2,
+  // checksum ~0xddf2 = 0x220d.
+  Bytes data = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(BytesView(data)), 0x220d);
+}
+
+TEST(InternetChecksum, OddLengthPadsWithZero) {
+  Bytes data = {0x01};
+  EXPECT_EQ(internet_checksum(BytesView(data)), static_cast<std::uint16_t>(~0x0100));
+}
+
+TEST(Ipv4Header, EncodeDecodeRoundTrip) {
+  Ipv4Header header;
+  header.tos = 0x10;
+  header.identification = 0xBEEF;
+  header.ttl = 7;
+  header.protocol = IpProto::kTcp;
+  header.src = Ipv4Addr(1, 2, 3, 4);
+  header.dst = Ipv4Addr(5, 6, 7, 8);
+  Bytes payload = to_bytes("hello world");
+  Bytes wire = header.encode(BytesView(payload));
+  ASSERT_EQ(wire.size(), Ipv4Header::kSize + payload.size());
+
+  auto decoded = decode_ipv4(BytesView(wire));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().header.tos, 0x10);
+  EXPECT_EQ(decoded.value().header.identification, 0xBEEF);
+  EXPECT_EQ(decoded.value().header.ttl, 7);
+  EXPECT_EQ(decoded.value().header.protocol, IpProto::kTcp);
+  EXPECT_EQ(decoded.value().header.src, header.src);
+  EXPECT_EQ(decoded.value().header.dst, header.dst);
+  EXPECT_EQ(decoded.value().payload, payload);
+}
+
+TEST(Ipv4Header, EncodedChecksumVerifies) {
+  Ipv4Header header;
+  header.src = Ipv4Addr(10, 0, 0, 1);
+  header.dst = Ipv4Addr(10, 0, 0, 2);
+  Bytes wire = header.encode({});
+  EXPECT_EQ(internet_checksum(BytesView(wire).subspan(0, Ipv4Header::kSize)), 0);
+}
+
+TEST(Ipv4Header, DecodeRejectsCorruptChecksum) {
+  Ipv4Header header;
+  header.src = Ipv4Addr(1, 1, 1, 1);
+  header.dst = Ipv4Addr(2, 2, 2, 2);
+  Bytes wire = header.encode({});
+  wire[8] ^= 0xFF;  // flip TTL without fixing checksum
+  EXPECT_FALSE(decode_ipv4(BytesView(wire)).ok());
+}
+
+TEST(Ipv4Header, DecodeRejectsTruncationAndGarbage) {
+  Bytes empty;
+  EXPECT_FALSE(decode_ipv4(BytesView(empty)).ok());
+  Bytes short_buf(10, 0x45);
+  EXPECT_FALSE(decode_ipv4(BytesView(short_buf)).ok());
+  Ipv4Header header;
+  header.src = Ipv4Addr(1, 1, 1, 1);
+  header.dst = Ipv4Addr(2, 2, 2, 2);
+  Bytes wire = header.encode(BytesView(to_bytes("abc")));
+  wire.resize(Ipv4Header::kSize + 1);  // total length now exceeds buffer
+  EXPECT_FALSE(decode_ipv4(BytesView(wire)).ok());
+  // Non-v4 version nibble.
+  Bytes v6ish = wire;
+  v6ish[0] = 0x65;
+  EXPECT_FALSE(decode_ipv4(BytesView(v6ish)).ok());
+}
+
+}  // namespace
+}  // namespace shadowprobe::net

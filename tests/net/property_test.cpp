@@ -1,0 +1,172 @@
+// Property-style randomized sweeps over the wire-format codecs:
+//   - encode/decode round-trips preserve every field;
+//   - any single bit flip in a checksummed region is detected.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/dns.h"
+#include "net/icmp.h"
+#include "net/ipv4.h"
+#include "net/tcp.h"
+#include "net/udp.h"
+
+namespace shadowprobe::net {
+namespace {
+
+DnsName random_name(Rng& rng) {
+  int labels = static_cast<int>(rng.range(1, 4));
+  std::string text;
+  for (int i = 0; i < labels; ++i) {
+    if (i) text += '.';
+    int len = static_cast<int>(rng.range(1, 12));
+    for (int c = 0; c < len; ++c) {
+      text += static_cast<char>('a' + rng.below(26));
+    }
+  }
+  return DnsName::must_parse(text);
+}
+
+class DnsRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DnsRoundTripProperty, RandomMessagesSurviveTheWire) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  for (int round = 0; round < 20; ++round) {
+    DnsMessage message;
+    message.header.id = static_cast<std::uint16_t>(rng.bits());
+    message.header.qr = rng.chance(0.5);
+    message.header.rd = rng.chance(0.5);
+    message.header.aa = rng.chance(0.3);
+    message.header.rcode = rng.chance(0.2) ? DnsRcode::kNxDomain : DnsRcode::kNoError;
+    int questions = static_cast<int>(rng.range(0, 2));
+    for (int q = 0; q < questions; ++q) {
+      message.questions.push_back({random_name(rng),
+                                   rng.chance(0.5) ? DnsType::kA : DnsType::kTxt});
+    }
+    int answers = static_cast<int>(rng.range(0, 4));
+    for (int a = 0; a < answers; ++a) {
+      switch (rng.below(4)) {
+        case 0:
+          message.answers.push_back(DnsRecord::a(
+              random_name(rng), Ipv4Addr(static_cast<std::uint32_t>(rng.bits())),
+              static_cast<std::uint32_t>(rng.below(100000))));
+          break;
+        case 1:
+          message.answers.push_back(DnsRecord::ns(random_name(rng), random_name(rng)));
+          break;
+        case 2:
+          message.answers.push_back(DnsRecord::cname(random_name(rng), random_name(rng)));
+          break;
+        default:
+          message.answers.push_back(
+              DnsRecord::txt(random_name(rng), {"t" + std::to_string(rng.below(100))}));
+          break;
+      }
+    }
+    Bytes wire = message.encode();
+    auto decoded = DnsMessage::decode(BytesView(wire));
+    ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+    const DnsMessage& out = decoded.value();
+    EXPECT_EQ(out.header.id, message.header.id);
+    EXPECT_EQ(out.header.qr, message.header.qr);
+    EXPECT_EQ(out.header.rd, message.header.rd);
+    EXPECT_EQ(out.header.aa, message.header.aa);
+    EXPECT_EQ(out.header.rcode, message.header.rcode);
+    ASSERT_EQ(out.questions.size(), message.questions.size());
+    for (std::size_t i = 0; i < out.questions.size(); ++i) {
+      EXPECT_EQ(out.questions[i].name, message.questions[i].name);
+      EXPECT_EQ(out.questions[i].type, message.questions[i].type);
+    }
+    ASSERT_EQ(out.answers.size(), message.answers.size());
+    for (std::size_t i = 0; i < out.answers.size(); ++i) {
+      EXPECT_EQ(out.answers[i].name, message.answers[i].name);
+      EXPECT_EQ(out.answers[i].type, message.answers[i].type);
+      EXPECT_EQ(out.answers[i].ttl, message.answers[i].ttl);
+      EXPECT_TRUE(out.answers[i].rdata == message.answers[i].rdata);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DnsRoundTripProperty, ::testing::Range(0, 8));
+
+class BitFlipProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitFlipProperty, SingleBitFlipsNeverDecodeCleanInChecksummedHeaders) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 17);
+  Ipv4Addr src(10, 0, 0, 1);
+  Ipv4Addr dst(10, 0, 0, 2);
+
+  // IPv4 header: flip any bit of the 20 header bytes.
+  Ipv4Header header;
+  header.src = src;
+  header.dst = dst;
+  header.identification = static_cast<std::uint16_t>(rng.bits());
+  Bytes payload(8, 0xEE);
+  Bytes ip_wire = header.encode(BytesView(payload));
+  for (int trial = 0; trial < 24; ++trial) {
+    std::size_t bit = rng.below(Ipv4Header::kSize * 8);
+    Bytes corrupt = ip_wire;
+    corrupt[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    auto decoded = decode_ipv4(BytesView(corrupt));
+    if (decoded.ok()) {
+      // A flip in the checksum-covered region must never decode as the
+      // original header (total-length flips may still fail differently).
+      EXPECT_FALSE(decoded.value().header.src == header.src &&
+                   decoded.value().header.dst == header.dst &&
+                   decoded.value().header.identification == header.identification &&
+                   decoded.value().header.ttl == header.ttl)
+          << "undetected corruption at bit " << bit;
+    }
+  }
+
+  // UDP with checksum: flips anywhere in the datagram are detected.
+  UdpDatagram udp;
+  udp.src_port = static_cast<std::uint16_t>(rng.bits());
+  udp.dst_port = 53;
+  udp.payload = to_bytes("payload-bytes-here");
+  Bytes udp_wire = udp.encode(src, dst);
+  for (int trial = 0; trial < 24; ++trial) {
+    std::size_t bit = rng.below(udp_wire.size() * 8);
+    Bytes corrupt = udp_wire;
+    corrupt[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    auto decoded = UdpDatagram::decode(BytesView(corrupt), src, dst);
+    // Flipping a bit may hit the "checksum disabled" encoding (field becomes
+    // 0) — everything else must fail.
+    if (decoded.ok()) {
+      bool checksum_zeroed = corrupt[6] == 0 && corrupt[7] == 0;
+      EXPECT_TRUE(checksum_zeroed) << "undetected corruption at bit " << bit;
+    }
+  }
+
+  // TCP: same, no disabled-checksum escape hatch.
+  TcpSegment segment;
+  segment.src_port = 1234;
+  segment.dst_port = 80;
+  segment.seq = static_cast<std::uint32_t>(rng.bits());
+  segment.payload = to_bytes("GET / HTTP/1.1\r\n\r\n");
+  Bytes tcp_wire = segment.encode(src, dst);
+  for (int trial = 0; trial < 24; ++trial) {
+    std::size_t bit = rng.below(tcp_wire.size() * 8);
+    Bytes corrupt = tcp_wire;
+    corrupt[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(TcpSegment::decode(BytesView(corrupt), src, dst).ok())
+        << "undetected corruption at bit " << bit;
+  }
+
+  // ICMP: same.
+  IcmpMessage echo;
+  echo.type = IcmpType::kEchoRequest;
+  echo.body = to_bytes("abcdefgh");
+  Bytes icmp_wire = echo.encode();
+  for (int trial = 0; trial < 24; ++trial) {
+    std::size_t bit = rng.below(icmp_wire.size() * 8);
+    Bytes corrupt = icmp_wire;
+    corrupt[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(IcmpMessage::decode(BytesView(corrupt)).ok())
+        << "undetected corruption at bit " << bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitFlipProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace shadowprobe::net

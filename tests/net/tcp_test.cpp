@@ -1,0 +1,91 @@
+#include "net/tcp.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::net {
+namespace {
+
+const Ipv4Addr kSrc(172, 16, 0, 1);
+const Ipv4Addr kDst(172, 16, 0, 2);
+
+TEST(TcpFlags, EncodeDecodeAllCombinations) {
+  for (int bits = 0; bits < 32; ++bits) {
+    TcpFlags f;
+    f.fin = bits & 1;
+    f.syn = bits & 2;
+    f.rst = bits & 4;
+    f.psh = bits & 8;
+    f.ack = bits & 16;
+    EXPECT_EQ(TcpFlags::decode(f.encode()), f);
+  }
+}
+
+TEST(TcpFlags, StringRendering) {
+  EXPECT_EQ((TcpFlags{.syn = true}).str(), "S");
+  EXPECT_EQ((TcpFlags{.syn = true, .ack = true}).str(), "SA");
+  EXPECT_EQ(TcpFlags{}.str(), "-");
+}
+
+TEST(TcpSegment, EncodeDecodeRoundTrip) {
+  TcpSegment segment;
+  segment.src_port = 49152;
+  segment.dst_port = 443;
+  segment.seq = 0xAABBCCDD;
+  segment.ack = 0x11223344;
+  segment.flags = {.ack = true, .psh = true};
+  segment.window = 4096;
+  segment.payload = to_bytes("TLS bytes here");
+  Bytes wire = segment.encode(kSrc, kDst);
+
+  auto decoded = TcpSegment::decode(BytesView(wire), kSrc, kDst);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().src_port, 49152);
+  EXPECT_EQ(decoded.value().dst_port, 443);
+  EXPECT_EQ(decoded.value().seq, 0xAABBCCDDu);
+  EXPECT_EQ(decoded.value().ack, 0x11223344u);
+  EXPECT_EQ(decoded.value().flags, segment.flags);
+  EXPECT_EQ(decoded.value().window, 4096);
+  EXPECT_EQ(decoded.value().payload, segment.payload);
+}
+
+TEST(TcpSegment, ChecksumBindsAddresses) {
+  TcpSegment segment;
+  segment.payload = to_bytes("x");
+  Bytes wire = segment.encode(kSrc, kDst);
+  EXPECT_FALSE(TcpSegment::decode(BytesView(wire), Ipv4Addr(1, 1, 1, 1), kDst).ok());
+  EXPECT_TRUE(TcpSegment::decode(BytesView(wire), kSrc, kDst).ok());
+}
+
+TEST(TcpSegment, RejectsCorruption) {
+  TcpSegment segment;
+  segment.payload = to_bytes("data");
+  Bytes wire = segment.encode(kSrc, kDst);
+  wire.back() ^= 1;
+  EXPECT_FALSE(TcpSegment::decode(BytesView(wire), kSrc, kDst).ok());
+}
+
+TEST(TcpSegment, RejectsTruncatedHeader) {
+  Bytes tiny(10, 0);
+  EXPECT_FALSE(TcpSegment::decode(BytesView(tiny), kSrc, kDst).ok());
+}
+
+TEST(TcpSegment, RejectsBadDataOffset) {
+  TcpSegment segment;
+  Bytes wire = segment.encode(kSrc, kDst);
+  wire[12] = 0x30;  // data offset 3 words < minimum 5
+  EXPECT_FALSE(TcpSegment::decode(BytesView(wire), kSrc, kDst).ok());
+}
+
+TEST(TcpSegment, EmptyPayloadSegments) {
+  TcpSegment syn;
+  syn.flags = {.syn = true};
+  Bytes wire = syn.encode(kSrc, kDst);
+  EXPECT_EQ(wire.size(), TcpSegment::kHeaderSize);
+  auto decoded = TcpSegment::decode(BytesView(wire), kSrc, kDst);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().flags.syn);
+  EXPECT_TRUE(decoded.value().payload.empty());
+}
+
+}  // namespace
+}  // namespace shadowprobe::net

@@ -1,0 +1,199 @@
+#include "net/tls.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::net {
+namespace {
+
+TlsClientHello make_hello(const std::string& sni) {
+  TlsClientHello hello;
+  for (std::size_t i = 0; i < hello.random.size(); ++i) {
+    hello.random[i] = static_cast<std::uint8_t>(i);
+  }
+  hello.session_id = {0xAA, 0xBB};
+  hello.cipher_suites = {0x1301, 0x1302, 0xC02F};
+  hello.set_sni(sni);
+  hello.set_supported_versions({0x0304, 0x0303});
+  hello.set_alpn({"h2", "http/1.1"});
+  return hello;
+}
+
+TEST(TlsClientHello, EncodeDecodeRoundTrip) {
+  TlsClientHello hello = make_hello("decoy.www.example.com");
+  Bytes wire = hello.encode_record();
+  // Record layer sanity: handshake content type, TLS record version 3.x.
+  ASSERT_GT(wire.size(), 5u);
+  EXPECT_EQ(wire[0], 22);
+  EXPECT_EQ(wire[1], 3);
+
+  auto decoded = TlsClientHello::decode_record(BytesView(wire));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().legacy_version, 0x0303);
+  EXPECT_EQ(decoded.value().random, hello.random);
+  EXPECT_EQ(decoded.value().session_id, hello.session_id);
+  EXPECT_EQ(decoded.value().cipher_suites, hello.cipher_suites);
+  ASSERT_TRUE(decoded.value().sni().has_value());
+  EXPECT_EQ(decoded.value().sni().value(), "decoy.www.example.com");
+  EXPECT_EQ(decoded.value().alpn(), (std::vector<std::string>{"h2", "http/1.1"}));
+  EXPECT_EQ(decoded.value().supported_versions(),
+            (std::vector<std::uint16_t>{0x0304, 0x0303}));
+}
+
+TEST(TlsClientHello, SetSniReplacesInPlace) {
+  TlsClientHello hello = make_hello("first.example.com");
+  hello.set_sni("second.example.com");
+  std::size_t sni_count = 0;
+  for (const auto& ext : hello.extensions) {
+    if (ext.type == kExtServerName) ++sni_count;
+  }
+  EXPECT_EQ(sni_count, 1u);
+  EXPECT_EQ(hello.sni().value(), "second.example.com");
+}
+
+TEST(TlsClientHello, NoSniMeansNullopt) {
+  TlsClientHello hello;
+  hello.cipher_suites = {0x1301};
+  EXPECT_FALSE(hello.sni().has_value());
+  Bytes wire = hello.encode_record();
+  auto decoded = TlsClientHello::decode_record(BytesView(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().sni().has_value());
+}
+
+TEST(TlsClientHello, DecodeRejectsWrongContentType) {
+  TlsClientHello hello = make_hello("x.com");
+  Bytes wire = hello.encode_record();
+  wire[0] = 23;  // application data
+  EXPECT_FALSE(TlsClientHello::decode_record(BytesView(wire)).ok());
+}
+
+TEST(TlsClientHello, DecodeRejectsLengthMismatches) {
+  TlsClientHello hello = make_hello("x.com");
+  Bytes wire = hello.encode_record();
+  Bytes truncated(wire.begin(), wire.end() - 3);
+  EXPECT_FALSE(TlsClientHello::decode_record(BytesView(truncated)).ok());
+  Bytes padded = wire;
+  padded.push_back(0);
+  EXPECT_FALSE(TlsClientHello::decode_record(BytesView(padded)).ok());
+}
+
+TEST(TlsClientHello, DecodeRejectsServerHelloRecord) {
+  TlsServerHello server;
+  Bytes wire = server.encode_record();
+  EXPECT_FALSE(TlsClientHello::decode_record(BytesView(wire)).ok());
+}
+
+TEST(TlsClientHello, OddCipherSuiteLengthRejected) {
+  TlsClientHello hello = make_hello("x.com");
+  Bytes wire = hello.encode_record();
+  // cipher_suites length lives right after version(2)+random(32)+sid_len(1)
+  // +sid(2) inside the handshake body, which starts at offset 9.
+  std::size_t suites_len_at = 9 + 2 + 32 + 1 + hello.session_id.size();
+  wire[suites_len_at + 1] ^= 0x01;  // make the u16 length odd
+  EXPECT_FALSE(TlsClientHello::decode_record(BytesView(wire)).ok());
+}
+
+TEST(TlsServerHello, RoundTrip) {
+  TlsServerHello server;
+  server.random[0] = 0x42;
+  server.session_id = {1, 2, 3};
+  server.cipher_suite = 0x1302;
+  Bytes wire = server.encode_record();
+  auto decoded = TlsServerHello::decode_record(BytesView(wire));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().random[0], 0x42);
+  EXPECT_EQ(decoded.value().session_id, (Bytes{1, 2, 3}));
+  EXPECT_EQ(decoded.value().cipher_suite, 0x1302);
+}
+
+TEST(TlsAlert, RecordShape) {
+  Bytes alert = tls_alert_record(2, 40);  // fatal handshake_failure
+  ASSERT_EQ(alert.size(), 7u);
+  EXPECT_EQ(alert[0], 21);  // alert content type
+  EXPECT_EQ(alert[5], 2);
+  EXPECT_EQ(alert[6], 40);
+}
+
+TEST(TlsClientHello, SniSurvivesLongNames) {
+  std::string long_name(200, 'a');
+  long_name += ".example.com";
+  TlsClientHello hello = make_hello(long_name);
+  Bytes wire = hello.encode_record();
+  auto decoded = TlsClientHello::decode_record(BytesView(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().sni().value(), long_name);
+}
+
+}  // namespace
+}  // namespace shadowprobe::net
+
+namespace shadowprobe::net {
+namespace {
+
+TEST(TlsEch, HidesInnerNameFromPlainParsers) {
+  TlsClientHello hello;
+  hello.cipher_suites = {0x1301};
+  hello.set_ech("secret.www.shadowprobe-exp.com", "public.ech-shield.example");
+  Bytes wire = hello.encode_record();
+  auto decoded = TlsClientHello::decode_record(BytesView(wire));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().has_ech());
+  // Clear-text SNI is the outer public name only.
+  EXPECT_EQ(decoded.value().sni().value(), "public.ech-shield.example");
+  // The raw wire bytes never contain the inner name.
+  std::string raw = to_string(BytesView(wire));
+  EXPECT_EQ(raw.find("secret.www"), std::string::npos);
+  // The terminating party recovers it.
+  EXPECT_EQ(decoded.value().ech_inner_sni().value(), "secret.www.shadowprobe-exp.com");
+}
+
+TEST(TlsEch, AbsentOnPlainHello) {
+  TlsClientHello hello;
+  hello.set_sni("plain.example.com");
+  EXPECT_FALSE(hello.has_ech());
+  EXPECT_FALSE(hello.ech_inner_sni().has_value());
+}
+
+TEST(TlsEch, SetTwiceReplacesInPlace) {
+  TlsClientHello hello;
+  hello.set_ech("first.example", "outer.example");
+  hello.set_ech("second.example", "outer.example");
+  int count = 0;
+  for (const auto& ext : hello.extensions) {
+    if (ext.type == kExtEncryptedClientHello) ++count;
+  }
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(hello.ech_inner_sni().value(), "second.example");
+}
+
+TEST(TlsOpaque, RoundTripsAndWhitens) {
+  Bytes payload = to_bytes("a plain DNS message would be here");
+  Bytes record = tls_opaque_record(BytesView(payload));
+  EXPECT_EQ(record[0], 23);  // application data
+  // Whitened: the payload is not readable in the record bytes.
+  std::string raw = to_string(BytesView(record));
+  EXPECT_EQ(raw.find("plain DNS"), std::string::npos);
+  auto unwrapped = tls_opaque_unwrap(BytesView(record));
+  ASSERT_TRUE(unwrapped.ok());
+  EXPECT_EQ(unwrapped.value(), payload);
+}
+
+TEST(TlsOpaque, RejectsWrongContentTypeAndBadLength) {
+  Bytes payload = to_bytes("x");
+  Bytes record = tls_opaque_record(BytesView(payload));
+  Bytes wrong_type = record;
+  wrong_type[0] = 22;
+  EXPECT_FALSE(tls_opaque_unwrap(BytesView(wrong_type)).ok());
+  Bytes truncated(record.begin(), record.end() - 1);
+  EXPECT_FALSE(tls_opaque_unwrap(BytesView(truncated)).ok());
+}
+
+TEST(TlsOpaque, EmptyPayload) {
+  Bytes record = tls_opaque_record({});
+  auto unwrapped = tls_opaque_unwrap(BytesView(record));
+  ASSERT_TRUE(unwrapped.ok());
+  EXPECT_TRUE(unwrapped.value().empty());
+}
+
+}  // namespace
+}  // namespace shadowprobe::net

@@ -1,0 +1,81 @@
+#include "net/udp.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::net {
+namespace {
+
+const Ipv4Addr kSrc(10, 0, 0, 1);
+const Ipv4Addr kDst(10, 0, 0, 2);
+
+TEST(Udp, EncodeDecodeRoundTrip) {
+  UdpDatagram udp;
+  udp.src_port = 30000;
+  udp.dst_port = 53;
+  udp.payload = to_bytes("query bytes");
+  Bytes wire = udp.encode(kSrc, kDst);
+  ASSERT_EQ(wire.size(), UdpDatagram::kHeaderSize + udp.payload.size());
+
+  auto decoded = UdpDatagram::decode(BytesView(wire), kSrc, kDst);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().src_port, 30000);
+  EXPECT_EQ(decoded.value().dst_port, 53);
+  EXPECT_EQ(decoded.value().payload, udp.payload);
+}
+
+TEST(Udp, ChecksumCoversPseudoHeader) {
+  UdpDatagram udp;
+  udp.src_port = 1;
+  udp.dst_port = 2;
+  udp.payload = to_bytes("x");
+  Bytes wire = udp.encode(kSrc, kDst);
+  // Decoding against different addresses must fail the checksum.
+  EXPECT_FALSE(UdpDatagram::decode(BytesView(wire), kSrc, Ipv4Addr(9, 9, 9, 9)).ok());
+}
+
+TEST(Udp, CorruptPayloadFailsChecksum) {
+  UdpDatagram udp;
+  udp.src_port = 5;
+  udp.dst_port = 6;
+  udp.payload = to_bytes("payload");
+  Bytes wire = udp.encode(kSrc, kDst);
+  wire.back() ^= 0x01;
+  EXPECT_FALSE(UdpDatagram::decode(BytesView(wire), kSrc, kDst).ok());
+}
+
+TEST(Udp, ZeroChecksumMeansUnchecked) {
+  UdpDatagram udp;
+  udp.src_port = 5;
+  udp.dst_port = 6;
+  udp.payload = to_bytes("data");
+  Bytes wire = udp.encode(kSrc, kDst);
+  wire[6] = 0;
+  wire[7] = 0;
+  wire.back() ^= 0xFF;  // corruption is invisible without a checksum
+  EXPECT_TRUE(UdpDatagram::decode(BytesView(wire), kSrc, kDst).ok());
+}
+
+TEST(Udp, RejectsBadLengths) {
+  Bytes tiny = {0, 1, 0, 2};
+  EXPECT_FALSE(UdpDatagram::decode(BytesView(tiny), kSrc, kDst).ok());
+
+  UdpDatagram udp;
+  udp.payload = to_bytes("abc");
+  Bytes wire = udp.encode(kSrc, kDst);
+  wire[4] = 0xFF;  // length field now exceeds the buffer
+  wire[5] = 0xFF;
+  EXPECT_FALSE(UdpDatagram::decode(BytesView(wire), kSrc, kDst).ok());
+}
+
+TEST(Udp, EmptyPayloadRoundTrips) {
+  UdpDatagram udp;
+  udp.src_port = 1234;
+  udp.dst_port = 4321;
+  Bytes wire = udp.encode(kSrc, kDst);
+  auto decoded = UdpDatagram::decode(BytesView(wire), kSrc, kDst);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().payload.empty());
+}
+
+}  // namespace
+}  // namespace shadowprobe::net

@@ -1,0 +1,142 @@
+#include "shadow/exhibitor.h"
+
+#include <gtest/gtest.h>
+
+#include "intel/signatures.h"
+#include "sim/event_loop.h"
+
+namespace shadowprobe::shadow {
+namespace {
+
+using net::DnsName;
+using net::Ipv4Addr;
+
+ExhibitorConfig base_config() {
+  ExhibitorConfig config;
+  config.name = "test";
+  config.observe_probability = 1.0;
+  config.probe_resolver = Ipv4Addr(8, 8, 8, 8);
+  return config;
+}
+
+TEST(Exhibitor, RetainsObservationsAndDeduplicatesDomains) {
+  sim::EventLoop loop;
+  Exhibitor exhibitor(base_config(), Rng(7), loop);
+  DnsName domain = DnsName::must_parse("x.www.shadowprobe-exp.com");
+  exhibitor.observe(0, domain, Ipv4Addr(1, 0, 0, 1), Ipv4Addr(2, 0, 0, 1),
+                    core::DecoyProtocol::kDns);
+  exhibitor.observe(10, domain, Ipv4Addr(1, 0, 0, 1), Ipv4Addr(2, 0, 0, 1),
+                    core::DecoyProtocol::kDns);
+  EXPECT_EQ(exhibitor.observations(), 1u);
+  exhibitor.observe(20, DnsName::must_parse("y.www.shadowprobe-exp.com"),
+                    Ipv4Addr(1, 0, 0, 1), Ipv4Addr(2, 0, 0, 1), core::DecoyProtocol::kDns);
+  EXPECT_EQ(exhibitor.observations(), 2u);
+}
+
+TEST(Exhibitor, ProtocolVisibilityFilters) {
+  sim::EventLoop loop;
+  ExhibitorConfig config = base_config();
+  config.sees_dns = false;
+  config.sees_tls = false;
+  Exhibitor exhibitor(config, Rng(7), loop);
+  exhibitor.observe(0, DnsName::must_parse("a.test"), Ipv4Addr(1, 0, 0, 1),
+                    Ipv4Addr(2, 0, 0, 1), core::DecoyProtocol::kDns);
+  exhibitor.observe(0, DnsName::must_parse("b.test"), Ipv4Addr(1, 0, 0, 1),
+                    Ipv4Addr(2, 0, 0, 1), core::DecoyProtocol::kTls);
+  EXPECT_EQ(exhibitor.observations(), 0u);
+  exhibitor.observe(0, DnsName::must_parse("c.test"), Ipv4Addr(1, 0, 0, 1),
+                    Ipv4Addr(2, 0, 0, 1), core::DecoyProtocol::kHttp);
+  EXPECT_EQ(exhibitor.observations(), 1u);
+}
+
+TEST(Exhibitor, PairSelectivityIsDeterministicPerPair) {
+  // With observe_probability 0.5 some pairs are monitored and some are not,
+  // but a pair's decision never flips between observations.
+  sim::EventLoop loop;
+  ExhibitorConfig config = base_config();
+  config.observe_probability = 0.5;
+  Exhibitor exhibitor(config, Rng(99), loop);
+  int monitored_pairs = 0;
+  for (int pair = 0; pair < 40; ++pair) {
+    Ipv4Addr client(10, 0, 0, static_cast<std::uint8_t>(pair + 1));
+    Ipv4Addr server(20, 0, 0, 1);
+    std::size_t before = exhibitor.observations();
+    // Two distinct domains on the same pair: either both observed or none.
+    exhibitor.observe(0, DnsName::must_parse("a" + std::to_string(pair) + ".test"),
+                      client, server, core::DecoyProtocol::kDns);
+    exhibitor.observe(0, DnsName::must_parse("b" + std::to_string(pair) + ".test"),
+                      client, server, core::DecoyProtocol::kDns);
+    std::size_t gained = exhibitor.observations() - before;
+    EXPECT_TRUE(gained == 0 || gained == 2) << gained;
+    if (gained == 2) ++monitored_pairs;
+  }
+  EXPECT_GT(monitored_pairs, 8);
+  EXPECT_LT(monitored_pairs, 32);
+}
+
+TEST(Exhibitor, ZeroProbabilityObservesNothing) {
+  sim::EventLoop loop;
+  ExhibitorConfig config = base_config();
+  config.observe_probability = 0.0;
+  Exhibitor exhibitor(config, Rng(7), loop);
+  for (int i = 0; i < 20; ++i) {
+    exhibitor.observe(0, DnsName::must_parse("d" + std::to_string(i) + ".test"),
+                      Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(i + 1)),
+                      Ipv4Addr(2, 0, 0, 1), core::DecoyProtocol::kDns);
+  }
+  EXPECT_EQ(exhibitor.observations(), 0u);
+}
+
+TEST(Exhibitor, WavesScheduleFutureWork) {
+  sim::EventLoop loop;
+  ExhibitorConfig config = base_config();
+  config.waves.push_back({.probability = 1.0,
+                          .delay_median = kHour,
+                          .delay_sigma = 0.1,
+                          .requests_min = 2,
+                          .requests_max = 2,
+                          .dns_weight = 1.0});
+  Exhibitor exhibitor(config, Rng(7), loop);
+  exhibitor.observe(0, DnsName::must_parse("w.test"), Ipv4Addr(1, 0, 0, 1),
+                    Ipv4Addr(2, 0, 0, 1), core::DecoyProtocol::kDns);
+  // Two replay events pending (no probers attached: they fire as no-ops).
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.run();
+  // Without probers nothing is counted as replayed.
+  EXPECT_EQ(exhibitor.store().total_replays(), 0u);
+}
+
+TEST(Exhibitor, DelayFloorClampsEarlyReplays) {
+  sim::EventLoop loop;
+  ExhibitorConfig config = base_config();
+  config.waves.push_back({.probability = 1.0,
+                          .delay_median = kMinute,  // would often fire < 1h
+                          .delay_sigma = 0.5,
+                          .delay_floor = kHour,
+                          .requests_min = 1,
+                          .requests_max = 1,
+                          .dns_weight = 1.0});
+  Exhibitor exhibitor(config, Rng(7), loop);
+  for (int i = 0; i < 10; ++i) {
+    exhibitor.observe(0, DnsName::must_parse("f" + std::to_string(i) + ".test"),
+                      Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(i + 1)),
+                      Ipv4Addr(2, 0, 0, 1), core::DecoyProtocol::kDns);
+  }
+  loop.run_until(kHour - 1);
+  EXPECT_EQ(loop.processed(), 0u);  // everything clamped to >= 1h
+}
+
+TEST(RetentionStore, CountsReplaysPerItem) {
+  RetentionStore store;
+  Observation obs;
+  obs.domain = DnsName::must_parse("r.test");
+  std::size_t index = store.record(obs);
+  EXPECT_EQ(store.size(), 1u);
+  store.count_replay(index);
+  store.count_replay(index);
+  EXPECT_EQ(store.at(index).replays, 2u);
+  EXPECT_EQ(store.total_replays(), 2u);
+}
+
+}  // namespace
+}  // namespace shadowprobe::shadow

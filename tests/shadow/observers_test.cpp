@@ -1,0 +1,180 @@
+// WireTap parsing, DnsInterceptor spoofing, and RouterServices behaviour on
+// a miniature network.
+#include "shadow/observers.h"
+
+#include <gtest/gtest.h>
+
+#include "net/http.h"
+#include "net/tls.h"
+#include "net/udp.h"
+#include "sim/udp_util.h"
+
+namespace shadowprobe::shadow {
+namespace {
+
+using net::DnsName;
+using net::Ipv4Addr;
+using net::Prefix;
+
+class ObserverNet : public ::testing::Test {
+ protected:
+  ObserverNet() : net(loop), exhibitor(make_config(), Rng(3), loop) {
+    client = net.add_host("client", Ipv4Addr(10, 0, 0, 1), nullptr);
+    router = net.add_router("router", Ipv4Addr(10, 0, 0, 254));
+    server = net.add_host("server", Ipv4Addr(10, 0, 1, 1), nullptr);
+    net.routes(client).set_default(router);
+    net.routes(server).set_default(router);
+    net.routes(router).add(Prefix(Ipv4Addr(10, 0, 1, 1), 32), server);
+    net.routes(router).add(Prefix(Ipv4Addr(10, 0, 0, 1), 32), client);
+  }
+
+  static ExhibitorConfig make_config() {
+    ExhibitorConfig config;
+    config.name = "tap-test";
+    config.observe_probability = 1.0;
+    config.probe_resolver = Ipv4Addr(8, 8, 8, 8);
+    return config;
+  }
+
+  void send_tcp_payload(std::uint16_t dst_port, Bytes payload) {
+    net::TcpSegment seg;
+    seg.src_port = 5000;
+    seg.dst_port = dst_port;
+    seg.flags = {.ack = true, .psh = true};
+    seg.payload = std::move(payload);
+    net::Ipv4Header header;
+    header.src = Ipv4Addr(10, 0, 0, 1);
+    header.dst = Ipv4Addr(10, 0, 1, 1);
+    header.protocol = net::IpProto::kTcp;
+    net.send(client, header, seg.encode(header.src, header.dst));
+  }
+
+  sim::EventLoop loop;
+  sim::Network net;
+  Exhibitor exhibitor;
+  sim::NodeId client, router, server;
+};
+
+TEST_F(ObserverNet, TapExtractsDnsQnames) {
+  WireTap tap(exhibitor, {.dns = true, .http = false, .tls = false});
+  net.add_tap(router, &tap);
+  net::DnsMessage query = net::DnsMessage::query(1, DnsName::must_parse("q.example.test"),
+                                                 net::DnsType::kA);
+  Bytes wire = query.encode();
+  sim::send_udp(net, client, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 1, 1), 4000, 53,
+                BytesView(wire));
+  loop.run();
+  ASSERT_EQ(exhibitor.observations(), 1u);
+  EXPECT_EQ(exhibitor.store().at(0).domain, DnsName::must_parse("q.example.test"));
+  EXPECT_EQ(exhibitor.store().at(0).seen_in, core::DecoyProtocol::kDns);
+  EXPECT_EQ(tap.parsed(), 1u);
+}
+
+TEST_F(ObserverNet, TapIgnoresDnsResponses) {
+  WireTap tap(exhibitor, {.dns = true, .http = false, .tls = false});
+  net.add_tap(router, &tap);
+  net::DnsMessage query = net::DnsMessage::query(1, DnsName::must_parse("resp.test"),
+                                                 net::DnsType::kA);
+  net::DnsMessage response = net::DnsMessage::response_to(query, net::DnsRcode::kNoError);
+  Bytes wire = response.encode();
+  sim::send_udp(net, client, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 1, 1), 53, 4000,
+                BytesView(wire));
+  loop.run();
+  EXPECT_EQ(exhibitor.observations(), 0u);
+}
+
+TEST_F(ObserverNet, TapExtractsHttpHost) {
+  WireTap tap(exhibitor, {.dns = false, .http = true, .tls = false});
+  net.add_tap(router, &tap);
+  net::HttpRequest request;
+  request.target = "/index.html";
+  request.headers.add("Host", "decoy.www.shadowprobe-exp.com");
+  send_tcp_payload(80, request.encode());
+  loop.run();
+  ASSERT_EQ(exhibitor.observations(), 1u);
+  EXPECT_EQ(exhibitor.store().at(0).seen_in, core::DecoyProtocol::kHttp);
+}
+
+TEST_F(ObserverNet, TapExtractsTlsSni) {
+  WireTap tap(exhibitor, {.dns = false, .http = false, .tls = true});
+  net.add_tap(router, &tap);
+  net::TlsClientHello hello;
+  hello.cipher_suites = {0x1301};
+  hello.set_sni("sni.www.shadowprobe-exp.com");
+  send_tcp_payload(443, hello.encode_record());
+  loop.run();
+  ASSERT_EQ(exhibitor.observations(), 1u);
+  EXPECT_EQ(exhibitor.store().at(0).seen_in, core::DecoyProtocol::kTls);
+  EXPECT_EQ(exhibitor.store().at(0).domain.str(), "sni.www.shadowprobe-exp.com");
+}
+
+TEST_F(ObserverNet, FilterLimitsWhatIsParsed) {
+  WireTap tap(exhibitor, {.dns = false, .http = false, .tls = true});
+  net.add_tap(router, &tap);
+  net::HttpRequest request;
+  request.headers.add("Host", "ignored.test");
+  send_tcp_payload(80, request.encode());
+  loop.run();
+  EXPECT_EQ(exhibitor.observations(), 0u);
+  EXPECT_EQ(tap.parsed(), 0u);
+}
+
+TEST_F(ObserverNet, TapToleratesGarbagePayloads) {
+  WireTap tap(exhibitor, {.dns = true, .http = true, .tls = true});
+  net.add_tap(router, &tap);
+  send_tcp_payload(80, to_bytes("NOT HTTP AT ALL"));
+  send_tcp_payload(443, to_bytes("\x16\x03garbage"));
+  sim::send_udp(net, client, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 1, 1), 4000, 53,
+                BytesView(to_bytes("junk")));
+  loop.run();
+  EXPECT_EQ(exhibitor.observations(), 0u);
+}
+
+TEST_F(ObserverNet, InterceptorAnswersQueriesWithSpoofedSource) {
+  // Record what the client receives.
+  struct Sink : sim::DatagramHandler {
+    void on_datagram(sim::Network&, sim::NodeId, const net::Ipv4Datagram& dgram) override {
+      received.push_back(dgram);
+    }
+    std::vector<net::Ipv4Datagram> received;
+  } sink;
+  net.set_handler(client, &sink);
+
+  DnsInterceptor interceptor(Ipv4Addr(198, 18, 0, 1), Rng(5));
+  net.add_tap(router, &interceptor);
+
+  // Query an address that offers no DNS service (the "pair resolver"):
+  // 10.0.1.2 routes nowhere, so the only possible answer is the spoof.
+  net::DnsMessage query = net::DnsMessage::query(42, DnsName::must_parse("pair.test"),
+                                                 net::DnsType::kA);
+  Bytes wire = query.encode();
+  sim::send_udp(net, client, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 1, 2), 4001, 53,
+                BytesView(wire));
+  loop.run();
+  ASSERT_EQ(sink.received.size(), 1u);
+  // The spoof claims to come from the intended destination.
+  EXPECT_EQ(sink.received[0].header.src, Ipv4Addr(10, 0, 1, 2));
+  auto udp = net::UdpDatagram::decode(BytesView(sink.received[0].payload),
+                                      sink.received[0].header.src,
+                                      sink.received[0].header.dst);
+  ASSERT_TRUE(udp.ok());
+  auto dns = net::DnsMessage::decode(BytesView(udp.value().payload));
+  ASSERT_TRUE(dns.ok());
+  EXPECT_EQ(dns.value().header.id, 42);
+  ASSERT_EQ(dns.value().answers.size(), 1u);
+  EXPECT_EQ(std::get<Ipv4Addr>(dns.value().answers[0].rdata), Ipv4Addr(198, 18, 0, 1));
+  EXPECT_EQ(interceptor.intercepted(), 1u);
+}
+
+TEST_F(ObserverNet, InterceptorIgnoresNonDnsTraffic) {
+  DnsInterceptor interceptor(Ipv4Addr(198, 18, 0, 1), Rng(5));
+  net.add_tap(router, &interceptor);
+  send_tcp_payload(80, to_bytes("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+  sim::send_udp(net, client, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 1, 1), 4000, 9999,
+                BytesView(to_bytes("not dns port")));
+  loop.run();
+  EXPECT_EQ(interceptor.intercepted(), 0u);
+}
+
+}  // namespace
+}  // namespace shadowprobe::shadow

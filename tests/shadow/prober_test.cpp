@@ -1,0 +1,105 @@
+// ProberHost behaviour against a real testbed: DNS probes via resolver and
+// via direct iterative resolution, HTTP path enumeration, HTTPS SNI probes.
+#include "shadow/prober.h"
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+
+namespace shadowprobe::shadow {
+namespace {
+
+class ProberTest : public ::testing::Test {
+ protected:
+  ProberTest() {
+    core::TestbedConfig config;
+    config.topology.seed = 11;
+    config.topology.global_vps = 2;
+    config.topology.cn_vps = 2;
+    config.topology.web_sites = 4;
+    bed = core::Testbed::create(config);
+    prober = std::make_unique<ProberHost>("p", bed->fork_rng("p"), bed->signatures());
+    sim::NodeId node = bed->topology().add_host_in_as(bed->net(), 16509, "p", prober.get());
+    prober->bind(bed->net(), node, bed->net().address(node));
+  }
+
+  core::DecoyId decoy_id() {
+    core::DecoyId id;
+    id.vp = net::Ipv4Addr(30, 0, 0, 1);
+    id.dst = net::Ipv4Addr(8, 8, 8, 8);
+    id.seq = 77;
+    return id;
+  }
+
+  std::size_t hits_of(core::RequestProtocol protocol) {
+    std::size_t n = 0;
+    for (const auto& hit : bed->logbook().hits()) {
+      if (hit.protocol == protocol) ++n;
+    }
+    return n;
+  }
+
+  std::unique_ptr<core::Testbed> bed;
+  std::unique_ptr<ProberHost> prober;
+};
+
+TEST_F(ProberTest, DnsProbeViaResolverReachesHoneypotFromResolverEgress) {
+  net::DnsName domain = core::decoy_domain(decoy_id());
+  prober->probe_dns(domain, net::Ipv4Addr(8, 8, 8, 8));
+  bed->loop().run_until(kMinute);
+  ASSERT_EQ(bed->logbook().size(), 1u);
+  const auto& hit = bed->logbook().hits()[0];
+  EXPECT_EQ(hit.protocol, core::RequestProtocol::kDns);
+  // Origin is Google's egress, not the prober.
+  EXPECT_EQ(bed->topology().geo().asn(hit.origin), 15169u);
+  ASSERT_TRUE(hit.decoy.has_value());
+  EXPECT_EQ(hit.decoy->seq, 77u);
+}
+
+TEST_F(ProberTest, DirectDnsProbeOriginatesFromProberItself) {
+  prober->set_root_hints(bed->root_hints());
+  prober->set_direct_probability(1.0);
+  net::DnsName domain = core::decoy_domain(decoy_id());
+  prober->probe_dns(domain, net::Ipv4Addr(8, 8, 8, 8));
+  bed->loop().run_until(kMinute);
+  ASSERT_EQ(bed->logbook().size(), 1u);
+  EXPECT_EQ(bed->logbook().hits()[0].origin, prober->addr());
+}
+
+TEST_F(ProberTest, HttpProbeEnumeratesPaths) {
+  net::DnsName domain = core::decoy_domain(decoy_id());
+  prober->probe_http(domain, net::Ipv4Addr(8, 8, 8, 8), 4);
+  bed->loop().run_until(kMinute);
+  // Resolution + 4 GETs: the honeypot logs 4 HTTP hits bearing the decoy.
+  EXPECT_EQ(hits_of(core::RequestProtocol::kHttp), 4u);
+  for (const auto& hit : bed->logbook().hits()) {
+    if (hit.protocol != core::RequestProtocol::kHttp) continue;
+    EXPECT_TRUE(hit.decoy.has_value());
+    EXPECT_FALSE(hit.http_target.empty());
+  }
+}
+
+TEST_F(ProberTest, HttpsProbeDeliversSni) {
+  net::DnsName domain = core::decoy_domain(decoy_id());
+  prober->probe_https(domain, net::Ipv4Addr(8, 8, 8, 8));
+  bed->loop().run_until(kMinute);
+  EXPECT_EQ(hits_of(core::RequestProtocol::kHttps), 1u);
+}
+
+TEST_F(ProberTest, UnresolvableDomainProducesNoWebProbe) {
+  auto domain = net::DnsName::must_parse("does-not-exist.nowhere.org");
+  prober->probe_http(domain, net::Ipv4Addr(8, 8, 8, 8), 3);
+  bed->loop().run_until(kMinute);
+  EXPECT_EQ(hits_of(core::RequestProtocol::kHttp), 0u);
+}
+
+TEST_F(ProberTest, ProbesCounted) {
+  net::DnsName domain = core::decoy_domain(decoy_id());
+  prober->probe_dns(domain, net::Ipv4Addr(8, 8, 8, 8));
+  prober->probe_https(domain, net::Ipv4Addr(8, 8, 8, 8));
+  bed->loop().run_until(kMinute);
+  EXPECT_GE(prober->probes_sent(), 3u);  // 2 lookups + 1 ClientHello
+}
+
+}  // namespace
+}  // namespace shadowprobe::shadow

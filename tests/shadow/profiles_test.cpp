@@ -1,0 +1,110 @@
+// Standard-deployment invariants: what deploy_standard_exhibitors installs
+// and how the ShadowConfig toggles prune it.
+#include "shadow/profiles.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::shadow {
+namespace {
+
+std::unique_ptr<core::Testbed> make_bed() {
+  core::TestbedConfig config;
+  config.topology.seed = 21;
+  config.topology.global_vps = 6;
+  config.topology.cn_vps = 6;
+  config.topology.web_sites = 8;
+  return core::Testbed::create(config);
+}
+
+TEST(Profiles, StandardDeploymentCoversThePaperLandscape) {
+  auto bed = make_bed();
+  ShadowConfig config;
+  auto deployment = deploy_standard_exhibitors(*bed, config);
+
+  // Resolver_h ground truth.
+  EXPECT_EQ(deployment.shadowing_resolvers,
+            (std::set<std::string>{"Yandex", "114DNS", "One DNS", "DNS PAI", "VERCARA"}));
+  for (const char* label :
+       {"resolver:Yandex", "resolver:114DNS", "wire:AS4134", "wire:AS40444",
+        "wire:AS29988", "wire:AD", "dest:tls-operators"}) {
+    EXPECT_NE(deployment.find(label), nullptr) << label;
+  }
+  EXPECT_EQ(deployment.find("nonexistent"), nullptr);
+
+  // On-wire observer ground truth is non-empty for all three protocols.
+  EXPECT_FALSE(deployment.wire_observer_addrs_dns.empty());
+  EXPECT_FALSE(deployment.wire_observer_addrs_http.empty());
+  EXPECT_FALSE(deployment.wire_observer_addrs_tls.empty());
+  EXPECT_GE(deployment.all_wire_observer_addrs().size(),
+            deployment.wire_observer_addrs_http.size());
+
+  // Interception middleboxes for the Appendix-E screen.
+  EXPECT_GE(deployment.interceptors.size(), 2u);
+
+  // Every exhibitor has a prober fleet.
+  for (const auto& exhibitor : deployment.exhibitors) {
+    EXPECT_FALSE(exhibitor.probers.empty()) << exhibitor.label;
+  }
+}
+
+TEST(Profiles, TogglesPruneExhibitorClasses) {
+  auto bed = make_bed();
+  ShadowConfig config;
+  config.resolver_shadowing = false;
+  config.wire_http_observers = false;
+  config.wire_tls_observers = false;
+  config.tls_destination_shadowers = false;
+  config.dns_interception_noise = false;
+  auto deployment = deploy_standard_exhibitors(*bed, config);
+  EXPECT_TRUE(deployment.exhibitors.empty());
+  EXPECT_TRUE(deployment.interceptors.empty());
+  EXPECT_TRUE(deployment.shadowing_resolvers.empty());
+  EXPECT_TRUE(deployment.all_wire_observer_addrs().empty());
+}
+
+TEST(Profiles, BlocklistGetsPopulatedFromFleetReputation) {
+  auto bed = make_bed();
+  EXPECT_EQ(bed->blocklist().entry_count(), 0u);
+  ShadowConfig config;
+  config.web_prober_blocklisted = 1.0;
+  config.dns_prober_blocklisted = 1.0;
+  auto deployment = deploy_standard_exhibitors(*bed, config);
+  // Most prober addresses are now listed (some specs scale the configured
+  // rate down to model cleaner fleets).
+  int listed = 0;
+  int total = 0;
+  for (const auto& exhibitor : deployment.exhibitors) {
+    for (const auto& prober : exhibitor.probers) {
+      ++total;
+      if (bed->blocklist().contains(prober->addr())) ++listed;
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(listed) / total, 0.6);
+  EXPECT_EQ(bed->blocklist().entry_count(), static_cast<std::size_t>(listed));
+}
+
+TEST(Profiles, RouterServicesOnlyOnRouters) {
+  auto bed = make_bed();
+  ShadowConfig config;
+  auto deployment = deploy_standard_exhibitors(*bed, config);
+  for (net::Ipv4Addr addr : deployment.routers_with_open_ports) {
+    sim::NodeId node = bed->net().owner_of(addr);
+    ASSERT_NE(node, sim::kInvalidNode);
+    EXPECT_EQ(bed->net().kind(node), sim::NodeKind::kRouter);
+  }
+}
+
+TEST(Profiles, DeploymentIsDeterministicPerSeed) {
+  auto bed1 = make_bed();
+  auto bed2 = make_bed();
+  ShadowConfig config;
+  auto a = deploy_standard_exhibitors(*bed1, config);
+  auto b = deploy_standard_exhibitors(*bed2, config);
+  EXPECT_EQ(a.exhibitors.size(), b.exhibitors.size());
+  EXPECT_EQ(a.all_wire_observer_addrs(), b.all_wire_observer_addrs());
+  EXPECT_EQ(a.routers_with_open_ports, b.routers_with_open_ports);
+}
+
+}  // namespace
+}  // namespace shadowprobe::shadow

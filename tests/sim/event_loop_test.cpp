@@ -1,0 +1,90 @@
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace shadowprobe::sim {
+namespace {
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(30, [&] { order.push_back(3); });
+  loop.schedule(10, [&] { order.push_back(1); });
+  loop.schedule(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+  EXPECT_EQ(loop.processed(), 3u);
+}
+
+TEST(EventLoop, TiesBreakInInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoop, EventsScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule(1, recurse);
+  };
+  loop.schedule(0, recurse);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now(), 4);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int ran = 0;
+  loop.schedule(10, [&] { ++ran; });
+  loop.schedule(20, [&] { ++ran; });
+  loop.schedule(30, [&] { ++ran; });
+  loop.run_until(20);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(loop.now(), 20);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run_until(100);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(loop.now(), 100);  // clock ends at the deadline even when idle
+}
+
+TEST(EventLoop, NegativeDelayClampsToNow) {
+  EventLoop loop;
+  loop.schedule(10, [] {});
+  loop.run();
+  SimTime before = loop.now();
+  bool ran = false;
+  loop.schedule(-100, [&] { ran = true; });
+  loop.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(loop.now(), before);
+}
+
+TEST(EventLoop, ScheduleAtPastClampsToNow) {
+  EventLoop loop;
+  loop.schedule(50, [] {});
+  loop.run();
+  SimTime fired_at = -1;
+  loop.schedule_at(10, [&] { fired_at = loop.now(); });
+  loop.run();
+  EXPECT_EQ(fired_at, 50);
+}
+
+TEST(EventLoop, StepReturnsFalseWhenEmpty) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.step());
+  loop.schedule(1, [] {});
+  EXPECT_TRUE(loop.step());
+  EXPECT_FALSE(loop.step());
+}
+
+}  // namespace
+}  // namespace shadowprobe::sim

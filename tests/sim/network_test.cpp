@@ -1,0 +1,262 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "net/icmp.h"
+#include "net/udp.h"
+#include "sim/udp_util.h"
+
+namespace shadowprobe::sim {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+/// Captures every datagram delivered to a host.
+class Sink : public DatagramHandler {
+ public:
+  void on_datagram(Network&, NodeId, const net::Ipv4Datagram& dgram) override {
+    received.push_back(dgram);
+  }
+  std::vector<net::Ipv4Datagram> received;
+};
+
+/// Captures every datagram arriving at a tapped node.
+class RecordingTap : public PacketTap {
+ public:
+  void on_packet(Network&, NodeId node, const net::Ipv4Datagram& dgram) override {
+    seen.emplace_back(node, dgram.header);
+  }
+  std::vector<std::pair<NodeId, net::Ipv4Header>> seen;
+};
+
+/// Linear topology: clientHost - r1 - r2 - r3 - serverHost.
+class NetworkChainTest : public ::testing::Test {
+ protected:
+  NetworkChainTest() : net(loop) {
+    client = net.add_host("client", Ipv4Addr(10, 0, 0, 1), &client_sink);
+    r1 = net.add_router("r1", Ipv4Addr(10, 0, 1, 1));
+    r2 = net.add_router("r2", Ipv4Addr(10, 0, 2, 1));
+    r3 = net.add_router("r3", Ipv4Addr(10, 0, 3, 1));
+    server = net.add_host("server", Ipv4Addr(10, 0, 9, 1), &server_sink);
+
+    net.routes(client).set_default(r1);
+    net.routes(r1).add(Prefix(Ipv4Addr(10, 0, 9, 0), 24), r2);
+    net.routes(r1).add(Prefix(Ipv4Addr(10, 0, 0, 0), 24), client);
+    net.routes(r2).add(Prefix(Ipv4Addr(10, 0, 9, 0), 24), r3);
+    net.routes(r2).add(Prefix(Ipv4Addr(10, 0, 0, 0), 24), r1);
+    net.routes(r3).add(Prefix(Ipv4Addr(10, 0, 9, 0), 24), server);
+    net.routes(r3).add(Prefix(Ipv4Addr(10, 0, 0, 0), 24), r2);
+    net.routes(server).set_default(r3);
+  }
+
+  void send_from_client(std::uint8_t ttl, BytesView payload = {}) {
+    net::Ipv4Header header;
+    header.src = Ipv4Addr(10, 0, 0, 1);
+    header.dst = Ipv4Addr(10, 0, 9, 1);
+    header.ttl = ttl;
+    header.protocol = net::IpProto::kUdp;
+    net::UdpDatagram udp;
+    udp.src_port = 1000;
+    udp.dst_port = 2000;
+    udp.payload.assign(payload.begin(), payload.end());
+    net.send(client, header, udp.encode(header.src, header.dst));
+  }
+
+  EventLoop loop;
+  Network net;
+  Sink client_sink;
+  Sink server_sink;
+  NodeId client, r1, r2, r3, server;
+};
+
+TEST_F(NetworkChainTest, DeliversAcrossRouters) {
+  send_from_client(64, BytesView(to_bytes("hello")));
+  loop.run();
+  ASSERT_EQ(server_sink.received.size(), 1u);
+  // Three routers forwarded: TTL 64 - 3 = 61.
+  EXPECT_EQ(server_sink.received[0].header.ttl, 61);
+  EXPECT_EQ(net.delivered(), 1u);
+  EXPECT_EQ(net.forwarded(), 3u);
+}
+
+TEST_F(NetworkChainTest, ExactTtlStillDelivers) {
+  send_from_client(4);  // 3 routers + host: expires only below 4
+  loop.run();
+  EXPECT_EQ(server_sink.received.size(), 1u);
+  EXPECT_EQ(server_sink.received[0].header.ttl, 1);
+}
+
+TEST_F(NetworkChainTest, TtlExpiryGeneratesIcmpFromTheRightHop) {
+  send_from_client(2);  // should die at r2
+  loop.run();
+  EXPECT_TRUE(server_sink.received.empty());
+  ASSERT_EQ(client_sink.received.size(), 1u);
+  const auto& dgram = client_sink.received[0];
+  EXPECT_EQ(dgram.header.protocol, net::IpProto::kIcmp);
+  EXPECT_EQ(dgram.header.src, Ipv4Addr(10, 0, 2, 1));  // r2's address
+  auto icmp = net::IcmpMessage::decode(BytesView(dgram.payload));
+  ASSERT_TRUE(icmp.ok());
+  EXPECT_EQ(icmp.value().type, net::IcmpType::kTimeExceeded);
+  auto quoted = icmp.value().quoted_datagram();
+  ASSERT_TRUE(quoted.ok());
+  EXPECT_EQ(quoted.value().header.dst, Ipv4Addr(10, 0, 9, 1));
+  EXPECT_EQ(net.drops().get(static_cast<int>(DropReason::kTtlExpired)), 1u);
+}
+
+TEST_F(NetworkChainTest, TracerouteSweepMapsEveryHop) {
+  for (std::uint8_t ttl = 1; ttl <= 3; ++ttl) send_from_client(ttl);
+  loop.run();
+  ASSERT_EQ(client_sink.received.size(), 3u);
+  EXPECT_EQ(client_sink.received[0].header.src, Ipv4Addr(10, 0, 1, 1));
+  EXPECT_EQ(client_sink.received[1].header.src, Ipv4Addr(10, 0, 2, 1));
+  EXPECT_EQ(client_sink.received[2].header.src, Ipv4Addr(10, 0, 3, 1));
+}
+
+TEST_F(NetworkChainTest, TapSeesPacketOnlyWhenTtlReachesIt) {
+  RecordingTap tap;
+  net.add_tap(r3, &tap);
+  send_from_client(2);  // dies at r2: r3 never sees it
+  loop.run();
+  EXPECT_TRUE(tap.seen.empty());
+  send_from_client(3);  // dies at r3: tap sees it even though it is dropped
+  loop.run();
+  ASSERT_EQ(tap.seen.size(), 1u);
+  EXPECT_EQ(tap.seen[0].first, r3);
+}
+
+TEST_F(NetworkChainTest, RemoveTapStopsObservation) {
+  RecordingTap tap;
+  net.add_tap(r1, &tap);
+  send_from_client(64);
+  loop.run();
+  EXPECT_EQ(tap.seen.size(), 1u);
+  net.remove_tap(r1, &tap);
+  send_from_client(64);
+  loop.run();
+  EXPECT_EQ(tap.seen.size(), 1u);
+}
+
+TEST_F(NetworkChainTest, NoRouteDropsSilently) {
+  net::Ipv4Header header;
+  header.src = Ipv4Addr(10, 0, 0, 1);
+  header.dst = Ipv4Addr(99, 99, 99, 99);
+  header.protocol = net::IpProto::kUdp;
+  net::UdpDatagram udp;
+  net.send(client, header, udp.encode(header.src, header.dst));
+  loop.run();
+  EXPECT_EQ(net.drops().get(static_cast<int>(DropReason::kNoRoute)), 1u);
+  EXPECT_TRUE(client_sink.received.empty());
+}
+
+TEST_F(NetworkChainTest, LatencyAccumulatesPerLink) {
+  net.set_default_latency(10 * kMillisecond);
+  send_from_client(64);
+  loop.run();
+  // client->r1->r2->r3->server = 4 links.
+  EXPECT_EQ(loop.now(), 40 * kMillisecond);
+}
+
+TEST_F(NetworkChainTest, PerLinkLatencyOverrides) {
+  net.set_default_latency(10 * kMillisecond);
+  net.set_link_latency(r1, r2, 100 * kMillisecond);
+  send_from_client(64);
+  loop.run();
+  EXPECT_EQ(loop.now(), 130 * kMillisecond);
+}
+
+TEST_F(NetworkChainTest, LoopbackDeliveryStaysLocal) {
+  net::Ipv4Header header;
+  header.src = Ipv4Addr(10, 0, 0, 1);
+  header.dst = Ipv4Addr(10, 0, 0, 1);
+  header.protocol = net::IpProto::kUdp;
+  net::UdpDatagram udp;
+  net.send(client, header, udp.encode(header.src, header.dst));
+  loop.run();
+  ASSERT_EQ(client_sink.received.size(), 1u);
+  EXPECT_EQ(net.forwarded(), 0u);
+}
+
+TEST(Network, DuplicateAddressRejected) {
+  EventLoop loop;
+  Network net(loop);
+  net.add_host("a", Ipv4Addr(1, 1, 1, 1), nullptr);
+  EXPECT_THROW(net.add_host("b", Ipv4Addr(1, 1, 1, 1), nullptr), std::invalid_argument);
+  NodeId c = net.add_host("c", Ipv4Addr(1, 1, 1, 2), nullptr);
+  EXPECT_THROW(net.add_address(c, Ipv4Addr(1, 1, 1, 1)), std::invalid_argument);
+}
+
+TEST(Network, AnycastAllowsSharedAddress) {
+  EventLoop loop;
+  Network net(loop);
+  Sink sink_a;
+  Sink sink_b;
+  NodeId a = net.add_host("a", Ipv4Addr(1, 1, 1, 1), &sink_a);
+  NodeId b = net.add_host("b", Ipv4Addr(2, 2, 2, 2), &sink_b);
+  net.add_anycast_address(b, Ipv4Addr(114, 114, 114, 114));
+  net.add_anycast_address(a, Ipv4Addr(114, 114, 114, 114));
+
+  Sink client_sink;
+  NodeId client = net.add_host("client", Ipv4Addr(3, 3, 3, 3), &client_sink);
+  NodeId router = net.add_router("r", Ipv4Addr(4, 4, 4, 4));
+  net.routes(client).set_default(router);
+  // The router decides which instance serves the anycast address.
+  net.routes(router).add(Prefix(Ipv4Addr(114, 114, 0, 0), 16), b);
+
+  net::Ipv4Header header;
+  header.src = Ipv4Addr(3, 3, 3, 3);
+  header.dst = Ipv4Addr(114, 114, 114, 114);
+  header.protocol = net::IpProto::kUdp;
+  net::UdpDatagram udp;
+  net.send(client, header, udp.encode(header.src, header.dst));
+  loop.run();
+  EXPECT_TRUE(sink_a.received.empty());
+  ASSERT_EQ(sink_b.received.size(), 1u);
+}
+
+TEST(Network, IcmpErrorsNeverTriggerIcmpErrors) {
+  EventLoop loop;
+  Network net(loop);
+  Sink sink;
+  NodeId host = net.add_host("h", Ipv4Addr(1, 0, 0, 1), &sink);
+  NodeId r = net.add_router("r", Ipv4Addr(1, 0, 0, 2));
+  net.routes(host).set_default(r);
+  // ICMP packet with TTL 1 dies at the router; no Time Exceeded comes back.
+  net::Ipv4Header header;
+  header.src = Ipv4Addr(1, 0, 0, 1);
+  header.dst = Ipv4Addr(9, 9, 9, 9);
+  header.ttl = 1;
+  header.protocol = net::IpProto::kIcmp;
+  net::IcmpMessage echo;
+  echo.type = net::IcmpType::kEchoRequest;
+  net.send(host, header, echo.encode());
+  loop.run();
+  EXPECT_TRUE(sink.received.empty());
+  EXPECT_EQ(net.drops().get(static_cast<int>(DropReason::kTtlExpired)), 1u);
+}
+
+TEST(Network, SendUdpHelperBuildsValidDatagrams) {
+  EventLoop loop;
+  Network net(loop);
+  Sink sink;
+  NodeId a = net.add_host("a", Ipv4Addr(1, 0, 0, 1), nullptr);
+  NodeId b = net.add_host("b", Ipv4Addr(1, 0, 0, 2), &sink);
+  NodeId r = net.add_router("r", Ipv4Addr(1, 0, 0, 3));
+  net.routes(a).set_default(r);
+  net.routes(r).add(Prefix(Ipv4Addr(1, 0, 0, 2), 32), b);
+  send_udp(net, a, Ipv4Addr(1, 0, 0, 1), Ipv4Addr(1, 0, 0, 2), 111, 222,
+           BytesView(to_bytes("payload")), 9, 0x7777);
+  loop.run();
+  ASSERT_EQ(sink.received.size(), 1u);
+  EXPECT_EQ(sink.received[0].header.identification, 0x7777);
+  EXPECT_EQ(sink.received[0].header.ttl, 8);
+  auto udp = net::UdpDatagram::decode(BytesView(sink.received[0].payload),
+                                      sink.received[0].header.src,
+                                      sink.received[0].header.dst);
+  ASSERT_TRUE(udp.ok());
+  EXPECT_EQ(udp.value().src_port, 111);
+  EXPECT_EQ(udp.value().payload, to_bytes("payload"));
+}
+
+}  // namespace
+}  // namespace shadowprobe::sim

@@ -1,0 +1,159 @@
+// Property-style sweeps over the simulation engine: routing equivalence to
+// a reference implementation, TCP session fuzz, and event-order invariance.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/routing.h"
+#include "sim/tcp_stack.h"
+
+namespace shadowprobe::sim {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+// -- routing: LPM equals a brute-force reference --------------------------------
+
+class RoutingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoutingProperty, MatchesBruteForceReference) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 29);
+  RoutingTable table;
+  std::vector<std::pair<Prefix, NodeId>> reference;
+  int entries = static_cast<int>(rng.range(5, 60));
+  for (int i = 0; i < entries; ++i) {
+    int length = static_cast<int>(rng.range(0, 32));
+    Prefix prefix(Ipv4Addr(static_cast<std::uint32_t>(rng.bits())), length);
+    NodeId hop = static_cast<NodeId>(i);
+    table.add(prefix, hop);
+    // Reference keeps the latest hop per canonical prefix (the table
+    // replaces on duplicates).
+    bool replaced = false;
+    for (auto& [existing, existing_hop] : reference) {
+      if (existing == prefix) {
+        existing_hop = hop;
+        replaced = true;
+      }
+    }
+    if (!replaced) reference.emplace_back(prefix, hop);
+  }
+  for (int probe = 0; probe < 400; ++probe) {
+    Ipv4Addr addr(static_cast<std::uint32_t>(rng.bits()));
+    // Brute force: longest matching prefix, first insertion wins ties.
+    std::optional<NodeId> expected;
+    int best_length = -1;
+    for (const auto& [prefix, hop] : reference) {
+      if (prefix.contains(addr) && prefix.length() > best_length) {
+        best_length = prefix.length();
+        expected = hop;
+      }
+    }
+    auto actual = table.lookup(addr);
+    ASSERT_EQ(actual.has_value(), expected.has_value()) << addr.str();
+    if (expected) EXPECT_EQ(*actual, *expected) << addr.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingProperty, ::testing::Range(0, 8));
+
+// -- TCP: randomized request/response sessions all complete ---------------------
+
+class TcpSessionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TcpSessionProperty, RandomSessionsDeliverEveryByte) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2741 + 11);
+  EventLoop loop;
+  Network net(loop);
+  struct Host : DatagramHandler {
+    Host(Network& net, NodeId node, std::uint64_t seed) : stack(net, node, Rng(seed)) {}
+    void on_datagram(Network&, NodeId, const net::Ipv4Datagram& dgram) override {
+      if (dgram.header.protocol == net::IpProto::kTcp) stack.on_segment(dgram);
+    }
+    TcpStack stack;
+  };
+  NodeId client_node = net.add_host("c", Ipv4Addr(10, 0, 0, 1), nullptr);
+  NodeId server_node = net.add_host("s", Ipv4Addr(10, 0, 0, 2), nullptr);
+  NodeId router = net.add_router("r", Ipv4Addr(10, 0, 0, 3));
+  net.routes(client_node).set_default(router);
+  net.routes(server_node).set_default(router);
+  net.routes(router).add(Prefix(Ipv4Addr(10, 0, 0, 1), 32), client_node);
+  net.routes(router).add(Prefix(Ipv4Addr(10, 0, 0, 2), 32), server_node);
+  Host client(net, client_node, rng.bits());
+  Host server(net, server_node, rng.bits());
+  net.set_handler(client_node, &client);
+  net.set_handler(server_node, &server);
+
+  // The server echoes a response whose size depends on the request.
+  std::uint64_t server_bytes_in = 0;
+  server.stack.listen(80, [&](const ConnKey&, BytesView data) {
+    server_bytes_in += data.size();
+    return Bytes(data.size() % 97 + 1, 0x42);
+  });
+
+  int sessions = static_cast<int>(rng.range(2, 8));
+  std::map<ConnKey, int> remaining;     // requests left per connection
+  std::uint64_t client_bytes_out = 0;
+  std::uint64_t client_bytes_in = 0;
+  client.stack.set_on_established([&](const ConnKey& key) {
+    int size = static_cast<int>(rng.range(1, 900));
+    client.stack.send_data(key, Bytes(static_cast<std::size_t>(size), 0x7));
+    client_bytes_out += static_cast<std::uint64_t>(size);
+  });
+  client.stack.set_on_data([&](const ConnKey& key, BytesView data) {
+    client_bytes_in += data.size();
+    if (--remaining[key] > 0) {
+      int size = static_cast<int>(rng.range(1, 900));
+      client.stack.send_data(key, Bytes(static_cast<std::size_t>(size), 0x7));
+      client_bytes_out += static_cast<std::uint64_t>(size);
+    } else {
+      client.stack.close(key);
+    }
+  });
+  for (int s = 0; s < sessions; ++s) {
+    ConnKey key = client.stack.connect(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 80);
+    remaining[key] = static_cast<int>(rng.range(1, 5));
+  }
+  loop.run();
+
+  EXPECT_EQ(server_bytes_in, client_bytes_out);
+  EXPECT_GT(client_bytes_in, 0u);
+  EXPECT_EQ(client.stack.open_connections(), 0u);
+  EXPECT_EQ(server.stack.open_connections(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcpSessionProperty, ::testing::Range(0, 8));
+
+// -- event loop: execution order is by (time, insertion) regardless of
+//    insertion pattern ----------------------------------------------------------
+
+class EventOrderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EventOrderProperty, ExecutionOrderIsStableSort) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  EventLoop loop;
+  struct Planned {
+    SimTime when;
+    int id;
+  };
+  std::vector<Planned> plan;
+  for (int i = 0; i < 200; ++i) {
+    plan.push_back({static_cast<SimTime>(rng.below(50)), i});
+  }
+  std::vector<int> executed;
+  for (const auto& p : plan) {
+    loop.schedule_at(p.when, [&executed, id = p.id] { executed.push_back(id); });
+  }
+  loop.run();
+  std::vector<Planned> expected = plan;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Planned& a, const Planned& b) { return a.when < b.when; });
+  ASSERT_EQ(executed.size(), expected.size());
+  for (std::size_t i = 0; i < executed.size(); ++i) {
+    EXPECT_EQ(executed[i], expected[i].id) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventOrderProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace shadowprobe::sim

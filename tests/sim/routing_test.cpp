@@ -1,0 +1,55 @@
+#include "sim/routing.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::sim {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+TEST(RoutingTable, LongestPrefixWins) {
+  RoutingTable table;
+  table.add(Prefix(Ipv4Addr(10, 0, 0, 0), 8), 1);
+  table.add(Prefix(Ipv4Addr(10, 1, 0, 0), 16), 2);
+  table.add(Prefix(Ipv4Addr(10, 1, 2, 0), 24), 3);
+  EXPECT_EQ(table.lookup(Ipv4Addr(10, 1, 2, 3)).value(), 3u);
+  EXPECT_EQ(table.lookup(Ipv4Addr(10, 1, 9, 9)).value(), 2u);
+  EXPECT_EQ(table.lookup(Ipv4Addr(10, 200, 0, 1)).value(), 1u);
+  EXPECT_FALSE(table.lookup(Ipv4Addr(11, 0, 0, 1)).has_value());
+}
+
+TEST(RoutingTable, DefaultRouteCoversEverything) {
+  RoutingTable table;
+  table.set_default(7);
+  EXPECT_EQ(table.lookup(Ipv4Addr(1, 2, 3, 4)).value(), 7u);
+  table.add(Prefix(Ipv4Addr(1, 2, 0, 0), 16), 8);
+  EXPECT_EQ(table.lookup(Ipv4Addr(1, 2, 3, 4)).value(), 8u);
+  EXPECT_EQ(table.lookup(Ipv4Addr(9, 9, 9, 9)).value(), 7u);
+}
+
+TEST(RoutingTable, ReAddingPrefixReplacesNextHop) {
+  RoutingTable table;
+  Prefix p(Ipv4Addr(192, 168, 0, 0), 16);
+  table.add(p, 1);
+  table.add(p, 2);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.lookup(Ipv4Addr(192, 168, 1, 1)).value(), 2u);
+}
+
+TEST(RoutingTable, HostRoutes) {
+  RoutingTable table;
+  table.set_default(1);
+  table.add(Prefix(Ipv4Addr(5, 5, 5, 5), 32), 9);
+  EXPECT_EQ(table.lookup(Ipv4Addr(5, 5, 5, 5)).value(), 9u);
+  EXPECT_EQ(table.lookup(Ipv4Addr(5, 5, 5, 6)).value(), 1u);
+}
+
+TEST(RoutingTable, EmptyTableHasNoRoutes) {
+  RoutingTable table;
+  EXPECT_FALSE(table.lookup(Ipv4Addr(1, 1, 1, 1)).has_value());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+}  // namespace
+}  // namespace shadowprobe::sim

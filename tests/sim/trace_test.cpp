@@ -1,0 +1,137 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "net/dns.h"
+#include "net/tcp.h"
+#include "net/http.h"
+#include "net/tls.h"
+#include "net/udp.h"
+#include "sim/udp_util.h"
+
+namespace shadowprobe::sim {
+namespace {
+
+using net::Ipv4Addr;
+using net::Prefix;
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : net(loop) {
+    a = net.add_host("a", Ipv4Addr(10, 0, 0, 1), nullptr);
+    r = net.add_router("r", Ipv4Addr(10, 0, 0, 254));
+    b = net.add_host("b", Ipv4Addr(10, 0, 1, 1), nullptr);
+    net.routes(a).set_default(r);
+    net.routes(b).set_default(r);
+    net.routes(r).add(Prefix(Ipv4Addr(10, 0, 1, 1), 32), b);
+    net.routes(r).add(Prefix(Ipv4Addr(10, 0, 0, 1), 32), a);
+    net.add_tap(r, &trace);
+  }
+
+  sim::EventLoop loop;
+  sim::Network net;
+  NodeId a, r, b;
+  TraceRecorder trace;
+};
+
+TEST_F(TraceTest, CapturesDnsQuerySummaries) {
+  net::DnsMessage query = net::DnsMessage::query(
+      1, net::DnsName::must_parse("watch.example.com"), net::DnsType::kA);
+  Bytes wire = query.encode();
+  send_udp(net, a, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 1, 1), 4000, 53, BytesView(wire));
+  loop.run();
+  ASSERT_EQ(trace.entries().size(), 1u);
+  const TraceEntry& entry = trace.entries()[0];
+  EXPECT_EQ(entry.src, Ipv4Addr(10, 0, 0, 1));
+  EXPECT_EQ(entry.dst_port, 53);
+  EXPECT_NE(entry.info.find("DNS query watch.example.com A"), std::string::npos);
+  EXPECT_EQ(trace.protocol_counts().get("UDP"), 1u);
+}
+
+TEST_F(TraceTest, SummarizesHttpAndTls) {
+  net::HttpRequest request;
+  request.target = "/admin";
+  request.headers.add("Host", "h.example.com");
+  net::TcpSegment seg;
+  seg.src_port = 5000;
+  seg.dst_port = 80;
+  seg.flags = {.ack = true, .psh = true};
+  seg.payload = request.encode();
+  net::Ipv4Header header;
+  header.src = Ipv4Addr(10, 0, 0, 1);
+  header.dst = Ipv4Addr(10, 0, 1, 1);
+  header.protocol = net::IpProto::kTcp;
+  net.send(a, header, seg.encode(header.src, header.dst));
+
+  net::TlsClientHello hello;
+  hello.cipher_suites = {0x1301};
+  hello.set_ech("inner.example.com", "outer.example");
+  net::TcpSegment tls_seg;
+  tls_seg.src_port = 5001;
+  tls_seg.dst_port = 443;
+  tls_seg.flags = {.ack = true, .psh = true};
+  tls_seg.payload = hello.encode_record();
+  net.send(a, header, tls_seg.encode(header.src, header.dst));
+  loop.run();
+
+  ASSERT_EQ(trace.entries().size(), 2u);
+  EXPECT_NE(trace.entries()[0].info.find("HTTP GET /admin host=h.example.com"),
+            std::string::npos);
+  EXPECT_NE(trace.entries()[1].info.find("TLS ClientHello sni=outer.example +ech"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, SummarizesIcmpAndBareTcp) {
+  // TTL-expiring packet triggers ICMP back through the tapped router.
+  send_udp(net, a, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 1, 1), 1, 9999, {}, /*ttl=*/1);
+  loop.run();
+  // Tap saw the dying UDP packet; the ICMP reply originates AT the router,
+  // so it is not re-observed there.
+  ASSERT_GE(trace.entries().size(), 1u);
+  EXPECT_NE(trace.entries()[0].info.find("UDP"), std::string::npos);
+
+  net::TcpSegment syn;
+  syn.src_port = 1234;
+  syn.dst_port = 8080;
+  syn.flags = {.syn = true};
+  net::Ipv4Header header;
+  header.src = Ipv4Addr(10, 0, 0, 1);
+  header.dst = Ipv4Addr(10, 0, 1, 1);
+  header.protocol = net::IpProto::kTcp;
+  net.send(a, header, syn.encode(header.src, header.dst));
+  loop.run();
+  EXPECT_NE(trace.entries().back().info.find("TCP [S]"), std::string::npos);
+}
+
+TEST_F(TraceTest, CapacityBoundsMemory) {
+  TraceRecorder small(3);
+  net.add_tap(r, &small);
+  for (int i = 0; i < 10; ++i) {
+    send_udp(net, a, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 1, 1), 4000, 53, {});
+  }
+  loop.run();
+  EXPECT_EQ(small.entries().size(), 3u);
+  EXPECT_EQ(small.captured(), 10u);
+  EXPECT_EQ(small.dropped(), 7u);
+}
+
+TEST_F(TraceTest, DumpRendersLines) {
+  send_udp(net, a, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 1, 1), 4000, 53, {});
+  send_udp(net, a, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 1, 1), 4001, 53, {});
+  loop.run();
+  std::string dump = trace.dump(1);
+  EXPECT_NE(dump.find("10.0.0.1:4000 > 10.0.1.1:53"), std::string::npos);
+  EXPECT_NE(dump.find("... 1 more entries"), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearResets) {
+  send_udp(net, a, Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 1, 1), 4000, 53, {});
+  loop.run();
+  trace.clear();
+  EXPECT_TRUE(trace.entries().empty());
+  EXPECT_EQ(trace.captured(), 0u);
+  EXPECT_EQ(trace.protocol_counts().total(), 0u);
+}
+
+}  // namespace
+}  // namespace shadowprobe::sim

@@ -1,0 +1,100 @@
+#include "topo/data.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/ipv4.h"
+
+namespace shadowprobe::topo {
+namespace {
+
+TEST(Catalogs, CountriesHaveValidWeightsAndRegions) {
+  std::set<std::string> codes;
+  std::set<std::string> regions = {"NA", "EU", "AS", "SA", "AF", "OC"};
+  double vp_total = 0;
+  for (const auto& c : countries()) {
+    EXPECT_EQ(c.code.size(), 2u);
+    EXPECT_TRUE(codes.insert(c.code).second) << c.code;
+    EXPECT_TRUE(regions.count(c.region)) << c.region;
+    EXPECT_GE(c.vp_weight, 0.0);
+    EXPECT_GT(c.web_weight, 0.0);
+    vp_total += c.vp_weight;
+  }
+  // Weights are relative (the weighted picker normalizes); they should
+  // stay in the vicinity of a probability distribution for readability.
+  EXPECT_GT(vp_total, 0.8);
+  EXPECT_LT(vp_total, 1.2);
+  // CN is present for destinations but carries no global-platform VPs.
+  bool found_cn = false;
+  for (const auto& c : countries()) {
+    if (c.code == "CN") {
+      found_cn = true;
+      EXPECT_EQ(c.vp_weight, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_cn);
+}
+
+TEST(Catalogs, ThirtyProvinces) {
+  EXPECT_EQ(cn_provinces().size(), 30u);  // paper: 30 of 31 covered
+  std::set<std::string> unique(cn_provinces().begin(), cn_provinces().end());
+  EXPECT_EQ(unique.size(), 30u);
+}
+
+TEST(Catalogs, ProviderListingMatchesTable5) {
+  int global = 0;
+  int cn = 0;
+  int screened = 0;
+  for (const auto& p : vpn_providers()) {
+    if (p.resets_ttl || p.residential) {
+      ++screened;
+      continue;
+    }
+    (p.cn_platform ? cn : global) += 1;
+  }
+  EXPECT_EQ(global, 6);
+  EXPECT_EQ(cn, 13);
+  EXPECT_GE(screened, 2);  // the filters need something to reject
+}
+
+TEST(Catalogs, DnsTargetsMatchTable4) {
+  int resolvers = 0;
+  int self_built = 0;
+  int roots = 0;
+  int tlds = 0;
+  std::set<std::string> addrs;
+  for (const auto& t : dns_targets()) {
+    switch (t.kind) {
+      case DnsTargetKind::kPublicResolver: ++resolvers; break;
+      case DnsTargetKind::kSelfBuilt: ++self_built; break;
+      case DnsTargetKind::kRoot: ++roots; break;
+      case DnsTargetKind::kTld: ++tlds; break;
+    }
+    if (!t.address.empty()) {
+      EXPECT_TRUE(net::Ipv4Addr::parse(t.address).has_value()) << t.address;
+      EXPECT_TRUE(addrs.insert(t.address).second) << "duplicate " << t.address;
+    }
+  }
+  EXPECT_EQ(resolvers, 20);
+  EXPECT_EQ(self_built, 1);
+  EXPECT_EQ(roots, 13);
+  EXPECT_EQ(tlds, 2);
+}
+
+TEST(Catalogs, SeedAsesCoverEveryAsThePaperNames) {
+  std::set<std::uint32_t> asns;
+  for (const auto& seed : seed_ases()) {
+    EXPECT_TRUE(asns.insert(seed.asn).second) << seed.asn;
+    EXPECT_FALSE(seed.name.empty());
+  }
+  // Table 3 + Section 5.2 ASes.
+  for (std::uint32_t required :
+       {4134u, 58563u, 137697u, 4812u, 23650u, 4808u, 203020u, 21859u, 40444u, 29988u,
+        15169u}) {
+    EXPECT_TRUE(asns.count(required)) << "AS" << required;
+  }
+}
+
+}  // namespace
+}  // namespace shadowprobe::topo

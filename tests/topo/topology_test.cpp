@@ -1,0 +1,230 @@
+#include "topo/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/udp.h"
+#include "sim/udp_util.h"
+
+namespace shadowprobe::topo {
+namespace {
+
+class TopologyTest : public ::testing::Test {
+ protected:
+  TopologyTest() : net(loop) {
+    TopologyConfig config;
+    config.seed = 7;
+    config.global_vps = 24;
+    config.cn_vps = 24;
+    config.web_sites = 12;
+    topo = std::make_unique<Topology>(Topology::build(net, config));
+  }
+
+  sim::EventLoop loop;
+  sim::Network net;
+  std::unique_ptr<Topology> topo;
+};
+
+TEST_F(TopologyTest, VantagePointCountsMatchConfig) {
+  EXPECT_EQ(topo->vantage_points().size(), 48u);
+  int cn = 0;
+  for (const auto& vp : topo->vantage_points()) {
+    if (vp.cn_platform) {
+      ++cn;
+      EXPECT_EQ(vp.country, "CN");
+      EXPECT_FALSE(vp.province.empty());
+    } else {
+      EXPECT_NE(vp.country, "CN");  // global VPNs lack mainland exits
+    }
+  }
+  EXPECT_EQ(cn, 24);
+}
+
+TEST_F(TopologyTest, AllVpAddressesAreUnique) {
+  std::set<net::Ipv4Addr> addrs;
+  for (const auto& vp : topo->vantage_points()) {
+    EXPECT_TRUE(addrs.insert(vp.addr).second) << vp.addr.str();
+  }
+}
+
+TEST_F(TopologyTest, DnsTargetsUsePaperAddresses) {
+  EXPECT_EQ(topo->dns_target_hosts().size(), 36u);  // 20 + 1 + 13 + 2
+  const DnsTargetHost* google = topo->dns_target("Google");
+  ASSERT_NE(google, nullptr);
+  EXPECT_EQ(google->addr, net::Ipv4Addr::must_parse("8.8.8.8"));
+  const DnsTargetHost* dns114 = topo->dns_target("114DNS");
+  ASSERT_NE(dns114, nullptr);
+  EXPECT_EQ(dns114->addr, net::Ipv4Addr::must_parse("114.114.114.114"));
+  const DnsTargetHost* yandex = topo->dns_target("Yandex");
+  ASSERT_NE(yandex, nullptr);
+  EXPECT_EQ(yandex->addr, net::Ipv4Addr::must_parse("77.88.8.8"));
+  int roots = 0;
+  int tlds = 0;
+  for (const auto& target : topo->dns_target_hosts()) {
+    if (target.info.kind == DnsTargetKind::kRoot) ++roots;
+    if (target.info.kind == DnsTargetKind::kTld) ++tlds;
+  }
+  EXPECT_EQ(roots, 13);
+  EXPECT_EQ(tlds, 2);
+}
+
+TEST_F(TopologyTest, Anycast114DnsHasCnAndUsInstances) {
+  const DnsTargetHost* dns114 = topo->dns_target("114DNS");
+  ASSERT_NE(dns114, nullptr);
+  ASSERT_EQ(dns114->anycast_instances.size(), 2u);
+  std::set<std::string> countries;
+  for (const auto& [country, node] : dns114->anycast_instances) countries.insert(country);
+  EXPECT_TRUE(countries.count("CN"));
+  EXPECT_TRUE(countries.count("US"));
+}
+
+TEST_F(TopologyTest, HoneypotsInThreeLocations) {
+  ASSERT_EQ(topo->honeypots().size(), 3u);
+  std::set<std::string> locations;
+  for (const auto& pot : topo->honeypots()) locations.insert(pot.location);
+  EXPECT_EQ(locations, (std::set<std::string>{"US", "DE", "SG"}));
+}
+
+TEST_F(TopologyTest, GeoDatabaseAttributesPaperAses) {
+  const intel::GeoDatabase& geo = topo->geo();
+  EXPECT_EQ(geo.asn(net::Ipv4Addr::must_parse("8.8.8.8")), 15169u);
+  EXPECT_EQ(geo.country(net::Ipv4Addr::must_parse("8.8.8.8")), "US");
+  // CN national gateway address belongs to CHINANET-BACKBONE.
+  sim::NodeId cn_gw = topo->national_gateway("CN");
+  ASSERT_NE(cn_gw, sim::kInvalidNode);
+  EXPECT_EQ(geo.asn(net.address(cn_gw)), 4134u);
+  EXPECT_EQ(geo.country(net.address(cn_gw)), "CN");
+}
+
+TEST_F(TopologyTest, VantagePointsGeolocateToTheirCountry) {
+  const intel::GeoDatabase& geo = topo->geo();
+  for (const auto& vp : topo->vantage_points()) {
+    EXPECT_EQ(geo.country(vp.addr), vp.country) << vp.id;
+    EXPECT_EQ(geo.asn(vp.addr), vp.asn) << vp.id;
+  }
+}
+
+TEST_F(TopologyTest, CnProvincesHaveAggregationRouters) {
+  for (const auto& province : cn_provinces()) {
+    EXPECT_NE(topo->province_aggregation(province), sim::kInvalidNode) << province;
+  }
+  EXPECT_EQ(topo->province_aggregation("Atlantis"), sim::kInvalidNode);
+}
+
+TEST_F(TopologyTest, SeedObserverAsesExist) {
+  for (std::uint32_t asn : {4134u, 58563u, 137697u, 40444u, 29988u, 203020u, 21859u}) {
+    EXPECT_NE(topo->as_by_number(asn), nullptr) << asn;
+  }
+  EXPECT_EQ(topo->as_by_number(99999999u), nullptr);
+}
+
+TEST_F(TopologyTest, WebFarmCoversMandatoryDestinations) {
+  EXPECT_EQ(topo->web_sites().size(), 12u);
+  std::set<std::uint32_t> site_ases;
+  std::set<std::string> site_countries;
+  for (const auto& site : topo->web_sites()) {
+    site_ases.insert(site.asn);
+    site_countries.insert(site.country);
+  }
+  EXPECT_TRUE(site_ases.count(40444));   // Constant Contact
+  EXPECT_TRUE(site_ases.count(29988));   // Rogers
+  EXPECT_TRUE(site_ases.count(4134));    // Chinanet
+  EXPECT_TRUE(site_countries.count("AD"));
+}
+
+/// Reachability: a datagram travels from every VP to a representative set
+/// of destinations, and a reply makes it back.
+TEST_F(TopologyTest, EveryVpReachesDestinationsAndBack) {
+  class Echo : public sim::DatagramHandler {
+   public:
+    void on_datagram(sim::Network& net, sim::NodeId self,
+                     const net::Ipv4Datagram& dgram) override {
+      auto udp = net::UdpDatagram::decode(BytesView(dgram.payload), dgram.header.src,
+                                          dgram.header.dst);
+      if (!udp.ok()) return;
+      sim::send_udp(net, self, dgram.header.dst, dgram.header.src,
+                    udp.value().dst_port, udp.value().src_port, {});
+    }
+  } echo;
+  class Count : public sim::DatagramHandler {
+   public:
+    void on_datagram(sim::Network&, sim::NodeId, const net::Ipv4Datagram&) override {
+      ++replies;
+    }
+    int replies = 0;
+  };
+
+  std::vector<net::Ipv4Addr> destinations = {
+      topo->dns_target("Google")->addr,
+      topo->dns_target("114DNS")->addr,
+      topo->dns_target("a.root")->addr,
+      topo->web_sites().front().addr,
+      topo->honeypots().front().addr,
+  };
+  // Install echo handlers on those destination nodes.
+  net.set_handler(topo->dns_target("Google")->node, &echo);
+  for (const auto& [country, node] : topo->dns_target("114DNS")->anycast_instances) {
+    net.set_handler(node, &echo);
+  }
+  net.set_handler(topo->dns_target("a.root")->node, &echo);
+  net.set_handler(topo->web_sites().front().node, &echo);
+  net.set_handler(topo->honeypots().front().node, &echo);
+
+  std::vector<Count> counters(topo->vantage_points().size());
+  int expected = 0;
+  for (std::size_t i = 0; i < topo->vantage_points().size(); ++i) {
+    const auto& vp = topo->vantage_points()[i];
+    net.set_handler(vp.node, &counters[i]);
+    for (net::Ipv4Addr dst : destinations) {
+      sim::send_udp(net, vp.node, vp.addr, dst, 4000, 4000, {});
+      ++expected;
+    }
+  }
+  loop.run();
+  int total = 0;
+  for (const auto& counter : counters) total += counter.replies;
+  EXPECT_EQ(total, expected);
+}
+
+TEST_F(TopologyTest, AddHostInAsWiresRouting) {
+  sim::NodeId host = topo->add_host_in_as(net, 4134, "extra-host");
+  net::Ipv4Addr addr = net.address(host);
+  EXPECT_TRUE(topo->as_by_number(4134)->prefix.contains(addr));
+  EXPECT_THROW(topo->add_host_in_as(net, 424242, "nope"), std::invalid_argument);
+}
+
+TEST(TopologyScaling, ApplyScaleBoundsBelowByOne) {
+  TopologyConfig config;
+  config.global_vps = 10;
+  config.cn_vps = 10;
+  config.web_sites = 10;
+  config.apply_scale(0.01);
+  EXPECT_EQ(config.global_vps, 1);
+  EXPECT_EQ(config.cn_vps, 1);
+  EXPECT_EQ(config.web_sites, 1);
+  config.apply_scale(-5.0);  // ignored
+  EXPECT_EQ(config.global_vps, 1);
+}
+
+TEST(TopologyDeterminism, SameSeedSameAddressPlan) {
+  TopologyConfig config;
+  config.global_vps = 8;
+  config.cn_vps = 8;
+  config.web_sites = 6;
+  sim::EventLoop loop1, loop2;
+  sim::Network net1(loop1), net2(loop2);
+  Topology a = Topology::build(net1, config);
+  Topology b = Topology::build(net2, config);
+  ASSERT_EQ(a.vantage_points().size(), b.vantage_points().size());
+  for (std::size_t i = 0; i < a.vantage_points().size(); ++i) {
+    EXPECT_EQ(a.vantage_points()[i].addr, b.vantage_points()[i].addr);
+    EXPECT_EQ(a.vantage_points()[i].provider, b.vantage_points()[i].provider);
+  }
+  for (std::size_t i = 0; i < a.web_sites().size(); ++i) {
+    EXPECT_EQ(a.web_sites()[i].addr, b.web_sites()[i].addr);
+  }
+}
+
+}  // namespace
+}  // namespace shadowprobe::topo

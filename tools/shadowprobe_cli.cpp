@@ -1,0 +1,216 @@
+// shadowprobe CLI: run the full measurement campaign from the command line
+// and print reports or export JSON.
+//
+//   shadowprobe_cli run [options]
+//
+//   options:
+//     --scale X          platform scale multiplier (default 1.0)
+//     --seed N           master seed (default 20240301)
+//     --days N           capture horizon in simulated days (default 25)
+//     --transport T      dns decoy transport: plain | dot | odoh
+//     --ech              send TLS decoys with Encrypted Client Hello
+//     --no-screening     skip the Appendix-E platform screens
+//     --report R         all | fig3 | table2 | table3 | retention (default all)
+//     --json FILE        write the full analysis as JSON
+//     --trace N          print the first N packets crossing the CN gateway
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/analysis.h"
+#include "core/campaign.h"
+#include "core/json_export.h"
+#include "core/report.h"
+#include "core/testbed.h"
+#include "shadow/profiles.h"
+#include "sim/trace.h"
+
+using namespace shadowprobe;
+
+namespace {
+
+struct CliOptions {
+  double scale = 1.0;
+  std::uint64_t seed = 20240301;
+  int days = 25;
+  core::DnsDecoyTransport transport = core::DnsDecoyTransport::kPlain;
+  bool ech = false;
+  bool screening = true;
+  std::string report = "all";
+  std::string json_path;
+  int trace = 0;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: shadowprobe_cli run [--scale X] [--seed N] [--days N]\n"
+               "         [--transport plain|dot|odoh] [--ech] [--no-screening]\n"
+               "         [--report all|fig3|table2|table3|retention] [--json FILE]\n"
+               "         [--trace N]\n");
+  return 2;
+}
+
+bool parse_options(int argc, char** argv, CliOptions& options) {
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--scale") {
+      const char* v = next();
+      if (!v) return false;
+      options.scale = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--days") {
+      const char* v = next();
+      if (!v) return false;
+      options.days = std::atoi(v);
+    } else if (arg == "--transport") {
+      const char* v = next();
+      if (!v) return false;
+      if (std::strcmp(v, "plain") == 0) {
+        options.transport = core::DnsDecoyTransport::kPlain;
+      } else if (std::strcmp(v, "dot") == 0) {
+        options.transport = core::DnsDecoyTransport::kEncrypted;
+      } else if (std::strcmp(v, "odoh") == 0) {
+        options.transport = core::DnsDecoyTransport::kOblivious;
+      } else {
+        return false;
+      }
+    } else if (arg == "--ech") {
+      options.ech = true;
+    } else if (arg == "--no-screening") {
+      options.screening = false;
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (!v) return false;
+      options.report = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return false;
+      options.json_path = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      options.trace = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_fig3(core::Testbed& bed, const core::Campaign& campaign) {
+  (void)bed;
+  auto ratios = core::path_ratios(campaign.ledger(), campaign.unsolicited());
+  std::printf("problematic path ratios (DNS, per destination):\n");
+  core::TextTable table({"destination", "global VPs", "CN VPs", "all"});
+  int printed = 0;
+  for (const auto& dest : ratios.destinations_by_ratio(core::DecoyProtocol::kDns)) {
+    table.add_row({dest,
+                   core::percent(ratios.group(core::DecoyProtocol::kDns, dest, false).ratio()),
+                   core::percent(ratios.group(core::DecoyProtocol::kDns, dest, true).ratio()),
+                   core::percent(ratios.total(core::DecoyProtocol::kDns, dest).ratio())});
+    if (++printed == 12) break;
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+void print_table2(const core::Campaign& campaign) {
+  auto locations = core::observer_locations(campaign.findings());
+  std::printf("observer location (normalized hops, 10 = destination):\n");
+  for (const auto& [protocol, shares] : locations.shares) {
+    std::printf("  %-4s:", core::decoy_protocol_name(protocol).c_str());
+    for (int hop = 1; hop <= 10; ++hop) {
+      std::printf(" %5.1f%%", (shares.count(hop) ? shares.at(hop) : 0.0) * 100);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void print_table3(core::Testbed& bed, const core::Campaign& campaign) {
+  auto table = core::observer_ases(campaign.findings(), bed.topology().geo());
+  std::printf("top observer ASes (%d observer IPs, %s in CN):\n",
+              table.total_observer_ips,
+              core::percent(table.observer_countries.share("CN")).c_str());
+  for (const auto& [protocol, rows] : table.rows) {
+    std::size_t printed = 0;
+    for (const auto& row : rows) {
+      std::printf("  %-4s AS%-7u %-44s %3d IPs (%s)\n",
+                  core::decoy_protocol_name(protocol).c_str(), row.asn,
+                  row.as_name.c_str(), row.observer_ips, core::percent(row.share).c_str());
+      if (++printed == 3) break;
+    }
+  }
+  std::printf("\n");
+}
+
+void print_retention(const core::Campaign& campaign) {
+  auto ratios = core::path_ratios(campaign.ledger(), campaign.unsolicited());
+  auto resolver_h = core::top_shadowed_resolvers(ratios, 5);
+  auto stats = core::retention_stats(campaign.ledger(), campaign.unsolicited(), resolver_h,
+                                     resolver_h.empty() ? "Yandex" : resolver_h.front());
+  std::printf("retention (over Resolver_h decoys): >3 requests after 1h: %s, "
+              ">10: %s, web re-appearance after 10d: %s\n\n",
+              core::percent(stats.over3_after_1h).c_str(),
+              core::percent(stats.over10_after_1h).c_str(),
+              core::percent(stats.web_after_10d).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "run") != 0) return usage();
+  CliOptions options;
+  if (!parse_options(argc, argv, options)) return usage();
+
+  core::TestbedConfig config;
+  config.topology.seed = options.seed;
+  config.topology.apply_scale(options.scale);
+  auto bed = core::Testbed::create(config);
+  shadow::ShadowConfig shadow_config;
+  auto deployment = shadow::deploy_standard_exhibitors(*bed, shadow_config);
+
+  sim::TraceRecorder trace;
+  if (options.trace > 0) {
+    bed->net().add_tap(bed->topology().national_gateway("CN"), &trace);
+  }
+
+  core::CampaignConfig campaign_config;
+  campaign_config.total_duration = static_cast<SimDuration>(options.days) * kDay;
+  campaign_config.dns_transport = options.transport;
+  campaign_config.tls_decoys_use_ech = options.ech;
+  campaign_config.screening = options.screening;
+  core::Campaign campaign(*bed, campaign_config);
+  campaign.run();
+
+  std::printf("campaign: %zu decoys, %zu honeypot hits, %zu unsolicited, %d usable VPs\n\n",
+              campaign.ledger().decoy_count(), bed->logbook().size(),
+              campaign.unsolicited().size(), campaign.screening().usable);
+
+  if (options.report == "all" || options.report == "fig3") print_fig3(*bed, campaign);
+  if (options.report == "all" || options.report == "table2") print_table2(campaign);
+  if (options.report == "all" || options.report == "table3") print_table3(*bed, campaign);
+  if (options.report == "all" || options.report == "retention") print_retention(campaign);
+
+  if (options.trace > 0) {
+    std::printf("first packets across the CN national gateway:\n%s\n",
+                trace.dump(static_cast<std::size_t>(options.trace)).c_str());
+  }
+
+  if (!options.json_path.empty()) {
+    std::ofstream out(options.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.json_path.c_str());
+      return 1;
+    }
+    out << core::export_campaign_json(*bed, campaign);
+    std::printf("wrote %s\n", options.json_path.c_str());
+  }
+  return 0;
+}
