@@ -1,0 +1,85 @@
+// Shard scaling: wall-clock of the full campaign under the sharded engine
+// at 1, 2 and 4 shards, with the serial Campaign as the reference point.
+//
+// Each shard simulates only its own VPs' traffic, so on a machine with N
+// idle cores the engine should approach N× on the emission phases (the
+// screening hour and the merge/classify barrier are the serial fraction).
+// The run also re-verifies the determinism contract end to end: every
+// shard count must produce the same decoy count, hit count and unsolicited
+// count.
+#include <chrono>
+#include <cstdio>
+
+#include "core/campaign.h"
+#include "core/campaign_engine.h"
+#include "core/testbed.h"
+#include "shadow/profiles.h"
+
+using namespace shadowprobe;
+
+namespace {
+
+core::TestbedConfig bench_config() {
+  core::TestbedConfig config;
+  config.topology = topo::TopologyConfig::from_env();
+  return config;
+}
+
+core::CampaignEngine::Decorator exhibitors() {
+  return [](core::Testbed& replica) -> std::shared_ptr<void> {
+    return std::make_shared<shadow::ShadowDeployment>(
+        shadow::deploy_standard_exhibitors(replica, shadow::ShadowConfig{}));
+  };
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Shard scaling: campaign wall-clock vs shard count ==\n\n");
+
+  double serial_seconds;
+  std::size_t serial_decoys;
+  {
+    auto bed = core::Testbed::create(bench_config());
+    auto deployment = shadow::deploy_standard_exhibitors(*bed, shadow::ShadowConfig{});
+    core::Campaign campaign(*bed, core::CampaignConfig{});
+    auto start = std::chrono::steady_clock::now();
+    campaign.run();
+    serial_seconds = seconds_since(start);
+    serial_decoys = campaign.ledger().decoy_count();
+    std::printf("  serial    %7.2fs  %zu decoys, %zu hits\n", serial_seconds,
+                serial_decoys, bed->logbook().size());
+  }
+
+  double one_shard_seconds = serial_seconds;
+  std::size_t reference_decoys = 0;
+  std::size_t reference_hits = 0;
+  std::size_t reference_unsolicited = 0;
+  for (int shards : {1, 2, 4}) {
+    core::CampaignEngine engine(bench_config(), core::CampaignConfig{}, shards,
+                                exhibitors());
+    auto start = std::chrono::steady_clock::now();
+    core::CampaignResult result = engine.run();
+    double elapsed = seconds_since(start);
+    if (shards == 1) {
+      one_shard_seconds = elapsed;
+      reference_decoys = result.ledger.decoy_count();
+      reference_hits = result.hits.size();
+      reference_unsolicited = result.unsolicited.size();
+    }
+    bool consistent = result.ledger.decoy_count() == reference_decoys &&
+                      result.hits.size() == reference_hits &&
+                      result.unsolicited.size() == reference_unsolicited;
+    std::printf("  %d shard%s %7.2fs  speedup vs 1-shard: %.2fx  %s\n", shards,
+                shards == 1 ? " " : "s", elapsed, one_shard_seconds / elapsed,
+                consistent ? "consistent" : "MISMATCH");
+  }
+  std::printf(
+      "\n(speedup needs idle cores: each shard runs its VP partition on its own\n"
+      " worker thread; screening + the Phase-II barrier are the serial part)\n");
+  return 0;
+}

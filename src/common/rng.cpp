@@ -50,6 +50,16 @@ Rng Rng::fork(std::string_view label) const noexcept {
   return Rng(seed);
 }
 
+Rng Rng::derive(std::string_view label) const noexcept {
+  // Pure function of (origin seed, label): no stream state is read or
+  // advanced, so the result is invariant to call order and to draws made on
+  // this generator. The golden-ratio multiply separates derive-space from
+  // fork-space (which XORs the raw label hash with a stream draw).
+  std::uint64_t h = fnv1a(label) * 0x9E3779B97F4A7C15ULL;
+  SplitMix64 sm(origin_ ^ h);
+  return Rng(sm.next());
+}
+
 std::uint64_t Rng::below(std::uint64_t n) noexcept {
   // Lemire-style rejection to avoid modulo bias.
   if (n == 0) return 0;

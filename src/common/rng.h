@@ -41,11 +41,28 @@ std::uint64_t fnv1a(std::string_view s) noexcept;
 /// High-level deterministic generator with distribution helpers.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) noexcept : gen_(seed) {}
+  explicit Rng(std::uint64_t seed) noexcept : gen_(seed), origin_(seed) {}
 
   /// Derives a child generator for subsystem `label`. Child streams are
   /// independent of the parent's future output.
+  ///
+  /// NOTE: fork() *advances* the parent stream, so the child seed depends on
+  /// how many draws/forks preceded it. Use fork() only at construction time,
+  /// where call order is fixed. For runtime derivation keyed by entity
+  /// identity (query names, client/server pairs, decoy domains) use derive().
   [[nodiscard]] Rng fork(std::string_view label) const noexcept;
+
+  /// Derives a child generator purely from this generator's *origin seed* and
+  /// `label`. Unlike fork(), derive() neither consumes nor depends on stream
+  /// position: derive("x") returns the same stream no matter how many draws,
+  /// forks, or other derives happened before. This is the primitive behind
+  /// shard-count-invariant determinism — every behavioral draw keyed by a
+  /// stable entity name produces identical values regardless of which shard
+  /// (or how many shards) executes it.
+  [[nodiscard]] Rng derive(std::string_view label) const noexcept;
+
+  /// The seed this generator was constructed from (stable under draws).
+  [[nodiscard]] std::uint64_t origin_seed() const noexcept { return origin_; }
 
   std::uint64_t bits() noexcept { return gen_.next(); }
   /// Uniform integer in [0, n). n must be > 0.
@@ -85,10 +102,10 @@ class Rng {
   }
 
  private:
-  Rng(Xoshiro256 gen) noexcept : gen_(gen) {}  // NOLINT(google-explicit-constructor)
   friend class RngSeedAccess;
 
   mutable Xoshiro256 gen_;
+  std::uint64_t origin_;
 };
 
 }  // namespace shadowprobe

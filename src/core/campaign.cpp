@@ -4,21 +4,16 @@
 
 #include "common/log.h"
 #include "common/strutil.h"
+#include "core/screening.h"
 
 namespace shadowprobe::core {
 
-namespace {
-/// Pair resolver: the non-serving sibling three addresses above the service
-/// address in the same /24 (the paper's example: 1.1.1.4 as to 1.1.1.1).
-net::Ipv4Addr pair_resolver_of(net::Ipv4Addr service) {
-  return net::Ipv4Addr((service.value() & 0xFFFFFF00) |
-                       ((service.value() + 3) & 0xFF));
-}
-}  // namespace
-
 Campaign::Campaign(Testbed& bed, CampaignConfig config)
     : bed_(bed), config_(config), rng_(bed.fork_rng("campaign")) {
-  // Agents for every candidate VP; screened-out VPs simply never send.
+  // Agents for every candidate VP; screened-out VPs simply never send. The
+  // per-VP stream is *derived* from the VP id (not forked in construction
+  // order) so a shard that builds agents for a subset of VPs still gives
+  // each one the identical stream.
   for (const auto& vp : bed_.topology().vantage_points()) {
     VpAgent::Hooks hooks;
     hooks.on_dest_response = [this](std::uint32_t seq, SimTime when) {
@@ -31,7 +26,8 @@ Campaign::Campaign(Testbed& bed, CampaignConfig config)
     hooks.on_interception = [this](const topo::VantagePoint& vp, net::Ipv4Addr) {
       intercepted_vps_.insert(&vp);
     };
-    auto agent = std::make_unique<VpAgent>(vp, rng_.fork("vp-" + vp.id), std::move(hooks));
+    auto agent =
+        std::make_unique<VpAgent>(vp, rng_.derive("vp-" + vp.id), std::move(hooks));
     agent->bind(bed_.net());
     agent->set_dns_transport(config_.dns_transport, bed_.oblivious_proxy_addr());
     agent->set_tls_ech(config_.tls_decoys_use_ech);
@@ -57,15 +53,27 @@ void Campaign::run() {
     for (const auto& vp : bed_.topology().vantage_points()) active_vps_.push_back(&vp);
     screening_.candidates = screening_.usable = static_cast<int>(active_vps_.size());
   }
-  schedule_phase1();
+
+  // Translate the active set into stable topology indices and build the
+  // Phase-I plan (with all path ids and seqs preassigned).
+  const auto& vps = bed_.topology().vantage_points();
+  std::vector<std::size_t> active_indices;
+  active_indices.reserve(active_vps_.size());
+  for (const topo::VantagePoint* vp : active_vps_) {
+    active_indices.push_back(static_cast<std::size_t>(vp - vps.data()));
+  }
+  plan_ = CampaignPlan::build_phase1(bed_.topology(), config_, active_indices,
+                                     bed_.loop().now());
+  ledger_.seed_paths(plan_.paths());
+  schedule_emissions(0, plan_.emissions().size());
+
   // Phase II is planned at its start time, from whatever the honeypots have
   // captured by then.
   bed_.loop().schedule_at(config_.phase1_window + config_.phase2_grace,
                           [this] { schedule_phase2(); });
   bed_.loop().run_until(config_.total_duration);
 
-  Correlator correlator(ledger_);
-  unsolicited_ = correlator.classify(bed_.logbook().hits(), &replicated_seqs_);
+  unsolicited_ = classify_unsolicited(ledger_, bed_.logbook().hits(), &replicated_seqs_);
   ObserverLocator locator(ledger_, hop_log_);
   findings_ = locator.locate(unsolicited_);
   SP_LOG_INFO(strprintf("campaign complete: %zu decoys, %zu honeypot hits, "
@@ -78,40 +86,30 @@ void Campaign::run_screening() {
   const auto& vps = bed_.topology().vantage_points();
   screening_.candidates = static_cast<int>(vps.size());
 
-  // TTL canaries: two datagrams with distinct initial TTLs; an honest
-  // tunnel preserves their difference end-to-end.
-  constexpr std::uint8_t kCanaryLow = 40;
-  constexpr std::uint8_t kCanaryHigh = 50;
   for (const auto& vp : vps) {
     if (vp.residential) continue;  // rejected at provider vetting already
-    VpAgent* agent = agent_for(&vp);
-    agent->send_ttl_canary(control_addr_, kCanaryLow, 1);
-    agent->send_ttl_canary(control_addr_, kCanaryHigh, 2);
-    // Pair-resolver probes towards every public resolver's sibling address.
-    for (const auto& target : bed_.topology().dns_target_hosts()) {
-      if (target.info.kind != topo::DnsTargetKind::kPublicResolver) continue;
-      agent->send_pair_probe(pair_resolver_of(target.addr));
-    }
+    send_screening_probes(*agent_for(&vp), control_addr_, bed_.topology());
   }
   // Let the probes settle (a few RTTs suffice; one simulated hour is safe).
   bed_.loop().run_until(bed_.loop().now() + kHour);
 
   for (const auto& vp : vps) {
-    if (vp.residential) {
-      ++screening_.rejected_residential;
-      continue;
+    ScreeningVerdict verdict =
+        screen_vp(vp, *control_server_, intercepted_vps_.count(&vp) > 0);
+    switch (verdict) {
+      case ScreeningVerdict::kResidential:
+        ++screening_.rejected_residential;
+        break;
+      case ScreeningVerdict::kTtlMangling:
+        ++screening_.rejected_ttl_mangling;
+        break;
+      case ScreeningVerdict::kIntercepted:
+        ++screening_.rejected_interception;
+        break;
+      case ScreeningVerdict::kUsable:
+        active_vps_.push_back(&vp);
+        break;
     }
-    int low = control_server_->arrival_ttl(vp.addr, 1);
-    int high = control_server_->arrival_ttl(vp.addr, 2);
-    if (low < 0 || high < 0 || high - low != kCanaryHigh - kCanaryLow) {
-      ++screening_.rejected_ttl_mangling;
-      continue;
-    }
-    if (intercepted_vps_.count(&vp) > 0) {
-      ++screening_.rejected_interception;
-      continue;
-    }
-    active_vps_.push_back(&vp);
   }
   screening_.usable = static_cast<int>(active_vps_.size());
   SP_LOG_INFO(strprintf("screening: %d candidates, %d usable (-%d residential, "
@@ -121,136 +119,55 @@ void Campaign::run_screening() {
                         screening_.rejected_interception));
 }
 
-void Campaign::schedule_phase1() {
-  SimTime start = bed_.loop().now();
-  int rounds = std::max(1, config_.phase1_rounds);
-  auto emission_time = [&](int round, std::size_t ordinal, std::size_t total) {
-    // Round-robin over VPs, evenly spread across the window: this realizes
-    // the paper's strict per-target rate limit (each destination sees the
-    // whole VP fleet once per window, far below 2 packets/second).
-    if (total == 0) total = 1;
-    return start + static_cast<SimDuration>(round) * config_.phase1_window +
-           static_cast<SimDuration>(
-               static_cast<double>(ordinal % total) / static_cast<double>(total) *
-               static_cast<double>(config_.phase1_window));
-  };
-
-  const std::size_t total_dns =
-      active_vps_.size() * bed_.topology().dns_target_hosts().size();
-  const std::size_t total_web = active_vps_.size() * bed_.topology().web_sites().size();
-
-  if (config_.measure_dns) {
-    std::size_t ordinal = 0;
-    for (const topo::VantagePoint* vp : active_vps_) {
-      for (const auto& target : bed_.topology().dns_target_hosts()) {
-        PathRecord path;
-        path.vp = vp;
-        switch (target.info.kind) {
-          case topo::DnsTargetKind::kPublicResolver:
-            path.dest_kind = DestKind::kPublicResolver;
-            break;
-          case topo::DnsTargetKind::kSelfBuilt:
-            path.dest_kind = DestKind::kSelfBuilt;
-            break;
-          case topo::DnsTargetKind::kRoot:
-            path.dest_kind = DestKind::kRoot;
-            break;
-          case topo::DnsTargetKind::kTld:
-            path.dest_kind = DestKind::kTld;
-            break;
-        }
-        path.dest_name = target.info.name;
-        path.dest_addr = target.addr;
-        path.dest_country = target.info.country;
-        path.protocol = DecoyProtocol::kDns;
-        std::uint32_t path_id = ledger_.add_path(path);
-        for (int round = 0; round < rounds; ++round) {
-          SimTime when = emission_time(round, ordinal, total_dns);
-          bed_.loop().schedule_at(when, [this, path_id, vp, addr = target.addr, when] {
-            DecoyRecord& record = ledger_.create(path_id, when, vp->addr, addr,
-                                                 DecoyProtocol::kDns, 64, false);
+void Campaign::schedule_emissions(std::size_t first, std::size_t last) {
+  const auto& vps = bed_.topology().vantage_points();
+  for (std::size_t i = first; i < last; ++i) {
+    const PlanEmission& emission = plan_.emissions()[i];
+    const PathRecord& path = plan_.path(emission.path_id);
+    const topo::VantagePoint* vp = &vps.at(static_cast<std::size_t>(path.vp_index));
+    bed_.loop().schedule_at(
+        emission.when,
+        [this, emission, vp, dst = path.dest_addr, protocol = path.protocol] {
+          DecoyRecord& record = ledger_.create_preassigned(
+              emission.seq, emission.path_id, emission.when, vp->addr, dst, protocol,
+              emission.ttl, emission.phase2);
+          if (protocol == DecoyProtocol::kDns) {
             agent_for(vp)->send_dns_decoy(record);
-          });
-        }
-        ++ordinal;
-      }
-    }
-  }
-
-  std::size_t ordinal = 0;
-  for (const topo::VantagePoint* vp : active_vps_) {
-    for (const auto& site : bed_.topology().web_sites()) {
-      for (DecoyProtocol protocol : {DecoyProtocol::kHttp, DecoyProtocol::kTls}) {
-        if (protocol == DecoyProtocol::kHttp && !config_.measure_http) continue;
-        if (protocol == DecoyProtocol::kTls && !config_.measure_tls) continue;
-        PathRecord path;
-        path.vp = vp;
-        path.dest_kind = DestKind::kWebSite;
-        path.dest_name = site.domain;
-        path.dest_addr = site.addr;
-        path.dest_country = site.country;
-        path.protocol = protocol;
-        std::uint32_t path_id = ledger_.add_path(path);
-        for (int round = 0; round < rounds; ++round) {
-          SimTime when = emission_time(round, ordinal, total_web);
-          bed_.loop().schedule_at(when,
-                                  [this, path_id, vp, addr = site.addr, protocol, when] {
-            DecoyRecord& record =
-                ledger_.create(path_id, when, vp->addr, addr, protocol, 64, false);
-            if (protocol == DecoyProtocol::kHttp) {
-              agent_for(vp)->send_http_decoy(record);
-            } else {
-              agent_for(vp)->send_tls_decoy(record);
-            }
-          });
-        }
-      }
-      ++ordinal;
-    }
+          } else if (emission.phase2) {
+            // No TCP handshake during tracerouting (the sweep would otherwise
+            // hold destination connections open until the TTL grows enough).
+            agent_for(vp)->send_raw_decoy(record);
+          } else if (protocol == DecoyProtocol::kHttp) {
+            agent_for(vp)->send_http_decoy(record);
+          } else {
+            agent_for(vp)->send_tls_decoy(record);
+          }
+        });
   }
 }
 
 void Campaign::schedule_phase2() {
   // Problematic paths as known at this point in the campaign.
-  Correlator correlator(ledger_);
-  auto so_far = correlator.classify(bed_.logbook().hits(), &replicated_seqs_);
+  auto so_far = classify_unsolicited(ledger_, bed_.logbook().hits(), &replicated_seqs_);
   auto paths = Correlator::problematic_paths(so_far);
   SP_LOG_INFO(strprintf("phase II: sweeping %zu problematic paths", paths.size()));
-
-  SimTime start = bed_.loop().now();
-  std::size_t index = 0;
-  for (std::uint32_t path_id : paths) {
-    const PathRecord& path = ledger_.path(path_id);
-    SimTime when = start + static_cast<SimDuration>(
-                               static_cast<double>(index++) /
-                               static_cast<double>(paths.size()) *
-                               static_cast<double>(config_.phase2_window));
-    sweep_path(path, when);
-  }
+  std::size_t first = plan_.extend_phase2(paths, config_, bed_.loop().now());
+  schedule_emissions(first, plan_.emissions().size());
 }
 
-void Campaign::sweep_path(const PathRecord& path, SimTime start) {
-  // Consecutive decoys, one per initial TTL, 200 ms apart — each TTL value
-  // yields a fresh identifier so the honeypot can attribute unsolicited
-  // requests to the exact hop count.
-  for (int ttl = 1; ttl <= config_.max_sweep_ttl; ++ttl) {
-    SimTime when = start + static_cast<SimDuration>(ttl) * 200 * kMillisecond;
-    std::uint32_t path_id = path.path_id;
-    const topo::VantagePoint* vp = path.vp;
-    net::Ipv4Addr dst = path.dest_addr;
-    DecoyProtocol protocol = path.protocol;
-    bed_.loop().schedule_at(when, [this, path_id, vp, dst, protocol, ttl, when] {
-      DecoyRecord& record = ledger_.create(path_id, when, vp->addr, dst, protocol,
-                                           static_cast<std::uint8_t>(ttl), true);
-      if (protocol == DecoyProtocol::kDns) {
-        agent_for(vp)->send_dns_decoy(record);
-      } else {
-        // No TCP handshake during tracerouting (the sweep would otherwise
-        // hold destination connections open until the TTL grows enough).
-        agent_for(vp)->send_raw_decoy(record);
-      }
-    });
-  }
+CampaignResult Campaign::result() const {
+  CampaignResult out;
+  out.config = config_;
+  out.screening = screening_;
+  out.ledger = ledger_;
+  out.active_vps = active_vps_;
+  out.hits = bed_.logbook().hits();
+  out.unsolicited = unsolicited_;
+  out.findings = findings_;
+  out.hop_log = hop_log_;
+  out.replicated_seqs = replicated_seqs_;
+  out.shard_stats.push_back(bed_.loop().stats());
+  return out;
 }
 
 }  // namespace shadowprobe::core

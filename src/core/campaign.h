@@ -1,4 +1,4 @@
-// Campaign orchestrator: runs the full two-phase measurement.
+// Campaign orchestrator: runs the full two-phase measurement serially.
 //
 //   Screening  — provider vetting (residential exclusion), TTL-canary check
 //                (drops providers that rewrite TTLs), pair-resolver check
@@ -10,6 +10,11 @@
 //   Phase II   — for every path Phase I found problematic, a hop-by-hop TTL
 //                sweep (handshake-less for HTTP/TLS) locates the observer.
 //
+// The emission schedule itself — which decoy fires when, over which path,
+// with which preassigned identifier — is computed by CampaignPlan; this
+// class executes it on one Testbed's event loop. CampaignEngine executes
+// the same plan partitioned over shards.
+//
 // The campaign then lets the clock run to the configured horizon so that
 // long-retention replays (days) arrive, and produces the correlated results
 // every analyzer consumes.
@@ -19,6 +24,9 @@
 #include <memory>
 #include <vector>
 
+#include "core/campaign_config.h"
+#include "core/campaign_plan.h"
+#include "core/campaign_result.h"
 #include "core/correlator.h"
 #include "core/ledger.h"
 #include "core/locate.h"
@@ -26,41 +34,6 @@
 #include "core/vp_agent.h"
 
 namespace shadowprobe::core {
-
-struct CampaignConfig {
-  /// Emission window of one Phase-I round.
-  SimDuration phase1_window = 12 * kHour;
-  /// Number of Phase-I rounds: the paper emits "continuously in a
-  /// round-robin fashion without stop" for two months; each round sends a
-  /// fresh decoy over every path.
-  int phase1_rounds = 1;
-  /// Delay after Phase I before problematic paths are computed and swept
-  /// (gives slow exhibitors time to reveal themselves).
-  SimDuration phase2_grace = 36 * kHour;
-  SimDuration phase2_window = 12 * kHour;
-  /// Campaign horizon: how long honeypots keep capturing (the paper ran for
-  /// two months; 30 simulated days cover the 10-day retention tail).
-  SimDuration total_duration = 30 * kDay;
-  /// TTL sweep ceiling (the paper sweeps to 64; synthetic paths are <= 12
-  /// hops, so a lower ceiling saves events without losing coverage).
-  int max_sweep_ttl = 16;
-  bool screening = true;
-  bool measure_dns = true;
-  bool measure_http = true;
-  bool measure_tls = true;
-  /// Mitigation study knobs (paper Section 6): encrypted / oblivious DNS
-  /// transports and TLS ECH for the decoys.
-  DnsDecoyTransport dns_transport = DnsDecoyTransport::kPlain;
-  bool tls_decoys_use_ech = false;
-};
-
-struct ScreeningReport {
-  int candidates = 0;
-  int rejected_residential = 0;
-  int rejected_ttl_mangling = 0;
-  int rejected_interception = 0;
-  int usable = 0;
-};
 
 class Campaign {
  public:
@@ -96,16 +69,21 @@ class Campaign {
     return replicated_seqs_;
   }
 
+  /// Snapshot of everything downstream consumers need, in the same shape
+  /// the sharded engine produces. Call after run().
+  [[nodiscard]] CampaignResult result() const;
+
  private:
   void run_screening();
-  void schedule_phase1();
   void schedule_phase2();
-  void sweep_path(const PathRecord& path, SimTime start);
+  /// Schedules plan emissions [first, last) onto the event loop.
+  void schedule_emissions(std::size_t first, std::size_t last);
   VpAgent* agent_for(const topo::VantagePoint* vp);
 
   Testbed& bed_;
   CampaignConfig config_;
   Rng rng_;
+  CampaignPlan plan_;
   DecoyLedger ledger_;
   ScreeningReport screening_;
   std::vector<std::unique_ptr<VpAgent>> agents_;

@@ -1,0 +1,45 @@
+// Campaign configuration and screening summary, shared by the serial
+// Campaign, the CampaignPlan, and the sharded CampaignEngine.
+#pragma once
+
+#include "common/time.h"
+#include "core/vp_agent.h"
+
+namespace shadowprobe::core {
+
+struct CampaignConfig {
+  /// Emission window of one Phase-I round.
+  SimDuration phase1_window = 12 * kHour;
+  /// Number of Phase-I rounds: the paper emits "continuously in a
+  /// round-robin fashion without stop" for two months; each round sends a
+  /// fresh decoy over every path.
+  int phase1_rounds = 1;
+  /// Delay after Phase I before problematic paths are computed and swept
+  /// (gives slow exhibitors time to reveal themselves).
+  SimDuration phase2_grace = 36 * kHour;
+  SimDuration phase2_window = 12 * kHour;
+  /// Campaign horizon: how long honeypots keep capturing (the paper ran for
+  /// two months; 30 simulated days cover the 10-day retention tail).
+  SimDuration total_duration = 30 * kDay;
+  /// TTL sweep ceiling (the paper sweeps to 64; synthetic paths are <= 12
+  /// hops, so a lower ceiling saves events without losing coverage).
+  int max_sweep_ttl = 16;
+  bool screening = true;
+  bool measure_dns = true;
+  bool measure_http = true;
+  bool measure_tls = true;
+  /// Mitigation study knobs (paper Section 6): encrypted / oblivious DNS
+  /// transports and TLS ECH for the decoys.
+  DnsDecoyTransport dns_transport = DnsDecoyTransport::kPlain;
+  bool tls_decoys_use_ech = false;
+};
+
+struct ScreeningReport {
+  int candidates = 0;
+  int rejected_residential = 0;
+  int rejected_ttl_mangling = 0;
+  int rejected_interception = 0;
+  int usable = 0;
+};
+
+}  // namespace shadowprobe::core

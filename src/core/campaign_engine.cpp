@@ -1,0 +1,165 @@
+#include "core/campaign_engine.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace shadowprobe::core {
+
+CampaignEngine::CampaignEngine(const TestbedConfig& bed_config, const CampaignConfig& config,
+                               int shard_count, Decorator decorate)
+    : config_(config) {
+  int count = std::clamp(shard_count, 1, static_cast<int>(DecoyLedger::kMaxShards));
+  runners_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    runners_.push_back(std::make_unique<ShardRunner>(static_cast<std::uint32_t>(i),
+                                                     static_cast<std::uint32_t>(count),
+                                                     bed_config, config_, decorate));
+  }
+}
+
+CampaignEngine::~CampaignEngine() = default;
+
+void CampaignEngine::for_each_shard(const std::function<void(ShardRunner&)>& fn) {
+  if (runners_.size() == 1) {
+    fn(*runners_.front());
+    return;
+  }
+  std::vector<std::thread> workers;
+  std::vector<std::exception_ptr> errors(runners_.size());
+  workers.reserve(runners_.size());
+  for (std::size_t i = 0; i < runners_.size(); ++i) {
+    workers.emplace_back([&, i] {
+      try {
+        fn(*runners_[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+DecoyLedger CampaignEngine::merged_ledger() const {
+  DecoyLedger merged;
+  merged.seed_paths(plan_.paths());
+  for (const auto& runner : runners_) merged.merge(runner->ledger());
+  merged.finalize();
+  merged.rebind_vps(runners_.front()->testbed().topology().vantage_points());
+  return merged;
+}
+
+std::vector<HoneypotHit> CampaignEngine::merged_hits() const {
+  std::vector<HoneypotHit> hits;
+  for (const auto& runner : runners_) {
+    const auto& shard_hits = runner->hits();
+    hits.insert(hits.end(), shard_hits.begin(), shard_hits.end());
+  }
+  // Canonical order: within a shard hits are already time-ordered, and any
+  // decoy domain only ever appears inside one shard, so the sort never
+  // reorders the per-domain sequences the correlator's criteria depend on.
+  std::stable_sort(hits.begin(), hits.end(), hit_canonical_less);
+  return hits;
+}
+
+std::set<std::uint32_t> CampaignEngine::merged_replicated() const {
+  std::set<std::uint32_t> merged;
+  for (const auto& runner : runners_) {
+    const auto& shard_set = runner->replicated_seqs();
+    merged.insert(shard_set.begin(), shard_set.end());
+  }
+  return merged;
+}
+
+CampaignResult CampaignEngine::run() {
+  const auto& vps = primary().topology().vantage_points();
+  ScreeningReport report;
+  std::vector<std::size_t> active;
+
+  if (config_.screening) {
+    for_each_shard([](ShardRunner& shard) { shard.run_screening(); });
+    report.candidates = static_cast<int>(vps.size());
+    // Verdicts are merged in global topology order — the order the serial
+    // campaign iterates — each read from the shard that owns the VP.
+    for (std::size_t i = 0; i < vps.size(); ++i) {
+      ShardRunner& owner = *runners_[i % runners_.size()];
+      switch (owner.verdict(i)) {
+        case ScreeningVerdict::kResidential:
+          ++report.rejected_residential;
+          break;
+        case ScreeningVerdict::kTtlMangling:
+          ++report.rejected_ttl_mangling;
+          break;
+        case ScreeningVerdict::kIntercepted:
+          ++report.rejected_interception;
+          break;
+        case ScreeningVerdict::kUsable:
+          active.push_back(i);
+          break;
+      }
+    }
+    report.usable = static_cast<int>(active.size());
+    SP_LOG_INFO(strprintf("engine screening: %d candidates, %d usable across %zu shards",
+                          report.candidates, report.usable, runners_.size()));
+  } else {
+    for (std::size_t i = 0; i < vps.size(); ++i) active.push_back(i);
+    report.candidates = report.usable = static_cast<int>(vps.size());
+  }
+
+  // Phase I: plan once, execute the owned partitions in parallel.
+  SimTime start = runners_.front()->testbed().loop().now();
+  plan_ = CampaignPlan::build_phase1(primary().topology(), config_, active, start);
+  for (auto& runner : runners_) {
+    runner->adopt_plan(plan_);
+    runner->schedule_owned(plan_, 0, plan_.phase1_count());
+  }
+  SimTime barrier = config_.phase1_window + config_.phase2_grace;
+  for_each_shard([barrier](ShardRunner& shard) { shard.run_until(barrier); });
+
+  // Phase-II barrier: merge what the honeypots have so far, classify, and
+  // extend the plan with the TTL sweeps (seqs continue the global counter).
+  {
+    DecoyLedger interim = merged_ledger();
+    std::vector<HoneypotHit> hits = merged_hits();
+    std::set<std::uint32_t> replicated = merged_replicated();
+    auto so_far = classify_unsolicited(interim, hits, &replicated);
+    auto problematic = Correlator::problematic_paths(so_far);
+    SP_LOG_INFO(strprintf("engine phase II: sweeping %zu problematic paths",
+                          problematic.size()));
+    std::size_t first = plan_.extend_phase2(problematic, config_, barrier);
+    for (auto& runner : runners_) {
+      runner->schedule_owned(plan_, first, plan_.emissions().size());
+    }
+  }
+  for_each_shard(
+      [this](ShardRunner& shard) { shard.run_until(config_.total_duration); });
+
+  // Final merge.
+  CampaignResult out;
+  out.config = config_;
+  out.screening = report;
+  out.ledger = merged_ledger();
+  out.hits = merged_hits();
+  out.replicated_seqs = merged_replicated();
+  for (const auto& runner : runners_) {
+    const auto& shard_hops = runner->hop_log();
+    out.hop_log.insert(shard_hops.begin(), shard_hops.end());
+    out.shard_stats.push_back(runner->stats());
+  }
+  out.active_vps.reserve(active.size());
+  for (std::size_t i : active) out.active_vps.push_back(&vps[i]);
+  out.correlate();
+  SP_LOG_INFO(strprintf("engine complete: %zu shards, %zu decoys, %zu hits, "
+                        "%zu unsolicited, %zu located paths",
+                        runners_.size(), out.ledger.decoy_count(), out.hits.size(),
+                        out.unsolicited.size(), out.findings.size()));
+  return out;
+}
+
+}  // namespace shadowprobe::core

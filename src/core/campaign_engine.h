@@ -1,0 +1,78 @@
+// CampaignEngine: VP-partitioned parallel campaign execution.
+//
+// The engine splits a campaign across N shards, each a ShardRunner with a
+// full Testbed replica built from the same master seed. VPs are assigned
+// round-robin by topology index; every phase runs on a pool of worker
+// threads with a join barrier between phases:
+//
+//   screening (parallel)  -> merge verdicts, fix the active-VP set
+//   plan Phase I (serial) -> the CampaignPlan preassigns every path id and
+//                            decoy seq, so identifiers — and the decoy
+//                            domains derived from them — are independent of
+//                            the shard count
+//   Phase I (parallel)    -> run to the Phase-II barrier
+//   barrier (serial)      -> merge interim ledgers + canonically sorted
+//                            hits, classify, extend the plan with TTL sweeps
+//   Phase II (parallel)   -> run to the campaign horizon
+//   merge (serial)        -> one ledger / hit list / hop log, correlated
+//                            into a CampaignResult identical in shape to a
+//                            serial run's
+//
+// Determinism: for a fixed master seed the merged result is byte-identical
+// for any shard count (including N=1), because ids come from the plan,
+// behavioural RNG streams are keyed by entity names, and every merge ends
+// in a canonical sort.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/campaign_config.h"
+#include "core/campaign_plan.h"
+#include "core/campaign_result.h"
+#include "core/shard_runner.h"
+#include "core/testbed.h"
+
+namespace shadowprobe::core {
+
+class CampaignEngine {
+ public:
+  using Decorator = ShardRunner::Decorator;
+
+  /// Builds the shard replicas (sequentially; Testbed construction is not
+  /// thread-safe w.r.t. shared statics). `shard_count` is clamped to
+  /// [1, DecoyLedger::kMaxShards].
+  CampaignEngine(const TestbedConfig& bed_config, const CampaignConfig& config,
+                 int shard_count, Decorator decorate = nullptr);
+  ~CampaignEngine();
+
+  CampaignEngine(const CampaignEngine&) = delete;
+  CampaignEngine& operator=(const CampaignEngine&) = delete;
+
+  /// Runs the full campaign and returns the merged, correlated result.
+  CampaignResult run();
+
+  [[nodiscard]] int shard_count() const noexcept {
+    return static_cast<int>(runners_.size());
+  }
+  /// Shard 0's replica — the context (geo database, signatures, blocklist,
+  /// config) downstream consumers like JSON export read from.
+  [[nodiscard]] Testbed& primary() noexcept { return runners_.front()->testbed(); }
+
+ private:
+  /// Runs `fn` once per shard, on one worker thread per shard, and joins
+  /// them all (the inter-phase barrier). Exceptions propagate to the caller.
+  void for_each_shard(const std::function<void(ShardRunner&)>& fn);
+  /// Fresh ledger = plan paths + every shard's records, canonically ordered
+  /// and rebound to the primary replica's VP storage.
+  [[nodiscard]] DecoyLedger merged_ledger() const;
+  [[nodiscard]] std::vector<HoneypotHit> merged_hits() const;
+  [[nodiscard]] std::set<std::uint32_t> merged_replicated() const;
+
+  CampaignConfig config_;
+  CampaignPlan plan_;
+  std::vector<std::unique_ptr<ShardRunner>> runners_;
+};
+
+}  // namespace shadowprobe::core

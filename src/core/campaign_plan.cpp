@@ -1,0 +1,134 @@
+#include "core/campaign_plan.h"
+
+#include <algorithm>
+
+namespace shadowprobe::core {
+
+namespace {
+DestKind dest_kind_of(topo::DnsTargetKind kind) {
+  switch (kind) {
+    case topo::DnsTargetKind::kPublicResolver:
+      return DestKind::kPublicResolver;
+    case topo::DnsTargetKind::kSelfBuilt:
+      return DestKind::kSelfBuilt;
+    case topo::DnsTargetKind::kRoot:
+      return DestKind::kRoot;
+    case topo::DnsTargetKind::kTld:
+      return DestKind::kTld;
+  }
+  return DestKind::kPublicResolver;
+}
+}  // namespace
+
+std::uint32_t CampaignPlan::add_path(PathRecord path) {
+  path.path_id = static_cast<std::uint32_t>(paths_.size());
+  paths_.push_back(std::move(path));
+  return paths_.back().path_id;
+}
+
+void CampaignPlan::plan_emission(std::uint32_t path_id, SimTime when, std::uint8_t ttl,
+                                 bool phase2) {
+  PlanEmission emission;
+  emission.seq = next_seq_++;
+  emission.path_id = path_id;
+  emission.vp_index = paths_[path_id].vp_index;
+  emission.when = when;
+  emission.ttl = ttl;
+  emission.phase2 = phase2;
+  emissions_.push_back(emission);
+}
+
+CampaignPlan CampaignPlan::build_phase1(const topo::Topology& topo,
+                                        const CampaignConfig& config,
+                                        const std::vector<std::size_t>& active_vps,
+                                        SimTime start) {
+  CampaignPlan plan;
+  const auto& vps = topo.vantage_points();
+  int rounds = std::max(1, config.phase1_rounds);
+  auto emission_time = [&](int round, std::size_t ordinal, std::size_t total) {
+    // Round-robin over VPs, evenly spread across the window: this realizes
+    // the paper's strict per-target rate limit (each destination sees the
+    // whole VP fleet once per window, far below 2 packets/second).
+    if (total == 0) total = 1;
+    return start + static_cast<SimDuration>(round) * config.phase1_window +
+           static_cast<SimDuration>(
+               static_cast<double>(ordinal % total) / static_cast<double>(total) *
+               static_cast<double>(config.phase1_window));
+  };
+
+  const std::size_t total_dns = active_vps.size() * topo.dns_target_hosts().size();
+  const std::size_t total_web = active_vps.size() * topo.web_sites().size();
+
+  if (config.measure_dns) {
+    std::size_t ordinal = 0;
+    for (std::size_t vp_index : active_vps) {
+      const topo::VantagePoint& vp = vps.at(vp_index);
+      for (const auto& target : topo.dns_target_hosts()) {
+        PathRecord path;
+        path.vp_index = static_cast<std::int32_t>(vp_index);
+        path.vp = &vp;
+        path.dest_kind = dest_kind_of(target.info.kind);
+        path.dest_name = target.info.name;
+        path.dest_addr = target.addr;
+        path.dest_country = target.info.country;
+        path.protocol = DecoyProtocol::kDns;
+        std::uint32_t path_id = plan.add_path(std::move(path));
+        for (int round = 0; round < rounds; ++round) {
+          plan.plan_emission(path_id, emission_time(round, ordinal, total_dns), 64, false);
+        }
+        ++ordinal;
+      }
+    }
+  }
+
+  std::size_t ordinal = 0;
+  for (std::size_t vp_index : active_vps) {
+    const topo::VantagePoint& vp = vps.at(vp_index);
+    for (const auto& site : topo.web_sites()) {
+      for (DecoyProtocol protocol : {DecoyProtocol::kHttp, DecoyProtocol::kTls}) {
+        if (protocol == DecoyProtocol::kHttp && !config.measure_http) continue;
+        if (protocol == DecoyProtocol::kTls && !config.measure_tls) continue;
+        PathRecord path;
+        path.vp_index = static_cast<std::int32_t>(vp_index);
+        path.vp = &vp;
+        path.dest_kind = DestKind::kWebSite;
+        path.dest_name = site.domain;
+        path.dest_addr = site.addr;
+        path.dest_country = site.country;
+        path.protocol = protocol;
+        std::uint32_t path_id = plan.add_path(std::move(path));
+        for (int round = 0; round < rounds; ++round) {
+          plan.plan_emission(path_id, emission_time(round, ordinal, total_web), 64, false);
+        }
+      }
+      ++ordinal;
+    }
+  }
+
+  plan.phase1_count_ = plan.emissions_.size();
+  return plan;
+}
+
+std::size_t CampaignPlan::extend_phase2(const std::set<std::uint32_t>& problematic,
+                                        const CampaignConfig& config, SimTime start) {
+  std::size_t first = emissions_.size();
+  if (problematic.empty()) return first;  // nothing to sweep; avoids the
+                                          // pacing division below too
+  std::size_t index = 0;
+  for (std::uint32_t path_id : problematic) {
+    SimTime base = start + static_cast<SimDuration>(
+                               static_cast<double>(index++) /
+                               static_cast<double>(problematic.size()) *
+                               static_cast<double>(config.phase2_window));
+    // Consecutive decoys, one per initial TTL, 200 ms apart — each TTL value
+    // yields a fresh identifier so the honeypot can attribute unsolicited
+    // requests to the exact hop count.
+    for (int ttl = 1; ttl <= config.max_sweep_ttl; ++ttl) {
+      SimTime when = base + static_cast<SimDuration>(ttl) * 200 * kMillisecond;
+      plan_emission(path_id, when, static_cast<std::uint8_t>(ttl), true);
+    }
+  }
+  return first;
+}
+
+}  // namespace shadowprobe::core

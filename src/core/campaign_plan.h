@@ -1,0 +1,78 @@
+// CampaignPlan: the deterministic emission schedule, computed up front.
+//
+// A plan is a pure function of (topology, campaign config, active-VP set,
+// start time): the full path table plus one PlanEmission per decoy that will
+// ever be sent, with path ids and sequence numbers preassigned in a fixed
+// iteration order. Because the seq is preassigned — not allocated when the
+// decoy fires — the decoy domain (which embeds the seq) is identical no
+// matter how emissions are later distributed over shards, which is the
+// anchor of the engine's shard-count-invariance guarantee.
+//
+// Phase II cannot be planned up front (it depends on what the honeypots
+// capture), so the plan grows once, at the Phase-II barrier: extend_phase2
+// appends the TTL-sweep emissions for the problematic paths, continuing the
+// same seq counter.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/time.h"
+#include "core/campaign_config.h"
+#include "core/ledger.h"
+#include "topo/topology.h"
+
+namespace shadowprobe::core {
+
+/// One planned decoy emission. Everything the ledger record needs is either
+/// here or on the referenced path.
+struct PlanEmission {
+  std::uint32_t seq = 0;
+  std::uint32_t path_id = 0;
+  std::int32_t vp_index = -1;  // owner VP (redundant with the path, cached)
+  SimTime when = 0;            // absolute emission time
+  std::uint8_t ttl = 64;
+  bool phase2 = false;
+};
+
+class CampaignPlan {
+ public:
+  /// Builds the Phase-I schedule. `active_vps` are indices into
+  /// topo.vantage_points(), in screening order. `start` is the absolute time
+  /// the first emission window opens (end of screening, or 0).
+  /// The iteration order — DNS paths VP-major over dns_target_hosts, then
+  /// web paths VP-major over web_sites with HTTP before TLS — mirrors the
+  /// original Campaign::schedule_phase1 exactly.
+  static CampaignPlan build_phase1(const topo::Topology& topo, const CampaignConfig& config,
+                                   const std::vector<std::size_t>& active_vps,
+                                   SimTime start);
+
+  /// Appends the Phase-II TTL sweeps for `problematic` path ids (iterated in
+  /// set order, i.e. ascending), spread across config.phase2_window from
+  /// `start`. Returns the index of the first appended emission. A plan with
+  /// no problematic paths is a no-op (and guards the pacing division).
+  std::size_t extend_phase2(const std::set<std::uint32_t>& problematic,
+                            const CampaignConfig& config, SimTime start);
+
+  [[nodiscard]] const std::vector<PathRecord>& paths() const noexcept { return paths_; }
+  [[nodiscard]] const std::vector<PlanEmission>& emissions() const noexcept {
+    return emissions_;
+  }
+  /// Number of Phase-I emissions (prefix of emissions()).
+  [[nodiscard]] std::size_t phase1_count() const noexcept { return phase1_count_; }
+  [[nodiscard]] const PathRecord& path(std::uint32_t path_id) const {
+    return paths_.at(path_id);  // plan path ids are dense from 0
+  }
+
+ private:
+  std::uint32_t add_path(PathRecord path);
+  void plan_emission(std::uint32_t path_id, SimTime when, std::uint8_t ttl, bool phase2);
+
+  std::vector<PathRecord> paths_;
+  std::vector<PlanEmission> emissions_;
+  std::size_t phase1_count_ = 0;
+  std::uint32_t next_seq_ = 0;
+};
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,55 @@
+// CampaignResult: the merged, analysis-ready outcome of a campaign.
+//
+// Both execution paths produce one of these — the serial Campaign via
+// Campaign::result(), the sharded CampaignEngine by merging per-shard
+// ledgers, logbooks, and hop logs — so every downstream consumer
+// (Correlator, ObserverLocator, the analyzers, JSON export, the CLI report
+// printers) is written once against this struct and never needs to know how
+// the campaign was executed.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/campaign_config.h"
+#include "core/correlator.h"
+#include "core/honeypot.h"
+#include "core/ledger.h"
+#include "core/locate.h"
+#include "sim/event_loop.h"
+
+namespace shadowprobe::core {
+
+/// Strict total order over honeypot hits that does not depend on shard
+/// layout: primarily by capture time, then by every recorded field. Used to
+/// canonicalize merged logbooks before classification and export.
+[[nodiscard]] bool hit_canonical_less(const HoneypotHit& a, const HoneypotHit& b);
+
+/// Runs the correlator over `hits` — the single shared entry point for every
+/// place that used to construct its own Correlator (Phase-II planning, the
+/// final pass, and the engine barrier).
+[[nodiscard]] std::vector<UnsolicitedRequest> classify_unsolicited(
+    const DecoyLedger& ledger, const std::vector<HoneypotHit>& hits,
+    const std::set<std::uint32_t>* replicated_seqs);
+
+struct CampaignResult {
+  CampaignConfig config;
+  ScreeningReport screening;
+  DecoyLedger ledger;
+  std::vector<const topo::VantagePoint*> active_vps;
+  /// Merged honeypot hits in canonical order (serial runs keep capture
+  /// order, which for one shard is already canonical up to ties).
+  std::vector<HoneypotHit> hits;
+  std::vector<UnsolicitedRequest> unsolicited;
+  std::vector<ObserverFinding> findings;
+  std::map<std::uint32_t, net::Ipv4Addr> hop_log;
+  std::set<std::uint32_t> replicated_seqs;
+  /// One entry per shard (one entry for serial runs).
+  std::vector<sim::EventLoopStats> shard_stats;
+
+  /// Fills unsolicited + findings from ledger / hits / hop_log.
+  void correlate();
+};
+
+}  // namespace shadowprobe::core

@@ -124,7 +124,7 @@ void write_cdf(JsonWriter& json, const Cdf& cdf) {
 
 }  // namespace
 
-std::string export_campaign_json(Testbed& bed, const Campaign& campaign) {
+std::string export_campaign_json(Testbed& bed, const CampaignResult& result) {
   JsonWriter json;
   json.begin_object();
 
@@ -134,10 +134,10 @@ std::string export_campaign_json(Testbed& bed, const Campaign& campaign) {
   json.key("cn_vps").value(bed.config().topology.cn_vps);
   json.key("web_sites").value(bed.config().topology.web_sites);
   json.key("total_duration_days")
-      .value(to_seconds(campaign.config().total_duration) / 86400.0);
+      .value(to_seconds(result.config.total_duration) / 86400.0);
   json.end_object();
 
-  const auto& screening = campaign.screening();
+  const auto& screening = result.screening;
   json.key("screening").begin_object();
   json.key("candidates").value(screening.candidates);
   json.key("usable").value(screening.usable);
@@ -147,14 +147,14 @@ std::string export_campaign_json(Testbed& bed, const Campaign& campaign) {
   json.end_object();
 
   json.key("volume").begin_object();
-  json.key("decoys").value(static_cast<std::int64_t>(campaign.ledger().decoy_count()));
-  json.key("paths").value(static_cast<std::int64_t>(campaign.ledger().paths().size()));
-  json.key("honeypot_hits").value(static_cast<std::int64_t>(bed.logbook().size()));
+  json.key("decoys").value(static_cast<std::int64_t>(result.ledger.decoy_count()));
+  json.key("paths").value(static_cast<std::int64_t>(result.ledger.paths().size()));
+  json.key("honeypot_hits").value(static_cast<std::int64_t>(result.hits.size()));
   json.key("unsolicited_requests")
-      .value(static_cast<std::int64_t>(campaign.unsolicited().size()));
+      .value(static_cast<std::int64_t>(result.unsolicited.size()));
   json.end_object();
 
-  auto ratios = path_ratios(campaign.ledger(), campaign.unsolicited());
+  auto ratios = path_ratios(result.ledger, result.unsolicited);
   auto resolver_h = top_shadowed_resolvers(ratios, 5);
   json.key("resolver_h").begin_array();
   for (const auto& name : resolver_h) json.value(name);
@@ -180,7 +180,7 @@ std::string export_campaign_json(Testbed& bed, const Campaign& campaign) {
   }
   json.end_array();
 
-  auto locations = observer_locations(campaign.findings());
+  auto locations = observer_locations(result.findings);
   json.key("observer_locations").begin_object();
   for (const auto& [protocol, shares] : locations.shares) {
     json.key(decoy_protocol_name(protocol)).begin_array();
@@ -189,7 +189,7 @@ std::string export_campaign_json(Testbed& bed, const Campaign& campaign) {
   }
   json.end_object();
 
-  auto ases = observer_ases(campaign.findings(), bed.topology().geo());
+  auto ases = observer_ases(result.findings, bed.topology().geo());
   json.key("observer_ases").begin_object();
   json.key("total_observer_ips").value(ases.total_observer_ips);
   json.key("cn_share").value(ases.observer_countries.share("CN"));
@@ -210,8 +210,7 @@ std::string export_campaign_json(Testbed& bed, const Campaign& campaign) {
   }
   json.end_object();
 
-  auto dns_cdfs = interval_cdf_by_resolver(campaign.ledger(), campaign.unsolicited(),
-                                           resolver_h);
+  auto dns_cdfs = interval_cdf_by_resolver(result.ledger, result.unsolicited, resolver_h);
   json.key("interval_cdf_dns").begin_object();
   for (const auto& [name, cdf] : dns_cdfs) {
     json.key(name);
@@ -219,7 +218,7 @@ std::string export_campaign_json(Testbed& bed, const Campaign& campaign) {
   }
   json.end_object();
 
-  auto web_cdfs = interval_cdf_by_protocol(campaign.unsolicited());
+  auto web_cdfs = interval_cdf_by_protocol(result.unsolicited);
   json.key("interval_cdf_web").begin_object();
   for (const auto& [protocol, cdf] : web_cdfs) {
     json.key(decoy_protocol_name(protocol));
@@ -227,7 +226,7 @@ std::string export_campaign_json(Testbed& bed, const Campaign& campaign) {
   }
   json.end_object();
 
-  auto combos = protocol_combos(campaign.ledger(), campaign.unsolicited());
+  auto combos = protocol_combos(result.ledger, result.unsolicited);
   json.key("decoy_outcomes").begin_object();
   for (const auto& [dest, shares] : combos.shares) {
     json.key(dest).begin_object();
@@ -238,7 +237,7 @@ std::string export_campaign_json(Testbed& bed, const Campaign& campaign) {
   }
   json.end_object();
 
-  auto retention = retention_stats(campaign.ledger(), campaign.unsolicited(), resolver_h,
+  auto retention = retention_stats(result.ledger, result.unsolicited, resolver_h,
                                    resolver_h.empty() ? "Yandex" : resolver_h.front());
   json.key("retention").begin_object();
   json.key("over3_after_1h").value(retention.over3_after_1h);
@@ -247,7 +246,7 @@ std::string export_campaign_json(Testbed& bed, const Campaign& campaign) {
   json.key("considered_decoys").value(retention.considered_decoys);
   json.end_object();
 
-  auto incentives = incentive_stats(campaign.unsolicited(), bed.signatures(),
+  auto incentives = incentive_stats(result.unsolicited, bed.signatures(),
                                     bed.blocklist());
   json.key("incentives").begin_object();
   json.key("http_requests").value(incentives.http_requests);
@@ -267,6 +266,10 @@ std::string export_campaign_json(Testbed& bed, const Campaign& campaign) {
 
   json.end_object();
   return json.str();
+}
+
+std::string export_campaign_json(Testbed& bed, const Campaign& campaign) {
+  return export_campaign_json(bed, campaign.result());
 }
 
 }  // namespace shadowprobe::core

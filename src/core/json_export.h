@@ -47,7 +47,13 @@ class JsonWriter {
   bool pending_key_ = false;
 };
 
-/// Serializes the full analysis of a completed campaign.
+/// Serializes the full analysis of a completed campaign. `bed` provides the
+/// substrate context (config, geo database, signatures, blocklist); for a
+/// sharded run pass CampaignEngine::primary(). For a fixed master seed the
+/// output is byte-identical for any shard count.
+std::string export_campaign_json(Testbed& bed, const CampaignResult& result);
+
+/// Convenience overload for the serial campaign.
 std::string export_campaign_json(Testbed& bed, const Campaign& campaign);
 
 }  // namespace shadowprobe::core

@@ -1,18 +1,54 @@
 #include "core/ledger.h"
 
+#include <algorithm>
+
 namespace shadowprobe::core {
 
+void DecoyLedger::set_shard(std::uint32_t shard_index) {
+  if (shard_index > kMaxShards - 1) shard_index = kMaxShards - 1;
+  shard_tag_ = (shard_index + 1) << kShardShift;
+}
+
+std::uint32_t DecoyLedger::alloc_path_id() {
+  std::uint32_t id = shard_tag_ | (next_local_path_++ & kLocalIdMask);
+  while (path_index_.count(id) > 0) id = shard_tag_ | (next_local_path_++ & kLocalIdMask);
+  return id;
+}
+
+std::uint32_t DecoyLedger::alloc_seq() {
+  std::uint32_t seq = shard_tag_ | (next_local_seq_++ & kLocalIdMask);
+  while (seq_index_.count(seq) > 0) seq = shard_tag_ | (next_local_seq_++ & kLocalIdMask);
+  return seq;
+}
+
 std::uint32_t DecoyLedger::add_path(PathRecord path) {
-  path.path_id = static_cast<std::uint32_t>(paths_.size());
+  path.path_id = alloc_path_id();
+  path_index_[path.path_id] = paths_.size();
   paths_.push_back(std::move(path));
   return paths_.back().path_id;
 }
 
-DecoyRecord& DecoyLedger::create(std::uint32_t path_id, SimTime now, net::Ipv4Addr vp_addr,
-                                 net::Ipv4Addr dst_addr, DecoyProtocol protocol,
-                                 std::uint8_t ttl, bool phase2) {
+void DecoyLedger::seed_paths(const std::vector<PathRecord>& paths) {
+  for (const PathRecord& path : paths) {
+    path_index_[path.path_id] = paths_.size();
+    paths_.push_back(path);
+    // Keep the auto-allocator clear of the seeded range.
+    if ((path.path_id & ~kLocalIdMask) == shard_tag_) {
+      next_local_path_ = std::max(next_local_path_, (path.path_id & kLocalIdMask) + 1);
+    }
+  }
+}
+
+const PathRecord& DecoyLedger::path(std::uint32_t path_id) const {
+  return paths_.at(path_index_.at(path_id));
+}
+
+DecoyRecord& DecoyLedger::insert_decoy(std::uint32_t seq, std::uint32_t path_id, SimTime now,
+                                       net::Ipv4Addr vp_addr, net::Ipv4Addr dst_addr,
+                                       DecoyProtocol protocol, std::uint8_t ttl,
+                                       bool phase2) {
   DecoyRecord record;
-  record.id.seq = static_cast<std::uint32_t>(decoys_.size());
+  record.id.seq = seq;
   record.id.time_sec = static_cast<std::uint32_t>(now / kSecond);
   record.id.vp = vp_addr;
   record.id.dst = dst_addr;
@@ -22,18 +58,32 @@ DecoyRecord& DecoyLedger::create(std::uint32_t path_id, SimTime now, net::Ipv4Ad
   record.sent = now;
   record.path_id = path_id;
   record.phase2 = phase2;
+  seq_index_[seq] = decoys_.size();
   decoys_.push_back(std::move(record));
   return decoys_.back();
 }
 
+DecoyRecord& DecoyLedger::create(std::uint32_t path_id, SimTime now, net::Ipv4Addr vp_addr,
+                                 net::Ipv4Addr dst_addr, DecoyProtocol protocol,
+                                 std::uint8_t ttl, bool phase2) {
+  return insert_decoy(alloc_seq(), path_id, now, vp_addr, dst_addr, protocol, ttl, phase2);
+}
+
+DecoyRecord& DecoyLedger::create_preassigned(std::uint32_t seq, std::uint32_t path_id,
+                                             SimTime now, net::Ipv4Addr vp_addr,
+                                             net::Ipv4Addr dst_addr, DecoyProtocol protocol,
+                                             std::uint8_t ttl, bool phase2) {
+  return insert_decoy(seq, path_id, now, vp_addr, dst_addr, protocol, ttl, phase2);
+}
+
 DecoyRecord* DecoyLedger::by_seq(std::uint32_t seq) {
-  if (seq >= decoys_.size()) return nullptr;
-  return &decoys_[seq];
+  auto it = seq_index_.find(seq);
+  return it == seq_index_.end() ? nullptr : &decoys_[it->second];
 }
 
 const DecoyRecord* DecoyLedger::by_seq(std::uint32_t seq) const {
-  if (seq >= decoys_.size()) return nullptr;
-  return &decoys_[seq];
+  auto it = seq_index_.find(seq);
+  return it == seq_index_.end() ? nullptr : &decoys_[it->second];
 }
 
 void DecoyLedger::mark_response(std::uint32_t seq, SimTime when) {
@@ -43,6 +93,69 @@ void DecoyLedger::mark_response(std::uint32_t seq, SimTime when) {
       record->response_time = when;
     }
   }
+}
+
+DecoyLedger::MergeStats DecoyLedger::merge(const DecoyLedger& other) {
+  MergeStats stats;
+  // Path table first: remember per-id remaps so decoys can follow.
+  std::map<std::uint32_t, std::uint32_t> path_remap;
+  for (const PathRecord& theirs : other.paths_) {
+    auto it = path_index_.find(theirs.path_id);
+    if (it != path_index_.end()) {
+      if (paths_[it->second].same_path(theirs)) continue;  // identical seeded path
+      // Collision with a different path: find the smallest free id.
+      std::uint32_t fresh = theirs.path_id;
+      while (path_index_.count(fresh) > 0) ++fresh;
+      path_remap[theirs.path_id] = fresh;
+      ++stats.remapped_paths;
+      PathRecord copy = theirs;
+      copy.path_id = fresh;
+      path_index_[fresh] = paths_.size();
+      paths_.push_back(std::move(copy));
+    } else {
+      path_index_[theirs.path_id] = paths_.size();
+      paths_.push_back(theirs);
+    }
+    ++stats.merged_paths;
+  }
+  for (const DecoyRecord& theirs : other.decoys_) {
+    DecoyRecord copy = theirs;
+    if (auto remap = path_remap.find(copy.path_id); remap != path_remap.end()) {
+      copy.path_id = remap->second;
+    }
+    auto it = seq_index_.find(copy.id.seq);
+    if (it != seq_index_.end()) {
+      if (decoys_[it->second].id == copy.id) continue;  // exact duplicate
+      std::uint32_t fresh = copy.id.seq;
+      while (seq_index_.count(fresh) > 0) ++fresh;
+      // The as-emitted domain is kept: the old label already left the wire.
+      copy.id.seq = fresh;
+      ++stats.remapped_seqs;
+    }
+    seq_index_[copy.id.seq] = decoys_.size();
+    decoys_.push_back(std::move(copy));
+    ++stats.merged_decoys;
+  }
+  return stats;
+}
+
+void DecoyLedger::rebind_vps(const std::vector<topo::VantagePoint>& vps) {
+  for (PathRecord& path : paths_) {
+    if (path.vp_index >= 0 && static_cast<std::size_t>(path.vp_index) < vps.size()) {
+      path.vp = &vps[static_cast<std::size_t>(path.vp_index)];
+    }
+  }
+}
+
+void DecoyLedger::finalize() {
+  std::sort(paths_.begin(), paths_.end(),
+            [](const PathRecord& a, const PathRecord& b) { return a.path_id < b.path_id; });
+  std::sort(decoys_.begin(), decoys_.end(),
+            [](const DecoyRecord& a, const DecoyRecord& b) { return a.id.seq < b.id.seq; });
+  path_index_.clear();
+  seq_index_.clear();
+  for (std::size_t i = 0; i < paths_.size(); ++i) path_index_[paths_[i].path_id] = i;
+  for (std::size_t i = 0; i < decoys_.size(); ++i) seq_index_[decoys_[i].id.seq] = i;
 }
 
 }  // namespace shadowprobe::core

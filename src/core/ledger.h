@@ -6,6 +6,15 @@
 // attributable to the exact emission. The ledger also maintains the path
 // table: one row per (VP, destination) pair, the unit over which Figure 3's
 // "ratio of problematic paths" is computed.
+//
+// Sharded campaigns (CampaignEngine) give every shard its own ledger and
+// merge them afterwards. Two id regimes coexist:
+//   - *preassigned* ids, computed once by the CampaignPlan and identical for
+//     every shard layout — this is what keeps decoy domains (which embed the
+//     seq) byte-identical across shard counts;
+//   - *auto-allocated* ids, which carry the shard index in their high bits
+//     (set_shard) so independently-allocating shards can never collide; any
+//     residual collision at merge time is remapped to a fresh id.
 #pragma once
 
 #include <cstdint>
@@ -24,12 +33,22 @@ enum class DestKind { kPublicResolver, kSelfBuilt, kRoot, kTld, kWebSite };
 
 struct PathRecord {
   std::uint32_t path_id = 0;
+  /// Index of the VP in its topology's vantage_points() — the stable,
+  /// replica-independent identity used when ledgers cross shard boundaries.
+  std::int32_t vp_index = -1;
   const topo::VantagePoint* vp = nullptr;
   DestKind dest_kind = DestKind::kPublicResolver;
   std::string dest_name;     // resolver name or site domain
   net::Ipv4Addr dest_addr;
   std::string dest_country;  // operator/hosting country of the destination
   DecoyProtocol protocol = DecoyProtocol::kDns;
+
+  /// Same measurement path (ignores path_id and the replica-local pointer).
+  [[nodiscard]] bool same_path(const PathRecord& other) const noexcept {
+    return vp_index == other.vp_index && dest_addr == other.dest_addr &&
+           dest_name == other.dest_name && protocol == other.protocol &&
+           dest_kind == other.dest_kind;
+  }
 };
 
 struct DecoyRecord {
@@ -45,29 +64,80 @@ struct DecoyRecord {
 
 class DecoyLedger {
  public:
-  /// Registers a path; returns its id (idempotent per (vp,dest,protocol)).
+  /// Auto-allocated path/seq ids reserve their high bits for (shard index
+  /// + 1); preassigned plan ids live in the untagged low range.
+  static constexpr std::uint32_t kShardBits = 6;
+  static constexpr std::uint32_t kShardShift = 32 - kShardBits;
+  static constexpr std::uint32_t kLocalIdMask = (1u << kShardShift) - 1;
+  static constexpr std::uint32_t kMaxShards = (1u << kShardBits) - 1;
+
+  struct MergeStats {
+    std::size_t merged_paths = 0;
+    std::size_t merged_decoys = 0;
+    std::size_t remapped_paths = 0;
+    std::size_t remapped_seqs = 0;
+  };
+
+  /// Tags every subsequently auto-allocated path/seq id with the shard
+  /// index (stored as shard+1 in the high bits, so shard 0 is distinct from
+  /// the untagged preassigned range).
+  void set_shard(std::uint32_t shard_index);
+
+  /// Registers a path; allocates the id.
   std::uint32_t add_path(PathRecord path);
+  /// Installs a plan-built path table whose path_ids are already assigned.
+  void seed_paths(const std::vector<PathRecord>& paths);
 
   /// Creates a decoy record; allocates the sequence number and builds the
-  /// identifier/domain. The returned record is stable until the next add.
+  /// identifier/domain. The returned reference is stable until the next add.
   DecoyRecord& create(std::uint32_t path_id, SimTime now, net::Ipv4Addr vp_addr,
                       net::Ipv4Addr dst_addr, DecoyProtocol protocol, std::uint8_t ttl,
                       bool phase2);
+  /// Creates a decoy record under a plan-preassigned sequence number (the
+  /// shard-count-invariant id regime).
+  DecoyRecord& create_preassigned(std::uint32_t seq, std::uint32_t path_id, SimTime now,
+                                  net::Ipv4Addr vp_addr, net::Ipv4Addr dst_addr,
+                                  DecoyProtocol protocol, std::uint8_t ttl, bool phase2);
 
   [[nodiscard]] DecoyRecord* by_seq(std::uint32_t seq);
   [[nodiscard]] const DecoyRecord* by_seq(std::uint32_t seq) const;
-  [[nodiscard]] const PathRecord& path(std::uint32_t path_id) const {
-    return paths_.at(path_id);
-  }
+  [[nodiscard]] const PathRecord& path(std::uint32_t path_id) const;
   [[nodiscard]] const std::vector<PathRecord>& paths() const noexcept { return paths_; }
   [[nodiscard]] const std::vector<DecoyRecord>& decoys() const noexcept { return decoys_; }
   [[nodiscard]] std::size_t decoy_count() const noexcept { return decoys_.size(); }
 
   void mark_response(std::uint32_t seq, SimTime when);
 
+  /// Merges `other` into this ledger. Paths that describe the same
+  /// measurement path (same_path) are deduplicated; a path or decoy whose id
+  /// collides with a *different* entry already present is remapped to the
+  /// smallest free id (deterministic in merge order). Remapped decoys keep
+  /// their as-emitted domain — the label already left the wire — so remaps
+  /// are only expected for foreign ledgers, never for plan-preassigned ids.
+  MergeStats merge(const DecoyLedger& other);
+
+  /// Re-points every path's vp pointer into `vps` via vp_index (after a
+  /// merge across testbed replicas whose pointers are meaningless here).
+  void rebind_vps(const std::vector<topo::VantagePoint>& vps);
+
+  /// Canonical order: paths ascending by path_id, decoys ascending by seq.
+  /// Run after the final merge so iteration order is shard-count-invariant.
+  void finalize();
+
  private:
+  std::uint32_t alloc_path_id();
+  std::uint32_t alloc_seq();
+  DecoyRecord& insert_decoy(std::uint32_t seq, std::uint32_t path_id, SimTime now,
+                            net::Ipv4Addr vp_addr, net::Ipv4Addr dst_addr,
+                            DecoyProtocol protocol, std::uint8_t ttl, bool phase2);
+
   std::vector<PathRecord> paths_;
-  std::vector<DecoyRecord> decoys_;  // index == seq
+  std::vector<DecoyRecord> decoys_;
+  std::map<std::uint32_t, std::size_t> path_index_;  // path_id -> index in paths_
+  std::map<std::uint32_t, std::size_t> seq_index_;   // seq -> index in decoys_
+  std::uint32_t shard_tag_ = 0;  // (shard+1) << kShardShift, or 0 untagged
+  std::uint32_t next_local_path_ = 0;
+  std::uint32_t next_local_seq_ = 0;
 };
 
 }  // namespace shadowprobe::core

@@ -1,0 +1,40 @@
+#include "core/screening.h"
+
+namespace shadowprobe::core {
+
+namespace {
+// TTL canaries: two datagrams with distinct initial TTLs; an honest tunnel
+// preserves their difference end-to-end.
+constexpr std::uint8_t kCanaryLow = 40;
+constexpr std::uint8_t kCanaryHigh = 50;
+}  // namespace
+
+net::Ipv4Addr pair_resolver_of(net::Ipv4Addr service) {
+  return net::Ipv4Addr((service.value() & 0xFFFFFF00) |
+                       ((service.value() + 3) & 0xFF));
+}
+
+void send_screening_probes(VpAgent& agent, net::Ipv4Addr control_addr,
+                           const topo::Topology& topo) {
+  agent.send_ttl_canary(control_addr, kCanaryLow, 1);
+  agent.send_ttl_canary(control_addr, kCanaryHigh, 2);
+  // Pair-resolver probes towards every public resolver's sibling address.
+  for (const auto& target : topo.dns_target_hosts()) {
+    if (target.info.kind != topo::DnsTargetKind::kPublicResolver) continue;
+    agent.send_pair_probe(pair_resolver_of(target.addr));
+  }
+}
+
+ScreeningVerdict screen_vp(const topo::VantagePoint& vp, const ControlServer& control,
+                           bool intercepted) {
+  if (vp.residential) return ScreeningVerdict::kResidential;
+  int low = control.arrival_ttl(vp.addr, 1);
+  int high = control.arrival_ttl(vp.addr, 2);
+  if (low < 0 || high < 0 || high - low != kCanaryHigh - kCanaryLow) {
+    return ScreeningVerdict::kTtlMangling;
+  }
+  if (intercepted) return ScreeningVerdict::kIntercepted;
+  return ScreeningVerdict::kUsable;
+}
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,106 @@
+#include "core/shard_runner.h"
+
+namespace shadowprobe::core {
+
+ShardRunner::ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
+                         const TestbedConfig& bed_config, const CampaignConfig& config,
+                         const Decorator& decorate)
+    : shard_index_(shard_index),
+      shard_count_(shard_count == 0 ? 1 : shard_count),
+      config_(config),
+      bed_(Testbed::create(bed_config)),
+      rng_(bed_->fork_rng("campaign")) {
+  // Ground truth first, exactly as a serial run would deploy it, so the
+  // replica's address plan and handler wiring match the serial testbed.
+  if (decorate) deployment_ = decorate(*bed_);
+
+  ledger_.set_shard(shard_index_);
+
+  // Agents for every VP — identical wiring on every replica — though only
+  // owned VPs ever emit. Streams are derived from the VP id, so an agent's
+  // randomness is independent of shard membership.
+  for (const auto& vp : bed_->topology().vantage_points()) {
+    VpAgent::Hooks hooks;
+    hooks.on_dest_response = [this](std::uint32_t seq, SimTime when) {
+      ledger_.mark_response(seq, when);
+      if (++response_counts_[seq] > 1) replicated_seqs_.insert(seq);
+    };
+    hooks.on_hop = [this](std::uint32_t seq, net::Ipv4Addr hop, SimTime) {
+      hop_log_.emplace(seq, hop);
+    };
+    hooks.on_interception = [this](const topo::VantagePoint& vp, net::Ipv4Addr) {
+      intercepted_vps_.insert(&vp);
+    };
+    auto agent =
+        std::make_unique<VpAgent>(vp, rng_.derive("vp-" + vp.id), std::move(hooks));
+    agent->bind(bed_->net());
+    agent->set_dns_transport(config_.dns_transport, bed_->oblivious_proxy_addr());
+    agent->set_tls_ech(config_.tls_decoys_use_ech);
+    agent_index_[&vp] = agent.get();
+    agents_.push_back(std::move(agent));
+  }
+  // Control server for the TTL canary, hosted next to the US honeypot.
+  control_server_ = std::make_unique<ControlServer>();
+  sim::NodeId node = bed_->topology().add_host_in_as(
+      bed_->net(), bed_->topology().honeypots().front().asn, "control-server",
+      control_server_.get());
+  control_addr_ = bed_->net().address(node);
+}
+
+ShardRunner::~ShardRunner() = default;
+
+void ShardRunner::run_screening() {
+  const auto& vps = bed_->topology().vantage_points();
+  for (std::size_t i = 0; i < vps.size(); ++i) {
+    if (!owns_vp(i) || vps[i].residential) continue;
+    send_screening_probes(*agent_for(&vps[i]), control_addr_, bed_->topology());
+  }
+  // Let the probes settle; every shard advances the same hour so replica
+  // clocks stay aligned whether or not this shard owns any candidate.
+  bed_->loop().run_until(bed_->loop().now() + kHour);
+}
+
+ScreeningVerdict ShardRunner::verdict(std::size_t vp_index) const {
+  const auto& vp = bed_->topology().vantage_points().at(vp_index);
+  return screen_vp(vp, *control_server_, intercepted_vps_.count(&vp) > 0);
+}
+
+void ShardRunner::adopt_plan(const CampaignPlan& plan) {
+  ledger_.seed_paths(plan.paths());
+  ledger_.rebind_vps(bed_->topology().vantage_points());
+}
+
+void ShardRunner::schedule_owned(const CampaignPlan& plan, std::size_t first,
+                                 std::size_t last) {
+  const auto& vps = bed_->topology().vantage_points();
+  for (std::size_t i = first; i < last; ++i) {
+    const PlanEmission& emission = plan.emissions()[i];
+    if (emission.vp_index < 0 ||
+        !owns_vp(static_cast<std::size_t>(emission.vp_index))) {
+      continue;
+    }
+    const PathRecord& path = plan.path(emission.path_id);
+    const topo::VantagePoint* vp = &vps.at(static_cast<std::size_t>(path.vp_index));
+    bed_->loop().schedule_at(
+        emission.when,
+        [this, emission, vp, dst = path.dest_addr, protocol = path.protocol] {
+          DecoyRecord& record = ledger_.create_preassigned(
+              emission.seq, emission.path_id, emission.when, vp->addr, dst, protocol,
+              emission.ttl, emission.phase2);
+          if (protocol == DecoyProtocol::kDns) {
+            agent_for(vp)->send_dns_decoy(record);
+          } else if (emission.phase2) {
+            // Handshake-less during tracerouting, same as the serial path.
+            agent_for(vp)->send_raw_decoy(record);
+          } else if (protocol == DecoyProtocol::kHttp) {
+            agent_for(vp)->send_http_decoy(record);
+          } else {
+            agent_for(vp)->send_tls_decoy(record);
+          }
+        });
+  }
+}
+
+void ShardRunner::run_until(SimTime deadline) { bed_->loop().run_until(deadline); }
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,107 @@
+// ShardRunner: one shard of a partitioned campaign.
+//
+// Each shard owns a complete Testbed replica — topology, resolvers,
+// honeypots, web farm, and (via the decorator) exhibitor ground truth —
+// built from the same master seed, so every replica is structurally
+// identical. What differs is only *which VPs emit*: a shard executes the
+// plan emissions whose VP it owns (round-robin by topology index) on its
+// private event loop, and records outcomes in its private ledger / logbook
+// / hop log, which the engine merges afterwards.
+//
+// Replica equivalence relies on two properties of the substrate:
+//   - construction is label-keyed (fork_rng with stable names, exhibitor
+//     seeds derived from seed ^ hash(label)), so replicas deploy byte-alike;
+//   - behavioural randomness downstream of an emission is keyed by stable
+//     entity names (VP id, decoy domain, resolver question), never by draw
+//     order, so a decoy's fate is independent of which other VPs share its
+//     shard.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/campaign_config.h"
+#include "core/campaign_plan.h"
+#include "core/screening.h"
+#include "core/testbed.h"
+#include "core/vp_agent.h"
+
+namespace shadowprobe::core {
+
+class ShardRunner {
+ public:
+  /// Installs ground-truth shadowing (exhibitors etc.) on a freshly built
+  /// replica; the returned handle keeps the deployment alive for the
+  /// shard's lifetime. Type-erased so sp_core needs no sp_shadow dependency.
+  using Decorator = std::function<std::shared_ptr<void>(Testbed&)>;
+
+  ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
+              const TestbedConfig& bed_config, const CampaignConfig& config,
+              const Decorator& decorate);
+  ~ShardRunner();
+
+  ShardRunner(const ShardRunner&) = delete;
+  ShardRunner& operator=(const ShardRunner&) = delete;
+
+  [[nodiscard]] std::uint32_t shard_index() const noexcept { return shard_index_; }
+  [[nodiscard]] bool owns_vp(std::size_t vp_index) const noexcept {
+    return vp_index % shard_count_ == shard_index_;
+  }
+
+  // -- phases (the engine runs these on worker threads; each touches only
+  //    this shard's replica) ---------------------------------------------
+
+  /// Emits screening probes for the owned, non-residential VPs and lets
+  /// them settle (advances the shard clock by one hour, like the serial
+  /// campaign does).
+  void run_screening();
+  /// Seeds the shard ledger with the plan's path table (rebound to this
+  /// replica's VP storage).
+  void adopt_plan(const CampaignPlan& plan);
+  /// Schedules the owned subset of plan emissions [first, last).
+  void schedule_owned(const CampaignPlan& plan, std::size_t first, std::size_t last);
+  /// Runs this shard's event loop up to `deadline`.
+  void run_until(SimTime deadline);
+
+  // -- results -----------------------------------------------------------
+
+  /// Screening verdict for an owned VP (valid after run_screening).
+  [[nodiscard]] ScreeningVerdict verdict(std::size_t vp_index) const;
+  [[nodiscard]] const DecoyLedger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] const std::vector<HoneypotHit>& hits() const noexcept {
+    return bed_->logbook().hits();
+  }
+  [[nodiscard]] const std::map<std::uint32_t, net::Ipv4Addr>& hop_log() const noexcept {
+    return hop_log_;
+  }
+  [[nodiscard]] const std::set<std::uint32_t>& replicated_seqs() const noexcept {
+    return replicated_seqs_;
+  }
+  [[nodiscard]] sim::EventLoopStats stats() const noexcept { return bed_->loop().stats(); }
+  [[nodiscard]] Testbed& testbed() noexcept { return *bed_; }
+  [[nodiscard]] const Testbed& testbed() const noexcept { return *bed_; }
+
+ private:
+  VpAgent* agent_for(const topo::VantagePoint* vp) { return agent_index_.at(vp); }
+
+  std::uint32_t shard_index_;
+  std::uint32_t shard_count_;
+  CampaignConfig config_;
+  std::unique_ptr<Testbed> bed_;
+  std::shared_ptr<void> deployment_;
+  Rng rng_;
+  DecoyLedger ledger_;
+  std::vector<std::unique_ptr<VpAgent>> agents_;
+  std::map<const topo::VantagePoint*, VpAgent*> agent_index_;
+  std::map<std::uint32_t, net::Ipv4Addr> hop_log_;
+  std::map<std::uint32_t, int> response_counts_;
+  std::set<std::uint32_t> replicated_seqs_;
+  std::set<const topo::VantagePoint*> intercepted_vps_;
+  std::unique_ptr<ControlServer> control_server_;
+  net::Ipv4Addr control_addr_;
+};
+
+}  // namespace shadowprobe::core

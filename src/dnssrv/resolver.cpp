@@ -13,7 +13,8 @@ constexpr std::uint32_t kNegativeTtl = 300;
 
 RecursiveResolver::RecursiveResolver(std::string name, std::vector<net::Ipv4Addr> roots,
                                      Rng rng)
-    : name_(std::move(name)), roots_(std::move(roots)), rng_(rng) {}
+    : name_(std::move(name)), roots_(std::move(roots)), rng_(rng),
+      qid_rng_(rng_.fork("qid")) {}
 
 void RecursiveResolver::bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr service_addr,
                              net::Ipv4Addr egress_addr) {
@@ -26,7 +27,7 @@ void RecursiveResolver::bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr 
 
 std::uint16_t RecursiveResolver::fresh_qid() {
   for (;;) {
-    auto qid = static_cast<std::uint16_t>(rng_.bits());
+    auto qid = static_cast<std::uint16_t>(qid_rng_.bits());
     if (tasks_.count(qid) == 0) return qid;
   }
 }
@@ -94,7 +95,17 @@ void RecursiveResolver::handle_client_query(const net::Ipv4Datagram& dgram,
 }
 
 void RecursiveResolver::start_task(Task task) {
-  task.current_server = roots_[static_cast<std::size_t>(rng_.below(roots_.size()))];
+  if (task.behavior_seed == 0) {
+    // Entity-keyed behaviour: every draw this task will ever make stems
+    // from (question name, occurrence) — never from what else the replica
+    // happens to be resolving concurrently.
+    std::uint32_t use = name_uses_[task.question.name.str()]++;
+    task.behavior_seed =
+        rng_.derive("task:" + task.question.name.str() + "#" + std::to_string(use))
+            .origin_seed();
+  }
+  Rng root_rng = Rng(task.behavior_seed).derive("root");
+  task.current_server = roots_[static_cast<std::size_t>(root_rng.below(roots_.size()))];
   task.referrals = 0;
   task.attempts = 0;
   std::uint16_t qid = fresh_qid();
@@ -246,12 +257,15 @@ void RecursiveResolver::respond_to_client(const Task& task, net::DnsRcode rcode,
 
 void RecursiveResolver::maybe_schedule_requeries(const Task& task) {
   if (task.internal) return;  // duplicates never spawn more duplicates
-  if (quirks_.requery_probability <= 0 || !rng_.chance(quirks_.requery_probability)) return;
+  Rng requery_rng = Rng(task.behavior_seed).derive("requery");
+  if (quirks_.requery_probability <= 0 || !requery_rng.chance(quirks_.requery_probability))
+    return;
   // Duplicate verification queries straight to the last authoritative
   // server — the benign "zombie" repetitions the honeypot sees within a
   // minute of the original resolution.
   for (int i = 0; i < quirks_.requery_count; ++i) {
-    SimDuration delay = from_seconds(rng_.exponential(to_seconds(quirks_.requery_delay_mean)));
+    SimDuration delay =
+        from_seconds(requery_rng.exponential(to_seconds(quirks_.requery_delay_mean)));
     net::DnsQuestion question = task.question;
     net::Ipv4Addr server = task.current_server;
     net_->loop().schedule(delay, [this, question, server] {

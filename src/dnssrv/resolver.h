@@ -78,6 +78,12 @@ class RecursiveResolver : public sim::DatagramHandler {
 
  private:
   struct Task {
+    /// Seed of the task's behavioural stream, derived from the question
+    /// name (plus a per-name occurrence counter). Keying behaviour by the
+    /// *name* — not by global draw order — keeps a resolution's fate
+    /// identical no matter which other queries this replica is serving,
+    /// which is what lets sharded campaigns replay byte-identically.
+    std::uint64_t behavior_seed = 0;
     // Client side (unset for internal tasks: quirk re-queries / refreshes).
     bool internal = false;
     bool encrypted = false;  // client spoke encrypted DNS: answer in kind
@@ -111,6 +117,8 @@ class RecursiveResolver : public sim::DatagramHandler {
   std::string name_;
   std::vector<net::Ipv4Addr> roots_;
   Rng rng_;
+  Rng qid_rng_;  // upstream qids: non-behavioural, stays a sequential stream
+  std::map<std::string, std::uint32_t> name_uses_;  // per-name task counter
   ResolverQuirks quirks_;
   DnsCache cache_;
   sim::Network* net_ = nullptr;

@@ -1,6 +1,7 @@
 #include "shadow/exhibitor.h"
 
 #include <algorithm>
+#include <string>
 
 namespace shadowprobe::shadow {
 
@@ -23,9 +24,15 @@ void Exhibitor::observe(SimTime now, const net::DnsName& domain, net::Ipv4Addr c
     if (prober->addr() == client) return;
   }
   if (seen_.count(domain) > 0) return;
-  auto [pair_it, fresh] = monitored_.try_emplace({client, server}, false);
-  if (fresh) pair_it->second = rng_.chance(config_.observe_probability);
-  if (!pair_it->second) return;
+  // Monitoring is selected per (client, server) pair, deterministically: a
+  // DPI device either watches a flow pair or it does not. The decision is
+  // *derived* from the pair — not drawn from a shared stream — so it never
+  // depends on what else this exhibitor has seen. This is also what makes
+  // the Phase-II TTL sweep crisp: every variant of a monitored path is
+  // observed once it reaches the device's hop, so the smallest triggering
+  // TTL is exactly the device's hop.
+  Rng pair_rng = rng_.derive("mon:" + client.str() + ">" + server.str());
+  if (!pair_rng.chance(config_.observe_probability)) return;
   seen_.insert(domain);
 
   Observation obs;
@@ -35,31 +42,40 @@ void Exhibitor::observe(SimTime now, const net::DnsName& domain, net::Ipv4Addr c
   obs.server = server;
   obs.seen_in = seen_in;
   std::size_t item = store_.record(std::move(obs));
-  for (const auto& wave : config_.waves) {
-    if (rng_.chance(wave.probability)) schedule_wave(item, wave);
+  // Replay randomness is keyed by the observed domain: one behavioural
+  // stream per observation, one sub-stream per wave.
+  Rng obs_rng = rng_.derive("obs:" + domain.str());
+  for (std::size_t wi = 0; wi < config_.waves.size(); ++wi) {
+    const ReplayWave& wave = config_.waves[wi];
+    Rng wave_rng = obs_rng.derive("wave-" + std::to_string(wi));
+    if (wave_rng.chance(wave.probability)) schedule_wave(item, wave, wave_rng);
   }
 }
 
-void Exhibitor::schedule_wave(std::size_t item, const ReplayWave& wave) {
-  int requests = static_cast<int>(rng_.range(wave.requests_min, wave.requests_max));
+void Exhibitor::schedule_wave(std::size_t item, const ReplayWave& wave, Rng wave_rng) {
+  int requests = static_cast<int>(wave_rng.range(wave.requests_min, wave.requests_max));
   for (int i = 0; i < requests; ++i) {
-    double seconds = rng_.lognormal(to_seconds(wave.delay_median), wave.delay_sigma);
+    double seconds = wave_rng.lognormal(to_seconds(wave.delay_median), wave.delay_sigma);
     seconds = std::max(seconds, to_seconds(wave.delay_floor));
     // Capture wave parameters by value: profiles outlive the deployment but
-    // the lambda must not reference caller stack frames.
+    // the lambda must not reference caller stack frames. Each request gets
+    // its own derived stream so firing order cannot skew later draws.
     ReplayWave w = wave;
-    loop_.schedule(from_seconds(seconds), [this, item, w] { fire_request(item, w); });
+    Rng request_rng = wave_rng.derive("req-" + std::to_string(i));
+    loop_.schedule(from_seconds(seconds), [this, item, w, request_rng]() mutable {
+      fire_request(item, w, request_rng);
+    });
   }
 }
 
-void Exhibitor::fire_request(std::size_t item, const ReplayWave& wave) {
+void Exhibitor::fire_request(std::size_t item, const ReplayWave& wave, Rng& rng) {
   if (probers_.empty()) return;
   const Observation& obs = store_.at(item);
-  std::size_t pick = rng_.weighted({wave.dns_weight, wave.http_weight, wave.https_weight});
+  std::size_t pick = rng.weighted({wave.dns_weight, wave.http_weight, wave.https_weight});
   const std::vector<ProberHost*>& pool =
       pick == 0 ? (dns_probers_.empty() ? probers_ : dns_probers_)
                 : (web_probers_.empty() ? probers_ : web_probers_);
-  ProberHost* prober = pool[static_cast<std::size_t>(rng_.below(pool.size()))];
+  ProberHost* prober = pool[static_cast<std::size_t>(rng.below(pool.size()))];
   switch (pick) {
     case 0:
       prober->probe_dns(obs.domain, config_.probe_resolver);

@@ -87,8 +87,8 @@ class Exhibitor {
   [[nodiscard]] std::uint64_t observations() const noexcept { return store_.size(); }
 
  private:
-  void schedule_wave(std::size_t item, const ReplayWave& wave);
-  void fire_request(std::size_t item, const ReplayWave& wave);
+  void schedule_wave(std::size_t item, const ReplayWave& wave, Rng wave_rng);
+  void fire_request(std::size_t item, const ReplayWave& wave, Rng& rng);
 
   ExhibitorConfig config_;
   Rng rng_;
@@ -101,12 +101,6 @@ class Exhibitor {
   /// feedback); repeats — including echoes of our own probes crossing the
   /// same networks — are not re-armed.
   std::set<net::DnsName> seen_;
-  /// Monitoring is selected per (client, server) pair, deterministically:
-  /// a DPI device either watches a flow pair or it does not. This is what
-  /// makes the Phase-II TTL sweep crisp — every variant of a monitored
-  /// path is observed once it reaches the device's hop, so the smallest
-  /// triggering TTL is exactly the device's hop.
-  std::map<std::pair<net::Ipv4Addr, net::Ipv4Addr>, bool> monitored_;
 };
 
 }  // namespace shadowprobe::shadow

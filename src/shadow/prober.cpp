@@ -9,7 +9,8 @@
 namespace shadowprobe::shadow {
 
 ProberHost::ProberHost(std::string name, Rng rng, const intel::SignatureDb& signatures)
-    : name_(std::move(name)), rng_(rng), signatures_(signatures) {}
+    : name_(std::move(name)), rng_(rng), qid_rng_(rng_.fork("qid")),
+      signatures_(signatures) {}
 
 void ProberHost::bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr addr) {
   net_ = &net;
@@ -75,15 +76,20 @@ void ProberHost::resolve(const net::DnsName& domain, net::Ipv4Addr resolver,
                          Purpose purpose, int path_count) {
   std::uint16_t qid;
   do {
-    qid = static_cast<std::uint16_t>(rng_.bits());
+    qid = static_cast<std::uint16_t>(qid_rng_.bits());
   } while (lookups_.count(qid) > 0);
   PendingLookup lookup{domain, purpose, path_count, /*iterative=*/false, 0};
   net::Ipv4Addr server = resolver;
+  // Behaviour keyed by (domain, occurrence): whether this probe walks the
+  // tree itself is a property of the probe, not of the prober's history.
+  Rng job_rng = rng_.derive("job:" + domain.str() + "#" +
+                            std::to_string(domain_uses_[domain.str()]++));
   // Only pure DNS probes go iterative; HTTP(S) jobs need an answer and use
   // the configured public resolver.
-  if (purpose == Purpose::kDnsOnly && !roots_.empty() && rng_.chance(direct_probability_)) {
+  if (purpose == Purpose::kDnsOnly && !roots_.empty() &&
+      job_rng.chance(direct_probability_)) {
     lookup.iterative = true;
-    server = roots_[static_cast<std::size_t>(rng_.below(roots_.size()))];
+    server = roots_[static_cast<std::size_t>(job_rng.below(roots_.size()))];
   }
   bool recursive = !lookup.iterative;
   lookups_[qid] = std::move(lookup);
@@ -140,17 +146,20 @@ void ProberHost::on_resolved(const PendingLookup& lookup, net::Ipv4Addr address)
   }
 }
 
-std::vector<std::string> ProberHost::sample_paths(int count) {
+std::vector<std::string> ProberHost::sample_paths(const net::DnsName& domain, int count) {
   // Mostly directory enumeration, a benign homepage fetch leading — the mix
   // the paper's payload analysis reports (>=90-95% enumeration, the rest
-  // benign, zero exploit payloads).
+  // benign, zero exploit payloads). Keyed by the probed domain so the path
+  // choice is independent of this prober's other jobs.
+  Rng path_rng = rng_.derive("paths:" + domain.str() + "#" +
+                             std::to_string(path_uses_[domain.str()]++));
   std::vector<std::string> paths;
   if (count <= 0) count = 1;
   paths.reserve(static_cast<std::size_t>(count));
-  if (rng_.chance(0.4)) paths.push_back("/");
+  if (path_rng.chance(0.4)) paths.push_back("/");
   const auto& wordlist = signatures_.enumeration_paths();
   while (paths.size() < static_cast<std::size_t>(count)) {
-    paths.push_back(rng_.pick(wordlist));
+    paths.push_back(path_rng.pick(wordlist));
   }
   return paths;
 }
@@ -158,7 +167,7 @@ std::vector<std::string> ProberHost::sample_paths(int count) {
 void ProberHost::start_http(const net::DnsName& domain, net::Ipv4Addr address,
                             int path_count) {
   sim::ConnKey key = tcp_->connect(addr_, address, 80);
-  jobs_[key] = HttpJob{domain, sample_paths(path_count), /*tls=*/false};
+  jobs_[key] = HttpJob{domain, sample_paths(domain, path_count), /*tls=*/false};
 }
 
 void ProberHost::start_https(const net::DnsName& domain, net::Ipv4Addr address) {

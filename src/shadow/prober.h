@@ -84,10 +84,16 @@ class ProberHost : public sim::DatagramHandler {
   void start_http(const net::DnsName& domain, net::Ipv4Addr address, int path_count);
   void start_https(const net::DnsName& domain, net::Ipv4Addr address);
   void send_next_get(const sim::ConnKey& key);
-  std::vector<std::string> sample_paths(int count);
+  std::vector<std::string> sample_paths(const net::DnsName& domain, int count);
 
   std::string name_;
   Rng rng_;
+  Rng qid_rng_;  // DNS query ids: non-behavioural, stays a sequential stream
+  /// Per-domain probe counters keying the behavioural streams: a probe's
+  /// randomness depends on (domain, occurrence), never on what else this
+  /// prober is doing — the invariant sharded campaigns rely on.
+  std::map<std::string, std::uint32_t> domain_uses_;
+  std::map<std::string, std::uint32_t> path_uses_;
   const intel::SignatureDb& signatures_;
   sim::Network* net_ = nullptr;
   sim::NodeId node_ = sim::kInvalidNode;

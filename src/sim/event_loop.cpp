@@ -1,5 +1,6 @@
 #include "sim/event_loop.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace shadowprobe::sim {
@@ -11,15 +12,20 @@ void EventLoop::schedule(SimDuration delay, Action action) {
 
 void EventLoop::schedule_at(SimTime when, Action action) {
   if (when < now_) when = now_;
-  queue_.push(Entry{when, next_seq_++, std::move(action)});
+  heap_.push_back(Entry{when, next_seq_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  high_water_ = std::max(high_water_, heap_.size());
+}
+
+EventLoopStats EventLoop::stats() const noexcept {
+  return EventLoopStats{processed_, next_seq_, heap_.size(), high_water_, now_};
 }
 
 bool EventLoop::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; move via const_cast is safe because the
-  // entry is popped immediately after.
-  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-  queue_.pop();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
   now_ = entry.when;
   ++processed_;
   entry.action();
@@ -32,7 +38,7 @@ void EventLoop::run() {
 }
 
 void EventLoop::run_until(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().when <= deadline) step();
+  while (!heap_.empty() && heap_.front().when <= deadline) step();
   if (now_ < deadline) now_ = deadline;
 }
 

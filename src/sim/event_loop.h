@@ -8,12 +8,21 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/time.h"
 
 namespace shadowprobe::sim {
+
+/// Snapshot of a loop's lifetime counters. Shard runners report one of these
+/// per shard so the engine can expose per-shard load/progress statistics.
+struct EventLoopStats {
+  std::uint64_t processed = 0;   ///< events executed so far
+  std::uint64_t scheduled = 0;   ///< events ever enqueued
+  std::size_t pending = 0;       ///< events currently queued
+  std::size_t high_water = 0;    ///< max simultaneous queue depth seen
+  SimTime now = 0;               ///< current simulated clock
+};
 
 class EventLoop {
  public:
@@ -25,9 +34,10 @@ class EventLoop {
   void schedule_at(SimTime when, Action action);
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
-  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+  [[nodiscard]] EventLoopStats stats() const noexcept;
 
   /// Runs events until the queue drains.
   void run();
@@ -48,10 +58,15 @@ class EventLoop {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  // Min-heap over a plain vector (std::push_heap/std::pop_heap with
+  // std::greater<> so heap_.front() is the earliest entry). A raw vector lets
+  // step() move entries out without the const_cast that std::priority_queue's
+  // const top() would force.
+  std::vector<Entry> heap_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace shadowprobe::sim

@@ -62,6 +62,115 @@ TEST_F(LedgerTest, SequenceNumbersAreDenseAndLookupable) {
   EXPECT_EQ(ledger.by_seq(4242), nullptr);
 }
 
+TEST_F(LedgerTest, ShardTagSeparatesAutoAllocatedIds) {
+  DecoyLedger shard0;
+  DecoyLedger shard1;
+  shard0.set_shard(0);
+  shard1.set_shard(1);
+  std::uint32_t p0 = shard0.add_path(make_path("a"));
+  std::uint32_t p1 = shard1.add_path(make_path("b"));
+  // Shard 0 is tagged too (shard+1), so both ranges are disjoint from each
+  // other and from the untagged preassigned range.
+  EXPECT_NE(p0 & ~DecoyLedger::kLocalIdMask, 0u);
+  EXPECT_NE(p1 & ~DecoyLedger::kLocalIdMask, 0u);
+  EXPECT_NE(p0 >> DecoyLedger::kShardShift, p1 >> DecoyLedger::kShardShift);
+  DecoyRecord r0 = shard0.create(p0, 0, vp.addr, Ipv4Addr(8, 8, 8, 8),
+                                 DecoyProtocol::kDns, 64, false);
+  DecoyRecord r1 = shard1.create(p1, 0, vp.addr, Ipv4Addr(8, 8, 8, 8),
+                                 DecoyProtocol::kDns, 64, false);
+  EXPECT_NE(r0.id.seq, r1.id.seq);
+}
+
+TEST_F(LedgerTest, MergeDeduplicatesSeededPathsAndUnionsDecoys) {
+  // Two shards seeded with the same plan table, each emitting a disjoint
+  // half of the preassigned decoys — the CampaignEngine regime.
+  PathRecord a = make_path("a");
+  a.path_id = 0;
+  a.vp_index = 0;
+  PathRecord b = make_path("b");
+  b.path_id = 1;
+  b.vp_index = 0;
+  std::vector<PathRecord> plan = {a, b};
+  DecoyLedger shard0;
+  DecoyLedger shard1;
+  shard0.set_shard(0);
+  shard1.set_shard(1);
+  shard0.seed_paths(plan);
+  shard1.seed_paths(plan);
+  shard0.create_preassigned(0, 0, kSecond, vp.addr, Ipv4Addr(8, 8, 8, 8),
+                            DecoyProtocol::kDns, 64, false);
+  shard1.create_preassigned(1, 1, 2 * kSecond, vp.addr, Ipv4Addr(8, 8, 8, 8),
+                            DecoyProtocol::kDns, 64, false);
+
+  DecoyLedger merged;
+  merged.seed_paths(plan);
+  auto stats0 = merged.merge(shard0);
+  auto stats1 = merged.merge(shard1);
+  merged.finalize();
+  EXPECT_EQ(stats0.remapped_paths + stats1.remapped_paths, 0u);
+  EXPECT_EQ(stats0.remapped_seqs + stats1.remapped_seqs, 0u);
+  EXPECT_EQ(merged.paths().size(), 2u);  // plan paths deduplicated, not doubled
+  ASSERT_EQ(merged.decoy_count(), 2u);
+  EXPECT_EQ(merged.decoys()[0].id.seq, 0u);
+  EXPECT_EQ(merged.decoys()[1].id.seq, 1u);
+  EXPECT_EQ(merged.by_seq(1)->sent, 2 * kSecond);
+}
+
+TEST_F(LedgerTest, MergeRemapsCollidingForeignIds) {
+  // Two untagged ledgers allocate overlapping ids for *different* paths and
+  // decoys; the merge must keep both, remapping the second to free ids.
+  DecoyLedger lhs;
+  DecoyLedger rhs;
+  std::uint32_t lp = lhs.add_path(make_path("left"));
+  std::uint32_t rp = rhs.add_path(make_path("right"));
+  EXPECT_EQ(lp, rp);  // both allocated id 0
+  lhs.create(lp, kSecond, vp.addr, Ipv4Addr(8, 8, 8, 8), DecoyProtocol::kDns, 64, false);
+  rhs.create(rp, 2 * kSecond, vp.addr, Ipv4Addr(9, 9, 9, 9), DecoyProtocol::kHttp, 64,
+             false);
+  net::DnsName rhs_domain = rhs.decoys()[0].domain;
+
+  DecoyLedger merged;
+  merged.merge(lhs);
+  auto stats = merged.merge(rhs);
+  merged.finalize();
+  EXPECT_EQ(stats.remapped_paths, 1u);
+  EXPECT_EQ(stats.remapped_seqs, 1u);
+  ASSERT_EQ(merged.paths().size(), 2u);
+  ASSERT_EQ(merged.decoy_count(), 2u);
+  // The remapped decoy follows its remapped path and keeps the as-emitted
+  // domain (the label already left the wire).
+  const DecoyRecord* moved = merged.by_seq(1);
+  ASSERT_NE(moved, nullptr);
+  EXPECT_EQ(moved->domain, rhs_domain);
+  EXPECT_EQ(merged.path(moved->path_id).dest_name, "right");
+}
+
+TEST_F(LedgerTest, MergeSkipsExactDuplicates) {
+  DecoyLedger lhs;
+  std::uint32_t pid = lhs.add_path(make_path("a"));
+  lhs.create(pid, kSecond, vp.addr, Ipv4Addr(8, 8, 8, 8), DecoyProtocol::kDns, 64, false);
+  DecoyLedger merged;
+  merged.merge(lhs);
+  auto stats = merged.merge(lhs);  // merging the same ledger twice
+  EXPECT_EQ(stats.merged_paths, 0u);
+  EXPECT_EQ(stats.merged_decoys, 0u);
+  EXPECT_EQ(merged.paths().size(), 1u);
+  EXPECT_EQ(merged.decoy_count(), 1u);
+}
+
+TEST_F(LedgerTest, RebindVpsFollowsVpIndex) {
+  std::vector<topo::VantagePoint> replica(2);
+  replica[0].id = "first";
+  replica[1].id = "second";
+  PathRecord path = make_path("a");
+  path.vp_index = 1;
+  path.vp = nullptr;
+  DecoyLedger ledger2;
+  ledger2.add_path(path);
+  ledger2.rebind_vps(replica);
+  EXPECT_EQ(ledger2.paths()[0].vp, &replica[1]);
+}
+
 TEST_F(LedgerTest, MarkResponseIsFirstWriteWins) {
   std::uint32_t pid = ledger.add_path(make_path("a"));
   DecoyRecord record = ledger.create(pid, 0, vp.addr, Ipv4Addr(8, 8, 8, 8),

@@ -86,5 +86,36 @@ TEST(EventLoop, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(loop.step());
 }
 
+TEST(EventLoop, SameTimestampFiresInScheduleOrder) {
+  // Regression: the heap used to mutate entries in place through const_cast;
+  // ties on `when` must still break on the monotone sequence number, so
+  // events scheduled for the same instant fire in schedule order.
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    loop.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  // Interleave an earlier and a later event to force heap churn.
+  loop.schedule(50, [&order] { order.push_back(-1); });
+  loop.schedule(200, [&order] { order.push_back(-2); });
+  loop.run();
+  ASSERT_EQ(order.size(), 66u);
+  EXPECT_EQ(order.front(), -1);
+  EXPECT_EQ(order.back(), -2);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i) + 1], i);
+}
+
+TEST(EventLoop, StatsTrackProcessedAndHighWater) {
+  EventLoop loop;
+  for (int i = 0; i < 10; ++i) loop.schedule(i, [] {});
+  EXPECT_EQ(loop.stats().pending, 10u);
+  EXPECT_EQ(loop.stats().high_water, 10u);
+  loop.run();
+  EXPECT_EQ(loop.stats().processed, 10u);
+  EXPECT_EQ(loop.stats().pending, 0u);
+  EXPECT_EQ(loop.stats().high_water, 10u);
+  EXPECT_EQ(loop.stats().scheduled, 10u);
+}
+
 }  // namespace
 }  // namespace shadowprobe::sim

@@ -7,20 +7,27 @@
 //     --scale X          platform scale multiplier (default 1.0)
 //     --seed N           master seed (default 20240301)
 //     --days N           capture horizon in simulated days (default 25)
+//     --shards N         run the sharded engine with N VP partitions
+//                        (default: SHADOWPROBE_SHARDS env var, else serial);
+//                        results are byte-identical for any N
 //     --transport T      dns decoy transport: plain | dot | odoh
 //     --ech              send TLS decoys with Encrypted Client Hello
 //     --no-screening     skip the Appendix-E platform screens
 //     --report R         all | fig3 | table2 | table3 | retention (default all)
 //     --json FILE        write the full analysis as JSON
 //     --trace N          print the first N packets crossing the CN gateway
+//                        (with --shards, shard 0's replica)
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "core/analysis.h"
 #include "core/campaign.h"
+#include "core/campaign_engine.h"
 #include "core/json_export.h"
 #include "core/report.h"
 #include "core/testbed.h"
@@ -35,6 +42,7 @@ struct CliOptions {
   double scale = 1.0;
   std::uint64_t seed = 20240301;
   int days = 25;
+  int shards = 0;  // 0 = serial Campaign, >= 1 = CampaignEngine
   core::DnsDecoyTransport transport = core::DnsDecoyTransport::kPlain;
   bool ech = false;
   bool screening = true;
@@ -46,13 +54,17 @@ struct CliOptions {
 int usage() {
   std::fprintf(stderr,
                "usage: shadowprobe_cli run [--scale X] [--seed N] [--days N]\n"
-               "         [--transport plain|dot|odoh] [--ech] [--no-screening]\n"
+               "         [--shards N] [--transport plain|dot|odoh] [--ech]\n"
+               "         [--no-screening]\n"
                "         [--report all|fig3|table2|table3|retention] [--json FILE]\n"
                "         [--trace N]\n");
   return 2;
 }
 
 bool parse_options(int argc, char** argv, CliOptions& options) {
+  if (const char* env = std::getenv("SHADOWPROBE_SHARDS")) {
+    options.shards = std::atoi(env);
+  }
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
@@ -68,6 +80,10 @@ bool parse_options(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.days = std::atoi(v);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return false;
+      options.shards = std::atoi(v);
     } else if (arg == "--transport") {
       const char* v = next();
       if (!v) return false;
@@ -104,9 +120,9 @@ bool parse_options(int argc, char** argv, CliOptions& options) {
   return true;
 }
 
-void print_fig3(core::Testbed& bed, const core::Campaign& campaign) {
+void print_fig3(core::Testbed& bed, const core::CampaignResult& result) {
   (void)bed;
-  auto ratios = core::path_ratios(campaign.ledger(), campaign.unsolicited());
+  auto ratios = core::path_ratios(result.ledger, result.unsolicited);
   std::printf("problematic path ratios (DNS, per destination):\n");
   core::TextTable table({"destination", "global VPs", "CN VPs", "all"});
   int printed = 0;
@@ -120,8 +136,8 @@ void print_fig3(core::Testbed& bed, const core::Campaign& campaign) {
   std::printf("%s\n", table.str().c_str());
 }
 
-void print_table2(const core::Campaign& campaign) {
-  auto locations = core::observer_locations(campaign.findings());
+void print_table2(const core::CampaignResult& result) {
+  auto locations = core::observer_locations(result.findings);
   std::printf("observer location (normalized hops, 10 = destination):\n");
   for (const auto& [protocol, shares] : locations.shares) {
     std::printf("  %-4s:", core::decoy_protocol_name(protocol).c_str());
@@ -133,8 +149,8 @@ void print_table2(const core::Campaign& campaign) {
   std::printf("\n");
 }
 
-void print_table3(core::Testbed& bed, const core::Campaign& campaign) {
-  auto table = core::observer_ases(campaign.findings(), bed.topology().geo());
+void print_table3(core::Testbed& bed, const core::CampaignResult& result) {
+  auto table = core::observer_ases(result.findings, bed.topology().geo());
   std::printf("top observer ASes (%d observer IPs, %s in CN):\n",
               table.total_observer_ips,
               core::percent(table.observer_countries.share("CN")).c_str());
@@ -150,16 +166,35 @@ void print_table3(core::Testbed& bed, const core::Campaign& campaign) {
   std::printf("\n");
 }
 
-void print_retention(const core::Campaign& campaign) {
-  auto ratios = core::path_ratios(campaign.ledger(), campaign.unsolicited());
+void print_retention(const core::CampaignResult& result) {
+  auto ratios = core::path_ratios(result.ledger, result.unsolicited);
   auto resolver_h = core::top_shadowed_resolvers(ratios, 5);
-  auto stats = core::retention_stats(campaign.ledger(), campaign.unsolicited(), resolver_h,
+  auto stats = core::retention_stats(result.ledger, result.unsolicited, resolver_h,
                                      resolver_h.empty() ? "Yandex" : resolver_h.front());
   std::printf("retention (over Resolver_h decoys): >3 requests after 1h: %s, "
               ">10: %s, web re-appearance after 10d: %s\n\n",
               core::percent(stats.over3_after_1h).c_str(),
               core::percent(stats.over10_after_1h).c_str(),
               core::percent(stats.web_after_10d).c_str());
+}
+
+void print_reports(const CliOptions& options, core::Testbed& bed,
+                   const core::CampaignResult& result) {
+  std::printf("campaign: %zu decoys, %zu honeypot hits, %zu unsolicited, %d usable VPs\n\n",
+              result.ledger.decoy_count(), result.hits.size(), result.unsolicited.size(),
+              result.screening.usable);
+  if (result.shard_stats.size() > 1) {
+    for (std::size_t i = 0; i < result.shard_stats.size(); ++i) {
+      const auto& stats = result.shard_stats[i];
+      std::printf("  shard %zu: %llu events processed, peak queue %zu\n", i,
+                  static_cast<unsigned long long>(stats.processed), stats.high_water);
+    }
+    std::printf("\n");
+  }
+  if (options.report == "all" || options.report == "fig3") print_fig3(bed, result);
+  if (options.report == "all" || options.report == "table2") print_table2(result);
+  if (options.report == "all" || options.report == "table3") print_table3(bed, result);
+  if (options.report == "all" || options.report == "retention") print_retention(result);
 }
 
 }  // namespace
@@ -172,31 +207,47 @@ int main(int argc, char** argv) {
   core::TestbedConfig config;
   config.topology.seed = options.seed;
   config.topology.apply_scale(options.scale);
-  auto bed = core::Testbed::create(config);
-  shadow::ShadowConfig shadow_config;
-  auto deployment = shadow::deploy_standard_exhibitors(*bed, shadow_config);
-
-  sim::TraceRecorder trace;
-  if (options.trace > 0) {
-    bed->net().add_tap(bed->topology().national_gateway("CN"), &trace);
-  }
 
   core::CampaignConfig campaign_config;
   campaign_config.total_duration = static_cast<SimDuration>(options.days) * kDay;
   campaign_config.dns_transport = options.transport;
   campaign_config.tls_decoys_use_ech = options.ech;
   campaign_config.screening = options.screening;
-  core::Campaign campaign(*bed, campaign_config);
-  campaign.run();
 
-  std::printf("campaign: %zu decoys, %zu honeypot hits, %zu unsolicited, %d usable VPs\n\n",
-              campaign.ledger().decoy_count(), bed->logbook().size(),
-              campaign.unsolicited().size(), campaign.screening().usable);
+  shadow::ShadowConfig shadow_config;
+  sim::TraceRecorder trace;
 
-  if (options.report == "all" || options.report == "fig3") print_fig3(*bed, campaign);
-  if (options.report == "all" || options.report == "table2") print_table2(campaign);
-  if (options.report == "all" || options.report == "table3") print_table3(*bed, campaign);
-  if (options.report == "all" || options.report == "retention") print_retention(campaign);
+  std::unique_ptr<core::Testbed> bed;             // serial-path substrate
+  std::unique_ptr<core::CampaignEngine> engine;   // sharded-path substrate
+  shadow::ShadowDeployment deployment;            // serial-path ground truth
+  core::CampaignResult result;
+  core::Testbed* context = nullptr;  // substrate the reports/export read from
+
+  if (options.shards > 0) {
+    engine = std::make_unique<core::CampaignEngine>(
+        config, campaign_config, options.shards,
+        [shadow_config](core::Testbed& replica) -> std::shared_ptr<void> {
+          return std::make_shared<shadow::ShadowDeployment>(
+              shadow::deploy_standard_exhibitors(replica, shadow_config));
+        });
+    context = &engine->primary();
+    if (options.trace > 0) {
+      context->net().add_tap(context->topology().national_gateway("CN"), &trace);
+    }
+    result = engine->run();
+  } else {
+    bed = core::Testbed::create(config);
+    deployment = shadow::deploy_standard_exhibitors(*bed, shadow_config);
+    context = bed.get();
+    if (options.trace > 0) {
+      bed->net().add_tap(bed->topology().national_gateway("CN"), &trace);
+    }
+    core::Campaign campaign(*bed, campaign_config);
+    campaign.run();
+    result = campaign.result();
+  }
+
+  print_reports(options, *context, result);
 
   if (options.trace > 0) {
     std::printf("first packets across the CN national gateway:\n%s\n",
@@ -209,7 +260,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", options.json_path.c_str());
       return 1;
     }
-    out << core::export_campaign_json(*bed, campaign);
+    out << core::export_campaign_json(*context, result);
     std::printf("wrote %s\n", options.json_path.c_str());
   }
   return 0;
