@@ -4,6 +4,13 @@
 // analysed resolvers) still produce more than 3 unsolicited requests and
 // 2.4% more than 10; ~40% of names from Yandex decoys re-appear in HTTP(S)
 // requests around 10 days later.
+//
+// The >3/>10 metric counts only unsolicited *DNS* queries (DNS-data reuse
+// at the resolver); web probes of the decoy name feed the 10-day metric
+// instead. The synthetic exhibitor fleet replays DNS more sparsely than
+// the paper's real resolvers, so the measured DNS-only share sits below
+// the paper's 51% — the shape (a heavy [2,6) bucket, an empty >10 tail at
+// small scale) is the comparison point.
 #include <cstdio>
 
 #include "harness.h"
@@ -25,17 +32,20 @@ int main() {
   std::printf("\n(denominator: %d Phase-I DNS decoys to Resolver_h)\n",
               stats.considered_decoys);
 
-  // Request-count distribution per decoy, for context.
+  // Request-count distribution per decoy, for context. Matches the §5.1
+  // reuse metric: only unsolicited *DNS* queries count (HTTP/HTTPS probes
+  // feed the web_after_10d metric instead).
   std::map<std::uint32_t, int> per_decoy;
   for (const auto& request : world.campaign->unsolicited()) {
     const auto* record = world.campaign->ledger().by_seq(request.seq);
     if (record == nullptr || record->phase2) continue;
     if (record->id.protocol != core::DecoyProtocol::kDns) continue;
+    if (request.request_protocol != core::RequestProtocol::kDns) continue;
     if (request.interval > kHour) ++per_decoy[request.seq];
   }
   BucketHistogram histogram({1, 2, 4, 6, 11, 21});
   for (const auto& [seq, count] : per_decoy) histogram.add(count);
-  std::printf("\nlate (>1h) requests per triggering decoy:\n");
+  std::printf("\nlate (>1h) DNS requests per triggering decoy:\n");
   core::TextTable table({"bucket", "decoys", "share"});
   for (std::size_t b = 0; b < histogram.buckets(); ++b) {
     table.add_row({histogram.label(b), std::to_string(histogram.count(b)),

@@ -1,0 +1,60 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace shadowprobe {
+
+int resolve_worker_count(int requested) noexcept {
+  if (requested < 1) return 1;
+  if (requested > kMaxParallelWorkers) return kMaxParallelWorkers;
+  return requested;
+}
+
+void parallel_workers(int workers, const std::function<void(int)>& fn) {
+  workers = resolve_worker_count(workers);
+  if (workers == 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers) - 1);
+  for (int w = 1; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      try {
+        fn(w);
+      } catch (...) {
+        errors[static_cast<std::size_t>(w)] = std::current_exception();
+      }
+    });
+  }
+  try {
+    fn(0);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  for (std::thread& worker : pool) worker.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void parallel_chunks(std::size_t count, int workers,
+                     const std::function<void(int, std::size_t, std::size_t)>& fn) {
+  workers = resolve_worker_count(workers);
+  std::size_t per = count / static_cast<std::size_t>(workers);
+  std::size_t extra = count % static_cast<std::size_t>(workers);
+  // Chunk w covers [w*per + min(w, extra), ...): the first `extra` chunks
+  // take one extra element, so bounds are computable per worker.
+  parallel_workers(workers, [&](int w) {
+    auto uw = static_cast<std::size_t>(w);
+    std::size_t begin = uw * per + std::min(uw, extra);
+    std::size_t end = begin + per + (uw < extra ? 1 : 0);
+    fn(w, begin, end);
+  });
+}
+
+}  // namespace shadowprobe

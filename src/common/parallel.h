@@ -1,0 +1,38 @@
+// Shared worker-pool helpers for the post-barrier pipeline (parallel
+// classification and analysis-table scans).
+//
+// The execution model is deliberately simple: a caller-specified worker
+// count, one std::thread per extra worker, contiguous chunk assignment, and
+// exception propagation to the caller — the same join-barrier shape the
+// CampaignEngine uses between campaign phases. Determinism never depends on
+// the worker count: every parallel consumer merges its per-worker partials
+// in worker order (or through a canonical sort), so worker boundaries are
+// invisible in the output.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace shadowprobe {
+
+/// Hard ceiling on worker threads for post-barrier work. Requests beyond it
+/// clamp (with a warning at the call sites that surface configuration).
+inline constexpr int kMaxParallelWorkers = 64;
+
+/// Normalizes a requested worker count: values < 1 mean "serial" and map to
+/// 1; values above kMaxParallelWorkers clamp down.
+[[nodiscard]] int resolve_worker_count(int requested) noexcept;
+
+/// Runs fn(worker) for every worker in [0, workers). Worker 0 runs on the
+/// calling thread; the rest each get their own std::thread. Joins all
+/// workers before returning; the first exception thrown by any worker is
+/// rethrown on the caller.
+void parallel_workers(int workers, const std::function<void(int)>& fn);
+
+/// Splits [0, count) into one contiguous chunk per worker (sizes differing
+/// by at most one) and runs fn(worker, begin, end) on the pool. Workers
+/// whose chunk is empty still see fn(worker, x, x).
+void parallel_chunks(std::size_t count, int workers,
+                     const std::function<void(int, std::size_t, std::size_t)>& fn);
+
+}  // namespace shadowprobe

@@ -29,6 +29,14 @@ class Cdf {
   /// Evenly probed series of (x, F(x)) points for plotting-style output.
   [[nodiscard]] std::vector<std::pair<double, double>> series(std::size_t points) const;
 
+  /// Appends another CDF's samples (in their insertion order) — the merge
+  /// step when per-partition CDF partials are combined. All read accessors
+  /// sort first, so the merged CDF is sample-order-independent anyway.
+  void merge(const Cdf& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    dirty_ = true;
+  }
+
  private:
   void sort() const;
   mutable std::vector<double> samples_;
@@ -65,6 +73,12 @@ class Counter {
   }
 
   [[nodiscard]] const std::map<K, std::uint64_t>& raw() const noexcept { return counts_; }
+
+  /// Adds every count of `other` — the merge step for per-partition counter
+  /// partials. Counts commute, so merge order does not affect any view.
+  void absorb(const Counter& other) {
+    for (const auto& [key, count] : other.counts_) add(key, count);
+  }
 
  private:
   std::map<K, std::uint64_t> counts_;

@@ -2,8 +2,52 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
+
+#include "common/parallel.h"
 
 namespace shadowprobe::core {
+
+// -- Parallel scan machinery ----------------------------------------------------
+//
+// Each table's scan over the unsolicited-request vector is expressed as a
+// Partial accumulator: `add(request)` folds one request in, `absorb(other)`
+// merges a sibling partial. scan_unsolicited() splits the vector into one
+// contiguous chunk per worker, folds chunks concurrently, then merges the
+// partials in ascending worker order. Determinism holds because every merge
+// is either commutative (set unions, counter sums, per-seq maxima) or
+// order-preserving under ascending-chunk concatenation (Cdf sample lists,
+// which additionally sort on read).
+
+namespace {
+
+/// Below this many requests the pool costs more than it saves; serial and
+/// parallel scans produce identical tables either way.
+constexpr std::size_t kScanGrain = 64;
+
+template <typename Partial, typename Factory>
+Partial scan_unsolicited(const std::vector<UnsolicitedRequest>& unsolicited,
+                         int workers, const Factory& make_partial) {
+  workers = resolve_worker_count(workers);
+  if (workers == 1 || unsolicited.size() < kScanGrain) {
+    Partial acc = make_partial();
+    for (const auto& request : unsolicited) acc.add(request);
+    return acc;
+  }
+  std::vector<Partial> partials;
+  partials.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) partials.push_back(make_partial());
+  parallel_chunks(unsolicited.size(), workers,
+                  [&](int w, std::size_t begin, std::size_t end) {
+                    auto& acc = partials[static_cast<std::size_t>(w)];
+                    for (std::size_t i = begin; i < end; ++i) acc.add(unsolicited[i]);
+                  });
+  Partial out = std::move(partials.front());
+  for (std::size_t w = 1; w < partials.size(); ++w) out.absorb(std::move(partials[w]));
+  return out;
+}
+
+}  // namespace
 
 // -- Table 1 ------------------------------------------------------------------
 
@@ -44,6 +88,16 @@ namespace {
 std::string dest_label_of(const PathRecord& path) {
   return path.protocol == DecoyProtocol::kDns ? path.dest_name : path.dest_country;
 }
+
+/// Partial: the problematic-path id set. Union merge is commutative.
+struct ProblematicPathsPartial {
+  std::set<std::uint32_t> paths;
+
+  void add(const UnsolicitedRequest& request) { paths.insert(request.path_id); }
+  void absorb(ProblematicPathsPartial&& other) {
+    paths.merge(other.paths);
+  }
+};
 
 }  // namespace
 
@@ -88,14 +142,16 @@ std::vector<std::string> PathRatioTable::destinations_by_ratio(DecoyProtocol pro
 }
 
 PathRatioTable path_ratios(const DecoyLedger& ledger,
-                           const std::vector<UnsolicitedRequest>& unsolicited) {
+                           const std::vector<UnsolicitedRequest>& unsolicited,
+                           int workers) {
+  auto problematic = scan_unsolicited<ProblematicPathsPartial>(
+      unsolicited, workers, [] { return ProblematicPathsPartial{}; });
   PathRatioTable table;
-  std::set<std::uint32_t> problematic = Correlator::problematic_paths(unsolicited);
   for (const auto& path : ledger.paths()) {
     PathRatioCell& cell =
         table.cells[{path.protocol, dest_label_of(path)}][path.vp->country];
     ++cell.paths;
-    if (problematic.count(path.path_id) > 0) ++cell.problematic;
+    if (problematic.paths.count(path.path_id) > 0) ++cell.problematic;
   }
   return table;
 }
@@ -170,28 +226,56 @@ ObserverAsTable observer_ases(const std::vector<ObserverFinding>& findings,
 
 // -- Figures 4 & 7 --------------------------------------------------------------
 
+namespace {
+
+/// Partial: interval samples keyed by destination resolver. Merging in
+/// ascending worker order concatenates samples in global scan order; the
+/// Cdf sorts them on read, so the merge order is immaterial to output.
+struct ResolverCdfPartial {
+  const DecoyLedger& ledger;
+  const std::set<std::string>& wanted;
+  std::map<std::string, Cdf> cdfs;
+
+  void add(const UnsolicitedRequest& request) {
+    const PathRecord& path = ledger.path(request.path_id);
+    if (path.protocol != DecoyProtocol::kDns) return;
+    if (!wanted.empty() && wanted.count(path.dest_name) == 0) return;
+    cdfs[path.dest_name].add(to_seconds(request.interval));
+  }
+  void absorb(ResolverCdfPartial&& other) {
+    for (auto& [name, cdf] : other.cdfs) cdfs[name].merge(cdf);
+  }
+};
+
+/// Partial: interval samples keyed by (non-DNS) decoy protocol.
+struct ProtocolCdfPartial {
+  std::map<DecoyProtocol, Cdf> cdfs;
+
+  void add(const UnsolicitedRequest& request) {
+    if (request.decoy_protocol == DecoyProtocol::kDns) return;
+    cdfs[request.decoy_protocol].add(to_seconds(request.interval));
+  }
+  void absorb(ProtocolCdfPartial&& other) {
+    for (auto& [protocol, cdf] : other.cdfs) cdfs[protocol].merge(cdf);
+  }
+};
+
+}  // namespace
+
 std::map<std::string, Cdf> interval_cdf_by_resolver(
     const DecoyLedger& ledger, const std::vector<UnsolicitedRequest>& unsolicited,
-    const std::vector<std::string>& resolvers) {
+    const std::vector<std::string>& resolvers, int workers) {
   std::set<std::string> wanted(resolvers.begin(), resolvers.end());
-  std::map<std::string, Cdf> out;
-  for (const auto& request : unsolicited) {
-    const PathRecord& path = ledger.path(request.path_id);
-    if (path.protocol != DecoyProtocol::kDns) continue;
-    if (!wanted.empty() && wanted.count(path.dest_name) == 0) continue;
-    out[path.dest_name].add(to_seconds(request.interval));
-  }
-  return out;
+  auto partial = scan_unsolicited<ResolverCdfPartial>(
+      unsolicited, workers, [&] { return ResolverCdfPartial{ledger, wanted, {}}; });
+  return std::move(partial.cdfs);
 }
 
 std::map<DecoyProtocol, Cdf> interval_cdf_by_protocol(
-    const std::vector<UnsolicitedRequest>& unsolicited) {
-  std::map<DecoyProtocol, Cdf> out;
-  for (const auto& request : unsolicited) {
-    if (request.decoy_protocol == DecoyProtocol::kDns) continue;
-    out[request.decoy_protocol].add(to_seconds(request.interval));
-  }
-  return out;
+    const std::vector<UnsolicitedRequest>& unsolicited, int workers) {
+  auto partial = scan_unsolicited<ProtocolCdfPartial>(
+      unsolicited, workers, [] { return ProtocolCdfPartial{}; });
+  return std::move(partial.cdfs);
 }
 
 // -- Figure 5 -----------------------------------------------------------------
@@ -207,20 +291,19 @@ std::string decoy_outcome_name(DecoyOutcome outcome) {
   return "?";
 }
 
-ComboBreakdown protocol_combos(const DecoyLedger& ledger,
-                               const std::vector<UnsolicitedRequest>& unsolicited,
-                               const std::vector<std::string>& vp_countries) {
-  std::set<std::string> wanted_countries(vp_countries.begin(), vp_countries.end());
-  auto vp_selected = [&](const PathRecord& path) {
-    return wanted_countries.empty() || wanted_countries.count(path.vp->country) > 0;
-  };
-  // Most-telling outcome per Phase-I DNS decoy.
+namespace {
+
+/// Partial: most-telling outcome per Phase-I DNS decoy seq. Per-seq maximum
+/// is commutative, so sibling partials merge in any order.
+struct OutcomePartial {
+  const DecoyLedger& ledger;
   std::map<std::uint32_t, DecoyOutcome> outcome;  // by seq
-  for (const auto& request : unsolicited) {
+
+  void add(const UnsolicitedRequest& request) {
     const DecoyRecord* record = ledger.by_seq(request.seq);
     if (record == nullptr || record->phase2 ||
         record->id.protocol != DecoyProtocol::kDns) {
-      continue;
+      return;
     }
     DecoyOutcome candidate;
     if (request.request_protocol == RequestProtocol::kDns) {
@@ -230,11 +313,33 @@ ComboBreakdown protocol_combos(const DecoyLedger& ledger,
       candidate = request.interval <= kDay ? DecoyOutcome::kWebWithinDay
                                            : DecoyOutcome::kWebAfterDays;
     }
-    auto [it, inserted] = outcome.emplace(request.seq, candidate);
+    upgrade(request.seq, candidate);
+  }
+  void absorb(OutcomePartial&& other) {
+    for (const auto& [seq, o] : other.outcome) upgrade(seq, o);
+  }
+
+ private:
+  void upgrade(std::uint32_t seq, DecoyOutcome candidate) {
+    auto [it, inserted] = outcome.emplace(seq, candidate);
     if (!inserted && static_cast<int>(candidate) > static_cast<int>(it->second)) {
       it->second = candidate;
     }
   }
+};
+
+}  // namespace
+
+ComboBreakdown protocol_combos(const DecoyLedger& ledger,
+                               const std::vector<UnsolicitedRequest>& unsolicited,
+                               const std::vector<std::string>& vp_countries,
+                               int workers) {
+  std::set<std::string> wanted_countries(vp_countries.begin(), vp_countries.end());
+  auto vp_selected = [&](const PathRecord& path) {
+    return wanted_countries.empty() || wanted_countries.count(path.vp->country) > 0;
+  };
+  auto outcomes = scan_unsolicited<OutcomePartial>(
+      unsolicited, workers, [&] { return OutcomePartial{ledger, {}}; });
 
   ComboBreakdown out;
   std::map<std::string, Counter<int>> counters;
@@ -242,8 +347,9 @@ ComboBreakdown protocol_combos(const DecoyLedger& ledger,
     if (decoy.phase2 || decoy.id.protocol != DecoyProtocol::kDns) continue;
     const PathRecord& path = ledger.path(decoy.path_id);
     if (!vp_selected(path)) continue;
-    auto it = outcome.find(decoy.id.seq);
-    DecoyOutcome o = it == outcome.end() ? DecoyOutcome::kNoUnsolicited : it->second;
+    auto it = outcomes.outcome.find(decoy.id.seq);
+    DecoyOutcome o =
+        it == outcomes.outcome.end() ? DecoyOutcome::kNoUnsolicited : it->second;
     counters[path.dest_name].add(static_cast<int>(o));
     ++out.decoys[path.dest_name];
   }
@@ -257,53 +363,107 @@ ComboBreakdown protocol_combos(const DecoyLedger& ledger,
 
 // -- Figure 6 -----------------------------------------------------------------
 
-OriginAsTable origin_ases(const DecoyLedger& ledger,
-                          const std::vector<UnsolicitedRequest>& unsolicited,
-                          const std::vector<std::string>& resolvers,
-                          const intel::GeoDatabase& geo, const intel::Blocklist& blocklist) {
-  std::set<std::string> wanted(resolvers.begin(), resolvers.end());
-  OriginAsTable out;
+namespace {
+
+/// Partial: origin-AS counters plus the distinct-DNS-origin set. Counter
+/// sums and set unions are commutative. GeoDatabase::lookup is a pure const
+/// read, safe from concurrent workers.
+struct OriginAsPartial {
+  const DecoyLedger& ledger;
+  const std::set<std::string>& wanted;
+  const intel::GeoDatabase& geo;
+  std::map<std::string, Counter<std::string>> per_resolver;
   std::set<net::Ipv4Addr> dns_origins;
-  for (const auto& request : unsolicited) {
+
+  void add(const UnsolicitedRequest& request) {
     const PathRecord& path = ledger.path(request.path_id);
-    if (path.protocol != DecoyProtocol::kDns) continue;
-    if (!wanted.empty() && wanted.count(path.dest_name) == 0) continue;
+    if (path.protocol != DecoyProtocol::kDns) return;
+    if (!wanted.empty() && wanted.count(path.dest_name) == 0) return;
     auto entry = geo.lookup(request.hit.origin);
     std::string label = entry ? "AS" + std::to_string(entry->asn) + " " + entry->as_name
                               : "unknown";
-    out.per_resolver[path.dest_name].add(label);
+    per_resolver[path.dest_name].add(label);
     if (request.request_protocol == RequestProtocol::kDns) {
       dns_origins.insert(request.hit.origin);
     }
   }
-  out.distinct_dns_origins = static_cast<int>(dns_origins.size());
-  out.dns_origin_blocklisted = blocklist.hit_rate(
-      std::vector<net::Ipv4Addr>(dns_origins.begin(), dns_origins.end()));
+  void absorb(OriginAsPartial&& other) {
+    for (auto& [name, counter] : other.per_resolver) {
+      per_resolver[name].absorb(counter);
+    }
+    dns_origins.merge(other.dns_origins);
+  }
+};
+
+}  // namespace
+
+OriginAsTable origin_ases(const DecoyLedger& ledger,
+                          const std::vector<UnsolicitedRequest>& unsolicited,
+                          const std::vector<std::string>& resolvers,
+                          const intel::GeoDatabase& geo, const intel::Blocklist& blocklist,
+                          int workers) {
+  std::set<std::string> wanted(resolvers.begin(), resolvers.end());
+  auto partial = scan_unsolicited<OriginAsPartial>(unsolicited, workers, [&] {
+    return OriginAsPartial{ledger, wanted, geo, {}, {}};
+  });
+  OriginAsTable out;
+  out.per_resolver = std::move(partial.per_resolver);
+  out.distinct_dns_origins = static_cast<int>(partial.dns_origins.size());
+  out.dns_origin_blocklisted = blocklist.hit_rate(std::vector<net::Ipv4Addr>(
+      partial.dns_origins.begin(), partial.dns_origins.end()));
   return out;
 }
 
 // -- Section 5.1 ----------------------------------------------------------------
 
-RetentionStats retention_stats(const DecoyLedger& ledger,
-                               const std::vector<UnsolicitedRequest>& unsolicited,
-                               const std::vector<std::string>& resolvers,
-                               const std::string& long_retention_resolver) {
-  std::set<std::string> wanted(resolvers.begin(), resolvers.end());
-  std::map<std::uint32_t, int> late_requests;      // seq -> count after 1h
-  std::map<std::uint32_t, bool> web_after_10d;     // seq (to the named resolver)
-  for (const auto& request : unsolicited) {
+namespace {
+
+/// Partial: per-seq late-DNS-request counts and the 10-day web-reuse flags.
+/// Count sums and flag ORs are commutative.
+struct RetentionPartial {
+  const DecoyLedger& ledger;
+  const std::string& long_retention_resolver;
+  std::map<std::uint32_t, int> late_requests;   // seq -> DNS count after 1h
+  std::map<std::uint32_t, bool> web_after_10d;  // seq (to the named resolver)
+
+  void add(const UnsolicitedRequest& request) {
     const DecoyRecord* record = ledger.by_seq(request.seq);
     if (record == nullptr || record->phase2 ||
         record->id.protocol != DecoyProtocol::kDns) {
-      continue;
+      return;
     }
-    if (request.interval > kHour) ++late_requests[request.seq];
+    // §5.1's "> 3 requests after one hour" measures DNS-data *reuse* at the
+    // resolver: only unsolicited DNS queries count. HTTP(S) probes of the
+    // decoy name feed the separate web_after_10d metric below.
+    if (request.request_protocol == RequestProtocol::kDns &&
+        request.interval > kHour) {
+      ++late_requests[request.seq];
+    }
     const PathRecord& path = ledger.path(request.path_id);
     if (path.dest_name == long_retention_resolver && request.interval >= 10 * kDay &&
         request.request_protocol != RequestProtocol::kDns) {
       web_after_10d[request.seq] = true;
     }
   }
+  void absorb(RetentionPartial&& other) {
+    for (const auto& [seq, count] : other.late_requests) late_requests[seq] += count;
+    for (const auto& [seq, flag] : other.web_after_10d) {
+      if (flag) web_after_10d[seq] = true;
+    }
+  }
+};
+
+}  // namespace
+
+RetentionStats retention_stats(const DecoyLedger& ledger,
+                               const std::vector<UnsolicitedRequest>& unsolicited,
+                               const std::vector<std::string>& resolvers,
+                               const std::string& long_retention_resolver,
+                               int workers) {
+  std::set<std::string> wanted(resolvers.begin(), resolvers.end());
+  auto partial = scan_unsolicited<RetentionPartial>(unsolicited, workers, [&] {
+    return RetentionPartial{ledger, long_retention_resolver, {}, {}};
+  });
 
   RetentionStats stats;
   int total = 0;
@@ -316,13 +476,13 @@ RetentionStats retention_stats(const DecoyLedger& ledger,
     const PathRecord& decoy_path = ledger.path(decoy.path_id);
     if (!wanted.empty() && wanted.count(decoy_path.dest_name) == 0) continue;
     ++total;
-    auto it = late_requests.find(decoy.id.seq);
-    int count = it == late_requests.end() ? 0 : it->second;
+    auto it = partial.late_requests.find(decoy.id.seq);
+    int count = it == partial.late_requests.end() ? 0 : it->second;
     if (count > 3) ++over3;
     if (count > 10) ++over10;
     if (decoy_path.dest_name == long_retention_resolver) {
       ++named_total;
-      if (web_after_10d.count(decoy.id.seq) > 0) ++named_10d;
+      if (partial.web_after_10d.count(decoy.id.seq) > 0) ++named_10d;
     }
   }
   stats.considered_decoys = total;
@@ -338,30 +498,53 @@ RetentionStats retention_stats(const DecoyLedger& ledger,
 
 // -- Section 5 payloads & reputation ---------------------------------------------
 
-IncentiveStats incentive_stats(const std::vector<UnsolicitedRequest>& unsolicited,
-                               const intel::SignatureDb& signatures,
-                               const intel::Blocklist& blocklist) {
-  IncentiveStats stats;
+namespace {
+
+/// Partial: payload-class counter, exploit flag, and per-(decoy class,
+/// request protocol) origin sets. SignatureDb::classify_target is a pure
+/// const read, safe from concurrent workers.
+struct IncentivePartial {
+  const intel::SignatureDb& signatures;
   Counter<int> payloads;
+  bool exploits_found = false;
   std::map<std::pair<bool, RequestProtocol>, std::set<net::Ipv4Addr>> origins;
-  for (const auto& request : unsolicited) {
+
+  void add(const UnsolicitedRequest& request) {
     bool dns_decoy = request.decoy_protocol == DecoyProtocol::kDns;
     if (request.request_protocol == RequestProtocol::kHttp) {
       intel::PayloadClass cls = signatures.classify_target(request.hit.http_target);
       payloads.add(static_cast<int>(cls));
-      if (cls == intel::PayloadClass::kExploitAttempt) stats.exploits_found = true;
+      if (cls == intel::PayloadClass::kExploitAttempt) exploits_found = true;
     }
     if (request.request_protocol != RequestProtocol::kDns) {
       origins[{dns_decoy, request.request_protocol}].insert(request.hit.origin);
     }
   }
-  stats.http_requests = static_cast<int>(payloads.total());
+  void absorb(IncentivePartial&& other) {
+    payloads.absorb(other.payloads);
+    exploits_found = exploits_found || other.exploits_found;
+    for (auto& [key, addrs] : other.origins) origins[key].merge(addrs);
+  }
+};
+
+}  // namespace
+
+IncentiveStats incentive_stats(const std::vector<UnsolicitedRequest>& unsolicited,
+                               const intel::SignatureDb& signatures,
+                               const intel::Blocklist& blocklist, int workers) {
+  auto partial = scan_unsolicited<IncentivePartial>(
+      unsolicited, workers, [&] { return IncentivePartial{signatures}; });
+
+  IncentiveStats stats;
+  stats.exploits_found = partial.exploits_found;
+  stats.http_requests = static_cast<int>(partial.payloads.total());
   for (int c = 0; c <= static_cast<int>(intel::PayloadClass::kOther); ++c) {
-    stats.payload_shares[static_cast<intel::PayloadClass>(c)] = payloads.share(c);
+    stats.payload_shares[static_cast<intel::PayloadClass>(c)] =
+        partial.payloads.share(c);
   }
   auto rate = [&](bool dns_decoy, RequestProtocol protocol) {
-    auto it = origins.find({dns_decoy, protocol});
-    if (it == origins.end()) return 0.0;
+    auto it = partial.origins.find({dns_decoy, protocol});
+    if (it == partial.origins.end()) return 0.0;
     return blocklist.hit_rate(
         std::vector<net::Ipv4Addr>(it->second.begin(), it->second.end()));
   };
@@ -370,6 +553,27 @@ IncentiveStats incentive_stats(const std::vector<UnsolicitedRequest>& unsolicite
   stats.web_decoy_http_origin_blocklisted = rate(false, RequestProtocol::kHttp);
   stats.web_decoy_https_origin_blocklisted = rate(false, RequestProtocol::kHttps);
   return stats;
+}
+
+// -- Full-campaign analysis bundle ----------------------------------------------
+
+CampaignAnalysis analyze_campaign(Testbed& bed, const CampaignResult& result,
+                                  int workers) {
+  CampaignAnalysis analysis;
+  analysis.ratios = path_ratios(result.ledger, result.unsolicited, workers);
+  analysis.resolver_h = top_shadowed_resolvers(analysis.ratios, 5);
+  analysis.locations = observer_locations(result.findings);
+  analysis.ases = observer_ases(result.findings, bed.topology().geo());
+  analysis.dns_cdfs = interval_cdf_by_resolver(result.ledger, result.unsolicited,
+                                               analysis.resolver_h, workers);
+  analysis.web_cdfs = interval_cdf_by_protocol(result.unsolicited, workers);
+  analysis.combos = protocol_combos(result.ledger, result.unsolicited, {}, workers);
+  analysis.retention = retention_stats(
+      result.ledger, result.unsolicited, analysis.resolver_h,
+      analysis.resolver_h.empty() ? "Yandex" : analysis.resolver_h.front(), workers);
+  analysis.incentives =
+      incentive_stats(result.unsolicited, bed.signatures(), bed.blocklist(), workers);
+  return analysis;
 }
 
 }  // namespace shadowprobe::core

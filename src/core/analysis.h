@@ -3,6 +3,13 @@
 // ledger, the classified unsolicited requests, Phase-II findings — plus the
 // public intelligence interfaces (geo database, blocklist, signature DB);
 // never the shadow ground truth.
+//
+// Every analyzer that scans the unsolicited-request vector accepts a
+// `workers` count: the scan decomposes into per-partition partial
+// accumulators (contiguous chunks of the vector) combined by an explicit,
+// order-insensitive-or-order-preserving merge, so the produced table is
+// byte-identical in exported JSON for any worker count. See analysis.cpp
+// for the partial/merge shape of each table.
 #pragma once
 
 #include <map>
@@ -59,7 +66,8 @@ struct PathRatioTable {
 };
 
 PathRatioTable path_ratios(const DecoyLedger& ledger,
-                           const std::vector<UnsolicitedRequest>& unsolicited);
+                           const std::vector<UnsolicitedRequest>& unsolicited,
+                           int workers = 1);
 
 /// Resolver_h: the `count` resolvers with the highest problematic-path
 /// ratio (the paper's top-5: Yandex, 114DNS, One DNS, DNS PAI, Vercara).
@@ -101,10 +109,10 @@ ObserverAsTable observer_ases(const std::vector<ObserverFinding>& findings,
 /// (Figure 4) or by decoy protocol (Figure 7).
 std::map<std::string, Cdf> interval_cdf_by_resolver(
     const DecoyLedger& ledger, const std::vector<UnsolicitedRequest>& unsolicited,
-    const std::vector<std::string>& resolvers);
+    const std::vector<std::string>& resolvers, int workers = 1);
 
 std::map<DecoyProtocol, Cdf> interval_cdf_by_protocol(
-    const std::vector<UnsolicitedRequest>& unsolicited);
+    const std::vector<UnsolicitedRequest>& unsolicited, int workers = 1);
 
 // -- Figure 5 -----------------------------------------------------------------
 
@@ -131,7 +139,8 @@ struct ComboBreakdown {
 /// vantage points.
 ComboBreakdown protocol_combos(const DecoyLedger& ledger,
                                const std::vector<UnsolicitedRequest>& unsolicited,
-                               const std::vector<std::string>& vp_countries = {});
+                               const std::vector<std::string>& vp_countries = {},
+                               int workers = 1);
 
 // -- Figure 6 -----------------------------------------------------------------
 
@@ -147,13 +156,16 @@ struct OriginAsTable {
 OriginAsTable origin_ases(const DecoyLedger& ledger,
                           const std::vector<UnsolicitedRequest>& unsolicited,
                           const std::vector<std::string>& resolvers,
-                          const intel::GeoDatabase& geo, const intel::Blocklist& blocklist);
+                          const intel::GeoDatabase& geo, const intel::Blocklist& blocklist,
+                          int workers = 1);
 
 // -- Section 5.1 statistics -----------------------------------------------------
 
 struct RetentionStats {
   /// Among Phase-I DNS decoys, share still producing > 3 (resp. > 10)
-  /// unsolicited requests more than one hour after emission.
+  /// unsolicited DNS requests more than one hour after emission (§5.1
+  /// measures DNS-data *reuse*; HTTP/HTTPS probes have their own metric
+  /// below and do not count here).
   double over3_after_1h = 0.0;
   double over10_after_1h = 0.0;
   /// Share of DNS decoys to `long_retention_resolver` whose data re-appears
@@ -168,7 +180,8 @@ struct RetentionStats {
 RetentionStats retention_stats(const DecoyLedger& ledger,
                                const std::vector<UnsolicitedRequest>& unsolicited,
                                const std::vector<std::string>& resolvers,
-                               const std::string& long_retention_resolver);
+                               const std::string& long_retention_resolver,
+                               int workers = 1);
 
 // -- Section 5 payloads & reputation --------------------------------------------
 
@@ -188,6 +201,29 @@ struct IncentiveStats {
 
 IncentiveStats incentive_stats(const std::vector<UnsolicitedRequest>& unsolicited,
                                const intel::SignatureDb& signatures,
-                               const intel::Blocklist& blocklist);
+                               const intel::Blocklist& blocklist, int workers = 1);
+
+// -- Full-campaign analysis bundle ----------------------------------------------
+
+/// Everything the report printers and the JSON export consume, computed in
+/// one pass so downstream consumers never re-derive a table. The bundle is
+/// what the post-barrier pipeline produces after classification.
+struct CampaignAnalysis {
+  PathRatioTable ratios;
+  std::vector<std::string> resolver_h;  // top-5 shadowed resolvers
+  LocationDistribution locations;
+  ObserverAsTable ases;
+  std::map<std::string, Cdf> dns_cdfs;       // Figure 4, over Resolver_h
+  std::map<DecoyProtocol, Cdf> web_cdfs;     // Figure 7
+  ComboBreakdown combos;                     // Figure 5
+  RetentionStats retention;                  // §5.1, over Resolver_h
+  IncentiveStats incentives;                 // §5 payloads & reputation
+};
+
+/// Computes every analysis table of a correlated campaign. `workers` sizes
+/// the per-table scan pools; the bundle — and any JSON exported from it —
+/// is byte-identical for any worker count.
+CampaignAnalysis analyze_campaign(Testbed& bed, const CampaignResult& result,
+                                  int workers = 1);
 
 }  // namespace shadowprobe::core

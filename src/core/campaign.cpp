@@ -73,7 +73,8 @@ void Campaign::run() {
                           [this] { schedule_phase2(); });
   bed_.loop().run_until(config_.total_duration);
 
-  unsolicited_ = classify_unsolicited(ledger_, bed_.logbook().hits(), &replicated_seqs_);
+  unsolicited_ = classify_unsolicited(ledger_, bed_.logbook().hits(), &replicated_seqs_,
+                                      config_.analysis_workers);
   ObserverLocator locator(ledger_, hop_log_);
   findings_ = locator.locate(unsolicited_);
   SP_LOG_INFO(strprintf("campaign complete: %zu decoys, %zu honeypot hits, "
@@ -148,7 +149,8 @@ void Campaign::schedule_emissions(std::size_t first, std::size_t last) {
 
 void Campaign::schedule_phase2() {
   // Problematic paths as known at this point in the campaign.
-  auto so_far = classify_unsolicited(ledger_, bed_.logbook().hits(), &replicated_seqs_);
+  auto so_far = classify_unsolicited(ledger_, bed_.logbook().hits(), &replicated_seqs_,
+                                     config_.analysis_workers);
   auto paths = Correlator::problematic_paths(so_far);
   SP_LOG_INFO(strprintf("phase II: sweeping %zu problematic paths", paths.size()));
   std::size_t first = plan_.extend_phase2(paths, config_, bed_.loop().now());
@@ -166,7 +168,9 @@ CampaignResult Campaign::result() const {
   out.findings = findings_;
   out.hop_log = hop_log_;
   out.replicated_seqs = replicated_seqs_;
-  out.shard_stats.push_back(bed_.loop().stats());
+  out.shard_stats.requested_shards = 1;
+  out.shard_stats.effective_shards = 1;
+  out.shard_stats.per_shard.push_back(bed_.loop().stats());
   return out;
 }
 

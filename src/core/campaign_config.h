@@ -32,6 +32,10 @@ struct CampaignConfig {
   /// transports and TLS ECH for the decoys.
   DnsDecoyTransport dns_transport = DnsDecoyTransport::kPlain;
   bool tls_decoys_use_ech = false;
+  /// Worker threads for the post-barrier pipeline (classification of the
+  /// merged hit logbook and the analysis-table scans). Results are
+  /// byte-identical for any value; 1 = fully serial.
+  int analysis_workers = 1;
 };
 
 struct ScreeningReport {

@@ -11,8 +11,13 @@ namespace shadowprobe::core {
 
 CampaignEngine::CampaignEngine(const TestbedConfig& bed_config, const CampaignConfig& config,
                                int shard_count, Decorator decorate)
-    : config_(config) {
+    : config_(config), requested_shards_(shard_count) {
   int count = std::clamp(shard_count, 1, static_cast<int>(DecoyLedger::kMaxShards));
+  if (count != shard_count) {
+    SP_LOG_WARN(strprintf("requested %d shards, clamped to %d (valid range 1..%d)",
+                          shard_count, count,
+                          static_cast<int>(DecoyLedger::kMaxShards)));
+  }
   runners_.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     runners_.push_back(std::make_unique<ShardRunner>(static_cast<std::uint32_t>(i),
@@ -128,7 +133,8 @@ CampaignResult CampaignEngine::run() {
     DecoyLedger interim = merged_ledger();
     std::vector<HoneypotHit> hits = merged_hits();
     std::set<std::uint32_t> replicated = merged_replicated();
-    auto so_far = classify_unsolicited(interim, hits, &replicated);
+    auto so_far = classify_unsolicited(interim, hits, &replicated,
+                                       config_.analysis_workers);
     auto problematic = Correlator::problematic_paths(so_far);
     SP_LOG_INFO(strprintf("engine phase II: sweeping %zu problematic paths",
                           problematic.size()));
@@ -147,14 +153,17 @@ CampaignResult CampaignEngine::run() {
   out.ledger = merged_ledger();
   out.hits = merged_hits();
   out.replicated_seqs = merged_replicated();
+  out.shard_stats.requested_shards = requested_shards_;
+  out.shard_stats.effective_shards = static_cast<int>(runners_.size());
+  out.shard_stats.clamped = requested_shards_ != static_cast<int>(runners_.size());
   for (const auto& runner : runners_) {
     const auto& shard_hops = runner->hop_log();
     out.hop_log.insert(shard_hops.begin(), shard_hops.end());
-    out.shard_stats.push_back(runner->stats());
+    out.shard_stats.per_shard.push_back(runner->stats());
   }
   out.active_vps.reserve(active.size());
   for (std::size_t i : active) out.active_vps.push_back(&vps[i]);
-  out.correlate();
+  out.correlate(config_.analysis_workers);
   SP_LOG_INFO(strprintf("engine complete: %zu shards, %zu decoys, %zu hits, "
                         "%zu unsolicited, %zu located paths",
                         runners_.size(), out.ledger.decoy_count(), out.hits.size(),

@@ -42,7 +42,8 @@ class CampaignEngine {
 
   /// Builds the shard replicas (sequentially; Testbed construction is not
   /// thread-safe w.r.t. shared statics). `shard_count` is clamped to
-  /// [1, DecoyLedger::kMaxShards].
+  /// [1, DecoyLedger::kMaxShards]; a clamp logs a warning and is recorded
+  /// in the result's ShardExecutionStats.
   CampaignEngine(const TestbedConfig& bed_config, const CampaignConfig& config,
                  int shard_count, Decorator decorate = nullptr);
   ~CampaignEngine();
@@ -72,6 +73,7 @@ class CampaignEngine {
 
   CampaignConfig config_;
   CampaignPlan plan_;
+  int requested_shards_ = 1;  ///< pre-clamp constructor argument
   std::vector<std::unique_ptr<ShardRunner>> runners_;
 };
 

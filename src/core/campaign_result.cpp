@@ -1,27 +1,16 @@
 #include "core/campaign_result.h"
 
-#include <tuple>
-
 namespace shadowprobe::core {
-
-bool hit_canonical_less(const HoneypotHit& a, const HoneypotHit& b) {
-  auto key = [](const HoneypotHit& h) {
-    return std::make_tuple(h.time, h.domain.str(), static_cast<int>(h.protocol),
-                           h.origin.value(), h.honeypot_addr.value(), h.location,
-                           h.http_method, h.http_target);
-  };
-  return key(a) < key(b);
-}
 
 std::vector<UnsolicitedRequest> classify_unsolicited(
     const DecoyLedger& ledger, const std::vector<HoneypotHit>& hits,
-    const std::set<std::uint32_t>* replicated_seqs) {
+    const std::set<std::uint32_t>* replicated_seqs, int workers) {
   Correlator correlator(ledger);
-  return correlator.classify(hits, replicated_seqs);
+  return correlator.classify(hits, replicated_seqs, workers);
 }
 
-void CampaignResult::correlate() {
-  unsolicited = classify_unsolicited(ledger, hits, &replicated_seqs);
+void CampaignResult::correlate(int analysis_workers) {
+  unsolicited = classify_unsolicited(ledger, hits, &replicated_seqs, analysis_workers);
   ObserverLocator locator(ledger, hop_log);
   findings = locator.locate(unsolicited);
 }

@@ -21,17 +21,23 @@
 
 namespace shadowprobe::core {
 
-/// Strict total order over honeypot hits that does not depend on shard
-/// layout: primarily by capture time, then by every recorded field. Used to
-/// canonicalize merged logbooks before classification and export.
-[[nodiscard]] bool hit_canonical_less(const HoneypotHit& a, const HoneypotHit& b);
-
 /// Runs the correlator over `hits` — the single shared entry point for every
 /// place that used to construct its own Correlator (Phase-II planning, the
-/// final pass, and the engine barrier).
+/// final pass, and the engine barrier). `workers` > 1 classifies seq-group
+/// partitions on a worker pool; the output is byte-identical to serial.
 [[nodiscard]] std::vector<UnsolicitedRequest> classify_unsolicited(
     const DecoyLedger& ledger, const std::vector<HoneypotHit>& hits,
-    const std::set<std::uint32_t>* replicated_seqs);
+    const std::set<std::uint32_t>* replicated_seqs, int workers = 1);
+
+/// How the campaign was actually executed: the shard count as requested,
+/// the count that ran after clamping to [1, DecoyLedger::kMaxShards], and
+/// one event-loop stats entry per executed shard (serial runs record one).
+struct ShardExecutionStats {
+  int requested_shards = 1;
+  int effective_shards = 1;
+  bool clamped = false;  ///< requested_shards fell outside the valid range
+  std::vector<sim::EventLoopStats> per_shard;
+};
 
 struct CampaignResult {
   CampaignConfig config;
@@ -45,11 +51,12 @@ struct CampaignResult {
   std::vector<ObserverFinding> findings;
   std::map<std::uint32_t, net::Ipv4Addr> hop_log;
   std::set<std::uint32_t> replicated_seqs;
-  /// One entry per shard (one entry for serial runs).
-  std::vector<sim::EventLoopStats> shard_stats;
+  ShardExecutionStats shard_stats;
 
   /// Fills unsolicited + findings from ledger / hits / hop_log.
-  void correlate();
+  /// `analysis_workers` sizes the classification worker pool (the result is
+  /// byte-identical for any value).
+  void correlate(int analysis_workers = 1);
 };
 
 }  // namespace shadowprobe::core

@@ -1,14 +1,30 @@
 #include "core/correlator.h"
 
+#include <algorithm>
+
+#include "common/parallel.h"
+
 namespace shadowprobe::core {
 
-std::vector<UnsolicitedRequest> Correlator::classify(
-    const std::vector<HoneypotHit>& hits,
-    const std::set<std::uint32_t>* replicated_seqs) const {
-  std::vector<UnsolicitedRequest> out;
+namespace {
+
+/// Below this many hits a worker pool costs more than it saves; the serial
+/// and parallel paths produce byte-identical output either way.
+constexpr std::size_t kParallelGrain = 64;
+
+bool hit_ptr_canonical_less(const HoneypotHit* a, const HoneypotHit* b) {
+  return hit_canonical_less(*a, *b);
+}
+
+}  // namespace
+
+void Correlator::classify_ordered(const std::vector<const HoneypotHit*>& ordered,
+                                  const std::set<std::uint32_t>* replicated_seqs,
+                                  std::vector<UnsolicitedRequest>& out) const {
   // Sequence numbers whose solicited resolution has already been seen.
   std::set<std::uint32_t> resolved_once;
-  for (const auto& hit : hits) {
+  for (const HoneypotHit* hit_ptr : ordered) {
+    const HoneypotHit& hit = *hit_ptr;
     if (!hit.decoy) continue;
     const DecoyRecord* record = ledger_.by_seq(hit.decoy->seq);
     if (record == nullptr || !(record->id == *hit.decoy)) continue;  // forged/mangled
@@ -50,6 +66,62 @@ std::vector<UnsolicitedRequest> Correlator::classify(
     request.interval = hit.time - record->sent;
     out.push_back(std::move(request));
   }
+}
+
+std::vector<UnsolicitedRequest> Correlator::classify(
+    const std::vector<HoneypotHit>& hits,
+    const std::set<std::uint32_t>* replicated_seqs, int workers) const {
+  // Restore canonical (time, seq) order if the caller lost it. Criterion
+  // (iii) marks the earliest DNS arrival per seq as the solicited
+  // resolution; walking an out-of-order logbook (e.g. a multi-shard merge
+  // that skipped its canonical sort) would instead crown whichever
+  // duplicate happened to be iterated first.
+  std::vector<const HoneypotHit*> ordered;
+  ordered.reserve(hits.size());
+  for (const HoneypotHit& hit : hits) ordered.push_back(&hit);
+  if (!std::is_sorted(ordered.begin(), ordered.end(), hit_ptr_canonical_less)) {
+    std::stable_sort(ordered.begin(), ordered.end(), hit_ptr_canonical_less);
+  }
+
+  workers = resolve_worker_count(workers);
+  std::vector<UnsolicitedRequest> out;
+  if (workers == 1 || hits.size() < kParallelGrain) {
+    classify_ordered(ordered, replicated_seqs, out);
+    return out;
+  }
+
+  // Partition by seq group: every hit of a seq lands in one partition, so
+  // the per-partition resolved_once state sees the complete group. Hits
+  // with no identifier are dropped by classify_ordered wherever they land.
+  std::vector<std::vector<const HoneypotHit*>> partitions(
+      static_cast<std::size_t>(workers));
+  for (const HoneypotHit* hit : ordered) {
+    std::uint32_t seq = hit->decoy ? hit->decoy->seq : 0;
+    partitions[seq % static_cast<std::uint32_t>(workers)].push_back(hit);
+  }
+
+  std::vector<std::vector<UnsolicitedRequest>> partial(
+      static_cast<std::size_t>(workers));
+  parallel_workers(workers, [&](int w) {
+    auto uw = static_cast<std::size_t>(w);
+    classify_ordered(partitions[uw], replicated_seqs, partial[uw]);
+  });
+
+  // Concatenate and restore canonical order. Each partition's output is
+  // already canonically ordered (a subsequence of the sorted input), and
+  // hits that compare equal share a domain — hence a seq, hence a
+  // partition — so the stable sort reproduces the serial sequence exactly.
+  std::size_t total = 0;
+  for (const auto& p : partial) total += p.size();
+  out.reserve(total);
+  for (auto& p : partial) {
+    out.insert(out.end(), std::make_move_iterator(p.begin()),
+               std::make_move_iterator(p.end()));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const UnsolicitedRequest& a, const UnsolicitedRequest& b) {
+                     return hit_canonical_less(a.hit, b.hit);
+                   });
   return out;
 }
 

@@ -11,6 +11,18 @@
 //         earlier query is the resolver's own (solicited) resolution; for
 //         decoys sent to authoritative servers no resolution is expected,
 //         so every honeypot DNS arrival is unsolicited.
+//
+// Criterion (iii) is *temporal*: "earlier" means earlier in capture time,
+// not earlier in the input vector. classify() therefore restores canonical
+// (time, seq) order before walking the hits, so a merged multi-shard
+// logbook (or any other out-of-order source) can never have a later
+// duplicate classified as the solicited resolution.
+//
+// Classification decomposes by decoy sequence number: a hit's verdict
+// depends only on the hits that share its seq (the resolved_once state is
+// per seq group). classify() exploits that for parallelism — partition the
+// hits by seq group, classify partitions on a worker pool, and restore
+// canonical order afterwards — with output byte-identical to a serial pass.
 #pragma once
 
 #include <set>
@@ -34,9 +46,12 @@ class Correlator {
  public:
   explicit Correlator(const DecoyLedger& ledger) : ledger_(ledger) {}
 
-  /// Full classification pass over `hits` (time-ordered, as the logbook
-  /// stores them). Hits whose identifier does not decode, does not match
-  /// the ledger, or fails the unsolicited criteria are dropped.
+  /// Full classification pass over `hits`. The input is brought into
+  /// canonical (time, seq) order first (a no-op for logbooks that are
+  /// already canonical, e.g. the engine's merged hits). Hits whose
+  /// identifier does not decode, does not match the ledger, or fails the
+  /// unsolicited criteria are dropped. The returned requests are in
+  /// canonical hit order.
   ///
   /// `replicated_seqs` (optional) lists decoys whose VP received more than
   /// one response — the signature of request *replication* by interception
@@ -44,15 +59,27 @@ class Correlator {
   /// ("communication ... is intercepted when clients are waiting for
   /// responses, as opposed to silent on-path observers"): their DNS-DNS
   /// repetitions are dropped here.
+  ///
+  /// `workers` > 1 classifies seq-group partitions concurrently (all hits
+  /// of one seq stay in one partition, keeping criterion (iii)'s
+  /// resolved_once state partition-local); the output is byte-identical
+  /// for any worker count.
   [[nodiscard]] std::vector<UnsolicitedRequest> classify(
       const std::vector<HoneypotHit>& hits,
-      const std::set<std::uint32_t>* replicated_seqs = nullptr) const;
+      const std::set<std::uint32_t>* replicated_seqs = nullptr, int workers = 1) const;
 
   /// Path ids with at least one unsolicited request in `requests`.
   [[nodiscard]] static std::set<std::uint32_t> problematic_paths(
       const std::vector<UnsolicitedRequest>& requests);
 
  private:
+  /// Serial classification of hits already in canonical order. The
+  /// resolved_once state lives here, so a call must see every hit of every
+  /// seq group it is handed.
+  void classify_ordered(const std::vector<const HoneypotHit*>& ordered,
+                        const std::set<std::uint32_t>* replicated_seqs,
+                        std::vector<UnsolicitedRequest>& out) const;
+
   const DecoyLedger& ledger_;
 };
 

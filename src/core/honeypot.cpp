@@ -1,9 +1,20 @@
 #include "core/honeypot.h"
 
+#include <tuple>
+
 #include "net/http.h"
 #include "net/tls.h"
 
 namespace shadowprobe::core {
+
+bool hit_canonical_less(const HoneypotHit& a, const HoneypotHit& b) {
+  auto key = [](const HoneypotHit& h) {
+    return std::make_tuple(h.time, h.domain.str(), static_cast<int>(h.protocol),
+                           h.origin.value(), h.honeypot_addr.value(), h.location,
+                           h.http_method, h.http_target);
+  };
+  return key(a) < key(b);
+}
 
 void HoneypotLogbook::add(HoneypotHit hit) {
   hits_.push_back(hit);

@@ -39,6 +39,13 @@ struct HoneypotHit {
   std::string http_target;      // HTTP only (path + query)
 };
 
+/// Strict total order over honeypot hits that does not depend on shard
+/// layout: primarily by capture time, then by every recorded field. Used to
+/// canonicalize merged logbooks before classification and export, and by the
+/// correlator to restore canonical (time, seq) order when handed a logbook
+/// that lost it (criterion (iii) depends on time order within a seq group).
+[[nodiscard]] bool hit_canonical_less(const HoneypotHit& a, const HoneypotHit& b);
+
 /// Append-only hit log shared by all honeypot instances.
 class HoneypotLogbook {
  public:

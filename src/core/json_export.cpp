@@ -124,7 +124,8 @@ void write_cdf(JsonWriter& json, const Cdf& cdf) {
 
 }  // namespace
 
-std::string export_campaign_json(Testbed& bed, const CampaignResult& result) {
+std::string export_campaign_json(Testbed& bed, const CampaignResult& result,
+                                 const CampaignAnalysis& analysis) {
   JsonWriter json;
   json.begin_object();
 
@@ -154,8 +155,8 @@ std::string export_campaign_json(Testbed& bed, const CampaignResult& result) {
       .value(static_cast<std::int64_t>(result.unsolicited.size()));
   json.end_object();
 
-  auto ratios = path_ratios(result.ledger, result.unsolicited);
-  auto resolver_h = top_shadowed_resolvers(ratios, 5);
+  const auto& ratios = analysis.ratios;
+  const auto& resolver_h = analysis.resolver_h;
   json.key("resolver_h").begin_array();
   for (const auto& name : resolver_h) json.value(name);
   json.end_array();
@@ -180,7 +181,7 @@ std::string export_campaign_json(Testbed& bed, const CampaignResult& result) {
   }
   json.end_array();
 
-  auto locations = observer_locations(result.findings);
+  const auto& locations = analysis.locations;
   json.key("observer_locations").begin_object();
   for (const auto& [protocol, shares] : locations.shares) {
     json.key(decoy_protocol_name(protocol)).begin_array();
@@ -189,7 +190,7 @@ std::string export_campaign_json(Testbed& bed, const CampaignResult& result) {
   }
   json.end_object();
 
-  auto ases = observer_ases(result.findings, bed.topology().geo());
+  const auto& ases = analysis.ases;
   json.key("observer_ases").begin_object();
   json.key("total_observer_ips").value(ases.total_observer_ips);
   json.key("cn_share").value(ases.observer_countries.share("CN"));
@@ -210,7 +211,7 @@ std::string export_campaign_json(Testbed& bed, const CampaignResult& result) {
   }
   json.end_object();
 
-  auto dns_cdfs = interval_cdf_by_resolver(result.ledger, result.unsolicited, resolver_h);
+  const auto& dns_cdfs = analysis.dns_cdfs;
   json.key("interval_cdf_dns").begin_object();
   for (const auto& [name, cdf] : dns_cdfs) {
     json.key(name);
@@ -218,7 +219,7 @@ std::string export_campaign_json(Testbed& bed, const CampaignResult& result) {
   }
   json.end_object();
 
-  auto web_cdfs = interval_cdf_by_protocol(result.unsolicited);
+  const auto& web_cdfs = analysis.web_cdfs;
   json.key("interval_cdf_web").begin_object();
   for (const auto& [protocol, cdf] : web_cdfs) {
     json.key(decoy_protocol_name(protocol));
@@ -226,7 +227,7 @@ std::string export_campaign_json(Testbed& bed, const CampaignResult& result) {
   }
   json.end_object();
 
-  auto combos = protocol_combos(result.ledger, result.unsolicited);
+  const auto& combos = analysis.combos;
   json.key("decoy_outcomes").begin_object();
   for (const auto& [dest, shares] : combos.shares) {
     json.key(dest).begin_object();
@@ -237,8 +238,7 @@ std::string export_campaign_json(Testbed& bed, const CampaignResult& result) {
   }
   json.end_object();
 
-  auto retention = retention_stats(result.ledger, result.unsolicited, resolver_h,
-                                   resolver_h.empty() ? "Yandex" : resolver_h.front());
+  const auto& retention = analysis.retention;
   json.key("retention").begin_object();
   json.key("over3_after_1h").value(retention.over3_after_1h);
   json.key("over10_after_1h").value(retention.over10_after_1h);
@@ -246,8 +246,7 @@ std::string export_campaign_json(Testbed& bed, const CampaignResult& result) {
   json.key("considered_decoys").value(retention.considered_decoys);
   json.end_object();
 
-  auto incentives = incentive_stats(result.unsolicited, bed.signatures(),
-                                    bed.blocklist());
+  const auto& incentives = analysis.incentives;
   json.key("incentives").begin_object();
   json.key("http_requests").value(incentives.http_requests);
   json.key("exploits_found").value(incentives.exploits_found);
@@ -268,8 +267,13 @@ std::string export_campaign_json(Testbed& bed, const CampaignResult& result) {
   return json.str();
 }
 
+std::string export_campaign_json(Testbed& bed, const CampaignResult& result,
+                                 int workers) {
+  return export_campaign_json(bed, result, analyze_campaign(bed, result, workers));
+}
+
 std::string export_campaign_json(Testbed& bed, const Campaign& campaign) {
-  return export_campaign_json(bed, campaign.result());
+  return export_campaign_json(bed, campaign.result(), 1);
 }
 
 }  // namespace shadowprobe::core

@@ -50,8 +50,14 @@ class JsonWriter {
 /// Serializes the full analysis of a completed campaign. `bed` provides the
 /// substrate context (config, geo database, signatures, blocklist); for a
 /// sharded run pass CampaignEngine::primary(). For a fixed master seed the
-/// output is byte-identical for any shard count.
-std::string export_campaign_json(Testbed& bed, const CampaignResult& result);
+/// output is byte-identical for any shard count and any analysis worker
+/// count. `analysis` must come from analyze_campaign() over `result`.
+std::string export_campaign_json(Testbed& bed, const CampaignResult& result,
+                                 const CampaignAnalysis& analysis);
+
+/// Computes the analysis bundle internally with `workers` scan threads.
+std::string export_campaign_json(Testbed& bed, const CampaignResult& result,
+                                 int workers = 1);
 
 /// Convenience overload for the serial campaign.
 std::string export_campaign_json(Testbed& bed, const Campaign& campaign);

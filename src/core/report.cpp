@@ -1,6 +1,7 @@
 #include "core/report.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/strutil.h"
 
@@ -42,6 +43,85 @@ std::string TextTable::str() const {
 
 std::string percent(double fraction, int decimals) {
   return strprintf("%.*f%%", decimals, fraction * 100.0);
+}
+
+// -- Campaign report printers ---------------------------------------------------
+
+void print_fig3(const CampaignAnalysis& analysis) {
+  const PathRatioTable& ratios = analysis.ratios;
+  std::printf("problematic path ratios (DNS, per destination):\n");
+  TextTable table({"destination", "global VPs", "CN VPs", "all"});
+  int printed = 0;
+  for (const auto& dest : ratios.destinations_by_ratio(DecoyProtocol::kDns)) {
+    table.add_row({dest,
+                   percent(ratios.group(DecoyProtocol::kDns, dest, false).ratio()),
+                   percent(ratios.group(DecoyProtocol::kDns, dest, true).ratio()),
+                   percent(ratios.total(DecoyProtocol::kDns, dest).ratio())});
+    if (++printed == 12) break;
+  }
+  std::printf("%s\n", table.str().c_str());
+}
+
+void print_table2(const CampaignAnalysis& analysis) {
+  std::printf("observer location (normalized hops, 10 = destination):\n");
+  for (const auto& [protocol, shares] : analysis.locations.shares) {
+    std::printf("  %-4s:", decoy_protocol_name(protocol).c_str());
+    for (int hop = 1; hop <= 10; ++hop) {
+      std::printf(" %5.1f%%", (shares.count(hop) ? shares.at(hop) : 0.0) * 100);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void print_table3(const CampaignAnalysis& analysis) {
+  const ObserverAsTable& table = analysis.ases;
+  std::printf("top observer ASes (%d observer IPs, %s in CN):\n",
+              table.total_observer_ips,
+              percent(table.observer_countries.share("CN")).c_str());
+  for (const auto& [protocol, rows] : table.rows) {
+    std::size_t printed = 0;
+    for (const auto& row : rows) {
+      std::printf("  %-4s AS%-7u %-44s %3d IPs (%s)\n",
+                  decoy_protocol_name(protocol).c_str(), row.asn,
+                  row.as_name.c_str(), row.observer_ips, percent(row.share).c_str());
+      if (++printed == 3) break;
+    }
+  }
+  std::printf("\n");
+}
+
+void print_retention(const CampaignAnalysis& analysis) {
+  const RetentionStats& stats = analysis.retention;
+  std::printf("retention (over Resolver_h decoys): >3 DNS requests after 1h: %s, "
+              ">10: %s, web re-appearance after 10d: %s\n\n",
+              percent(stats.over3_after_1h).c_str(),
+              percent(stats.over10_after_1h).c_str(),
+              percent(stats.web_after_10d).c_str());
+}
+
+void print_reports(const std::string& report, const CampaignResult& result,
+                   const CampaignAnalysis& analysis) {
+  std::printf("campaign: %zu decoys, %zu honeypot hits, %zu unsolicited, %d usable VPs\n\n",
+              result.ledger.decoy_count(), result.hits.size(), result.unsolicited.size(),
+              result.screening.usable);
+  const ShardExecutionStats& shard_stats = result.shard_stats;
+  if (shard_stats.clamped) {
+    std::printf("  note: requested %d shards, clamped to %d\n",
+                shard_stats.requested_shards, shard_stats.effective_shards);
+  }
+  if (shard_stats.per_shard.size() > 1) {
+    for (std::size_t i = 0; i < shard_stats.per_shard.size(); ++i) {
+      const auto& stats = shard_stats.per_shard[i];
+      std::printf("  shard %zu: %llu events processed, peak queue %zu\n", i,
+                  static_cast<unsigned long long>(stats.processed), stats.high_water);
+    }
+    std::printf("\n");
+  }
+  if (report == "all" || report == "fig3") print_fig3(analysis);
+  if (report == "all" || report == "table2") print_table2(analysis);
+  if (report == "all" || report == "table3") print_table3(analysis);
+  if (report == "all" || report == "retention") print_retention(analysis);
 }
 
 }  // namespace shadowprobe::core

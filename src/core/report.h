@@ -1,8 +1,14 @@
-// Plain-text table rendering for benches and examples.
+// Plain-text table rendering plus the CLI campaign report printers.
+//
+// The printers consume a precomputed CampaignAnalysis bundle (see
+// analyze_campaign), so a CLI run computes every table exactly once and the
+// printers never re-derive tables the JSON export already has.
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "core/analysis.h"
 
 namespace shadowprobe::core {
 
@@ -23,5 +29,22 @@ class TextTable {
 
 /// "12.3%" formatting helper.
 std::string percent(double fraction, int decimals = 1);
+
+// -- Campaign report printers (stdout) ------------------------------------------
+
+/// Figure 3: problematic DNS path ratios per destination (top 12).
+void print_fig3(const CampaignAnalysis& analysis);
+/// Table 2: observer locations as normalized-hop share rows.
+void print_table2(const CampaignAnalysis& analysis);
+/// Table 3: top observer ASes per decoy protocol.
+void print_table3(const CampaignAnalysis& analysis);
+/// Section 5.1 retention summary over Resolver_h decoys.
+void print_retention(const CampaignAnalysis& analysis);
+
+/// Campaign header (volumes, shard execution stats — including a note when
+/// the requested shard count was clamped) followed by the reports selected
+/// by `report` ("all" | "fig3" | "table2" | "table3" | "retention").
+void print_reports(const std::string& report, const CampaignResult& result,
+                   const CampaignAnalysis& analysis);
 
 }  // namespace shadowprobe::core

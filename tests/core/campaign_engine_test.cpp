@@ -63,6 +63,23 @@ TEST(CampaignEngineTest, ShardCountIsClamped) {
   EXPECT_EQ(engine.shard_count(), 1);
 }
 
+TEST(CampaignEngineTest, ClampedShardCountIsRecordedInResult) {
+  CampaignEngine engine(small_config(), fast_campaign(), 0, standard_exhibitors());
+  CampaignResult result = engine.run();
+  EXPECT_EQ(result.shard_stats.requested_shards, 0);
+  EXPECT_EQ(result.shard_stats.effective_shards, 1);
+  EXPECT_TRUE(result.shard_stats.clamped);
+  EXPECT_EQ(result.shard_stats.per_shard.size(), 1u);
+}
+
+TEST(CampaignEngineTest, InRangeShardCountIsNotFlaggedAsClamped) {
+  CampaignEngine engine(small_config(), fast_campaign(), 2, standard_exhibitors());
+  CampaignResult result = engine.run();
+  EXPECT_EQ(result.shard_stats.requested_shards, 2);
+  EXPECT_EQ(result.shard_stats.effective_shards, 2);
+  EXPECT_FALSE(result.shard_stats.clamped);
+}
+
 TEST(CampaignEngineTest, MergedLedgerMatchesSerialPathTable) {
   CampaignEngine engine(small_config(), fast_campaign(), 3);
   CampaignResult result = engine.run();
@@ -87,8 +104,8 @@ TEST(CampaignEngineTest, MergedLedgerMatchesSerialPathTable) {
     EXPECT_LT(path.vp, storage.data() + storage.size());
   }
   // Per-shard loop statistics came back from every worker.
-  EXPECT_EQ(result.shard_stats.size(), 3u);
-  for (const auto& stats : result.shard_stats) EXPECT_GT(stats.processed, 0u);
+  EXPECT_EQ(result.shard_stats.per_shard.size(), 3u);
+  for (const auto& stats : result.shard_stats.per_shard) EXPECT_GT(stats.processed, 0u);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "topo/topology.h"
 
 namespace shadowprobe::core {
@@ -162,6 +164,53 @@ TEST_F(CorrelatorTest, PerDecoySolicitedTracking) {
 
 namespace shadowprobe::core {
 namespace {
+
+TEST_F(CorrelatorTest, OutOfOrderDuplicateQnamesClassifyByCaptureTime) {
+  // Regression: criterion (iii) is temporal — the *earliest* DNS arrival per
+  // seq is the solicited resolution. A merged multi-shard logbook handed
+  // over out of order must not crown a later duplicate as solicited.
+  DecoyRecord decoy = make_decoy(resolver_pid, DecoyProtocol::kDns);
+  HoneypotHit resolution = hit_for(decoy, RequestProtocol::kDns, 300 * kMillisecond);
+  HoneypotHit replay = hit_for(decoy, RequestProtocol::kDns, 2 * kDay);
+  Correlator correlator(ledger);
+  // Replay first in the vector: iteration order must not decide.
+  auto unsolicited = correlator.classify({replay, resolution});
+  ASSERT_EQ(unsolicited.size(), 1u);
+  EXPECT_EQ(unsolicited[0].interval, 2 * kDay);
+  // And the ordered input gives the same verdicts.
+  auto ordered = correlator.classify({resolution, replay});
+  ASSERT_EQ(ordered.size(), 1u);
+  EXPECT_EQ(ordered[0].interval, 2 * kDay);
+}
+
+TEST_F(CorrelatorTest, ParallelClassifyMatchesSerial) {
+  // A corpus large enough to clear the parallel grain, spread over three
+  // decoys, in deliberately scrambled input order.
+  DecoyRecord a = make_decoy(resolver_pid, DecoyProtocol::kDns);
+  DecoyRecord b = make_decoy(root_pid, DecoyProtocol::kDns);
+  DecoyRecord c = make_decoy(web_pid, DecoyProtocol::kHttp);
+  std::vector<HoneypotHit> hits;
+  hits.push_back(hit_for(a, RequestProtocol::kDns, 200 * kMillisecond));  // solicited
+  for (int i = 0; i < 40; ++i) {
+    hits.push_back(hit_for(a, RequestProtocol::kDns, kMinute + i * kSecond));
+    hits.push_back(hit_for(b, RequestProtocol::kDns, kHour + i * kSecond));
+    hits.push_back(hit_for(c, RequestProtocol::kHttp, kDay + i * kSecond));
+  }
+  std::reverse(hits.begin(), hits.end());
+
+  Correlator correlator(ledger);
+  auto serial = correlator.classify(hits, nullptr, 1);
+  for (int workers : {2, 3, 4, 8}) {
+    auto parallel = correlator.classify(hits, nullptr, workers);
+    ASSERT_EQ(parallel.size(), serial.size()) << "workers=" << workers;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].seq, serial[i].seq);
+      EXPECT_EQ(parallel[i].interval, serial[i].interval);
+      EXPECT_EQ(parallel[i].request_protocol, serial[i].request_protocol);
+      EXPECT_EQ(parallel[i].hit.time, serial[i].hit.time);
+    }
+  }
+}
 
 TEST_F(CorrelatorTest, ReplicatedDecoysAreExcludedFromDnsShadowing) {
   DecoyRecord decoy = make_decoy(resolver_pid, DecoyProtocol::kDns);

@@ -4,19 +4,23 @@
 //   shadowprobe_cli run [options]
 //
 //   options:
-//     --scale X          platform scale multiplier (default 1.0)
-//     --seed N           master seed (default 20240301)
-//     --days N           capture horizon in simulated days (default 25)
-//     --shards N         run the sharded engine with N VP partitions
-//                        (default: SHADOWPROBE_SHARDS env var, else serial);
-//                        results are byte-identical for any N
-//     --transport T      dns decoy transport: plain | dot | odoh
-//     --ech              send TLS decoys with Encrypted Client Hello
-//     --no-screening     skip the Appendix-E platform screens
-//     --report R         all | fig3 | table2 | table3 | retention (default all)
-//     --json FILE        write the full analysis as JSON
-//     --trace N          print the first N packets crossing the CN gateway
-//                        (with --shards, shard 0's replica)
+//     --scale X            platform scale multiplier (default 1.0)
+//     --seed N             master seed (default 20240301)
+//     --days N             capture horizon in simulated days (default 25)
+//     --shards N           run the sharded engine with N VP partitions
+//                          (default: SHADOWPROBE_SHARDS env var, else serial);
+//                          results are byte-identical for any N
+//     --analysis-workers N worker threads for the post-barrier pipeline
+//                          (classification + analysis tables; default:
+//                          SHADOWPROBE_ANALYSIS_WORKERS env var, else 1);
+//                          results are byte-identical for any N
+//     --transport T        dns decoy transport: plain | dot | odoh
+//     --ech                send TLS decoys with Encrypted Client Hello
+//     --no-screening       skip the Appendix-E platform screens
+//     --report R           all | fig3 | table2 | table3 | retention (default all)
+//     --json FILE          write the full analysis as JSON
+//     --trace N            print the first N packets crossing the CN gateway
+//                          (with --shards, shard 0's replica)
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,6 +47,7 @@ struct CliOptions {
   std::uint64_t seed = 20240301;
   int days = 25;
   int shards = 0;  // 0 = serial Campaign, >= 1 = CampaignEngine
+  int analysis_workers = 1;
   core::DnsDecoyTransport transport = core::DnsDecoyTransport::kPlain;
   bool ech = false;
   bool screening = true;
@@ -54,7 +59,8 @@ struct CliOptions {
 int usage() {
   std::fprintf(stderr,
                "usage: shadowprobe_cli run [--scale X] [--seed N] [--days N]\n"
-               "         [--shards N] [--transport plain|dot|odoh] [--ech]\n"
+               "         [--shards N] [--analysis-workers N]\n"
+               "         [--transport plain|dot|odoh] [--ech]\n"
                "         [--no-screening]\n"
                "         [--report all|fig3|table2|table3|retention] [--json FILE]\n"
                "         [--trace N]\n");
@@ -64,6 +70,9 @@ int usage() {
 bool parse_options(int argc, char** argv, CliOptions& options) {
   if (const char* env = std::getenv("SHADOWPROBE_SHARDS")) {
     options.shards = std::atoi(env);
+  }
+  if (const char* env = std::getenv("SHADOWPROBE_ANALYSIS_WORKERS")) {
+    options.analysis_workers = std::atoi(env);
   }
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
@@ -84,6 +93,10 @@ bool parse_options(int argc, char** argv, CliOptions& options) {
       const char* v = next();
       if (!v) return false;
       options.shards = std::atoi(v);
+    } else if (arg == "--analysis-workers") {
+      const char* v = next();
+      if (!v) return false;
+      options.analysis_workers = std::atoi(v);
     } else if (arg == "--transport") {
       const char* v = next();
       if (!v) return false;
@@ -120,83 +133,6 @@ bool parse_options(int argc, char** argv, CliOptions& options) {
   return true;
 }
 
-void print_fig3(core::Testbed& bed, const core::CampaignResult& result) {
-  (void)bed;
-  auto ratios = core::path_ratios(result.ledger, result.unsolicited);
-  std::printf("problematic path ratios (DNS, per destination):\n");
-  core::TextTable table({"destination", "global VPs", "CN VPs", "all"});
-  int printed = 0;
-  for (const auto& dest : ratios.destinations_by_ratio(core::DecoyProtocol::kDns)) {
-    table.add_row({dest,
-                   core::percent(ratios.group(core::DecoyProtocol::kDns, dest, false).ratio()),
-                   core::percent(ratios.group(core::DecoyProtocol::kDns, dest, true).ratio()),
-                   core::percent(ratios.total(core::DecoyProtocol::kDns, dest).ratio())});
-    if (++printed == 12) break;
-  }
-  std::printf("%s\n", table.str().c_str());
-}
-
-void print_table2(const core::CampaignResult& result) {
-  auto locations = core::observer_locations(result.findings);
-  std::printf("observer location (normalized hops, 10 = destination):\n");
-  for (const auto& [protocol, shares] : locations.shares) {
-    std::printf("  %-4s:", core::decoy_protocol_name(protocol).c_str());
-    for (int hop = 1; hop <= 10; ++hop) {
-      std::printf(" %5.1f%%", (shares.count(hop) ? shares.at(hop) : 0.0) * 100);
-    }
-    std::printf("\n");
-  }
-  std::printf("\n");
-}
-
-void print_table3(core::Testbed& bed, const core::CampaignResult& result) {
-  auto table = core::observer_ases(result.findings, bed.topology().geo());
-  std::printf("top observer ASes (%d observer IPs, %s in CN):\n",
-              table.total_observer_ips,
-              core::percent(table.observer_countries.share("CN")).c_str());
-  for (const auto& [protocol, rows] : table.rows) {
-    std::size_t printed = 0;
-    for (const auto& row : rows) {
-      std::printf("  %-4s AS%-7u %-44s %3d IPs (%s)\n",
-                  core::decoy_protocol_name(protocol).c_str(), row.asn,
-                  row.as_name.c_str(), row.observer_ips, core::percent(row.share).c_str());
-      if (++printed == 3) break;
-    }
-  }
-  std::printf("\n");
-}
-
-void print_retention(const core::CampaignResult& result) {
-  auto ratios = core::path_ratios(result.ledger, result.unsolicited);
-  auto resolver_h = core::top_shadowed_resolvers(ratios, 5);
-  auto stats = core::retention_stats(result.ledger, result.unsolicited, resolver_h,
-                                     resolver_h.empty() ? "Yandex" : resolver_h.front());
-  std::printf("retention (over Resolver_h decoys): >3 requests after 1h: %s, "
-              ">10: %s, web re-appearance after 10d: %s\n\n",
-              core::percent(stats.over3_after_1h).c_str(),
-              core::percent(stats.over10_after_1h).c_str(),
-              core::percent(stats.web_after_10d).c_str());
-}
-
-void print_reports(const CliOptions& options, core::Testbed& bed,
-                   const core::CampaignResult& result) {
-  std::printf("campaign: %zu decoys, %zu honeypot hits, %zu unsolicited, %d usable VPs\n\n",
-              result.ledger.decoy_count(), result.hits.size(), result.unsolicited.size(),
-              result.screening.usable);
-  if (result.shard_stats.size() > 1) {
-    for (std::size_t i = 0; i < result.shard_stats.size(); ++i) {
-      const auto& stats = result.shard_stats[i];
-      std::printf("  shard %zu: %llu events processed, peak queue %zu\n", i,
-                  static_cast<unsigned long long>(stats.processed), stats.high_water);
-    }
-    std::printf("\n");
-  }
-  if (options.report == "all" || options.report == "fig3") print_fig3(bed, result);
-  if (options.report == "all" || options.report == "table2") print_table2(result);
-  if (options.report == "all" || options.report == "table3") print_table3(bed, result);
-  if (options.report == "all" || options.report == "retention") print_retention(result);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,6 +149,7 @@ int main(int argc, char** argv) {
   campaign_config.dns_transport = options.transport;
   campaign_config.tls_decoys_use_ech = options.ech;
   campaign_config.screening = options.screening;
+  campaign_config.analysis_workers = options.analysis_workers;
 
   shadow::ShadowConfig shadow_config;
   sim::TraceRecorder trace;
@@ -247,7 +184,11 @@ int main(int argc, char** argv) {
     result = campaign.result();
   }
 
-  print_reports(options, *context, result);
+  // Every table the printers and the JSON export need, computed once.
+  core::CampaignAnalysis analysis =
+      core::analyze_campaign(*context, result, options.analysis_workers);
+
+  core::print_reports(options.report, result, analysis);
 
   if (options.trace > 0) {
     std::printf("first packets across the CN national gateway:\n%s\n",
@@ -260,7 +201,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot write %s\n", options.json_path.c_str());
       return 1;
     }
-    out << core::export_campaign_json(*context, result);
+    out << core::export_campaign_json(*context, result, analysis);
     std::printf("wrote %s\n", options.json_path.c_str());
   }
   return 0;
