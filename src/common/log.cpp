@@ -1,11 +1,13 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace shadowprobe {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic: shard workers (and parallel replica construction) log concurrently.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,11 +21,13 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
-LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

@@ -171,6 +171,7 @@ CampaignResult Campaign::result() const {
   out.shard_stats.requested_shards = 1;
   out.shard_stats.effective_shards = 1;
   out.shard_stats.per_shard.push_back(bed_.loop().stats());
+  out.shard_stats.per_shard_net.push_back(bed_.net().counters());
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/time.h"
 #include "core/vp_agent.h"
+#include "sim/fault.h"
 
 namespace shadowprobe::core {
 
@@ -36,6 +37,11 @@ struct CampaignConfig {
   /// merged hit logbook and the analysis-table scans). Results are
   /// byte-identical for any value; 1 = fully serial.
   int analysis_workers = 1;
+  /// Fault-injection profile (sim/fault.h). The default (null) profile keeps
+  /// campaign output byte-identical to a fault-free build; any enabled
+  /// profile stays byte-identical across shard counts and analysis-worker
+  /// counts because every fault decision is entity-keyed.
+  sim::FaultProfile faults;
 };
 
 struct ScreeningReport {

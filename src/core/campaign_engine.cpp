@@ -18,11 +18,30 @@ CampaignEngine::CampaignEngine(const TestbedConfig& bed_config, const CampaignCo
                           shard_count, count,
                           static_cast<int>(DecoyLedger::kMaxShards)));
   }
-  runners_.reserve(static_cast<std::size_t>(count));
+  runners_.resize(static_cast<std::size_t>(count));
+  if (count == 1) {
+    runners_[0] = std::make_unique<ShardRunner>(0, 1, bed_config, config_, decorate);
+    return;
+  }
+  // Replicas are independent; build them concurrently (slot-assigned, so the
+  // vector order — and everything keyed off shard index — is deterministic).
+  std::vector<std::thread> builders;
+  std::vector<std::exception_ptr> errors(runners_.size());
+  builders.reserve(runners_.size());
   for (int i = 0; i < count; ++i) {
-    runners_.push_back(std::make_unique<ShardRunner>(static_cast<std::uint32_t>(i),
-                                                     static_cast<std::uint32_t>(count),
-                                                     bed_config, config_, decorate));
+    builders.emplace_back([&, i] {
+      try {
+        runners_[static_cast<std::size_t>(i)] = std::make_unique<ShardRunner>(
+            static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(count), bed_config,
+            config_, decorate);
+      } catch (...) {
+        errors[static_cast<std::size_t>(i)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& builder : builders) builder.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
   }
 }
 
@@ -128,19 +147,56 @@ CampaignResult CampaignEngine::run() {
   for_each_shard([barrier](ShardRunner& shard) { shard.run_until(barrier); });
 
   // Phase-II barrier: merge what the honeypots have so far, classify, and
-  // extend the plan with the TTL sweeps (seqs continue the global counter).
+  // extend the plan — first re-homing the decoys quarantined VPs never sent,
+  // then the TTL sweeps (seqs continue the global counter).
+  std::size_t rescheduled = 0;
+  std::set<std::size_t> quarantined;
   {
+    std::size_t schedule_from = plan_.emissions().size();
+    if (config_.faults.enabled()) {
+      // Each owner shard recorded exactly which of its emissions were
+      // skipped; the union is the re-plan work list.
+      std::set<std::uint32_t> cancelled;
+      for (const auto& runner : runners_) {
+        for (const auto& [vp_index, when] : runner->quarantined_vps()) {
+          quarantined.insert(vp_index);
+        }
+        const auto& shard_cancelled = runner->cancelled_seqs();
+        cancelled.insert(shard_cancelled.begin(), shard_cancelled.end());
+      }
+      rescheduled = plan_.reschedule_quarantined(cancelled, quarantined, active, barrier,
+                                                 config_.phase2_window);
+      if (!quarantined.empty()) {
+        SP_LOG_INFO(strprintf("engine barrier: %zu VPs quarantined, %zu decoys "
+                              "re-homed onto replacement VPs",
+                              quarantined.size(), rescheduled));
+      }
+    }
     DecoyLedger interim = merged_ledger();
     std::vector<HoneypotHit> hits = merged_hits();
     std::set<std::uint32_t> replicated = merged_replicated();
     auto so_far = classify_unsolicited(interim, hits, &replicated,
                                        config_.analysis_workers);
     auto problematic = Correlator::problematic_paths(so_far);
+    if (!quarantined.empty()) {
+      // A quarantined VP cannot run its sweep; drop its paths rather than
+      // plan emissions that would only be cancelled again.
+      for (auto it = problematic.begin(); it != problematic.end();) {
+        std::int32_t vp_index = plan_.path(*it).vp_index;
+        if (vp_index >= 0 && quarantined.count(static_cast<std::size_t>(vp_index)) != 0) {
+          it = problematic.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
     SP_LOG_INFO(strprintf("engine phase II: sweeping %zu problematic paths",
                           problematic.size()));
-    std::size_t first = plan_.extend_phase2(problematic, config_, barrier);
+    plan_.extend_phase2(problematic, config_, barrier);
+    // schedule_from also covers the re-homed Phase-I emissions; with the
+    // null profile it equals extend_phase2's first index exactly.
     for (auto& runner : runners_) {
-      runner->schedule_owned(plan_, first, plan_.emissions().size());
+      runner->schedule_owned(plan_, schedule_from, plan_.emissions().size());
     }
   }
   for_each_shard(
@@ -160,6 +216,19 @@ CampaignResult CampaignEngine::run() {
     const auto& shard_hops = runner->hop_log();
     out.hop_log.insert(shard_hops.begin(), shard_hops.end());
     out.shard_stats.per_shard.push_back(runner->stats());
+    out.shard_stats.per_shard_net.push_back(runner->net_counters());
+  }
+  if (config_.faults.enabled()) {
+    CoverageStats cov;
+    cov.phase1_planned = plan_.phase1_count();
+    for (const DecoyRecord& record : out.ledger.decoys()) {
+      if (record.phase2) continue;
+      ++cov.decoys_attempted;
+      if (record.dest_responded) ++cov.decoys_delivered;
+    }
+    for (const auto& runner : runners_) cov.absorb(runner->coverage());
+    cov.decoys_rescheduled = rescheduled;
+    out.coverage = cov;
   }
   out.active_vps.reserve(active.size());
   for (std::size_t i : active) out.active_vps.push_back(&vps[i]);

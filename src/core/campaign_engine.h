@@ -40,10 +40,11 @@ class CampaignEngine {
  public:
   using Decorator = ShardRunner::Decorator;
 
-  /// Builds the shard replicas (sequentially; Testbed construction is not
-  /// thread-safe w.r.t. shared statics). `shard_count` is clamped to
-  /// [1, DecoyLedger::kMaxShards]; a clamp logs a warning and is recorded
-  /// in the result's ShardExecutionStats.
+  /// Builds the shard replicas, one construction thread per shard (Testbed's
+  /// shared tables are initialised thread-safely, so replicas build in
+  /// parallel). `shard_count` is clamped to [1, DecoyLedger::kMaxShards]; a
+  /// clamp logs a warning and is recorded in the result's
+  /// ShardExecutionStats.
   CampaignEngine(const TestbedConfig& bed_config, const CampaignConfig& config,
                  int shard_count, Decorator decorate = nullptr);
   ~CampaignEngine();

@@ -109,6 +109,69 @@ CampaignPlan CampaignPlan::build_phase1(const topo::Topology& topo,
   return plan;
 }
 
+std::size_t CampaignPlan::reschedule_quarantined(
+    const std::set<std::uint32_t>& cancelled_seqs,
+    const std::set<std::size_t>& quarantined_vps,
+    const std::vector<std::size_t>& active_vps, SimTime start, SimDuration window) {
+  if (cancelled_seqs.empty() || active_vps.empty()) return 0;
+
+  // The emissions to re-home, in plan order (deterministic).
+  std::vector<const PlanEmission*> orphans;
+  for (const PlanEmission& emission : emissions_) {
+    if (cancelled_seqs.count(emission.seq) != 0) orphans.push_back(&emission);
+  }
+  if (orphans.empty()) return 0;
+
+  // Replacement choice: the next non-quarantined VP after the orphan's owner
+  // in active-VP order, wrapping around.
+  auto replacement_for = [&](std::size_t vp_index) -> std::optional<std::size_t> {
+    auto pos = std::find(active_vps.begin(), active_vps.end(), vp_index);
+    std::size_t at = pos == active_vps.end()
+                         ? 0
+                         : static_cast<std::size_t>(pos - active_vps.begin());
+    for (std::size_t step = 1; step <= active_vps.size(); ++step) {
+      std::size_t candidate = active_vps[(at + step) % active_vps.size()];
+      if (candidate != vp_index && quarantined_vps.count(candidate) == 0) {
+        return candidate;
+      }
+    }
+    return std::nullopt;  // every active VP is quarantined
+  };
+
+  // The replacement VP already has a path to every (destination, protocol)
+  // the orphan targeted; index them for the re-homing lookup.
+  std::map<std::tuple<std::int32_t, std::string, int>, std::uint32_t> path_index;
+  for (const PathRecord& path : paths_) {
+    path_index[{path.vp_index, path.dest_name, static_cast<int>(path.protocol)}] =
+        path.path_id;
+  }
+
+  std::size_t appended = 0;
+  // Snapshot: plan_emission() grows emissions_, which would invalidate the
+  // orphan pointers into it.
+  std::vector<std::pair<std::uint32_t, SimTime>> replanned;
+  replanned.reserve(orphans.size());
+  std::size_t ordinal = 0;
+  for (const PlanEmission* orphan : orphans) {
+    const PathRecord& old_path = paths_.at(orphan->path_id);
+    auto replacement = replacement_for(static_cast<std::size_t>(old_path.vp_index));
+    SimTime when = start + static_cast<SimDuration>(
+                               static_cast<double>(ordinal++) /
+                               static_cast<double>(orphans.size()) *
+                               static_cast<double>(window));
+    if (!replacement) continue;
+    auto it = path_index.find({static_cast<std::int32_t>(*replacement),
+                               old_path.dest_name, static_cast<int>(old_path.protocol)});
+    if (it == path_index.end()) continue;  // replacement never planned this dest
+    replanned.emplace_back(it->second, when);
+  }
+  for (const auto& [path_id, when] : replanned) {
+    plan_emission(path_id, when, 64, /*phase2=*/false);
+    ++appended;
+  }
+  return appended;
+}
+
 std::size_t CampaignPlan::extend_phase2(const std::set<std::uint32_t>& problematic,
                                         const CampaignConfig& config, SimTime start) {
   std::size_t first = emissions_.size();

@@ -55,6 +55,20 @@ class CampaignPlan {
   std::size_t extend_phase2(const std::set<std::uint32_t>& problematic,
                             const CampaignConfig& config, SimTime start);
 
+  /// Fault-resilience step, run at the Phase-II barrier: re-plans the
+  /// Phase-I emissions that quarantined VPs never sent (`cancelled_seqs`, as
+  /// recorded by the shard runners at fire time) onto replacement VPs. The
+  /// replacement is the next VP after the quarantined owner in `active_vps`
+  /// order that is itself not quarantined (cyclic scan) — a pure function of
+  /// the inputs, so every shard layout re-plans identically. Each re-planned
+  /// emission reuses the replacement VP's *existing* path to the same
+  /// (destination, protocol) and takes a fresh seq; emissions are paced over
+  /// `window` from `start`. Returns the number of emissions appended.
+  std::size_t reschedule_quarantined(const std::set<std::uint32_t>& cancelled_seqs,
+                                     const std::set<std::size_t>& quarantined_vps,
+                                     const std::vector<std::size_t>& active_vps,
+                                     SimTime start, SimDuration window);
+
   [[nodiscard]] const std::vector<PathRecord>& paths() const noexcept { return paths_; }
   [[nodiscard]] const std::vector<PlanEmission>& emissions() const noexcept {
     return emissions_;

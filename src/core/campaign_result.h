@@ -9,6 +9,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "core/ledger.h"
 #include "core/locate.h"
 #include "sim/event_loop.h"
+#include "sim/network.h"
 
 namespace shadowprobe::core {
 
@@ -37,6 +39,45 @@ struct ShardExecutionStats {
   int effective_shards = 1;
   bool clamped = false;  ///< requested_shards fell outside the valid range
   std::vector<sim::EventLoopStats> per_shard;
+  /// One network-counter snapshot per executed shard (delivered/forwarded/
+  /// drops by reason). Per-shard values are NOT layout-invariant — replica
+  /// infrastructure traffic repeats on every shard — so they feed the text
+  /// report, never the byte-identical JSON export.
+  std::vector<sim::NetworkCounters> per_shard_net;
+};
+
+/// How much of the planned measurement actually happened under a fault
+/// profile. Every field is layout-invariant (a pure function of the master
+/// seed and the profile, independent of shard / worker counts), so the whole
+/// struct is exported in the campaign JSON next to the analysis tables it
+/// qualifies. Populated only when the fault profile is enabled.
+struct CoverageStats {
+  std::uint64_t phase1_planned = 0;    ///< Phase-I emissions in the plan
+  std::uint64_t decoys_attempted = 0;  ///< Phase-I decoys actually emitted
+  std::uint64_t decoys_delivered = 0;  ///< ... whose destination responded
+  std::uint64_t decoys_lost = 0;       ///< ... that exhausted their retries
+  std::uint64_t decoys_retried = 0;    ///< distinct decoys re-sent >= once
+  std::uint64_t retry_attempts = 0;    ///< UDP decoy re-send events
+  std::uint64_t tcp_retransmissions = 0;  ///< segments re-sent by VP stacks
+  std::uint64_t decoys_cancelled = 0;  ///< skipped: owner VP quarantined
+  std::uint64_t decoys_rescheduled = 0;  ///< re-planned onto replacement VPs
+  std::uint64_t phase2_deferred = 0;   ///< sweep probes shifted past a VP outage
+  std::uint64_t vps_quarantined = 0;
+  std::uint64_t honeypot_downtime_drops = 0;  ///< packets lost to collector outages
+
+  /// Merge step for per-shard partials (planned/attempted/delivered are
+  /// computed once from the merged ledger, not summed).
+  void absorb(const CoverageStats& other) noexcept {
+    decoys_lost += other.decoys_lost;
+    decoys_retried += other.decoys_retried;
+    retry_attempts += other.retry_attempts;
+    tcp_retransmissions += other.tcp_retransmissions;
+    decoys_cancelled += other.decoys_cancelled;
+    decoys_rescheduled += other.decoys_rescheduled;
+    phase2_deferred += other.phase2_deferred;
+    vps_quarantined += other.vps_quarantined;
+    honeypot_downtime_drops += other.honeypot_downtime_drops;
+  }
 };
 
 struct CampaignResult {
@@ -52,6 +93,9 @@ struct CampaignResult {
   std::map<std::uint32_t, net::Ipv4Addr> hop_log;
   std::set<std::uint32_t> replicated_seqs;
   ShardExecutionStats shard_stats;
+  /// Present exactly when config.faults.enabled() — the null profile leaves
+  /// result shape (and thus JSON) byte-identical to a fault-free build.
+  std::optional<CoverageStats> coverage;
 
   /// Fills unsolicited + findings from ledger / hits / hop_log.
   /// `analysis_workers` sizes the classification worker pool (the result is

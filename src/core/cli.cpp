@@ -1,0 +1,159 @@
+#include "core/cli.h"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace shadowprobe::core {
+
+namespace {
+
+Error bad(const std::string& what) { return Error(what); }
+
+/// Whole-token integer parse; no trailing junk, no silent atoi zeroes.
+bool parse_int(const std::string& text, long long& out) {
+  if (text.empty()) return false;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(text.c_str(), &end);
+  return end == text.c_str() + text.size();
+}
+
+Result<int> positive_int(const std::string& option, const std::string& text) {
+  long long value = 0;
+  if (!parse_int(text, value)) {
+    return bad(option + " expects an integer, got '" + text + "'");
+  }
+  if (value < 1) {
+    return bad(option + " must be >= 1, got " + text);
+  }
+  if (value > 1'000'000) {
+    return bad(option + " is implausibly large: " + text);
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+CliEnvironment CliEnvironment::from_process() {
+  CliEnvironment env;
+  if (const char* v = std::getenv("SHADOWPROBE_SHARDS")) env.shards = v;
+  if (const char* v = std::getenv("SHADOWPROBE_ANALYSIS_WORKERS")) {
+    env.analysis_workers = v;
+  }
+  if (const char* v = std::getenv("SHADOWPROBE_FAULT_PROFILE")) env.fault_profile = v;
+  return env;
+}
+
+Result<CliOptions> parse_cli_options(const std::vector<std::string>& args,
+                                     const CliEnvironment& env) {
+  CliOptions options;
+
+  if (!env.shards.empty()) {
+    auto shards = positive_int("SHADOWPROBE_SHARDS", env.shards);
+    if (!shards.ok()) return shards.error();
+    options.shards = shards.value();
+  }
+  if (!env.analysis_workers.empty()) {
+    auto workers = positive_int("SHADOWPROBE_ANALYSIS_WORKERS", env.analysis_workers);
+    if (!workers.ok()) return workers.error();
+    options.analysis_workers = workers.value();
+  }
+  if (!env.fault_profile.empty()) {
+    auto profile = sim::FaultProfile::parse(env.fault_profile);
+    if (!profile.ok()) {
+      return bad("SHADOWPROBE_FAULT_PROFILE: " + profile.error().message);
+    }
+    options.faults = profile.value();
+  }
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&](const std::string* & out) -> bool {
+      if (i + 1 >= args.size()) return false;
+      out = &args[++i];
+      return true;
+    };
+    const std::string* v = nullptr;
+    if (arg == "--scale") {
+      if (!next(v)) return bad("--scale expects a value");
+      double scale = 0.0;
+      if (!parse_double(*v, scale) || scale <= 0.0) {
+        return bad("--scale expects a positive number, got '" + *v + "'");
+      }
+      options.scale = scale;
+    } else if (arg == "--seed") {
+      if (!next(v)) return bad("--seed expects a value");
+      long long seed = 0;
+      if (!parse_int(*v, seed) || seed < 0) {
+        return bad("--seed expects a non-negative integer, got '" + *v + "'");
+      }
+      options.seed = static_cast<std::uint64_t>(seed);
+    } else if (arg == "--days") {
+      if (!next(v)) return bad("--days expects a value");
+      auto days = positive_int("--days", *v);
+      if (!days.ok()) return days.error();
+      options.days = days.value();
+    } else if (arg == "--shards") {
+      if (!next(v)) return bad("--shards expects a value");
+      auto shards = positive_int("--shards", *v);
+      if (!shards.ok()) return shards.error();
+      options.shards = shards.value();
+    } else if (arg == "--analysis-workers") {
+      if (!next(v)) return bad("--analysis-workers expects a value");
+      auto workers = positive_int("--analysis-workers", *v);
+      if (!workers.ok()) return workers.error();
+      options.analysis_workers = workers.value();
+    } else if (arg == "--fault-profile") {
+      if (!next(v)) return bad("--fault-profile expects a spec");
+      auto profile = sim::FaultProfile::parse(*v);
+      if (!profile.ok()) return bad("--fault-profile: " + profile.error().message);
+      options.faults = profile.value();
+    } else if (arg == "--transport") {
+      if (!next(v)) return bad("--transport expects plain|dot|odoh");
+      if (*v == "plain") {
+        options.transport = DnsDecoyTransport::kPlain;
+      } else if (*v == "dot") {
+        options.transport = DnsDecoyTransport::kEncrypted;
+      } else if (*v == "odoh") {
+        options.transport = DnsDecoyTransport::kOblivious;
+      } else {
+        return bad("--transport expects plain|dot|odoh, got '" + *v + "'");
+      }
+    } else if (arg == "--ech") {
+      options.ech = true;
+    } else if (arg == "--no-screening") {
+      options.screening = false;
+    } else if (arg == "--report") {
+      if (!next(v)) return bad("--report expects a value");
+      if (*v != "all" && *v != "fig3" && *v != "table2" && *v != "table3" &&
+          *v != "retention") {
+        return bad("--report expects all|fig3|table2|table3|retention, got '" + *v + "'");
+      }
+      options.report = *v;
+    } else if (arg == "--json") {
+      if (!next(v)) return bad("--json expects a file path");
+      options.json_path = *v;
+    } else if (arg == "--trace") {
+      if (!next(v)) return bad("--trace expects a value");
+      auto trace = positive_int("--trace", *v);
+      if (!trace.ok()) return trace.error();
+      options.trace = trace.value();
+    } else {
+      return bad("unknown option: " + arg);
+    }
+  }
+
+  // A fault profile runs on the engine (the serial Campaign has no fault
+  // layer); an unsharded invocation gets a single-shard engine.
+  if (options.faults.enabled() && options.shards == 0) options.shards = 1;
+  return options;
+}
+
+}  // namespace shadowprobe::core

@@ -155,6 +155,31 @@ std::string export_campaign_json(Testbed& bed, const CampaignResult& result,
       .value(static_cast<std::int64_t>(result.unsolicited.size()));
   json.end_object();
 
+  // Fault-profile runs (and only those) carry the coverage block, so the
+  // null profile's export stays byte-identical to a fault-free build. Every
+  // field here is layout-invariant across shard / worker counts.
+  if (result.coverage) {
+    json.key("fault_profile").value(result.config.faults.str());
+    const CoverageStats& cov = *result.coverage;
+    json.key("coverage").begin_object();
+    json.key("phase1_planned").value(static_cast<std::int64_t>(cov.phase1_planned));
+    json.key("decoys_attempted").value(static_cast<std::int64_t>(cov.decoys_attempted));
+    json.key("decoys_delivered").value(static_cast<std::int64_t>(cov.decoys_delivered));
+    json.key("decoys_lost").value(static_cast<std::int64_t>(cov.decoys_lost));
+    json.key("decoys_retried").value(static_cast<std::int64_t>(cov.decoys_retried));
+    json.key("retry_attempts").value(static_cast<std::int64_t>(cov.retry_attempts));
+    json.key("tcp_retransmissions")
+        .value(static_cast<std::int64_t>(cov.tcp_retransmissions));
+    json.key("decoys_cancelled").value(static_cast<std::int64_t>(cov.decoys_cancelled));
+    json.key("decoys_rescheduled")
+        .value(static_cast<std::int64_t>(cov.decoys_rescheduled));
+    json.key("phase2_deferred").value(static_cast<std::int64_t>(cov.phase2_deferred));
+    json.key("vps_quarantined").value(static_cast<std::int64_t>(cov.vps_quarantined));
+    json.key("honeypot_downtime_drops")
+        .value(static_cast<std::int64_t>(cov.honeypot_downtime_drops));
+    json.end_object();
+  }
+
   const auto& ratios = analysis.ratios;
   const auto& resolver_h = analysis.resolver_h;
   json.key("resolver_h").begin_array();

@@ -118,6 +118,49 @@ void print_reports(const std::string& report, const CampaignResult& result,
     }
     std::printf("\n");
   }
+  if (result.coverage) {
+    const CoverageStats& cov = *result.coverage;
+    std::printf("fault profile: %s\n", result.config.faults.str().c_str());
+    std::printf(
+        "  coverage: %llu/%llu phase-1 decoys delivered (%llu attempted, "
+        "%llu lost after retries)\n",
+        static_cast<unsigned long long>(cov.decoys_delivered),
+        static_cast<unsigned long long>(cov.phase1_planned),
+        static_cast<unsigned long long>(cov.decoys_attempted),
+        static_cast<unsigned long long>(cov.decoys_lost));
+    std::printf(
+        "  resilience: %llu decoys retried (%llu retry sends, %llu tcp "
+        "retransmissions), %llu VPs quarantined, %llu decoys cancelled, "
+        "%llu re-homed, %llu sweep probes deferred\n",
+        static_cast<unsigned long long>(cov.decoys_retried),
+        static_cast<unsigned long long>(cov.retry_attempts),
+        static_cast<unsigned long long>(cov.tcp_retransmissions),
+        static_cast<unsigned long long>(cov.vps_quarantined),
+        static_cast<unsigned long long>(cov.decoys_cancelled),
+        static_cast<unsigned long long>(cov.decoys_rescheduled),
+        static_cast<unsigned long long>(cov.phase2_deferred));
+    if (cov.honeypot_downtime_drops > 0) {
+      std::printf("  collector outages swallowed %llu packets\n",
+                  static_cast<unsigned long long>(cov.honeypot_downtime_drops));
+    }
+    // Per-replica drop tallies are diagnostics, not results: replica
+    // infrastructure traffic repeats on every shard, so these do not sum to
+    // a layout-invariant figure (which is why they stay out of the JSON).
+    for (std::size_t i = 0; i < shard_stats.per_shard_net.size(); ++i) {
+      const sim::NetworkCounters& net = shard_stats.per_shard_net[i];
+      std::printf(
+          "  shard %zu network: %llu delivered, drops: %llu %s, %llu %s, "
+          "%llu %s\n",
+          i, static_cast<unsigned long long>(net.delivered),
+          static_cast<unsigned long long>(net.link_loss),
+          sim::drop_reason_name(sim::DropReason::kLinkLoss),
+          static_cast<unsigned long long>(net.link_down),
+          sim::drop_reason_name(sim::DropReason::kLinkDown),
+          static_cast<unsigned long long>(net.endpoint_down),
+          sim::drop_reason_name(sim::DropReason::kEndpointDown));
+    }
+    std::printf("\n");
+  }
   if (report == "all" || report == "fig3") print_fig3(analysis);
   if (report == "all" || report == "table2") print_table2(analysis);
   if (report == "all" || report == "table3") print_table3(analysis);

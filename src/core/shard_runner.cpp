@@ -1,5 +1,8 @@
 #include "core/shard_runner.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 namespace shadowprobe::core {
 
 ShardRunner::ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
@@ -16,14 +19,49 @@ ShardRunner::ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
 
   ledger_.set_shard(shard_index_);
 
+  const bool faulty = config_.faults.enabled();
+  if (faulty) {
+    // Every replica derives the same injector from the master seed, so a
+    // packet's fate on a hop is independent of which shard routes it.
+    injector_ = std::make_unique<sim::FaultInjector>(
+        config_.faults, bed_config.topology.seed, config_.total_duration);
+    // Scheduled collector downtime: location codes -> honeypot node names.
+    for (const sim::CollectorOutage& outage : config_.faults.collector_outages) {
+      const topo::Honeypot* match = nullptr;
+      for (const auto& hp : bed_->topology().honeypots()) {
+        if (hp.location == outage.location) {
+          match = &hp;
+          break;
+        }
+      }
+      if (match == nullptr) {
+        throw std::invalid_argument("fault profile names unknown honeypot location '" +
+                                    outage.location + "'");
+      }
+      injector_->add_node_outage(bed_->net().name(match->node),
+                                 {outage.start, outage.start + outage.duration});
+    }
+    bed_->net().set_fault_injector(injector_.get());
+  }
+
   // Agents for every VP — identical wiring on every replica — though only
   // owned VPs ever emit. Streams are derived from the VP id, so an agent's
   // randomness is independent of shard membership.
-  for (const auto& vp : bed_->topology().vantage_points()) {
+  const auto& vps = bed_->topology().vantage_points();
+  // VP churn windows can only start once the campaign is actually emitting.
+  const SimTime churn_earliest = config_.screening ? kHour : 0;
+  const SimTime churn_latest =
+      churn_earliest +
+      static_cast<SimDuration>(std::max(1, config_.phase1_rounds)) *
+          config_.phase1_window +
+      config_.phase2_grace + config_.phase2_window;
+  for (std::size_t i = 0; i < vps.size(); ++i) {
+    const auto& vp = vps[i];
     VpAgent::Hooks hooks;
-    hooks.on_dest_response = [this](std::uint32_t seq, SimTime when) {
+    hooks.on_dest_response = [this, i](std::uint32_t seq, SimTime when) {
       ledger_.mark_response(seq, when);
       if (++response_counts_[seq] > 1) replicated_seqs_.insert(seq);
+      failure_streaks_[i] = 0;  // the VP demonstrably still reaches the world
     };
     hooks.on_hop = [this](std::uint32_t seq, net::Ipv4Addr hop, SimTime) {
       hop_log_.emplace(seq, hop);
@@ -31,11 +69,37 @@ ShardRunner::ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
     hooks.on_interception = [this](const topo::VantagePoint& vp, net::Ipv4Addr) {
       intercepted_vps_.insert(&vp);
     };
+    if (faulty) {
+      hooks.on_decoy_retry = [this](std::uint32_t, int attempt) {
+        ++retry_attempts_;
+        if (attempt == 1) ++decoys_retried_;
+      };
+      hooks.on_decoy_failed = [this, i](std::uint32_t) {
+        ++decoys_lost_;
+        if (++failure_streaks_[i] >= config_.faults.quarantine_threshold &&
+            quarantined_.count(i) == 0) {
+          quarantined_[i] = bed_->loop().now();
+        }
+      };
+    }
     auto agent =
         std::make_unique<VpAgent>(vp, rng_.derive("vp-" + vp.id), std::move(hooks));
     agent->bind(bed_->net());
     agent->set_dns_transport(config_.dns_transport, bed_->oblivious_proxy_addr());
     agent->set_tls_ech(config_.tls_decoys_use_ech);
+    if (faulty) {
+      agent->set_retry_policy({true, config_.faults.max_retries,
+                               config_.faults.retry_timeout,
+                               config_.faults.decoy_deadline()});
+      // Session churn: the window is derived from the VP id alone, so every
+      // replica agrees on who drops and when, whichever shard owns the VP.
+      auto window =
+          injector_->derive_churn_outage("vp-" + vp.id, churn_earliest, churn_latest);
+      if (window) {
+        vp_outages_[i] = *window;
+        injector_->add_node_outage(bed_->net().name(vp.node), *window);
+      }
+    }
     agent_index_[&vp] = agent.get();
     agents_.push_back(std::move(agent));
   }
@@ -81,11 +145,31 @@ void ShardRunner::schedule_owned(const CampaignPlan& plan, std::size_t first,
     }
     const PathRecord& path = plan.path(emission.path_id);
     const topo::VantagePoint* vp = &vps.at(static_cast<std::size_t>(path.vp_index));
+    SimTime when = emission.when;
+    if (injector_ && emission.phase2) {
+      // A Phase-II sweep scheduled into its VP's churn window would vanish
+      // wholesale; resume it after the session comes back, preserving the
+      // probe's offset within the sweep.
+      auto it = vp_outages_.find(static_cast<std::size_t>(emission.vp_index));
+      if (it != vp_outages_.end() && it->second.contains(when)) {
+        when = it->second.end + (when - it->second.start);
+        ++phase2_deferred_;
+      }
+    }
     bed_->loop().schedule_at(
-        emission.when,
-        [this, emission, vp, dst = path.dest_addr, protocol = path.protocol] {
+        when,
+        [this, emission, when, vp, dst = path.dest_addr, protocol = path.protocol] {
+          if (injector_ &&
+              quarantined_.count(static_cast<std::size_t>(emission.vp_index)) != 0) {
+            // Owner quarantined before this decoy fired: record the exact
+            // seq so the barrier re-plans precisely this set — no ledger
+            // record is created, the replacement emission gets a fresh seq.
+            ++decoys_cancelled_;
+            cancelled_seqs_.insert(emission.seq);
+            return;
+          }
           DecoyRecord& record = ledger_.create_preassigned(
-              emission.seq, emission.path_id, emission.when, vp->addr, dst, protocol,
+              emission.seq, emission.path_id, when, vp->addr, dst, protocol,
               emission.ttl, emission.phase2);
           if (protocol == DecoyProtocol::kDns) {
             agent_for(vp)->send_dns_decoy(record);
@@ -102,5 +186,27 @@ void ShardRunner::schedule_owned(const CampaignPlan& plan, std::size_t first,
 }
 
 void ShardRunner::run_until(SimTime deadline) { bed_->loop().run_until(deadline); }
+
+CoverageStats ShardRunner::coverage() const {
+  CoverageStats cov;
+  cov.decoys_lost = decoys_lost_;
+  cov.decoys_retried = decoys_retried_;
+  cov.retry_attempts = retry_attempts_;
+  cov.decoys_cancelled = decoys_cancelled_;
+  cov.phase2_deferred = phase2_deferred_;
+  cov.vps_quarantined = quarantined_.size();
+  // Only the owner shard's agents ever transmit, so summing every agent's
+  // stack counter over all shards still counts each retransmission once.
+  for (const auto& agent : agents_) cov.tcp_retransmissions += agent->tcp_retransmissions();
+  // Packets that arrived at a honeypot while its collector was down. Driven
+  // entirely by owned-VP decoys (exhibitors only replay traffic that was
+  // actually emitted), so the per-shard values partition cleanly.
+  const auto& drops = bed_->net().endpoint_drops();
+  for (const auto& hp : bed_->topology().honeypots()) {
+    auto it = drops.find(bed_->net().name(hp.node));
+    if (it != drops.end()) cov.honeypot_downtime_drops += it->second;
+  }
+  return cov;
+}
 
 }  // namespace shadowprobe::core

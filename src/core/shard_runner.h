@@ -25,9 +25,11 @@
 
 #include "core/campaign_config.h"
 #include "core/campaign_plan.h"
+#include "core/campaign_result.h"
 #include "core/screening.h"
 #include "core/testbed.h"
 #include "core/vp_agent.h"
+#include "sim/fault.h"
 
 namespace shadowprobe::core {
 
@@ -84,6 +86,26 @@ class ShardRunner {
   [[nodiscard]] Testbed& testbed() noexcept { return *bed_; }
   [[nodiscard]] const Testbed& testbed() const noexcept { return *bed_; }
 
+  // -- fault / resilience results (meaningful when config.faults.enabled()) --
+
+  /// This shard's partial coverage accounting: event counters for owned VPs
+  /// only, so the engine's absorb() over all shards counts each event once.
+  [[nodiscard]] CoverageStats coverage() const;
+  /// Owned VPs quarantined during Phase I: vp_index -> quarantine time.
+  [[nodiscard]] const std::map<std::size_t, SimTime>& quarantined_vps() const noexcept {
+    return quarantined_;
+  }
+  /// Seqs of owned emissions skipped at fire time because their VP was
+  /// quarantined — the exact set the barrier re-plans, so reschedule and
+  /// cancellation can never disagree on boundary emissions.
+  [[nodiscard]] const std::set<std::uint32_t>& cancelled_seqs() const noexcept {
+    return cancelled_seqs_;
+  }
+  /// This replica's network counters (NOT layout-invariant; report only).
+  [[nodiscard]] sim::NetworkCounters net_counters() const noexcept {
+    return bed_->net().counters();
+  }
+
  private:
   VpAgent* agent_for(const topo::VantagePoint* vp) { return agent_index_.at(vp); }
 
@@ -102,6 +124,21 @@ class ShardRunner {
   std::set<const topo::VantagePoint*> intercepted_vps_;
   std::unique_ptr<ControlServer> control_server_;
   net::Ipv4Addr control_addr_;
+
+  // Fault layer (null unless config.faults.enabled()). The injector must
+  // outlive the Network that holds a raw pointer to it — both die with this
+  // runner, injector declared after bed_ so it is destroyed first but the
+  // Network never routes during destruction.
+  std::unique_ptr<sim::FaultInjector> injector_;
+  std::map<std::size_t, sim::OutageWindow> vp_outages_;  // churned owned+peer VPs
+  std::map<std::size_t, int> failure_streaks_;           // consecutive decoy failures
+  std::map<std::size_t, SimTime> quarantined_;           // owned VPs only
+  std::set<std::uint32_t> cancelled_seqs_;
+  std::uint64_t decoys_lost_ = 0;
+  std::uint64_t decoys_retried_ = 0;
+  std::uint64_t retry_attempts_ = 0;
+  std::uint64_t decoys_cancelled_ = 0;
+  std::uint64_t phase2_deferred_ = 0;
 };
 
 }  // namespace shadowprobe::core

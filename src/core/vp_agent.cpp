@@ -48,6 +48,9 @@ VpAgent::VpAgent(const topo::VantagePoint& vp, Rng rng, Hooks hooks)
 void VpAgent::bind(sim::Network& net) {
   net_ = &net;
   tcp_ = std::make_unique<sim::TcpStack>(net, vp_.node, rng_.fork("tcp"));
+  if (retry_.enabled) {
+    tcp_->set_retransmit({true, retry_.timeout, retry_.max_retries});
+  }
   tcp_->set_on_established([this](const sim::ConnKey& key) {
     auto it = conn_to_seq_.find(key);
     if (it == conn_to_seq_.end()) return;
@@ -60,16 +63,41 @@ void VpAgent::bind(sim::Network& net) {
     if (it == conn_to_seq_.end()) return;
     if (hooks_.on_dest_response) hooks_.on_dest_response(it->second, net_->now());
     std::uint32_t seq = it->second;
-    (void)seq;
+    resolve_pending(seq);
     conn_to_seq_.erase(it);
     conn_payload_.erase(key);
     tcp_->close(key);
   });
   tcp_->set_on_reset([this](const sim::ConnKey& key, bool) {
+    auto it = conn_to_seq_.find(key);
+    if (it != conn_to_seq_.end()) resolve_pending(it->second);
     conn_to_seq_.erase(key);
     conn_payload_.erase(key);
   });
+  tcp_->set_on_failed([this](const sim::ConnKey& key, bool) {
+    auto it = conn_to_seq_.find(key);
+    if (it == conn_to_seq_.end()) return;
+    std::uint32_t seq = it->second;
+    conn_to_seq_.erase(it);
+    conn_payload_.erase(key);
+    resolve_pending(seq);
+    if (hooks_.on_decoy_failed) hooks_.on_decoy_failed(seq);
+  });
   net.set_handler(vp_.node, this);
+}
+
+void VpAgent::set_retry_policy(const DecoyRetryPolicy& policy) {
+  retry_ = policy;
+  if (tcp_ && retry_.enabled) {
+    tcp_->set_retransmit({true, retry_.timeout, retry_.max_retries});
+  }
+}
+
+void VpAgent::resolve_pending(std::uint32_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  if (it->second.armed) net_->loop().cancel(it->second.timer);
+  pending_.erase(it);
 }
 
 std::uint16_t VpAgent::next_ip_id(std::uint32_t seq) {
@@ -83,6 +111,14 @@ void VpAgent::send_dns_decoy(const DecoyRecord& record) {
   std::uint16_t qid = next_qid_++;
   if (next_qid_ == 0) next_qid_ = 1;
   qid_to_seq_[qid] = record.id.seq;
+  emit_dns_query(record, qid);
+  // Phase-II sweep probes are sent with deliberately short TTLs and are not
+  // expected to reach the destination — retrying them would only distort the
+  // sweep's timing, so the retry ledger tracks Phase-I decoys exclusively.
+  if (retry_.enabled && !record.phase2) track_dns_decoy(record, qid);
+}
+
+void VpAgent::emit_dns_query(const DecoyRecord& record, std::uint16_t qid) {
   net::DnsMessage query = net::DnsMessage::query(qid, record.domain, net::DnsType::kA);
   Bytes wire = query.encode();
   switch (dns_transport_) {
@@ -111,6 +147,7 @@ void VpAgent::send_http_decoy(const DecoyRecord& record) {
   sim::ConnKey key = tcp_->connect(vp_.addr, record.id.dst, 80, effective_ttl(record.id.ttl));
   conn_to_seq_[key] = record.id.seq;
   conn_payload_[key] = http_decoy_payload(record.domain);
+  if (retry_.enabled && !record.phase2) track_tcp_decoy(record, key);
 }
 
 void VpAgent::send_tls_decoy(const DecoyRecord& record) {
@@ -118,6 +155,64 @@ void VpAgent::send_tls_decoy(const DecoyRecord& record) {
                                    effective_ttl(record.id.ttl));
   conn_to_seq_[key] = record.id.seq;
   conn_payload_[key] = tls_decoy_payload(record.domain, rng_, tls_ech_);
+  if (retry_.enabled && !record.phase2) track_tcp_decoy(record, key);
+}
+
+void VpAgent::track_dns_decoy(const DecoyRecord& record, std::uint16_t qid) {
+  std::uint32_t seq = record.id.seq;
+  PendingDecoy pending;
+  pending.record = record;
+  pending.qid = qid;
+  pending.armed = true;
+  pending.timer = net_->loop().schedule_cancellable(
+      retry_.timeout, [this, seq] { on_dns_retry_timer(seq); });
+  pending_[seq] = std::move(pending);
+}
+
+void VpAgent::track_tcp_decoy(const DecoyRecord& record, const sim::ConnKey& key) {
+  // SYN/data retransmissions live in the TCP stack; the agent only holds an
+  // overall deadline catching losses the client stack cannot see (e.g. the
+  // server's response vanishing on the return path).
+  std::uint32_t seq = record.id.seq;
+  PendingDecoy pending;
+  pending.record = record;
+  pending.conn = key;
+  pending.tcp = true;
+  pending.armed = true;
+  pending.timer = net_->loop().schedule_cancellable(
+      retry_.deadline, [this, seq] { on_tcp_deadline(seq); });
+  pending_[seq] = std::move(pending);
+}
+
+void VpAgent::on_dns_retry_timer(std::uint32_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  PendingDecoy& pending = it->second;
+  pending.armed = false;
+  if (pending.attempts >= retry_.max_retries) {
+    pending_.erase(it);
+    if (hooks_.on_decoy_failed) hooks_.on_decoy_failed(seq);
+    return;
+  }
+  ++pending.attempts;
+  if (hooks_.on_decoy_retry) hooks_.on_decoy_retry(seq, pending.attempts);
+  // Same qid (it still maps to this seq), fresh IP id for ICMP correlation.
+  emit_dns_query(pending.record, pending.qid);
+  SimDuration timeout = retry_.timeout * (SimDuration{1} << pending.attempts);
+  pending.armed = true;
+  pending.timer =
+      net_->loop().schedule_cancellable(timeout, [this, seq] { on_dns_retry_timer(seq); });
+}
+
+void VpAgent::on_tcp_deadline(std::uint32_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  sim::ConnKey conn = it->second.conn;
+  pending_.erase(it);
+  conn_to_seq_.erase(conn);
+  conn_payload_.erase(conn);
+  tcp_->close(conn);
+  if (hooks_.on_decoy_failed) hooks_.on_decoy_failed(seq);
 }
 
 void VpAgent::send_raw_decoy(const DecoyRecord& record) {
@@ -223,6 +318,7 @@ void VpAgent::handle_udp(const net::Ipv4Datagram& dgram) {
   }
   auto it = qid_to_seq_.find(qid);
   if (it == qid_to_seq_.end()) return;
+  resolve_pending(it->second);
   if (hooks_.on_dest_response) hooks_.on_dest_response(it->second, net_->now());
   // Keep the mapping: interceptors may deliver a second (real) response,
   // and Phase II variants reuse response arrival as the path-length signal.

@@ -32,6 +32,16 @@ enum class DnsDecoyTransport {
   kOblivious,  // ODoH-style: sealed envelope via an oblivious proxy
 };
 
+/// Retry behaviour for Phase-I decoys under lossy fault profiles. Disabled
+/// by default: no timers armed, no pending-decoy tracking — byte-identical
+/// to the historical fire-and-forget agent.
+struct DecoyRetryPolicy {
+  bool enabled = false;
+  int max_retries = 3;               ///< resends per UDP decoy
+  SimDuration timeout = 5 * kSecond;  ///< initial per-attempt timeout; doubles
+  SimDuration deadline = 30 * kSecond;  ///< overall budget for a TCP decoy
+};
+
 class VpAgent : public sim::DatagramHandler {
  public:
   struct Hooks {
@@ -43,6 +53,10 @@ class VpAgent : public sim::DatagramHandler {
     /// A pair-resolver probe was answered: DNS interception on this VP.
     std::function<void(const topo::VantagePoint& vp, net::Ipv4Addr pair_addr)>
         on_interception;
+    /// Decoy `seq` was re-sent (attempt is 1-based) after a timeout.
+    std::function<void(std::uint32_t seq, int attempt)> on_decoy_retry;
+    /// Decoy `seq` exhausted its retry budget without a destination response.
+    std::function<void(std::uint32_t seq)> on_decoy_failed;
   };
 
   VpAgent(const topo::VantagePoint& vp, Rng rng, Hooks hooks);
@@ -55,6 +69,14 @@ class VpAgent : public sim::DatagramHandler {
     oblivious_proxy_ = oblivious_proxy;
   }
   void set_tls_ech(bool use_ech) noexcept { tls_ech_ = use_ech; }
+
+  /// Arms decoy retries (and the TCP stack's retransmission machinery, using
+  /// the same budget). Call any time; applies to decoys sent afterwards.
+  void set_retry_policy(const DecoyRetryPolicy& policy);
+  /// TCP segments retransmitted by this agent's stack (coverage accounting).
+  [[nodiscard]] std::uint64_t tcp_retransmissions() const noexcept {
+    return tcp_ ? tcp_->retransmissions() : 0;
+  }
 
   // -- decoys ----------------------------------------------------------------
 
@@ -93,6 +115,12 @@ class VpAgent : public sim::DatagramHandler {
   void handle_icmp(const net::Ipv4Datagram& dgram);
   void handle_udp(const net::Ipv4Datagram& dgram);
   void handle_tcp(const net::Ipv4Datagram& dgram);
+  void emit_dns_query(const DecoyRecord& record, std::uint16_t qid);
+  void track_dns_decoy(const DecoyRecord& record, std::uint16_t qid);
+  void track_tcp_decoy(const DecoyRecord& record, const sim::ConnKey& key);
+  void on_dns_retry_timer(std::uint32_t seq);
+  void on_tcp_deadline(std::uint32_t seq);
+  void resolve_pending(std::uint32_t seq);
 
   const topo::VantagePoint& vp_;
   Rng rng_;
@@ -112,6 +140,19 @@ class VpAgent : public sim::DatagramHandler {
   DnsDecoyTransport dns_transport_ = DnsDecoyTransport::kPlain;
   net::Ipv4Addr oblivious_proxy_;
   bool tls_ech_ = false;
+
+  /// A Phase-I decoy awaiting its destination response under a retry policy.
+  struct PendingDecoy {
+    DecoyRecord record;     // copy, so a retry can re-emit the exact decoy
+    std::uint16_t qid = 0;  // DNS decoys re-send under the original qid
+    sim::ConnKey conn;      // TCP decoys: connection to tear down on deadline
+    bool tcp = false;
+    int attempts = 0;       // retries performed so far
+    sim::TimerId timer = 0;
+    bool armed = false;
+  };
+  DecoyRetryPolicy retry_;
+  std::map<std::uint32_t, PendingDecoy> pending_;  // by decoy seq
 };
 
 /// Control server for the TTL-canary screen: records the arrival TTL of

@@ -17,15 +17,40 @@ void EventLoop::schedule_at(SimTime when, Action action) {
   high_water_ = std::max(high_water_, heap_.size());
 }
 
+TimerId EventLoop::schedule_cancellable(SimDuration delay, Action action) {
+  TimerId id = next_seq_;  // schedule() consumes exactly this seq
+  cancellable_.insert(id);
+  schedule(delay, std::move(action));
+  return id;
+}
+
+bool EventLoop::cancel(TimerId id) {
+  if (cancellable_.erase(id) == 0) return false;
+  tombstones_.insert(id);
+  ++cancelled_;
+  return true;
+}
+
 EventLoopStats EventLoop::stats() const noexcept {
-  return EventLoopStats{processed_, next_seq_, heap_.size(), high_water_, now_};
+  return EventLoopStats{processed_, next_seq_, cancelled_, heap_.size(), high_water_,
+                        now_};
+}
+
+void EventLoop::purge_cancelled_front() {
+  while (!heap_.empty() && tombstones_.count(heap_.front().seq) != 0) {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    tombstones_.erase(heap_.back().seq);
+    heap_.pop_back();
+  }
 }
 
 bool EventLoop::step() {
+  purge_cancelled_front();
   if (heap_.empty()) return false;
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
   Entry entry = std::move(heap_.back());
   heap_.pop_back();
+  cancellable_.erase(entry.seq);
   now_ = entry.when;
   ++processed_;
   entry.action();
@@ -38,7 +63,11 @@ void EventLoop::run() {
 }
 
 void EventLoop::run_until(SimTime deadline) {
-  while (!heap_.empty() && heap_.front().when <= deadline) step();
+  purge_cancelled_front();
+  while (!heap_.empty() && heap_.front().when <= deadline) {
+    step();
+    purge_cancelled_front();
+  }
   if (now_ < deadline) now_ = deadline;
 }
 

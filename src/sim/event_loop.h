@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_set>
 #include <vector>
 
 #include "common/time.h"
@@ -19,10 +20,14 @@ namespace shadowprobe::sim {
 struct EventLoopStats {
   std::uint64_t processed = 0;   ///< events executed so far
   std::uint64_t scheduled = 0;   ///< events ever enqueued
+  std::uint64_t cancelled = 0;   ///< cancellable timers cancelled before firing
   std::size_t pending = 0;       ///< events currently queued
   std::size_t high_water = 0;    ///< max simultaneous queue depth seen
   SimTime now = 0;               ///< current simulated clock
 };
+
+/// Handle to a cancellable timer (see EventLoop::schedule_cancellable).
+using TimerId = std::uint64_t;
 
 class EventLoop {
  public:
@@ -32,6 +37,14 @@ class EventLoop {
   void schedule(SimDuration delay, Action action);
   /// Schedules at an absolute time (clamped to now()).
   void schedule_at(SimTime when, Action action);
+  /// Like schedule(), but returns a handle that cancel() accepts. Retry and
+  /// retransmission timers use this so an acknowledged request can disarm
+  /// its pending retry without the loop ever firing it.
+  [[nodiscard]] TimerId schedule_cancellable(SimDuration delay, Action action);
+  /// Disarms a timer from schedule_cancellable(); the queued entry is
+  /// discarded when reached. Returns false when the timer already fired,
+  /// was already cancelled, or never existed.
+  bool cancel(TimerId id);
 
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
@@ -47,6 +60,10 @@ class EventLoop {
   bool step();
 
  private:
+  /// Drops cancelled entries sitting at the heap front so front().when is
+  /// always the time of the next *live* event (run_until relies on this).
+  void purge_cancelled_front();
+
   struct Entry {
     SimTime when;
     std::uint64_t seq;
@@ -66,7 +83,12 @@ class EventLoop {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::size_t high_water_ = 0;
+  // Seqs of live cancellable timers; membership means cancel() may disarm.
+  std::unordered_set<std::uint64_t> cancellable_;
+  // Cancelled-but-still-queued seqs, discarded (not executed) when popped.
+  std::unordered_set<std::uint64_t> tombstones_;
 };
 
 }  // namespace shadowprobe::sim

@@ -1,0 +1,384 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+
+namespace shadowprobe::sim {
+namespace {
+
+// All injector streams hang off seed ^ kFaultSalt so the fault layer never
+// shares a stream with behavioral components keyed off the same master seed.
+constexpr std::uint64_t kFaultSalt = 0x6661756c74ull;  // "fault"
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+Result<double> parse_number(std::string_view text, std::string_view what) {
+  double value = 0.0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Error("fault profile: malformed " + std::string(what) + " value '" +
+                 std::string(text) + "'");
+  }
+  return value;
+}
+
+Result<double> parse_probability(std::string_view text, std::string_view what) {
+  Result<double> value = parse_number(text, what);
+  if (!value.ok()) return value;
+  // Negated range test so NaN (which from_chars accepts) is rejected too.
+  if (!(value.value() >= 0.0 && value.value() < 1.0)) {
+    return Error("fault profile: " + std::string(what) + " must be in [0, 1), got '" +
+                 std::string(text) + "'");
+  }
+  return value;
+}
+
+Result<SimDuration> parse_duration(std::string_view text, std::string_view what) {
+  std::string_view digits = text;
+  SimDuration unit = 0;
+  auto ends_with = [&](std::string_view suffix) {
+    if (digits.size() <= suffix.size() || !digits.ends_with(suffix)) return false;
+    digits.remove_suffix(suffix.size());
+    return true;
+  };
+  // Two-letter suffixes first so "5ms" is not read as minutes of "5m"+"s".
+  if (ends_with("us")) {
+    unit = kMicrosecond;
+  } else if (ends_with("ms")) {
+    unit = kMillisecond;
+  } else if (ends_with("s")) {
+    unit = kSecond;
+  } else if (ends_with("m")) {
+    unit = kMinute;
+  } else if (ends_with("h")) {
+    unit = kHour;
+  } else if (ends_with("d")) {
+    unit = kDay;
+  } else {
+    return Error("fault profile: " + std::string(what) + " needs a unit suffix " +
+                 "(us/ms/s/m/h/d), got '" + std::string(text) + "'");
+  }
+  Result<double> value = parse_number(digits, what);
+  if (!value.ok()) return Error(value.error().message);
+  // Negated test: NaN/inf must not survive into the int64 duration cast.
+  if (!(value.value() >= 0.0)) {
+    return Error("fault profile: " + std::string(what) + " must be non-negative, got '" +
+                 std::string(text) + "'");
+  }
+  double scaled = value.value() * static_cast<double>(unit);
+  if (scaled > 9.0e18) {
+    return Error("fault profile: " + std::string(what) + " is too large: '" +
+                 std::string(text) + "'");
+  }
+  return static_cast<SimDuration>(scaled);
+}
+
+Result<int> parse_count(std::string_view text, std::string_view what, int min_value) {
+  int value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Error("fault profile: malformed " + std::string(what) + " value '" +
+                 std::string(text) + "'");
+  }
+  if (value < min_value) {
+    return Error("fault profile: " + std::string(what) + " must be >= " +
+                 std::to_string(min_value) + ", got " + std::to_string(value));
+  }
+  return value;
+}
+
+std::string format_probability(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", p);
+  return buf;
+}
+
+// Compact canonical duration: the largest unit that divides evenly.
+std::string canonical_duration(SimDuration d) {
+  struct Unit {
+    SimDuration scale;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {{kDay, "d"}, {kHour, "h"},        {kMinute, "m"},
+                                    {kSecond, "s"}, {kMillisecond, "ms"}, {kMicrosecond, "us"}};
+  for (const Unit& unit : kUnits) {
+    if (d % unit.scale == 0) return std::to_string(d / unit.scale) + unit.suffix;
+  }
+  return std::to_string(d) + "us";
+}
+
+FaultProfile lossy_preset() {
+  FaultProfile profile;
+  profile.link_loss = 0.05;
+  profile.jitter = 20 * kMillisecond;
+  profile.link_flap_rate = 0.02;
+  profile.link_flap_duration = 10 * kMinute;
+  profile.vp_churn = 0.10;
+  profile.vp_outage = 1 * kHour;
+  return profile;
+}
+
+}  // namespace
+
+SimDuration FaultProfile::decoy_deadline() const noexcept {
+  // Exponential backoff: rto + 2*rto + ... + 2^max_retries * rto, plus one
+  // second of slack for the final attempt's round trip.
+  SimDuration budget = 0;
+  SimDuration step = retry_timeout;
+  for (int i = 0; i <= max_retries; ++i) {
+    budget += step;
+    step *= 2;
+  }
+  return budget + 1 * kSecond;
+}
+
+Result<FaultProfile> FaultProfile::parse(std::string_view spec) {
+  FaultProfile profile;
+  spec = trim(spec);
+  if (spec.empty()) return profile;
+
+  bool first = true;
+  while (!spec.empty()) {
+    std::size_t comma = spec.find(',');
+    std::string_view item = trim(spec.substr(0, comma));
+    spec = comma == std::string_view::npos ? std::string_view{} : spec.substr(comma + 1);
+    if (item.empty()) continue;
+
+    // A leading bare word selects a preset; later items override its knobs.
+    if (first && item.find('=') == std::string_view::npos) {
+      if (item == "none") {
+        profile = FaultProfile{};
+      } else if (item == "lossy") {
+        profile = lossy_preset();
+      } else {
+        return Error("fault profile: unknown preset '" + std::string(item) +
+                     "' (known: none, lossy)");
+      }
+      first = false;
+      continue;
+    }
+    first = false;
+
+    std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return Error("fault profile: expected key=value, got '" + std::string(item) + "'");
+    }
+    std::string_view key = trim(item.substr(0, eq));
+    std::string_view value = trim(item.substr(eq + 1));
+    if (value.empty()) {
+      return Error("fault profile: empty value for '" + std::string(key) + "'");
+    }
+
+    if (key == "loss") {
+      Result<double> p = parse_probability(value, "loss");
+      if (!p.ok()) return p.error();
+      profile.link_loss = p.value();
+    } else if (key == "jitter") {
+      Result<SimDuration> d = parse_duration(value, "jitter");
+      if (!d.ok()) return d.error();
+      profile.jitter = d.value();
+    } else if (key == "flap") {
+      // rate[@duration]
+      std::size_t at = value.find('@');
+      Result<double> p = parse_probability(value.substr(0, at), "flap rate");
+      if (!p.ok()) return p.error();
+      profile.link_flap_rate = p.value();
+      if (at != std::string_view::npos) {
+        Result<SimDuration> d = parse_duration(value.substr(at + 1), "flap duration");
+        if (!d.ok()) return d.error();
+        profile.link_flap_duration = d.value();
+      }
+    } else if (key == "vp-churn") {
+      // p[@outage]
+      std::size_t at = value.find('@');
+      Result<double> p = parse_probability(value.substr(0, at), "vp-churn rate");
+      if (!p.ok()) return p.error();
+      profile.vp_churn = p.value();
+      if (at != std::string_view::npos) {
+        Result<SimDuration> d = parse_duration(value.substr(at + 1), "vp-churn outage");
+        if (!d.ok()) return d.error();
+        profile.vp_outage = d.value();
+      }
+    } else if (key == "hp-outage") {
+      // loc@start+duration
+      std::size_t at = value.find('@');
+      std::size_t plus = at == std::string_view::npos ? std::string_view::npos
+                                                      : value.find('+', at + 1);
+      if (at == std::string_view::npos || plus == std::string_view::npos || at == 0) {
+        return Error("fault profile: hp-outage wants LOC@START+DURATION, got '" +
+                     std::string(value) + "'");
+      }
+      CollectorOutage outage;
+      outage.location = std::string(trim(value.substr(0, at)));
+      Result<SimDuration> start =
+          parse_duration(value.substr(at + 1, plus - at - 1), "hp-outage start");
+      if (!start.ok()) return start.error();
+      Result<SimDuration> duration =
+          parse_duration(value.substr(plus + 1), "hp-outage duration");
+      if (!duration.ok()) return duration.error();
+      outage.start = start.value();
+      outage.duration = duration.value();
+      profile.collector_outages.push_back(std::move(outage));
+    } else if (key == "retries") {
+      Result<int> n = parse_count(value, "retries", 0);
+      if (!n.ok()) return n.error();
+      profile.max_retries = n.value();
+    } else if (key == "rto") {
+      Result<SimDuration> d = parse_duration(value, "rto");
+      if (!d.ok()) return d.error();
+      if (d.value() <= 0) {
+        return Error("fault profile: rto must be positive, got '" + std::string(value) +
+                     "'");
+      }
+      profile.retry_timeout = d.value();
+    } else if (key == "quarantine") {
+      Result<int> n = parse_count(value, "quarantine", 1);
+      if (!n.ok()) return n.error();
+      profile.quarantine_threshold = n.value();
+    } else {
+      return Error("fault profile: unknown key '" + std::string(key) + "'");
+    }
+  }
+  return profile;
+}
+
+std::string FaultProfile::str() const {
+  std::string out;
+  auto add = [&](const std::string& item) {
+    if (!out.empty()) out += ',';
+    out += item;
+  };
+  if (link_loss > 0.0) add("loss=" + format_probability(link_loss));
+  if (jitter > 0) add("jitter=" + canonical_duration(jitter));
+  if (link_flap_rate > 0.0) {
+    add("flap=" + format_probability(link_flap_rate) + "@" +
+        canonical_duration(link_flap_duration));
+  }
+  if (vp_churn > 0.0) {
+    add("vp-churn=" + format_probability(vp_churn) + "@" + canonical_duration(vp_outage));
+  }
+  for (const CollectorOutage& outage : collector_outages) {
+    add("hp-outage=" + outage.location + "@" + canonical_duration(outage.start) + "+" +
+        canonical_duration(outage.duration));
+  }
+  add("retries=" + std::to_string(max_retries));
+  add("rto=" + canonical_duration(retry_timeout));
+  add("quarantine=" + std::to_string(quarantine_threshold));
+  return out;
+}
+
+FaultInjector::FaultInjector(FaultProfile profile, std::uint64_t seed,
+                             SimDuration horizon)
+    : profile_(std::move(profile)), rng_(seed ^ kFaultSalt), horizon_(horizon) {}
+
+void FaultInjector::add_node_outage(const std::string& node_name, OutageWindow window) {
+  node_outages_[node_name].push_back(window);
+}
+
+bool FaultInjector::node_down(const std::string& node_name, SimTime now) const {
+  auto it = node_outages_.find(node_name);
+  if (it == node_outages_.end()) return false;
+  for (const OutageWindow& window : it->second) {
+    if (window.contains(now)) return true;
+  }
+  return false;
+}
+
+const std::vector<OutageWindow>* FaultInjector::node_outages(
+    const std::string& node_name) const {
+  auto it = node_outages_.find(node_name);
+  return it == node_outages_.end() ? nullptr : &it->second;
+}
+
+std::optional<OutageWindow> FaultInjector::derive_churn_outage(
+    const std::string& entity_id, SimTime earliest, SimTime latest) const {
+  if (profile_.vp_churn <= 0.0 || latest < earliest) return std::nullopt;
+  Rng stream = rng_.derive("churn|" + entity_id);
+  if (!stream.chance(profile_.vp_churn)) return std::nullopt;
+  SimTime start = earliest + static_cast<SimTime>(stream.below(
+                                 static_cast<std::uint64_t>(latest - earliest) + 1));
+  return OutageWindow{start, start + profile_.vp_outage};
+}
+
+const std::optional<OutageWindow>& FaultInjector::flap_window(const std::string& a,
+                                                             const std::string& b) {
+  const std::string& lo = std::min(a, b);
+  const std::string& hi = std::max(a, b);
+  std::string key = lo + "|" + hi;
+  auto it = flap_cache_.find(key);
+  if (it != flap_cache_.end()) return it->second;
+
+  std::optional<OutageWindow> window;
+  if (profile_.link_flap_rate > 0.0 && horizon_ > profile_.link_flap_duration) {
+    Rng stream = rng_.derive("flap|" + key);
+    if (stream.chance(profile_.link_flap_rate)) {
+      SimTime start = static_cast<SimTime>(stream.below(
+          static_cast<std::uint64_t>(horizon_ - profile_.link_flap_duration)));
+      window = OutageWindow{start, start + profile_.link_flap_duration};
+    }
+  }
+  return flap_cache_.emplace(std::move(key), window).first->second;
+}
+
+bool FaultInjector::link_down(const std::string& a, const std::string& b, SimTime now) {
+  const std::optional<OutageWindow>& window = flap_window(a, b);
+  if (window && window->contains(now)) {
+    ++stats_.flap_drops;
+    return true;
+  }
+  return false;
+}
+
+Rng FaultInjector::packet_stream(const char* kind, const std::string& a,
+                                 const std::string& b, const net::Ipv4Header& header,
+                                 BytesView payload, SimTime now) const {
+  // Key by what identifies this traversal attempt — including the simulated
+  // instant, so a retransmission of the same segment over the same hop gets
+  // an independent draw. Every component must be LAYOUT-invariant: the IP id
+  // and the payload bytes are excluded on purpose, because shared-infra
+  // stacks (a honeypot's TCP stack, a resolver's qid counter) draw those
+  // from sequential cosmetic streams whose consumption order depends on
+  // which VPs share the replica. The payload *length* is invariant and
+  // still separates e.g. a bare ACK from a data segment sent at the same
+  // instant; same-size packets of one flow at one instant share their fate
+  // (deterministic burst loss).
+  std::string key = std::string(kind) + "|" + std::min(a, b) + "|" + std::max(a, b) +
+                    "|" + std::to_string(header.src.value()) + "|" +
+                    std::to_string(header.dst.value()) + "|" +
+                    std::to_string(static_cast<int>(header.protocol)) + "|" +
+                    std::to_string(header.ttl) + "|" +
+                    std::to_string(payload.size()) + "|" + std::to_string(now);
+  return rng_.derive(key);
+}
+
+bool FaultInjector::lose_packet(const std::string& a, const std::string& b,
+                                const net::Ipv4Header& header, BytesView payload,
+                                SimTime now) {
+  if (profile_.link_loss <= 0.0) return false;
+  Rng stream = packet_stream("loss", a, b, header, payload, now);
+  if (!stream.chance(profile_.link_loss)) return false;
+  ++stats_.loss_drops;
+  return true;
+}
+
+SimDuration FaultInjector::jitter_for(const std::string& a, const std::string& b,
+                                      const net::Ipv4Header& header, BytesView payload,
+                                      SimTime now) {
+  if (profile_.jitter <= 0) return 0;
+  Rng stream = packet_stream("jitter", a, b, header, payload, now);
+  SimDuration extra = static_cast<SimDuration>(
+      stream.below(static_cast<std::uint64_t>(profile_.jitter) + 1));
+  if (extra > 0) ++stats_.jittered_packets;
+  return extra;
+}
+
+}  // namespace shadowprobe::sim

@@ -1,0 +1,172 @@
+// Deterministic fault injection for the simulated network.
+//
+// The live platform the paper runs on is anything but loss-free: commercial
+// VPN VPs churn, links drop packets, and honeypot collectors go down for
+// maintenance. This layer injects those failure modes into the simulation
+// while preserving the engine's shard-count-invariance contract: every fault
+// decision is a pure function of (master seed, fault profile, stable entity
+// key), never of draw order or shard layout. A packet's fate on a hop is
+// keyed by the link's node names, the packet's header fields, a payload hash,
+// and the simulated send time — so the same packet crossing the same hop at
+// the same simulated instant is lost (or jittered) identically whether one
+// shard or sixteen execute the campaign, and a *retransmission* (which fires
+// at a later instant) gets an independent draw.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "net/ipv4.h"
+
+namespace shadowprobe::sim {
+
+/// Half-open window [start, end) of simulated time during which something
+/// (a link, a VP session, a honeypot collector) is down.
+struct OutageWindow {
+  SimTime start = 0;
+  SimTime end = 0;
+
+  [[nodiscard]] bool contains(SimTime t) const noexcept { return t >= start && t < end; }
+  [[nodiscard]] SimDuration duration() const noexcept { return end - start; }
+};
+
+/// A scheduled honeypot/collector outage, parsed from the fault-profile
+/// spec as `hp-outage=LOCATION@START+DURATION` (e.g. `hp-outage=US@30h+12h`).
+struct CollectorOutage {
+  std::string location;  // honeypot location code ("US" / "DE" / "SG")
+  SimTime start = 0;
+  SimDuration duration = 0;
+};
+
+/// Knobs of the fault model plus the resilience parameters the faults
+/// demand. The default-constructed profile is the *null profile*: no faults,
+/// no retry machinery armed, behaviour byte-identical to a fault-free build.
+struct FaultProfile {
+  /// Per-link-traversal Bernoulli loss probability, in [0, 1).
+  double link_loss = 0.0;
+  /// Maximum uniform extra propagation latency per hop (0 = no jitter).
+  SimDuration jitter = 0;
+  /// Probability that any given link experiences one scheduled flap
+  /// (complete outage window) during the campaign, in [0, 1).
+  double link_flap_rate = 0.0;
+  SimDuration link_flap_duration = 10 * kMinute;
+  /// Probability that a VP suffers one session drop mid-campaign, in [0, 1).
+  double vp_churn = 0.0;
+  SimDuration vp_outage = 1 * kHour;
+  /// Scheduled collector downtime windows.
+  std::vector<CollectorOutage> collector_outages;
+
+  // -- resilience parameters (consumed by VpAgent / TcpStack / ShardRunner) --
+  /// Retries per UDP decoy (exponential backoff) and TCP SYN/data
+  /// retransmissions per connection.
+  int max_retries = 3;
+  /// Initial retry timeout; doubles per attempt.
+  SimDuration retry_timeout = 5 * kSecond;
+  /// Consecutive Phase-I decoy failures after which a VP is quarantined and
+  /// its remaining decoys are deterministically rescheduled.
+  int quarantine_threshold = 8;
+
+  /// True when any fault knob is active. The null profile leaves every code
+  /// path byte-identical to a build without the fault layer.
+  [[nodiscard]] bool enabled() const noexcept {
+    return link_loss > 0.0 || jitter > 0 || link_flap_rate > 0.0 || vp_churn > 0.0 ||
+           !collector_outages.empty();
+  }
+
+  /// Total per-decoy time budget implied by the retry schedule (the overall
+  /// decoy timeout used for TCP decoys, where the per-attempt retries live
+  /// in the transport): sum of the exponential backoff series plus slack.
+  [[nodiscard]] SimDuration decoy_deadline() const noexcept;
+
+  /// Parses a comma-separated `key=value` spec, e.g.
+  ///   "loss=0.05,jitter=20ms,vp-churn=0.15@2h,hp-outage=US@30h+12h"
+  /// Keys: loss, jitter, flap (`rate[@duration]`), vp-churn (`p[@outage]`),
+  /// hp-outage (`loc@start+duration`, repeatable), retries, rto, quarantine.
+  /// The spec may start with a preset name: `none` or `lossy`. Malformed
+  /// values return a descriptive Error (never a silent clamp).
+  static Result<FaultProfile> parse(std::string_view spec);
+
+  /// Canonical spec string (stable key order) — what the JSON export embeds
+  /// so a result file names the profile it was produced under.
+  [[nodiscard]] std::string str() const;
+};
+
+/// Counters of the injector's own decisions (drops are also counted by the
+/// Network's DropReason counter; these add the injector's view).
+struct FaultInjectorStats {
+  std::uint64_t loss_drops = 0;
+  std::uint64_t flap_drops = 0;
+  std::uint64_t endpoint_drops = 0;
+  std::uint64_t jittered_packets = 0;
+};
+
+/// Stateless-by-construction fault oracle: all decisions derive from the
+/// profile and an origin seed. The only mutable state is memoization of
+/// per-link flap windows and the registered named-node outage table, both of
+/// which are themselves deterministic.
+class FaultInjector {
+ public:
+  FaultInjector(FaultProfile profile, std::uint64_t seed, SimDuration horizon);
+
+  [[nodiscard]] const FaultProfile& profile() const noexcept { return profile_; }
+
+  // -- scheduled outages ----------------------------------------------------
+
+  /// Registers an outage window for a named node (honeypot collector
+  /// downtime, VP session drop). Multiple windows per node are allowed.
+  void add_node_outage(const std::string& node_name, OutageWindow window);
+  [[nodiscard]] bool node_down(const std::string& node_name, SimTime now) const;
+  [[nodiscard]] const std::vector<OutageWindow>* node_outages(
+      const std::string& node_name) const;
+
+  /// Derives the (optional) churn outage window for an entity such as a VP:
+  /// with probability profile().vp_churn the entity gets one outage of
+  /// profile().vp_outage starting uniformly in [earliest, latest]. Pure
+  /// function of (seed, entity_id) — identical on every shard replica.
+  [[nodiscard]] std::optional<OutageWindow> derive_churn_outage(
+      const std::string& entity_id, SimTime earliest, SimTime latest) const;
+
+  // -- per-packet decisions -------------------------------------------------
+
+  /// True when the (a, b) link is inside its scheduled flap window at `now`.
+  /// The flap schedule is derived lazily per link (keyed by the unordered
+  /// node-name pair) and memoized.
+  [[nodiscard]] bool link_down(const std::string& a, const std::string& b, SimTime now);
+
+  /// Bernoulli loss draw for one traversal of (a, b) by this packet at this
+  /// instant. Counted in stats() when it hits.
+  [[nodiscard]] bool lose_packet(const std::string& a, const std::string& b,
+                                 const net::Ipv4Header& header, BytesView payload,
+                                 SimTime now);
+
+  /// Uniform extra latency in [0, profile().jitter] for this traversal.
+  [[nodiscard]] SimDuration jitter_for(const std::string& a, const std::string& b,
+                                       const net::Ipv4Header& header, BytesView payload,
+                                       SimTime now);
+
+  void count_endpoint_drop() noexcept { ++stats_.endpoint_drops; }
+  [[nodiscard]] const FaultInjectorStats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] Rng packet_stream(const char* kind, const std::string& a,
+                                  const std::string& b, const net::Ipv4Header& header,
+                                  BytesView payload, SimTime now) const;
+  [[nodiscard]] const std::optional<OutageWindow>& flap_window(const std::string& a,
+                                                              const std::string& b);
+
+  FaultProfile profile_;
+  Rng rng_;
+  SimDuration horizon_;
+  std::map<std::string, std::vector<OutageWindow>> node_outages_;
+  std::map<std::string, std::optional<OutageWindow>> flap_cache_;  // key "a|b" sorted
+  FaultInjectorStats stats_;
+};
+
+}  // namespace shadowprobe::sim

@@ -4,8 +4,25 @@
 #include <stdexcept>
 
 #include "common/log.h"
+#include "sim/fault.h"
 
 namespace shadowprobe::sim {
+
+const char* drop_reason_name(DropReason reason) noexcept {
+  switch (reason) {
+    case DropReason::kNoRoute:
+      return "no_route";
+    case DropReason::kTtlExpired:
+      return "ttl_expired";
+    case DropReason::kLinkLoss:
+      return "link_loss";
+    case DropReason::kLinkDown:
+      return "link_down";
+    case DropReason::kEndpointDown:
+      return "endpoint_down";
+  }
+  return "unknown";
+}
 
 NodeId Network::add_node(std::string name, NodeKind kind, net::Ipv4Addr addr,
                          DatagramHandler* handler) {
@@ -78,9 +95,29 @@ bool Network::is_local(const Node& n, net::Ipv4Addr addr) const {
   return std::find(n.addresses.begin(), n.addresses.end(), addr) != n.addresses.end();
 }
 
+NetworkCounters Network::counters() const noexcept {
+  NetworkCounters c;
+  c.delivered = delivered_;
+  c.forwarded = forwarded_;
+  c.no_route = drops_.get(static_cast<int>(DropReason::kNoRoute));
+  c.ttl_expired = drops_.get(static_cast<int>(DropReason::kTtlExpired));
+  c.link_loss = drops_.get(static_cast<int>(DropReason::kLinkLoss));
+  c.link_down = drops_.get(static_cast<int>(DropReason::kLinkDown));
+  c.endpoint_down = drops_.get(static_cast<int>(DropReason::kEndpointDown));
+  return c;
+}
+
 void Network::send(NodeId from, net::Ipv4Header header, BytesView payload) {
-  // Loopback delivery without touching the wire.
   const Node& origin = nodes_.at(from);
+  // An origin inside an outage window (dropped VP session, collector
+  // maintenance) cannot emit: its packets die in the local stack.
+  if (injector_ != nullptr && injector_->node_down(origin.name, now())) {
+    drops_.add(static_cast<int>(DropReason::kEndpointDown));
+    ++endpoint_drops_[origin.name];
+    injector_->count_endpoint_drop();
+    return;
+  }
+  // Loopback delivery without touching the wire.
   if (is_local(origin, header.dst)) {
     Bytes body(payload.begin(), payload.end());
     loop_.schedule(0, [this, from, header, body = std::move(body)]() mutable {
@@ -109,12 +146,27 @@ void Network::forward(NodeId node, net::Ipv4Header header, Bytes payload,
     SP_LOG_DEBUG("no route from " + n.name + " to " + header.dst.str());
     return;
   }
+  NodeId next_hop = *next;
+  if (injector_ != nullptr) {
+    const std::string& hop_name = nodes_.at(next_hop).name;
+    if (injector_->link_down(n.name, hop_name, now())) {
+      drops_.add(static_cast<int>(DropReason::kLinkDown));
+      return;
+    }
+    if (injector_->lose_packet(n.name, hop_name, header, BytesView(payload), now())) {
+      drops_.add(static_cast<int>(DropReason::kLinkLoss));
+      return;
+    }
+  }
   if (decrement_ttl) {
     --header.ttl;
     ++forwarded_;
   }
-  NodeId next_hop = *next;
   SimDuration delay = latency(node, next_hop);
+  if (injector_ != nullptr) {
+    delay += injector_->jitter_for(n.name, nodes_.at(next_hop).name, header,
+                                   BytesView(payload), now());
+  }
   loop_.schedule(delay, [this, next_hop, header, payload = std::move(payload)]() mutable {
     arrive(next_hop, header, std::move(payload));
   });
@@ -127,6 +179,15 @@ void Network::arrive(NodeId node, net::Ipv4Header header, Bytes payload) {
   // an on-wire observer sees even packets that expire at this hop.
   for (PacketTap* tap : n.taps) tap->on_packet(*this, node, dgram);
   if (is_local(n, header.dst)) {
+    // A destination inside an outage window swallows its traffic: the taps
+    // above still fire (on-wire observers are not affected by the endpoint
+    // being down), but delivery fails silently.
+    if (injector_ != nullptr && injector_->node_down(n.name, now())) {
+      drops_.add(static_cast<int>(DropReason::kEndpointDown));
+      ++endpoint_drops_[n.name];
+      injector_->count_endpoint_drop();
+      return;
+    }
     ++delivered_;
     if (n.handler != nullptr) n.handler->on_datagram(*this, node, dgram);
     return;

@@ -25,6 +25,7 @@
 
 namespace shadowprobe::sim {
 
+class FaultInjector;
 class Network;
 
 /// Application layer of a node: receives datagrams addressed to it.
@@ -44,7 +45,38 @@ class PacketTap {
 
 enum class NodeKind { kHost, kRouter };
 
-enum class DropReason { kNoRoute, kTtlExpired };
+enum class DropReason {
+  kNoRoute,       // no route onward from the current hop
+  kTtlExpired,    // TTL reached zero in transit
+  kLinkLoss,      // injected Bernoulli per-link packet loss
+  kLinkDown,      // injected scheduled link flap window
+  kEndpointDown,  // origin or destination node inside an outage window
+};
+
+/// Stable lowercase name for reports and JSON ("no_route", "link_loss", ...).
+[[nodiscard]] const char* drop_reason_name(DropReason reason) noexcept;
+
+/// Snapshot of a network's traffic counters, mergeable across shard
+/// replicas for the campaign-level coverage report.
+struct NetworkCounters {
+  std::uint64_t delivered = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t no_route = 0;
+  std::uint64_t ttl_expired = 0;
+  std::uint64_t link_loss = 0;
+  std::uint64_t link_down = 0;
+  std::uint64_t endpoint_down = 0;
+
+  void absorb(const NetworkCounters& other) noexcept {
+    delivered += other.delivered;
+    forwarded += other.forwarded;
+    no_route += other.no_route;
+    ttl_expired += other.ttl_expired;
+    link_loss += other.link_loss;
+    link_down += other.link_down;
+    endpoint_down += other.endpoint_down;
+  }
+};
 
 class Network {
  public:
@@ -76,6 +108,12 @@ class Network {
   void add_tap(NodeId node, PacketTap* tap);
   void remove_tap(NodeId node, PacketTap* tap);
 
+  /// Attaches a fault injector (nullptr detaches). With no injector attached
+  /// — or with the null profile — every code path is byte-identical to a
+  /// fault-free network. The injector is not owned and must outlive its use.
+  void set_fault_injector(FaultInjector* injector) noexcept { injector_ = injector; }
+  [[nodiscard]] FaultInjector* fault_injector() const noexcept { return injector_; }
+
   // -- traffic --------------------------------------------------------------
 
   /// Emits a datagram from `from`'s network stack. The origin's routing
@@ -96,6 +134,14 @@ class Network {
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
   [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
   [[nodiscard]] const Counter<int>& drops() const noexcept { return drops_; }
+  /// Mergeable snapshot of delivered/forwarded/drop counters.
+  [[nodiscard]] NetworkCounters counters() const noexcept;
+  /// Packets dropped because the named node was inside an outage window,
+  /// keyed by node name (used to attribute honeypot-downtime hits).
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& endpoint_drops()
+      const noexcept {
+    return endpoint_drops_;
+  }
 
  private:
   struct Node {
@@ -121,10 +167,12 @@ class Network {
   std::map<net::Ipv4Addr, NodeId> addr_owner_;
   std::map<std::pair<NodeId, NodeId>, SimDuration> link_latency_;
   SimDuration default_latency_ = 5 * kMillisecond;
+  FaultInjector* injector_ = nullptr;
 
   std::uint64_t delivered_ = 0;
   std::uint64_t forwarded_ = 0;
   Counter<int> drops_;  // keyed by static_cast<int>(DropReason)
+  std::map<std::string, std::uint64_t> endpoint_drops_;  // by downed node name
 };
 
 }  // namespace shadowprobe::sim

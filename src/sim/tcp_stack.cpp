@@ -26,9 +26,11 @@ ConnKey TcpStack::connect(net::Ipv4Addr local_addr, net::Ipv4Addr remote_addr,
   conn.state = TcpState::kSynSent;
   conn.snd_nxt = static_cast<std::uint32_t>(rng_.bits());
   conn.ttl = ttl;
+  conn.una_seq = conn.snd_nxt;
   emit(key, conn, {.syn = true}, conn.snd_nxt, 0, {});
   conn.snd_nxt += 1;  // SYN consumes one sequence number
-  conns_[key] = conn;
+  Conn& slot = conns_[key] = conn;
+  if (rtx_.enabled) arm_retransmit(key, slot);
   return key;
 }
 
@@ -40,6 +42,13 @@ void TcpStack::send_data(const ConnKey& key, BytesView data) {
   }
   Conn& conn = it->second;
   emit(key, conn, {.ack = true, .psh = true}, conn.snd_nxt, conn.rcv_nxt, data);
+  if (rtx_.enabled) {
+    disarm_retransmit(conn);
+    conn.una_seq = conn.snd_nxt;
+    conn.una_payload.assign(data.begin(), data.end());
+    conn.retries = 0;
+    arm_retransmit(key, conn);
+  }
   conn.snd_nxt += static_cast<std::uint32_t>(data.size());
 }
 
@@ -47,6 +56,7 @@ void TcpStack::close(const ConnKey& key) {
   auto it = conns_.find(key);
   if (it == conns_.end()) return;
   Conn& conn = it->second;
+  disarm_retransmit(conn);
   if (conn.state == TcpState::kEstablished || conn.state == TcpState::kSynReceived) {
     emit(key, conn, {.ack = true, .fin = true}, conn.snd_nxt, conn.rcv_nxt, {});
     conn.snd_nxt += 1;  // FIN consumes one sequence number
@@ -54,6 +64,43 @@ void TcpStack::close(const ConnKey& key) {
   } else {
     conns_.erase(it);
   }
+}
+
+void TcpStack::arm_retransmit(const ConnKey& key, Conn& conn) {
+  SimDuration timeout = rtx_.rto * (SimDuration{1} << conn.retries);
+  conn.rtx_armed = true;
+  conn.rtx_timer = net_.loop().schedule_cancellable(
+      timeout, [this, key] { on_retransmit_timer(key); });
+}
+
+void TcpStack::disarm_retransmit(Conn& conn) {
+  if (!conn.rtx_armed) return;
+  net_.loop().cancel(conn.rtx_timer);
+  conn.rtx_armed = false;
+}
+
+void TcpStack::on_retransmit_timer(const ConnKey& key) {
+  auto it = conns_.find(key);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  conn.rtx_armed = false;
+  bool handshake = conn.state == TcpState::kSynSent;
+  bool has_data = !conn.una_payload.empty();
+  if (!handshake && !has_data) return;  // everything in flight was acknowledged
+  if (conn.retries >= rtx_.max_retries) {
+    conns_.erase(it);
+    if (on_failed_) on_failed_(key, handshake);
+    return;
+  }
+  ++conn.retries;
+  ++retransmissions_;
+  if (handshake) {
+    emit(key, conn, {.syn = true}, conn.snd_nxt - 1, 0, {});
+  } else {
+    emit(key, conn, {.ack = true, .psh = true}, conn.una_seq, conn.rcv_nxt,
+         BytesView(conn.una_payload));
+  }
+  arm_retransmit(key, conn);
 }
 
 std::optional<TcpState> TcpStack::state(const ConnKey& key) const {
@@ -128,6 +175,7 @@ void TcpStack::on_segment(const net::Ipv4Datagram& dgram) {
   Conn& conn = it->second;
   if (seg.flags.rst) {
     bool handshake = conn.state == TcpState::kSynSent;
+    disarm_retransmit(conn);
     conns_.erase(it);
     if (on_reset_) on_reset_(key, handshake);
     return;
@@ -136,6 +184,7 @@ void TcpStack::on_segment(const net::Ipv4Datagram& dgram) {
   switch (conn.state) {
     case TcpState::kSynSent: {
       if (seg.flags.syn && seg.flags.ack && seg.ack == conn.snd_nxt) {
+        disarm_retransmit(conn);
         conn.rcv_nxt = seg.seq + 1;
         conn.state = TcpState::kEstablished;
         emit(key, conn, {.ack = true}, conn.snd_nxt, conn.rcv_nxt, {});
@@ -144,6 +193,12 @@ void TcpStack::on_segment(const net::Ipv4Datagram& dgram) {
       return;
     }
     case TcpState::kSynReceived: {
+      if (seg.flags.syn && !seg.flags.ack) {
+        // The peer retransmitted its SYN, so our SYN-ACK was lost in
+        // transit: re-emit it (seq was already consumed).
+        emit(key, conn, {.syn = true, .ack = true}, conn.snd_nxt - 1, conn.rcv_nxt, {});
+        return;
+      }
       if (seg.flags.ack && seg.ack == conn.snd_nxt) {
         conn.state = TcpState::kEstablished;
         // The handshake ACK may already carry data (common for probes that
@@ -157,6 +212,13 @@ void TcpStack::on_segment(const net::Ipv4Datagram& dgram) {
       break;
     case TcpState::kClosed:
       return;
+  }
+
+  // Any ACK covering everything sent releases the retransmission timer.
+  if (conn.rtx_armed && seg.flags.ack && seg.ack == conn.snd_nxt) {
+    disarm_retransmit(conn);
+    conn.una_payload.clear();
+    conn.retries = 0;
   }
 
   // In-order data only: the network never reorders within a path, so an
@@ -187,6 +249,7 @@ void TcpStack::on_segment(const net::Ipv4Datagram& dgram) {
   Conn& conn2 = conns_[key];
   if (seg.flags.fin) {
     conn2.rcv_nxt = seg.seq + static_cast<std::uint32_t>(seg.payload.size()) + 1;
+    disarm_retransmit(conn2);
     if (conn2.state == TcpState::kFinWait) {
       // Simultaneous/reply FIN: acknowledge and the connection is done.
       emit(key, conn2, {.ack = true}, conn2.snd_nxt, conn2.rcv_nxt, {});
@@ -201,6 +264,7 @@ void TcpStack::on_segment(const net::Ipv4Datagram& dgram) {
   }
   if (conn2.state == TcpState::kFinWait && seg.flags.ack && seg.ack == conn2.snd_nxt &&
       seg.payload.empty() && !seg.flags.fin) {
+    disarm_retransmit(conn2);
     conns_.erase(key);
   }
 }

@@ -2,11 +2,16 @@
 //
 // Implements exactly what the measurement needs: three-way handshake,
 // in-order data with correct sequence arithmetic, FIN teardown, and RST for
-// closed ports. The simulated network is loss-free (packets die only to TTL
-// expiry or missing routes), so there is no retransmission machinery; links
-// have no MTU, so one write is one segment. Both simplifications are
-// documented behaviour of the substrate, not protocol shortcuts on the wire:
-// every segment is a byte-faithful RFC 9293 header.
+// closed ports. Links have no MTU, so one write is one segment; every
+// segment is a byte-faithful RFC 9293 header.
+//
+// The network is loss-free by default, and so is this stack: with the
+// default (disabled) RetransmitPolicy no timer is ever armed and behaviour
+// is identical to the historical loss-free stack. When the fault-injection
+// layer (sim/fault.h) makes links lossy, callers arm set_retransmit() and
+// the stack retransmits unacknowledged SYNs and data with exponential
+// backoff, reporting connections that exhaust their retries via
+// set_on_failed().
 //
 // Usage: a host's DatagramHandler owns a TcpStack and feeds it every TCP
 // datagram via on_segment(); the stack replies through Network::send().
@@ -37,6 +42,14 @@ struct ConnKey {
 
 enum class TcpState { kSynSent, kSynReceived, kEstablished, kFinWait, kClosed };
 
+/// Retransmission knobs. Disabled by default: no timers are armed and the
+/// stack behaves exactly like the historical loss-free implementation.
+struct RetransmitPolicy {
+  bool enabled = false;
+  SimDuration rto = 3 * kSecond;  ///< initial timeout; doubles per retry
+  int max_retries = 3;            ///< retransmissions before giving up
+};
+
 class TcpStack {
  public:
   /// Server-side data callback: receives application bytes; whatever it
@@ -47,6 +60,8 @@ class TcpStack {
   using ClientDataFn = std::function<void(const ConnKey& key, BytesView data)>;
   /// Connection refused (RST in SYN_SENT) or reset while open.
   using ResetFn = std::function<void(const ConnKey& key, bool during_handshake)>;
+  /// Connection abandoned after exhausting its retransmission budget.
+  using FailedFn = std::function<void(const ConnKey& key, bool during_handshake)>;
 
   TcpStack(Network& net, NodeId self, Rng rng);
 
@@ -72,6 +87,12 @@ class TcpStack {
   void set_on_established(EstablishedFn fn) { on_established_ = std::move(fn); }
   void set_on_data(ClientDataFn fn) { on_client_data_ = std::move(fn); }
   void set_on_reset(ResetFn fn) { on_reset_ = std::move(fn); }
+  void set_on_failed(FailedFn fn) { on_failed_ = std::move(fn); }
+
+  void set_retransmit(RetransmitPolicy policy) noexcept { rtx_ = policy; }
+  [[nodiscard]] const RetransmitPolicy& retransmit_policy() const noexcept { return rtx_; }
+  /// Segments re-emitted by retransmission timers over the stack's lifetime.
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept { return retransmissions_; }
 
   /// When true (default), RST answers segments to closed ports. Disabling
   /// this models silently-filtering devices (most observer routers in the
@@ -88,12 +109,21 @@ class TcpStack {
     std::uint32_t rcv_nxt = 0;  // next sequence number expected
     std::uint8_t ttl = 64;
     bool server = false;
+    // Retransmission state (only touched when rtx_.enabled).
+    int retries = 0;
+    bool rtx_armed = false;
+    TimerId rtx_timer = 0;
+    std::uint32_t una_seq = 0;  // seq of the oldest unacknowledged payload
+    Bytes una_payload;          // unacked data; empty while only SYN is in flight
   };
 
   void emit(const ConnKey& key, const Conn& conn, net::TcpFlags flags, std::uint32_t seq,
             std::uint32_t ack, BytesView payload);
   void send_rst(const net::Ipv4Datagram& dgram, const net::TcpSegment& seg);
   std::uint16_t alloc_port();
+  void arm_retransmit(const ConnKey& key, Conn& conn);
+  void disarm_retransmit(Conn& conn);
+  void on_retransmit_timer(const ConnKey& key);
 
   Network& net_;
   NodeId self_;
@@ -102,10 +132,13 @@ class TcpStack {
   std::map<ConnKey, Conn> conns_;
   std::uint16_t next_ephemeral_ = 49152;
   bool respond_rst_ = true;
+  RetransmitPolicy rtx_;
+  std::uint64_t retransmissions_ = 0;
 
   EstablishedFn on_established_;
   ClientDataFn on_client_data_;
   ResetFn on_reset_;
+  FailedFn on_failed_;
 };
 
 }  // namespace shadowprobe::sim

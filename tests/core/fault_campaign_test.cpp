@@ -1,0 +1,147 @@
+// Campaigns under deterministic fault injection: layout invariance of the
+// exported result, coverage accounting, quarantine + rescheduling.
+#include <gtest/gtest.h>
+
+#include "core/campaign_engine.h"
+#include "core/json_export.h"
+#include "shadow/profiles.h"
+
+namespace shadowprobe::core {
+namespace {
+
+TestbedConfig small_config(std::uint64_t seed = 61) {
+  TestbedConfig config;
+  config.topology.seed = seed;
+  config.topology.global_vps = 6;
+  config.topology.cn_vps = 6;
+  config.topology.web_sites = 4;
+  return config;
+}
+
+CampaignConfig fast_campaign() {
+  CampaignConfig config;
+  config.phase1_window = 2 * kHour;
+  config.phase2_grace = 4 * kHour;
+  config.phase2_window = 2 * kHour;
+  config.total_duration = 3 * kDay;
+  return config;
+}
+
+CampaignEngine::Decorator standard_exhibitors() {
+  return [](Testbed& replica) -> std::shared_ptr<void> {
+    shadow::ShadowConfig shadow_config;
+    shadow_config.fleet_size = 2;
+    return std::make_shared<shadow::ShadowDeployment>(
+        shadow::deploy_standard_exhibitors(replica, shadow_config));
+  };
+}
+
+CampaignConfig faulty_campaign(const std::string& spec) {
+  CampaignConfig config = fast_campaign();
+  auto profile = sim::FaultProfile::parse(spec);
+  EXPECT_TRUE(profile.ok()) << profile.error().message;
+  config.faults = profile.value();
+  return config;
+}
+
+CampaignResult run_faulty(const std::string& spec, int shards, int workers = 1) {
+  CampaignConfig config = faulty_campaign(spec);
+  config.analysis_workers = workers;
+  CampaignEngine engine(small_config(), config, shards, standard_exhibitors());
+  return engine.run();
+}
+
+std::string export_faulty(const std::string& spec, int shards, int workers = 1) {
+  CampaignConfig config = faulty_campaign(spec);
+  config.analysis_workers = workers;
+  CampaignEngine engine(small_config(), config, shards, standard_exhibitors());
+  CampaignResult result = engine.run();
+  return export_campaign_json(engine.primary(), result);
+}
+
+// The profile used throughout: enough loss to force retries, a scheduled US
+// collector outage inside the capture window, and jitter on every hop.
+constexpr const char* kLossySpec =
+    "loss=0.05,jitter=10ms,hp-outage=US@3h+4h,retries=2,rto=30s";
+
+TEST(FaultCampaignTest, ExportIsByteIdenticalAcrossShardAndWorkerCounts) {
+  std::string base = export_faulty(kLossySpec, 1, 1);
+  EXPECT_FALSE(base.empty());
+  EXPECT_EQ(base, export_faulty(kLossySpec, 2, 1));
+  EXPECT_EQ(base, export_faulty(kLossySpec, 4, 2));
+  EXPECT_EQ(base, export_faulty(kLossySpec, 2, 4));
+}
+
+TEST(FaultCampaignTest, LossyProfileReportsNonzeroCoverage) {
+  CampaignResult result = run_faulty(kLossySpec, 2);
+  ASSERT_TRUE(result.coverage.has_value());
+  const CoverageStats& cov = *result.coverage;
+  EXPECT_GT(cov.phase1_planned, 0u);
+  EXPECT_GT(cov.decoys_attempted, 0u);
+  EXPECT_GT(cov.decoys_delivered, 0u);
+  // 5% per-hop loss over multi-hop paths must trip the retry machinery.
+  EXPECT_GT(cov.retry_attempts, 0u);
+  EXPECT_GT(cov.decoys_retried, 0u);
+  EXPECT_LE(cov.decoys_delivered, cov.decoys_attempted);
+  // The replicas saw real link-loss drops.
+  ASSERT_EQ(result.shard_stats.per_shard_net.size(), 2u);
+  std::uint64_t loss_drops = 0;
+  for (const auto& net : result.shard_stats.per_shard_net) loss_drops += net.link_loss;
+  EXPECT_GT(loss_drops, 0u);
+}
+
+TEST(FaultCampaignTest, CoverageAppearsInJsonOnlyForFaultyProfiles) {
+  std::string faulty = export_faulty(kLossySpec, 2);
+  EXPECT_NE(faulty.find("\"coverage\""), std::string::npos);
+  EXPECT_NE(faulty.find("\"fault_profile\""), std::string::npos);
+
+  CampaignEngine engine(small_config(), fast_campaign(), 2, standard_exhibitors());
+  CampaignResult clean = engine.run();
+  EXPECT_FALSE(clean.coverage.has_value());
+  std::string null_profile = export_campaign_json(engine.primary(), clean);
+  EXPECT_EQ(null_profile.find("\"coverage\""), std::string::npos);
+  EXPECT_EQ(null_profile.find("\"fault_profile\""), std::string::npos);
+}
+
+TEST(FaultCampaignTest, ChurnedVpsAreQuarantinedAndTheirDecoysRehomed) {
+  // Aggressive churn with a long outage and a hair-trigger quarantine: some
+  // VP's session must drop mid-Phase-I, its un-sent decoys must be cancelled
+  // and re-planned onto surviving VPs at the barrier.
+  const std::string spec = "vp-churn=0.6@8h,quarantine=2,retries=1,rto=30s";
+  CampaignResult result = run_faulty(spec, 2);
+  ASSERT_TRUE(result.coverage.has_value());
+  const CoverageStats& cov = *result.coverage;
+  EXPECT_GT(cov.vps_quarantined, 0u);
+  EXPECT_GT(cov.decoys_cancelled, 0u);
+  EXPECT_GT(cov.decoys_rescheduled, 0u);
+  EXPECT_LE(cov.decoys_rescheduled, cov.decoys_cancelled);
+  // No emission silently vanishes: every planned or re-homed Phase-I decoy
+  // either fired (attempted) or was cancelled. (Cancellations can also hit
+  // sweep probes of VPs quarantined after the barrier, hence >=.)
+  EXPECT_LE(cov.decoys_attempted, cov.phase1_planned + cov.decoys_rescheduled);
+  EXPECT_GE(cov.decoys_attempted + cov.decoys_cancelled,
+            cov.phase1_planned + cov.decoys_rescheduled);
+
+  // The re-plan is itself layout-invariant.
+  std::string two = export_faulty(spec, 2);
+  std::string three = export_faulty(spec, 3);
+  EXPECT_EQ(two, three);
+}
+
+TEST(FaultCampaignTest, CollectorOutageSwallowsHoneypotTraffic) {
+  // A collector outage blanketing most of the capture horizon: replicated
+  // decoys that would have hit the US honeypot are dropped at the endpoint.
+  CampaignResult faulty =
+      run_faulty("hp-outage=US@1h+70h,retries=0,rto=30s,loss=0.001", 2);
+  ASSERT_TRUE(faulty.coverage.has_value());
+  CampaignEngine clean_engine(small_config(), fast_campaign(), 2,
+                              standard_exhibitors());
+  CampaignResult clean = clean_engine.run();
+  // Strictly fewer hits than the undisturbed campaign, and the endpoint
+  // drops are visible in the coverage accounting.
+  EXPECT_LT(faulty.hits.size(), clean.hits.size());
+  EXPECT_GT(faulty.coverage->honeypot_downtime_drops, 0u);
+}
+
+}  // namespace
+}  // namespace shadowprobe::core

@@ -105,6 +105,55 @@ TEST(EventLoop, SameTimestampFiresInScheduleOrder) {
   for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i) + 1], i);
 }
 
+TEST(EventLoop, CancellableTimerFiresWhenNotCancelled) {
+  EventLoop loop;
+  int fired = 0;
+  TimerId id = loop.schedule_cancellable(5, [&] { ++fired; });
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  // Already fired: cancel is a no-op and reports it.
+  EXPECT_FALSE(loop.cancel(id));
+  EXPECT_EQ(loop.stats().cancelled, 0u);
+}
+
+TEST(EventLoop, CancelDisarmsAQueuedTimer) {
+  EventLoop loop;
+  int fired = 0;
+  TimerId id = loop.schedule_cancellable(5, [&] { ++fired; });
+  loop.schedule(10, [] {});
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // double-cancel
+  loop.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(loop.stats().cancelled, 1u);
+  EXPECT_EQ(loop.now(), 10);
+}
+
+TEST(EventLoop, RunUntilIgnoresCancelledFrontEntries) {
+  // Regression: a cancelled (tombstoned) entry at the heap front used to
+  // make run_until pop past the deadline — the skip-loop consumed the
+  // tombstone and then executed the next live event even if it was later
+  // than the deadline.
+  EventLoop loop;
+  int fired = 0;
+  TimerId id = loop.schedule_cancellable(5, [&] { fired += 100; });
+  loop.schedule(20, [&] { ++fired; });
+  EXPECT_TRUE(loop.cancel(id));
+  loop.run_until(10);
+  EXPECT_EQ(fired, 0);  // the t=20 event must NOT run yet
+  EXPECT_EQ(loop.now(), 10);
+  loop.run_until(30);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoop, CancelOfUnknownIdIsRejected) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.cancel(12345));
+  TimerId id = loop.schedule_cancellable(1, [] {});
+  EXPECT_FALSE(loop.cancel(id + 1));
+  EXPECT_TRUE(loop.cancel(id));
+}
+
 TEST(EventLoop, StatsTrackProcessedAndHighWater) {
   EventLoop loop;
   for (int i = 0; i < 10; ++i) loop.schedule(i, [] {});

@@ -1,0 +1,191 @@
+// Deterministic fault injection: profile parsing, entity-keyed decisions.
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace shadowprobe::sim {
+namespace {
+
+net::Ipv4Header header_for(std::uint16_t ipid, std::uint8_t ttl = 64) {
+  net::Ipv4Header header;
+  header.src = net::Ipv4Addr(10, 0, 0, 1);
+  header.dst = net::Ipv4Addr(10, 0, 0, 2);
+  header.protocol = net::IpProto::kUdp;
+  header.ttl = ttl;
+  header.identification = ipid;
+  return header;
+}
+
+TEST(FaultProfile, DefaultProfileIsDisabled) {
+  FaultProfile profile;
+  EXPECT_FALSE(profile.enabled());
+  EXPECT_TRUE(FaultProfile::parse("").value().str().find("loss") == std::string::npos);
+}
+
+TEST(FaultProfile, ParsesFullSpec) {
+  auto parsed = FaultProfile::parse(
+      "loss=0.05,jitter=20ms,flap=0.02@10m,vp-churn=0.15@2h,"
+      "hp-outage=US@30h+12h,retries=5,rto=2s,quarantine=4");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const FaultProfile& profile = parsed.value();
+  EXPECT_TRUE(profile.enabled());
+  EXPECT_DOUBLE_EQ(profile.link_loss, 0.05);
+  EXPECT_EQ(profile.jitter, 20 * kMillisecond);
+  EXPECT_DOUBLE_EQ(profile.link_flap_rate, 0.02);
+  EXPECT_EQ(profile.link_flap_duration, 10 * kMinute);
+  EXPECT_DOUBLE_EQ(profile.vp_churn, 0.15);
+  EXPECT_EQ(profile.vp_outage, 2 * kHour);
+  ASSERT_EQ(profile.collector_outages.size(), 1u);
+  EXPECT_EQ(profile.collector_outages[0].location, "US");
+  EXPECT_EQ(profile.collector_outages[0].start, 30 * kHour);
+  EXPECT_EQ(profile.collector_outages[0].duration, 12 * kHour);
+  EXPECT_EQ(profile.max_retries, 5);
+  EXPECT_EQ(profile.retry_timeout, 2 * kSecond);
+  EXPECT_EQ(profile.quarantine_threshold, 4);
+}
+
+TEST(FaultProfile, LossyPresetWithOverrides) {
+  auto parsed = FaultProfile::parse("lossy,loss=0.2");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().link_loss, 0.2);   // override wins
+  EXPECT_EQ(parsed.value().jitter, 20 * kMillisecond);  // preset default
+  EXPECT_FALSE(FaultProfile::parse("rainy").ok());   // unknown preset
+  EXPECT_TRUE(FaultProfile::parse("none").ok());
+  EXPECT_FALSE(FaultProfile::parse("none").value().enabled());
+}
+
+TEST(FaultProfile, StrRoundTripsThroughParse) {
+  auto parsed = FaultProfile::parse("lossy,hp-outage=DE@1d+6h,quarantine=5");
+  ASSERT_TRUE(parsed.ok());
+  std::string canonical = parsed.value().str();
+  auto reparsed = FaultProfile::parse(canonical);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().message;
+  EXPECT_EQ(reparsed.value().str(), canonical);
+}
+
+TEST(FaultProfile, RejectsMalformedValues) {
+  EXPECT_FALSE(FaultProfile::parse("loss=1.5").ok());       // out of [0, 1)
+  EXPECT_FALSE(FaultProfile::parse("loss=-0.1").ok());
+  EXPECT_FALSE(FaultProfile::parse("loss=abc").ok());
+  EXPECT_FALSE(FaultProfile::parse("jitter=20").ok());      // missing unit
+  EXPECT_FALSE(FaultProfile::parse("jitter=-5ms").ok());
+  EXPECT_FALSE(FaultProfile::parse("flap=0.5@nope").ok());
+  EXPECT_FALSE(FaultProfile::parse("hp-outage=US").ok());   // missing @start+dur
+  EXPECT_FALSE(FaultProfile::parse("hp-outage=@1h+1h").ok());
+  EXPECT_FALSE(FaultProfile::parse("retries=-1").ok());
+  EXPECT_FALSE(FaultProfile::parse("rto=0s").ok());
+  EXPECT_FALSE(FaultProfile::parse("quarantine=0").ok());
+  EXPECT_FALSE(FaultProfile::parse("turbo=1").ok());        // unknown key
+  EXPECT_FALSE(FaultProfile::parse("loss").ok());           // not key=value
+  EXPECT_FALSE(FaultProfile::parse("loss=").ok());          // empty value
+}
+
+TEST(FaultProfile, DecoyDeadlineCoversTheBackoffSeries) {
+  FaultProfile profile;
+  profile.max_retries = 2;
+  profile.retry_timeout = 1 * kSecond;
+  // 1s + 2s + 4s + 1s slack.
+  EXPECT_EQ(profile.decoy_deadline(), 8 * kSecond);
+}
+
+TEST(FaultInjector, LossIsDeterministicPerAttempt) {
+  auto profile = FaultProfile::parse("loss=0.5").value();
+  FaultInjector a(profile, 42, kDay);
+  FaultInjector b(profile, 42, kDay);
+  Bytes payload{1, 2, 3};
+  bool differs_over_time = false;
+  for (SimTime now = 0; now < 64; ++now) {
+    bool lost_a = a.lose_packet("x", "y", header_for(7), payload, now);
+    bool lost_b = b.lose_packet("x", "y", header_for(7), payload, now);
+    // Same seed, same attempt key -> same fate on both injectors.
+    EXPECT_EQ(lost_a, lost_b) << "at t=" << now;
+    if (lost_a != a.lose_packet("x", "y", header_for(7), payload, 0)) {
+      differs_over_time = true;
+    }
+  }
+  // The send instant is part of the key: a retransmission at a later time is
+  // an independent draw, not a guaranteed repeat loss.
+  EXPECT_TRUE(differs_over_time);
+}
+
+TEST(FaultInjector, LossKeyIsSymmetricInTheLinkDirection) {
+  auto profile = FaultProfile::parse("loss=0.5").value();
+  FaultInjector injector(profile, 7, kDay);
+  Bytes payload{9};
+  for (SimTime now = 0; now < 32; ++now) {
+    EXPECT_EQ(injector.lose_packet("alpha", "beta", header_for(1), payload, now),
+              injector.lose_packet("beta", "alpha", header_for(1), payload, now));
+  }
+}
+
+TEST(FaultInjector, JitterIsBoundedAndDeterministic) {
+  auto profile = FaultProfile::parse("jitter=5ms").value();
+  FaultInjector a(profile, 99, kDay);
+  FaultInjector b(profile, 99, kDay);
+  Bytes payload{};
+  for (SimTime now = 0; now < 32; ++now) {
+    SimDuration d = a.jitter_for("x", "y", header_for(3), payload, now);
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, 5 * kMillisecond);
+    EXPECT_EQ(d, b.jitter_for("x", "y", header_for(3), payload, now));
+  }
+}
+
+TEST(FaultInjector, FlapWindowsAreMemoizedAndSeedStable) {
+  auto profile = FaultProfile::parse("flap=0.9@1h").value();
+  FaultInjector a(profile, 5, 10 * kDay);
+  FaultInjector b(profile, 5, 10 * kDay);
+  int flapped = 0;
+  for (int link = 0; link < 32; ++link) {
+    std::string name = "node-" + std::to_string(link);
+    bool down_now = false;
+    for (SimTime t = 0; t < 10 * kDay; t += kHour / 2) {
+      bool down = a.link_down(name, "hub", t);
+      EXPECT_EQ(down, b.link_down("hub", name, t));  // direction-free
+      down_now = down_now || down;
+    }
+    if (down_now) ++flapped;
+  }
+  // At 90% flap probability nearly every link must flap at least once.
+  EXPECT_GT(flapped, 16);
+  EXPECT_GT(a.stats().flap_drops, 0u);
+}
+
+TEST(FaultInjector, NodeOutagesAreHalfOpenWindows) {
+  FaultInjector injector(FaultProfile{}, 1, kDay);
+  injector.add_node_outage("hp-us", {10, 20});
+  EXPECT_FALSE(injector.node_down("hp-us", 9));
+  EXPECT_TRUE(injector.node_down("hp-us", 10));
+  EXPECT_TRUE(injector.node_down("hp-us", 19));
+  EXPECT_FALSE(injector.node_down("hp-us", 20));
+  EXPECT_FALSE(injector.node_down("elsewhere", 15));
+  ASSERT_NE(injector.node_outages("hp-us"), nullptr);
+  EXPECT_EQ(injector.node_outages("hp-us")->size(), 1u);
+}
+
+TEST(FaultInjector, ChurnOutageIsAPureFunctionOfTheEntity) {
+  auto profile = FaultProfile::parse("vp-churn=0.5@1h").value();
+  FaultInjector a(profile, 77, kDay);
+  FaultInjector b(profile, 77, kDay);
+  int churned = 0;
+  for (int vp = 0; vp < 64; ++vp) {
+    std::string id = "vp-" + std::to_string(vp);
+    auto wa = a.derive_churn_outage(id, kHour, 20 * kHour);
+    auto wb = b.derive_churn_outage(id, kHour, 20 * kHour);
+    ASSERT_EQ(wa.has_value(), wb.has_value());
+    if (wa) {
+      EXPECT_EQ(wa->start, wb->start);
+      EXPECT_EQ(wa->end, wb->end);
+      EXPECT_GE(wa->start, kHour);
+      EXPECT_LE(wa->start, 20 * kHour);
+      EXPECT_EQ(wa->duration(), kHour);
+      ++churned;
+    }
+  }
+  // Roughly half the fleet churns; guard both tails loosely.
+  EXPECT_GT(churned, 16);
+  EXPECT_LT(churned, 48);
+}
+
+}  // namespace
+}  // namespace shadowprobe::sim

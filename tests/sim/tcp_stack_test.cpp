@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "sim/fault.h"
 
 namespace shadowprobe::sim {
 namespace {
@@ -170,6 +171,78 @@ TEST_F(TcpStackTest, StrayAckToUnknownTupleDrawsRst) {
   loop.run();
   ASSERT_EQ(client_saw.size(), 1u);
   EXPECT_TRUE(client_saw[0].rst);
+}
+
+TEST_F(TcpStackTest, SynIsRetransmittedThroughAnEndpointOutage) {
+  // The server's collector is down for the first 10 seconds: the initial SYN
+  // is swallowed, the armed retransmission carries the handshake through.
+  FaultInjector injector(FaultProfile{}, 1, kDay);
+  injector.add_node_outage("server", {0, 10 * kSecond});
+  net.set_fault_injector(&injector);
+  client->stack.set_retransmit({true, 3 * kSecond, 5});
+  server->stack.listen(80, [](const ConnKey&, BytesView) { return Bytes{}; });
+  bool established = false;
+  client->stack.set_on_established([&](const ConnKey&) { established = true; });
+  ConnKey key = client->stack.connect(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 80);
+  loop.run();
+  EXPECT_TRUE(established);
+  EXPECT_EQ(client->stack.state(key), TcpState::kEstablished);
+  EXPECT_GT(client->stack.retransmissions(), 0u);
+  EXPECT_GT(net.counters().endpoint_down, 0u);
+}
+
+TEST_F(TcpStackTest, ExhaustedHandshakeRetriesReportFailure) {
+  // Outage outlasting the whole backoff series: the connection must give up
+  // and surface through on_failed, leaving no connection state behind.
+  FaultInjector injector(FaultProfile{}, 1, kDay);
+  injector.add_node_outage("server", {0, kDay});
+  net.set_fault_injector(&injector);
+  client->stack.set_retransmit({true, 1 * kSecond, 2});
+  server->stack.listen(80, [](const ConnKey&, BytesView) { return Bytes{}; });
+  bool failed = false;
+  bool failed_in_handshake = false;
+  client->stack.set_on_failed([&](const ConnKey&, bool handshake) {
+    failed = true;
+    failed_in_handshake = handshake;
+  });
+  client->stack.connect(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 80);
+  loop.run();
+  EXPECT_TRUE(failed);
+  EXPECT_TRUE(failed_in_handshake);
+  EXPECT_EQ(client->stack.open_connections(), 0u);
+  EXPECT_EQ(client->stack.retransmissions(), 2u);
+}
+
+TEST_F(TcpStackTest, DataSegmentIsRetransmittedAfterLoss) {
+  // Handshake completes cleanly, then the server vanishes just as the data
+  // segment is in flight; the retransmission after the outage delivers it.
+  FaultInjector injector(FaultProfile{}, 1, kDay);
+  net.set_fault_injector(&injector);
+  client->stack.set_retransmit({true, 2 * kSecond, 4});
+  Bytes seen;
+  server->stack.listen(80, [&](const ConnKey&, BytesView data) {
+    seen.assign(data.begin(), data.end());
+    return Bytes{};
+  });
+  ConnKey key = client->stack.connect(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 80);
+  client->stack.set_on_established([&](const ConnKey&) {
+    injector.add_node_outage("server", {loop.now(), loop.now() + 3 * kSecond});
+    client->stack.send_data(key, to_bytes("ping"));
+  });
+  loop.run();
+  EXPECT_EQ(seen, to_bytes("ping"));
+  EXPECT_GT(client->stack.retransmissions(), 0u);
+}
+
+TEST_F(TcpStackTest, DisabledPolicyArmsNoTimers) {
+  // Null-profile guarantee: without set_retransmit the loss-free behaviour
+  // (and the event count) is untouched.
+  server->stack.listen(80, [](const ConnKey&, BytesView) { return Bytes{}; });
+  client->stack.connect(Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 80);
+  loop.run();
+  EXPECT_EQ(client->stack.retransmissions(), 0u);
+  EXPECT_EQ(loop.stats().cancelled, 0u);
+  EXPECT_FALSE(client->stack.retransmit_policy().enabled);
 }
 
 }  // namespace

@@ -14,6 +14,11 @@
 //                          (classification + analysis tables; default:
 //                          SHADOWPROBE_ANALYSIS_WORKERS env var, else 1);
 //                          results are byte-identical for any N
+//     --fault-profile S    deterministic fault-injection spec, e.g.
+//                          "lossy" or "loss=0.05,hp-outage=US@30h+12h"
+//                          (default: SHADOWPROBE_FAULT_PROFILE env var, else
+//                          none); implies the engine (1 shard if unsharded);
+//                          results are byte-identical for any shard count
 //     --transport T        dns decoy transport: plain | dot | odoh
 //     --ech                send TLS decoys with Encrypted Client Hello
 //     --no-screening       skip the Appendix-E platform screens
@@ -23,15 +28,16 @@
 //                          (with --shards, shard 0's replica)
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/analysis.h"
 #include "core/campaign.h"
 #include "core/campaign_engine.h"
+#include "core/cli.h"
 #include "core/json_export.h"
 #include "core/report.h"
 #include "core/testbed.h"
@@ -42,24 +48,11 @@ using namespace shadowprobe;
 
 namespace {
 
-struct CliOptions {
-  double scale = 1.0;
-  std::uint64_t seed = 20240301;
-  int days = 25;
-  int shards = 0;  // 0 = serial Campaign, >= 1 = CampaignEngine
-  int analysis_workers = 1;
-  core::DnsDecoyTransport transport = core::DnsDecoyTransport::kPlain;
-  bool ech = false;
-  bool screening = true;
-  std::string report = "all";
-  std::string json_path;
-  int trace = 0;
-};
-
 int usage() {
   std::fprintf(stderr,
                "usage: shadowprobe_cli run [--scale X] [--seed N] [--days N]\n"
                "         [--shards N] [--analysis-workers N]\n"
+               "         [--fault-profile SPEC]\n"
                "         [--transport plain|dot|odoh] [--ech]\n"
                "         [--no-screening]\n"
                "         [--report all|fig3|table2|table3|retention] [--json FILE]\n"
@@ -67,78 +60,17 @@ int usage() {
   return 2;
 }
 
-bool parse_options(int argc, char** argv, CliOptions& options) {
-  if (const char* env = std::getenv("SHADOWPROBE_SHARDS")) {
-    options.shards = std::atoi(env);
-  }
-  if (const char* env = std::getenv("SHADOWPROBE_ANALYSIS_WORKERS")) {
-    options.analysis_workers = std::atoi(env);
-  }
-  for (int i = 2; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
-    if (arg == "--scale") {
-      const char* v = next();
-      if (!v) return false;
-      options.scale = std::atof(v);
-    } else if (arg == "--seed") {
-      const char* v = next();
-      if (!v) return false;
-      options.seed = static_cast<std::uint64_t>(std::atoll(v));
-    } else if (arg == "--days") {
-      const char* v = next();
-      if (!v) return false;
-      options.days = std::atoi(v);
-    } else if (arg == "--shards") {
-      const char* v = next();
-      if (!v) return false;
-      options.shards = std::atoi(v);
-    } else if (arg == "--analysis-workers") {
-      const char* v = next();
-      if (!v) return false;
-      options.analysis_workers = std::atoi(v);
-    } else if (arg == "--transport") {
-      const char* v = next();
-      if (!v) return false;
-      if (std::strcmp(v, "plain") == 0) {
-        options.transport = core::DnsDecoyTransport::kPlain;
-      } else if (std::strcmp(v, "dot") == 0) {
-        options.transport = core::DnsDecoyTransport::kEncrypted;
-      } else if (std::strcmp(v, "odoh") == 0) {
-        options.transport = core::DnsDecoyTransport::kOblivious;
-      } else {
-        return false;
-      }
-    } else if (arg == "--ech") {
-      options.ech = true;
-    } else if (arg == "--no-screening") {
-      options.screening = false;
-    } else if (arg == "--report") {
-      const char* v = next();
-      if (!v) return false;
-      options.report = v;
-    } else if (arg == "--json") {
-      const char* v = next();
-      if (!v) return false;
-      options.json_path = v;
-    } else if (arg == "--trace") {
-      const char* v = next();
-      if (!v) return false;
-      options.trace = std::atoi(v);
-    } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return false;
-    }
-  }
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2 || std::strcmp(argv[1], "run") != 0) return usage();
-  CliOptions options;
-  if (!parse_options(argc, argv, options)) return usage();
+  std::vector<std::string> args(argv + 2, argv + argc);
+  auto parsed = core::parse_cli_options(args, core::CliEnvironment::from_process());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.error().message.c_str());
+    return usage();
+  }
+  const core::CliOptions& options = parsed.value();
 
   core::TestbedConfig config;
   config.topology.seed = options.seed;
@@ -150,6 +82,7 @@ int main(int argc, char** argv) {
   campaign_config.tls_decoys_use_ech = options.ech;
   campaign_config.screening = options.screening;
   campaign_config.analysis_workers = options.analysis_workers;
+  campaign_config.faults = options.faults;
 
   shadow::ShadowConfig shadow_config;
   sim::TraceRecorder trace;
