@@ -1,0 +1,116 @@
+// End-to-end campaign benchmark: the headline perf number.
+//
+// Runs the complete pipeline — substrate build, exhibitor deployment,
+// two-phase campaign, classification, analysis tables, JSON export — once
+// through the serial Campaign and once through the sharded CampaignEngine,
+// and emits BENCH_campaign_e2e.json with wall-clock, simulator-event
+// throughput, peak RSS and allocation counts for each. This is the number
+// tracked per PR (ROADMAP item 5): compare against the previous commit with
+// tools/bench_diff.
+//
+// Scale and seed come from SHADOWPROBE_SCALE / SHADOWPROBE_SEED; shard
+// count for the engine run from SHADOWPROBE_SHARDS (default 2).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/campaign.h"
+#include "core/campaign_engine.h"
+#include "core/json_export.h"
+#include "core/testbed.h"
+#include "harness.h"
+#include "shadow/profiles.h"
+
+using namespace shadowprobe;
+
+namespace {
+
+core::TestbedConfig bench_config() {
+  core::TestbedConfig config;
+  config.topology = topo::TopologyConfig::from_env();
+  return config;
+}
+
+int shards_from_env() {
+  const char* raw = std::getenv("SHADOWPROBE_SHARDS");
+  if (raw == nullptr || *raw == '\0') return 2;
+  int shards = std::atoi(raw);
+  return shards > 0 ? shards : 2;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Campaign end-to-end: full pipeline wall-clock ==\n\n");
+  bench::PerfReport report("campaign_e2e");
+  {
+    topo::TopologyConfig topo = bench_config().topology;
+    report.set_context("global_vps=" + std::to_string(topo.global_vps) +
+                       ",cn_vps=" + std::to_string(topo.cn_vps) +
+                       ",web_sites=" + std::to_string(topo.web_sites) +
+                       ",seed=" + std::to_string(topo.seed));
+  }
+
+  std::size_t serial_decoys = 0;
+  std::size_t serial_unsolicited = 0;
+  {
+    auto bed = core::Testbed::create(bench_config());
+    auto deployment = shadow::deploy_standard_exhibitors(*bed, shadow::ShadowConfig{});
+    core::Campaign campaign(*bed, core::CampaignConfig{});
+    std::uint64_t allocs_before = bench::allocation_count();
+    bench::WallTimer timer;
+    campaign.run();
+    core::CampaignResult result = campaign.result();
+    result.correlate(1);
+    std::string json = core::export_campaign_json(*bed, result, 1);
+    bench::PerfRun run;
+    run.config = "serial";
+    run.wall_ms = timer.ms();
+    run.events_per_sec = static_cast<double>(bed->loop().processed()) / timer.seconds();
+    run.peak_rss_kb = bench::peak_rss_kb();
+    run.allocs = bench::allocation_count() - allocs_before;
+    serial_decoys = result.ledger.decoy_count();
+    serial_unsolicited = result.unsolicited.size();
+    std::printf("  serial      %9.1fms  %12.0f events/s  rss %ld KiB  %llu allocs"
+                "  (%zu-byte export)\n",
+                run.wall_ms, run.events_per_sec, run.peak_rss_kb,
+                static_cast<unsigned long long>(run.allocs), json.size());
+    report.add(std::move(run));
+  }
+
+  int shards = shards_from_env();
+  {
+    core::CampaignEngine engine(
+        bench_config(), core::CampaignConfig{}, shards,
+        [](core::Testbed& replica) -> std::shared_ptr<void> {
+          return std::make_shared<shadow::ShadowDeployment>(
+              shadow::deploy_standard_exhibitors(replica, shadow::ShadowConfig{}));
+        });
+    std::uint64_t allocs_before = bench::allocation_count();
+    bench::WallTimer timer;
+    core::CampaignResult result = engine.run();
+    std::string json = core::export_campaign_json(engine.primary(), result, shards);
+    bench::PerfRun run;
+    run.config = "shards=" + std::to_string(shards);
+    run.wall_ms = timer.ms();
+    run.events_per_sec =
+        static_cast<double>(engine.events_processed()) / timer.seconds();
+    run.peak_rss_kb = bench::peak_rss_kb();
+    run.allocs = bench::allocation_count() - allocs_before;
+    bool consistent = result.ledger.decoy_count() == serial_decoys &&
+                      result.unsolicited.size() == serial_unsolicited;
+    std::printf("  shards=%-4d %9.1fms  %12.0f events/s  rss %ld KiB  %llu allocs"
+                "  (%zu-byte export)  %s\n",
+                shards, run.wall_ms, run.events_per_sec, run.peak_rss_kb,
+                static_cast<unsigned long long>(run.allocs), json.size(),
+                consistent ? "consistent" : "MISMATCH");
+    report.add(std::move(run));
+    if (!consistent) {
+      std::fprintf(stderr, "determinism contract violated: engine result differs\n");
+      return 1;
+    }
+  }
+
+  report.write();
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "core/campaign.h"
 #include "core/json_export.h"
 #include "core/testbed.h"
+#include "harness.h"
 #include "shadow/profiles.h"
 
 using namespace shadowprobe;
@@ -43,20 +44,43 @@ int main() {
   std::printf("corpus: %zu honeypot hits, %zu unsolicited requests\n\n",
               result.hits.size(), result.unsolicited.size());
 
+  bench::PerfReport report("parallel_analysis");
+  {
+    topo::TopologyConfig topo = bench_config().topology;
+    report.set_context("global_vps=" + std::to_string(topo.global_vps) +
+                       ",cn_vps=" + std::to_string(topo.cn_vps) +
+                       ",web_sites=" + std::to_string(topo.web_sites) +
+                       ",seed=" + std::to_string(topo.seed));
+  }
+  const double corpus_records =
+      static_cast<double>(result.hits.size() + result.unsolicited.size());
+
   constexpr int kReps = 3;  // best-of to damp scheduler noise
   double serial_seconds = 0.0;
   std::string serial_json;
   for (int workers : {1, 2, 4}) {
     double best = -1.0;
+    std::uint64_t best_allocs = 0;
     std::string json;
     for (int rep = 0; rep < kReps; ++rep) {
       core::CampaignResult pass = result;
+      std::uint64_t allocs_before = bench::allocation_count();
       auto start = std::chrono::steady_clock::now();
       pass.correlate(workers);
       json = core::export_campaign_json(*bed, pass, workers);
       double elapsed = seconds_since(start);
-      if (best < 0.0 || elapsed < best) best = elapsed;
+      if (best < 0.0 || elapsed < best) {
+        best = elapsed;
+        best_allocs = bench::allocation_count() - allocs_before;
+      }
     }
+    bench::PerfRun run;
+    run.config = "workers=" + std::to_string(workers);
+    run.wall_ms = best * 1000.0;
+    run.events_per_sec = corpus_records / best;  // records classified+scanned per sec
+    run.peak_rss_kb = bench::peak_rss_kb();
+    run.allocs = best_allocs;
+    report.add(std::move(run));
     if (workers == 1) {
       serial_seconds = best;
       serial_json = json;
@@ -70,5 +94,6 @@ int main() {
       "\n(speedup needs idle cores: classification runs seq-group partitions\n"
       " and the table scans run per-worker chunks concurrently; the canonical\n"
       " sort and partial merges are the serial fraction)\n");
+  report.write();
   return 0;
 }

@@ -9,10 +9,12 @@
 // count.
 #include <chrono>
 #include <cstdio>
+#include <string>
 
 #include "core/campaign.h"
 #include "core/campaign_engine.h"
 #include "core/testbed.h"
+#include "harness.h"
 #include "shadow/profiles.h"
 
 using namespace shadowprobe;
@@ -40,6 +42,14 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 int main() {
   std::printf("== Shard scaling: campaign wall-clock vs shard count ==\n\n");
+  bench::PerfReport report("shard_scaling");
+  {
+    topo::TopologyConfig topo = bench_config().topology;
+    report.set_context("global_vps=" + std::to_string(topo.global_vps) +
+                       ",cn_vps=" + std::to_string(topo.cn_vps) +
+                       ",web_sites=" + std::to_string(topo.web_sites) +
+                       ",seed=" + std::to_string(topo.seed));
+  }
 
   double serial_seconds;
   std::size_t serial_decoys;
@@ -47,12 +57,20 @@ int main() {
     auto bed = core::Testbed::create(bench_config());
     auto deployment = shadow::deploy_standard_exhibitors(*bed, shadow::ShadowConfig{});
     core::Campaign campaign(*bed, core::CampaignConfig{});
+    std::uint64_t allocs_before = bench::allocation_count();
     auto start = std::chrono::steady_clock::now();
     campaign.run();
     serial_seconds = seconds_since(start);
     serial_decoys = campaign.ledger().decoy_count();
     std::printf("  serial    %7.2fs  %zu decoys, %zu hits\n", serial_seconds,
                 serial_decoys, bed->logbook().size());
+    bench::PerfRun run;
+    run.config = "serial";
+    run.wall_ms = serial_seconds * 1000.0;
+    run.events_per_sec = static_cast<double>(bed->loop().processed()) / serial_seconds;
+    run.peak_rss_kb = bench::peak_rss_kb();
+    run.allocs = bench::allocation_count() - allocs_before;
+    report.add(std::move(run));
   }
 
   double one_shard_seconds = serial_seconds;
@@ -62,9 +80,17 @@ int main() {
   for (int shards : {1, 2, 4}) {
     core::CampaignEngine engine(bench_config(), core::CampaignConfig{}, shards,
                                 exhibitors());
+    std::uint64_t allocs_before = bench::allocation_count();
     auto start = std::chrono::steady_clock::now();
     core::CampaignResult result = engine.run();
     double elapsed = seconds_since(start);
+    bench::PerfRun run;
+    run.config = "shards=" + std::to_string(shards);
+    run.wall_ms = elapsed * 1000.0;
+    run.events_per_sec = static_cast<double>(engine.events_processed()) / elapsed;
+    run.peak_rss_kb = bench::peak_rss_kb();
+    run.allocs = bench::allocation_count() - allocs_before;
+    report.add(std::move(run));
     if (shards == 1) {
       one_shard_seconds = elapsed;
       reference_decoys = result.ledger.decoy_count();
@@ -81,5 +107,6 @@ int main() {
   std::printf(
       "\n(speedup needs idle cores: each shard runs its VP partition on its own\n"
       " worker thread; screening + the Phase-II barrier are the serial part)\n");
+  report.write();
   return 0;
 }

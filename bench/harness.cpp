@@ -1,6 +1,12 @@
 #include "harness.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace shadowprobe::bench {
 
@@ -32,6 +38,49 @@ void paper_line(const std::string& what, const std::string& paper,
                 const std::string& measured) {
   std::printf("  %-52s paper: %-14s measured: %s\n", what.c_str(), paper.c_str(),
               measured.c_str());
+}
+
+long peak_rss_kb() noexcept {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<long>(usage.ru_maxrss / 1024);  // macOS reports bytes
+#else
+  return static_cast<long>(usage.ru_maxrss);  // Linux reports KiB
+#endif
+#else
+  return 0;
+#endif
+}
+
+void PerfReport::write() const {
+  const char* dir = std::getenv("SHADOWPROBE_BENCH_DIR");
+  std::string path = std::string(dir != nullptr && *dir != '\0' ? dir : ".") +
+                     "/BENCH_" + topic_ + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "perf: cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"schema\": 1,\n", topic_.c_str());
+  if (!context_.empty()) {
+    std::fprintf(out, "  \"context\": \"%s\",\n", context_.c_str());
+  }
+  std::fprintf(out, "  \"runs\": [\n");
+  for (std::size_t i = 0; i < runs_.size(); ++i) {
+    const PerfRun& run = runs_[i];
+    std::fprintf(out,
+                 "    {\"config\": \"%s\", \"wall_ms\": %.3f, "
+                 "\"events_per_sec\": %.1f, \"peak_rss_kb\": %ld, "
+                 "\"allocs\": %llu}%s\n",
+                 run.config.c_str(), run.wall_ms, run.events_per_sec, run.peak_rss_kb,
+                 static_cast<unsigned long long>(run.allocs),
+                 i + 1 < runs_.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("perf: wrote %s (%zu runs)\n", path.c_str(), runs_.size());
 }
 
 }  // namespace shadowprobe::bench

@@ -1,0 +1,181 @@
+// Pooled allocation primitives for the simulator's per-packet hot paths.
+//
+// Three tools, all single-threaded by design (each shard replica owns its
+// own instances; nothing here is shared across shard worker threads):
+//
+//   BumpArena   chunked bump allocator with O(1) alloc and bulk reset —
+//               backs stable string storage (the DNS label intern table).
+//   BufferPool  recycles Bytes (std::vector<uint8_t>) capacity so each
+//               simulated packet copy reuses a previously-grown buffer
+//               instead of growing a fresh one (sim::Network payload copies,
+//               sim::TcpStack segment encodes).
+//   FixedPool   freelist of fixed-size blocks for out-of-line callable
+//               storage (common/small_fn.h spill blocks).
+//
+// Determinism: pools only recycle *capacity*, never contents, and no pool
+// decision ever feeds an RNG draw or an output ordering — a pooled run is
+// behaviourally identical to a heap-allocating run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace shadowprobe {
+
+/// Chunked bump allocator. Allocations are never individually freed;
+/// reset() recycles every chunk at once (keeping the capacity).
+class BumpArena {
+ public:
+  explicit BumpArena(std::size_t chunk_bytes = 64 * 1024) : chunk_bytes_(chunk_bytes) {}
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  /// Aligned raw storage; alignment must be a power of two.
+  void* allocate(std::size_t size, std::size_t align = alignof(std::max_align_t)) {
+    std::size_t offset = (cursor_ + align - 1) & ~(align - 1);
+    if (chunk_ >= chunks_.size() || offset + size > chunks_[chunk_].size) {
+      next_chunk(size + align);
+      offset = (cursor_ + align - 1) & ~(align - 1);
+    }
+    cursor_ = offset + size;
+    ++allocations_;
+    return chunks_[chunk_].data.get() + offset;
+  }
+
+  /// Copies `s` into the arena; the returned view lives until reset().
+  std::string_view store(std::string_view s) {
+    if (s.empty()) return {};
+    char* p = static_cast<char*>(allocate(s.size(), 1));
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  /// Recycles all chunks without releasing their memory.
+  void reset() noexcept {
+    chunk_ = 0;
+    cursor_ = 0;
+    allocations_ = 0;
+  }
+
+  [[nodiscard]] std::size_t allocated_chunks() const noexcept { return chunks_.size(); }
+  [[nodiscard]] std::uint64_t allocations() const noexcept { return allocations_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void next_chunk(std::size_t at_least) {
+    if (chunk_ + 1 < chunks_.size() && chunks_[chunk_ + 1].size >= at_least) {
+      ++chunk_;  // reset()-recycled chunk
+      cursor_ = 0;
+      return;
+    }
+    std::size_t size = std::max(chunk_bytes_, at_least);
+    Chunk chunk{std::make_unique<std::byte[]>(size), size};
+    if (chunks_.empty() || chunk_ + 1 >= chunks_.size()) {
+      chunks_.push_back(std::move(chunk));
+      chunk_ = chunks_.size() - 1;
+    } else {
+      chunks_.insert(chunks_.begin() + static_cast<std::ptrdiff_t>(chunk_) + 1,
+                     std::move(chunk));
+      ++chunk_;
+    }
+    cursor_ = 0;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;   // index of the chunk currently bumped into
+  std::size_t cursor_ = 0;  // bump offset inside chunks_[chunk_]
+  std::uint64_t allocations_ = 0;
+};
+
+/// Recycles Bytes capacity: acquire() hands back a cleared buffer with the
+/// largest capacity seen so far, release() returns it. Per-packet payload
+/// copies amortize to zero heap traffic once the pool is warm.
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t max_pooled = 256) : max_pooled_(max_pooled) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  [[nodiscard]] Bytes acquire() {
+    if (free_.empty()) return Bytes{};
+    Bytes buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();
+    ++reuses_;
+    return buf;
+  }
+
+  /// Convenience: acquire + copy in one step.
+  [[nodiscard]] Bytes acquire_copy(BytesView data) {
+    Bytes buf = acquire();
+    buf.assign(data.begin(), data.end());
+    return buf;
+  }
+
+  /// Returns a buffer's capacity to the pool (contents are discarded).
+  void release(Bytes&& buf) noexcept {
+    if (buf.capacity() == 0 || free_.size() >= max_pooled_) return;
+    free_.push_back(std::move(buf));
+  }
+
+  [[nodiscard]] std::size_t pooled() const noexcept { return free_.size(); }
+  [[nodiscard]] std::uint64_t reuses() const noexcept { return reuses_; }
+
+ private:
+  std::vector<Bytes> free_;
+  std::size_t max_pooled_;
+  std::uint64_t reuses_ = 0;
+};
+
+/// Freelist of fixed-size blocks carved from BumpArena chunks. O(1)
+/// allocate/deallocate; all blocks die with the pool.
+template <std::size_t BlockSize, std::size_t Align = alignof(std::max_align_t)>
+class FixedPool {
+ public:
+  [[nodiscard]] void* allocate() {
+    if (head_ != nullptr) {
+      void* block = head_;
+      head_ = head_->next;
+      ++live_;
+      return block;
+    }
+    ++live_;
+    return arena_.allocate(BlockSize, Align);
+  }
+
+  void deallocate(void* block) noexcept {
+    auto* node = static_cast<FreeNode*>(block);
+    node->next = head_;
+    head_ = node;
+    --live_;
+  }
+
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static_assert(BlockSize >= sizeof(FreeNode));
+
+  BumpArena arena_;
+  FreeNode* head_ = nullptr;
+  std::size_t live_ = 0;
+};
+
+}  // namespace shadowprobe

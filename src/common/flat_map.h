@@ -1,0 +1,282 @@
+// Open-addressing hash containers for the simulator's hot lookup paths.
+//
+// FlatMap/FlatSet replace std::map where the campaign does per-packet or
+// per-decoy lookups (ledger seq/path indexes, in-flight decoy tables, TCP
+// connection tables, link-latency lookups): one contiguous slot array,
+// power-of-two capacity, linear probing, no per-node allocation and no
+// pointer chasing.
+//
+// Determinism rules (see DESIGN.md "Allocation & interning strategy"):
+//   - All hashing goes through FlatHash specializations built on fixed
+//     integer mixers — never std::hash — so slot order is identical across
+//     platforms and runs.
+//   - Slot order is a function of the insert/erase sequence only. It is NOT
+//     insertion order and NOT key order; callers that feed iteration into
+//     any output must sort first (sorted_items() does both steps).
+//
+// Erase uses backward-shift deletion (no tombstones), so lookup cost never
+// degrades with churn and table state is again a pure function of the
+// live-key set plus capacity history.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace shadowprobe {
+
+/// splitmix64 finisher: the bit mixer behind every flat-container hash.
+constexpr std::uint64_t mix_u64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Default hash: integral and enum keys, plus anything convertible via a
+/// member `value()` (net::Ipv4Addr) or a `flat_hash()` free/member hook.
+template <typename K, typename Enable = void>
+struct FlatHash {
+  std::uint64_t operator()(const K& key) const noexcept {
+    if constexpr (std::is_enum_v<K>) {
+      return mix_u64(static_cast<std::uint64_t>(key));
+    } else if constexpr (std::is_integral_v<K>) {
+      return mix_u64(static_cast<std::uint64_t>(key));
+    } else if constexpr (std::is_pointer_v<K>) {
+      return mix_u64(reinterpret_cast<std::uintptr_t>(key));
+    } else if constexpr (requires(const K& k) { k.flat_hash(); }) {
+      // Composite keys expose a pre-mixed 64-bit digest (e.g. sim::ConnKey).
+      return mix_u64(key.flat_hash());
+    } else {
+      // Types exposing a stable integral identity (e.g. net::Ipv4Addr).
+      return mix_u64(static_cast<std::uint64_t>(key.value()));
+    }
+  }
+};
+
+template <typename A, typename B>
+struct FlatHash<std::pair<A, B>> {
+  std::uint64_t operator()(const std::pair<A, B>& p) const noexcept {
+    std::uint64_t h = FlatHash<A>{}(p.first);
+    return mix_u64(h ^ (FlatHash<B>{}(p.second) + 0x9e3779b97f4a7c15ULL + (h << 6)));
+  }
+};
+
+template <typename K, typename V, typename Hash = FlatHash<K>,
+          typename Eq = std::equal_to<K>>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+
+  FlatMap() = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    used_.clear();
+    size_ = 0;
+  }
+
+  /// Pre-sizes the table for `n` live keys without rehash-on-grow.
+  void reserve(std::size_t n) {
+    std::size_t want = required_buckets(n);
+    if (want > slots_.size()) rehash(want);
+  }
+
+  V& operator[](const K& key) {
+    std::size_t idx = find_or_insert(key);
+    return slots_[idx].second;
+  }
+
+  template <typename... Args>
+  std::pair<V*, bool> emplace(const K& key, Args&&... args) {
+    std::size_t before = size_;
+    std::size_t idx = find_or_insert(key, std::forward<Args>(args)...);
+    return {&slots_[idx].second, size_ != before};
+  }
+
+  void insert_or_assign(const K& key, V value) {
+    std::size_t before = size_;
+    std::size_t idx = find_or_insert(key, std::move(value));
+    if (size_ == before) slots_[idx].second = std::move(value);
+  }
+
+  [[nodiscard]] V* find(const K& key) noexcept {
+    std::size_t idx = find_index(key);
+    return idx == npos ? nullptr : &slots_[idx].second;
+  }
+  [[nodiscard]] const V* find(const K& key) const noexcept {
+    std::size_t idx = find_index(key);
+    return idx == npos ? nullptr : &slots_[idx].second;
+  }
+  [[nodiscard]] bool contains(const K& key) const noexcept {
+    return find_index(key) != npos;
+  }
+  [[nodiscard]] std::size_t count(const K& key) const noexcept {
+    return contains(key) ? 1 : 0;
+  }
+
+  [[nodiscard]] V& at(const K& key) {
+    V* v = find(key);
+    if (v == nullptr) throw std::out_of_range("FlatMap::at: no such key");
+    return *v;
+  }
+  [[nodiscard]] const V& at(const K& key) const {
+    const V* v = find(key);
+    if (v == nullptr) throw std::out_of_range("FlatMap::at: no such key");
+    return *v;
+  }
+
+  /// Removes `key`; returns the number of erased entries (0 or 1).
+  /// Backward-shift deletion keeps probe chains tombstone-free.
+  std::size_t erase(const K& key) {
+    std::size_t idx = find_index(key);
+    if (idx == npos) return 0;
+    std::size_t mask = slots_.size() - 1;
+    std::size_t hole = idx;
+    std::size_t probe = (hole + 1) & mask;
+    while (used_[probe]) {
+      std::size_t home = bucket_of(slots_[probe].first);
+      // The entry at `probe` may shift into the hole only if its home
+      // bucket is outside the (home..hole] arc — i.e. the hole does not cut
+      // its probe chain.
+      std::size_t dist_home_hole = (hole - home) & mask;
+      std::size_t dist_home_probe = (probe - home) & mask;
+      if (dist_home_hole <= dist_home_probe) {
+        slots_[hole] = std::move(slots_[probe]);
+        hole = probe;
+      }
+      probe = (probe + 1) & mask;
+    }
+    slots_[hole] = value_type{};
+    used_[hole] = 0;
+    --size_;
+    return 1;
+  }
+
+  /// Applies `fn(key, value)` over live slots in table order (deterministic,
+  /// but NOT key order — sort before feeding any output).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) fn(slots_[i].first, slots_[i].second);
+    }
+  }
+
+  /// Live (key, value) pairs sorted ascending by key — the canonical view
+  /// for anything ordering-sensitive (JSON, reports, merges).
+  [[nodiscard]] std::vector<value_type> sorted_items() const {
+    std::vector<value_type> items;
+    items.reserve(size_);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (used_[i]) items.push_back(slots_[i]);
+    }
+    std::sort(items.begin(), items.end(),
+              [](const value_type& a, const value_type& b) { return a.first < b.first; });
+    return items;
+  }
+
+ private:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kMinBuckets = 8;
+
+  static std::size_t required_buckets(std::size_t live) {
+    std::size_t want = kMinBuckets;
+    // Max load factor 3/4.
+    while (want * 3 < live * 4) want <<= 1;
+    return want;
+  }
+
+  [[nodiscard]] std::size_t bucket_of(const K& key) const noexcept {
+    return static_cast<std::size_t>(Hash{}(key)) & (slots_.size() - 1);
+  }
+
+  [[nodiscard]] std::size_t find_index(const K& key) const noexcept {
+    if (slots_.empty()) return npos;
+    std::size_t mask = slots_.size() - 1;
+    std::size_t idx = bucket_of(key);
+    while (used_[idx]) {
+      if (Eq{}(slots_[idx].first, key)) return idx;
+      idx = (idx + 1) & mask;
+    }
+    return npos;
+  }
+
+  template <typename... Args>
+  std::size_t find_or_insert(const K& key, Args&&... args) {
+    if (slots_.empty() || (size_ + 1) * 4 > slots_.size() * 3) {
+      rehash(std::max(kMinBuckets, slots_.size() * 2));
+    }
+    std::size_t mask = slots_.size() - 1;
+    std::size_t idx = bucket_of(key);
+    while (used_[idx]) {
+      if (Eq{}(slots_[idx].first, key)) return idx;
+      idx = (idx + 1) & mask;
+    }
+    slots_[idx] = value_type{key, V{std::forward<Args>(args)...}};
+    used_[idx] = 1;
+    ++size_;
+    return idx;
+  }
+
+  void rehash(std::size_t buckets) {
+    std::vector<value_type> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    slots_.assign(buckets, value_type{});
+    used_.assign(buckets, 0);
+    size_ = 0;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (old_used[i]) {
+        find_or_insert(old_slots[i].first, std::move(old_slots[i].second));
+      }
+    }
+  }
+
+  std::vector<value_type> slots_;
+  std::vector<std::uint8_t> used_;  // parallel occupancy flags
+  std::size_t size_ = 0;
+};
+
+/// FlatMap-backed set: same probing, same determinism rules.
+template <typename K, typename Hash = FlatHash<K>, typename Eq = std::equal_to<K>>
+class FlatSet {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+  void clear() { map_.clear(); }
+  void reserve(std::size_t n) { map_.reserve(n); }
+
+  /// Returns true when `key` was newly inserted.
+  bool insert(const K& key) { return map_.emplace(key).second; }
+  std::size_t erase(const K& key) { return map_.erase(key); }
+  [[nodiscard]] bool contains(const K& key) const noexcept { return map_.contains(key); }
+  [[nodiscard]] std::size_t count(const K& key) const noexcept { return map_.count(key); }
+
+  /// Visits every key in table order (NOT sorted — never let this order
+  /// reach output; fold into an ordered container or use sorted_keys()).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    map_.for_each([&fn](const K& key, const Empty&) { fn(key); });
+  }
+
+  /// Keys sorted ascending (the canonical, ordering-safe view).
+  [[nodiscard]] std::vector<K> sorted_keys() const {
+    std::vector<K> keys;
+    keys.reserve(map_.size());
+    map_.for_each([&keys](const K& key, const Empty&) { keys.push_back(key); });
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+ private:
+  struct Empty {};
+  FlatMap<K, Empty, Hash, Eq> map_;
+};
+
+}  // namespace shadowprobe

@@ -1,0 +1,125 @@
+// Small-buffer-optimized move-only callable.
+//
+// std::function's inline buffer (16 bytes on libstdc++) cannot hold the
+// simulator's per-hop delivery closures (~56 bytes: node id + IPv4 header +
+// payload vector), so every scheduled event paid a malloc/free pair — the
+// single largest allocation source in a campaign (one per packet hop,
+// ~8.4M per simulated day at default scale). SmallFn inlines up to
+// `InlineSize` bytes of captures directly in the event-queue entry and only
+// heap-allocates for oversized callables.
+//
+// Move-only on purpose: event actions are scheduled once and invoked once;
+// nothing ever copies them, and dropping copyability admits move-only
+// captures std::function would reject.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace shadowprobe {
+
+template <typename Sig, std::size_t InlineSize = 64>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t InlineSize>
+class SmallFn<R(Args...), InlineSize> {
+ public:
+  SmallFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& fn) {  // NOLINT(google-explicit-constructor): callable wrapper
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= InlineSize && alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      vt_ = &inline_vtable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(fn)));
+      vt_ = &boxed_vtable<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(buf_, other.buf_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  R operator()(Args... args) {
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    // Move-constructs *dst from *src, then destroys *src (relocation): the
+    // single hook heap sift-up/down needs, fused so one indirect call covers
+    // both halves of a move.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr VTable inline_vtable{
+      [](void* buf, Args&&... args) -> R {
+        return (*std::launder(reinterpret_cast<Fn*>(buf)))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        if constexpr (std::is_trivially_copyable_v<Fn>) {
+          std::memcpy(dst, src, sizeof(Fn));
+        } else {
+          Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+          ::new (dst) Fn(std::move(*from));
+          from->~Fn();
+        }
+      },
+      [](void* buf) noexcept { std::launder(reinterpret_cast<Fn*>(buf))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable boxed_vtable{
+      [](void* buf, Args&&... args) -> R {
+        return (**std::launder(reinterpret_cast<Fn**>(buf)))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept { std::memcpy(dst, src, sizeof(Fn*)); },
+      [](void* buf) noexcept { delete *std::launder(reinterpret_cast<Fn**>(buf)); },
+  };
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) std::byte buf_[InlineSize];
+};
+
+}  // namespace shadowprobe

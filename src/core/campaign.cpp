@@ -14,6 +14,8 @@ Campaign::Campaign(Testbed& bed, CampaignConfig config)
   // per-VP stream is *derived* from the VP id (not forked in construction
   // order) so a shard that builds agents for a subset of VPs still gives
   // each one the identical stream.
+  vps_base_ = bed_.topology().vantage_points().data();
+  agents_.reserve(bed_.topology().vantage_points().size());
   for (const auto& vp : bed_.topology().vantage_points()) {
     VpAgent::Hooks hooks;
     hooks.on_dest_response = [this](std::uint32_t seq, SimTime when) {
@@ -31,7 +33,6 @@ Campaign::Campaign(Testbed& bed, CampaignConfig config)
     agent->bind(bed_.net());
     agent->set_dns_transport(config_.dns_transport, bed_.oblivious_proxy_addr());
     agent->set_tls_ech(config_.tls_decoys_use_ech);
-    agent_index_[&vp] = agent.get();
     agents_.push_back(std::move(agent));
   }
   // Control server for the TTL canary, hosted next to the US honeypot.
@@ -44,7 +45,11 @@ Campaign::Campaign(Testbed& bed, CampaignConfig config)
 
 Campaign::~Campaign() = default;
 
-VpAgent* Campaign::agent_for(const topo::VantagePoint* vp) { return agent_index_.at(vp); }
+VpAgent* Campaign::agent_for(const topo::VantagePoint* vp) {
+  // One agent per VP, built in vantage_points() order: index by pointer
+  // arithmetic against the topology's VP array.
+  return agents_[static_cast<std::size_t>(vp - vps_base_)].get();
+}
 
 void Campaign::run() {
   if (config_.screening) {
@@ -96,7 +101,7 @@ void Campaign::run_screening() {
 
   for (const auto& vp : vps) {
     ScreeningVerdict verdict =
-        screen_vp(vp, *control_server_, intercepted_vps_.count(&vp) > 0);
+        screen_vp(vp, *control_server_, intercepted_vps_.contains(&vp));
     switch (verdict) {
       case ScreeningVerdict::kResidential:
         ++screening_.rejected_residential;
@@ -122,6 +127,11 @@ void Campaign::run_screening() {
 
 void Campaign::schedule_emissions(std::size_t first, std::size_t last) {
   const auto& vps = bed_.topology().vantage_points();
+  // The plan fixes the emission count, so size the queue, the decoy store
+  // and the hit log once instead of regrowing them mid-campaign.
+  bed_.loop().reserve(bed_.loop().pending() + (last - first));
+  ledger_.reserve_decoys(last - first);
+  bed_.logbook().reserve(last - first);
   for (std::size_t i = first; i < last; ++i) {
     const PlanEmission& emission = plan_.emissions()[i];
     const PathRecord& path = plan_.path(emission.path_id);

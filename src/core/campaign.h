@@ -20,10 +20,10 @@
 // every analyzer consumes.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "core/campaign_config.h"
 #include "core/campaign_plan.h"
 #include "core/campaign_result.h"
@@ -60,12 +60,12 @@ class Campaign {
     return findings_;
   }
   /// seq -> ICMP-revealed hop address (Phase II raw data).
-  [[nodiscard]] const std::map<std::uint32_t, net::Ipv4Addr>& hop_log() const noexcept {
+  [[nodiscard]] const FlatMap<std::uint32_t, net::Ipv4Addr>& hop_log() const noexcept {
     return hop_log_;
   }
   /// Decoys whose VP received more than one response (request replication;
   /// excluded from shadowing per Appendix E).
-  [[nodiscard]] const std::set<std::uint32_t>& replicated_seqs() const noexcept {
+  [[nodiscard]] const FlatSet<std::uint32_t>& replicated_seqs() const noexcept {
     return replicated_seqs_;
   }
 
@@ -87,12 +87,12 @@ class Campaign {
   DecoyLedger ledger_;
   ScreeningReport screening_;
   std::vector<std::unique_ptr<VpAgent>> agents_;
-  std::map<const topo::VantagePoint*, VpAgent*> agent_index_;
+  const topo::VantagePoint* vps_base_ = nullptr;  // agents_[i] serves vps_base_[i]
   std::vector<const topo::VantagePoint*> active_vps_;
-  std::map<std::uint32_t, net::Ipv4Addr> hop_log_;
-  std::map<std::uint32_t, int> response_counts_;
-  std::set<std::uint32_t> replicated_seqs_;
-  std::set<const topo::VantagePoint*> intercepted_vps_;
+  FlatMap<std::uint32_t, net::Ipv4Addr> hop_log_;
+  FlatMap<std::uint32_t, int> response_counts_;
+  FlatSet<std::uint32_t> replicated_seqs_;
+  FlatSet<const topo::VantagePoint*> intercepted_vps_;
   std::vector<UnsolicitedRequest> unsolicited_;
   std::vector<ObserverFinding> findings_;
   std::unique_ptr<ControlServer> control_server_;

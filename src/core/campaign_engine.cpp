@@ -92,11 +92,12 @@ std::vector<HoneypotHit> CampaignEngine::merged_hits() const {
   return hits;
 }
 
-std::set<std::uint32_t> CampaignEngine::merged_replicated() const {
-  std::set<std::uint32_t> merged;
+FlatSet<std::uint32_t> CampaignEngine::merged_replicated() const {
+  // Membership-only downstream (the correlator's replication exclusion), so
+  // the union can stay an unordered flat set.
+  FlatSet<std::uint32_t> merged;
   for (const auto& runner : runners_) {
-    const auto& shard_set = runner->replicated_seqs();
-    merged.insert(shard_set.begin(), shard_set.end());
+    runner->replicated_seqs().for_each([&merged](std::uint32_t seq) { merged.insert(seq); });
   }
   return merged;
 }
@@ -158,11 +159,10 @@ CampaignResult CampaignEngine::run() {
       // skipped; the union is the re-plan work list.
       std::set<std::uint32_t> cancelled;
       for (const auto& runner : runners_) {
-        for (const auto& [vp_index, when] : runner->quarantined_vps()) {
-          quarantined.insert(vp_index);
-        }
-        const auto& shard_cancelled = runner->cancelled_seqs();
-        cancelled.insert(shard_cancelled.begin(), shard_cancelled.end());
+        runner->quarantined_vps().for_each(
+            [&quarantined](std::size_t vp_index, SimTime) { quarantined.insert(vp_index); });
+        runner->cancelled_seqs().for_each(
+            [&cancelled](std::uint32_t seq) { cancelled.insert(seq); });
       }
       rescheduled = plan_.reschedule_quarantined(cancelled, quarantined, active, barrier,
                                                  config_.phase2_window);
@@ -174,7 +174,7 @@ CampaignResult CampaignEngine::run() {
     }
     DecoyLedger interim = merged_ledger();
     std::vector<HoneypotHit> hits = merged_hits();
-    std::set<std::uint32_t> replicated = merged_replicated();
+    FlatSet<std::uint32_t> replicated = merged_replicated();
     auto so_far = classify_unsolicited(interim, hits, &replicated,
                                        config_.analysis_workers);
     auto problematic = Correlator::problematic_paths(so_far);
@@ -213,8 +213,11 @@ CampaignResult CampaignEngine::run() {
   out.shard_stats.effective_shards = static_cast<int>(runners_.size());
   out.shard_stats.clamped = requested_shards_ != static_cast<int>(runners_.size());
   for (const auto& runner : runners_) {
-    const auto& shard_hops = runner->hop_log();
-    out.hop_log.insert(shard_hops.begin(), shard_hops.end());
+    // Each seq is owned by exactly one shard, so folding the shards' flat
+    // hop tables into the ordered result map is order-insensitive.
+    runner->hop_log().for_each([&out](std::uint32_t seq, net::Ipv4Addr hop) {
+      out.hop_log.emplace(seq, hop);
+    });
     out.shard_stats.per_shard.push_back(runner->stats());
     out.shard_stats.per_shard_net.push_back(runner->net_counters());
   }

@@ -61,6 +61,12 @@ class CampaignEngine {
   /// Shard 0's replica — the context (geo database, signatures, blocklist,
   /// config) downstream consumers like JSON export read from.
   [[nodiscard]] Testbed& primary() noexcept { return runners_.front()->testbed(); }
+  /// Simulator events processed across every shard's loop (perf reporting).
+  [[nodiscard]] std::uint64_t events_processed() noexcept {
+    std::uint64_t total = 0;
+    for (const auto& runner : runners_) total += runner->testbed().loop().processed();
+    return total;
+  }
 
  private:
   /// Runs `fn` once per shard, on one worker thread per shard, and joins
@@ -70,7 +76,7 @@ class CampaignEngine {
   /// and rebound to the primary replica's VP storage.
   [[nodiscard]] DecoyLedger merged_ledger() const;
   [[nodiscard]] std::vector<HoneypotHit> merged_hits() const;
-  [[nodiscard]] std::set<std::uint32_t> merged_replicated() const;
+  [[nodiscard]] FlatSet<std::uint32_t> merged_replicated() const;
 
   CampaignConfig config_;
   CampaignPlan plan_;

@@ -4,7 +4,7 @@ namespace shadowprobe::core {
 
 std::vector<UnsolicitedRequest> classify_unsolicited(
     const DecoyLedger& ledger, const std::vector<HoneypotHit>& hits,
-    const std::set<std::uint32_t>* replicated_seqs, int workers) {
+    const FlatSet<std::uint32_t>* replicated_seqs, int workers) {
   Correlator correlator(ledger);
   return correlator.classify(hits, replicated_seqs, workers);
 }

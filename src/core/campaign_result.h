@@ -8,11 +8,10 @@
 // the campaign was executed.
 #pragma once
 
-#include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "core/campaign_config.h"
 #include "core/correlator.h"
 #include "core/honeypot.h"
@@ -29,7 +28,7 @@ namespace shadowprobe::core {
 /// partitions on a worker pool; the output is byte-identical to serial.
 [[nodiscard]] std::vector<UnsolicitedRequest> classify_unsolicited(
     const DecoyLedger& ledger, const std::vector<HoneypotHit>& hits,
-    const std::set<std::uint32_t>* replicated_seqs, int workers = 1);
+    const FlatSet<std::uint32_t>* replicated_seqs, int workers = 1);
 
 /// How the campaign was actually executed: the shard count as requested,
 /// the count that ran after clamping to [1, DecoyLedger::kMaxShards], and
@@ -90,8 +89,11 @@ struct CampaignResult {
   std::vector<HoneypotHit> hits;
   std::vector<UnsolicitedRequest> unsolicited;
   std::vector<ObserverFinding> findings;
-  std::map<std::uint32_t, net::Ipv4Addr> hop_log;
-  std::set<std::uint32_t> replicated_seqs;
+  // Key-lookup tables (locator probes hop_log by seq; the correlator tests
+  // replicated membership) — never iterated for output, so flat maps are
+  // safe and an order of magnitude cheaper to build at merge time.
+  FlatMap<std::uint32_t, net::Ipv4Addr> hop_log;
+  FlatSet<std::uint32_t> replicated_seqs;
   ShardExecutionStats shard_stats;
   /// Present exactly when config.faults.enabled() — the null profile leaves
   /// result shape (and thus JSON) byte-identical to a fault-free build.

@@ -19,10 +19,11 @@ bool hit_ptr_canonical_less(const HoneypotHit* a, const HoneypotHit* b) {
 }  // namespace
 
 void Correlator::classify_ordered(const std::vector<const HoneypotHit*>& ordered,
-                                  const std::set<std::uint32_t>* replicated_seqs,
+                                  const FlatSet<std::uint32_t>* replicated_seqs,
                                   std::vector<UnsolicitedRequest>& out) const {
   // Sequence numbers whose solicited resolution has already been seen.
-  std::set<std::uint32_t> resolved_once;
+  // Membership-only (never iterated), so the unordered flat set is safe.
+  FlatSet<std::uint32_t> resolved_once;
   for (const HoneypotHit* hit_ptr : ordered) {
     const HoneypotHit& hit = *hit_ptr;
     if (!hit.decoy) continue;
@@ -48,7 +49,7 @@ void Correlator::classify_ordered(const std::vector<const HoneypotHit*>& ordered
         // decoys aimed at authoritative-only destinations — is unsolicited.
         bool expects_resolution = path.dest_kind == DestKind::kPublicResolver ||
                                   path.dest_kind == DestKind::kSelfBuilt;
-        if (expects_resolution && resolved_once.count(record->id.seq) == 0) {
+        if (expects_resolution && !resolved_once.contains(record->id.seq)) {
           resolved_once.insert(record->id.seq);
         } else {
           unsolicited = true;
@@ -70,7 +71,7 @@ void Correlator::classify_ordered(const std::vector<const HoneypotHit*>& ordered
 
 std::vector<UnsolicitedRequest> Correlator::classify(
     const std::vector<HoneypotHit>& hits,
-    const std::set<std::uint32_t>* replicated_seqs, int workers) const {
+    const FlatSet<std::uint32_t>* replicated_seqs, int workers) const {
   // Restore canonical (time, seq) order if the caller lost it. Criterion
   // (iii) marks the earliest DNS arrival per seq as the solicited
   // resolution; walking an out-of-order logbook (e.g. a multi-shard merge

@@ -28,6 +28,7 @@
 #include <set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "core/honeypot.h"
 #include "core/ledger.h"
 
@@ -66,7 +67,7 @@ class Correlator {
   /// for any worker count.
   [[nodiscard]] std::vector<UnsolicitedRequest> classify(
       const std::vector<HoneypotHit>& hits,
-      const std::set<std::uint32_t>* replicated_seqs = nullptr, int workers = 1) const;
+      const FlatSet<std::uint32_t>* replicated_seqs = nullptr, int workers = 1) const;
 
   /// Path ids with at least one unsolicited request in `requests`.
   [[nodiscard]] static std::set<std::uint32_t> problematic_paths(
@@ -77,7 +78,7 @@ class Correlator {
   /// resolved_once state lives here, so a call must see every hit of every
   /// seq group it is handed.
   void classify_ordered(const std::vector<const HoneypotHit*>& ordered,
-                        const std::set<std::uint32_t>* replicated_seqs,
+                        const FlatSet<std::uint32_t>* replicated_seqs,
                         std::vector<UnsolicitedRequest>& out) const;
 
   const DecoyLedger& ledger_;

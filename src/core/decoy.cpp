@@ -60,7 +60,7 @@ std::optional<DecoyId> decoy_from_name(const net::DnsName& name) {
   const net::DnsName& suffix = experiment_suffix();
   if (!name.is_subdomain_of(suffix)) return std::nullopt;
   if (name.label_count() != suffix.label_count() + 1) return std::nullopt;
-  return decode_decoy_label(name.labels().front());
+  return decode_decoy_label(name.label(0));
 }
 
 std::optional<DecoyId> decoy_from_host(std::string_view host) {

@@ -1,19 +1,26 @@
 #include "core/honeypot.h"
 
-#include <tuple>
-
 #include "net/http.h"
 #include "net/tls.h"
 
 namespace shadowprobe::core {
 
 bool hit_canonical_less(const HoneypotHit& a, const HoneypotHit& b) {
-  auto key = [](const HoneypotHit& h) {
-    return std::make_tuple(h.time, h.domain.str(), static_cast<int>(h.protocol),
-                           h.origin.value(), h.honeypot_addr.value(), h.location,
-                           h.http_method, h.http_target);
-  };
-  return key(a) < key(b);
+  // Allocation-free cascade. This runs inside O(n log n) merge sorts over
+  // every hit of a campaign, so the old make_tuple-of-str() form (two string
+  // materializations per comparison) was a measurable cost. The order is
+  // exactly the old tuple order: time, presentation-form domain
+  // (case-SENSITIVE, matching str() comparison), protocol, origin, honeypot
+  // address, location, HTTP method, HTTP target.
+  if (a.time != b.time) return a.time < b.time;
+  if (int c = a.domain.compare_presentation(b.domain); c != 0) return c < 0;
+  if (a.protocol != b.protocol)
+    return static_cast<int>(a.protocol) < static_cast<int>(b.protocol);
+  if (a.origin != b.origin) return a.origin < b.origin;
+  if (a.honeypot_addr != b.honeypot_addr) return a.honeypot_addr < b.honeypot_addr;
+  if (int c = a.location.compare(b.location); c != 0) return c < 0;
+  if (int c = a.http_method.compare(b.http_method); c != 0) return c < 0;
+  return a.http_target < b.http_target;
 }
 
 void HoneypotLogbook::add(HoneypotHit hit) {

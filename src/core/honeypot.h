@@ -54,6 +54,13 @@ class HoneypotLogbook {
   void add(HoneypotHit hit);
   void add_observer(Observer observer) { observers_.push_back(std::move(observer)); }
 
+  /// Pre-sizes the hit log (callers pass a plan-derived expectation, e.g.
+  /// the scheduled emission count — a floor, since shadowed paths hit more
+  /// than once).
+  void reserve(std::size_t expected_hits) {
+    hits_.reserve(hits_.size() + expected_hits);
+  }
+
   [[nodiscard]] const std::vector<HoneypotHit>& hits() const noexcept { return hits_; }
   [[nodiscard]] std::size_t size() const noexcept { return hits_.size(); }
 

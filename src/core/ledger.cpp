@@ -11,13 +11,13 @@ void DecoyLedger::set_shard(std::uint32_t shard_index) {
 
 std::uint32_t DecoyLedger::alloc_path_id() {
   std::uint32_t id = shard_tag_ | (next_local_path_++ & kLocalIdMask);
-  while (path_index_.count(id) > 0) id = shard_tag_ | (next_local_path_++ & kLocalIdMask);
+  while (path_index_.contains(id)) id = shard_tag_ | (next_local_path_++ & kLocalIdMask);
   return id;
 }
 
 std::uint32_t DecoyLedger::alloc_seq() {
   std::uint32_t seq = shard_tag_ | (next_local_seq_++ & kLocalIdMask);
-  while (seq_index_.count(seq) > 0) seq = shard_tag_ | (next_local_seq_++ & kLocalIdMask);
+  while (seq_index_.contains(seq)) seq = shard_tag_ | (next_local_seq_++ & kLocalIdMask);
   return seq;
 }
 
@@ -29,6 +29,8 @@ std::uint32_t DecoyLedger::add_path(PathRecord path) {
 }
 
 void DecoyLedger::seed_paths(const std::vector<PathRecord>& paths) {
+  paths_.reserve(paths_.size() + paths.size());
+  path_index_.reserve(paths_.size() + paths.size());
   for (const PathRecord& path : paths) {
     path_index_[path.path_id] = paths_.size();
     paths_.push_back(path);
@@ -77,13 +79,13 @@ DecoyRecord& DecoyLedger::create_preassigned(std::uint32_t seq, std::uint32_t pa
 }
 
 DecoyRecord* DecoyLedger::by_seq(std::uint32_t seq) {
-  auto it = seq_index_.find(seq);
-  return it == seq_index_.end() ? nullptr : &decoys_[it->second];
+  const std::size_t* idx = seq_index_.find(seq);
+  return idx == nullptr ? nullptr : &decoys_[*idx];
 }
 
 const DecoyRecord* DecoyLedger::by_seq(std::uint32_t seq) const {
-  auto it = seq_index_.find(seq);
-  return it == seq_index_.end() ? nullptr : &decoys_[it->second];
+  const std::size_t* idx = seq_index_.find(seq);
+  return idx == nullptr ? nullptr : &decoys_[*idx];
 }
 
 void DecoyLedger::mark_response(std::uint32_t seq, SimTime when) {
@@ -98,14 +100,14 @@ void DecoyLedger::mark_response(std::uint32_t seq, SimTime when) {
 DecoyLedger::MergeStats DecoyLedger::merge(const DecoyLedger& other) {
   MergeStats stats;
   // Path table first: remember per-id remaps so decoys can follow.
-  std::map<std::uint32_t, std::uint32_t> path_remap;
+  FlatMap<std::uint32_t, std::uint32_t> path_remap;
   for (const PathRecord& theirs : other.paths_) {
-    auto it = path_index_.find(theirs.path_id);
-    if (it != path_index_.end()) {
-      if (paths_[it->second].same_path(theirs)) continue;  // identical seeded path
+    const std::size_t* mine = path_index_.find(theirs.path_id);
+    if (mine != nullptr) {
+      if (paths_[*mine].same_path(theirs)) continue;  // identical seeded path
       // Collision with a different path: find the smallest free id.
       std::uint32_t fresh = theirs.path_id;
-      while (path_index_.count(fresh) > 0) ++fresh;
+      while (path_index_.contains(fresh)) ++fresh;
       path_remap[theirs.path_id] = fresh;
       ++stats.remapped_paths;
       PathRecord copy = theirs;
@@ -120,14 +122,14 @@ DecoyLedger::MergeStats DecoyLedger::merge(const DecoyLedger& other) {
   }
   for (const DecoyRecord& theirs : other.decoys_) {
     DecoyRecord copy = theirs;
-    if (auto remap = path_remap.find(copy.path_id); remap != path_remap.end()) {
-      copy.path_id = remap->second;
+    if (const std::uint32_t* remap = path_remap.find(copy.path_id)) {
+      copy.path_id = *remap;
     }
-    auto it = seq_index_.find(copy.id.seq);
-    if (it != seq_index_.end()) {
-      if (decoys_[it->second].id == copy.id) continue;  // exact duplicate
+    const std::size_t* mine = seq_index_.find(copy.id.seq);
+    if (mine != nullptr) {
+      if (decoys_[*mine].id == copy.id) continue;  // exact duplicate
       std::uint32_t fresh = copy.id.seq;
-      while (seq_index_.count(fresh) > 0) ++fresh;
+      while (seq_index_.contains(fresh)) ++fresh;
       // The as-emitted domain is kept: the old label already left the wire.
       copy.id.seq = fresh;
       ++stats.remapped_seqs;
@@ -154,6 +156,8 @@ void DecoyLedger::finalize() {
             [](const DecoyRecord& a, const DecoyRecord& b) { return a.id.seq < b.id.seq; });
   path_index_.clear();
   seq_index_.clear();
+  path_index_.reserve(paths_.size());
+  seq_index_.reserve(decoys_.size());
   for (std::size_t i = 0; i < paths_.size(); ++i) path_index_[paths_[i].path_id] = i;
   for (std::size_t i = 0; i < decoys_.size(); ++i) seq_index_[decoys_[i].id.seq] = i;
 }

@@ -18,10 +18,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/time.h"
 #include "core/decoy.h"
 #include "topo/topology.h"
@@ -88,6 +88,13 @@ class DecoyLedger {
   /// Installs a plan-built path table whose path_ids are already assigned.
   void seed_paths(const std::vector<PathRecord>& paths);
 
+  /// Pre-sizes the decoy store and its seq index for a plan-known number of
+  /// upcoming emissions (avoids regrowth while records are being appended).
+  void reserve_decoys(std::size_t additional) {
+    decoys_.reserve(decoys_.size() + additional);
+    seq_index_.reserve(decoys_.size() + additional);
+  }
+
   /// Creates a decoy record; allocates the sequence number and builds the
   /// identifier/domain. The returned reference is stable until the next add.
   DecoyRecord& create(std::uint32_t path_id, SimTime now, net::Ipv4Addr vp_addr,
@@ -133,8 +140,10 @@ class DecoyLedger {
 
   std::vector<PathRecord> paths_;
   std::vector<DecoyRecord> decoys_;
-  std::map<std::uint32_t, std::size_t> path_index_;  // path_id -> index in paths_
-  std::map<std::uint32_t, std::size_t> seq_index_;   // seq -> index in decoys_
+  // Pure key-lookup indexes (never iterated — canonical order lives in the
+  // sorted vectors): open-addressing maps, probed once per response packet.
+  FlatMap<std::uint32_t, std::size_t> path_index_;  // path_id -> index in paths_
+  FlatMap<std::uint32_t, std::size_t> seq_index_;   // seq -> index in decoys_
   std::uint32_t shard_tag_ = 0;  // (shard+1) << kShardShift, or 0 untagged
   std::uint32_t next_local_path_ = 0;
   std::uint32_t next_local_seq_ = 0;

@@ -59,8 +59,9 @@ std::vector<ObserverFinding> ObserverLocator::locate(
       // The decoy that expired exactly at the observer hop revealed the
       // device address via ICMP (observers need not originate unsolicited
       // requests themselves, so source addresses cannot reveal them).
-      auto hop = hop_log_.find(state.trigger_seq);
-      if (hop != hop_log_.end()) finding.observer_addr = hop->second;
+      if (const net::Ipv4Addr* hop = hop_log_.find(state.trigger_seq)) {
+        finding.observer_addr = *hop;
+      }
     }
     findings.push_back(finding);
   }

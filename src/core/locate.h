@@ -7,10 +7,10 @@
 // scale with 10 = destination (Table 2's axis).
 #pragma once
 
-#include <map>
 #include <optional>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "core/correlator.h"
 #include "core/ledger.h"
 
@@ -29,7 +29,7 @@ struct ObserverFinding {
 class ObserverLocator {
  public:
   ObserverLocator(const DecoyLedger& ledger,
-                  const std::map<std::uint32_t, net::Ipv4Addr>& hop_log)
+                  const FlatMap<std::uint32_t, net::Ipv4Addr>& hop_log)
       : ledger_(ledger), hop_log_(hop_log) {}
 
   /// Produces one finding per problematic path that has Phase-II coverage.
@@ -38,7 +38,7 @@ class ObserverLocator {
 
  private:
   const DecoyLedger& ledger_;
-  const std::map<std::uint32_t, net::Ipv4Addr>& hop_log_;  // seq -> ICMP source
+  const FlatMap<std::uint32_t, net::Ipv4Addr>& hop_log_;  // seq -> ICMP source
 };
 
 /// Normalizes hop `t` on a path of length `dest_ttl` to the 1-10 scale.

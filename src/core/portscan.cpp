@@ -58,11 +58,11 @@ void PortScanner::on_datagram(sim::Network& net, sim::NodeId self,
 }
 
 void PortScanner::verdict(const sim::ConnKey& key, PortState state) {
-  auto it = probes_.find(key);
-  if (it == probes_.end()) return;
-  auto [index, port] = it->second;
+  const std::pair<std::size_t, std::uint16_t>* probe = probes_.find(key);
+  if (probe == nullptr) return;
+  auto [index, port] = *probe;
   results_[index].ports[port] = state;
-  probes_.erase(it);
+  probes_.erase(key);
 }
 
 PortScanSummary PortScanner::summarize() const {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/time.h"
 #include "sim/network.h"
@@ -76,7 +77,7 @@ class PortScanner : public sim::DatagramHandler {
   sim::Network* net_ = nullptr;
   net::Ipv4Addr addr_;
   std::unique_ptr<sim::TcpStack> tcp_;
-  std::map<sim::ConnKey, std::pair<std::size_t, std::uint16_t>> probes_;  // -> (idx, port)
+  FlatMap<sim::ConnKey, std::pair<std::size_t, std::uint16_t>> probes_;  // -> (idx, port)
   std::vector<PortScanResult> results_;
 };
 

@@ -48,6 +48,8 @@ ShardRunner::ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
   // owned VPs ever emit. Streams are derived from the VP id, so an agent's
   // randomness is independent of shard membership.
   const auto& vps = bed_->topology().vantage_points();
+  vps_base_ = vps.data();
+  agents_.reserve(vps.size());
   // VP churn windows can only start once the campaign is actually emitting.
   const SimTime churn_earliest = config_.screening ? kHour : 0;
   const SimTime churn_latest =
@@ -77,7 +79,7 @@ ShardRunner::ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
       hooks.on_decoy_failed = [this, i](std::uint32_t) {
         ++decoys_lost_;
         if (++failure_streaks_[i] >= config_.faults.quarantine_threshold &&
-            quarantined_.count(i) == 0) {
+            !quarantined_.contains(i)) {
           quarantined_[i] = bed_->loop().now();
         }
       };
@@ -100,7 +102,6 @@ ShardRunner::ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
         injector_->add_node_outage(bed_->net().name(vp.node), *window);
       }
     }
-    agent_index_[&vp] = agent.get();
     agents_.push_back(std::move(agent));
   }
   // Control server for the TTL canary, hosted next to the US honeypot.
@@ -126,7 +127,7 @@ void ShardRunner::run_screening() {
 
 ScreeningVerdict ShardRunner::verdict(std::size_t vp_index) const {
   const auto& vp = bed_->topology().vantage_points().at(vp_index);
-  return screen_vp(vp, *control_server_, intercepted_vps_.count(&vp) > 0);
+  return screen_vp(vp, *control_server_, intercepted_vps_.contains(&vp));
 }
 
 void ShardRunner::adopt_plan(const CampaignPlan& plan) {
@@ -137,6 +138,18 @@ void ShardRunner::adopt_plan(const CampaignPlan& plan) {
 void ShardRunner::schedule_owned(const CampaignPlan& plan, std::size_t first,
                                  std::size_t last) {
   const auto& vps = bed_->topology().vantage_points();
+  // The plan fixes how many of these emissions this shard owns; size the
+  // loop's queue and the decoy store once instead of regrowing mid-phase.
+  std::size_t owned = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    const PlanEmission& emission = plan.emissions()[i];
+    if (emission.vp_index >= 0 && owns_vp(static_cast<std::size_t>(emission.vp_index))) {
+      ++owned;
+    }
+  }
+  bed_->loop().reserve(bed_->loop().pending() + owned);
+  ledger_.reserve_decoys(owned);
+  bed_->logbook().reserve(owned);
   for (std::size_t i = first; i < last; ++i) {
     const PlanEmission& emission = plan.emissions()[i];
     if (emission.vp_index < 0 ||
@@ -150,9 +163,10 @@ void ShardRunner::schedule_owned(const CampaignPlan& plan, std::size_t first,
       // A Phase-II sweep scheduled into its VP's churn window would vanish
       // wholesale; resume it after the session comes back, preserving the
       // probe's offset within the sweep.
-      auto it = vp_outages_.find(static_cast<std::size_t>(emission.vp_index));
-      if (it != vp_outages_.end() && it->second.contains(when)) {
-        when = it->second.end + (when - it->second.start);
+      const sim::OutageWindow* window =
+          vp_outages_.find(static_cast<std::size_t>(emission.vp_index));
+      if (window != nullptr && window->contains(when)) {
+        when = window->end + (when - window->start);
         ++phase2_deferred_;
       }
     }
@@ -160,7 +174,7 @@ void ShardRunner::schedule_owned(const CampaignPlan& plan, std::size_t first,
         when,
         [this, emission, when, vp, dst = path.dest_addr, protocol = path.protocol] {
           if (injector_ &&
-              quarantined_.count(static_cast<std::size_t>(emission.vp_index)) != 0) {
+              quarantined_.contains(static_cast<std::size_t>(emission.vp_index))) {
             // Owner quarantined before this decoy fired: record the exact
             // seq so the barrier re-plans precisely this set — no ledger
             // record is created, the replacement emission gets a fresh seq.
@@ -203,8 +217,7 @@ CoverageStats ShardRunner::coverage() const {
   // actually emitted), so the per-shard values partition cleanly.
   const auto& drops = bed_->net().endpoint_drops();
   for (const auto& hp : bed_->topology().honeypots()) {
-    auto it = drops.find(bed_->net().name(hp.node));
-    if (it != drops.end()) cov.honeypot_downtime_drops += it->second;
+    if (const std::uint64_t* n = drops.find(hp.node)) cov.honeypot_downtime_drops += *n;
   }
   return cov;
 }

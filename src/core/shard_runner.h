@@ -18,11 +18,10 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "core/campaign_config.h"
 #include "core/campaign_plan.h"
 #include "core/campaign_result.h"
@@ -76,10 +75,13 @@ class ShardRunner {
   [[nodiscard]] const std::vector<HoneypotHit>& hits() const noexcept {
     return bed_->logbook().hits();
   }
-  [[nodiscard]] const std::map<std::uint32_t, net::Ipv4Addr>& hop_log() const noexcept {
+  /// Per-seq first-hop observations. FlatMap iteration order is
+  /// table-internal; the engine folds these into ordered containers before
+  /// anything reaches output.
+  [[nodiscard]] const FlatMap<std::uint32_t, net::Ipv4Addr>& hop_log() const noexcept {
     return hop_log_;
   }
-  [[nodiscard]] const std::set<std::uint32_t>& replicated_seqs() const noexcept {
+  [[nodiscard]] const FlatSet<std::uint32_t>& replicated_seqs() const noexcept {
     return replicated_seqs_;
   }
   [[nodiscard]] sim::EventLoopStats stats() const noexcept { return bed_->loop().stats(); }
@@ -92,13 +94,13 @@ class ShardRunner {
   /// only, so the engine's absorb() over all shards counts each event once.
   [[nodiscard]] CoverageStats coverage() const;
   /// Owned VPs quarantined during Phase I: vp_index -> quarantine time.
-  [[nodiscard]] const std::map<std::size_t, SimTime>& quarantined_vps() const noexcept {
+  [[nodiscard]] const FlatMap<std::size_t, SimTime>& quarantined_vps() const noexcept {
     return quarantined_;
   }
   /// Seqs of owned emissions skipped at fire time because their VP was
   /// quarantined — the exact set the barrier re-plans, so reschedule and
   /// cancellation can never disagree on boundary emissions.
-  [[nodiscard]] const std::set<std::uint32_t>& cancelled_seqs() const noexcept {
+  [[nodiscard]] const FlatSet<std::uint32_t>& cancelled_seqs() const noexcept {
     return cancelled_seqs_;
   }
   /// This replica's network counters (NOT layout-invariant; report only).
@@ -107,7 +109,12 @@ class ShardRunner {
   }
 
  private:
-  VpAgent* agent_for(const topo::VantagePoint* vp) { return agent_index_.at(vp); }
+  /// Agents are built in vantage_points() order, one per VP, so the agent
+  /// for a VP is found by pointer arithmetic against the replica's VP array
+  /// — no index map needed.
+  VpAgent* agent_for(const topo::VantagePoint* vp) {
+    return agents_[static_cast<std::size_t>(vp - vps_base_)].get();
+  }
 
   std::uint32_t shard_index_;
   std::uint32_t shard_count_;
@@ -117,11 +124,11 @@ class ShardRunner {
   Rng rng_;
   DecoyLedger ledger_;
   std::vector<std::unique_ptr<VpAgent>> agents_;
-  std::map<const topo::VantagePoint*, VpAgent*> agent_index_;
-  std::map<std::uint32_t, net::Ipv4Addr> hop_log_;
-  std::map<std::uint32_t, int> response_counts_;
-  std::set<std::uint32_t> replicated_seqs_;
-  std::set<const topo::VantagePoint*> intercepted_vps_;
+  const topo::VantagePoint* vps_base_ = nullptr;  // agents_[i] serves vps_base_[i]
+  FlatMap<std::uint32_t, net::Ipv4Addr> hop_log_;
+  FlatMap<std::uint32_t, int> response_counts_;
+  FlatSet<std::uint32_t> replicated_seqs_;
+  FlatSet<const topo::VantagePoint*> intercepted_vps_;
   std::unique_ptr<ControlServer> control_server_;
   net::Ipv4Addr control_addr_;
 
@@ -130,10 +137,10 @@ class ShardRunner {
   // runner, injector declared after bed_ so it is destroyed first but the
   // Network never routes during destruction.
   std::unique_ptr<sim::FaultInjector> injector_;
-  std::map<std::size_t, sim::OutageWindow> vp_outages_;  // churned owned+peer VPs
-  std::map<std::size_t, int> failure_streaks_;           // consecutive decoy failures
-  std::map<std::size_t, SimTime> quarantined_;           // owned VPs only
-  std::set<std::uint32_t> cancelled_seqs_;
+  FlatMap<std::size_t, sim::OutageWindow> vp_outages_;  // churned owned+peer VPs
+  FlatMap<std::size_t, int> failure_streaks_;           // consecutive decoy failures
+  FlatMap<std::size_t, SimTime> quarantined_;           // owned VPs only
+  FlatSet<std::uint32_t> cancelled_seqs_;
   std::uint64_t decoys_lost_ = 0;
   std::uint64_t decoys_retried_ = 0;
   std::uint64_t retry_attempts_ = 0;

@@ -151,7 +151,12 @@ void Testbed::add_resolver(const std::string& name, sim::NodeId node, net::Ipv4A
   net::Ipv4Addr primary = net_->address(node);
   net::Ipv4Addr egress;
   if (primary == service) {
+    // First free offset at or past service+9: at large scales the AS's own
+    // host allocation may already have claimed the canonical offset.
     egress = net::Ipv4Addr(service.value() + 9);
+    while (net_->owner_of(egress) != sim::kInvalidNode) {
+      egress = net::Ipv4Addr(egress.value() + 1);
+    }
     net_->add_address(node, egress);
   } else {
     egress = primary;  // anycast instance: unicast identity is the egress

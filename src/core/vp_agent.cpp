@@ -52,33 +52,31 @@ void VpAgent::bind(sim::Network& net) {
     tcp_->set_retransmit({true, retry_.timeout, retry_.max_retries});
   }
   tcp_->set_on_established([this](const sim::ConnKey& key) {
-    auto it = conn_to_seq_.find(key);
-    if (it == conn_to_seq_.end()) return;
-    auto payload = conn_payload_.find(key);
-    if (payload == conn_payload_.end()) return;
-    tcp_->send_data(key, BytesView(payload->second));
+    if (!conn_to_seq_.contains(key)) return;
+    const Bytes* payload = conn_payload_.find(key);
+    if (payload == nullptr) return;
+    tcp_->send_data(key, BytesView(*payload));
   });
   tcp_->set_on_data([this](const sim::ConnKey& key, BytesView) {
-    auto it = conn_to_seq_.find(key);
-    if (it == conn_to_seq_.end()) return;
-    if (hooks_.on_dest_response) hooks_.on_dest_response(it->second, net_->now());
-    std::uint32_t seq = it->second;
+    const std::uint32_t* found = conn_to_seq_.find(key);
+    if (found == nullptr) return;
+    std::uint32_t seq = *found;
+    if (hooks_.on_dest_response) hooks_.on_dest_response(seq, net_->now());
     resolve_pending(seq);
-    conn_to_seq_.erase(it);
+    conn_to_seq_.erase(key);
     conn_payload_.erase(key);
     tcp_->close(key);
   });
   tcp_->set_on_reset([this](const sim::ConnKey& key, bool) {
-    auto it = conn_to_seq_.find(key);
-    if (it != conn_to_seq_.end()) resolve_pending(it->second);
+    if (const std::uint32_t* seq = conn_to_seq_.find(key)) resolve_pending(*seq);
     conn_to_seq_.erase(key);
     conn_payload_.erase(key);
   });
   tcp_->set_on_failed([this](const sim::ConnKey& key, bool) {
-    auto it = conn_to_seq_.find(key);
-    if (it == conn_to_seq_.end()) return;
-    std::uint32_t seq = it->second;
-    conn_to_seq_.erase(it);
+    const std::uint32_t* found = conn_to_seq_.find(key);
+    if (found == nullptr) return;
+    std::uint32_t seq = *found;
+    conn_to_seq_.erase(key);
     conn_payload_.erase(key);
     resolve_pending(seq);
     if (hooks_.on_decoy_failed) hooks_.on_decoy_failed(seq);
@@ -94,10 +92,10 @@ void VpAgent::set_retry_policy(const DecoyRetryPolicy& policy) {
 }
 
 void VpAgent::resolve_pending(std::uint32_t seq) {
-  auto it = pending_.find(seq);
-  if (it == pending_.end()) return;
-  if (it->second.armed) net_->loop().cancel(it->second.timer);
-  pending_.erase(it);
+  const PendingDecoy* pending = pending_.find(seq);
+  if (pending == nullptr) return;
+  if (pending->armed) net_->loop().cancel(pending->timer);
+  pending_.erase(seq);
 }
 
 std::uint16_t VpAgent::next_ip_id(std::uint32_t seq) {
@@ -185,12 +183,12 @@ void VpAgent::track_tcp_decoy(const DecoyRecord& record, const sim::ConnKey& key
 }
 
 void VpAgent::on_dns_retry_timer(std::uint32_t seq) {
-  auto it = pending_.find(seq);
-  if (it == pending_.end()) return;
-  PendingDecoy& pending = it->second;
+  PendingDecoy* found = pending_.find(seq);
+  if (found == nullptr) return;
+  PendingDecoy& pending = *found;
   pending.armed = false;
   if (pending.attempts >= retry_.max_retries) {
-    pending_.erase(it);
+    pending_.erase(seq);
     if (hooks_.on_decoy_failed) hooks_.on_decoy_failed(seq);
     return;
   }
@@ -205,10 +203,10 @@ void VpAgent::on_dns_retry_timer(std::uint32_t seq) {
 }
 
 void VpAgent::on_tcp_deadline(std::uint32_t seq) {
-  auto it = pending_.find(seq);
-  if (it == pending_.end()) return;
-  sim::ConnKey conn = it->second.conn;
-  pending_.erase(it);
+  const PendingDecoy* pending = pending_.find(seq);
+  if (pending == nullptr) return;
+  sim::ConnKey conn = pending->conn;
+  pending_.erase(seq);
   conn_to_seq_.erase(conn);
   conn_payload_.erase(conn);
   tcp_->close(conn);
@@ -284,9 +282,9 @@ void VpAgent::handle_icmp(const net::Ipv4Datagram& dgram) {
   if (!icmp.ok() || icmp.value().type != net::IcmpType::kTimeExceeded) return;
   auto quoted = icmp.value().quoted_datagram();
   if (!quoted.ok()) return;
-  auto it = ipid_to_seq_.find(quoted.value().header.identification);
-  if (it == ipid_to_seq_.end()) return;
-  if (hooks_.on_hop) hooks_.on_hop(it->second, dgram.header.src, net_->now());
+  const std::uint32_t* seq = ipid_to_seq_.find(quoted.value().header.identification);
+  if (seq == nullptr) return;
+  if (hooks_.on_hop) hooks_.on_hop(*seq, dgram.header.src, net_->now());
 }
 
 void VpAgent::handle_udp(const net::Ipv4Datagram& dgram) {
@@ -309,17 +307,17 @@ void VpAgent::handle_udp(const net::Ipv4Datagram& dgram) {
   auto dns = net::DnsMessage::decode(dns_bytes);
   if (!dns.ok() || !dns.value().header.qr) return;
   std::uint16_t qid = dns.value().header.id;
-  if (auto pair = pair_probes_.find(qid); pair != pair_probes_.end()) {
+  if (const net::Ipv4Addr* pair = pair_probes_.find(qid)) {
     // A response from an address that offers no DNS service: interception.
-    net::Ipv4Addr pair_addr = pair->second;
-    pair_probes_.erase(pair);
+    net::Ipv4Addr pair_addr = *pair;
+    pair_probes_.erase(qid);
     if (hooks_.on_interception) hooks_.on_interception(vp_, pair_addr);
     return;
   }
-  auto it = qid_to_seq_.find(qid);
-  if (it == qid_to_seq_.end()) return;
-  resolve_pending(it->second);
-  if (hooks_.on_dest_response) hooks_.on_dest_response(it->second, net_->now());
+  const std::uint32_t* seq = qid_to_seq_.find(qid);
+  if (seq == nullptr) return;
+  resolve_pending(*seq);
+  if (hooks_.on_dest_response) hooks_.on_dest_response(*seq, net_->now());
   // Keep the mapping: interceptors may deliver a second (real) response,
   // and Phase II variants reuse response arrival as the path-length signal.
 }
@@ -330,10 +328,10 @@ void VpAgent::handle_tcp(const net::Ipv4Datagram& dgram) {
   auto seg = net::TcpSegment::decode(BytesView(dgram.payload), dgram.header.src,
                                      dgram.header.dst);
   if (seg.ok()) {
-    auto it = rawport_to_seq_.find(seg.value().dst_port);
-    if (it != rawport_to_seq_.end()) {
+    const std::uint32_t* seq = rawport_to_seq_.find(seg.value().dst_port);
+    if (seq != nullptr) {
       if (seg.value().flags.rst && hooks_.on_dest_response) {
-        hooks_.on_dest_response(it->second, net_->now());
+        hooks_.on_dest_response(*seq, net_->now());
       }
       return;
     }
@@ -357,8 +355,8 @@ void ControlServer::on_datagram(sim::Network& net, sim::NodeId self,
 }
 
 int ControlServer::arrival_ttl(net::Ipv4Addr vp, std::uint32_t token) const {
-  auto it = arrivals_.find({vp, token});
-  return it == arrivals_.end() ? -1 : static_cast<int>(it->second);
+  const std::uint8_t* ttl = arrivals_.find({vp, token});
+  return ttl == nullptr ? -1 : static_cast<int>(*ttl);
 }
 
 }  // namespace shadowprobe::core

@@ -12,9 +12,9 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "core/ledger.h"
 #include "net/tls.h"
@@ -128,12 +128,14 @@ class VpAgent : public sim::DatagramHandler {
   sim::Network* net_ = nullptr;
   std::unique_ptr<sim::TcpStack> tcp_;
 
-  std::map<std::uint16_t, std::uint32_t> qid_to_seq_;    // DNS decoys in flight
-  std::map<std::uint16_t, std::uint32_t> ipid_to_seq_;   // ICMP correlation
-  std::map<std::uint16_t, std::uint32_t> rawport_to_seq_;  // raw TCP decoys
-  std::map<sim::ConnKey, std::uint32_t> conn_to_seq_;    // handshake decoys
-  std::map<sim::ConnKey, Bytes> conn_payload_;           // payload queued on connect
-  std::map<std::uint16_t, net::Ipv4Addr> pair_probes_;   // qid -> pair addr
+  // In-flight correlation tables: probed once per response/ICMP packet and
+  // never iterated, so unordered flat maps are safe and allocation-free.
+  FlatMap<std::uint16_t, std::uint32_t> qid_to_seq_;    // DNS decoys in flight
+  FlatMap<std::uint16_t, std::uint32_t> ipid_to_seq_;   // ICMP correlation
+  FlatMap<std::uint16_t, std::uint32_t> rawport_to_seq_;  // raw TCP decoys
+  FlatMap<sim::ConnKey, std::uint32_t> conn_to_seq_;    // handshake decoys
+  FlatMap<sim::ConnKey, Bytes> conn_payload_;           // payload queued on connect
+  FlatMap<std::uint16_t, net::Ipv4Addr> pair_probes_;   // qid -> pair addr
   std::uint16_t next_qid_ = 1;
   std::uint16_t next_ipid_ = 1;
   std::uint16_t next_rawport_ = 20000;
@@ -152,7 +154,7 @@ class VpAgent : public sim::DatagramHandler {
     bool armed = false;
   };
   DecoyRetryPolicy retry_;
-  std::map<std::uint32_t, PendingDecoy> pending_;  // by decoy seq
+  FlatMap<std::uint32_t, PendingDecoy> pending_;  // by decoy seq
 };
 
 /// Control server for the TTL-canary screen: records the arrival TTL of
@@ -166,7 +168,7 @@ class ControlServer : public sim::DatagramHandler {
   [[nodiscard]] int arrival_ttl(net::Ipv4Addr vp, std::uint32_t token) const;
 
  private:
-  std::map<std::pair<net::Ipv4Addr, std::uint32_t>, std::uint8_t> arrivals_;
+  FlatMap<std::pair<net::Ipv4Addr, std::uint32_t>, std::uint8_t> arrivals_;
 };
 
 }  // namespace shadowprobe::core

@@ -1,8 +1,11 @@
 #include "net/dns.h"
 
 #include <algorithm>
-#include <map>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
 
+#include "common/arena.h"
 #include "common/strutil.h"
 
 namespace shadowprobe::net {
@@ -11,22 +14,164 @@ namespace {
 constexpr std::size_t kMaxLabel = 63;
 constexpr std::size_t kMaxName = 253;
 constexpr std::uint16_t kClassIn = 1;
-
-std::string fold(std::string_view s) { return to_lower(s); }
 }  // namespace
 
-DnsName::DnsName(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+// ---------------------------------------------------------------------------
+// Label intern table
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+struct LabelTable::Impl {
+  static constexpr std::size_t kChunkShift = 12;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kMaxChunks = std::size_t{1} << 13;  // 32M labels
+
+  // Readers index chunks lock-free; a chunk pointer is published (release)
+  // before any id inside it escapes intern(), so acquire loads see complete
+  // entries.
+  std::atomic<Entry*> chunks[kMaxChunks] = {};
+  std::atomic<std::uint32_t> count{0};
+
+  std::mutex mu;
+  // Keys view the arena-stored text, so the index adds no string copies.
+  std::unordered_map<std::string_view, std::uint32_t> index;
+  BumpArena arena{256 * 1024};
+
+  std::uint32_t intern_locked(std::string_view label) {
+    if (auto it = index.find(label); it != index.end()) return it->second;
+    // Intern the folded form first so the new entry can reference it. Most
+    // labels are already lowercase and fold to themselves.
+    std::string folded = to_lower(label);
+    bool self_folded = folded == label;
+    std::uint32_t fold_id = self_folded ? 0 : intern_locked(folded);
+    std::uint32_t id = count.load(std::memory_order_relaxed);
+    std::size_t chunk = id >> kChunkShift;
+    if (chunk >= kMaxChunks) throw std::length_error("DNS label intern table full");
+    Entry* arr = chunks[chunk].load(std::memory_order_relaxed);
+    if (arr == nullptr) {
+      arr = new Entry[kChunkSize];
+      chunks[chunk].store(arr, std::memory_order_release);
+    }
+    std::string_view stored = arena.store(label);
+    arr[id & (kChunkSize - 1)] = Entry{stored, self_folded ? id : fold_id};
+    index.emplace(stored, id);
+    count.store(id + 1, std::memory_order_release);
+    return id;
+  }
+};
+
+LabelTable& LabelTable::instance() {
+  static LabelTable table;
+  return table;
+}
+
+LabelTable::Impl* LabelTable::impl() {
+  // Leaked on purpose: interned ids live inside DnsNames with arbitrary
+  // lifetime (including static destructors), so the table must never die.
+  static Impl* impl = new Impl;
+  return impl;
+}
+
+std::uint32_t LabelTable::intern(std::string_view label) {
+  Impl* im = impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  return im->intern_locked(label);
+}
+
+const LabelTable::Entry& LabelTable::entry(std::uint32_t id) const noexcept {
+  Impl* im = const_cast<LabelTable*>(this)->impl();
+  return im->chunks[id >> Impl::kChunkShift].load(std::memory_order_acquire)
+      [id & (Impl::kChunkSize - 1)];
+}
+
+std::size_t LabelTable::size() const noexcept {
+  return const_cast<LabelTable*>(this)->impl()->count.load(std::memory_order_acquire);
+}
+
+}  // namespace detail
+
+namespace {
+
+inline const detail::LabelTable::Entry& label_entry(std::uint32_t id) noexcept {
+  return detail::LabelTable::instance().entry(id);
+}
+
+inline std::uint32_t fold_of(std::uint32_t id) noexcept { return label_entry(id).fold_id; }
+
+}  // namespace
+
+/// dns.cpp-internal access to DnsName's id storage (decode/compression).
+struct DnsNameBuilder {
+  static void append_interned(DnsName& name, std::string_view label) {
+    name.append(detail::LabelTable::instance().intern(label));
+  }
+  static std::uint32_t fold_id(const DnsName& name, std::size_t i) noexcept {
+    return fold_of(name.ids()[i]);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// DnsName
+// ---------------------------------------------------------------------------
+
+DnsName::DnsName(const std::vector<std::string>& labels) {
+  for (const auto& label : labels) {
+    append(detail::LabelTable::instance().intern(label));
+  }
+}
+
+void DnsName::assign(const std::uint32_t* ids, std::uint16_t n) {
+  count_ = n;
+  if (n > kInline) {
+    cap_ = n;
+    heap_ = new std::uint32_t[n];
+    std::memcpy(heap_, ids, sizeof(std::uint32_t) * n);
+  } else if (n > 0) {
+    std::memcpy(inline_, ids, sizeof(std::uint32_t) * n);
+  }
+}
+
+void DnsName::append(std::uint32_t id) {
+  if (count_ < kInline) {
+    inline_[count_++] = id;
+    return;
+  }
+  if (count_ == kInline) {  // spill inline ids to the heap
+    auto* heap = new std::uint32_t[kInline * 2];
+    std::memcpy(heap, inline_, sizeof(inline_));
+    heap_ = heap;
+    cap_ = kInline * 2;
+  } else if (count_ == cap_) {
+    auto* heap = new std::uint32_t[cap_ * 2];
+    std::memcpy(heap, heap_, sizeof(std::uint32_t) * count_);
+    delete[] heap_;
+    heap_ = heap;
+    cap_ = static_cast<std::uint16_t>(cap_ * 2);
+  }
+  heap_[count_++] = id;
+}
+
+std::string_view DnsName::label(std::size_t i) const noexcept {
+  return label_entry(ids()[i]).text;
+}
 
 std::optional<DnsName> DnsName::parse(std::string_view text) {
   if (!text.empty() && text.back() == '.') text.remove_suffix(1);
   if (text.empty()) return DnsName{};
   if (text.size() > kMaxName) return std::nullopt;
-  std::vector<std::string> labels;
-  for (auto& label : split(text, '.')) {
+  DnsName name;
+  std::size_t pos = 0;
+  for (;;) {
+    std::size_t dot = text.find('.', pos);
+    std::string_view label =
+        dot == std::string_view::npos ? text.substr(pos) : text.substr(pos, dot - pos);
     if (label.empty() || label.size() > kMaxLabel) return std::nullopt;
-    labels.push_back(std::move(label));
+    name.append(detail::LabelTable::instance().intern(label));
+    if (dot == std::string_view::npos) break;
+    pos = dot + 1;
   }
-  return DnsName(std::move(labels));
+  return name;
 }
 
 DnsName DnsName::must_parse(std::string_view text) {
@@ -36,49 +181,92 @@ DnsName DnsName::must_parse(std::string_view text) {
 }
 
 std::string DnsName::str() const {
-  if (labels_.empty()) return ".";
-  return join(labels_, ".");
+  if (is_root()) return ".";
+  std::string out;
+  std::size_t total = static_cast<std::size_t>(count_) - 1;
+  for (std::size_t i = 0; i < count_; ++i) total += label(i).size();
+  out.reserve(total);
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (i != 0) out.push_back('.');
+    out.append(label(i));
+  }
+  return out;
 }
 
 bool DnsName::is_subdomain_of(const DnsName& zone) const {
-  if (zone.labels_.size() > labels_.size()) return false;
-  auto offset = labels_.size() - zone.labels_.size();
-  for (std::size_t i = 0; i < zone.labels_.size(); ++i) {
-    if (!iequals(labels_[offset + i], zone.labels_[i])) return false;
+  if (zone.count_ > count_) return false;
+  std::size_t offset = count_ - zone.count_;
+  const std::uint32_t* mine = ids();
+  const std::uint32_t* theirs = zone.ids();
+  for (std::size_t i = 0; i < zone.count_; ++i) {
+    if (fold_of(mine[offset + i]) != fold_of(theirs[i])) return false;
   }
   return true;
 }
 
 DnsName DnsName::parent(std::size_t n) const {
-  if (n >= labels_.size()) return DnsName{};
-  return DnsName(std::vector<std::string>(labels_.begin() + static_cast<std::ptrdiff_t>(n),
-                                          labels_.end()));
+  DnsName out;
+  if (n >= count_) return out;
+  out.assign(ids() + n, static_cast<std::uint16_t>(count_ - n));
+  return out;
 }
 
 DnsName DnsName::child(std::string_view label) const {
-  std::vector<std::string> labels;
-  labels.reserve(labels_.size() + 1);
-  labels.emplace_back(label);
-  labels.insert(labels.end(), labels_.begin(), labels_.end());
-  return DnsName(std::move(labels));
+  DnsName out;
+  out.append(detail::LabelTable::instance().intern(label));
+  for (std::size_t i = 0; i < count_; ++i) out.append(ids()[i]);
+  return out;
 }
 
 bool DnsName::operator==(const DnsName& other) const {
-  if (labels_.size() != other.labels_.size()) return false;
-  for (std::size_t i = 0; i < labels_.size(); ++i) {
-    if (!iequals(labels_[i], other.labels_[i])) return false;
+  if (count_ != other.count_) return false;
+  const std::uint32_t* a = ids();
+  const std::uint32_t* b = other.ids();
+  for (std::size_t i = 0; i < count_; ++i) {
+    // Same id → same label; otherwise equal iff the folded forms coincide.
+    if (a[i] != b[i] && fold_of(a[i]) != fold_of(b[i])) return false;
   }
   return true;
 }
 
 bool DnsName::operator<(const DnsName& other) const {
-  std::size_t n = std::min(labels_.size(), other.labels_.size());
+  std::size_t n = std::min(count_, other.count_);
+  const std::uint32_t* a = ids();
+  const std::uint32_t* b = other.ids();
   for (std::size_t i = 0; i < n; ++i) {
-    std::string a = fold(labels_[i]);
-    std::string b = fold(other.labels_[i]);
-    if (a != b) return a < b;
+    std::uint32_t fa = fold_of(a[i]);
+    std::uint32_t fb = fold_of(b[i]);
+    if (fa == fb) continue;
+    return label_entry(fa).text < label_entry(fb).text;
   }
-  return labels_.size() < other.labels_.size();
+  return count_ < other.count_;
+}
+
+int DnsName::compare_presentation(const DnsName& other) const {
+  if (is_root() || other.is_root()) {
+    // str() renders the root name as "." — rare enough to just materialize.
+    return str().compare(other.str());
+  }
+  std::size_t n = std::min(count_, other.count_);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string_view la = label(i);
+    std::string_view lb = other.label(i);
+    std::size_t m = std::min(la.size(), lb.size());
+    if (int k = std::memcmp(la.data(), lb.data(), m); k != 0) return k;
+    if (la.size() != lb.size()) {
+      // One label is a strict prefix of the other: in the joined string the
+      // shorter name continues with '.' (more labels) or ends (last label).
+      // Labels never contain '.', so the comparison below cannot tie.
+      bool a_shorter = la.size() < lb.size();
+      const DnsName& shorter = a_shorter ? *this : other;
+      std::string_view longer_label = a_shorter ? lb : la;
+      int next_shorter = (i + 1 < shorter.count_) ? '.' : -1;
+      int c = next_shorter - static_cast<unsigned char>(longer_label[m]);
+      return a_shorter ? c : -c;
+    }
+  }
+  if (count_ == other.count_) return 0;
+  return count_ < other.count_ ? -1 : 1;
 }
 
 std::string dns_type_name(DnsType t) {
@@ -119,37 +307,62 @@ DnsRecord DnsRecord::soa(DnsName name, SoaData data, std::uint32_t ttl) {
 namespace {
 
 /// Writes a name with RFC 1035 §4.1.4 compression: the longest suffix of the
-/// name already emitted is replaced with a pointer.
+/// name already emitted is replaced with a pointer. Suffixes are matched by
+/// folded label ids (case-insensitive, like the wire format demands) against
+/// a flat pool — no string keys, no per-name allocation once warm.
 class NameCompressor {
  public:
   void write(ByteWriter& w, const DnsName& name) {
-    const auto& labels = name.labels();
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      std::string suffix = suffix_key(labels, i);
-      auto it = offsets_.find(suffix);
-      if (it != offsets_.end()) {
-        w.u16(static_cast<std::uint16_t>(0xC000 | it->second));
+    const std::size_t n = name.label_count();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (const Suffix* hit = find_suffix(name, i)) {
+        w.u16(static_cast<std::uint16_t>(0xC000 | hit->offset));
         return;
       }
       // Pointers can only address the first 16 KiB - 2 bits worth of offset.
-      if (w.size() <= 0x3FFF) offsets_.emplace(std::move(suffix), w.size());
-      w.u8(static_cast<std::uint8_t>(labels[i].size()));
-      w.raw(labels[i]);
+      if (w.size() <= 0x3FFF) record_suffix(name, i, w.size());
+      std::string_view label = name.label(i);
+      w.u8(static_cast<std::uint8_t>(label.size()));
+      w.raw(label);
     }
     w.u8(0);  // root label
   }
 
  private:
-  static std::string suffix_key(const std::vector<std::string>& labels, std::size_t from) {
-    std::string key;
-    for (std::size_t i = from; i < labels.size(); ++i) {
-      key += fold(labels[i]);
-      key += '.';
+  struct Suffix {
+    std::uint32_t start;   // index into pool_
+    std::uint16_t len;     // labels in the suffix
+    std::uint16_t offset;  // wire offset the suffix was written at
+  };
+
+  const Suffix* find_suffix(const DnsName& name, std::size_t from) const {
+    std::uint16_t want = static_cast<std::uint16_t>(name.label_count() - from);
+    for (const Suffix& s : suffixes_) {
+      if (s.len != want) continue;
+      bool match = true;
+      for (std::size_t i = 0; i < want; ++i) {
+        if (pool_[s.start + i] != DnsNameBuilder::fold_id(name, from + i)) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return &s;
     }
-    return key;
+    return nullptr;
   }
 
-  std::map<std::string, std::size_t> offsets_;
+  void record_suffix(const DnsName& name, std::size_t from, std::size_t offset) {
+    Suffix s{static_cast<std::uint32_t>(pool_.size()),
+             static_cast<std::uint16_t>(name.label_count() - from),
+             static_cast<std::uint16_t>(offset)};
+    for (std::size_t i = from; i < name.label_count(); ++i) {
+      pool_.push_back(DnsNameBuilder::fold_id(name, i));
+    }
+    suffixes_.push_back(s);
+  }
+
+  std::vector<std::uint32_t> pool_;  // concatenated folded-id suffixes
+  std::vector<Suffix> suffixes_;
 };
 
 void write_rdata(ByteWriter& w, NameCompressor& names, const DnsRecord& rr) {
@@ -244,7 +457,7 @@ namespace {
 /// backwards and total label bytes are bounded, so malicious pointer loops
 /// terminate.
 bool read_name(ByteReader& r, BytesView whole, DnsName& out) {
-  std::vector<std::string> labels;
+  out = DnsName{};
   std::size_t total = 0;
   std::size_t jumps = 0;
   std::optional<std::size_t> resume;  // position after the first pointer
@@ -265,15 +478,14 @@ bool read_name(ByteReader& r, BytesView whole, DnsName& out) {
     }
     if (len & 0xC0) return false;  // 01/10 prefixes are reserved
     if (len == 0) break;
-    std::string label = r.str(len);
+    BytesView raw = r.raw(len);
     if (!r.ok()) return false;
-    total += label.size() + 1;
+    total += raw.size() + 1;
     if (total > kMaxName + 1) return false;
-    labels.push_back(std::move(label));
+    DnsNameBuilder::append_interned(
+        out, std::string_view(reinterpret_cast<const char*>(raw.data()), raw.size()));
   }
   if (resume) r.seek(*resume);
-  (void)whole;
-  out = DnsName(std::move(labels));
   return true;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -20,12 +21,72 @@
 
 namespace shadowprobe::net {
 
-/// A domain name as a sequence of labels (no trailing root label stored).
-/// Comparison and matching are case-insensitive per RFC 1035 §2.3.3.
+namespace detail {
+
+/// Global case-preserving DNS label intern table. Each distinct label
+/// spelling is stored exactly once; a label id is a dense index into the
+/// table. Every entry also records the id of its case-folded form, making
+/// case-insensitive equality an integer compare and canonical ordering a
+/// no-allocation string_view compare.
+///
+/// Thread-safety: interning takes a mutex (shard replicas run on worker
+/// threads and share the table); entry lookup by id is lock-free (chunked
+/// pointer index, entries are immutable once published).
+///
+/// DETERMINISM: label ids depend on interning order, which depends on
+/// thread interleaving. Ids therefore must NEVER feed an output ordering or
+/// be exported — all ordering goes through the folded text (operator<) and
+/// all output through str()/label(). See DESIGN.md.
+class LabelTable {
+ public:
+  struct Entry {
+    std::string_view text;    ///< original spelling, arena-backed, immortal
+    std::uint32_t fold_id;    ///< id of the lowercase form (self when already folded)
+  };
+
+  static LabelTable& instance();
+
+  /// Returns the id for `label`, interning it (and its folded form) on
+  /// first sight.
+  std::uint32_t intern(std::string_view label);
+  /// Lock-free entry lookup; `id` must come from intern().
+  [[nodiscard]] const Entry& entry(std::uint32_t id) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept;
+
+ private:
+  LabelTable() = default;
+  struct Impl;
+  Impl* impl();  // lazily-built, never destroyed (ids outlive everything)
+};
+
+}  // namespace detail
+
+/// A domain name as a sequence of labels (no trailing root label stored),
+/// held as interned label ids: up to kInline labels live inline with zero
+/// heap allocation. Comparison and matching are case-insensitive per
+/// RFC 1035 §2.3.3 and never allocate.
 class DnsName {
  public:
   DnsName() = default;
-  explicit DnsName(std::vector<std::string> labels);
+  explicit DnsName(const std::vector<std::string>& labels);
+
+  DnsName(const DnsName& other) { assign(other.ids(), other.count_); }
+  DnsName(DnsName&& other) noexcept { steal(other); }
+  DnsName& operator=(const DnsName& other) {
+    if (this != &other) {
+      release();
+      assign(other.ids(), other.count_);
+    }
+    return *this;
+  }
+  DnsName& operator=(DnsName&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal(other);
+    }
+    return *this;
+  }
+  ~DnsName() { release(); }
 
   /// Parses presentation format ("www.example.com", trailing dot allowed).
   /// Enforces label (≤63) and name (≤253) length limits and non-empty
@@ -33,9 +94,11 @@ class DnsName {
   static std::optional<DnsName> parse(std::string_view text);
   static DnsName must_parse(std::string_view text);
 
-  [[nodiscard]] const std::vector<std::string>& labels() const noexcept { return labels_; }
-  [[nodiscard]] bool is_root() const noexcept { return labels_.empty(); }
-  [[nodiscard]] std::size_t label_count() const noexcept { return labels_.size(); }
+  [[nodiscard]] bool is_root() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t label_count() const noexcept { return count_; }
+  /// Original spelling of label `i` (0 = leftmost); views into the immortal
+  /// intern table, valid forever.
+  [[nodiscard]] std::string_view label(std::size_t i) const noexcept;
   [[nodiscard]] std::string str() const;
 
   /// True when this name equals `zone` or is under it ("a.b.c" under "b.c").
@@ -48,8 +111,43 @@ class DnsName {
   bool operator==(const DnsName& other) const;
   bool operator<(const DnsName& other) const;  // canonical (case-folded) order
 
+  /// Three-way compare of the original-case presentation strings (exactly
+  /// a.str() <=> b.str(), without materializing either). Case-SENSITIVE —
+  /// this is the tie-breaker hit_canonical_less uses, not DNS matching.
+  [[nodiscard]] int compare_presentation(const DnsName& other) const;
+
  private:
-  std::vector<std::string> labels_;
+  friend struct DnsNameBuilder;
+  static constexpr std::size_t kInline = 8;
+
+  [[nodiscard]] const std::uint32_t* ids() const noexcept {
+    return count_ <= kInline ? inline_ : heap_;
+  }
+  void assign(const std::uint32_t* ids, std::uint16_t n);
+  void append(std::uint32_t id);
+  void release() noexcept {
+    if (count_ > kInline) delete[] heap_;
+    count_ = 0;
+    heap_ = nullptr;
+  }
+  void steal(DnsName& other) noexcept {
+    count_ = other.count_;
+    cap_ = other.cap_;
+    if (count_ > kInline) {
+      heap_ = other.heap_;
+    } else {
+      std::memcpy(inline_, other.inline_, sizeof(std::uint32_t) * count_);
+    }
+    other.count_ = 0;
+    other.heap_ = nullptr;
+  }
+
+  union {
+    std::uint32_t inline_[kInline];
+    std::uint32_t* heap_;  // active when count_ > kInline
+  };
+  std::uint16_t count_ = 0;
+  std::uint16_t cap_ = 0;  // heap capacity (labels), meaningful when heap-backed
 };
 
 enum class DnsType : std::uint16_t {

@@ -18,13 +18,13 @@ void ProberHost::bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr addr) {
   addr_ = addr;
   tcp_ = std::make_unique<sim::TcpStack>(net, node, rng_.fork("tcp"));
   tcp_->set_on_established([this](const sim::ConnKey& key) {
-    auto it = jobs_.find(key);
-    if (it == jobs_.end()) return;
-    if (it->second.tls) {
+    const HttpJob* job = jobs_.find(key);
+    if (job == nullptr) return;
+    if (job->tls) {
       net::TlsClientHello hello;
       for (auto& b : hello.random) b = static_cast<std::uint8_t>(rng_.bits());
       hello.cipher_suites = {0x1301, 0x1302, 0x1303, 0xC02F};
-      hello.set_sni(it->second.domain.str());
+      hello.set_sni(job->domain.str());
       hello.set_supported_versions({0x0304, 0x0303});
       hello.set_alpn({"h2", "http/1.1"});
       Bytes record = hello.encode_record();
@@ -36,11 +36,11 @@ void ProberHost::bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr addr) {
   });
   tcp_->set_on_data([this](const sim::ConnKey& key, BytesView data) {
     (void)data;
-    auto it = jobs_.find(key);
-    if (it == jobs_.end()) return;
-    if (it->second.tls || it->second.paths.empty()) {
+    const HttpJob* job = jobs_.find(key);
+    if (job == nullptr) return;
+    if (job->tls || job->paths.empty()) {
       // ServerHello received, or final HTTP response: done probing.
-      jobs_.erase(it);
+      jobs_.erase(key);
       tcp_->close(key);
       return;
     }
@@ -77,7 +77,7 @@ void ProberHost::resolve(const net::DnsName& domain, net::Ipv4Addr resolver,
   std::uint16_t qid;
   do {
     qid = static_cast<std::uint16_t>(qid_rng_.bits());
-  } while (lookups_.count(qid) > 0);
+  } while (lookups_.contains(qid));
   PendingLookup lookup{domain, purpose, path_count, /*iterative=*/false, 0};
   net::Ipv4Addr server = resolver;
   // Behaviour keyed by (domain, occurrence): whether this probe walks the
@@ -112,22 +112,22 @@ void ProberHost::on_datagram(sim::Network& net, sim::NodeId self,
   if (!udp.ok() || udp.value().src_port != 53) return;
   auto response = net::DnsMessage::decode(BytesView(udp.value().payload));
   if (!response.ok() || !response.value().header.qr) return;
-  auto pending = lookups_.find(response.value().header.id);
-  if (pending == lookups_.end()) return;
-  std::uint16_t qid = pending->first;
+  std::uint16_t qid = response.value().header.id;
+  PendingLookup* pending = lookups_.find(qid);
+  if (pending == nullptr) return;
   // Iterative walks follow glued referrals until an answer arrives.
-  if (pending->second.iterative && response.value().answers.empty()) {
+  if (pending->iterative && response.value().answers.empty()) {
     for (const auto& glue : response.value().additionals) {
       if (glue.type != net::DnsType::kA) continue;
       if (const auto* a = std::get_if<net::Ipv4Addr>(&glue.rdata)) {
-        if (++pending->second.referrals > 8) break;
-        send_query(qid, pending->second.domain, *a, /*recursive=*/false);
+        if (++pending->referrals > 8) break;
+        send_query(qid, pending->domain, *a, /*recursive=*/false);
         return;
       }
     }
   }
-  PendingLookup lookup = std::move(pending->second);
-  lookups_.erase(pending);
+  PendingLookup lookup = std::move(*pending);
+  lookups_.erase(qid);
   if (lookup.purpose == Purpose::kDnsOnly) return;  // the query itself was the probe
   for (const auto& rr : response.value().answers) {
     if (rr.type != net::DnsType::kA) continue;
@@ -176,11 +176,11 @@ void ProberHost::start_https(const net::DnsName& domain, net::Ipv4Addr address) 
 }
 
 void ProberHost::send_next_get(const sim::ConnKey& key) {
-  auto it = jobs_.find(key);
-  if (it == jobs_.end()) return;
-  HttpJob& job = it->second;
+  HttpJob* found = jobs_.find(key);
+  if (found == nullptr) return;
+  HttpJob& job = *found;
   if (job.paths.empty()) {
-    jobs_.erase(it);
+    jobs_.erase(key);
     tcp_->close(key);
     return;
   }

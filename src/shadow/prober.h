@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "intel/signatures.h"
 #include "net/dns.h"
@@ -99,10 +100,10 @@ class ProberHost : public sim::DatagramHandler {
   sim::NodeId node_ = sim::kInvalidNode;
   net::Ipv4Addr addr_;
   std::unique_ptr<sim::TcpStack> tcp_;
-  std::map<std::uint16_t, PendingLookup> lookups_;  // by DNS query id
+  FlatMap<std::uint16_t, PendingLookup> lookups_;  // by DNS query id
   std::vector<net::Ipv4Addr> roots_;
   double direct_probability_ = 0.0;
-  std::map<sim::ConnKey, HttpJob> jobs_;
+  FlatMap<sim::ConnKey, HttpJob> jobs_;
   std::uint16_t dns_sport_ = 33000;
   std::uint64_t probes_sent_ = 0;
 };

@@ -31,12 +31,16 @@ bool EventLoop::cancel(TimerId id) {
   return true;
 }
 
+// NOTE: FlatSet iteration order never matters here — cancellable_ and
+// tombstones_ are only ever probed/erased by key.
+
 EventLoopStats EventLoop::stats() const noexcept {
   return EventLoopStats{processed_, next_seq_, cancelled_, heap_.size(), high_water_,
                         now_};
 }
 
 void EventLoop::purge_cancelled_front() {
+  if (tombstones_.empty()) return;
   while (!heap_.empty() && tombstones_.count(heap_.front().seq) != 0) {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     tombstones_.erase(heap_.back().seq);
@@ -50,7 +54,9 @@ bool EventLoop::step() {
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
   Entry entry = std::move(heap_.back());
   heap_.pop_back();
-  cancellable_.erase(entry.seq);
+  // Almost all events are plain (non-cancellable); skip the probe entirely
+  // while no cancellable timer is outstanding.
+  if (!cancellable_.empty()) cancellable_.erase(entry.seq);
   now_ = entry.when;
   ++processed_;
   entry.action();

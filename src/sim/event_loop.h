@@ -7,10 +7,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
+#include "common/small_fn.h"
 #include "common/time.h"
 
 namespace shadowprobe::sim {
@@ -31,7 +31,9 @@ using TimerId = std::uint64_t;
 
 class EventLoop {
  public:
-  using Action = std::function<void()>;
+  // Small-buffer callable: per-hop delivery closures (~56 bytes of captures)
+  // live inline in the queue entry instead of behind a std::function malloc.
+  using Action = SmallFn<void(), 64>;
 
   /// Schedules `action` to run at now() + delay (delay < 0 clamps to now()).
   void schedule(SimDuration delay, Action action);
@@ -51,6 +53,10 @@ class EventLoop {
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
   [[nodiscard]] EventLoopStats stats() const noexcept;
+
+  /// Pre-sizes the queue for an expected simultaneous depth (plan-known
+  /// sizes avoid regrowth moves of in-flight entries).
+  void reserve(std::size_t expected_pending) { heap_.reserve(expected_pending); }
 
   /// Runs events until the queue drains.
   void run();
@@ -86,9 +92,9 @@ class EventLoop {
   std::uint64_t cancelled_ = 0;
   std::size_t high_water_ = 0;
   // Seqs of live cancellable timers; membership means cancel() may disarm.
-  std::unordered_set<std::uint64_t> cancellable_;
+  FlatSet<std::uint64_t> cancellable_;
   // Cancelled-but-still-queued seqs, discarded (not executed) when popped.
-  std::unordered_set<std::uint64_t> tombstones_;
+  FlatSet<std::uint64_t> tombstones_;
 };
 
 }  // namespace shadowprobe::sim

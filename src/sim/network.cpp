@@ -26,8 +26,10 @@ const char* drop_reason_name(DropReason reason) noexcept {
 
 NodeId Network::add_node(std::string name, NodeKind kind, net::Ipv4Addr addr,
                          DatagramHandler* handler) {
-  if (addr_owner_.count(addr) != 0)
-    throw std::invalid_argument("address already assigned: " + addr.str());
+  if (const NodeId* owner = addr_owner_.find(addr); owner != nullptr) {
+    throw std::invalid_argument("address already assigned: " + addr.str() + " (owned by " +
+                                nodes_.at(*owner).name + ", wanted by " + name + ")");
+  }
   NodeId id = static_cast<NodeId>(nodes_.size());
   Node node;
   node.name = std::move(name);
@@ -49,7 +51,7 @@ NodeId Network::add_host(std::string name, net::Ipv4Addr addr, DatagramHandler* 
 }
 
 void Network::add_address(NodeId node, net::Ipv4Addr addr) {
-  if (addr_owner_.count(addr) != 0)
+  if (addr_owner_.contains(addr))
     throw std::invalid_argument("address already assigned: " + addr.str());
   nodes_.at(node).addresses.push_back(addr);
   addr_owner_[addr] = node;
@@ -82,13 +84,13 @@ NodeKind Network::kind(NodeId node) const { return nodes_.at(node).kind; }
 net::Ipv4Addr Network::address(NodeId node) const { return nodes_.at(node).primary; }
 
 NodeId Network::owner_of(net::Ipv4Addr addr) const {
-  auto it = addr_owner_.find(addr);
-  return it == addr_owner_.end() ? kInvalidNode : it->second;
+  const NodeId* owner = addr_owner_.find(addr);
+  return owner == nullptr ? kInvalidNode : *owner;
 }
 
 SimDuration Network::latency(NodeId a, NodeId b) const {
-  auto it = link_latency_.find({std::min(a, b), std::max(a, b)});
-  return it == link_latency_.end() ? default_latency_ : it->second;
+  const SimDuration* lat = link_latency_.find({std::min(a, b), std::max(a, b)});
+  return lat == nullptr ? default_latency_ : *lat;
 }
 
 bool Network::is_local(const Node& n, net::Ipv4Addr addr) const {
@@ -113,7 +115,7 @@ void Network::send(NodeId from, net::Ipv4Header header, BytesView payload) {
   // maintenance) cannot emit: its packets die in the local stack.
   if (injector_ != nullptr && injector_->node_down(origin.name, now())) {
     drops_.add(static_cast<int>(DropReason::kEndpointDown));
-    ++endpoint_drops_[origin.name];
+    ++endpoint_drops_[from];
     injector_->count_endpoint_drop();
     return;
   }
@@ -184,7 +186,7 @@ void Network::arrive(NodeId node, net::Ipv4Header header, Bytes payload) {
     // being down), but delivery fails silently.
     if (injector_ != nullptr && injector_->node_down(n.name, now())) {
       drops_.add(static_cast<int>(DropReason::kEndpointDown));
-      ++endpoint_drops_[n.name];
+      ++endpoint_drops_[node];
       injector_->count_endpoint_drop();
       return;
     }

@@ -11,11 +11,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/flat_map.h"
 #include "common/stats.h"
 #include "common/time.h"
 #include "net/icmp.h"
@@ -136,10 +136,11 @@ class Network {
   [[nodiscard]] const Counter<int>& drops() const noexcept { return drops_; }
   /// Mergeable snapshot of delivered/forwarded/drop counters.
   [[nodiscard]] NetworkCounters counters() const noexcept;
-  /// Packets dropped because the named node was inside an outage window,
-  /// keyed by node name (used to attribute honeypot-downtime hits).
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& endpoint_drops()
-      const noexcept {
+  /// Packets dropped because a node was inside an outage window, keyed by
+  /// NodeId (two distinct nodes that happen to share a name keep separate
+  /// counters; translate via name() only at report/JSON time). Used to
+  /// attribute honeypot-downtime hits.
+  [[nodiscard]] const FlatMap<NodeId, std::uint64_t>& endpoint_drops() const noexcept {
     return endpoint_drops_;
   }
 
@@ -164,15 +165,17 @@ class Network {
 
   EventLoop& loop_;
   std::vector<Node> nodes_;
-  std::map<net::Ipv4Addr, NodeId> addr_owner_;
-  std::map<std::pair<NodeId, NodeId>, SimDuration> link_latency_;
+  // Per-packet lookup tables: open-addressing flat maps (no per-node
+  // allocation, no pointer chasing); neither is ever iterated for output.
+  FlatMap<net::Ipv4Addr, NodeId> addr_owner_;
+  FlatMap<std::pair<NodeId, NodeId>, SimDuration> link_latency_;
   SimDuration default_latency_ = 5 * kMillisecond;
   FaultInjector* injector_ = nullptr;
 
   std::uint64_t delivered_ = 0;
   std::uint64_t forwarded_ = 0;
   Counter<int> drops_;  // keyed by static_cast<int>(DropReason)
-  std::map<std::string, std::uint64_t> endpoint_drops_;  // by downed node name
+  FlatMap<NodeId, std::uint64_t> endpoint_drops_;  // by downed node id
 };
 
 }  // namespace shadowprobe::sim

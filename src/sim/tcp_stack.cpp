@@ -35,12 +35,12 @@ ConnKey TcpStack::connect(net::Ipv4Addr local_addr, net::Ipv4Addr remote_addr,
 }
 
 void TcpStack::send_data(const ConnKey& key, BytesView data) {
-  auto it = conns_.find(key);
-  if (it == conns_.end() || it->second.state != TcpState::kEstablished) {
+  Conn* found = conns_.find(key);
+  if (found == nullptr || found->state != TcpState::kEstablished) {
     SP_LOG_WARN("TcpStack::send_data on non-established connection");
     return;
   }
-  Conn& conn = it->second;
+  Conn& conn = *found;
   emit(key, conn, {.ack = true, .psh = true}, conn.snd_nxt, conn.rcv_nxt, data);
   if (rtx_.enabled) {
     disarm_retransmit(conn);
@@ -53,16 +53,15 @@ void TcpStack::send_data(const ConnKey& key, BytesView data) {
 }
 
 void TcpStack::close(const ConnKey& key) {
-  auto it = conns_.find(key);
-  if (it == conns_.end()) return;
-  Conn& conn = it->second;
-  disarm_retransmit(conn);
-  if (conn.state == TcpState::kEstablished || conn.state == TcpState::kSynReceived) {
-    emit(key, conn, {.ack = true, .fin = true}, conn.snd_nxt, conn.rcv_nxt, {});
-    conn.snd_nxt += 1;  // FIN consumes one sequence number
-    conn.state = TcpState::kFinWait;
+  Conn* conn = conns_.find(key);
+  if (conn == nullptr) return;
+  disarm_retransmit(*conn);
+  if (conn->state == TcpState::kEstablished || conn->state == TcpState::kSynReceived) {
+    emit(key, *conn, {.ack = true, .fin = true}, conn->snd_nxt, conn->rcv_nxt, {});
+    conn->snd_nxt += 1;  // FIN consumes one sequence number
+    conn->state = TcpState::kFinWait;
   } else {
-    conns_.erase(it);
+    conns_.erase(key);
   }
 }
 
@@ -80,15 +79,15 @@ void TcpStack::disarm_retransmit(Conn& conn) {
 }
 
 void TcpStack::on_retransmit_timer(const ConnKey& key) {
-  auto it = conns_.find(key);
-  if (it == conns_.end()) return;
-  Conn& conn = it->second;
+  Conn* found = conns_.find(key);
+  if (found == nullptr) return;
+  Conn& conn = *found;
   conn.rtx_armed = false;
   bool handshake = conn.state == TcpState::kSynSent;
   bool has_data = !conn.una_payload.empty();
   if (!handshake && !has_data) return;  // everything in flight was acknowledged
   if (conn.retries >= rtx_.max_retries) {
-    conns_.erase(it);
+    conns_.erase(key);
     if (on_failed_) on_failed_(key, handshake);
     return;
   }
@@ -104,9 +103,9 @@ void TcpStack::on_retransmit_timer(const ConnKey& key) {
 }
 
 std::optional<TcpState> TcpStack::state(const ConnKey& key) const {
-  auto it = conns_.find(key);
-  if (it == conns_.end()) return std::nullopt;
-  return it->second.state;
+  const Conn* conn = conns_.find(key);
+  if (conn == nullptr) return std::nullopt;
+  return conn->state;
 }
 
 void TcpStack::emit(const ConnKey& key, const Conn& conn, net::TcpFlags flags,
@@ -152,12 +151,12 @@ void TcpStack::on_segment(const net::Ipv4Datagram& dgram) {
   }
   const net::TcpSegment& seg = decoded.value();
   ConnKey key{dgram.header.dst, seg.dst_port, dgram.header.src, seg.src_port};
-  auto it = conns_.find(key);
+  Conn* found = conns_.find(key);
 
-  if (it == conns_.end()) {
+  if (found == nullptr) {
     // New inbound SYN to a listening port opens a connection; anything else
     // to an unknown tuple draws RST (or silence for filtering devices).
-    if (seg.flags.syn && !seg.flags.ack && listeners_.count(key.local_port) > 0) {
+    if (seg.flags.syn && !seg.flags.ack && listeners_.contains(key.local_port)) {
       Conn conn;
       conn.server = true;
       conn.state = TcpState::kSynReceived;
@@ -172,11 +171,11 @@ void TcpStack::on_segment(const net::Ipv4Datagram& dgram) {
     return;
   }
 
-  Conn& conn = it->second;
+  Conn& conn = *found;
   if (seg.flags.rst) {
     bool handshake = conn.state == TcpState::kSynSent;
     disarm_retransmit(conn);
-    conns_.erase(it);
+    conns_.erase(key);
     if (on_reset_) on_reset_(key, handshake);
     return;
   }
@@ -229,11 +228,13 @@ void TcpStack::on_segment(const net::Ipv4Datagram& dgram) {
       conn.rcv_nxt += static_cast<std::uint32_t>(seg.payload.size());
       emit(key, conn, {.ack = true}, conn.snd_nxt, conn.rcv_nxt, {});
       if (conn.server) {
-        auto listener = listeners_.find(key.local_port);
-        if (listener != listeners_.end()) {
-          Bytes response = listener->second(key, BytesView(seg.payload));
-          if (!response.empty() && conns_.count(key) > 0 &&
-              conns_[key].state == TcpState::kEstablished) {
+        if (ServerDataFn* listener = listeners_.find(key.local_port)) {
+          Bytes response = (*listener)(key, BytesView(seg.payload));
+          // The callback may have mutated conns_ (closed this connection or
+          // opened another, moving slots): re-probe before answering.
+          const Conn* after = conns_.find(key);
+          if (!response.empty() && after != nullptr &&
+              after->state == TcpState::kEstablished) {
             send_data(key, BytesView(response));
           }
         }
@@ -245,8 +246,9 @@ void TcpStack::on_segment(const net::Ipv4Datagram& dgram) {
     }
   }
 
-  if (conns_.count(key) == 0) return;  // callback may have closed it
-  Conn& conn2 = conns_[key];
+  Conn* still_open = conns_.find(key);
+  if (still_open == nullptr) return;  // callback may have closed it
+  Conn& conn2 = *still_open;
   if (seg.flags.fin) {
     conn2.rcv_nxt = seg.seq + static_cast<std::uint32_t>(seg.payload.size()) + 1;
     disarm_retransmit(conn2);

@@ -19,10 +19,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "net/ipv4.h"
 #include "net/tcp.h"
@@ -38,6 +38,15 @@ struct ConnKey {
   std::uint16_t remote_port = 0;
 
   auto operator<=>(const ConnKey&) const = default;
+
+  /// Stable 64-bit digest for FlatMap keying (both ports fit beside one
+  /// address; the second address is folded in with a rotation).
+  [[nodiscard]] std::uint64_t flat_hash() const noexcept {
+    std::uint64_t lo = (static_cast<std::uint64_t>(local_addr.value()) << 32) |
+                       (static_cast<std::uint64_t>(local_port) << 16) | remote_port;
+    std::uint64_t hi = static_cast<std::uint64_t>(remote_addr.value());
+    return lo ^ (hi << 13 | hi >> 51);
+  }
 };
 
 enum class TcpState { kSynSent, kSynReceived, kEstablished, kFinWait, kClosed };
@@ -128,8 +137,10 @@ class TcpStack {
   Network& net_;
   NodeId self_;
   Rng rng_;
-  std::map<std::uint16_t, ServerDataFn> listeners_;
-  std::map<ConnKey, Conn> conns_;
+  // Pure per-segment lookup tables, never iterated (open_connections() only
+  // reports the size): flat maps keep the per-packet path allocation-free.
+  FlatMap<std::uint16_t, ServerDataFn> listeners_;
+  FlatMap<ConnKey, Conn> conns_;
   std::uint16_t next_ephemeral_ = 49152;
   bool respond_rst_ = true;
   RetransmitPolicy rtx_;

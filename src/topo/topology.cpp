@@ -551,7 +551,11 @@ sim::NodeId Topology::add_host_in_as(sim::Network& net, std::uint32_t asn,
   auto it = as_index_.find(asn);
   if (it == as_index_.end()) throw std::invalid_argument("unknown AS " + std::to_string(asn));
   AsRecord& as = ases_[it->second];
+  // Services claim extra addresses inside the AS prefix after the topology
+  // was built (resolver egress = service+9, anycast instances); skip any
+  // offset the network already knows about instead of colliding with it.
   net::Ipv4Addr addr = as.prefix.at(as.next_host++);
+  while (net.owner_of(addr) != sim::kInvalidNode) addr = as.prefix.at(as.next_host++);
   sim::NodeId host = net.add_host(name, addr, handler);
   net.routes(host).set_default(as.access);
   net.routes(as.access).add(net::Prefix(addr, 32), host);

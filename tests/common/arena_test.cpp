@@ -1,0 +1,125 @@
+#include "common/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace shadowprobe {
+namespace {
+
+TEST(BumpArena, StoreReturnsStableViews) {
+  BumpArena arena;
+  std::string_view a = arena.store("alpha");
+  std::string_view b = arena.store("beta");
+  EXPECT_EQ(a, "alpha");
+  EXPECT_EQ(b, "beta");
+  EXPECT_NE(a.data(), b.data());
+  EXPECT_EQ(arena.allocations(), 2u);
+}
+
+TEST(BumpArena, AllocateRespectsAlignment) {
+  BumpArena arena;
+  (void)arena.allocate(1, 1);  // misalign the cursor on purpose
+  void* p = arena.allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+}
+
+TEST(BumpArena, SpillsIntoNewChunksAndViewsStayValid) {
+  BumpArena arena(64);  // tiny chunks force spills quickly
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 100; ++i) {
+    views.push_back(arena.store("payload-" + std::to_string(i)));
+  }
+  EXPECT_GT(arena.allocated_chunks(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(views[static_cast<std::size_t>(i)], "payload-" + std::to_string(i));
+  }
+}
+
+TEST(BumpArena, OversizedAllocationGetsItsOwnChunk) {
+  BumpArena arena(32);
+  void* big = arena.allocate(1000, 1);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xAB, 1000);  // must be fully usable
+}
+
+TEST(BumpArena, ResetRecyclesCapacity) {
+  BumpArena arena(64);
+  for (int i = 0; i < 50; ++i) (void)arena.store("some-longer-payload-text");
+  std::size_t chunks_before = arena.allocated_chunks();
+  arena.reset();
+  EXPECT_EQ(arena.allocations(), 0u);
+  for (int i = 0; i < 50; ++i) (void)arena.store("some-longer-payload-text");
+  // Same workload after reset reuses the chunk list instead of growing it.
+  EXPECT_EQ(arena.allocated_chunks(), chunks_before);
+}
+
+TEST(BufferPool, AcquireFromEmptyPoolIsFresh) {
+  BufferPool pool;
+  Bytes buf = pool.acquire();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(pool.reuses(), 0u);
+}
+
+TEST(BufferPool, ReleaseThenAcquireReusesCapacity) {
+  BufferPool pool;
+  Bytes buf;
+  buf.resize(1500);
+  const std::size_t grown = buf.capacity();
+  pool.release(std::move(buf));
+  EXPECT_EQ(pool.pooled(), 1u);
+  Bytes again = pool.acquire();
+  EXPECT_TRUE(again.empty());  // contents never survive the pool
+  EXPECT_EQ(again.capacity(), grown);
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(BufferPool, AcquireCopyCopiesContents) {
+  BufferPool pool;
+  Bytes seed;
+  seed.resize(64, 0x5A);
+  pool.release(std::move(seed));
+  const std::uint8_t raw[] = {1, 2, 3, 4};
+  Bytes copy = pool.acquire_copy(BytesView(raw, sizeof raw));
+  ASSERT_EQ(copy.size(), 4u);
+  EXPECT_EQ(copy[0], 1);
+  EXPECT_EQ(copy[3], 4);
+}
+
+TEST(BufferPool, CapsPooledBuffers) {
+  BufferPool pool(2);
+  for (int i = 0; i < 5; ++i) {
+    Bytes buf;
+    buf.resize(16);
+    pool.release(std::move(buf));
+  }
+  EXPECT_EQ(pool.pooled(), 2u);
+}
+
+TEST(BufferPool, EmptyBuffersAreNotPooled) {
+  BufferPool pool;
+  pool.release(Bytes{});
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(FixedPool, RecyclesBlocksLifo) {
+  FixedPool<64> pool;
+  void* a = pool.allocate();
+  void* b = pool.allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.live(), 2u);
+  pool.deallocate(b);
+  EXPECT_EQ(pool.live(), 1u);
+  void* c = pool.allocate();
+  EXPECT_EQ(c, b);  // freelist head returned first
+  EXPECT_EQ(pool.live(), 2u);
+  pool.deallocate(a);
+  pool.deallocate(c);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+}  // namespace
+}  // namespace shadowprobe

@@ -1,0 +1,237 @@
+#include "common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace shadowprobe {
+namespace {
+
+TEST(FlatMap, InsertFindContains) {
+  FlatMap<std::uint32_t, std::string> map;
+  EXPECT_TRUE(map.empty());
+  map[7] = "seven";
+  map[42] = "forty-two";
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.find(7), nullptr);
+  EXPECT_EQ(*map.find(7), "seven");
+  EXPECT_TRUE(map.contains(42));
+  EXPECT_FALSE(map.contains(1));
+  EXPECT_EQ(map.find(1), nullptr);
+  EXPECT_EQ(map.count(42), 1u);
+  EXPECT_EQ(map.count(1), 0u);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs) {
+  FlatMap<int, int> map;
+  EXPECT_EQ(map[5], 0);
+  map[5] += 3;
+  EXPECT_EQ(map.at(5), 3);
+}
+
+TEST(FlatMap, EmplaceKeepsFirst) {
+  FlatMap<int, std::string> map;
+  auto [first, inserted] = map.emplace(1, "first");
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*first, "first");
+  auto [second, inserted_again] = map.emplace(1, "second");
+  EXPECT_FALSE(inserted_again);
+  EXPECT_EQ(*second, "first");
+}
+
+TEST(FlatMap, InsertOrAssignOverwrites) {
+  FlatMap<int, std::string> map;
+  map.insert_or_assign(1, "one");
+  map.insert_or_assign(1, "uno");
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.at(1), "uno");
+}
+
+TEST(FlatMap, AtThrowsOnMissingKey) {
+  FlatMap<int, int> map;
+  map[1] = 10;
+  EXPECT_EQ(map.at(1), 10);
+  EXPECT_THROW((void)map.at(2), std::out_of_range);
+}
+
+TEST(FlatMap, EraseReturnsCount) {
+  FlatMap<int, int> map;
+  map[1] = 10;
+  EXPECT_EQ(map.erase(1), 1u);
+  EXPECT_EQ(map.erase(1), 0u);
+  EXPECT_EQ(map.erase(99), 0u);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FlatMap, GrowthPreservesAllEntries) {
+  FlatMap<std::uint32_t, std::uint32_t> map;
+  constexpr std::uint32_t kCount = 10000;
+  for (std::uint32_t i = 0; i < kCount; ++i) map[i] = i * 3;
+  EXPECT_EQ(map.size(), kCount);
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    const std::uint32_t* v = map.find(i);
+    ASSERT_NE(v, nullptr) << "key " << i << " lost during growth";
+    EXPECT_EQ(*v, i * 3);
+  }
+}
+
+TEST(FlatMap, ReservePreventsRehashUpToRequestedSize) {
+  FlatMap<int, int> map;
+  map.reserve(100);
+  map[0] = 0;
+  int* stable = map.find(0);
+  ASSERT_NE(stable, nullptr);
+  for (int i = 1; i < 100; ++i) map[i] = i;
+  // No rehash happened within the reserved size, so the pointer is intact.
+  EXPECT_EQ(map.find(0), stable);
+  EXPECT_EQ(*stable, 0);
+}
+
+// Forces heavy clustering (all keys share 4 home buckets) so erase's
+// backward-shift deletion has long probe chains to repair.
+struct Mod4Hash {
+  std::uint64_t operator()(int key) const noexcept {
+    return static_cast<std::uint64_t>(key % 4);
+  }
+};
+
+TEST(FlatMap, BackwardShiftEraseKeepsProbeChainsIntact) {
+  FlatMap<int, int, Mod4Hash> map;
+  for (int i = 0; i < 48; ++i) map[i] = i;
+  // Erase every third key, including chain heads and middles.
+  for (int i = 0; i < 48; i += 3) EXPECT_EQ(map.erase(i), 1u);
+  for (int i = 0; i < 48; ++i) {
+    if (i % 3 == 0) {
+      EXPECT_FALSE(map.contains(i)) << i;
+    } else {
+      const int* v = map.find(i);
+      ASSERT_NE(v, nullptr) << "key " << i << " unreachable after backward-shift";
+      EXPECT_EQ(*v, i);
+    }
+  }
+}
+
+TEST(FlatMap, RandomizedChurnMatchesStdMap) {
+  FlatMap<std::uint32_t, std::uint64_t> flat;
+  std::map<std::uint32_t, std::uint64_t> reference;
+  Rng rng(20240301);
+  for (int step = 0; step < 20000; ++step) {
+    std::uint32_t key = static_cast<std::uint32_t>(rng.below(512));
+    if (rng.chance(0.4)) {
+      flat.erase(key);
+      reference.erase(key);
+    } else {
+      std::uint64_t value = rng.bits();
+      flat.insert_or_assign(key, value);
+      reference[key] = value;
+    }
+  }
+  ASSERT_EQ(flat.size(), reference.size());
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> items = flat.sorted_items();
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> expected(reference.begin(),
+                                                                reference.end());
+  EXPECT_EQ(items, expected);
+}
+
+TEST(FlatMap, TableOrderIsAFunctionOfOperationSequence) {
+  // Determinism contract: two maps fed the same insert/erase sequence
+  // present the same for_each order (platform- and run-independent).
+  FlatMap<std::uint32_t, int> a;
+  FlatMap<std::uint32_t, int> b;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    a[i * 7 + 1] = static_cast<int>(i);
+    b[i * 7 + 1] = static_cast<int>(i);
+  }
+  for (std::uint32_t i = 0; i < 200; i += 2) {
+    a.erase(i * 7 + 1);
+    b.erase(i * 7 + 1);
+  }
+  std::vector<std::uint32_t> order_a;
+  std::vector<std::uint32_t> order_b;
+  a.for_each([&order_a](std::uint32_t key, int) { order_a.push_back(key); });
+  b.for_each([&order_b](std::uint32_t key, int) { order_b.push_back(key); });
+  EXPECT_EQ(order_a, order_b);
+}
+
+TEST(FlatMap, SortedItemsAscending) {
+  FlatMap<int, int> map;
+  for (int key : {9, 2, 7, 1, 8}) map[key] = key * 10;
+  auto items = map.sorted_items();
+  ASSERT_EQ(items.size(), 5u);
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    EXPECT_LT(items[i - 1].first, items[i].first);
+  }
+}
+
+TEST(FlatMap, PairKeys) {
+  FlatMap<std::pair<std::uint32_t, std::uint16_t>, int> map;
+  map[{10, 20}] = 1;
+  map[{10, 21}] = 2;
+  map[{11, 20}] = 3;
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.at({10, 21}), 2);
+  EXPECT_EQ(map.erase({10, 20}), 1u);
+  EXPECT_FALSE(map.contains({10, 20}));
+  EXPECT_TRUE(map.contains({11, 20}));
+}
+
+struct DigestKey {
+  std::uint32_t hi = 0;
+  std::uint32_t lo = 0;
+  bool operator==(const DigestKey&) const = default;
+  [[nodiscard]] std::uint64_t flat_hash() const noexcept {
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+  }
+};
+
+TEST(FlatMap, FlatHashMemberHook) {
+  FlatMap<DigestKey, int> map;
+  map[DigestKey{1, 2}] = 12;
+  map[DigestKey{2, 1}] = 21;
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.at(DigestKey{1, 2}), 12);
+  EXPECT_EQ(map.at(DigestKey{2, 1}), 21);
+}
+
+TEST(FlatSet, InsertEraseContains) {
+  FlatSet<std::uint32_t> set;
+  EXPECT_TRUE(set.insert(5));
+  EXPECT_FALSE(set.insert(5));  // duplicate
+  EXPECT_TRUE(set.insert(6));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_EQ(set.count(6), 1u);
+  EXPECT_EQ(set.erase(5), 1u);
+  EXPECT_EQ(set.erase(5), 0u);
+  EXPECT_FALSE(set.contains(5));
+}
+
+TEST(FlatSet, ForEachVisitsEveryKeyOnce) {
+  FlatSet<int> set;
+  for (int i = 0; i < 100; ++i) set.insert(i);
+  std::vector<bool> seen(100, false);
+  std::size_t visits = 0;
+  set.for_each([&](int key) {
+    ASSERT_GE(key, 0);
+    ASSERT_LT(key, 100);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(key)]);
+    seen[static_cast<std::size_t>(key)] = true;
+    ++visits;
+  });
+  EXPECT_EQ(visits, 100u);
+}
+
+TEST(FlatSet, SortedKeysAscending) {
+  FlatSet<int> set;
+  for (int key : {42, 3, 17, 8}) set.insert(key);
+  std::vector<int> keys = set.sorted_keys();
+  EXPECT_EQ(keys, (std::vector<int>{3, 8, 17, 42}));
+}
+
+}  // namespace
+}  // namespace shadowprobe

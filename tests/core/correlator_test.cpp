@@ -220,7 +220,8 @@ TEST_F(CorrelatorTest, ReplicatedDecoysAreExcludedFromDnsShadowing) {
       hit_for(decoy, RequestProtocol::kHttp, kHour),              // probing stays counted
   };
   Correlator correlator(ledger);
-  std::set<std::uint32_t> replicated = {decoy.id.seq};
+  FlatSet<std::uint32_t> replicated;
+  replicated.insert(decoy.id.seq);
   auto filtered = correlator.classify(hits, &replicated);
   ASSERT_EQ(filtered.size(), 1u);
   EXPECT_EQ(filtered[0].request_protocol, RequestProtocol::kHttp);

@@ -91,7 +91,7 @@ class LocatorTest : public ::testing::Test {
 
   topo::VantagePoint vp;
   DecoyLedger ledger;
-  std::map<std::uint32_t, Ipv4Addr> hop_log;
+  FlatMap<std::uint32_t, Ipv4Addr> hop_log;
   std::uint32_t pid = 0;
 };
 

@@ -11,7 +11,7 @@ TEST(DnsName, ParseBasics) {
   auto name = DnsName::parse("www.example.com");
   ASSERT_TRUE(name.has_value());
   EXPECT_EQ(name->label_count(), 3u);
-  EXPECT_EQ(name->labels()[0], "www");
+  EXPECT_EQ(name->label(0), "www");
   EXPECT_EQ(name->str(), "www.example.com");
 }
 

@@ -1,0 +1,139 @@
+// bench_diff: compare two BENCH_<topic>.json files run-by-run.
+//
+//   bench_diff OLD.json NEW.json [--threshold 10] [--strict]
+//
+// Runs are matched by their "config" string; each match prints the old and
+// new wall_ms plus the relative delta, and a delta worse than the threshold
+// (default 10%) is flagged REGRESSION. The tool is informational by default
+// — exit code 0 regardless — because bench runners in CI are noisy shared
+// machines; --strict turns a flagged regression into exit 1 for local
+// before/after checks. Comparing files whose "context" differs (different
+// scale or seed) warns and skips the verdict: the numbers are not
+// commensurable.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Run {
+  std::string config;
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t allocs = 0;
+};
+
+struct Report {
+  std::string context;
+  std::vector<Run> runs;
+};
+
+// Extracts the value of `"key": "..."` or `"key": <number>` after `from`.
+// Minimal by design: PerfReport::write emits fixed key order and formatting,
+// so positional scanning is exact for these files.
+std::string string_field(const std::string& text, const std::string& key,
+                         std::size_t from = 0) {
+  std::string needle = "\"" + key + "\": \"";
+  std::size_t at = text.find(needle, from);
+  if (at == std::string::npos) return {};
+  at += needle.size();
+  std::size_t end = text.find('"', at);
+  return end == std::string::npos ? std::string{} : text.substr(at, end - at);
+}
+
+double number_field(const std::string& text, const std::string& key,
+                    std::size_t from = 0) {
+  std::string needle = "\"" + key + "\": ";
+  std::size_t at = text.find(needle, from);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+}
+
+bool load(const char* path, Report& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  out.context = string_field(text, "context");
+  std::size_t at = 0;
+  while ((at = text.find("{\"config\"", at)) != std::string::npos) {
+    Run run;
+    run.config = string_field(text, "config", at);
+    run.wall_ms = number_field(text, "wall_ms", at);
+    run.events_per_sec = number_field(text, "events_per_sec", at);
+    run.allocs = static_cast<std::uint64_t>(number_field(text, "allocs", at));
+    out.runs.push_back(std::move(run));
+    ++at;
+  }
+  return true;
+}
+
+const Run* find_run(const Report& report, const std::string& config) {
+  for (const Run& run : report.runs) {
+    if (run.config == config) return &run;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold_pct = 10.0;
+  bool strict = false;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold_pct = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_diff OLD.json NEW.json [--threshold PCT] [--strict]\n");
+    return 2;
+  }
+
+  Report before;
+  Report after;
+  if (!load(files[0], before) || !load(files[1], after)) return 2;
+
+  bool comparable = before.context == after.context;
+  if (!comparable) {
+    std::printf("note: contexts differ (old \"%s\" vs new \"%s\") — no verdicts\n",
+                before.context.c_str(), after.context.c_str());
+  }
+
+  int regressions = 0;
+  std::printf("%-16s %12s %12s %9s\n", "config", "old ms", "new ms", "delta");
+  for (const Run& now : after.runs) {
+    const Run* then = find_run(before, now.config);
+    if (then == nullptr) {
+      std::printf("%-16s %12s %12.1f %9s  (new config)\n", now.config.c_str(), "-",
+                  now.wall_ms, "-");
+      continue;
+    }
+    double delta_pct =
+        then->wall_ms > 0.0 ? (now.wall_ms / then->wall_ms - 1.0) * 100.0 : 0.0;
+    bool regressed = comparable && delta_pct > threshold_pct;
+    if (regressed) ++regressions;
+    std::printf("%-16s %12.1f %12.1f %+8.1f%%  %s\n", now.config.c_str(),
+                then->wall_ms, now.wall_ms, delta_pct,
+                regressed ? "REGRESSION" : "");
+  }
+  if (regressions > 0) {
+    std::printf("\n%d config(s) slower than the %.0f%% threshold\n", regressions,
+                threshold_pct);
+  }
+  return strict && regressions > 0 ? 1 : 0;
+}
