@@ -54,9 +54,11 @@ int main() {
   std::size_t serial_decoys = 0;
   std::size_t serial_unsolicited = 0;
   {
+    bench::WallTimer setup_timer;
     auto bed = core::Testbed::create(bench_config());
     auto deployment = shadow::deploy_standard_exhibitors(*bed, shadow::ShadowConfig{});
     core::Campaign campaign(*bed, core::CampaignConfig{});
+    double setup_ms = setup_timer.ms();
     std::uint64_t allocs_before = bench::allocation_count();
     bench::WallTimer timer;
     campaign.run();
@@ -66,26 +68,29 @@ int main() {
     bench::PerfRun run;
     run.config = "serial";
     run.wall_ms = timer.ms();
+    run.setup_ms = setup_ms;
     run.events_per_sec = static_cast<double>(bed->loop().processed()) / timer.seconds();
     run.peak_rss_kb = bench::peak_rss_kb();
     run.allocs = bench::allocation_count() - allocs_before;
     serial_decoys = result.ledger.decoy_count();
     serial_unsolicited = result.unsolicited.size();
-    std::printf("  serial      %9.1fms  %12.0f events/s  rss %ld KiB  %llu allocs"
-                "  (%zu-byte export)\n",
-                run.wall_ms, run.events_per_sec, run.peak_rss_kb,
+    std::printf("  serial      %9.1fms  (setup %.1fms)  %12.0f events/s  rss %ld KiB"
+                "  %llu allocs  (%zu-byte export)\n",
+                run.wall_ms, run.setup_ms, run.events_per_sec, run.peak_rss_kb,
                 static_cast<unsigned long long>(run.allocs), json.size());
     report.add(std::move(run));
   }
 
   int shards = shards_from_env();
   {
+    bench::WallTimer setup_timer;
     core::CampaignEngine engine(
         bench_config(), core::CampaignConfig{}, shards,
         [](core::Testbed& replica) -> std::shared_ptr<void> {
           return std::make_shared<shadow::ShadowDeployment>(
               shadow::deploy_standard_exhibitors(replica, shadow::ShadowConfig{}));
         });
+    double setup_ms = setup_timer.ms();
     std::uint64_t allocs_before = bench::allocation_count();
     bench::WallTimer timer;
     core::CampaignResult result = engine.run();
@@ -93,15 +98,16 @@ int main() {
     bench::PerfRun run;
     run.config = "shards=" + std::to_string(shards);
     run.wall_ms = timer.ms();
+    run.setup_ms = setup_ms;
     run.events_per_sec =
         static_cast<double>(engine.events_processed()) / timer.seconds();
     run.peak_rss_kb = bench::peak_rss_kb();
     run.allocs = bench::allocation_count() - allocs_before;
     bool consistent = result.ledger.decoy_count() == serial_decoys &&
                       result.unsolicited.size() == serial_unsolicited;
-    std::printf("  shards=%-4d %9.1fms  %12.0f events/s  rss %ld KiB  %llu allocs"
-                "  (%zu-byte export)  %s\n",
-                shards, run.wall_ms, run.events_per_sec, run.peak_rss_kb,
+    std::printf("  shards=%-4d %9.1fms  (setup %.1fms)  %12.0f events/s  rss %ld KiB"
+                "  %llu allocs  (%zu-byte export)  %s\n",
+                shards, run.wall_ms, run.setup_ms, run.events_per_sec, run.peak_rss_kb,
                 static_cast<unsigned long long>(run.allocs), json.size(),
                 consistent ? "consistent" : "MISMATCH");
     report.add(std::move(run));

@@ -23,8 +23,7 @@ int main() {
               observers.size(), core::PortScanner::default_ports().size());
 
   core::PortScanner scanner(world.bed->fork_rng("bench-portscan"));
-  sim::NodeId node = world.bed->topology().add_host_in_as(world.bed->net(), 21859,
-                                                          "bench-scanner", &scanner);
+  sim::NodeId node = world.bed->add_host_in_as(21859, "bench-scanner", &scanner);
   scanner.bind(world.bed->net(), node, world.bed->net().address(node));
   scanner.scan(std::vector<net::Ipv4Addr>(observers.begin(), observers.end()),
                core::PortScanner::default_ports());

@@ -1,0 +1,160 @@
+// bench_world_share: memory proof of the World / ShardState split.
+//
+// Pre-refactor, every CampaignEngine shard rebuilt the entire substrate —
+// topology, routing tables, zone data, signature/blocklist databases — so
+// peak RSS grew linearly with --shards. With the shared World, shards only
+// own their live state (event loop, server instances, ledgers), so RSS at 8
+// shards must stay near-flat versus 1 shard. This bench enforces that (the
+// acceptance bound is 2×) and re-verifies, on the pinned golden substrate,
+// that the shared-World engine still exports the golden bytes for every
+// shard × analysis-worker layout, with the replica-per-shard engine run
+// last as the memory contrast.
+//
+// Deliberately pinned (scale 0.25, seed 20240301, 6-day campaign) rather
+// than SHADOWPROBE_SCALE-driven: the run doubles as the byte-identity check
+// against tests/data/golden_campaign.json.
+//
+// Peak RSS (ru_maxrss) is process-monotonic, so run order matters: the
+// shared-World runs go first (1 shard, then 8), the replica contrast last —
+// it would otherwise inflate the shared readings.
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/campaign_engine.h"
+#include "core/json_export.h"
+#include "core/world.h"
+#include "harness.h"
+#include "shadow/profiles.h"
+
+using namespace shadowprobe;
+
+#ifndef SHADOWPROBE_SOURCE_DIR
+#error "bench_world_share must be compiled with SHADOWPROBE_SOURCE_DIR"
+#endif
+
+namespace {
+
+core::TestbedConfig pinned_config() {
+  core::TestbedConfig config;
+  config.topology.apply_scale(0.25);
+  config.topology.seed = 20240301;
+  return config;
+}
+
+core::CampaignConfig pinned_campaign(int analysis_workers) {
+  core::CampaignConfig config;
+  config.total_duration = 6 * kDay;
+  config.analysis_workers = analysis_workers;
+  return config;
+}
+
+core::CampaignEngine::Decorator exhibitors() {
+  return [](core::Testbed& replica) -> std::shared_ptr<void> {
+    return std::make_shared<shadow::ShadowDeployment>(
+        shadow::deploy_standard_exhibitors(replica, shadow::ShadowConfig{}));
+  };
+}
+
+std::string read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct RunOutcome {
+  std::string json;
+  long peak_rss_kb = 0;
+};
+
+RunOutcome run_layout(bench::PerfReport& report, const std::string& label,
+                      core::SubstrateMode mode, int shards, int workers) {
+  std::uint64_t allocs_before = bench::allocation_count();
+  bench::WallTimer setup_timer;
+  core::CampaignEngine engine(pinned_config(), pinned_campaign(workers), shards,
+                              exhibitors(), mode);
+  double setup_ms = setup_timer.ms();
+  bench::WallTimer timer;
+  core::CampaignResult result = engine.run();
+  RunOutcome outcome;
+  outcome.json = core::export_campaign_json(engine.primary(), result, workers);
+  bench::PerfRun run;
+  run.config = label;
+  run.wall_ms = timer.ms();
+  run.setup_ms = setup_ms;
+  run.events_per_sec = static_cast<double>(engine.events_processed()) / timer.seconds();
+  run.peak_rss_kb = bench::peak_rss_kb();
+  run.allocs = bench::allocation_count() - allocs_before;
+  outcome.peak_rss_kb = run.peak_rss_kb;
+  std::printf("  %-18s %9.1fms  (setup %7.1fms)  peak rss %8ld KiB  %llu allocs\n",
+              label.c_str(), run.wall_ms, run.setup_ms, run.peak_rss_kb,
+              static_cast<unsigned long long>(run.allocs));
+  report.add(std::move(run));
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== World sharing: peak RSS vs shard count (pinned golden substrate) ==\n\n");
+  bench::PerfReport report("world_share");
+  report.set_context("pinned scale=0.25,seed=20240301,days=6");
+
+  const char* golden_path = SHADOWPROBE_SOURCE_DIR "/tests/data/golden_campaign.json";
+  std::string golden = read_file(golden_path);
+  if (golden.empty()) {
+    std::fprintf(stderr, "missing golden file %s (regenerate via ctest -R "
+                 "GoldenCampaign with SHADOWPROBE_REGEN_GOLDEN=1)\n", golden_path);
+    return 1;
+  }
+
+  int failures = 0;
+  // Shared-World runs first (monotonic RSS; see header comment).
+  RunOutcome shared1 = run_layout(report, "shared,shards=1",
+                                  core::SubstrateMode::kSharedWorld, 1, 1);
+  RunOutcome shared8 = run_layout(report, "shared,shards=8",
+                                  core::SubstrateMode::kSharedWorld, 8, 2);
+  RunOutcome replica8 = run_layout(report, "replica,shards=8",
+                                   core::SubstrateMode::kReplicaPerShard, 8, 1);
+
+  for (const auto& [label, json] :
+       {std::pair<const char*, const std::string&>{"shared,shards=1", shared1.json},
+        {"shared,shards=8", shared8.json},
+        {"replica,shards=8", replica8.json}}) {
+    if (json != golden) {
+      std::fprintf(stderr, "BYTE-IDENTITY VIOLATION: %s export (%zu bytes) differs "
+                   "from golden (%zu bytes)\n", label, json.size(), golden.size());
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("\n  all three layouts export the golden bytes (%zu bytes)\n",
+                golden.size());
+  }
+
+  if (shared1.peak_rss_kb > 0 && shared8.peak_rss_kb > 0) {
+    double ratio = static_cast<double>(shared8.peak_rss_kb) /
+                   static_cast<double>(shared1.peak_rss_kb);
+    double contrast = replica8.peak_rss_kb > 0
+                          ? static_cast<double>(replica8.peak_rss_kb) /
+                                static_cast<double>(shared1.peak_rss_kb)
+                          : 0.0;
+    std::printf("  shared RSS @8 / @1: %.2fx (bound 2.00x); replica @8: %.2fx\n",
+                ratio, contrast);
+    if (ratio > 2.0) {
+      std::fprintf(stderr, "RSS VIOLATION: shared-World 8-shard peak RSS is %.2fx "
+                   "the 1-shard peak (> 2x) — the shards are not sharing the "
+                   "World\n", ratio);
+      ++failures;
+    }
+  } else {
+    std::printf("  (no getrusage on this platform — RSS bound not checked)\n");
+  }
+
+  report.write();
+  return failures == 0 ? 0 : 1;
+}

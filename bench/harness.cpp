@@ -72,10 +72,10 @@ void PerfReport::write() const {
     const PerfRun& run = runs_[i];
     std::fprintf(out,
                  "    {\"config\": \"%s\", \"wall_ms\": %.3f, "
-                 "\"events_per_sec\": %.1f, \"peak_rss_kb\": %ld, "
-                 "\"allocs\": %llu}%s\n",
-                 run.config.c_str(), run.wall_ms, run.events_per_sec, run.peak_rss_kb,
-                 static_cast<unsigned long long>(run.allocs),
+                 "\"setup_ms\": %.3f, \"events_per_sec\": %.1f, "
+                 "\"peak_rss_kb\": %ld, \"allocs\": %llu}%s\n",
+                 run.config.c_str(), run.wall_ms, run.setup_ms, run.events_per_sec,
+                 run.peak_rss_kb, static_cast<unsigned long long>(run.allocs),
                  i + 1 < runs_.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");

@@ -52,6 +52,7 @@ void paper_line(const std::string& what, const std::string& paper,
 struct PerfRun {
   std::string config;           ///< e.g. "shards=4" — the knob under test
   double wall_ms = 0.0;         ///< wall-clock for the measured region
+  double setup_ms = 0.0;        ///< substrate/engine construction time
   double events_per_sec = 0.0;  ///< simulator events (or records) per second
   long peak_rss_kb = 0;         ///< getrusage high-water mark at sample time
   std::uint64_t allocs = 0;     ///< operator-new calls inside the region

@@ -50,11 +50,10 @@ int main() {
     auto proxy = std::make_unique<shadow::ProberHost>(
         "scan-proxy-" + std::to_string(i), bed->fork_rng("proxy" + std::to_string(i)),
         bed->signatures());
-    sim::NodeId node = bed->topology().add_host_in_as(bed->net(), 16509,
-                                                      proxy->name(), proxy.get());
+    sim::NodeId node = bed->add_host_in_as(16509, proxy->name(), proxy.get());
     proxy->bind(bed->net(), node, bed->net().address(node));
     // Security scanners' proxies are exactly the addresses blocklists list.
-    bed->blocklist().add(proxy->addr());
+    bed->note_blocklisted(proxy->addr());
     exhibitor.add_prober(proxy.get());
     proxies.push_back(std::move(proxy));
   }

@@ -48,7 +48,7 @@ int main() {
   shadow::ProberHost prober("demo-prober", bed->fork_rng("demo-prober"),
                             bed->signatures());
   sim::NodeId prober_node =
-      bed->topology().add_host_in_as(bed->net(), 4134, "demo-prober", &prober);
+      bed->add_host_in_as(4134, "demo-prober", &prober);
   prober.bind(bed->net(), prober_node, bed->net().address(prober_node));
   exhibitor.add_prober(&prober);
 

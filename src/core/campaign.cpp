@@ -37,9 +37,8 @@ Campaign::Campaign(Testbed& bed, CampaignConfig config)
   }
   // Control server for the TTL canary, hosted next to the US honeypot.
   control_server_ = std::make_unique<ControlServer>();
-  sim::NodeId node = bed_.topology().add_host_in_as(
-      bed_.net(), bed_.topology().honeypots().front().asn, "control-server",
-      control_server_.get());
+  sim::NodeId node = bed_.add_host_in_as(bed_.topology().honeypots().front().asn,
+                                         "control-server", control_server_.get());
   control_addr_ = bed_.net().address(node);
 }
 

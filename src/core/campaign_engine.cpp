@@ -10,30 +10,54 @@
 namespace shadowprobe::core {
 
 CampaignEngine::CampaignEngine(const TestbedConfig& bed_config, const CampaignConfig& config,
-                               int shard_count, Decorator decorate)
+                               int shard_count, Decorator decorate, SubstrateMode mode)
     : config_(config), requested_shards_(shard_count) {
+  if (mode == SubstrateMode::kSharedWorld) {
+    world_ = World::build(bed_config, decorate);
+  }
+  build_runners(bed_config, shard_count, decorate);
+}
+
+CampaignEngine::CampaignEngine(std::shared_ptr<const World> world,
+                               const CampaignConfig& config, int shard_count,
+                               Decorator decorate)
+    : config_(config), requested_shards_(shard_count), world_(std::move(world)) {
+  build_runners(world_->config(), shard_count, decorate);
+}
+
+void CampaignEngine::build_runners(const TestbedConfig& bed_config, int shard_count,
+                                   const Decorator& decorate) {
   int count = std::clamp(shard_count, 1, static_cast<int>(DecoyLedger::kMaxShards));
   if (count != shard_count) {
     SP_LOG_WARN(strprintf("requested %d shards, clamped to %d (valid range 1..%d)",
                           shard_count, count,
                           static_cast<int>(DecoyLedger::kMaxShards)));
   }
+  auto make_runner = [&](int i) {
+    if (world_ != nullptr) {
+      return std::make_unique<ShardRunner>(static_cast<std::uint32_t>(i),
+                                           static_cast<std::uint32_t>(count), world_,
+                                           config_, decorate);
+    }
+    return std::make_unique<ShardRunner>(static_cast<std::uint32_t>(i),
+                                         static_cast<std::uint32_t>(count), bed_config,
+                                         config_, decorate);
+  };
   runners_.resize(static_cast<std::size_t>(count));
   if (count == 1) {
-    runners_[0] = std::make_unique<ShardRunner>(0, 1, bed_config, config_, decorate);
+    runners_[0] = make_runner(0);
     return;
   }
-  // Replicas are independent; build them concurrently (slot-assigned, so the
-  // vector order — and everything keyed off shard index — is deterministic).
+  // Shards are independent — frozen instances only read the shared World —
+  // so build them concurrently (slot-assigned, keeping the vector order and
+  // everything keyed off shard index deterministic).
   std::vector<std::thread> builders;
   std::vector<std::exception_ptr> errors(runners_.size());
   builders.reserve(runners_.size());
   for (int i = 0; i < count; ++i) {
     builders.emplace_back([&, i] {
       try {
-        runners_[static_cast<std::size_t>(i)] = std::make_unique<ShardRunner>(
-            static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(count), bed_config,
-            config_, decorate);
+        runners_[static_cast<std::size_t>(i)] = make_runner(i);
       } catch (...) {
         errors[static_cast<std::size_t>(i)] = std::current_exception();
       }
@@ -240,6 +264,11 @@ CampaignResult CampaignEngine::run() {
                         "%zu unsolicited, %zu located paths",
                         runners_.size(), out.ledger.decoy_count(), out.hits.size(),
                         out.unsolicited.size(), out.findings.size()));
+  if (runners_.size() > 1) {
+    SP_LOG_INFO(strprintf("engine balance: event imbalance %.3f (max/mean over %zu "
+                          "shard loops)",
+                          out.shard_stats.event_imbalance(), runners_.size()));
+  }
   return out;
 }
 

@@ -33,19 +33,37 @@
 #include "core/campaign_result.h"
 #include "core/shard_runner.h"
 #include "core/testbed.h"
+#include "core/world.h"
 
 namespace shadowprobe::core {
+
+/// How the engine provisions per-shard substrates.
+enum class SubstrateMode {
+  /// Build one immutable World, instantiate N thin frozen Testbeds over it.
+  /// Structural state (topology, layout, zones, blocklist, signatures) is
+  /// shared read-only; peak RSS stays near-flat in the shard count.
+  kSharedWorld,
+  /// Build N full independent Testbed replicas (the pre-World behaviour).
+  /// Kept as a fallback and as the reference substrate the shared-World
+  /// byte-identity tests compare against.
+  kReplicaPerShard,
+};
 
 class CampaignEngine {
  public:
   using Decorator = ShardRunner::Decorator;
 
-  /// Builds the shard replicas, one construction thread per shard (Testbed's
-  /// shared tables are initialised thread-safely, so replicas build in
-  /// parallel). `shard_count` is clamped to [1, DecoyLedger::kMaxShards]; a
-  /// clamp logs a warning and is recorded in the result's
-  /// ShardExecutionStats.
+  /// Builds the per-shard substrates. In kSharedWorld mode (the default) one
+  /// prototype Testbed is authored, frozen into a World, and N frozen
+  /// instances are built over it concurrently; in kReplicaPerShard mode each
+  /// shard authors a full private replica. Either way `shard_count` is
+  /// clamped to [1, DecoyLedger::kMaxShards]; a clamp logs a warning and is
+  /// recorded in the result's ShardExecutionStats.
   CampaignEngine(const TestbedConfig& bed_config, const CampaignConfig& config,
+                 int shard_count, Decorator decorate = nullptr,
+                 SubstrateMode mode = SubstrateMode::kSharedWorld);
+  /// Shares a pre-built World (e.g. across several engines in one process).
+  CampaignEngine(std::shared_ptr<const World> world, const CampaignConfig& config,
                  int shard_count, Decorator decorate = nullptr);
   ~CampaignEngine();
 
@@ -61,6 +79,10 @@ class CampaignEngine {
   /// Shard 0's replica — the context (geo database, signatures, blocklist,
   /// config) downstream consumers like JSON export read from.
   [[nodiscard]] Testbed& primary() noexcept { return runners_.front()->testbed(); }
+  /// The shared immutable substrate; null in kReplicaPerShard mode.
+  [[nodiscard]] const std::shared_ptr<const World>& world() const noexcept {
+    return world_;
+  }
   /// Simulator events processed across every shard's loop (perf reporting).
   [[nodiscard]] std::uint64_t events_processed() noexcept {
     std::uint64_t total = 0;
@@ -78,9 +100,15 @@ class CampaignEngine {
   [[nodiscard]] std::vector<HoneypotHit> merged_hits() const;
   [[nodiscard]] FlatSet<std::uint32_t> merged_replicated() const;
 
+  /// Clamps the shard count and builds the runners (world-backed when
+  /// `world_` is set, full replicas otherwise).
+  void build_runners(const TestbedConfig& bed_config, int shard_count,
+                     const Decorator& decorate);
+
   CampaignConfig config_;
   CampaignPlan plan_;
   int requested_shards_ = 1;  ///< pre-clamp constructor argument
+  std::shared_ptr<const World> world_;  ///< null in kReplicaPerShard mode
   std::vector<std::unique_ptr<ShardRunner>> runners_;
 };
 

@@ -8,6 +8,7 @@
 // the campaign was executed.
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
@@ -43,6 +44,22 @@ struct ShardExecutionStats {
   /// infrastructure traffic repeats on every shard — so they feed the text
   /// report, never the byte-identical JSON export.
   std::vector<sim::NetworkCounters> per_shard_net;
+
+  /// Load imbalance across the executed shards: max over mean of per-shard
+  /// processed-event counts. 1.0 means perfectly balanced (and is returned
+  /// for serial runs); 2.0 means the busiest shard did twice the average.
+  [[nodiscard]] double event_imbalance() const {
+    if (per_shard.size() <= 1) return 1.0;
+    std::uint64_t max = 0;
+    std::uint64_t total = 0;
+    for (const auto& stats : per_shard) {
+      max = std::max(max, stats.processed);
+      total += stats.processed;
+    }
+    if (total == 0) return 1.0;
+    double mean = static_cast<double>(total) / static_cast<double>(per_shard.size());
+    return static_cast<double>(max) / mean;
+  }
 };
 
 /// How much of the planned measurement actually happened under a fault

@@ -56,7 +56,7 @@ HoneypotServer::HoneypotServer(std::string location, HoneypotLogbook& logbook, R
     : location_(std::move(location)), logbook_(logbook), rng_(rng) {}
 
 void HoneypotServer::bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr addr,
-                          dnssrv::Zone zone) {
+                          std::shared_ptr<const dnssrv::Zone> zone) {
   net_ = &net;
   addr_ = addr;
   auth_.add_zone(std::move(zone));

@@ -79,8 +79,14 @@ class HoneypotServer : public sim::DatagramHandler {
   HoneypotServer(std::string location, HoneypotLogbook& logbook, Rng rng);
 
   /// Attaches to a node and starts all three services. The zone must list
-  /// this (and the sibling) honeypots' addresses.
-  void bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr addr, dnssrv::Zone zone);
+  /// this (and the sibling) honeypots' addresses; it is shared const so one
+  /// zone image can serve every honeypot of every shard.
+  void bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr addr,
+            std::shared_ptr<const dnssrv::Zone> zone);
+  /// Convenience for tests: wraps a by-value zone.
+  void bind(sim::Network& net, sim::NodeId node, net::Ipv4Addr addr, dnssrv::Zone zone) {
+    bind(net, node, addr, std::make_shared<const dnssrv::Zone>(std::move(zone)));
+  }
 
   void on_datagram(sim::Network& net, sim::NodeId self,
                    const net::Ipv4Datagram& dgram) override;

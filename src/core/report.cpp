@@ -116,6 +116,8 @@ void print_reports(const std::string& report, const CampaignResult& result,
       std::printf("  shard %zu: %llu events processed, peak queue %zu\n", i,
                   static_cast<unsigned long long>(stats.processed), stats.high_water);
     }
+    std::printf("  shard balance: event imbalance %.3f (max/mean)\n",
+                shard_stats.event_imbalance());
     std::printf("\n");
   }
   if (result.coverage) {

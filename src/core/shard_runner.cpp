@@ -8,10 +8,22 @@ namespace shadowprobe::core {
 ShardRunner::ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
                          const TestbedConfig& bed_config, const CampaignConfig& config,
                          const Decorator& decorate)
+    : ShardRunner(shard_index, shard_count, Testbed::create(bed_config), config,
+                  decorate) {}
+
+ShardRunner::ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
+                         std::shared_ptr<const World> world, const CampaignConfig& config,
+                         const Decorator& decorate)
+    : ShardRunner(shard_index, shard_count, Testbed::instantiate(std::move(world)),
+                  config, decorate) {}
+
+ShardRunner::ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
+                         std::unique_ptr<Testbed> bed, const CampaignConfig& config,
+                         const Decorator& decorate)
     : shard_index_(shard_index),
       shard_count_(shard_count == 0 ? 1 : shard_count),
       config_(config),
-      bed_(Testbed::create(bed_config)),
+      bed_(std::move(bed)),
       rng_(bed_->fork_rng("campaign")) {
   // Ground truth first, exactly as a serial run would deploy it, so the
   // replica's address plan and handler wiring match the serial testbed.
@@ -24,7 +36,7 @@ ShardRunner::ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
     // Every replica derives the same injector from the master seed, so a
     // packet's fate on a hop is independent of which shard routes it.
     injector_ = std::make_unique<sim::FaultInjector>(
-        config_.faults, bed_config.topology.seed, config_.total_duration);
+        config_.faults, bed_->config().topology.seed, config_.total_duration);
     // Scheduled collector downtime: location codes -> honeypot node names.
     for (const sim::CollectorOutage& outage : config_.faults.collector_outages) {
       const topo::Honeypot* match = nullptr;
@@ -106,9 +118,8 @@ ShardRunner::ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
   }
   // Control server for the TTL canary, hosted next to the US honeypot.
   control_server_ = std::make_unique<ControlServer>();
-  sim::NodeId node = bed_->topology().add_host_in_as(
-      bed_->net(), bed_->topology().honeypots().front().asn, "control-server",
-      control_server_.get());
+  sim::NodeId node = bed_->add_host_in_as(bed_->topology().honeypots().front().asn,
+                                          "control-server", control_server_.get());
   control_addr_ = bed_->net().address(node);
 }
 

@@ -39,8 +39,15 @@ class ShardRunner {
   /// shard's lifetime. Type-erased so sp_core needs no sp_shadow dependency.
   using Decorator = std::function<std::shared_ptr<void>(Testbed&)>;
 
+  /// Replica mode: builds a full private Testbed from `bed_config`.
   ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
               const TestbedConfig& bed_config, const CampaignConfig& config,
+              const Decorator& decorate);
+  /// Shared-World mode: instantiates a frozen per-shard Testbed over the
+  /// immutable `world`; the decorator replays its deployment against the
+  /// frozen layout (add_host_in_as verifies the replay by node name).
+  ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
+              std::shared_ptr<const World> world, const CampaignConfig& config,
               const Decorator& decorate);
   ~ShardRunner();
 
@@ -109,6 +116,12 @@ class ShardRunner {
   }
 
  private:
+  /// Common body: both public ctors delegate here with a ready Testbed
+  /// (authoring replica or frozen instance — the wiring is identical).
+  ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
+              std::unique_ptr<Testbed> bed, const CampaignConfig& config,
+              const Decorator& decorate);
+
   /// Agents are built in vantage_points() order, one per VP, so the agent
   /// for a VP is found by pointer arithmetic against the replica's VP array
   /// — no index map needed.

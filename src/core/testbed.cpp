@@ -1,5 +1,8 @@
 #include "core/testbed.h"
 
+#include <stdexcept>
+
+#include "core/world.h"
 #include "dnssrv/zone.h"
 
 namespace shadowprobe::core {
@@ -7,10 +10,32 @@ namespace shadowprobe::core {
 Testbed::Testbed(const TestbedConfig& config)
     : config_(config),
       rng_(config.topology.seed ^ 0x73686477u),  // decorrelate from topology streams
-      signatures_(intel::SignatureDb::standard()) {
+      signatures_(std::make_shared<const intel::SignatureDb>(intel::SignatureDb::standard())),
+      blocklist_own_(std::make_shared<intel::Blocklist>()) {
+  blocklist_view_ = blocklist_own_.get();
   net_ = std::make_unique<sim::Network>(loop_);
-  topology_ = std::make_unique<topo::Topology>(topo::Topology::build(*net_, config.topology));
+  topology_ = std::make_shared<topo::Topology>(topo::Topology::build(*net_, config.topology));
+  topo_view_ = topology_.get();
+  first_dynamic_node_ = static_cast<sim::NodeId>(net_->node_count());
 }
+
+Testbed::Testbed(std::shared_ptr<const World> world)
+    : config_(world->config()),
+      rng_(config_.topology.seed ^ 0x73686477u),
+      world_(std::move(world)) {
+  topo_view_ = &world_->topology();
+  signatures_ = world_->signatures_;
+  blocklist_view_ = &world_->blocklist();
+  first_dynamic_node_ = world_->first_dynamic_node();
+  root_zone_ = world_->root_zone_;
+  com_zone_ = world_->com_zone_;
+  org_zone_ = world_->org_zone_;
+  experiment_zone_ = world_->experiment_zone_;
+  roots_ = world_->root_hints();
+  net_ = std::make_unique<sim::Network>(loop_, world_->layout_, first_dynamic_node_);
+}
+
+Testbed::~Testbed() = default;
 
 std::unique_ptr<Testbed> Testbed::create(const TestbedConfig& config) {
   std::unique_ptr<Testbed> bed(new Testbed(config));
@@ -25,13 +50,85 @@ std::unique_ptr<Testbed> Testbed::create(const TestbedConfig& config) {
   return bed;
 }
 
+std::unique_ptr<Testbed> Testbed::instantiate(std::shared_ptr<const World> world) {
+  if (world == nullptr) throw std::invalid_argument("Testbed::instantiate needs a World");
+  std::unique_ptr<Testbed> bed(new Testbed(std::move(world)));
+  bed->instantiate_servers();
+  return bed;
+}
+
+void Testbed::instantiate_servers() {
+  // Same construction order as create(), but every structural decision —
+  // node placement, addresses, zone contents, resolver quirks — is read
+  // from the World instead of being recomputed; only live servers with
+  // their mutable state (caches, logbook, TCP stacks) are fresh.
+  for (const auto& pot : topo_view_->honeypots()) {
+    auto server = std::make_unique<HoneypotServer>(pot.location, logbook_,
+                                                   fork_rng("honeypot-" + pot.location));
+    server->bind(*net_, pot.node, pot.addr, experiment_zone_);
+    honeypot_servers_.push_back(std::move(server));
+  }
+  for (const auto& target : topo_view_->dns_target_hosts()) {
+    switch (target.info.kind) {
+      case topo::DnsTargetKind::kRoot: {
+        auto server = std::make_unique<dnssrv::AuthoritativeServer>();
+        server->add_zone(root_zone_);
+        net_->set_handler(target.node, server.get());
+        auth_servers_.push_back(std::move(server));
+        break;
+      }
+      case topo::DnsTargetKind::kTld: {
+        auto server = std::make_unique<dnssrv::AuthoritativeServer>();
+        server->add_zone(target.info.name == ".com" ? com_zone_ : org_zone_);
+        net_->set_handler(target.node, server.get());
+        auth_servers_.push_back(std::move(server));
+        break;
+      }
+      case topo::DnsTargetKind::kPublicResolver:
+      case topo::DnsTargetKind::kSelfBuilt:
+        break;  // rebuilt below from the World's resolver inventory
+    }
+  }
+  for (const ResolverSpec& spec : world_->resolvers()) {
+    auto resolver = std::make_unique<dnssrv::RecursiveResolver>(
+        spec.name, roots_, fork_rng("resolver-" + spec.name));
+    resolver->set_quirks(spec.quirks);
+    resolver->bind(*net_, spec.node, spec.service, spec.egress);
+    resolvers_[spec.name] = std::move(resolver);
+    resolver_names_.push_back(spec.name);
+  }
+  build_web_farm();
+  oblivious_proxy_ = std::make_unique<dnssrv::ObliviousProxy>(fork_rng("oblivious-proxy"));
+  sim::NodeId proxy_node = net_->replay_host("oblivious-proxy", oblivious_proxy_.get());
+  oblivious_proxy_->bind(*net_, proxy_node, net_->address(proxy_node));
+}
+
+sim::NodeId Testbed::add_host_in_as(std::uint32_t asn, const std::string& name,
+                                    sim::DatagramHandler* handler) {
+  if (frozen()) return net_->replay_host(name, handler);
+  return topology_->add_host_in_as(*net_, asn, name, handler);
+}
+
+void Testbed::note_blocklisted(net::Ipv4Addr addr) {
+  if (!frozen()) {
+    blocklist_own_->add(addr);
+    return;
+  }
+  if (!blocklist_view_->contains(addr)) {
+    throw std::logic_error("blocklist replay diverged: " + addr.str() +
+                           " was not listed when the World was built");
+  }
+}
+
 void Testbed::build_honeypots() {
   std::vector<net::Ipv4Addr> addrs;
   for (const auto& pot : topology_->honeypots()) addrs.push_back(pot.addr);
+  experiment_zone_ =
+      std::make_shared<const dnssrv::Zone>(build_experiment_zone(addrs));
   for (const auto& pot : topology_->honeypots()) {
     auto server = std::make_unique<HoneypotServer>(pot.location, logbook_,
                                                    fork_rng("honeypot-" + pot.location));
-    server->bind(*net_, pot.node, pot.addr, build_experiment_zone(addrs));
+    server->bind(*net_, pot.node, pot.addr, experiment_zone_);
     honeypot_servers_.push_back(std::move(server));
   }
 }
@@ -89,18 +186,24 @@ void Testbed::build_dns_infrastructure() {
     return zone;
   };
 
+  // Built once, shared by every server instance (root servers, and across
+  // shard instantiations via the World).
+  root_zone_ = std::make_shared<const dnssrv::Zone>(make_root_zone());
+  com_zone_ = std::make_shared<const dnssrv::Zone>(make_com_zone());
+  org_zone_ = std::make_shared<const dnssrv::Zone>(make_org_zone());
+
   for (const auto& target : topology_->dns_target_hosts()) {
     switch (target.info.kind) {
       case topo::DnsTargetKind::kRoot: {
         auto server = std::make_unique<dnssrv::AuthoritativeServer>();
-        server->add_zone(make_root_zone());
+        server->add_zone(root_zone_);
         net_->set_handler(target.node, server.get());
         auth_servers_.push_back(std::move(server));
         break;
       }
       case topo::DnsTargetKind::kTld: {
         auto server = std::make_unique<dnssrv::AuthoritativeServer>();
-        server->add_zone(target.info.name == ".com" ? make_com_zone() : make_org_zone());
+        server->add_zone(target.info.name == ".com" ? com_zone_ : org_zone_);
         net_->set_handler(target.node, server.get());
         auth_servers_.push_back(std::move(server));
         break;
@@ -152,7 +255,10 @@ void Testbed::add_resolver(const std::string& name, sim::NodeId node, net::Ipv4A
   net::Ipv4Addr egress;
   if (primary == service) {
     // First free offset at or past service+9: at large scales the AS's own
-    // host allocation may already have claimed the canonical offset.
+    // host allocation may already have claimed the canonical offset. This
+    // probe runs against the *partial* plan (later allocations haven't
+    // happened yet), which is why frozen instantiation must replay the
+    // result from the ResolverSpec instead of re-running it.
     egress = net::Ipv4Addr(service.value() + 9);
     while (net_->owner_of(egress) != sim::kInvalidNode) {
       egress = net::Ipv4Addr(egress.value() + 1);
@@ -165,12 +271,13 @@ void Testbed::add_resolver(const std::string& name, sim::NodeId node, net::Ipv4A
     net_->routes(as->access).add(net::Prefix(egress, 32), node);
   }
   resolver->bind(*net_, node, service, egress);
+  resolver_specs_.push_back({name, node, service, egress, quirks});
   resolvers_[name] = std::move(resolver);
   resolver_names_.push_back(name);
 }
 
 void Testbed::build_web_farm() {
-  for (const auto& site : topology_->web_sites()) {
+  for (const auto& site : topo_view_->web_sites()) {
     auto server = std::make_unique<WebSiteServer>(site.domain,
                                                   fork_rng("web-" + site.domain));
     server->bind(*net_, site.node, site.addr);

@@ -1,0 +1,38 @@
+#include "core/world.h"
+
+namespace shadowprobe::core {
+
+std::shared_ptr<const World> World::build(const TestbedConfig& config,
+                                          const Decorator& decorate) {
+  // The prototype is a complete authoring-mode build: substrate, then the
+  // deployment (prober fleets claim addresses and blocklist entries), then
+  // the engine's control-server node — the full dynamic tail every shard
+  // will replay, in creation order: oblivious-proxy, probers, control-server.
+  std::unique_ptr<Testbed> proto = Testbed::create(config);
+  {
+    // The live deployment (exhibitors, taps) is per-shard state; only the
+    // structural side effects outlive this scope. Destroyed while the
+    // prototype is still alive so handler teardown stays well-ordered.
+    std::shared_ptr<void> deployment;
+    if (decorate) deployment = decorate(*proto);
+  }
+  proto->add_host_in_as(proto->topology().honeypots().front().asn, "control-server",
+                        nullptr);
+
+  auto world = std::shared_ptr<World>(new World());
+  world->config_ = proto->config_;
+  world->layout_ = proto->net_->freeze_layout();
+  world->topology_ = std::move(proto->topology_);
+  world->first_dynamic_node_ = proto->first_dynamic_node_;
+  world->signatures_ = std::move(proto->signatures_);
+  world->blocklist_ = std::move(proto->blocklist_own_);
+  world->roots_ = std::move(proto->roots_);
+  world->root_zone_ = std::move(proto->root_zone_);
+  world->com_zone_ = std::move(proto->com_zone_);
+  world->org_zone_ = std::move(proto->org_zone_);
+  world->experiment_zone_ = std::move(proto->experiment_zone_);
+  world->resolvers_ = std::move(proto->resolver_specs_);
+  return world;
+}
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,86 @@
+// World: the immutable, build-once half of the substrate.
+//
+// A campaign shard needs two kinds of state. The structural plan — topology
+// graph and address plan, routing tables, GeoDatabase, signature database,
+// blocklist contents, DNS zone data, the resolver/web-farm/honeypot
+// inventory, and the TestbedConfig itself — is identical on every shard and
+// never written after construction. Everything live — the event loop, TCP/
+// UDP stacks, resolver caches, honeypot logbooks, the fault injector, RNG
+// streams — is private per shard. Pre-refactor, each ShardRunner rebuilt
+// both halves, so memory grew linearly with --shards.
+//
+// World captures the immutable half once: World::build constructs a full
+// prototype Testbed (authoring mode), runs the deployment decorator so the
+// exhibitor fleets' addresses and blocklist entries are part of the plan,
+// appends the engine's per-shard "control-server" node, and freezes the
+// result. Testbed::instantiate(world) then produces a thin per-shard
+// Testbed whose mutable state is fresh but whose structural reads all alias
+// the shared const World. See DESIGN.md ("World / ShardState split") for
+// the aliasing rules and what must never live here.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+#include "dnssrv/resolver.h"
+#include "dnssrv/zone.h"
+#include "intel/blocklist.h"
+#include "intel/signatures.h"
+#include "sim/network.h"
+#include "topo/topology.h"
+
+namespace shadowprobe::core {
+
+class World {
+ public:
+  /// Same contract as ShardRunner::Decorator: installs ground-truth
+  /// shadowing on the prototype so its address plan (prober fleets,
+  /// blocklist registrations) becomes part of the frozen layout. The
+  /// returned deployment handle is discarded — only the plan survives; the
+  /// live exhibitors are re-instantiated per shard.
+  using Decorator = std::function<std::shared_ptr<void>(Testbed&)>;
+
+  /// Builds the shared substrate once. `decorate` must be the same
+  /// decorator later passed to the per-shard instantiation, or the replay
+  /// of node creation diverges (and throws).
+  static std::shared_ptr<const World> build(const TestbedConfig& config,
+                                            const Decorator& decorate = nullptr);
+
+  [[nodiscard]] const TestbedConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const topo::Topology& topology() const noexcept { return *topology_; }
+  [[nodiscard]] const sim::NetworkLayout& layout() const noexcept { return *layout_; }
+  [[nodiscard]] const intel::SignatureDb& signatures() const noexcept { return *signatures_; }
+  [[nodiscard]] const intel::Blocklist& blocklist() const noexcept { return *blocklist_; }
+  /// First node the prototype created *after* Topology::build — the start
+  /// of the dynamic tail each shard replays (oblivious proxy, prober
+  /// fleets, control server).
+  [[nodiscard]] sim::NodeId first_dynamic_node() const noexcept { return first_dynamic_node_; }
+  [[nodiscard]] const std::vector<net::Ipv4Addr>& root_hints() const noexcept {
+    return roots_;
+  }
+  [[nodiscard]] const std::vector<ResolverSpec>& resolvers() const noexcept {
+    return resolvers_;
+  }
+
+ private:
+  friend class Testbed;
+  World() = default;
+
+  TestbedConfig config_;
+  std::shared_ptr<const sim::NetworkLayout> layout_;
+  std::shared_ptr<const topo::Topology> topology_;
+  sim::NodeId first_dynamic_node_ = 0;
+  std::shared_ptr<const intel::SignatureDb> signatures_;
+  std::shared_ptr<const intel::Blocklist> blocklist_;
+  std::vector<net::Ipv4Addr> roots_;
+  std::shared_ptr<const dnssrv::Zone> root_zone_;
+  std::shared_ptr<const dnssrv::Zone> com_zone_;
+  std::shared_ptr<const dnssrv::Zone> org_zone_;
+  std::shared_ptr<const dnssrv::Zone> experiment_zone_;
+  std::vector<ResolverSpec> resolvers_;
+};
+
+}  // namespace shadowprobe::core

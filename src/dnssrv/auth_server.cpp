@@ -7,9 +7,9 @@ namespace shadowprobe::dnssrv {
 const Zone* AuthoritativeServer::best_zone(const net::DnsName& qname) const {
   const Zone* best = nullptr;
   for (const auto& zone : zones_) {
-    if (!qname.is_subdomain_of(zone.origin())) continue;
-    if (best == nullptr || zone.origin().label_count() > best->origin().label_count()) {
-      best = &zone;
+    if (!qname.is_subdomain_of(zone->origin())) continue;
+    if (best == nullptr || zone->origin().label_count() > best->origin().label_count()) {
+      best = zone.get();
     }
   }
   return best;

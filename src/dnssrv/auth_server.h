@@ -30,8 +30,13 @@ class AuthoritativeServer : public sim::DatagramHandler {
  public:
   using QueryObserver = std::function<void(const QueryLogEntry&)>;
 
-  /// Adds a zone this server is authoritative for.
-  void add_zone(Zone zone) { zones_.push_back(std::move(zone)); }
+  /// Adds a zone this server is authoritative for. Zone contents are
+  /// immutable once loaded, so servers hold them shared-const — one zone
+  /// image can back every root-server instance on every campaign shard.
+  void add_zone(Zone zone) {
+    zones_.push_back(std::make_shared<const Zone>(std::move(zone)));
+  }
+  void add_zone(std::shared_ptr<const Zone> zone) { zones_.push_back(std::move(zone)); }
 
   /// Registers a log callback (honeypot sensor); multiple allowed.
   void add_query_observer(QueryObserver observer) {
@@ -47,7 +52,7 @@ class AuthoritativeServer : public sim::DatagramHandler {
  private:
   [[nodiscard]] const Zone* best_zone(const net::DnsName& qname) const;
 
-  std::vector<Zone> zones_;
+  std::vector<std::shared_ptr<const Zone>> zones_;
   std::vector<QueryObserver> observers_;
   std::uint64_t served_ = 0;
   std::uint64_t refused_ = 0;

@@ -20,9 +20,12 @@ std::vector<std::unique_ptr<ProberHost>> make_fleet(core::Testbed& bed,
     std::uint32_t asn = ases[static_cast<std::size_t>(i) % ases.size()];
     std::string name = strprintf("prober-%s-%d", label.c_str(), i);
     auto prober = std::make_unique<ProberHost>(name, rng.fork(name), bed.signatures());
-    sim::NodeId node = bed.topology().add_host_in_as(bed.net(), asn, name, prober.get());
+    sim::NodeId node = bed.add_host_in_as(asn, name, prober.get());
     prober->bind(bed.net(), node, bed.net().address(node));
-    if (rng.chance(blocklisted_fraction)) bed.blocklist().add(prober->addr());
+    // The chance() draw must happen in frozen replicas too — skipping it
+    // would shift every later draw of this fleet's stream off the
+    // authoring run (note_blocklisted itself no-ops when frozen).
+    if (rng.chance(blocklisted_fraction)) bed.note_blocklisted(prober->addr());
     fleet.push_back(std::move(prober));
   }
   return fleet;
@@ -405,7 +408,7 @@ ShadowDeployment deploy_standard_exhibitors(core::Testbed& bed, const ShadowConf
   // exhibitor class never perturbs another's randomness (ablation runs stay
   // comparable).
   Rng rng(bed.config().topology.seed ^ fnv1a("shadow-deployment"));
-  topo::Topology& topo = bed.topology();
+  const topo::Topology& topo = bed.topology();
 
   if (config.resolver_shadowing) {
     struct ResolverPlan {

@@ -24,21 +24,53 @@ const char* drop_reason_name(DropReason reason) noexcept {
   return "unknown";
 }
 
+Network::Network(EventLoop& loop)
+    : loop_(loop), owned_(std::make_shared<NetworkLayout>()), layout_(owned_) {}
+
+Network::Network(EventLoop& loop, std::shared_ptr<const NetworkLayout> layout,
+                 NodeId replay_from)
+    : loop_(loop), layout_(std::move(layout)), replay_cursor_(replay_from) {
+  if (layout_ == nullptr) throw std::invalid_argument("frozen Network needs a layout");
+  if (replay_cursor_ > layout_->node_count()) {
+    throw std::invalid_argument("replay_from past the end of the layout");
+  }
+  attach_.resize(layout_->node_count());
+}
+
+Network::~Network() = default;
+
+NetworkLayout& Network::mutable_layout() {
+  if (owned_ == nullptr) {
+    throw std::logic_error("network layout is frozen; structural mutation is not allowed");
+  }
+  return *owned_;
+}
+
+std::shared_ptr<const NetworkLayout> Network::freeze_layout() {
+  mutable_layout();  // throws if already frozen
+  std::shared_ptr<const NetworkLayout> sealed = std::move(owned_);
+  owned_ = nullptr;
+  layout_ = sealed;
+  return sealed;
+}
+
 NodeId Network::add_node(std::string name, NodeKind kind, net::Ipv4Addr addr,
                          DatagramHandler* handler) {
-  if (const NodeId* owner = addr_owner_.find(addr); owner != nullptr) {
+  NetworkLayout& plan = mutable_layout();
+  if (const NodeId* owner = plan.addr_owner_.find(addr); owner != nullptr) {
     throw std::invalid_argument("address already assigned: " + addr.str() + " (owned by " +
-                                nodes_.at(*owner).name + ", wanted by " + name + ")");
+                                plan.nodes_.at(*owner).name + ", wanted by " + name + ")");
   }
-  NodeId id = static_cast<NodeId>(nodes_.size());
-  Node node;
+  NodeId id = static_cast<NodeId>(plan.nodes_.size());
+  NetworkLayout::Node node;
   node.name = std::move(name);
   node.kind = kind;
   node.primary = addr;
   node.addresses.push_back(addr);
-  node.handler = handler;
-  nodes_.push_back(std::move(node));
-  addr_owner_[addr] = id;
+  plan.nodes_.push_back(std::move(node));
+  plan.addr_owner_[addr] = id;
+  attach_.emplace_back();
+  attach_.back().handler = handler;
   return id;
 }
 
@@ -50,51 +82,67 @@ NodeId Network::add_host(std::string name, net::Ipv4Addr addr, DatagramHandler* 
   return add_node(std::move(name), NodeKind::kHost, addr, handler);
 }
 
+NodeId Network::replay_host(const std::string& name, DatagramHandler* handler) {
+  if (!frozen()) {
+    throw std::logic_error("replay_host on an authoring network (use add_host)");
+  }
+  if (replay_cursor_ == kInvalidNode || replay_cursor_ >= layout_->node_count()) {
+    throw std::logic_error("replay_host past the layout's dynamic tail (wanted '" + name +
+                           "')");
+  }
+  const std::string& expected = layout_->name(replay_cursor_);
+  if (expected != name) {
+    throw std::logic_error("node replay diverged from the authoring order: layout has '" +
+                           expected + "', caller created '" + name + "'");
+  }
+  NodeId id = replay_cursor_++;
+  attach_.at(id).handler = handler;
+  return id;
+}
+
 void Network::add_address(NodeId node, net::Ipv4Addr addr) {
-  if (addr_owner_.contains(addr))
+  NetworkLayout& plan = mutable_layout();
+  if (plan.addr_owner_.contains(addr))
     throw std::invalid_argument("address already assigned: " + addr.str());
-  nodes_.at(node).addresses.push_back(addr);
-  addr_owner_[addr] = node;
+  plan.nodes_.at(node).addresses.push_back(addr);
+  plan.addr_owner_[addr] = node;
 }
 
 void Network::add_anycast_address(NodeId node, net::Ipv4Addr addr) {
-  nodes_.at(node).addresses.push_back(addr);
-  addr_owner_.emplace(addr, node);  // first instance wins owner_of(); others unlisted
+  NetworkLayout& plan = mutable_layout();
+  plan.nodes_.at(node).addresses.push_back(addr);
+  plan.addr_owner_.emplace(addr, node);  // first instance wins owner_of(); others unlisted
 }
 
 void Network::set_handler(NodeId node, DatagramHandler* handler) {
-  nodes_.at(node).handler = handler;
+  attach_.at(node).handler = handler;
 }
 
-RoutingTable& Network::routes(NodeId node) { return nodes_.at(node).routes; }
+RoutingTable& Network::routes(NodeId node) { return mutable_layout().nodes_.at(node).routes; }
 
 void Network::set_link_latency(NodeId a, NodeId b, SimDuration latency) {
-  link_latency_[{std::min(a, b), std::max(a, b)}] = latency;
+  mutable_layout().link_latency_[{std::min(a, b), std::max(a, b)}] = latency;
 }
 
-void Network::add_tap(NodeId node, PacketTap* tap) { nodes_.at(node).taps.push_back(tap); }
+void Network::set_default_latency(SimDuration latency) {
+  mutable_layout().default_latency_ = latency;
+}
+
+void Network::add_tap(NodeId node, PacketTap* tap) { attach_.at(node).taps.push_back(tap); }
 
 void Network::remove_tap(NodeId node, PacketTap* tap) {
-  auto& taps = nodes_.at(node).taps;
+  auto& taps = attach_.at(node).taps;
   taps.erase(std::remove(taps.begin(), taps.end(), tap), taps.end());
 }
 
-const std::string& Network::name(NodeId node) const { return nodes_.at(node).name; }
-NodeKind Network::kind(NodeId node) const { return nodes_.at(node).kind; }
-net::Ipv4Addr Network::address(NodeId node) const { return nodes_.at(node).primary; }
-
-NodeId Network::owner_of(net::Ipv4Addr addr) const {
-  const NodeId* owner = addr_owner_.find(addr);
-  return owner == nullptr ? kInvalidNode : *owner;
-}
-
 SimDuration Network::latency(NodeId a, NodeId b) const {
-  const SimDuration* lat = link_latency_.find({std::min(a, b), std::max(a, b)});
-  return lat == nullptr ? default_latency_ : *lat;
+  const SimDuration* lat = layout_->link_latency_.find({std::min(a, b), std::max(a, b)});
+  return lat == nullptr ? layout_->default_latency_ : *lat;
 }
 
-bool Network::is_local(const Node& n, net::Ipv4Addr addr) const {
-  return std::find(n.addresses.begin(), n.addresses.end(), addr) != n.addresses.end();
+bool Network::is_local(NodeId node, net::Ipv4Addr addr) const {
+  const auto& addresses = layout_->nodes_.at(node).addresses;
+  return std::find(addresses.begin(), addresses.end(), addr) != addresses.end();
 }
 
 NetworkCounters Network::counters() const noexcept {
@@ -110,17 +158,16 @@ NetworkCounters Network::counters() const noexcept {
 }
 
 void Network::send(NodeId from, net::Ipv4Header header, BytesView payload) {
-  const Node& origin = nodes_.at(from);
   // An origin inside an outage window (dropped VP session, collector
   // maintenance) cannot emit: its packets die in the local stack.
-  if (injector_ != nullptr && injector_->node_down(origin.name, now())) {
+  if (injector_ != nullptr && injector_->node_down(layout_->name(from), now())) {
     drops_.add(static_cast<int>(DropReason::kEndpointDown));
     ++endpoint_drops_[from];
     injector_->count_endpoint_drop();
     return;
   }
   // Loopback delivery without touching the wire.
-  if (is_local(origin, header.dst)) {
+  if (is_local(from, header.dst)) {
     Bytes body(payload.begin(), payload.end());
     loop_.schedule(0, [this, from, header, body = std::move(body)]() mutable {
       arrive(from, header, std::move(body));
@@ -132,7 +179,7 @@ void Network::send(NodeId from, net::Ipv4Header header, BytesView payload) {
 
 void Network::forward(NodeId node, net::Ipv4Header header, Bytes payload,
                       bool decrement_ttl) {
-  const Node& n = nodes_.at(node);
+  const NetworkLayout::Node& n = layout_->nodes_.at(node);
   // TTL is checked before the routing decision, as real routers do: an
   // expiring packet draws Time-Exceeded even when there is no route onward.
   if (decrement_ttl) {
@@ -150,7 +197,7 @@ void Network::forward(NodeId node, net::Ipv4Header header, Bytes payload,
   }
   NodeId next_hop = *next;
   if (injector_ != nullptr) {
-    const std::string& hop_name = nodes_.at(next_hop).name;
+    const std::string& hop_name = layout_->name(next_hop);
     if (injector_->link_down(n.name, hop_name, now())) {
       drops_.add(static_cast<int>(DropReason::kLinkDown));
       return;
@@ -166,7 +213,7 @@ void Network::forward(NodeId node, net::Ipv4Header header, Bytes payload,
   }
   SimDuration delay = latency(node, next_hop);
   if (injector_ != nullptr) {
-    delay += injector_->jitter_for(n.name, nodes_.at(next_hop).name, header,
+    delay += injector_->jitter_for(n.name, layout_->name(next_hop), header,
                                    BytesView(payload), now());
   }
   loop_.schedule(delay, [this, next_hop, header, payload = std::move(payload)]() mutable {
@@ -175,23 +222,23 @@ void Network::forward(NodeId node, net::Ipv4Header header, Bytes payload,
 }
 
 void Network::arrive(NodeId node, net::Ipv4Header header, Bytes payload) {
-  Node& n = nodes_.at(node);
   net::Ipv4Datagram dgram{header, std::move(payload)};
   // Taps fire on physical arrival, before any delivery/forwarding decision —
   // an on-wire observer sees even packets that expire at this hop.
-  for (PacketTap* tap : n.taps) tap->on_packet(*this, node, dgram);
-  if (is_local(n, header.dst)) {
+  for (PacketTap* tap : attach_.at(node).taps) tap->on_packet(*this, node, dgram);
+  if (is_local(node, header.dst)) {
     // A destination inside an outage window swallows its traffic: the taps
     // above still fire (on-wire observers are not affected by the endpoint
     // being down), but delivery fails silently.
-    if (injector_ != nullptr && injector_->node_down(n.name, now())) {
+    if (injector_ != nullptr && injector_->node_down(layout_->name(node), now())) {
       drops_.add(static_cast<int>(DropReason::kEndpointDown));
       ++endpoint_drops_[node];
       injector_->count_endpoint_drop();
       return;
     }
     ++delivered_;
-    if (n.handler != nullptr) n.handler->on_datagram(*this, node, dgram);
+    DatagramHandler* handler = attach_.at(node).handler;
+    if (handler != nullptr) handler->on_datagram(*this, node, dgram);
     return;
   }
   forward(node, dgram.header, std::move(dgram.payload), /*decrement_ttl=*/true);
@@ -201,13 +248,12 @@ void Network::emit_time_exceeded(NodeId router, const net::Ipv4Header& header,
                                  BytesView payload) {
   // Hosts silently drop expired packets; only routers answer with ICMP
   // (RFC 1812 §4.3.2.4 also forbids ICMP about ICMP errors).
-  const Node& n = nodes_.at(router);
-  if (n.kind != NodeKind::kRouter) return;
+  if (layout_->kind(router) != NodeKind::kRouter) return;
   if (header.protocol == net::IpProto::kIcmp) return;
   Bytes original = header.encode(payload);
   net::IcmpMessage icmp = net::IcmpMessage::time_exceeded(original);
   net::Ipv4Header reply;
-  reply.src = n.primary;
+  reply.src = layout_->address(router);
   reply.dst = header.src;
   reply.ttl = 64;
   reply.protocol = net::IpProto::kIcmp;

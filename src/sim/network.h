@@ -8,9 +8,25 @@
 // attachment point for on-wire traffic observers (src/shadow) — a tap sees a
 // datagram exactly when the device at that hop physically receives it, i.e.
 // only when the sender's initial TTL was large enough to reach the hop.
+//
+// The structural plan (names, addresses, routing tables, link latencies) is
+// split out into NetworkLayout so that many Network instances — one per
+// campaign shard — can run traffic over one immutable, shared layout:
+//
+//   - An *authoring* Network owns a private mutable layout and accepts the
+//     topology-construction calls (add_router, add_host, routes(), ...).
+//   - freeze_layout() seals that layout into a shared const snapshot.
+//   - A *frozen* Network is constructed over such a snapshot; structural
+//     mutators throw, and the node-creation calls the construction code
+//     would make are instead replayed as order-verified lookups
+//     (replay_host) against the dynamic tail of the layout.
+//
+// Per-instance state — attached handlers, taps, traffic counters, the fault
+// injector — stays in the Network, so frozen instances never contend.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -78,14 +94,55 @@ struct NetworkCounters {
   }
 };
 
+/// The immutable structural plan of a network: per-node identity, addresses
+/// and routing tables, plus the global address-ownership and link-latency
+/// tables. Built through an authoring Network, sealed by freeze_layout(),
+/// and then safely shared (const) by any number of frozen Networks across
+/// threads — nothing here is written during a run.
+class NetworkLayout {
+ public:
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const std::string& name(NodeId node) const { return nodes_.at(node).name; }
+  [[nodiscard]] NodeKind kind(NodeId node) const { return nodes_.at(node).kind; }
+  [[nodiscard]] net::Ipv4Addr address(NodeId node) const { return nodes_.at(node).primary; }
+  [[nodiscard]] NodeId owner_of(net::Ipv4Addr addr) const {
+    const NodeId* owner = addr_owner_.find(addr);
+    return owner == nullptr ? kInvalidNode : *owner;
+  }
+
+ private:
+  friend class Network;
+
+  struct Node {
+    std::string name;
+    NodeKind kind = NodeKind::kHost;
+    net::Ipv4Addr primary;
+    std::vector<net::Ipv4Addr> addresses;
+    RoutingTable routes;
+  };
+
+  // Per-packet lookup tables: open-addressing flat maps (no per-node
+  // allocation, no pointer chasing); neither is ever iterated for output.
+  std::vector<Node> nodes_;
+  FlatMap<net::Ipv4Addr, NodeId> addr_owner_;
+  FlatMap<std::pair<NodeId, NodeId>, SimDuration> link_latency_;
+  SimDuration default_latency_ = 5 * kMillisecond;
+};
+
 class Network {
  public:
-  explicit Network(EventLoop& loop) : loop_(loop) {}
+  /// Authoring network: owns a private mutable layout.
+  explicit Network(EventLoop& loop);
+  /// Frozen network over a shared layout. Node-creation calls made after
+  /// `replay_from` during authoring are replayed via replay_host(), which
+  /// verifies names in order; structural mutators throw.
+  Network(EventLoop& loop, std::shared_ptr<const NetworkLayout> layout, NodeId replay_from);
+  ~Network();
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  // -- topology construction ------------------------------------------------
+  // -- topology construction (authoring mode; throws when frozen) -----------
 
   NodeId add_router(std::string name, net::Ipv4Addr addr);
   NodeId add_host(std::string name, net::Ipv4Addr addr, DatagramHandler* handler);
@@ -96,14 +153,30 @@ class Network {
   /// tables decide which instance a given client reaches (exactly how
   /// 114DNS's CN and US instances differ in the paper's case study II).
   void add_anycast_address(NodeId node, net::Ipv4Addr addr);
-  /// Routers normally have no application layer; attaching one lets a
-  /// router answer probes (used by the observer port-scan study).
-  void set_handler(NodeId node, DatagramHandler* handler);
 
   RoutingTable& routes(NodeId node);
   /// Symmetric per-link propagation delay; unset links use default_latency.
   void set_link_latency(NodeId a, NodeId b, SimDuration latency);
-  void set_default_latency(SimDuration latency) noexcept { default_latency_ = latency; }
+  void set_default_latency(SimDuration latency);
+
+  /// Seals the authoring layout: returns it as a shared const snapshot and
+  /// switches this instance to frozen mode. Further structural calls throw.
+  std::shared_ptr<const NetworkLayout> freeze_layout();
+  [[nodiscard]] bool frozen() const noexcept { return owned_ == nullptr; }
+  [[nodiscard]] const std::shared_ptr<const NetworkLayout>& layout() const noexcept {
+    return layout_;
+  }
+
+  // -- per-instance attachment (allowed in both modes) -----------------------
+
+  /// Routers normally have no application layer; attaching one lets a
+  /// router answer probes (used by the observer port-scan study).
+  void set_handler(NodeId node, DatagramHandler* handler);
+  /// Frozen-mode counterpart of add_host: consumes the next dynamic layout
+  /// node, verifying the construction order by name (a mismatch means the
+  /// caller's node-creation sequence diverged from the authoring run — a
+  /// determinism bug, so it throws rather than mis-wires).
+  NodeId replay_host(const std::string& name, DatagramHandler* handler);
 
   void add_tap(NodeId node, PacketTap* tap);
   void remove_tap(NodeId node, PacketTap* tap);
@@ -124,12 +197,12 @@ class Network {
 
   [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
   [[nodiscard]] SimTime now() const noexcept { return loop_.now(); }
-  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
-  [[nodiscard]] const std::string& name(NodeId node) const;
-  [[nodiscard]] NodeKind kind(NodeId node) const;
-  [[nodiscard]] net::Ipv4Addr address(NodeId node) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return layout_->node_count(); }
+  [[nodiscard]] const std::string& name(NodeId node) const { return layout_->name(node); }
+  [[nodiscard]] NodeKind kind(NodeId node) const { return layout_->kind(node); }
+  [[nodiscard]] net::Ipv4Addr address(NodeId node) const { return layout_->address(node); }
   /// Node owning `addr` as a local address; kInvalidNode when unowned.
-  [[nodiscard]] NodeId owner_of(net::Ipv4Addr addr) const;
+  [[nodiscard]] NodeId owner_of(net::Ipv4Addr addr) const { return layout_->owner_of(addr); }
 
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
   [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
@@ -145,31 +218,28 @@ class Network {
   }
 
  private:
-  struct Node {
-    std::string name;
-    NodeKind kind = NodeKind::kHost;
-    net::Ipv4Addr primary;
-    std::vector<net::Ipv4Addr> addresses;
+  /// Per-instance attachment state of a node; parallel to the layout's node
+  /// array. This — not the layout — is what a shard mutates at runtime.
+  struct Attach {
     DatagramHandler* handler = nullptr;
-    RoutingTable routes;
     std::vector<PacketTap*> taps;
   };
 
   NodeId add_node(std::string name, NodeKind kind, net::Ipv4Addr addr,
                   DatagramHandler* handler);
+  /// The mutable layout; throws std::logic_error when frozen.
+  NetworkLayout& mutable_layout();
   void arrive(NodeId node, net::Ipv4Header header, Bytes payload);
   void forward(NodeId node, net::Ipv4Header header, Bytes payload, bool decrement_ttl);
   void emit_time_exceeded(NodeId router, const net::Ipv4Header& header, BytesView payload);
   [[nodiscard]] SimDuration latency(NodeId a, NodeId b) const;
-  [[nodiscard]] bool is_local(const Node& n, net::Ipv4Addr addr) const;
+  [[nodiscard]] bool is_local(NodeId node, net::Ipv4Addr addr) const;
 
   EventLoop& loop_;
-  std::vector<Node> nodes_;
-  // Per-packet lookup tables: open-addressing flat maps (no per-node
-  // allocation, no pointer chasing); neither is ever iterated for output.
-  FlatMap<net::Ipv4Addr, NodeId> addr_owner_;
-  FlatMap<std::pair<NodeId, NodeId>, SimDuration> link_latency_;
-  SimDuration default_latency_ = 5 * kMillisecond;
+  std::shared_ptr<NetworkLayout> owned_;          // authoring; null once frozen
+  std::shared_ptr<const NetworkLayout> layout_;   // always valid (== owned_ while authoring)
+  std::vector<Attach> attach_;
+  NodeId replay_cursor_ = kInvalidNode;           // next dynamic node (frozen ctor only)
   FaultInjector* injector_ = nullptr;
 
   std::uint64_t delivered_ = 0;

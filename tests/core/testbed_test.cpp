@@ -69,7 +69,7 @@ TEST_F(TestbedTest, ObliviousProxyIsUp) {
 
 TEST_F(TestbedTest, HoneypotsShareOneLogbook) {
   // A DNS query to each honeypot lands in the same logbook.
-  sim::NodeId client = bed->topology().add_host_in_as(bed->net(), 24940, "logbook-client");
+  sim::NodeId client = bed->add_host_in_as(24940, "logbook-client");
   net::Ipv4Addr client_addr = bed->net().address(client);
   for (const auto& pot : bed->topology().honeypots()) {
     net::DnsMessage query = net::DnsMessage::query(

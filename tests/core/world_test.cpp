@@ -1,0 +1,158 @@
+// World / ShardState split invariants.
+//
+// The shared-World substrate must be a pure memory optimisation: a campaign
+// executed over frozen per-shard instances of one World exports exactly the
+// bytes of a campaign over independently built replicas, with or without
+// fault injection, at any shard count. And the sharing must stop at the
+// structural layer — two Testbeds instantiated from one World alias the
+// topology/layout/blocklist but never each other's live state (logbooks,
+// resolver instances, handler tables).
+#include "core/world.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/campaign_engine.h"
+#include "core/json_export.h"
+#include "core/testbed.h"
+#include "net/udp.h"
+#include "shadow/profiles.h"
+#include "sim/udp_util.h"
+
+namespace shadowprobe::core {
+namespace {
+
+TestbedConfig small_config() {
+  TestbedConfig config;
+  config.topology.seed = 61;
+  config.topology.global_vps = 6;
+  config.topology.cn_vps = 6;
+  config.topology.web_sites = 4;
+  return config;
+}
+
+CampaignConfig fast_campaign() {
+  CampaignConfig config;
+  config.phase1_window = 2 * kHour;
+  config.phase2_grace = 4 * kHour;
+  config.phase2_window = 2 * kHour;
+  config.total_duration = 3 * kDay;
+  return config;
+}
+
+CampaignEngine::Decorator standard_exhibitors() {
+  return [](Testbed& replica) -> std::shared_ptr<void> {
+    shadow::ShadowConfig shadow_config;
+    shadow_config.fleet_size = 2;
+    return std::make_shared<shadow::ShadowDeployment>(
+        shadow::deploy_standard_exhibitors(replica, shadow_config));
+  };
+}
+
+std::string run_with_mode(SubstrateMode mode, int shards, const CampaignConfig& config) {
+  CampaignEngine engine(small_config(), config, shards, standard_exhibitors(), mode);
+  CampaignResult result = engine.run();
+  return export_campaign_json(engine.primary(), result);
+}
+
+TEST(WorldTest, SharedWorldExportMatchesIndependentReplicas) {
+  CampaignConfig config = fast_campaign();
+  std::string replica1 = run_with_mode(SubstrateMode::kReplicaPerShard, 1, config);
+  ASSERT_FALSE(replica1.empty());
+  EXPECT_EQ(replica1, run_with_mode(SubstrateMode::kSharedWorld, 1, config));
+  EXPECT_EQ(replica1, run_with_mode(SubstrateMode::kReplicaPerShard, 4, config));
+  EXPECT_EQ(replica1, run_with_mode(SubstrateMode::kSharedWorld, 4, config));
+}
+
+TEST(WorldTest, SharedWorldExportMatchesReplicasUnderFaultInjection) {
+  CampaignConfig config = fast_campaign();
+  auto profile =
+      sim::FaultProfile::parse("loss=0.05,jitter=10ms,hp-outage=US@3h+4h,retries=2,rto=30s");
+  ASSERT_TRUE(profile.ok()) << profile.error().message;
+  config.faults = profile.value();
+  std::string replica = run_with_mode(SubstrateMode::kReplicaPerShard, 4, config);
+  ASSERT_FALSE(replica.empty());
+  EXPECT_EQ(replica, run_with_mode(SubstrateMode::kSharedWorld, 1, config));
+  EXPECT_EQ(replica, run_with_mode(SubstrateMode::kSharedWorld, 4, config));
+}
+
+TEST(WorldTest, EngineReusesOnePrebuiltWorld) {
+  auto world = World::build(small_config(), standard_exhibitors());
+  CampaignConfig config = fast_campaign();
+  CampaignEngine a(world, config, 2, standard_exhibitors());
+  CampaignEngine b(world, config, 3, standard_exhibitors());
+  EXPECT_EQ(a.world().get(), world.get());
+  EXPECT_EQ(b.world().get(), world.get());
+  CampaignResult result_a = a.run();
+  CampaignResult result_b = b.run();
+  EXPECT_EQ(export_campaign_json(a.primary(), result_a),
+            export_campaign_json(b.primary(), result_b));
+}
+
+TEST(WorldTest, InstancesShareStructureButNotLiveState) {
+  auto world = World::build(small_config());
+  auto a = Testbed::instantiate(world);
+  auto b = Testbed::instantiate(world);
+  ASSERT_TRUE(a->frozen());
+  ASSERT_TRUE(b->frozen());
+
+  // Structural reads alias the one shared World...
+  EXPECT_EQ(&a->topology(), &b->topology());
+  EXPECT_EQ(&a->topology(), &world->topology());
+  EXPECT_EQ(&a->blocklist(), &world->blocklist());
+  EXPECT_EQ(&a->signatures(), &b->signatures());
+  EXPECT_EQ(a->net().layout().get(), &world->layout());
+  EXPECT_EQ(b->net().layout().get(), &world->layout());
+
+  // ...while live servers are private instances.
+  ASSERT_NE(a->resolver("Google"), nullptr);
+  EXPECT_NE(a->resolver("Google"), b->resolver("Google"));
+  EXPECT_NE(a->web_server(1), b->web_server(1));
+
+  // Traffic into instance A lands only in A's logbook: the VP node exists in
+  // the shared layout, but handlers, stacks and logbooks are per instance.
+  const topo::VantagePoint& vp = a->topology().vantage_points().front();
+  const topo::Honeypot& pot = a->topology().honeypots().front();
+  net::DnsMessage query = net::DnsMessage::query(
+      1, experiment_zone().child("www").child("probe-aliasing"), net::DnsType::kA);
+  Bytes wire = query.encode();
+  sim::send_udp(a->net(), vp.node, vp.addr, pot.addr, 4000, 53, BytesView(wire));
+  a->loop().run_until(kMinute);
+  b->loop().run_until(kMinute);
+  EXPECT_EQ(a->logbook().size(), 1u);
+  EXPECT_EQ(b->logbook().size(), 0u);
+
+  // A resolver exercised on A keeps its counters/cache out of B's instance.
+  EXPECT_EQ(b->resolver("Google")->client_queries(), 0u);
+}
+
+TEST(WorldTest, FrozenInstanceRejectsStructuralMutation) {
+  auto world = World::build(small_config());
+  auto bed = Testbed::instantiate(world);
+  EXPECT_THROW(bed->net().add_router("rogue", net::Ipv4Addr(9, 9, 9, 9)),
+               std::logic_error);
+  EXPECT_THROW(bed->net().set_default_latency(5 * kMillisecond), std::logic_error);
+  EXPECT_THROW(bed->note_blocklisted(net::Ipv4Addr(9, 9, 9, 10)), std::logic_error);
+}
+
+TEST(WorldTest, FrozenReplayIsVerifiedByName) {
+  // Without a decorator the dynamic tail after instantiation holds exactly
+  // the engine's "control-server"; creating anything else must throw, and
+  // the matching replay must hand back a node with the authored address.
+  auto world = World::build(small_config());
+  {
+    auto bed = Testbed::instantiate(world);
+    EXPECT_THROW(bed->add_host_in_as(24940, "not-the-plan"), std::logic_error);
+  }
+  auto bed = Testbed::instantiate(world);
+  sim::NodeId node = bed->add_host_in_as(
+      bed->topology().honeypots().front().asn, "control-server");
+  EXPECT_EQ(bed->net().name(node), "control-server");
+  EXPECT_NE(bed->net().address(node).value(), 0u);
+  // The tail is consumed; a second creation has nothing left to replay.
+  EXPECT_THROW(bed->add_host_in_as(24940, "control-server"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace shadowprobe::core

@@ -21,7 +21,7 @@ class ObliviousTest : public ::testing::Test {
     config.topology.cn_vps = 2;
     config.topology.web_sites = 2;
     bed = core::Testbed::create(config);
-    client_node = bed->topology().add_host_in_as(bed->net(), 24940, "odoh-client", &client);
+    client_node = bed->add_host_in_as(24940, "odoh-client", &client);
     client_addr = bed->net().address(client_node);
   }
 

@@ -240,8 +240,7 @@ TEST_F(EndToEnd, PortScanFindsBgpAmongObservers) {
   }
   ASSERT_FALSE(observers.empty());
   core::PortScanner scanner(bed_->fork_rng("portscan-test"));
-  sim::NodeId node = bed_->topology().add_host_in_as(bed_->net(), 21859, "scanner-e2e",
-                                                     &scanner);
+  sim::NodeId node = bed_->add_host_in_as(21859, "scanner-e2e", &scanner);
   scanner.bind(bed_->net(), node, bed_->net().address(node));
   scanner.scan(std::vector<net::Ipv4Addr>(observers.begin(), observers.end()),
                core::PortScanner::default_ports());

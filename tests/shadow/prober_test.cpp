@@ -19,7 +19,7 @@ class ProberTest : public ::testing::Test {
     config.topology.web_sites = 4;
     bed = core::Testbed::create(config);
     prober = std::make_unique<ProberHost>("p", bed->fork_rng("p"), bed->signatures());
-    sim::NodeId node = bed->topology().add_host_in_as(bed->net(), 16509, "p", prober.get());
+    sim::NodeId node = bed->add_host_in_as(16509, "p", prober.get());
     prober->bind(bed->net(), node, bed->net().address(node));
   }
 

@@ -4,7 +4,10 @@
 //
 // Runs are matched by their "config" string; each match prints the old and
 // new wall_ms plus the relative delta, and a delta worse than the threshold
-// (default 10%) is flagged REGRESSION. The tool is informational by default
+// (default 10%) is flagged REGRESSION. Peak RSS is compared the same way
+// (fixed 10% threshold, flagged RSS-REGRESSION) so memory growth — e.g. a
+// shard substrate quietly losing its World sharing — fails a --strict run
+// even when wall-clock stays flat. The tool is informational by default
 // — exit code 0 regardless — because bench runners in CI are noisy shared
 // machines; --strict turns a flagged regression into exit 1 for local
 // before/after checks. Comparing files whose "context" differs (different
@@ -23,7 +26,9 @@ namespace {
 struct Run {
   std::string config;
   double wall_ms = 0.0;
+  double setup_ms = 0.0;
   double events_per_sec = 0.0;
+  long peak_rss_kb = 0;
   std::uint64_t allocs = 0;
 };
 
@@ -68,7 +73,9 @@ bool load(const char* path, Report& out) {
     Run run;
     run.config = string_field(text, "config", at);
     run.wall_ms = number_field(text, "wall_ms", at);
+    run.setup_ms = number_field(text, "setup_ms", at);  // 0.0 in schema-1 files
     run.events_per_sec = number_field(text, "events_per_sec", at);
+    run.peak_rss_kb = static_cast<long>(number_field(text, "peak_rss_kb", at));
     run.allocs = static_cast<std::uint64_t>(number_field(text, "allocs", at));
     out.runs.push_back(std::move(run));
     ++at;
@@ -114,26 +121,39 @@ int main(int argc, char** argv) {
                 before.context.c_str(), after.context.c_str());
   }
 
+  // Peak RSS drifts far less than wall-clock on shared runners, so its
+  // threshold stays fixed at 10% rather than following --threshold.
+  constexpr double kRssThresholdPct = 10.0;
   int regressions = 0;
-  std::printf("%-16s %12s %12s %9s\n", "config", "old ms", "new ms", "delta");
+  std::printf("%-16s %12s %12s %9s %12s %12s %9s\n", "config", "old ms", "new ms",
+              "delta", "old rss", "new rss", "delta");
   for (const Run& now : after.runs) {
     const Run* then = find_run(before, now.config);
     if (then == nullptr) {
-      std::printf("%-16s %12s %12.1f %9s  (new config)\n", now.config.c_str(), "-",
-                  now.wall_ms, "-");
+      std::printf("%-16s %12s %12.1f %9s %12s %12ld %9s  (new config)\n",
+                  now.config.c_str(), "-", now.wall_ms, "-", "-", now.peak_rss_kb, "-");
       continue;
     }
     double delta_pct =
         then->wall_ms > 0.0 ? (now.wall_ms / then->wall_ms - 1.0) * 100.0 : 0.0;
-    bool regressed = comparable && delta_pct > threshold_pct;
-    if (regressed) ++regressions;
-    std::printf("%-16s %12.1f %12.1f %+8.1f%%  %s\n", now.config.c_str(),
-                then->wall_ms, now.wall_ms, delta_pct,
-                regressed ? "REGRESSION" : "");
+    // RSS verdicts need both sides measured (0 = platform without getrusage).
+    double rss_delta_pct = (then->peak_rss_kb > 0 && now.peak_rss_kb > 0)
+                               ? (static_cast<double>(now.peak_rss_kb) /
+                                      static_cast<double>(then->peak_rss_kb) -
+                                  1.0) * 100.0
+                               : 0.0;
+    bool slower = comparable && delta_pct > threshold_pct;
+    bool fatter = comparable && then->peak_rss_kb > 0 && now.peak_rss_kb > 0 &&
+                  rss_delta_pct > kRssThresholdPct;
+    if (slower || fatter) ++regressions;
+    std::printf("%-16s %12.1f %12.1f %+8.1f%% %11ldK %11ldK %+8.1f%%  %s%s\n",
+                now.config.c_str(), then->wall_ms, now.wall_ms, delta_pct,
+                then->peak_rss_kb, now.peak_rss_kb, rss_delta_pct,
+                slower ? "REGRESSION " : "", fatter ? "RSS-REGRESSION" : "");
   }
   if (regressions > 0) {
-    std::printf("\n%d config(s) slower than the %.0f%% threshold\n", regressions,
-                threshold_pct);
+    std::printf("\n%d config(s) worse than threshold (wall %.0f%%, rss %.0f%%)\n",
+                regressions, threshold_pct, kRssThresholdPct);
   }
   return strict && regressions > 0 ? 1 : 0;
 }
