@@ -1,113 +1,121 @@
 #include "core/campaign_engine.h"
 
 #include <algorithm>
-#include <exception>
-#include <thread>
+#include <set>
 
 #include "common/log.h"
 #include "common/strutil.h"
 
 namespace shadowprobe::core {
 
-CampaignEngine::CampaignEngine(const TestbedConfig& bed_config, const CampaignConfig& config,
-                               int shard_count, Decorator decorate, SubstrateMode mode)
-    : config_(config), requested_shards_(shard_count) {
-  if (mode == SubstrateMode::kSharedWorld) {
-    world_ = World::build(bed_config, decorate);
-  }
-  build_runners(bed_config, shard_count, decorate);
-}
+namespace {
 
-CampaignEngine::CampaignEngine(std::shared_ptr<const World> world,
-                               const CampaignConfig& config, int shard_count,
-                               Decorator decorate)
-    : config_(config), requested_shards_(shard_count), world_(std::move(world)) {
-  build_runners(world_->config(), shard_count, decorate);
-}
-
-void CampaignEngine::build_runners(const TestbedConfig& bed_config, int shard_count,
-                                   const Decorator& decorate) {
+int clamp_shards(int shard_count) {
   int count = std::clamp(shard_count, 1, static_cast<int>(DecoyLedger::kMaxShards));
   if (count != shard_count) {
     SP_LOG_WARN(strprintf("requested %d shards, clamped to %d (valid range 1..%d)",
                           shard_count, count,
                           static_cast<int>(DecoyLedger::kMaxShards)));
   }
-  auto make_runner = [&](int i) {
-    if (world_ != nullptr) {
-      return std::make_unique<ShardRunner>(static_cast<std::uint32_t>(i),
-                                           static_cast<std::uint32_t>(count), world_,
-                                           config_, decorate);
-    }
-    return std::make_unique<ShardRunner>(static_cast<std::uint32_t>(i),
-                                         static_cast<std::uint32_t>(count), bed_config,
-                                         config_, decorate);
-  };
-  runners_.resize(static_cast<std::size_t>(count));
-  if (count == 1) {
-    runners_[0] = make_runner(0);
+  return count;
+}
+
+template <typename Shard>
+std::vector<const DecoyLedger*> ledgers_of(const std::vector<Shard>& shards) {
+  std::vector<const DecoyLedger*> out;
+  out.reserve(shards.size());
+  for (const Shard& shard : shards) out.push_back(shard.ledger);
+  return out;
+}
+
+template <typename Shard>
+std::vector<const std::vector<HoneypotHit>*> hits_of(const std::vector<Shard>& shards) {
+  std::vector<const std::vector<HoneypotHit>*> out;
+  out.reserve(shards.size());
+  for (const Shard& shard : shards) out.push_back(shard.hits);
+  return out;
+}
+
+/// Membership-only downstream (the correlator's replication exclusion), so
+/// the union can stay an unordered flat set.
+template <typename Shard>
+FlatSet<std::uint32_t> merged_replicated(const std::vector<Shard>& shards) {
+  FlatSet<std::uint32_t> merged;
+  for (const Shard& shard : shards) {
+    for (std::uint32_t seq : shard.replicated) merged.insert(seq);
+  }
+  return merged;
+}
+
+}  // namespace
+
+CampaignEngine::CampaignEngine(const TestbedConfig& bed_config, const CampaignConfig& config,
+                               int shard_count, Decorator decorate, SubstrateMode mode)
+    : CampaignEngine(bed_config, config, shard_count, std::move(decorate), EngineExec{},
+                     mode) {}
+
+CampaignEngine::CampaignEngine(std::shared_ptr<const World> world,
+                               const CampaignConfig& config, int shard_count,
+                               Decorator decorate)
+    : config_(config), requested_shards_(shard_count), world_(std::move(world)) {
+  int count = clamp_shards(shard_count);
+  backend_ = std::make_unique<InProcessBackend>(world_->config(), world_, count, config_,
+                                                decorate);
+  primary_ = backend_->context_testbed();
+}
+
+CampaignEngine::CampaignEngine(const TestbedConfig& bed_config, const CampaignConfig& config,
+                               int shard_count, Decorator decorate, const EngineExec& exec,
+                               SubstrateMode mode)
+    : config_(config), requested_shards_(shard_count) {
+  build_backend(bed_config, shard_count, decorate, exec, mode);
+}
+
+void CampaignEngine::build_backend(const TestbedConfig& bed_config, int shard_count,
+                                   const Decorator& decorate, const EngineExec& exec,
+                                   SubstrateMode mode) {
+  int count = clamp_shards(shard_count);
+  if (exec.shard_procs >= 1) {
+    worker_procs_ = std::clamp(exec.shard_procs, 1, count);
+    // Spawn first: the workers build their Worlds concurrently with ours.
+    backend_ = std::make_unique<MultiProcessBackend>(bed_config, config_, count,
+                                                     worker_procs_, exec.worker_exe);
+    // The controller still needs a context replica (geo database,
+    // signatures, blocklist, VP storage for the merged ledger's pointer
+    // rebinds). No traffic ever runs on it — an undecorated frozen instance
+    // is sufficient, since everything the consumers read is World-aliased.
+    world_ = World::build(bed_config, decorate);
+    context_bed_ = Testbed::instantiate(world_);
+    primary_ = context_bed_.get();
+    SP_LOG_INFO(strprintf("engine: multi-process backend, %d shards across %d workers",
+                          count, worker_procs_));
     return;
   }
-  // Shards are independent — frozen instances only read the shared World —
-  // so build them concurrently (slot-assigned, keeping the vector order and
-  // everything keyed off shard index deterministic).
-  std::vector<std::thread> builders;
-  std::vector<std::exception_ptr> errors(runners_.size());
-  builders.reserve(runners_.size());
-  for (int i = 0; i < count; ++i) {
-    builders.emplace_back([&, i] {
-      try {
-        runners_[static_cast<std::size_t>(i)] = make_runner(i);
-      } catch (...) {
-        errors[static_cast<std::size_t>(i)] = std::current_exception();
-      }
-    });
+  if (mode == SubstrateMode::kSharedWorld) {
+    world_ = World::build(bed_config, decorate);
   }
-  for (std::thread& builder : builders) builder.join();
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
+  backend_ =
+      std::make_unique<InProcessBackend>(bed_config, world_, count, config_, decorate);
+  primary_ = backend_->context_testbed();
 }
 
 CampaignEngine::~CampaignEngine() = default;
 
-void CampaignEngine::for_each_shard(const std::function<void(ShardRunner&)>& fn) {
-  if (runners_.size() == 1) {
-    fn(*runners_.front());
-    return;
-  }
-  std::vector<std::thread> workers;
-  std::vector<std::exception_ptr> errors(runners_.size());
-  workers.reserve(runners_.size());
-  for (std::size_t i = 0; i < runners_.size(); ++i) {
-    workers.emplace_back([&, i] {
-      try {
-        fn(*runners_[i]);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
-  }
-}
-
-DecoyLedger CampaignEngine::merged_ledger() const {
+DecoyLedger CampaignEngine::merged_ledger(
+    const std::vector<const DecoyLedger*>& ledgers) const {
   DecoyLedger merged;
   merged.seed_paths(plan_.paths());
-  for (const auto& runner : runners_) merged.merge(runner->ledger());
+  for (const DecoyLedger* ledger : ledgers) merged.merge(*ledger);
   merged.finalize();
-  merged.rebind_vps(runners_.front()->testbed().topology().vantage_points());
+  merged.rebind_vps(primary_->topology().vantage_points());
   return merged;
 }
 
-std::vector<HoneypotHit> CampaignEngine::merged_hits() const {
+std::vector<HoneypotHit> CampaignEngine::merged_hits(
+    const std::vector<const std::vector<HoneypotHit>*>& shard_hits) {
   std::vector<HoneypotHit> hits;
-  for (const auto& runner : runners_) {
-    const auto& shard_hits = runner->hits();
-    hits.insert(hits.end(), shard_hits.begin(), shard_hits.end());
+  for (const auto* shard : shard_hits) {
+    hits.insert(hits.end(), shard->begin(), shard->end());
   }
   // Canonical order: within a shard hits are already time-ordered, and any
   // decoy domain only ever appears inside one shard, so the sort never
@@ -116,29 +124,19 @@ std::vector<HoneypotHit> CampaignEngine::merged_hits() const {
   return hits;
 }
 
-FlatSet<std::uint32_t> CampaignEngine::merged_replicated() const {
-  // Membership-only downstream (the correlator's replication exclusion), so
-  // the union can stay an unordered flat set.
-  FlatSet<std::uint32_t> merged;
-  for (const auto& runner : runners_) {
-    runner->replicated_seqs().for_each([&merged](std::uint32_t seq) { merged.insert(seq); });
-  }
-  return merged;
-}
-
 CampaignResult CampaignEngine::run() {
   const auto& vps = primary().topology().vantage_points();
   ScreeningReport report;
   std::vector<std::size_t> active;
+  SimTime start = 0;
 
   if (config_.screening) {
-    for_each_shard([](ShardRunner& shard) { shard.run_screening(); });
+    ShardScreening screening = backend_->run_screening(vps.size());
     report.candidates = static_cast<int>(vps.size());
-    // Verdicts are merged in global topology order — the order the serial
-    // campaign iterates — each read from the shard that owns the VP.
+    // Verdicts arrive merged in global topology order — the order the serial
+    // campaign iterates.
     for (std::size_t i = 0; i < vps.size(); ++i) {
-      ShardRunner& owner = *runners_[i % runners_.size()];
-      switch (owner.verdict(i)) {
+      switch (screening.verdicts[i]) {
         case ScreeningVerdict::kResidential:
           ++report.rejected_residential;
           break;
@@ -154,39 +152,33 @@ CampaignResult CampaignEngine::run() {
       }
     }
     report.usable = static_cast<int>(active.size());
-    SP_LOG_INFO(strprintf("engine screening: %d candidates, %d usable across %zu shards",
-                          report.candidates, report.usable, runners_.size()));
+    start = screening.clock;
+    SP_LOG_INFO(strprintf("engine screening: %d candidates, %d usable across %d shards",
+                          report.candidates, report.usable, backend_->shard_count()));
   } else {
     for (std::size_t i = 0; i < vps.size(); ++i) active.push_back(i);
     report.candidates = report.usable = static_cast<int>(vps.size());
   }
 
-  // Phase I: plan once, execute the owned partitions in parallel.
-  SimTime start = runners_.front()->testbed().loop().now();
+  // Phase I: plan once, let the backend execute the owned partitions.
   plan_ = CampaignPlan::build_phase1(primary().topology(), config_, active, start);
-  for (auto& runner : runners_) {
-    runner->adopt_plan(plan_);
-    runner->schedule_owned(plan_, 0, plan_.phase1_count());
-  }
   SimTime barrier = config_.phase1_window + config_.phase2_grace;
-  for_each_shard([barrier](ShardRunner& shard) { shard.run_until(barrier); });
+  std::vector<ShardBarrier> barriers = backend_->run_phase1(plan_, barrier);
 
   // Phase-II barrier: merge what the honeypots have so far, classify, and
   // extend the plan — first re-homing the decoys quarantined VPs never sent,
   // then the TTL sweeps (seqs continue the global counter).
   std::size_t rescheduled = 0;
   std::set<std::size_t> quarantined;
+  std::size_t schedule_from = plan_.emissions().size();
   {
-    std::size_t schedule_from = plan_.emissions().size();
     if (config_.faults.enabled()) {
       // Each owner shard recorded exactly which of its emissions were
       // skipped; the union is the re-plan work list.
       std::set<std::uint32_t> cancelled;
-      for (const auto& runner : runners_) {
-        runner->quarantined_vps().for_each(
-            [&quarantined](std::size_t vp_index, SimTime) { quarantined.insert(vp_index); });
-        runner->cancelled_seqs().for_each(
-            [&cancelled](std::uint32_t seq) { cancelled.insert(seq); });
+      for (const ShardBarrier& shard : barriers) {
+        quarantined.insert(shard.quarantined.begin(), shard.quarantined.end());
+        cancelled.insert(shard.cancelled.begin(), shard.cancelled.end());
       }
       rescheduled = plan_.reschedule_quarantined(cancelled, quarantined, active, barrier,
                                                  config_.phase2_window);
@@ -196,9 +188,9 @@ CampaignResult CampaignEngine::run() {
                               quarantined.size(), rescheduled));
       }
     }
-    DecoyLedger interim = merged_ledger();
-    std::vector<HoneypotHit> hits = merged_hits();
-    FlatSet<std::uint32_t> replicated = merged_replicated();
+    DecoyLedger interim = merged_ledger(ledgers_of(barriers));
+    std::vector<HoneypotHit> hits = merged_hits(hits_of(barriers));
+    FlatSet<std::uint32_t> replicated = merged_replicated(barriers);
     auto so_far = classify_unsolicited(interim, hits, &replicated,
                                        config_.analysis_workers);
     auto problematic = Correlator::problematic_paths(so_far);
@@ -217,33 +209,29 @@ CampaignResult CampaignEngine::run() {
     SP_LOG_INFO(strprintf("engine phase II: sweeping %zu problematic paths",
                           problematic.size()));
     plan_.extend_phase2(problematic, config_, barrier);
-    // schedule_from also covers the re-homed Phase-I emissions; with the
-    // null profile it equals extend_phase2's first index exactly.
-    for (auto& runner : runners_) {
-      runner->schedule_owned(plan_, schedule_from, plan_.emissions().size());
-    }
   }
-  for_each_shard(
-      [this](ShardRunner& shard) { shard.run_until(config_.total_duration); });
+  // schedule_from also covers the re-homed Phase-I emissions; with the
+  // null profile it equals extend_phase2's first index exactly.
+  std::vector<ShardFinal> finals =
+      backend_->run_phase2(plan_, schedule_from, config_.total_duration);
 
   // Final merge.
   CampaignResult out;
   out.config = config_;
   out.screening = report;
-  out.ledger = merged_ledger();
-  out.hits = merged_hits();
-  out.replicated_seqs = merged_replicated();
+  out.ledger = merged_ledger(ledgers_of(finals));
+  out.hits = merged_hits(hits_of(finals));
+  out.replicated_seqs = merged_replicated(finals);
   out.shard_stats.requested_shards = requested_shards_;
-  out.shard_stats.effective_shards = static_cast<int>(runners_.size());
-  out.shard_stats.clamped = requested_shards_ != static_cast<int>(runners_.size());
-  for (const auto& runner : runners_) {
-    // Each seq is owned by exactly one shard, so folding the shards' flat
-    // hop tables into the ordered result map is order-insensitive.
-    runner->hop_log().for_each([&out](std::uint32_t seq, net::Ipv4Addr hop) {
-      out.hop_log.emplace(seq, hop);
-    });
-    out.shard_stats.per_shard.push_back(runner->stats());
-    out.shard_stats.per_shard_net.push_back(runner->net_counters());
+  out.shard_stats.effective_shards = backend_->shard_count();
+  out.shard_stats.worker_procs = worker_procs_;
+  out.shard_stats.clamped = requested_shards_ != backend_->shard_count();
+  for (const ShardFinal& shard : finals) {
+    // Each seq is owned by exactly one shard, so folding the shards' hop
+    // tables into the ordered result map is order-insensitive.
+    for (const auto& [seq, hop] : shard.hops) out.hop_log.emplace(seq, hop);
+    out.shard_stats.per_shard.push_back(shard.stats);
+    out.shard_stats.per_shard_net.push_back(shard.net);
   }
   if (config_.faults.enabled()) {
     CoverageStats cov;
@@ -253,21 +241,22 @@ CampaignResult CampaignEngine::run() {
       ++cov.decoys_attempted;
       if (record.dest_responded) ++cov.decoys_delivered;
     }
-    for (const auto& runner : runners_) cov.absorb(runner->coverage());
+    for (const ShardFinal& shard : finals) cov.absorb(shard.coverage);
     cov.decoys_rescheduled = rescheduled;
     out.coverage = cov;
   }
   out.active_vps.reserve(active.size());
   for (std::size_t i : active) out.active_vps.push_back(&vps[i]);
   out.correlate(config_.analysis_workers);
-  SP_LOG_INFO(strprintf("engine complete: %zu shards, %zu decoys, %zu hits, "
+  SP_LOG_INFO(strprintf("engine complete: %d shards, %zu decoys, %zu hits, "
                         "%zu unsolicited, %zu located paths",
-                        runners_.size(), out.ledger.decoy_count(), out.hits.size(),
+                        backend_->shard_count(), out.ledger.decoy_count(), out.hits.size(),
                         out.unsolicited.size(), out.findings.size()));
-  if (runners_.size() > 1) {
+  if (backend_->shard_count() > 1) {
     SP_LOG_INFO(strprintf("engine balance: event imbalance %.3f (max/mean over %zu "
                           "shard loops)",
-                          out.shard_stats.event_imbalance(), runners_.size()));
+                          out.shard_stats.event_imbalance(),
+                          out.shard_stats.per_shard.size()));
   }
   return out;
 }

@@ -1,36 +1,37 @@
-// CampaignEngine: VP-partitioned parallel campaign execution.
+// CampaignEngine: the campaign controller over a pluggable shard backend.
 //
-// The engine splits a campaign across N shards, each a ShardRunner with a
-// full Testbed replica built from the same master seed. VPs are assigned
-// round-robin by topology index; every phase runs on a pool of worker
-// threads with a join barrier between phases:
+// The engine owns the phase structure and the merges; *where* shards
+// execute is a ShardBackend concern (core/shard_backend.h):
 //
-//   screening (parallel)  -> merge verdicts, fix the active-VP set
+//   screening (backend)   -> merged verdicts fix the active-VP set
 //   plan Phase I (serial) -> the CampaignPlan preassigns every path id and
 //                            decoy seq, so identifiers — and the decoy
 //                            domains derived from them — are independent of
 //                            the shard count
-//   Phase I (parallel)    -> run to the Phase-II barrier
+//   Phase I (backend)     -> run to the Phase-II barrier
 //   barrier (serial)      -> merge interim ledgers + canonically sorted
 //                            hits, classify, extend the plan with TTL sweeps
-//   Phase II (parallel)   -> run to the campaign horizon
+//   Phase II (backend)    -> run to the campaign horizon
 //   merge (serial)        -> one ledger / hit list / hop log, correlated
 //                            into a CampaignResult identical in shape to a
 //                            serial run's
 //
 // Determinism: for a fixed master seed the merged result is byte-identical
-// for any shard count (including N=1), because ids come from the plan,
-// behavioural RNG streams are keyed by entity names, and every merge ends
-// in a canonical sort.
+// for any shard count (including N=1) AND any backend — in-process threads
+// or out-of-process workers — because ids come from the plan, behavioural
+// RNG streams are keyed by entity names, every merge ends in a canonical
+// sort, and the wire protocol transports shard results losslessly.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/campaign_config.h"
 #include "core/campaign_plan.h"
 #include "core/campaign_result.h"
+#include "core/shard_backend.h"
 #include "core/shard_runner.h"
 #include "core/testbed.h"
 #include "core/world.h"
@@ -49,6 +50,17 @@ enum class SubstrateMode {
   kReplicaPerShard,
 };
 
+/// Where shards execute. The default (shard_procs == 0) runs them as
+/// threads in this process; shard_procs >= 1 forks that many
+/// `--shard-worker` children and drives them over the wire protocol
+/// (shard_procs == 1 still exercises the full protocol through one child).
+struct EngineExec {
+  int shard_procs = 0;
+  /// Worker binary for the multi-process backend; empty resolves via
+  /// $SHADOWPROBE_WORKER_BIN, then /proc/self/exe.
+  std::string worker_exe;
+};
+
 class CampaignEngine {
  public:
   using Decorator = ShardRunner::Decorator;
@@ -65,6 +77,16 @@ class CampaignEngine {
   /// Shares a pre-built World (e.g. across several engines in one process).
   CampaignEngine(std::shared_ptr<const World> world, const CampaignConfig& config,
                  int shard_count, Decorator decorate = nullptr);
+  /// Full-control constructor: exec.shard_procs >= 1 selects the
+  /// multi-process backend (workers are spawned immediately and build their
+  /// Worlds concurrently with this constructor's own World). The worker
+  /// always applies its binary's default decorator, so `decorate` must
+  /// match it for the controller's context to agree with the workers'
+  /// substrates. Multi-process execution implies shared-World substrates
+  /// inside each worker; `mode` only affects the in-process path.
+  CampaignEngine(const TestbedConfig& bed_config, const CampaignConfig& config,
+                 int shard_count, Decorator decorate, const EngineExec& exec,
+                 SubstrateMode mode = SubstrateMode::kSharedWorld);
   ~CampaignEngine();
 
   CampaignEngine(const CampaignEngine&) = delete;
@@ -73,43 +95,44 @@ class CampaignEngine {
   /// Runs the full campaign and returns the merged, correlated result.
   CampaignResult run();
 
-  [[nodiscard]] int shard_count() const noexcept {
-    return static_cast<int>(runners_.size());
-  }
-  /// Shard 0's replica — the context (geo database, signatures, blocklist,
-  /// config) downstream consumers like JSON export read from.
-  [[nodiscard]] Testbed& primary() noexcept { return runners_.front()->testbed(); }
+  [[nodiscard]] int shard_count() const noexcept { return backend_->shard_count(); }
+  /// The context replica downstream consumers (geo database, signatures,
+  /// blocklist, config — e.g. JSON export) read from: shard 0's Testbed for
+  /// the in-process backend, a dedicated frozen instance for the
+  /// multi-process one.
+  [[nodiscard]] Testbed& primary() noexcept { return *primary_; }
   /// The shared immutable substrate; null in kReplicaPerShard mode.
   [[nodiscard]] const std::shared_ptr<const World>& world() const noexcept {
     return world_;
   }
   /// Simulator events processed across every shard's loop (perf reporting).
+  /// For the multi-process backend this is known after run() completes.
   [[nodiscard]] std::uint64_t events_processed() noexcept {
-    std::uint64_t total = 0;
-    for (const auto& runner : runners_) total += runner->testbed().loop().processed();
-    return total;
+    return backend_->events_processed();
   }
 
  private:
-  /// Runs `fn` once per shard, on one worker thread per shard, and joins
-  /// them all (the inter-phase barrier). Exceptions propagate to the caller.
-  void for_each_shard(const std::function<void(ShardRunner&)>& fn);
   /// Fresh ledger = plan paths + every shard's records, canonically ordered
   /// and rebound to the primary replica's VP storage.
-  [[nodiscard]] DecoyLedger merged_ledger() const;
-  [[nodiscard]] std::vector<HoneypotHit> merged_hits() const;
-  [[nodiscard]] FlatSet<std::uint32_t> merged_replicated() const;
+  [[nodiscard]] DecoyLedger merged_ledger(
+      const std::vector<const DecoyLedger*>& ledgers) const;
+  [[nodiscard]] static std::vector<HoneypotHit> merged_hits(
+      const std::vector<const std::vector<HoneypotHit>*>& shard_hits);
 
-  /// Clamps the shard count and builds the runners (world-backed when
-  /// `world_` is set, full replicas otherwise).
-  void build_runners(const TestbedConfig& bed_config, int shard_count,
-                     const Decorator& decorate);
+  /// Clamps the shard count, builds the backend, and wires the primary
+  /// context testbed.
+  void build_backend(const TestbedConfig& bed_config, int shard_count,
+                     const Decorator& decorate, const EngineExec& exec,
+                     SubstrateMode mode);
 
   CampaignConfig config_;
   CampaignPlan plan_;
   int requested_shards_ = 1;  ///< pre-clamp constructor argument
+  int worker_procs_ = 0;      ///< 0 = in-process backend
   std::shared_ptr<const World> world_;  ///< null in kReplicaPerShard mode
-  std::vector<std::unique_ptr<ShardRunner>> runners_;
+  std::unique_ptr<ShardBackend> backend_;
+  std::unique_ptr<Testbed> context_bed_;  ///< multi-process mode only
+  Testbed* primary_ = nullptr;
 };
 
 }  // namespace shadowprobe::core

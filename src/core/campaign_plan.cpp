@@ -109,6 +109,27 @@ CampaignPlan CampaignPlan::build_phase1(const topo::Topology& topo,
   return plan;
 }
 
+CampaignPlan CampaignPlan::restore(std::vector<PathRecord> paths,
+                                   std::vector<PlanEmission> emissions,
+                                   std::size_t phase1_count) {
+  CampaignPlan plan;
+  plan.paths_ = std::move(paths);
+  plan.emissions_ = std::move(emissions);
+  plan.phase1_count_ = phase1_count;
+  for (const PlanEmission& emission : plan.emissions_) {
+    plan.next_seq_ = std::max(plan.next_seq_, emission.seq + 1);
+  }
+  return plan;
+}
+
+void CampaignPlan::append_emissions(const std::vector<PlanEmission>& tail) {
+  emissions_.reserve(emissions_.size() + tail.size());
+  for (const PlanEmission& emission : tail) {
+    emissions_.push_back(emission);
+    next_seq_ = std::max(next_seq_, emission.seq + 1);
+  }
+}
+
 std::size_t CampaignPlan::reschedule_quarantined(
     const std::set<std::uint32_t>& cancelled_seqs,
     const std::set<std::size_t>& quarantined_vps,

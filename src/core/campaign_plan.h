@@ -69,6 +69,19 @@ class CampaignPlan {
                                      const std::vector<std::size_t>& active_vps,
                                      SimTime start, SimDuration window);
 
+  /// Rebuilds a plan from previously exported state (the wire codec).
+  /// `paths` must carry dense ids from 0; the seq counter resumes past the
+  /// largest emission seq so later extend_phase2 calls continue the sequence
+  /// exactly as the original plan would have.
+  static CampaignPlan restore(std::vector<PathRecord> paths,
+                              std::vector<PlanEmission> emissions,
+                              std::size_t phase1_count);
+
+  /// Appends already-planned emissions received from the controller (the
+  /// Phase-II extension crossing a process boundary). Seqs arrive
+  /// preassigned; the local counter advances past them.
+  void append_emissions(const std::vector<PlanEmission>& tail);
+
   [[nodiscard]] const std::vector<PathRecord>& paths() const noexcept { return paths_; }
   [[nodiscard]] const std::vector<PlanEmission>& emissions() const noexcept {
     return emissions_;

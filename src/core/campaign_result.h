@@ -37,6 +37,10 @@ namespace shadowprobe::core {
 struct ShardExecutionStats {
   int requested_shards = 1;
   int effective_shards = 1;
+  /// Worker processes the shards ran in: 0 = in-process threads, >= 1 =
+  /// out-of-process workers (MultiProcessBackend), including `1` — a single
+  /// worker child still exercises the full wire protocol.
+  int worker_procs = 0;
   bool clamped = false;  ///< requested_shards fell outside the valid range
   std::vector<sim::EventLoopStats> per_shard;
   /// One network-counter snapshot per executed shard (delivered/forwarded/
@@ -80,10 +84,16 @@ struct CoverageStats {
   std::uint64_t phase2_deferred = 0;   ///< sweep probes shifted past a VP outage
   std::uint64_t vps_quarantined = 0;
   std::uint64_t honeypot_downtime_drops = 0;  ///< packets lost to collector outages
+  /// Injected drops broken down by link, canonically ordered. Per-shard
+  /// drop counts sum to a layout-invariant total (every fault draw is keyed
+  /// by packet identity + time, and each packet traverses exactly one
+  /// shard's replica), so the merged table is safe for the byte-identical
+  /// JSON export.
+  std::vector<sim::LinkDropCounters> link_drops;
 
   /// Merge step for per-shard partials (planned/attempted/delivered are
   /// computed once from the merged ledger, not summed).
-  void absorb(const CoverageStats& other) noexcept {
+  void absorb(const CoverageStats& other) {
     decoys_lost += other.decoys_lost;
     decoys_retried += other.decoys_retried;
     retry_attempts += other.retry_attempts;
@@ -93,6 +103,7 @@ struct CoverageStats {
     phase2_deferred += other.phase2_deferred;
     vps_quarantined += other.vps_quarantined;
     honeypot_downtime_drops += other.honeypot_downtime_drops;
+    sim::merge_link_drops(link_drops, other.link_drops);
   }
 };
 

@@ -44,6 +44,7 @@ Result<int> positive_int(const std::string& option, const std::string& text) {
 CliEnvironment CliEnvironment::from_process() {
   CliEnvironment env;
   if (const char* v = std::getenv("SHADOWPROBE_SHARDS")) env.shards = v;
+  if (const char* v = std::getenv("SHADOWPROBE_SHARD_PROCS")) env.shard_procs = v;
   if (const char* v = std::getenv("SHADOWPROBE_ANALYSIS_WORKERS")) {
     env.analysis_workers = v;
   }
@@ -59,6 +60,11 @@ Result<CliOptions> parse_cli_options(const std::vector<std::string>& args,
     auto shards = positive_int("SHADOWPROBE_SHARDS", env.shards);
     if (!shards.ok()) return shards.error();
     options.shards = shards.value();
+  }
+  if (!env.shard_procs.empty()) {
+    auto procs = positive_int("SHADOWPROBE_SHARD_PROCS", env.shard_procs);
+    if (!procs.ok()) return procs.error();
+    options.shard_procs = procs.value();
   }
   if (!env.analysis_workers.empty()) {
     auto workers = positive_int("SHADOWPROBE_ANALYSIS_WORKERS", env.analysis_workers);
@@ -105,6 +111,11 @@ Result<CliOptions> parse_cli_options(const std::vector<std::string>& args,
       auto shards = positive_int("--shards", *v);
       if (!shards.ok()) return shards.error();
       options.shards = shards.value();
+    } else if (arg == "--shard-procs") {
+      if (!next(v)) return bad("--shard-procs expects a value");
+      auto procs = positive_int("--shard-procs", *v);
+      if (!procs.ok()) return procs.error();
+      options.shard_procs = procs.value();
     } else if (arg == "--analysis-workers") {
       if (!next(v)) return bad("--analysis-workers expects a value");
       auto workers = positive_int("--analysis-workers", *v);
@@ -151,8 +162,10 @@ Result<CliOptions> parse_cli_options(const std::vector<std::string>& args,
   }
 
   // A fault profile runs on the engine (the serial Campaign has no fault
-  // layer); an unsharded invocation gets a single-shard engine.
+  // layer); an unsharded invocation gets a single-shard engine. Worker
+  // processes likewise imply the engine.
   if (options.faults.enabled() && options.shards == 0) options.shards = 1;
+  if (options.shard_procs >= 1 && options.shards == 0) options.shards = 1;
   return options;
 }
 

@@ -20,7 +20,8 @@ struct CliOptions {
   double scale = 1.0;
   std::uint64_t seed = 20240301;
   int days = 25;
-  int shards = 0;  // 0 = serial Campaign, >= 1 = CampaignEngine
+  int shards = 0;       // 0 = serial Campaign, >= 1 = CampaignEngine
+  int shard_procs = 0;  // 0 = in-process threads, >= 1 = worker processes
   int analysis_workers = 1;
   DnsDecoyTransport transport = DnsDecoyTransport::kPlain;
   bool ech = false;
@@ -36,6 +37,7 @@ struct CliOptions {
 /// flags always win.
 struct CliEnvironment {
   std::string shards;            // SHADOWPROBE_SHARDS
+  std::string shard_procs;       // SHADOWPROBE_SHARD_PROCS
   std::string analysis_workers;  // SHADOWPROBE_ANALYSIS_WORKERS
   std::string fault_profile;     // SHADOWPROBE_FAULT_PROFILE
 

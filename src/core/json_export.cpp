@@ -1,5 +1,7 @@
 #include "core/json_export.h"
 
+#include <algorithm>
+
 #include "common/strutil.h"
 
 namespace shadowprobe::core {
@@ -177,6 +179,30 @@ std::string export_campaign_json(Testbed& bed, const CampaignResult& result,
     json.key("vps_quarantined").value(static_cast<std::int64_t>(cov.vps_quarantined));
     json.key("honeypot_downtime_drops")
         .value(static_cast<std::int64_t>(cov.honeypot_downtime_drops));
+    // Worst links first (ties by canonical name pair). Per-shard per-link
+    // drop counts sum to the same totals for any shard/worker layout, so the
+    // table is safe inside the byte-identity contract.
+    {
+      std::vector<sim::LinkDropCounters> links = cov.link_drops;
+      std::sort(links.begin(), links.end(),
+                [](const sim::LinkDropCounters& a, const sim::LinkDropCounters& b) {
+                  if (a.total() != b.total()) return a.total() > b.total();
+                  if (a.node_a != b.node_a) return a.node_a < b.node_a;
+                  return a.node_b < b.node_b;
+                });
+      constexpr std::size_t kTopLinks = 10;
+      if (links.size() > kTopLinks) links.resize(kTopLinks);
+      json.key("link_drops").begin_array();
+      for (const auto& link : links) {
+        json.begin_object();
+        json.key("node_a").value(link.node_a);
+        json.key("node_b").value(link.node_b);
+        json.key("link_loss").value(static_cast<std::int64_t>(link.link_loss));
+        json.key("link_down").value(static_cast<std::int64_t>(link.link_down));
+        json.end_object();
+      }
+      json.end_array();
+    }
     json.end_object();
   }
 

@@ -78,6 +78,13 @@ DecoyRecord& DecoyLedger::create_preassigned(std::uint32_t seq, std::uint32_t pa
   return insert_decoy(seq, path_id, now, vp_addr, dst_addr, protocol, ttl, phase2);
 }
 
+bool DecoyLedger::restore_decoy(const DecoyRecord& record) {
+  if (seq_index_.contains(record.id.seq)) return false;
+  seq_index_[record.id.seq] = decoys_.size();
+  decoys_.push_back(record);
+  return true;
+}
+
 DecoyRecord* DecoyLedger::by_seq(std::uint32_t seq) {
   const std::size_t* idx = seq_index_.find(seq);
   return idx == nullptr ? nullptr : &decoys_[*idx];

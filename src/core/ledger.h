@@ -105,6 +105,11 @@ class DecoyLedger {
   DecoyRecord& create_preassigned(std::uint32_t seq, std::uint32_t path_id, SimTime now,
                                   net::Ipv4Addr vp_addr, net::Ipv4Addr dst_addr,
                                   DecoyProtocol protocol, std::uint8_t ttl, bool phase2);
+  /// Appends a fully-formed record verbatim — nothing (domain included) is
+  /// re-derived, so a wire-decoded ledger reproduces its source exactly.
+  /// Returns false (appending nothing) if the record's seq is already
+  /// present.
+  bool restore_decoy(const DecoyRecord& record);
 
   [[nodiscard]] DecoyRecord* by_seq(std::uint32_t seq);
   [[nodiscard]] const DecoyRecord* by_seq(std::uint32_t seq) const;

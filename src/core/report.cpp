@@ -145,6 +145,30 @@ void print_reports(const std::string& report, const CampaignResult& result,
       std::printf("  collector outages swallowed %llu packets\n",
                   static_cast<unsigned long long>(cov.honeypot_downtime_drops));
     }
+    if (!cov.link_drops.empty()) {
+      // Worst links first; ties (common at small scales) stay in canonical
+      // name order so the table is deterministic.
+      std::vector<sim::LinkDropCounters> links = cov.link_drops;
+      std::sort(links.begin(), links.end(),
+                [](const sim::LinkDropCounters& a, const sim::LinkDropCounters& b) {
+                  if (a.total() != b.total()) return a.total() > b.total();
+                  if (a.node_a != b.node_a) return a.node_a < b.node_a;
+                  return a.node_b < b.node_b;
+                });
+      constexpr std::size_t kTopLinks = 10;
+      std::size_t shown = std::min(links.size(), kTopLinks);
+      std::printf("  top fault links (%zu of %zu with drops):\n", shown, links.size());
+      for (std::size_t i = 0; i < shown; ++i) {
+        const auto& link = links[i];
+        std::printf("    %-14s <-> %-14s %8llu lost, %8llu down\n",
+                    link.node_a.c_str(), link.node_b.c_str(),
+                    static_cast<unsigned long long>(link.link_loss),
+                    static_cast<unsigned long long>(link.link_down));
+      }
+    }
+    if (shard_stats.worker_procs > 0) {
+      std::printf("  executed by %d worker process(es)\n", shard_stats.worker_procs);
+    }
     // Per-replica drop tallies are diagnostics, not results: replica
     // infrastructure traffic repeats on every shard, so these do not sum to
     // a layout-invariant figure (which is why they stay out of the JSON).

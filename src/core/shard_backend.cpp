@@ -1,0 +1,451 @@
+#include "core/shard_backend.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "common/log.h"
+#include "common/strutil.h"
+
+namespace shadowprobe::core {
+
+// -- InProcessBackend --------------------------------------------------------
+
+InProcessBackend::InProcessBackend(const TestbedConfig& bed_config,
+                                   std::shared_ptr<const World> world, int shard_count,
+                                   const CampaignConfig& config,
+                                   const ShardRunner::Decorator& decorate)
+    : config_(config) {
+  auto make_runner = [&](int i) {
+    if (world != nullptr) {
+      return std::make_unique<ShardRunner>(static_cast<std::uint32_t>(i),
+                                           static_cast<std::uint32_t>(shard_count), world,
+                                           config_, decorate);
+    }
+    return std::make_unique<ShardRunner>(static_cast<std::uint32_t>(i),
+                                         static_cast<std::uint32_t>(shard_count), bed_config,
+                                         config_, decorate);
+  };
+  runners_.resize(static_cast<std::size_t>(shard_count));
+  if (shard_count == 1) {
+    runners_[0] = make_runner(0);
+    return;
+  }
+  // Shards are independent — frozen instances only read the shared World —
+  // so build them concurrently (slot-assigned, keeping the vector order and
+  // everything keyed off shard index deterministic).
+  std::vector<std::thread> builders;
+  std::vector<std::exception_ptr> errors(runners_.size());
+  builders.reserve(runners_.size());
+  for (int i = 0; i < shard_count; ++i) {
+    builders.emplace_back([&, i] {
+      try {
+        runners_[static_cast<std::size_t>(i)] = make_runner(i);
+      } catch (...) {
+        errors[static_cast<std::size_t>(i)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& builder : builders) builder.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+InProcessBackend::~InProcessBackend() = default;
+
+void InProcessBackend::for_each_shard(const std::function<void(ShardRunner&)>& fn) {
+  if (runners_.size() == 1) {
+    fn(*runners_.front());
+    return;
+  }
+  std::vector<std::thread> workers;
+  std::vector<std::exception_ptr> errors(runners_.size());
+  workers.reserve(runners_.size());
+  for (std::size_t i = 0; i < runners_.size(); ++i) {
+    workers.emplace_back([&, i] {
+      try {
+        fn(*runners_[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+ShardScreening InProcessBackend::run_screening(std::size_t vp_count) {
+  for_each_shard([](ShardRunner& shard) { shard.run_screening(); });
+  ShardScreening out;
+  out.verdicts.reserve(vp_count);
+  // Verdicts merge in global topology order — the order the serial campaign
+  // iterates — each read from the shard that owns the VP.
+  for (std::size_t i = 0; i < vp_count; ++i) {
+    out.verdicts.push_back(runners_[i % runners_.size()]->verdict(i));
+  }
+  out.clock = runners_.front()->testbed().loop().now();
+  return out;
+}
+
+ShardBarrier InProcessBackend::snapshot_barrier(const ShardRunner& runner) const {
+  ShardBarrier out;
+  out.ledger = &runner.ledger();
+  out.hits = &runner.hits();
+  runner.replicated_seqs().for_each(
+      [&out](std::uint32_t seq) { out.replicated.push_back(seq); });
+  std::sort(out.replicated.begin(), out.replicated.end());
+  runner.quarantined_vps().for_each(
+      [&out](std::size_t vp_index, SimTime) { out.quarantined.push_back(vp_index); });
+  std::sort(out.quarantined.begin(), out.quarantined.end());
+  runner.cancelled_seqs().for_each(
+      [&out](std::uint32_t seq) { out.cancelled.push_back(seq); });
+  std::sort(out.cancelled.begin(), out.cancelled.end());
+  return out;
+}
+
+ShardFinal InProcessBackend::snapshot_final(const ShardRunner& runner) const {
+  ShardFinal out;
+  out.ledger = &runner.ledger();
+  out.hits = &runner.hits();
+  runner.replicated_seqs().for_each(
+      [&out](std::uint32_t seq) { out.replicated.push_back(seq); });
+  std::sort(out.replicated.begin(), out.replicated.end());
+  runner.hop_log().for_each([&out](std::uint32_t seq, net::Ipv4Addr hop) {
+    out.hops.emplace_back(seq, hop);
+  });
+  std::sort(out.hops.begin(), out.hops.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.stats = runner.stats();
+  out.net = runner.net_counters();
+  if (config_.faults.enabled()) out.coverage = runner.coverage();
+  return out;
+}
+
+std::vector<ShardBarrier> InProcessBackend::run_phase1(const CampaignPlan& plan,
+                                                       SimTime barrier) {
+  for (auto& runner : runners_) {
+    runner->adopt_plan(plan);
+    runner->schedule_owned(plan, 0, plan.phase1_count());
+  }
+  for_each_shard([barrier](ShardRunner& shard) { shard.run_until(barrier); });
+  std::vector<ShardBarrier> out;
+  out.reserve(runners_.size());
+  for (const auto& runner : runners_) out.push_back(snapshot_barrier(*runner));
+  return out;
+}
+
+std::vector<ShardFinal> InProcessBackend::run_phase2(const CampaignPlan& plan,
+                                                     std::size_t schedule_from, SimTime end) {
+  for (auto& runner : runners_) {
+    runner->schedule_owned(plan, schedule_from, plan.emissions().size());
+  }
+  for_each_shard([end](ShardRunner& shard) { shard.run_until(end); });
+  std::vector<ShardFinal> out;
+  out.reserve(runners_.size());
+  for (const auto& runner : runners_) out.push_back(snapshot_final(*runner));
+  return out;
+}
+
+std::uint64_t InProcessBackend::events_processed() {
+  std::uint64_t total = 0;
+  for (const auto& runner : runners_) total += runner->testbed().loop().processed();
+  return total;
+}
+
+// -- MultiProcessBackend -----------------------------------------------------
+
+namespace {
+
+std::string resolve_worker_exe(std::string explicit_path) {
+  if (!explicit_path.empty()) return explicit_path;
+  if (const char* env = std::getenv("SHADOWPROBE_WORKER_BIN");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) {
+    throw std::runtime_error(
+        "multiprocess backend: cannot resolve the worker binary (no explicit "
+        "path, no SHADOWPROBE_WORKER_BIN, /proc/self/exe unreadable)");
+  }
+  buf[n] = '\0';
+  return buf;
+}
+
+}  // namespace
+
+MultiProcessBackend::MultiProcessBackend(const TestbedConfig& bed_config,
+                                         const CampaignConfig& config, int shard_count,
+                                         int proc_count, std::string worker_exe)
+    : shard_count_(shard_count), worker_exe_(resolve_worker_exe(std::move(worker_exe))) {
+  if (::access(worker_exe_.c_str(), X_OK) != 0) {
+    throw std::runtime_error("multiprocess backend: worker binary not executable: " +
+                             worker_exe_);
+  }
+  int procs = std::clamp(proc_count, 1, shard_count);
+  workers_.reserve(static_cast<std::size_t>(procs));
+  try {
+    for (int p = 0; p < procs; ++p) spawn(p, procs, bed_config);
+    // Init goes out immediately so workers build their Worlds while the
+    // controller sets up its own context.
+    for (std::size_t p = 0; p < workers_.size(); ++p) {
+      wire::InitMsg init;
+      init.shard_count = static_cast<std::uint32_t>(shard_count_);
+      init.proc_index = static_cast<std::uint32_t>(p);
+      init.proc_count = static_cast<std::uint32_t>(workers_.size());
+      init.bed_config = bed_config;
+      init.config = config;
+      workers_[p].channel->send(wire::MsgType::kInit, 0, wire::encode_init(init));
+    }
+  } catch (...) {
+    shutdown();
+    throw;
+  }
+}
+
+MultiProcessBackend::~MultiProcessBackend() { shutdown(); }
+
+void MultiProcessBackend::spawn(int proc_index, int proc_count,
+                                const TestbedConfig& bed_config) {
+  (void)bed_config;
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    throw std::runtime_error(std::string("multiprocess backend: socketpair failed: ") +
+                             std::strerror(errno));
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(sv[0]);
+    ::close(sv[1]);
+    throw std::runtime_error(std::string("multiprocess backend: fork failed: ") +
+                             std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: the socketpair end becomes stdin+stdout; stderr stays shared so
+    // worker logs interleave with the controller's.
+    ::dup2(sv[1], STDIN_FILENO);
+    ::dup2(sv[1], STDOUT_FILENO);
+    ::close(sv[0]);
+    ::close(sv[1]);
+    ::execl(worker_exe_.c_str(), worker_exe_.c_str(), "--shard-worker",
+            static_cast<char*>(nullptr));
+    // exec only returns on failure; stdout is the wire now, so report on
+    // stderr and die with the conventional exec-failure status.
+    ::fprintf(stderr, "shard worker: exec %s failed: %s\n", worker_exe_.c_str(),
+              std::strerror(errno));
+    ::_exit(127);
+  }
+  ::close(sv[1]);
+  Worker worker;
+  worker.pid = pid;
+  worker.fd = sv[0];
+  worker.channel = std::make_unique<wire::FrameChannel>(sv[0], sv[0]);
+  for (int s = proc_index; s < shard_count_; s += proc_count) worker.owned.push_back(s);
+  workers_.push_back(std::move(worker));
+}
+
+void MultiProcessBackend::broadcast(wire::MsgType type, BytesView payload) {
+  for (Worker& worker : workers_) {
+    try {
+      worker.channel->send(type, 0, payload);
+    } catch (const std::exception& e) {
+      fail_worker(worker, e.what());
+    }
+  }
+}
+
+void MultiProcessBackend::fail_worker(Worker& worker, const std::string& what) {
+  // Reap (or kill-then-reap) the child so the error message can include its
+  // exit status — and so a wedged worker cannot outlive the failure.
+  int status = 0;
+  std::string exit_desc = "still running";
+  pid_t reaped = ::waitpid(worker.pid, &status, WNOHANG);
+  if (reaped == 0) {
+    ::kill(worker.pid, SIGKILL);
+    reaped = ::waitpid(worker.pid, &status, 0);
+    exit_desc = "killed after protocol failure";
+  }
+  if (reaped == worker.pid) {
+    if (WIFEXITED(status)) {
+      exit_desc = strprintf("exit status %d", WEXITSTATUS(status));
+    } else if (WIFSIGNALED(status)) {
+      exit_desc = strprintf("killed by signal %d", WTERMSIG(status));
+    }
+  }
+  pid_t pid = worker.pid;
+  worker.pid = -1;  // already reaped; shutdown() must not wait again
+  throw std::runtime_error(strprintf("shard worker (pid %d, %s): %s",
+                                     static_cast<int>(pid), exit_desc.c_str(),
+                                     what.c_str()));
+}
+
+wire::Frame MultiProcessBackend::expect(Worker& worker, wire::MsgType expected) {
+  auto frame = worker.channel->recv();
+  if (!frame.ok()) fail_worker(worker, frame.error().message);
+  if (frame.value().type != expected) {
+    fail_worker(worker, strprintf("unexpected message type %d (wanted %d)",
+                                  static_cast<int>(frame.value().type),
+                                  static_cast<int>(expected)));
+  }
+  return std::move(frame).take();
+}
+
+ShardScreening MultiProcessBackend::run_screening(std::size_t vp_count) {
+  broadcast(wire::MsgType::kRunScreening, {});
+  ShardScreening out;
+  out.verdicts.assign(vp_count, ScreeningVerdict::kUsable);
+  std::vector<bool> filled(vp_count, false);
+  bool have_clock = false;
+  for (Worker& worker : workers_) {
+    wire::Frame frame = expect(worker, wire::MsgType::kScreeningVerdicts);
+    auto msg = wire::decode_verdicts(frame.payload);
+    if (!msg.ok()) fail_worker(worker, msg.error().message);
+    if (!have_clock) {
+      out.clock = msg.value().clock;
+      have_clock = true;
+    } else if (out.clock != msg.value().clock) {
+      fail_worker(worker, strprintf("post-screening clock skew (%lld vs %lld)",
+                                    static_cast<long long>(msg.value().clock),
+                                    static_cast<long long>(out.clock)));
+    }
+    for (const auto& [vp, verdict] : msg.value().verdicts) {
+      if (vp >= vp_count) fail_worker(worker, "verdict for out-of-range VP");
+      if (filled[vp]) fail_worker(worker, "duplicate verdict for a VP");
+      filled[vp] = true;
+      out.verdicts[vp] = verdict;
+    }
+  }
+  for (std::size_t i = 0; i < vp_count; ++i) {
+    if (!filled[i]) {
+      throw std::runtime_error(
+          strprintf("multiprocess screening: no worker reported a verdict for VP %zu", i));
+    }
+  }
+  return out;
+}
+
+std::vector<ShardBarrier> MultiProcessBackend::run_phase1(const CampaignPlan& plan,
+                                                          SimTime barrier) {
+  ByteWriter w;
+  wire::encode_plan(w, plan);
+  wire::put_time(w, barrier);
+  broadcast(wire::MsgType::kPhase1, std::move(w).take());
+
+  ledgers_.assign(static_cast<std::size_t>(shard_count_), DecoyLedger{});
+  hits_.assign(static_cast<std::size_t>(shard_count_), {});
+  std::vector<ShardBarrier> out(static_cast<std::size_t>(shard_count_));
+  for (Worker& worker : workers_) {
+    for (int shard : worker.owned) {
+      wire::Frame frame = expect(worker, wire::MsgType::kBarrierShard);
+      if (frame.shard_id != static_cast<std::uint32_t>(shard)) {
+        fail_worker(worker, strprintf("barrier results for shard %u out of order "
+                                      "(expected shard %d)",
+                                      frame.shard_id, shard));
+      }
+      auto msg = wire::decode_barrier(frame.payload);
+      if (!msg.ok()) fail_worker(worker, msg.error().message);
+      auto& slot = out[static_cast<std::size_t>(shard)];
+      ledgers_[static_cast<std::size_t>(shard)] = std::move(msg.value().ledger);
+      hits_[static_cast<std::size_t>(shard)] = std::move(msg.value().hits);
+      slot.ledger = &ledgers_[static_cast<std::size_t>(shard)];
+      slot.hits = &hits_[static_cast<std::size_t>(shard)];
+      slot.replicated = std::move(msg.value().replicated);
+      slot.quarantined.assign(msg.value().quarantined.begin(),
+                              msg.value().quarantined.end());
+      slot.cancelled = std::move(msg.value().cancelled);
+    }
+  }
+  return out;
+}
+
+std::vector<ShardFinal> MultiProcessBackend::run_phase2(const CampaignPlan& plan,
+                                                        std::size_t schedule_from,
+                                                        SimTime end) {
+  std::vector<PlanEmission> tail(plan.emissions().begin() +
+                                     static_cast<std::ptrdiff_t>(schedule_from),
+                                 plan.emissions().end());
+  ByteWriter w;
+  w.u64(schedule_from);
+  wire::encode_emissions(w, tail);
+  wire::put_time(w, end);
+  broadcast(wire::MsgType::kPhase2, std::move(w).take());
+
+  ledgers_.assign(static_cast<std::size_t>(shard_count_), DecoyLedger{});
+  hits_.assign(static_cast<std::size_t>(shard_count_), {});
+  std::vector<ShardFinal> out(static_cast<std::size_t>(shard_count_));
+  events_processed_ = 0;
+  for (Worker& worker : workers_) {
+    for (int shard : worker.owned) {
+      wire::Frame frame = expect(worker, wire::MsgType::kFinalShard);
+      if (frame.shard_id != static_cast<std::uint32_t>(shard)) {
+        fail_worker(worker, strprintf("final results for shard %u out of order "
+                                      "(expected shard %d)",
+                                      frame.shard_id, shard));
+      }
+      auto msg = wire::decode_final(frame.payload);
+      if (!msg.ok()) fail_worker(worker, msg.error().message);
+      auto& slot = out[static_cast<std::size_t>(shard)];
+      ledgers_[static_cast<std::size_t>(shard)] = std::move(msg.value().ledger);
+      hits_[static_cast<std::size_t>(shard)] = std::move(msg.value().hits);
+      slot.ledger = &ledgers_[static_cast<std::size_t>(shard)];
+      slot.hits = &hits_[static_cast<std::size_t>(shard)];
+      slot.replicated = std::move(msg.value().replicated);
+      slot.hops = std::move(msg.value().hops);
+      slot.stats = msg.value().stats;
+      slot.net = std::move(msg.value().net);
+      slot.coverage = std::move(msg.value().coverage);
+      events_processed_ += slot.stats.processed;
+    }
+  }
+  return out;
+}
+
+std::uint64_t MultiProcessBackend::events_processed() { return events_processed_; }
+
+void MultiProcessBackend::shutdown() noexcept {
+  // Closing the channel is the shutdown signal: workers see EOF and exit 0.
+  for (Worker& worker : workers_) {
+    if (worker.fd >= 0) {
+      ::close(worker.fd);
+      worker.fd = -1;
+      worker.channel.reset();
+    }
+  }
+  for (Worker& worker : workers_) {
+    if (worker.pid < 0) continue;
+    int status = 0;
+    // Grace period for a clean exit, then force.
+    for (int i = 0; i < 200; ++i) {
+      pid_t reaped = ::waitpid(worker.pid, &status, WNOHANG);
+      if (reaped == worker.pid) {
+        worker.pid = -1;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (worker.pid >= 0) {
+      ::kill(worker.pid, SIGKILL);
+      ::waitpid(worker.pid, &status, 0);
+      worker.pid = -1;
+    }
+  }
+}
+
+}  // namespace shadowprobe::core

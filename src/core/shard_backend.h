@@ -1,0 +1,193 @@
+// ShardBackend: pluggable execution substrate for sharded campaigns.
+//
+// CampaignEngine is a pure controller — it plans, coordinates the
+// screening/Phase-II barriers, merges shard results, and correlates. *How*
+// the shards actually execute is a backend concern:
+//
+//   - InProcessBackend: the classic thread-per-shard path. Each shard is a
+//     ShardRunner over a (usually shared-World) Testbed replica in this
+//     process; phase results are views into the runners' own storage.
+//   - MultiProcessBackend: fork/execs `shadowprobe_cli --shard-worker`
+//     children and speaks the core/wire framed protocol with them. Each
+//     worker process builds its own World from the serialized configs and
+//     runs a subset of the shards; phase results are decoded into storage
+//     owned by the backend.
+//
+// The contract both implement: for a fixed seed and configs, the phase
+// results the controller sees are *identical* — same ledgers, same hit
+// logs, same counters — regardless of backend, process count, or thread
+// layout. That is what keeps exported campaign JSON byte-identical between
+// `--shards N` in-process and `--shards N --shard-procs P`.
+//
+// Result structs hand out pointers into backend-owned storage; they stay
+// valid until the next phase call on the backend (or its destruction).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/campaign_config.h"
+#include "core/campaign_plan.h"
+#include "core/campaign_result.h"
+#include "core/screening.h"
+#include "core/shard_runner.h"
+#include "core/testbed.h"
+#include "core/wire.h"
+#include "core/world.h"
+
+namespace shadowprobe::core {
+
+/// Outcome of the screening phase, merged across shards: one verdict per VP
+/// in topology order, plus the (uniform) post-screening shard clock the
+/// Phase-I schedule starts from.
+struct ShardScreening {
+  std::vector<ScreeningVerdict> verdicts;
+  SimTime clock = 0;
+};
+
+/// One shard's interim results at the Phase-II barrier. Vectors are sorted
+/// ascending (the wire's canonical order); the in-process backend sorts its
+/// flat-table snapshots the same way.
+struct ShardBarrier {
+  const DecoyLedger* ledger = nullptr;
+  const std::vector<HoneypotHit>* hits = nullptr;
+  std::vector<std::uint32_t> replicated;
+  std::vector<std::size_t> quarantined;  ///< owned VPs quarantined in Phase I
+  std::vector<std::uint32_t> cancelled;  ///< owned seqs skipped at fire time
+};
+
+/// One shard's final results at the campaign horizon.
+struct ShardFinal {
+  const DecoyLedger* ledger = nullptr;
+  const std::vector<HoneypotHit>* hits = nullptr;
+  std::vector<std::uint32_t> replicated;
+  std::vector<std::pair<std::uint32_t, net::Ipv4Addr>> hops;  ///< by seq, ascending
+  sim::EventLoopStats stats;
+  sim::NetworkCounters net;
+  CoverageStats coverage;  ///< this shard's partials (owned VPs only)
+};
+
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  [[nodiscard]] virtual int shard_count() const noexcept = 0;
+
+  /// A Testbed usable as the engine's primary context (geo database,
+  /// signatures, blocklist, topology storage for pointer rebinds), or
+  /// nullptr when execution is out-of-process and the engine must
+  /// instantiate its own context over the World.
+  [[nodiscard]] virtual Testbed* context_testbed() noexcept { return nullptr; }
+
+  /// Runs the screening phase on every shard and merges the verdicts in
+  /// topology order (`vp_count` entries).
+  virtual ShardScreening run_screening(std::size_t vp_count) = 0;
+  /// Distributes `plan`, runs every shard to the Phase-II `barrier`, and
+  /// returns the interim results in shard order.
+  virtual std::vector<ShardBarrier> run_phase1(const CampaignPlan& plan, SimTime barrier) = 0;
+  /// Distributes the plan extension (emissions from `schedule_from`), runs
+  /// every shard to the campaign horizon `end`, and returns the final
+  /// results in shard order.
+  virtual std::vector<ShardFinal> run_phase2(const CampaignPlan& plan,
+                                             std::size_t schedule_from, SimTime end) = 0;
+
+  /// Simulator events processed across every shard (perf reporting). For
+  /// out-of-process backends this is known only after run_phase2.
+  [[nodiscard]] virtual std::uint64_t events_processed() = 0;
+};
+
+/// Thread-per-shard execution in this process (the pre-split engine path).
+class InProcessBackend final : public ShardBackend {
+ public:
+  /// `shard_count` is pre-clamped by the engine. With a non-null `world`
+  /// every shard is a thin frozen instance over it; otherwise each shard
+  /// authors a full private replica (SubstrateMode::kReplicaPerShard).
+  InProcessBackend(const TestbedConfig& bed_config, std::shared_ptr<const World> world,
+                   int shard_count, const CampaignConfig& config,
+                   const ShardRunner::Decorator& decorate);
+  ~InProcessBackend() override;
+
+  [[nodiscard]] int shard_count() const noexcept override {
+    return static_cast<int>(runners_.size());
+  }
+  [[nodiscard]] Testbed* context_testbed() noexcept override {
+    return &runners_.front()->testbed();
+  }
+
+  ShardScreening run_screening(std::size_t vp_count) override;
+  std::vector<ShardBarrier> run_phase1(const CampaignPlan& plan, SimTime barrier) override;
+  std::vector<ShardFinal> run_phase2(const CampaignPlan& plan, std::size_t schedule_from,
+                                     SimTime end) override;
+  [[nodiscard]] std::uint64_t events_processed() override;
+
+ private:
+  /// Runs `fn` once per shard on one worker thread per shard and joins them
+  /// (the inter-phase barrier). Exceptions propagate to the caller.
+  void for_each_shard(const std::function<void(ShardRunner&)>& fn);
+  [[nodiscard]] ShardBarrier snapshot_barrier(const ShardRunner& runner) const;
+  [[nodiscard]] ShardFinal snapshot_final(const ShardRunner& runner) const;
+
+  CampaignConfig config_;
+  std::vector<std::unique_ptr<ShardRunner>> runners_;
+};
+
+/// Out-of-process execution: fork/execs worker children and drives them
+/// over the core/wire framed protocol. Shard s is owned by worker
+/// s % proc_count; workers build their substrates from the serialized
+/// configs, so nothing but wire frames crosses the process boundary.
+class MultiProcessBackend final : public ShardBackend {
+ public:
+  /// Spawns the workers immediately (they build their Worlds concurrently
+  /// with whatever the caller does next). `proc_count` is clamped to
+  /// [1, shard_count]. `worker_exe` resolves the worker binary: explicit
+  /// path, else $SHADOWPROBE_WORKER_BIN, else /proc/self/exe.
+  /// Throws std::runtime_error when a worker cannot be spawned.
+  MultiProcessBackend(const TestbedConfig& bed_config, const CampaignConfig& config,
+                      int shard_count, int proc_count, std::string worker_exe = {});
+  ~MultiProcessBackend() override;
+
+  [[nodiscard]] int shard_count() const noexcept override { return shard_count_; }
+  [[nodiscard]] int proc_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  ShardScreening run_screening(std::size_t vp_count) override;
+  std::vector<ShardBarrier> run_phase1(const CampaignPlan& plan, SimTime barrier) override;
+  std::vector<ShardFinal> run_phase2(const CampaignPlan& plan, std::size_t schedule_from,
+                                     SimTime end) override;
+  [[nodiscard]] std::uint64_t events_processed() override;
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;  ///< our socketpair end (worker's stdin+stdout)
+    std::unique_ptr<wire::FrameChannel> channel;
+    std::vector<int> owned;  ///< shard indices, ascending
+  };
+
+  void spawn(int proc_index, int proc_count, const TestbedConfig& bed_config);
+  /// Broadcasts one frame to every worker.
+  void broadcast(wire::MsgType type, BytesView payload);
+  /// Receives the next frame from `worker`, requiring `expected`; on EOF or
+  /// corruption reaps the child and throws a std::runtime_error naming the
+  /// worker, its exit status, and the wire error — the no-hang guarantee.
+  wire::Frame expect(Worker& worker, wire::MsgType expected);
+  [[noreturn]] void fail_worker(Worker& worker, const std::string& what);
+  void shutdown() noexcept;
+
+  int shard_count_ = 1;
+  std::string worker_exe_;
+  std::vector<Worker> workers_;
+  std::uint64_t events_processed_ = 0;
+
+  // Decoded storage backing the pointers handed out in phase results;
+  // indexed by shard, replaced wholesale at each collection.
+  std::vector<DecoyLedger> ledgers_;
+  std::vector<std::vector<HoneypotHit>> hits_;
+};
+
+}  // namespace shadowprobe::core

@@ -230,6 +230,10 @@ CoverageStats ShardRunner::coverage() const {
   for (const auto& hp : bed_->topology().honeypots()) {
     if (const std::uint64_t* n = drops.find(hp.node)) cov.honeypot_downtime_drops += *n;
   }
+  // Per-link drop breakdown. A link's drops are attributed to whichever
+  // shard's traffic crossed it, so the merged (summed) counts are invariant
+  // to the shard layout even though the per-shard split is not.
+  cov.link_drops = bed_->net().counters().per_link;
   return cov;
 }
 

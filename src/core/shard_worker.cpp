@@ -1,0 +1,250 @@
+#include "core/shard_worker.h"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "common/strutil.h"
+#include "core/wire.h"
+#include "core/world.h"
+
+namespace shadowprobe::core {
+
+namespace {
+
+/// Worker-side state: the owned shard runners plus everything needed to
+/// answer phase commands.
+struct WorkerState {
+  wire::InitMsg init;
+  std::shared_ptr<const World> world;
+  std::vector<int> owned;  // shard indices, ascending
+  std::vector<std::unique_ptr<ShardRunner>> runners_;  // parallel to `owned`
+  CampaignPlan plan;
+  bool have_plan = false;
+
+  ShardRunner& runner(std::size_t i) { return *runners_[i]; }
+};
+
+/// Runs `fn` once per owned runner on worker threads and joins them.
+void for_each_owned(WorkerState& state, const std::function<void(ShardRunner&)>& fn) {
+  if (state.runners_.size() == 1) {
+    fn(*state.runners_.front());
+    return;
+  }
+  std::vector<std::thread> workers;
+  std::vector<std::exception_ptr> errors(state.runners_.size());
+  workers.reserve(state.runners_.size());
+  for (std::size_t i = 0; i < state.runners_.size(); ++i) {
+    workers.emplace_back([&, i] {
+      try {
+        fn(*state.runners_[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void build_runners(WorkerState& state, const ShardRunner::Decorator& decorate) {
+  const wire::InitMsg& init = state.init;
+  state.world = World::build(init.bed_config, decorate);
+  for (std::uint32_t s = init.proc_index; s < init.shard_count; s += init.proc_count) {
+    state.owned.push_back(static_cast<int>(s));
+  }
+  state.runners_.resize(state.owned.size());
+  std::vector<std::thread> builders;
+  std::vector<std::exception_ptr> errors(state.owned.size());
+  builders.reserve(state.owned.size());
+  for (std::size_t i = 0; i < state.owned.size(); ++i) {
+    builders.emplace_back([&, i] {
+      try {
+        state.runners_[i] = std::make_unique<ShardRunner>(
+            static_cast<std::uint32_t>(state.owned[i]), init.shard_count, state.world,
+            init.config, decorate);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& builder : builders) builder.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  SP_LOG_INFO(strprintf("shard worker %u/%u: built %zu runners over %u shards",
+                        init.proc_index, init.proc_count, state.owned.size(),
+                        init.shard_count));
+}
+
+void handle_screening(WorkerState& state, wire::FrameChannel& chan) {
+  for_each_owned(state, [](ShardRunner& shard) { shard.run_screening(); });
+  wire::VerdictsMsg msg;
+  msg.clock = state.runner(0).testbed().loop().now();
+  std::size_t vp_count =
+      state.runner(0).testbed().topology().vantage_points().size();
+  for (std::size_t i = 0; i < state.owned.size(); ++i) {
+    const ShardRunner& runner = state.runner(i);
+    for (std::size_t vp = 0; vp < vp_count; ++vp) {
+      if (runner.owns_vp(vp)) {
+        msg.verdicts.emplace_back(static_cast<std::uint32_t>(vp), runner.verdict(vp));
+      }
+    }
+  }
+  std::sort(msg.verdicts.begin(), msg.verdicts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  chan.send(wire::MsgType::kScreeningVerdicts, 0, wire::encode_verdicts(msg));
+}
+
+void send_barrier_results(WorkerState& state, wire::FrameChannel& chan) {
+  for (std::size_t i = 0; i < state.owned.size(); ++i) {
+    const ShardRunner& runner = state.runner(i);
+    ByteWriter w;
+    wire::encode_ledger(w, runner.ledger());
+    wire::encode_hits(w, runner.hits());
+    std::vector<std::uint32_t> replicated;
+    runner.replicated_seqs().for_each(
+        [&replicated](std::uint32_t seq) { replicated.push_back(seq); });
+    std::sort(replicated.begin(), replicated.end());
+    w.u32(static_cast<std::uint32_t>(replicated.size()));
+    for (std::uint32_t seq : replicated) w.u32(seq);
+    std::vector<std::uint64_t> quarantined;
+    runner.quarantined_vps().for_each([&quarantined](std::size_t vp_index, SimTime) {
+      quarantined.push_back(vp_index);
+    });
+    std::sort(quarantined.begin(), quarantined.end());
+    w.u32(static_cast<std::uint32_t>(quarantined.size()));
+    for (std::uint64_t vp : quarantined) w.u64(vp);
+    std::vector<std::uint32_t> cancelled;
+    runner.cancelled_seqs().for_each(
+        [&cancelled](std::uint32_t seq) { cancelled.push_back(seq); });
+    std::sort(cancelled.begin(), cancelled.end());
+    w.u32(static_cast<std::uint32_t>(cancelled.size()));
+    for (std::uint32_t seq : cancelled) w.u32(seq);
+    chan.send(wire::MsgType::kBarrierShard, static_cast<std::uint32_t>(state.owned[i]),
+              std::move(w).take());
+  }
+}
+
+void handle_phase1(WorkerState& state, wire::FrameChannel& chan, BytesView payload) {
+  auto msg = wire::decode_phase1(payload);
+  if (!msg.ok()) throw std::runtime_error(msg.error().message);
+  state.plan = std::move(msg.value().plan);
+  state.have_plan = true;
+  for (auto& runner : state.runners_) {
+    runner->adopt_plan(state.plan);
+    runner->schedule_owned(state.plan, 0, state.plan.phase1_count());
+  }
+  SimTime barrier = msg.value().barrier;
+  for_each_owned(state, [barrier](ShardRunner& shard) { shard.run_until(barrier); });
+  send_barrier_results(state, chan);
+}
+
+void send_final_results(WorkerState& state, wire::FrameChannel& chan) {
+  for (std::size_t i = 0; i < state.owned.size(); ++i) {
+    const ShardRunner& runner = state.runner(i);
+    ByteWriter w;
+    wire::encode_ledger(w, runner.ledger());
+    wire::encode_hits(w, runner.hits());
+    std::vector<std::uint32_t> replicated;
+    runner.replicated_seqs().for_each(
+        [&replicated](std::uint32_t seq) { replicated.push_back(seq); });
+    std::sort(replicated.begin(), replicated.end());
+    w.u32(static_cast<std::uint32_t>(replicated.size()));
+    for (std::uint32_t seq : replicated) w.u32(seq);
+    std::vector<std::pair<std::uint32_t, net::Ipv4Addr>> hops;
+    runner.hop_log().for_each([&hops](std::uint32_t seq, net::Ipv4Addr hop) {
+      hops.emplace_back(seq, hop);
+    });
+    std::sort(hops.begin(), hops.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.u32(static_cast<std::uint32_t>(hops.size()));
+    for (const auto& [seq, hop] : hops) {
+      w.u32(seq);
+      w.u32(hop.value());
+    }
+    wire::encode_loop_stats(w, runner.stats());
+    wire::encode_net_counters(w, runner.net_counters());
+    CoverageStats coverage;
+    if (state.init.config.faults.enabled()) coverage = runner.coverage();
+    wire::encode_coverage(w, coverage);
+    chan.send(wire::MsgType::kFinalShard, static_cast<std::uint32_t>(state.owned[i]),
+              std::move(w).take());
+  }
+}
+
+void handle_phase2(WorkerState& state, wire::FrameChannel& chan, BytesView payload) {
+  auto msg = wire::decode_phase2(payload);
+  if (!msg.ok()) throw std::runtime_error(msg.error().message);
+  if (!state.have_plan) {
+    throw std::runtime_error("shard worker: phase2 before phase1");
+  }
+  if (state.plan.emissions().size() != msg.value().schedule_from) {
+    throw std::runtime_error(
+        strprintf("shard worker: plan diverged from controller (%zu local emissions, "
+                  "controller expects %llu)",
+                  state.plan.emissions().size(),
+                  static_cast<unsigned long long>(msg.value().schedule_from)));
+  }
+  state.plan.append_emissions(msg.value().tail);
+  std::size_t from = static_cast<std::size_t>(msg.value().schedule_from);
+  for (auto& runner : state.runners_) {
+    runner->schedule_owned(state.plan, from, state.plan.emissions().size());
+  }
+  SimTime end = msg.value().end;
+  for_each_owned(state, [end](ShardRunner& shard) { shard.run_until(end); });
+  send_final_results(state, chan);
+}
+
+}  // namespace
+
+int run_shard_worker(int in_fd, int out_fd, const ShardRunner::Decorator& decorate) {
+  wire::FrameChannel chan(in_fd, out_fd);
+  try {
+    auto first = chan.recv();
+    if (!first.ok()) throw std::runtime_error(first.error().message);
+    if (first.value().type != wire::MsgType::kInit) {
+      throw std::runtime_error("shard worker: expected init message first");
+    }
+    WorkerState state;
+    auto init = wire::decode_init(first.value().payload);
+    if (!init.ok()) throw std::runtime_error(init.error().message);
+    state.init = std::move(init).take();
+    build_runners(state, decorate);
+
+    for (;;) {
+      auto frame = chan.recv();
+      if (!frame.ok()) {
+        if (frame.error().message == wire::kEofMessage) return 0;  // orderly shutdown
+        throw std::runtime_error(frame.error().message);
+      }
+      switch (frame.value().type) {
+        case wire::MsgType::kRunScreening:
+          handle_screening(state, chan);
+          break;
+        case wire::MsgType::kPhase1:
+          handle_phase1(state, chan, frame.value().payload);
+          break;
+        case wire::MsgType::kPhase2:
+          handle_phase2(state, chan, frame.value().payload);
+          break;
+        default:
+          throw std::runtime_error(
+              strprintf("shard worker: unexpected message type %d",
+                        static_cast<int>(frame.value().type)));
+      }
+    }
+  } catch (const std::exception& e) {
+    SP_LOG_WARN(std::string("shard worker failed: ") + e.what());
+    return 1;
+  }
+}
+
+}  // namespace shadowprobe::core

@@ -1,0 +1,29 @@
+// Shard worker: the child-process half of the multi-process campaign.
+//
+// `shadowprobe_cli --shard-worker` calls run_shard_worker with its
+// stdin/stdout, which the controller (MultiProcessBackend) has connected to
+// a socketpair. The worker receives an Init message naming the shard layout
+// and both configs, builds its own World + ShardRunners for the shards it
+// owns, and then executes phase commands — screening, Phase I to the
+// barrier, Phase II to the horizon — returning per-shard results as framed
+// wire messages. A clean EOF after the final results is the shutdown
+// signal.
+//
+// Determinism: the worker never re-derives any plan state. Paths, seqs, the
+// barrier time, and the Phase-II extension all arrive from the controller,
+// so a worker shard computes bit-for-bit the same results as the same shard
+// run on an in-process thread.
+#pragma once
+
+#include "core/shard_runner.h"
+
+namespace shadowprobe::core {
+
+/// Runs the worker protocol over the given descriptors until EOF or a
+/// protocol error. Returns a process exit status: 0 on orderly shutdown,
+/// 1 on any protocol/decode failure (logged to stderr). `decorate` must be
+/// the same decorator the controller's campaign uses — it replays the
+/// ground-truth deployment against this process's World.
+int run_shard_worker(int in_fd, int out_fd, const ShardRunner::Decorator& decorate);
+
+}  // namespace shadowprobe::core

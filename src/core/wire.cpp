@@ -1,0 +1,844 @@
+#include "core/wire.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace shadowprobe::core::wire {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 16;  // magic + version + type + shard + len
+constexpr std::size_t kTrailerSize = 4;  // crc32
+
+bool valid_type(std::uint16_t type) {
+  return type >= static_cast<std::uint16_t>(MsgType::kInit) &&
+         type <= static_cast<std::uint16_t>(MsgType::kFinalShard);
+}
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Bytes encode_frame(MsgType type, std::uint32_t shard_id, BytesView payload) {
+  if (payload.size() > kMaxPayload) {
+    throw std::length_error("wire: payload exceeds kMaxPayload");
+  }
+  ByteWriter w(kHeaderSize + payload.size() + kTrailerSize);
+  w.u32(kMagic);
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u32(shard_id);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  w.u32(crc32(payload));
+  return std::move(w).take();
+}
+
+Result<Frame> decode_frame(BytesView buffer) {
+  ByteReader r(buffer);
+  std::uint32_t magic = r.u32();
+  std::uint16_t version = r.u16();
+  std::uint16_t type = r.u16();
+  std::uint32_t shard_id = r.u32();
+  std::uint32_t length = r.u32();
+  if (!r.ok()) return Error("wire: truncated frame header");
+  if (magic != kMagic) return Error("wire: bad magic");
+  if (version != kWireVersion) return Error("wire: version mismatch");
+  if (!valid_type(type)) return Error("wire: unknown message type");
+  if (length > kMaxPayload) return Error("wire: implausible payload length");
+  BytesView payload = r.raw(length);
+  std::uint32_t checksum = r.u32();
+  if (!r.ok()) return Error("wire: short payload");
+  if (r.remaining() != 0) return Error("wire: trailing bytes after frame");
+  if (crc32(payload) != checksum) return Error("wire: checksum mismatch");
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.shard_id = shard_id;
+  frame.payload.assign(payload.begin(), payload.end());
+  return frame;
+}
+
+void FrameChannel::send(MsgType type, std::uint32_t shard_id, BytesView payload) {
+  Bytes bytes = encode_frame(type, shard_id, payload);
+  const std::uint8_t* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    ssize_t n = 0;
+    if (out_is_socket_ != 0) {
+      // MSG_NOSIGNAL turns a dead peer into EPIPE instead of SIGPIPE.
+      n = ::send(out_fd_, p, left, MSG_NOSIGNAL);
+      if (n < 0 && errno == ENOTSOCK) {
+        out_is_socket_ = 0;
+        continue;
+      }
+      if (n >= 0) out_is_socket_ = 1;
+    } else {
+      n = ::write(out_fd_, p, left);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("wire: send failed: ") + std::strerror(errno));
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+Result<Frame> FrameChannel::recv() {
+  Bytes buffer(kHeaderSize);
+  std::size_t have = 0;
+  // Header first; a clean EOF before the first byte is the normal shutdown
+  // signal, an EOF inside a frame is corruption/crash.
+  while (have < kHeaderSize) {
+    ssize_t n = ::read(in_fd_, buffer.data() + have, kHeaderSize - have);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error(std::string("wire: read failed: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return have == 0 ? Error(std::string(kEofMessage))
+                       : Error("wire: stream truncated inside frame header");
+    }
+    have += static_cast<std::size_t>(n);
+  }
+  ByteReader header(buffer);
+  std::uint32_t magic = header.u32();
+  std::uint16_t version = header.u16();
+  std::uint16_t type = header.u16();
+  std::uint32_t shard_id = header.u32();
+  std::uint32_t length = header.u32();
+  if (magic != kMagic) return Error("wire: bad magic");
+  if (version != kWireVersion) return Error("wire: version mismatch");
+  if (!valid_type(type)) return Error("wire: unknown message type");
+  if (length > kMaxPayload) return Error("wire: implausible payload length");
+  Bytes body(static_cast<std::size_t>(length) + kTrailerSize);
+  have = 0;
+  while (have < body.size()) {
+    ssize_t n = ::read(in_fd_, body.data() + have, body.size() - have);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Error(std::string("wire: read failed: ") + std::strerror(errno));
+    }
+    if (n == 0) return Error("wire: stream truncated inside frame body");
+    have += static_cast<std::size_t>(n);
+  }
+  BytesView payload(body.data(), length);
+  ByteReader trailer(BytesView(body.data() + length, kTrailerSize));
+  if (crc32(payload) != trailer.u32()) return Error("wire: checksum mismatch");
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.shard_id = shard_id;
+  frame.payload.assign(payload.begin(), payload.end());
+  return frame;
+}
+
+// -- primitives -------------------------------------------------------------
+
+void put_string(ByteWriter& w, std::string_view s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  w.raw(s);
+}
+
+std::string get_string(ByteReader& r) {
+  std::uint32_t length = r.u32();
+  if (length > r.remaining()) {
+    r.fail();
+    return {};
+  }
+  return r.str(length);
+}
+
+void put_time(ByteWriter& w, SimTime t) { w.u64(static_cast<std::uint64_t>(t)); }
+
+SimTime get_time(ByteReader& r) { return static_cast<SimTime>(r.u64()); }
+
+void put_double(ByteWriter& w, double v) { w.u64(std::bit_cast<std::uint64_t>(v)); }
+
+double get_double(ByteReader& r) { return std::bit_cast<double>(r.u64()); }
+
+// -- codecs -----------------------------------------------------------------
+
+namespace {
+
+void put_addr(ByteWriter& w, net::Ipv4Addr addr) { w.u32(addr.value()); }
+
+net::Ipv4Addr get_addr(ByteReader& r) { return net::Ipv4Addr(r.u32()); }
+
+void put_path(ByteWriter& w, const PathRecord& path) {
+  w.u32(path.path_id);
+  w.u32(static_cast<std::uint32_t>(path.vp_index));
+  w.u8(static_cast<std::uint8_t>(path.dest_kind));
+  put_string(w, path.dest_name);
+  put_addr(w, path.dest_addr);
+  put_string(w, path.dest_country);
+  w.u8(static_cast<std::uint8_t>(path.protocol));
+}
+
+PathRecord get_path(ByteReader& r) {
+  PathRecord path;
+  path.path_id = r.u32();
+  path.vp_index = static_cast<std::int32_t>(r.u32());
+  std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(DestKind::kWebSite)) r.fail();
+  path.dest_kind = static_cast<DestKind>(kind);
+  path.dest_name = get_string(r);
+  path.dest_addr = get_addr(r);
+  path.dest_country = get_string(r);
+  std::uint8_t protocol = r.u8();
+  if (protocol > static_cast<std::uint8_t>(DecoyProtocol::kTls)) r.fail();
+  path.protocol = static_cast<DecoyProtocol>(protocol);
+  return path;  // path.vp stays null; callers rebind via vp_index
+}
+
+void put_decoy_id(ByteWriter& w, const DecoyId& id) {
+  w.u32(id.time_sec);
+  put_addr(w, id.vp);
+  put_addr(w, id.dst);
+  w.u8(id.ttl);
+  w.u8(static_cast<std::uint8_t>(id.protocol));
+  w.u32(id.seq);
+}
+
+DecoyId get_decoy_id(ByteReader& r) {
+  DecoyId id;
+  id.time_sec = r.u32();
+  id.vp = get_addr(r);
+  id.dst = get_addr(r);
+  id.ttl = r.u8();
+  std::uint8_t protocol = r.u8();
+  if (protocol > static_cast<std::uint8_t>(DecoyProtocol::kTls)) r.fail();
+  id.protocol = static_cast<DecoyProtocol>(protocol);
+  id.seq = r.u32();
+  return id;
+}
+
+void put_decoy(ByteWriter& w, const DecoyRecord& record) {
+  put_decoy_id(w, record.id);
+  put_string(w, record.domain.str());
+  put_time(w, record.sent);
+  w.u32(record.path_id);
+  w.u8(record.phase2 ? 1 : 0);
+  w.u8(record.dest_responded ? 1 : 0);
+  put_time(w, record.response_time);
+}
+
+DecoyRecord get_decoy(ByteReader& r) {
+  DecoyRecord record;
+  record.id = get_decoy_id(r);
+  // The as-emitted domain crosses the wire verbatim (never re-derived from
+  // the id — a merge-remapped seq keeps its original label).
+  std::string domain = get_string(r);
+  if (auto parsed = net::DnsName::parse(domain)) {
+    record.domain = std::move(*parsed);
+  } else {
+    r.fail();
+  }
+  record.sent = get_time(r);
+  record.path_id = r.u32();
+  record.phase2 = r.u8() != 0;
+  record.dest_responded = r.u8() != 0;
+  record.response_time = get_time(r);
+  return record;
+}
+
+/// Rough lower bound on an element's encoded size, used to reject absurd
+/// count fields before any allocation happens.
+bool plausible_count(const ByteReader& r, std::uint32_t count, std::size_t min_bytes) {
+  return static_cast<std::uint64_t>(count) * min_bytes <= r.remaining();
+}
+
+}  // namespace
+
+void encode_ledger(ByteWriter& w, const DecoyLedger& ledger) {
+  w.u32(static_cast<std::uint32_t>(ledger.paths().size()));
+  for (const PathRecord& path : ledger.paths()) put_path(w, path);
+  w.u32(static_cast<std::uint32_t>(ledger.decoys().size()));
+  for (const DecoyRecord& record : ledger.decoys()) put_decoy(w, record);
+}
+
+Result<DecoyLedger> decode_ledger(ByteReader& r) {
+  DecoyLedger ledger;
+  std::uint32_t path_count = r.u32();
+  if (!plausible_count(r, path_count, 19)) return Error("wire: implausible path count");
+  std::vector<PathRecord> paths;
+  paths.reserve(path_count);
+  FlatSet<std::uint32_t> path_ids;
+  for (std::uint32_t i = 0; i < path_count && r.ok(); ++i) {
+    PathRecord path = get_path(r);
+    if (path_ids.contains(path.path_id)) return Error("wire: duplicate path id");
+    path_ids.insert(path.path_id);
+    paths.push_back(std::move(path));
+  }
+  if (!r.ok()) return Error("wire: truncated ledger path table");
+  ledger.seed_paths(paths);
+  std::uint32_t decoy_count = r.u32();
+  if (!plausible_count(r, decoy_count, 38)) return Error("wire: implausible decoy count");
+  ledger.reserve_decoys(decoy_count);
+  for (std::uint32_t i = 0; i < decoy_count && r.ok(); ++i) {
+    DecoyRecord record = get_decoy(r);
+    if (!r.ok()) break;
+    if (!ledger.restore_decoy(record)) return Error("wire: duplicate decoy seq");
+  }
+  if (!r.ok()) return Error("wire: malformed ledger");
+  return ledger;
+}
+
+void encode_hits(ByteWriter& w, const std::vector<HoneypotHit>& hits) {
+  w.u32(static_cast<std::uint32_t>(hits.size()));
+  for (const HoneypotHit& hit : hits) {
+    put_time(w, hit.time);
+    w.u8(static_cast<std::uint8_t>(hit.protocol));
+    put_addr(w, hit.origin);
+    put_addr(w, hit.honeypot_addr);
+    put_string(w, hit.location);
+    put_string(w, hit.domain.str());
+    w.u8(hit.decoy.has_value() ? 1 : 0);
+    if (hit.decoy.has_value()) put_decoy_id(w, *hit.decoy);
+    put_string(w, hit.http_method);
+    put_string(w, hit.http_target);
+  }
+}
+
+Result<std::vector<HoneypotHit>> decode_hits(ByteReader& r) {
+  std::uint32_t count = r.u32();
+  if (!plausible_count(r, count, 35)) return Error("wire: implausible hit count");
+  std::vector<HoneypotHit> hits;
+  hits.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    HoneypotHit hit;
+    hit.time = get_time(r);
+    std::uint8_t protocol = r.u8();
+    if (protocol > static_cast<std::uint8_t>(RequestProtocol::kHttps)) r.fail();
+    hit.protocol = static_cast<RequestProtocol>(protocol);
+    hit.origin = get_addr(r);
+    hit.honeypot_addr = get_addr(r);
+    hit.location = get_string(r);
+    std::string domain = get_string(r);
+    if (auto parsed = net::DnsName::parse(domain)) {
+      hit.domain = std::move(*parsed);
+    } else {
+      r.fail();
+    }
+    std::uint8_t has_decoy = r.u8();
+    if (has_decoy > 1) r.fail();
+    if (has_decoy == 1) hit.decoy = get_decoy_id(r);
+    hit.http_method = get_string(r);
+    hit.http_target = get_string(r);
+    hits.push_back(std::move(hit));
+  }
+  if (!r.ok()) return Error("wire: malformed hit log");
+  return hits;
+}
+
+void encode_link_drops(ByteWriter& w, const std::vector<sim::LinkDropCounters>& links) {
+  w.u32(static_cast<std::uint32_t>(links.size()));
+  for (const sim::LinkDropCounters& link : links) {
+    put_string(w, link.node_a);
+    put_string(w, link.node_b);
+    w.u64(link.link_loss);
+    w.u64(link.link_down);
+  }
+}
+
+std::vector<sim::LinkDropCounters> decode_link_drops(ByteReader& r) {
+  std::uint32_t count = r.u32();
+  if (!plausible_count(r, count, 24)) {
+    r.fail();
+    return {};
+  }
+  std::vector<sim::LinkDropCounters> links;
+  links.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    sim::LinkDropCounters link;
+    link.node_a = get_string(r);
+    link.node_b = get_string(r);
+    link.link_loss = r.u64();
+    link.link_down = r.u64();
+    links.push_back(std::move(link));
+  }
+  return links;
+}
+
+void encode_coverage(ByteWriter& w, const CoverageStats& cov) {
+  w.u64(cov.phase1_planned);
+  w.u64(cov.decoys_attempted);
+  w.u64(cov.decoys_delivered);
+  w.u64(cov.decoys_lost);
+  w.u64(cov.decoys_retried);
+  w.u64(cov.retry_attempts);
+  w.u64(cov.tcp_retransmissions);
+  w.u64(cov.decoys_cancelled);
+  w.u64(cov.decoys_rescheduled);
+  w.u64(cov.phase2_deferred);
+  w.u64(cov.vps_quarantined);
+  w.u64(cov.honeypot_downtime_drops);
+  encode_link_drops(w, cov.link_drops);
+}
+
+CoverageStats decode_coverage(ByteReader& r) {
+  CoverageStats cov;
+  cov.phase1_planned = r.u64();
+  cov.decoys_attempted = r.u64();
+  cov.decoys_delivered = r.u64();
+  cov.decoys_lost = r.u64();
+  cov.decoys_retried = r.u64();
+  cov.retry_attempts = r.u64();
+  cov.tcp_retransmissions = r.u64();
+  cov.decoys_cancelled = r.u64();
+  cov.decoys_rescheduled = r.u64();
+  cov.phase2_deferred = r.u64();
+  cov.vps_quarantined = r.u64();
+  cov.honeypot_downtime_drops = r.u64();
+  cov.link_drops = decode_link_drops(r);
+  return cov;
+}
+
+void encode_net_counters(ByteWriter& w, const sim::NetworkCounters& net) {
+  w.u64(net.delivered);
+  w.u64(net.forwarded);
+  w.u64(net.no_route);
+  w.u64(net.ttl_expired);
+  w.u64(net.link_loss);
+  w.u64(net.link_down);
+  w.u64(net.endpoint_down);
+  encode_link_drops(w, net.per_link);
+}
+
+sim::NetworkCounters decode_net_counters(ByteReader& r) {
+  sim::NetworkCounters net;
+  net.delivered = r.u64();
+  net.forwarded = r.u64();
+  net.no_route = r.u64();
+  net.ttl_expired = r.u64();
+  net.link_loss = r.u64();
+  net.link_down = r.u64();
+  net.endpoint_down = r.u64();
+  net.per_link = decode_link_drops(r);
+  return net;
+}
+
+void encode_loop_stats(ByteWriter& w, const sim::EventLoopStats& stats) {
+  w.u64(stats.processed);
+  w.u64(stats.scheduled);
+  w.u64(stats.cancelled);
+  w.u64(stats.pending);
+  w.u64(stats.high_water);
+  put_time(w, stats.now);
+}
+
+sim::EventLoopStats decode_loop_stats(ByteReader& r) {
+  sim::EventLoopStats stats;
+  stats.processed = r.u64();
+  stats.scheduled = r.u64();
+  stats.cancelled = r.u64();
+  stats.pending = static_cast<std::size_t>(r.u64());
+  stats.high_water = static_cast<std::size_t>(r.u64());
+  stats.now = get_time(r);
+  return stats;
+}
+
+void encode_shard_stats(ByteWriter& w, const ShardExecutionStats& stats) {
+  w.u32(static_cast<std::uint32_t>(stats.requested_shards));
+  w.u32(static_cast<std::uint32_t>(stats.effective_shards));
+  w.u32(static_cast<std::uint32_t>(stats.worker_procs));
+  w.u8(stats.clamped ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(stats.per_shard.size()));
+  for (const sim::EventLoopStats& loop : stats.per_shard) encode_loop_stats(w, loop);
+  w.u32(static_cast<std::uint32_t>(stats.per_shard_net.size()));
+  for (const sim::NetworkCounters& net : stats.per_shard_net) encode_net_counters(w, net);
+}
+
+Result<ShardExecutionStats> decode_shard_stats(ByteReader& r) {
+  ShardExecutionStats stats;
+  stats.requested_shards = static_cast<int>(r.u32());
+  stats.effective_shards = static_cast<int>(r.u32());
+  stats.worker_procs = static_cast<int>(r.u32());
+  stats.clamped = r.u8() != 0;
+  std::uint32_t loops = r.u32();
+  if (!plausible_count(r, loops, 48)) return Error("wire: implausible shard count");
+  stats.per_shard.reserve(loops);
+  for (std::uint32_t i = 0; i < loops && r.ok(); ++i) {
+    stats.per_shard.push_back(decode_loop_stats(r));
+  }
+  std::uint32_t nets = r.u32();
+  if (!plausible_count(r, nets, 60)) return Error("wire: implausible net-counter count");
+  stats.per_shard_net.reserve(nets);
+  for (std::uint32_t i = 0; i < nets && r.ok(); ++i) {
+    stats.per_shard_net.push_back(decode_net_counters(r));
+  }
+  if (!r.ok()) return Error("wire: malformed shard stats");
+  return stats;
+}
+
+void encode_testbed_config(ByteWriter& w, const TestbedConfig& config) {
+  w.u64(config.topology.seed);
+  w.u32(static_cast<std::uint32_t>(config.topology.global_vps));
+  w.u32(static_cast<std::uint32_t>(config.topology.cn_vps));
+  w.u32(static_cast<std::uint32_t>(config.topology.web_sites));
+  w.u32(static_cast<std::uint32_t>(config.topology.filler_ases_per_country));
+  put_double(w, config.resolver_requery_probability);
+  put_time(w, config.resolver_requery_delay);
+  w.u8(config.resolver_refresh_on_expiry ? 1 : 0);
+}
+
+TestbedConfig decode_testbed_config(ByteReader& r) {
+  TestbedConfig config;
+  config.topology.seed = r.u64();
+  config.topology.global_vps = static_cast<int>(r.u32());
+  config.topology.cn_vps = static_cast<int>(r.u32());
+  config.topology.web_sites = static_cast<int>(r.u32());
+  config.topology.filler_ases_per_country = static_cast<int>(r.u32());
+  config.resolver_requery_probability = get_double(r);
+  config.resolver_requery_delay = get_time(r);
+  config.resolver_refresh_on_expiry = r.u8() != 0;
+  return config;
+}
+
+void encode_campaign_config(ByteWriter& w, const CampaignConfig& config) {
+  put_time(w, config.phase1_window);
+  w.u32(static_cast<std::uint32_t>(config.phase1_rounds));
+  put_time(w, config.phase2_grace);
+  put_time(w, config.phase2_window);
+  put_time(w, config.total_duration);
+  w.u32(static_cast<std::uint32_t>(config.max_sweep_ttl));
+  w.u8(config.screening ? 1 : 0);
+  w.u8(config.measure_dns ? 1 : 0);
+  w.u8(config.measure_http ? 1 : 0);
+  w.u8(config.measure_tls ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(config.dns_transport));
+  w.u8(config.tls_decoys_use_ech ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(config.analysis_workers));
+  // Fault profile, field-wise (doubles as bit patterns — str()/parse() could
+  // lose precision, and the workers' draws must match the controller's
+  // exactly).
+  const sim::FaultProfile& faults = config.faults;
+  put_double(w, faults.link_loss);
+  put_time(w, faults.jitter);
+  put_double(w, faults.link_flap_rate);
+  put_time(w, faults.link_flap_duration);
+  put_double(w, faults.vp_churn);
+  put_time(w, faults.vp_outage);
+  w.u32(static_cast<std::uint32_t>(faults.collector_outages.size()));
+  for (const sim::CollectorOutage& outage : faults.collector_outages) {
+    put_string(w, outage.location);
+    put_time(w, outage.start);
+    put_time(w, outage.duration);
+  }
+  w.u32(static_cast<std::uint32_t>(faults.max_retries));
+  put_time(w, faults.retry_timeout);
+  w.u32(static_cast<std::uint32_t>(faults.quarantine_threshold));
+}
+
+Result<CampaignConfig> decode_campaign_config(ByteReader& r) {
+  CampaignConfig config;
+  config.phase1_window = get_time(r);
+  config.phase1_rounds = static_cast<int>(r.u32());
+  config.phase2_grace = get_time(r);
+  config.phase2_window = get_time(r);
+  config.total_duration = get_time(r);
+  config.max_sweep_ttl = static_cast<int>(r.u32());
+  config.screening = r.u8() != 0;
+  config.measure_dns = r.u8() != 0;
+  config.measure_http = r.u8() != 0;
+  config.measure_tls = r.u8() != 0;
+  std::uint8_t transport = r.u8();
+  if (transport > static_cast<std::uint8_t>(DnsDecoyTransport::kOblivious)) r.fail();
+  config.dns_transport = static_cast<DnsDecoyTransport>(transport);
+  config.tls_decoys_use_ech = r.u8() != 0;
+  config.analysis_workers = static_cast<int>(r.u32());
+  sim::FaultProfile& faults = config.faults;
+  faults.link_loss = get_double(r);
+  faults.jitter = get_time(r);
+  faults.link_flap_rate = get_double(r);
+  faults.link_flap_duration = get_time(r);
+  faults.vp_churn = get_double(r);
+  faults.vp_outage = get_time(r);
+  std::uint32_t outages = r.u32();
+  if (!plausible_count(r, outages, 20)) return Error("wire: implausible outage count");
+  faults.collector_outages.reserve(outages);
+  for (std::uint32_t i = 0; i < outages && r.ok(); ++i) {
+    sim::CollectorOutage outage;
+    outage.location = get_string(r);
+    outage.start = get_time(r);
+    outage.duration = get_time(r);
+    faults.collector_outages.push_back(std::move(outage));
+  }
+  faults.max_retries = static_cast<int>(r.u32());
+  faults.retry_timeout = get_time(r);
+  faults.quarantine_threshold = static_cast<int>(r.u32());
+  if (!r.ok()) return Error("wire: malformed campaign config");
+  return config;
+}
+
+void encode_emissions(ByteWriter& w, const std::vector<PlanEmission>& emissions) {
+  w.u32(static_cast<std::uint32_t>(emissions.size()));
+  for (const PlanEmission& emission : emissions) {
+    w.u32(emission.seq);
+    w.u32(emission.path_id);
+    w.u32(static_cast<std::uint32_t>(emission.vp_index));
+    put_time(w, emission.when);
+    w.u8(emission.ttl);
+    w.u8(emission.phase2 ? 1 : 0);
+  }
+}
+
+Result<std::vector<PlanEmission>> decode_emissions(ByteReader& r) {
+  std::uint32_t count = r.u32();
+  if (!plausible_count(r, count, 22)) return Error("wire: implausible emission count");
+  std::vector<PlanEmission> emissions;
+  emissions.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    PlanEmission emission;
+    emission.seq = r.u32();
+    emission.path_id = r.u32();
+    emission.vp_index = static_cast<std::int32_t>(r.u32());
+    emission.when = get_time(r);
+    emission.ttl = r.u8();
+    emission.phase2 = r.u8() != 0;
+    emissions.push_back(emission);
+  }
+  if (!r.ok()) return Error("wire: malformed emission list");
+  return emissions;
+}
+
+void encode_plan(ByteWriter& w, const CampaignPlan& plan) {
+  w.u32(static_cast<std::uint32_t>(plan.paths().size()));
+  for (const PathRecord& path : plan.paths()) put_path(w, path);
+  encode_emissions(w, plan.emissions());
+  w.u64(plan.phase1_count());
+}
+
+Result<CampaignPlan> decode_plan(ByteReader& r) {
+  std::uint32_t path_count = r.u32();
+  if (!plausible_count(r, path_count, 19)) return Error("wire: implausible path count");
+  std::vector<PathRecord> paths;
+  paths.reserve(path_count);
+  for (std::uint32_t i = 0; i < path_count && r.ok(); ++i) {
+    PathRecord path = get_path(r);
+    // Plan path ids are dense from 0 (CampaignPlan::path indexes by id).
+    if (path.path_id != i) return Error("wire: plan path ids not dense");
+    paths.push_back(std::move(path));
+  }
+  if (!r.ok()) return Error("wire: truncated plan path table");
+  auto emissions = decode_emissions(r);
+  if (!emissions.ok()) return emissions.error();
+  std::uint64_t phase1_count = r.u64();
+  if (!r.ok()) return Error("wire: malformed plan");
+  if (phase1_count > emissions.value().size()) {
+    return Error("wire: plan phase1_count exceeds emission count");
+  }
+  for (const PlanEmission& emission : emissions.value()) {
+    if (emission.path_id >= paths.size()) return Error("wire: emission path out of range");
+  }
+  return CampaignPlan::restore(std::move(paths), std::move(emissions).take(),
+                               static_cast<std::size_t>(phase1_count));
+}
+
+// -- protocol messages -------------------------------------------------------
+
+namespace {
+
+void put_u32_list(ByteWriter& w, const std::vector<std::uint32_t>& values) {
+  w.u32(static_cast<std::uint32_t>(values.size()));
+  for (std::uint32_t value : values) w.u32(value);
+}
+
+bool get_u32_list(ByteReader& r, std::vector<std::uint32_t>& out) {
+  std::uint32_t count = r.u32();
+  if (!plausible_count(r, count, 4)) {
+    r.fail();
+    return false;
+  }
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) out.push_back(r.u32());
+  return r.ok();
+}
+
+}  // namespace
+
+Bytes encode_init(const InitMsg& msg) {
+  ByteWriter w;
+  w.u32(msg.shard_count);
+  w.u32(msg.proc_index);
+  w.u32(msg.proc_count);
+  encode_testbed_config(w, msg.bed_config);
+  encode_campaign_config(w, msg.config);
+  return std::move(w).take();
+}
+
+Result<InitMsg> decode_init(BytesView payload) {
+  ByteReader r(payload);
+  InitMsg msg;
+  msg.shard_count = r.u32();
+  msg.proc_index = r.u32();
+  msg.proc_count = r.u32();
+  msg.bed_config = decode_testbed_config(r);
+  auto config = decode_campaign_config(r);
+  if (!config.ok()) return config.error();
+  msg.config = std::move(config).take();
+  if (!r.ok() || r.remaining() != 0) return Error("wire: malformed init message");
+  if (msg.shard_count == 0 || msg.proc_count == 0 || msg.proc_index >= msg.proc_count) {
+    return Error("wire: inconsistent init layout");
+  }
+  return msg;
+}
+
+Bytes encode_verdicts(const VerdictsMsg& msg) {
+  ByteWriter w;
+  put_time(w, msg.clock);
+  w.u32(static_cast<std::uint32_t>(msg.verdicts.size()));
+  for (const auto& [vp, verdict] : msg.verdicts) {
+    w.u32(vp);
+    w.u8(static_cast<std::uint8_t>(verdict));
+  }
+  return std::move(w).take();
+}
+
+Result<VerdictsMsg> decode_verdicts(BytesView payload) {
+  ByteReader r(payload);
+  VerdictsMsg msg;
+  msg.clock = get_time(r);
+  std::uint32_t count = r.u32();
+  if (!plausible_count(r, count, 5)) return Error("wire: implausible verdict count");
+  msg.verdicts.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    std::uint32_t vp = r.u32();
+    std::uint8_t verdict = r.u8();
+    if (verdict > static_cast<std::uint8_t>(ScreeningVerdict::kIntercepted)) {
+      return Error("wire: unknown screening verdict");
+    }
+    msg.verdicts.emplace_back(vp, static_cast<ScreeningVerdict>(verdict));
+  }
+  if (!r.ok() || r.remaining() != 0) return Error("wire: malformed verdicts message");
+  return msg;
+}
+
+Bytes encode_phase1(const Phase1Msg& msg) {
+  ByteWriter w;
+  encode_plan(w, msg.plan);
+  put_time(w, msg.barrier);
+  return std::move(w).take();
+}
+
+Result<Phase1Msg> decode_phase1(BytesView payload) {
+  ByteReader r(payload);
+  auto plan = decode_plan(r);
+  if (!plan.ok()) return plan.error();
+  Phase1Msg msg;
+  msg.plan = std::move(plan).take();
+  msg.barrier = get_time(r);
+  if (!r.ok() || r.remaining() != 0) return Error("wire: malformed phase1 message");
+  return msg;
+}
+
+Bytes encode_barrier(const BarrierMsg& msg) {
+  ByteWriter w;
+  encode_ledger(w, msg.ledger);
+  encode_hits(w, msg.hits);
+  put_u32_list(w, msg.replicated);
+  w.u32(static_cast<std::uint32_t>(msg.quarantined.size()));
+  for (std::uint64_t vp : msg.quarantined) w.u64(vp);
+  put_u32_list(w, msg.cancelled);
+  return std::move(w).take();
+}
+
+Result<BarrierMsg> decode_barrier(BytesView payload) {
+  ByteReader r(payload);
+  BarrierMsg msg;
+  auto ledger = decode_ledger(r);
+  if (!ledger.ok()) return ledger.error();
+  msg.ledger = std::move(ledger).take();
+  auto hits = decode_hits(r);
+  if (!hits.ok()) return hits.error();
+  msg.hits = std::move(hits).take();
+  if (!get_u32_list(r, msg.replicated)) return Error("wire: malformed replicated set");
+  std::uint32_t quarantined = r.u32();
+  if (!plausible_count(r, quarantined, 8)) return Error("wire: implausible quarantine count");
+  msg.quarantined.reserve(quarantined);
+  for (std::uint32_t i = 0; i < quarantined && r.ok(); ++i) msg.quarantined.push_back(r.u64());
+  if (!get_u32_list(r, msg.cancelled)) return Error("wire: malformed cancelled set");
+  if (!r.ok() || r.remaining() != 0) return Error("wire: malformed barrier message");
+  return msg;
+}
+
+Bytes encode_phase2(const Phase2Msg& msg) {
+  ByteWriter w;
+  w.u64(msg.schedule_from);
+  encode_emissions(w, msg.tail);
+  put_time(w, msg.end);
+  return std::move(w).take();
+}
+
+Result<Phase2Msg> decode_phase2(BytesView payload) {
+  ByteReader r(payload);
+  Phase2Msg msg;
+  msg.schedule_from = r.u64();
+  auto tail = decode_emissions(r);
+  if (!tail.ok()) return tail.error();
+  msg.tail = std::move(tail).take();
+  msg.end = get_time(r);
+  if (!r.ok() || r.remaining() != 0) return Error("wire: malformed phase2 message");
+  return msg;
+}
+
+Bytes encode_final(const FinalMsg& msg) {
+  ByteWriter w;
+  encode_ledger(w, msg.ledger);
+  encode_hits(w, msg.hits);
+  put_u32_list(w, msg.replicated);
+  w.u32(static_cast<std::uint32_t>(msg.hops.size()));
+  for (const auto& [seq, hop] : msg.hops) {
+    w.u32(seq);
+    w.u32(hop.value());
+  }
+  encode_loop_stats(w, msg.stats);
+  encode_net_counters(w, msg.net);
+  encode_coverage(w, msg.coverage);
+  return std::move(w).take();
+}
+
+Result<FinalMsg> decode_final(BytesView payload) {
+  ByteReader r(payload);
+  FinalMsg msg;
+  auto ledger = decode_ledger(r);
+  if (!ledger.ok()) return ledger.error();
+  msg.ledger = std::move(ledger).take();
+  auto hits = decode_hits(r);
+  if (!hits.ok()) return hits.error();
+  msg.hits = std::move(hits).take();
+  if (!get_u32_list(r, msg.replicated)) return Error("wire: malformed replicated set");
+  std::uint32_t hops = r.u32();
+  if (!plausible_count(r, hops, 8)) return Error("wire: implausible hop count");
+  msg.hops.reserve(hops);
+  for (std::uint32_t i = 0; i < hops && r.ok(); ++i) {
+    std::uint32_t seq = r.u32();
+    msg.hops.emplace_back(seq, net::Ipv4Addr(r.u32()));
+  }
+  msg.stats = decode_loop_stats(r);
+  msg.net = decode_net_counters(r);
+  msg.coverage = decode_coverage(r);
+  if (!r.ok() || r.remaining() != 0) return Error("wire: malformed final message");
+  return msg;
+}
+
+}  // namespace shadowprobe::core::wire

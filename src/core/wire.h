@@ -1,0 +1,229 @@
+// Wire format for controller <-> shard-worker campaign traffic.
+//
+// The multi-process backend runs shards in separate OS processes; everything
+// crossing that boundary — the campaign plan going out, shard ledgers,
+// logbooks and counters coming back — travels as framed binary messages
+// defined here. Design rules:
+//
+//   - *Endian-stable*: every multi-byte integer is big-endian via
+//     ByteWriter/ByteReader (common/bytes.h), so a frame produced on any
+//     host decodes identically on any other.
+//   - *Framed*: magic, version, message type, shard id, payload length, and
+//     a CRC32 over the payload. A truncated stream, a foreign protocol, or
+//     a corrupted frame is rejected with a descriptive Error — never UB,
+//     never a hang.
+//   - *Versioned*: kWireVersion bumps on any layout change; a decoder
+//     rejects frames from a different version outright (controller and
+//     workers are the same binary, so cross-version talk means operator
+//     error, not a compatibility case to paper over).
+//   - *Canonical*: encoders emit container contents in a deterministic
+//     order (ledgers/paths as stored, sets sorted ascending), so
+//     encode -> decode -> encode is byte-identical — the property the wire
+//     round-trip tests pin.
+//
+// Payload codecs cover every type the shard-result merge consumes:
+// DecoyLedger, honeypot hit logs, CoverageStats, NetworkCounters,
+// EventLoopStats, ShardExecutionStats, the campaign/testbed configs, and
+// the CampaignPlan. Decoders validate enums, bounds and duplicate keys and
+// surface failures as Result values (common/error.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+#include "core/campaign_config.h"
+#include "core/campaign_plan.h"
+#include "core/campaign_result.h"
+#include "core/honeypot.h"
+#include "core/ledger.h"
+#include "core/screening.h"
+#include "core/testbed.h"
+
+namespace shadowprobe::core::wire {
+
+// -- framing ----------------------------------------------------------------
+
+/// "SPWF" — shadowprobe wire frame.
+inline constexpr std::uint32_t kMagic = 0x53505746;
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Upper bound on a sane payload (a scale-1 shard ledger is ~a few MB);
+/// anything larger is treated as a corrupt length field.
+inline constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+/// Message types of the controller/worker protocol. Controller -> worker
+/// messages carry shard id 0 (they address the whole worker); worker ->
+/// controller result frames carry the shard id the payload belongs to.
+enum class MsgType : std::uint16_t {
+  kInit = 1,               ///< C->W: shard/process layout + both configs
+  kRunScreening = 2,       ///< C->W: run the screening phase
+  kScreeningVerdicts = 3,  ///< W->C: verdicts for the worker's owned VPs
+  kPhase1 = 4,             ///< C->W: full CampaignPlan + barrier time
+  kBarrierShard = 5,       ///< W->C: one shard's interim results
+  kPhase2 = 6,             ///< C->W: plan extension + campaign horizon
+  kFinalShard = 7,         ///< W->C: one shard's final results
+};
+
+struct Frame {
+  MsgType type = MsgType::kInit;
+  std::uint32_t shard_id = 0;
+  Bytes payload;
+};
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over `data`.
+[[nodiscard]] std::uint32_t crc32(BytesView data);
+
+/// Frame layout: u32 magic | u16 version | u16 type | u32 shard_id |
+/// u32 payload_len | payload | u32 crc32(payload).
+[[nodiscard]] Bytes encode_frame(MsgType type, std::uint32_t shard_id, BytesView payload);
+/// Decodes one frame that must span `buffer` exactly (tests / single-shot
+/// use). Rejects bad magic, version or type, short payloads, trailing
+/// garbage, and checksum mismatches.
+[[nodiscard]] Result<Frame> decode_frame(BytesView buffer);
+
+/// The Error message FrameChannel::recv returns on a clean end-of-stream
+/// (EOF before the first header byte). A worker treats it as orderly
+/// shutdown; EOF *inside* a frame reports a distinct truncation error.
+inline constexpr const char* kEofMessage = "wire: end of stream";
+
+/// Blocking frame I/O over a pair of file descriptors (the controller's
+/// socketpair end, or the worker's stdin/stdout). Reads surface EOF and
+/// corruption as Error values; writes throw std::runtime_error (a dead peer
+/// is unrecoverable for the writer). Writes use send(MSG_NOSIGNAL) on
+/// sockets so a crashed peer produces EPIPE, not SIGPIPE.
+class FrameChannel {
+ public:
+  FrameChannel(int in_fd, int out_fd) : in_fd_(in_fd), out_fd_(out_fd) {}
+
+  void send(MsgType type, std::uint32_t shard_id, BytesView payload);
+  [[nodiscard]] Result<Frame> recv();
+
+ private:
+  int in_fd_;
+  int out_fd_;
+  int out_is_socket_ = -1;  // tri-state cache: -1 unknown, 0 no, 1 yes
+};
+
+// -- primitive helpers (shared by the codecs and their tests) ---------------
+
+void put_string(ByteWriter& w, std::string_view s);
+[[nodiscard]] std::string get_string(ByteReader& r);
+void put_time(ByteWriter& w, SimTime t);
+[[nodiscard]] SimTime get_time(ByteReader& r);
+void put_double(ByteWriter& w, double v);
+[[nodiscard]] double get_double(ByteReader& r);
+
+// -- payload codecs ---------------------------------------------------------
+//
+// Each encode_x appends x's canonical encoding to `w`; each decode_x reads
+// one x from `r`, latching r's error flag on malformed input. Compound
+// decoders (decode_ledger, ...) also return Result so callers get a message
+// naming what broke.
+
+void encode_ledger(ByteWriter& w, const DecoyLedger& ledger);
+[[nodiscard]] Result<DecoyLedger> decode_ledger(ByteReader& r);
+
+void encode_hits(ByteWriter& w, const std::vector<HoneypotHit>& hits);
+[[nodiscard]] Result<std::vector<HoneypotHit>> decode_hits(ByteReader& r);
+
+void encode_link_drops(ByteWriter& w, const std::vector<sim::LinkDropCounters>& links);
+[[nodiscard]] std::vector<sim::LinkDropCounters> decode_link_drops(ByteReader& r);
+
+void encode_coverage(ByteWriter& w, const CoverageStats& cov);
+[[nodiscard]] CoverageStats decode_coverage(ByteReader& r);
+
+void encode_net_counters(ByteWriter& w, const sim::NetworkCounters& net);
+[[nodiscard]] sim::NetworkCounters decode_net_counters(ByteReader& r);
+
+void encode_loop_stats(ByteWriter& w, const sim::EventLoopStats& stats);
+[[nodiscard]] sim::EventLoopStats decode_loop_stats(ByteReader& r);
+
+void encode_shard_stats(ByteWriter& w, const ShardExecutionStats& stats);
+[[nodiscard]] Result<ShardExecutionStats> decode_shard_stats(ByteReader& r);
+
+void encode_testbed_config(ByteWriter& w, const TestbedConfig& config);
+[[nodiscard]] TestbedConfig decode_testbed_config(ByteReader& r);
+
+void encode_campaign_config(ByteWriter& w, const CampaignConfig& config);
+[[nodiscard]] Result<CampaignConfig> decode_campaign_config(ByteReader& r);
+
+void encode_plan(ByteWriter& w, const CampaignPlan& plan);
+[[nodiscard]] Result<CampaignPlan> decode_plan(ByteReader& r);
+
+void encode_emissions(ByteWriter& w, const std::vector<PlanEmission>& emissions);
+[[nodiscard]] Result<std::vector<PlanEmission>> decode_emissions(ByteReader& r);
+
+// -- protocol messages -------------------------------------------------------
+//
+// Whole-payload codecs for the controller/worker conversation; one struct
+// per MsgType that carries data (kRunScreening is payload-free). encode_*
+// returns the frame payload; decode_* consumes exactly one payload.
+
+/// kInit: everything a worker needs to build its substrate and runners.
+struct InitMsg {
+  std::uint32_t shard_count = 1;
+  std::uint32_t proc_index = 0;  ///< this worker's index; owns shards s where
+                                 ///< s % proc_count == proc_index
+  std::uint32_t proc_count = 1;
+  TestbedConfig bed_config;
+  CampaignConfig config;
+};
+[[nodiscard]] Bytes encode_init(const InitMsg& msg);
+[[nodiscard]] Result<InitMsg> decode_init(BytesView payload);
+
+/// kScreeningVerdicts: the worker's owned VPs only, ascending by vp index,
+/// plus the worker's post-screening clock (identical across workers — the
+/// controller verifies).
+struct VerdictsMsg {
+  SimTime clock = 0;
+  std::vector<std::pair<std::uint32_t, ScreeningVerdict>> verdicts;
+};
+[[nodiscard]] Bytes encode_verdicts(const VerdictsMsg& msg);
+[[nodiscard]] Result<VerdictsMsg> decode_verdicts(BytesView payload);
+
+/// kPhase1: the full plan plus the Phase-II barrier time.
+struct Phase1Msg {
+  CampaignPlan plan;
+  SimTime barrier = 0;
+};
+[[nodiscard]] Bytes encode_phase1(const Phase1Msg& msg);
+[[nodiscard]] Result<Phase1Msg> decode_phase1(BytesView payload);
+
+/// kBarrierShard: one shard's interim results (sets sorted ascending).
+struct BarrierMsg {
+  DecoyLedger ledger;
+  std::vector<HoneypotHit> hits;
+  std::vector<std::uint32_t> replicated;
+  std::vector<std::uint64_t> quarantined;
+  std::vector<std::uint32_t> cancelled;
+};
+[[nodiscard]] Bytes encode_barrier(const BarrierMsg& msg);
+[[nodiscard]] Result<BarrierMsg> decode_barrier(BytesView payload);
+
+/// kPhase2: the plan extension — emissions()[schedule_from..) — plus the
+/// campaign horizon. The worker verifies its plan size equals
+/// schedule_from before appending (a mismatch means the controller and
+/// worker diverged, which is fatal).
+struct Phase2Msg {
+  std::uint64_t schedule_from = 0;
+  std::vector<PlanEmission> tail;
+  SimTime end = 0;
+};
+[[nodiscard]] Bytes encode_phase2(const Phase2Msg& msg);
+[[nodiscard]] Result<Phase2Msg> decode_phase2(BytesView payload);
+
+/// kFinalShard: one shard's complete results.
+struct FinalMsg {
+  DecoyLedger ledger;
+  std::vector<HoneypotHit> hits;
+  std::vector<std::uint32_t> replicated;
+  std::vector<std::pair<std::uint32_t, net::Ipv4Addr>> hops;  ///< by seq asc
+  sim::EventLoopStats stats;
+  sim::NetworkCounters net;
+  CoverageStats coverage;
+};
+[[nodiscard]] Bytes encode_final(const FinalMsg& msg);
+[[nodiscard]] Result<FinalMsg> decode_final(BytesView payload);
+
+}  // namespace shadowprobe::core::wire

@@ -24,6 +24,33 @@ const char* drop_reason_name(DropReason reason) noexcept {
   return "unknown";
 }
 
+void merge_link_drops(std::vector<LinkDropCounters>& into,
+                      const std::vector<LinkDropCounters>& from) {
+  if (from.empty()) return;
+  std::vector<LinkDropCounters> merged;
+  merged.reserve(into.size() + from.size());
+  auto key_less = [](const LinkDropCounters& a, const LinkDropCounters& b) {
+    if (a.node_a != b.node_a) return a.node_a < b.node_a;
+    return a.node_b < b.node_b;
+  };
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < into.size() || j < from.size()) {
+    if (j >= from.size() || (i < into.size() && key_less(into[i], from[j]))) {
+      merged.push_back(std::move(into[i++]));
+    } else if (i >= into.size() || key_less(from[j], into[i])) {
+      merged.push_back(from[j++]);
+    } else {
+      into[i].link_loss += from[j].link_loss;
+      into[i].link_down += from[j].link_down;
+      merged.push_back(std::move(into[i]));
+      ++i;
+      ++j;
+    }
+  }
+  into = std::move(merged);
+}
+
 Network::Network(EventLoop& loop)
     : loop_(loop), owned_(std::make_shared<NetworkLayout>()), layout_(owned_) {}
 
@@ -145,7 +172,7 @@ bool Network::is_local(NodeId node, net::Ipv4Addr addr) const {
   return std::find(addresses.begin(), addresses.end(), addr) != addresses.end();
 }
 
-NetworkCounters Network::counters() const noexcept {
+NetworkCounters Network::counters() const {
   NetworkCounters c;
   c.delivered = delivered_;
   c.forwarded = forwarded_;
@@ -154,6 +181,24 @@ NetworkCounters Network::counters() const noexcept {
   c.link_loss = drops_.get(static_cast<int>(DropReason::kLinkLoss));
   c.link_down = drops_.get(static_cast<int>(DropReason::kLinkDown));
   c.endpoint_down = drops_.get(static_cast<int>(DropReason::kEndpointDown));
+  c.per_link.reserve(link_drops_.size());
+  link_drops_.for_each([&](const std::pair<NodeId, NodeId>& key, const LinkDrops& drops) {
+    LinkDropCounters link;
+    // Node ids are replica-local; names are the stable identity, ordered
+    // lexicographically so the key is direction-independent.
+    const std::string& first = layout_->name(key.first);
+    const std::string& second = layout_->name(key.second);
+    link.node_a = std::min(first, second);
+    link.node_b = std::max(first, second);
+    link.link_loss = drops.loss;
+    link.link_down = drops.down;
+    c.per_link.push_back(std::move(link));
+  });
+  std::sort(c.per_link.begin(), c.per_link.end(),
+            [](const LinkDropCounters& a, const LinkDropCounters& b) {
+              if (a.node_a != b.node_a) return a.node_a < b.node_a;
+              return a.node_b < b.node_b;
+            });
   return c;
 }
 
@@ -200,10 +245,12 @@ void Network::forward(NodeId node, net::Ipv4Header header, Bytes payload,
     const std::string& hop_name = layout_->name(next_hop);
     if (injector_->link_down(n.name, hop_name, now())) {
       drops_.add(static_cast<int>(DropReason::kLinkDown));
+      ++link_drops_[{std::min(node, next_hop), std::max(node, next_hop)}].down;
       return;
     }
     if (injector_->lose_packet(n.name, hop_name, header, BytesView(payload), now())) {
       drops_.add(static_cast<int>(DropReason::kLinkLoss));
+      ++link_drops_[{std::min(node, next_hop), std::max(node, next_hop)}].loss;
       return;
     }
   }

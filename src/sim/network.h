@@ -72,6 +72,26 @@ enum class DropReason {
 /// Stable lowercase name for reports and JSON ("no_route", "link_loss", ...).
 [[nodiscard]] const char* drop_reason_name(DropReason reason) noexcept;
 
+/// Injected drops attributed to one (undirected) link, identified by the
+/// lexicographically ordered endpoint names so the key is replica- and
+/// direction-independent. The per-link breakdown backs the top-offenders
+/// table in the coverage report.
+struct LinkDropCounters {
+  std::string node_a;  // lexicographically <= node_b
+  std::string node_b;
+  std::uint64_t link_loss = 0;
+  std::uint64_t link_down = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return link_loss + link_down; }
+};
+
+/// Merges `from` into `into` by link key, keeping the canonical order
+/// (ascending by node_a, then node_b). Both inputs must already be in that
+/// order — which counters() guarantees — so the merge is deterministic for
+/// any shard layout.
+void merge_link_drops(std::vector<LinkDropCounters>& into,
+                      const std::vector<LinkDropCounters>& from);
+
 /// Snapshot of a network's traffic counters, mergeable across shard
 /// replicas for the campaign-level coverage report.
 struct NetworkCounters {
@@ -82,8 +102,11 @@ struct NetworkCounters {
   std::uint64_t link_loss = 0;
   std::uint64_t link_down = 0;
   std::uint64_t endpoint_down = 0;
+  /// Injected drops by link, canonically ordered (node_a, node_b) ascending.
+  /// Sums to link_loss/link_down.
+  std::vector<LinkDropCounters> per_link;
 
-  void absorb(const NetworkCounters& other) noexcept {
+  void absorb(const NetworkCounters& other) {
     delivered += other.delivered;
     forwarded += other.forwarded;
     no_route += other.no_route;
@@ -91,6 +114,7 @@ struct NetworkCounters {
     link_loss += other.link_loss;
     link_down += other.link_down;
     endpoint_down += other.endpoint_down;
+    merge_link_drops(per_link, other.per_link);
   }
 };
 
@@ -208,7 +232,7 @@ class Network {
   [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
   [[nodiscard]] const Counter<int>& drops() const noexcept { return drops_; }
   /// Mergeable snapshot of delivered/forwarded/drop counters.
-  [[nodiscard]] NetworkCounters counters() const noexcept;
+  [[nodiscard]] NetworkCounters counters() const;
   /// Packets dropped because a node was inside an outage window, keyed by
   /// NodeId (two distinct nodes that happen to share a name keep separate
   /// counters; translate via name() only at report/JSON time). Used to
@@ -242,10 +266,17 @@ class Network {
   NodeId replay_cursor_ = kInvalidNode;           // next dynamic node (frozen ctor only)
   FaultInjector* injector_ = nullptr;
 
+  /// Loss/down tallies for one link, keyed by the unordered node-id pair.
+  struct LinkDrops {
+    std::uint64_t loss = 0;
+    std::uint64_t down = 0;
+  };
+
   std::uint64_t delivered_ = 0;
   std::uint64_t forwarded_ = 0;
   Counter<int> drops_;  // keyed by static_cast<int>(DropReason)
   FlatMap<NodeId, std::uint64_t> endpoint_drops_;  // by downed node id
+  FlatMap<std::pair<NodeId, NodeId>, LinkDrops> link_drops_;  // by {min,max} node id
 };
 
 }  // namespace shadowprobe::sim

@@ -1,0 +1,157 @@
+// Multi-process campaign execution: the exported JSON must be byte-identical
+// between the in-process backend and any worker-process layout, with and
+// without a fault profile; a dead or babbling worker must fail the campaign
+// with a controller-side error, never a hang.
+//
+// The worker re-execs shadowprobe_cli --shard-worker, which always applies
+// the binary's default decorator (deploy_standard_exhibitors with a default
+// ShadowConfig) — so the engines here use that exact decorator, not the
+// trimmed fleet other engine tests use. SHADOWPROBE_WORKER_BIN is injected
+// by the build as the path to the freshly built CLI.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <unistd.h>
+
+#include "core/campaign_engine.h"
+#include "core/json_export.h"
+#include "shadow/profiles.h"
+
+namespace shadowprobe::core {
+namespace {
+
+#ifndef SHADOWPROBE_WORKER_BIN
+#define SHADOWPROBE_WORKER_BIN ""
+#endif
+
+const char* worker_bin() { return SHADOWPROBE_WORKER_BIN; }
+
+bool worker_bin_available() {
+  return worker_bin()[0] != '\0' && ::access(worker_bin(), X_OK) == 0;
+}
+
+TestbedConfig small_config(std::uint64_t seed = 61) {
+  TestbedConfig config;
+  config.topology.seed = seed;
+  config.topology.global_vps = 6;
+  config.topology.cn_vps = 6;
+  config.topology.web_sites = 4;
+  return config;
+}
+
+CampaignConfig fast_campaign() {
+  CampaignConfig config;
+  config.phase1_window = 2 * kHour;
+  config.phase2_grace = 4 * kHour;
+  config.phase2_window = 2 * kHour;
+  config.total_duration = 3 * kDay;
+  return config;
+}
+
+/// The decorator the worker binary applies — default ShadowConfig, exactly
+/// as `shadowprobe_cli run`/`--shard-worker` do.
+CampaignEngine::Decorator cli_exhibitors() {
+  return [](Testbed& replica) -> std::shared_ptr<void> {
+    shadow::ShadowConfig shadow_config;
+    return std::make_shared<shadow::ShadowDeployment>(
+        shadow::deploy_standard_exhibitors(replica, shadow_config));
+  };
+}
+
+std::string run_and_export(int shards, int procs, const CampaignConfig& campaign) {
+  EngineExec exec;
+  exec.shard_procs = procs;
+  exec.worker_exe = procs >= 1 ? worker_bin() : "";
+  CampaignEngine engine(small_config(), campaign, shards, cli_exhibitors(), exec);
+  CampaignResult result = engine.run();
+  return export_campaign_json(engine.primary(), result);
+}
+
+TEST(MultiprocessCampaign, JsonByteIdenticalToInProcessAcrossLayouts) {
+  if (!worker_bin_available()) GTEST_SKIP() << "worker binary not built";
+  CampaignConfig campaign = fast_campaign();
+  std::string in_process = run_and_export(4, 0, campaign);
+  ASSERT_FALSE(in_process.empty());
+  // One worker still exercises the full wire protocol; four puts one shard
+  // in each process.
+  EXPECT_EQ(in_process, run_and_export(4, 1, campaign));
+  EXPECT_EQ(in_process, run_and_export(4, 2, campaign));
+  EXPECT_EQ(in_process, run_and_export(4, 4, campaign));
+}
+
+TEST(MultiprocessCampaign, SingleShardSingleWorkerMatchesInProcess) {
+  if (!worker_bin_available()) GTEST_SKIP() << "worker binary not built";
+  CampaignConfig campaign = fast_campaign();
+  EXPECT_EQ(run_and_export(1, 0, campaign), run_and_export(1, 1, campaign));
+}
+
+TEST(MultiprocessCampaign, JsonByteIdenticalUnderFaultProfile) {
+  if (!worker_bin_available()) GTEST_SKIP() << "worker binary not built";
+  CampaignConfig campaign = fast_campaign();
+  auto profile = sim::FaultProfile::parse("loss=0.05,jitter=10ms,retries=2,rto=30s");
+  ASSERT_TRUE(profile.ok()) << profile.error().message;
+  campaign.faults = profile.value();
+  std::string in_process = run_and_export(4, 0, campaign);
+  ASSERT_FALSE(in_process.empty());
+  EXPECT_NE(in_process.find("\"fault_profile\""), std::string::npos);
+  EXPECT_EQ(in_process, run_and_export(4, 2, campaign));
+  EXPECT_EQ(in_process, run_and_export(4, 4, campaign));
+}
+
+TEST(MultiprocessCampaign, ExitingWorkerFailsTheCampaignWithError) {
+  // /bin/false exits immediately: the controller must surface a clear
+  // error (nonzero child status), not hang waiting on the pipe.
+  EngineExec exec;
+  exec.shard_procs = 2;
+  exec.worker_exe = "/bin/false";
+  EXPECT_THROW(
+      {
+        CampaignEngine engine(small_config(), fast_campaign(), 4, cli_exhibitors(),
+                              exec);
+        engine.run();
+      },
+      std::runtime_error);
+}
+
+TEST(MultiprocessCampaign, BabblingWorkerFailsTheCampaignWithError) {
+  // /bin/cat echoes our init frame back: the controller reads a frame with
+  // an unexpected type (or its own magic in the wrong place) and must
+  // reject it rather than treat it as results.
+  EngineExec exec;
+  exec.shard_procs = 1;
+  exec.worker_exe = "/bin/cat";
+  EXPECT_THROW(
+      {
+        CampaignEngine engine(small_config(), fast_campaign(), 2, cli_exhibitors(),
+                              exec);
+        engine.run();
+      },
+      std::runtime_error);
+}
+
+TEST(MultiprocessCampaign, MissingWorkerBinaryFailsConstruction) {
+  EngineExec exec;
+  exec.shard_procs = 2;
+  exec.worker_exe = "/nonexistent/shadowprobe_worker";
+  EXPECT_THROW(
+      CampaignEngine(small_config(), fast_campaign(), 4, cli_exhibitors(), exec),
+      std::runtime_error);
+}
+
+TEST(MultiprocessCampaign, WorkerProcsRecordedInShardStats) {
+  if (!worker_bin_available()) GTEST_SKIP() << "worker binary not built";
+  EngineExec exec;
+  exec.shard_procs = 2;
+  exec.worker_exe = worker_bin();
+  CampaignEngine engine(small_config(), fast_campaign(), 4, cli_exhibitors(), exec);
+  CampaignResult result = engine.run();
+  EXPECT_EQ(result.shard_stats.worker_procs, 2);
+  EXPECT_EQ(result.shard_stats.effective_shards, 4);
+  EXPECT_EQ(result.shard_stats.per_shard.size(), 4u);
+  for (const auto& stats : result.shard_stats.per_shard) EXPECT_GT(stats.processed, 0u);
+  EXPECT_GT(engine.events_processed(), 0u);
+}
+
+}  // namespace
+}  // namespace shadowprobe::core

@@ -1,0 +1,393 @@
+// Wire-format tests: framing, CRC, and the encode -> decode -> encode
+// byte-equality property over randomized ledgers and logbooks. Corruption
+// tests pin the rejection contract: bad magic, foreign version, short
+// payloads, trailing garbage and checksum mismatches must come back as
+// Error values — never UB, never a crash.
+#include "core/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace shadowprobe::core::wire {
+namespace {
+
+Bytes bytes_of(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+
+// -- crc32 -------------------------------------------------------------------
+
+TEST(Crc32, KnownVectors) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+  EXPECT_EQ(crc32(BytesView{}), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32, SensitiveToEveryByte) {
+  Bytes data = bytes_of("shadowprobe wire frame");
+  std::uint32_t reference = crc32(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    Bytes mutated = data;
+    mutated[i] ^= 0x01;
+    EXPECT_NE(crc32(mutated), reference) << "flip at byte " << i;
+  }
+}
+
+// -- framing -----------------------------------------------------------------
+
+TEST(Frame, RoundTrip) {
+  Bytes payload = bytes_of("hello shards");
+  Bytes encoded = encode_frame(MsgType::kBarrierShard, 7, payload);
+  auto decoded = decode_frame(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().type, MsgType::kBarrierShard);
+  EXPECT_EQ(decoded.value().shard_id, 7u);
+  EXPECT_EQ(decoded.value().payload, payload);
+}
+
+TEST(Frame, EmptyPayloadRoundTrip) {
+  Bytes encoded = encode_frame(MsgType::kRunScreening, 0, BytesView{});
+  auto decoded = decode_frame(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded.value().type, MsgType::kRunScreening);
+  EXPECT_TRUE(decoded.value().payload.empty());
+}
+
+TEST(Frame, RejectsBadMagic) {
+  Bytes encoded = encode_frame(MsgType::kInit, 0, bytes_of("x"));
+  encoded[0] ^= 0xFF;
+  EXPECT_FALSE(decode_frame(encoded).ok());
+}
+
+TEST(Frame, RejectsForeignVersion) {
+  Bytes encoded = encode_frame(MsgType::kInit, 0, bytes_of("x"));
+  encoded[5] ^= 0x01;  // low byte of the big-endian u16 version
+  EXPECT_FALSE(decode_frame(encoded).ok());
+}
+
+TEST(Frame, RejectsUnknownType) {
+  Bytes encoded = encode_frame(MsgType::kInit, 0, bytes_of("x"));
+  encoded[6] = 0x7F;  // type far outside the enum
+  EXPECT_FALSE(decode_frame(encoded).ok());
+}
+
+TEST(Frame, RejectsEveryTruncation) {
+  Bytes encoded = encode_frame(MsgType::kPhase1, 3, bytes_of("payload bytes"));
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    auto decoded = decode_frame(BytesView(encoded.data(), len));
+    EXPECT_FALSE(decoded.ok()) << "accepted a " << len << "-byte prefix";
+  }
+}
+
+TEST(Frame, RejectsTrailingGarbage) {
+  Bytes encoded = encode_frame(MsgType::kPhase1, 3, bytes_of("payload"));
+  encoded.push_back(0x00);
+  EXPECT_FALSE(decode_frame(encoded).ok());
+}
+
+TEST(Frame, RejectsChecksumMismatch) {
+  Bytes payload = bytes_of("bytes that matter");
+  Bytes encoded = encode_frame(MsgType::kFinalShard, 1, payload);
+  // Flip one payload byte; the header still parses, the CRC must not.
+  encoded[16] ^= 0x40;
+  auto decoded = decode_frame(encoded);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.error().message.find("checksum"), std::string::npos)
+      << decoded.error().message;
+}
+
+TEST(Frame, RejectsImplausibleLength) {
+  Bytes encoded = encode_frame(MsgType::kInit, 0, bytes_of("x"));
+  // Overwrite the big-endian payload length with kMaxPayload + 1.
+  std::uint32_t bogus = kMaxPayload + 1;
+  encoded[12] = static_cast<std::uint8_t>(bogus >> 24);
+  encoded[13] = static_cast<std::uint8_t>(bogus >> 16);
+  encoded[14] = static_cast<std::uint8_t>(bogus >> 8);
+  encoded[15] = static_cast<std::uint8_t>(bogus);
+  EXPECT_FALSE(decode_frame(encoded).ok());
+}
+
+// -- randomized payload round-trips -----------------------------------------
+
+// gtest's ASSERT_ macros need a void function, so the builder fills an
+// out-param.
+void build_random_ledger(Rng& rng, std::size_t paths, std::size_t decoys,
+                         DecoyLedger& out) {
+  DecoyLedger ledger;
+  std::vector<PathRecord> table;
+  table.reserve(paths);
+  for (std::size_t i = 0; i < paths; ++i) {
+    PathRecord path;
+    path.path_id = static_cast<std::uint32_t>(i);
+    path.vp_index = static_cast<std::int32_t>(rng.range(0, 199));
+    path.dest_kind = static_cast<DestKind>(rng.range(0, 4));
+    path.dest_name = "dest-" + std::to_string(rng.range(0, 9999));
+    path.dest_addr = net::Ipv4Addr(static_cast<std::uint32_t>(rng.bits()));
+    path.dest_country = rng.chance(0.5) ? "US" : "CN";
+    path.protocol = static_cast<DecoyProtocol>(rng.range(0, 2));
+    table.push_back(std::move(path));
+  }
+  ledger.seed_paths(table);
+  for (std::size_t i = 0; i < decoys; ++i) {
+    DecoyRecord record;
+    record.id.time_sec = static_cast<std::uint32_t>(rng.range(0, 1 << 20));
+    record.id.vp = net::Ipv4Addr(static_cast<std::uint32_t>(rng.bits()));
+    record.id.dst = net::Ipv4Addr(static_cast<std::uint32_t>(rng.bits()));
+    record.id.ttl = static_cast<std::uint8_t>(rng.range(1, 64));
+    record.id.protocol = static_cast<DecoyProtocol>(rng.range(0, 2));
+    record.id.seq = static_cast<std::uint32_t>(i);
+    record.domain =
+        net::DnsName::must_parse("d" + std::to_string(i) + ".www.example.com");
+    record.sent = static_cast<SimTime>(rng.range(0, 1 << 30));
+    record.path_id = static_cast<std::uint32_t>(
+        paths > 0 ? rng.range(0, static_cast<int>(paths) - 1) : 0);
+    record.phase2 = rng.chance(0.2);
+    record.dest_responded = rng.chance(0.8);
+    record.response_time = record.dest_responded ? record.sent + rng.range(1, 1000) : 0;
+    ASSERT_TRUE(ledger.restore_decoy(record));
+  }
+  out = std::move(ledger);
+}
+
+std::vector<HoneypotHit> random_hits(Rng& rng, std::size_t count) {
+  std::vector<HoneypotHit> hits;
+  hits.reserve(count);
+  const char* locations[] = {"US", "DE", "SG"};
+  for (std::size_t i = 0; i < count; ++i) {
+    HoneypotHit hit;
+    hit.time = static_cast<SimTime>(rng.range(0, 1 << 30));
+    hit.protocol = static_cast<RequestProtocol>(rng.range(0, 2));
+    hit.origin = net::Ipv4Addr(static_cast<std::uint32_t>(rng.bits()));
+    hit.honeypot_addr = net::Ipv4Addr(static_cast<std::uint32_t>(rng.bits()));
+    hit.location = locations[rng.range(0, 2)];
+    hit.domain = net::DnsName::must_parse("h" + std::to_string(i) + ".www.example.com");
+    if (rng.chance(0.6)) {
+      DecoyId id;
+      id.time_sec = static_cast<std::uint32_t>(rng.range(0, 1 << 20));
+      id.vp = net::Ipv4Addr(static_cast<std::uint32_t>(rng.bits()));
+      id.dst = net::Ipv4Addr(static_cast<std::uint32_t>(rng.bits()));
+      id.ttl = static_cast<std::uint8_t>(rng.range(1, 64));
+      id.protocol = static_cast<DecoyProtocol>(rng.range(0, 2));
+      id.seq = static_cast<std::uint32_t>(rng.range(0, 1 << 20));
+      hit.decoy = id;
+    }
+    if (hit.protocol == RequestProtocol::kHttp) {
+      hit.http_method = rng.chance(0.5) ? "GET" : "POST";
+      hit.http_target = "/p" + std::to_string(rng.range(0, 99));
+    }
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+TEST(WireRoundTrip, LedgerEncodeDecodeEncodeBytesEqual) {
+  Rng rng(0x77697265u);  // "wire"
+  for (int round = 0; round < 8; ++round) {
+    DecoyLedger ledger;
+    build_random_ledger(rng, 1 + round * 3, 5 + round * 11, ledger);
+    ByteWriter first;
+    encode_ledger(first, ledger);
+    Bytes once = std::move(first).take();
+
+    ByteReader r{BytesView(once)};
+    auto decoded = decode_ledger(r);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.remaining(), 0u);
+
+    ByteWriter second;
+    encode_ledger(second, decoded.value());
+    EXPECT_EQ(once, std::move(second).take()) << "round " << round;
+  }
+}
+
+TEST(WireRoundTrip, HitsEncodeDecodeEncodeBytesEqual) {
+  Rng rng(0x68697473u);  // "hits"
+  for (int round = 0; round < 8; ++round) {
+    std::vector<HoneypotHit> hits = random_hits(rng, 3 + round * 17);
+    ByteWriter first;
+    encode_hits(first, hits);
+    Bytes once = std::move(first).take();
+
+    ByteReader r{BytesView(once)};
+    auto decoded = decode_hits(r);
+    ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+    EXPECT_EQ(r.remaining(), 0u);
+    ASSERT_EQ(decoded.value().size(), hits.size());
+
+    ByteWriter second;
+    encode_hits(second, decoded.value());
+    EXPECT_EQ(once, std::move(second).take()) << "round " << round;
+  }
+}
+
+TEST(WireRoundTrip, CoverageAndCounters) {
+  CoverageStats cov;
+  cov.phase1_planned = 1000;
+  cov.decoys_attempted = 990;
+  cov.decoys_delivered = 950;
+  cov.decoys_lost = 40;
+  cov.decoys_retried = 60;
+  cov.retry_attempts = 75;
+  cov.tcp_retransmissions = 12;
+  cov.decoys_cancelled = 10;
+  cov.decoys_rescheduled = 8;
+  cov.phase2_deferred = 3;
+  cov.vps_quarantined = 2;
+  cov.honeypot_downtime_drops = 17;
+  cov.link_drops.push_back({"cn-gw", "us-hp", 5, 2});
+  cov.link_drops.push_back({"de-hp", "ru-vp3", 1, 0});
+  ByteWriter w;
+  encode_coverage(w, cov);
+  Bytes once = std::move(w).take();
+  ByteReader r{BytesView(once)};
+  CoverageStats back = decode_coverage(r);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  ByteWriter again;
+  encode_coverage(again, back);
+  EXPECT_EQ(once, std::move(again).take());
+  EXPECT_EQ(back.link_drops.size(), 2u);
+  EXPECT_EQ(back.link_drops[0].node_a, "cn-gw");
+  EXPECT_EQ(back.link_drops[0].link_loss, 5u);
+}
+
+TEST(WireRoundTrip, PlanEmissions) {
+  Rng rng(0x706c616eu);  // "plan"
+  std::vector<PlanEmission> emissions;
+  for (int i = 0; i < 257; ++i) {
+    PlanEmission emission;
+    emission.seq = static_cast<std::uint32_t>(i);
+    emission.path_id = static_cast<std::uint32_t>(rng.range(0, 40));
+    emission.vp_index = static_cast<std::int32_t>(rng.range(-1, 30));
+    emission.when = static_cast<SimTime>(rng.range(0, 1 << 30));
+    emission.ttl = static_cast<std::uint8_t>(rng.range(1, 64));
+    emission.phase2 = rng.chance(0.3);
+    emissions.push_back(emission);
+  }
+  ByteWriter w;
+  encode_emissions(w, emissions);
+  Bytes once = std::move(w).take();
+  ByteReader r{BytesView(once)};
+  auto back = decode_emissions(r);
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(r.remaining(), 0u);
+  ByteWriter again;
+  encode_emissions(again, back.value());
+  EXPECT_EQ(once, std::move(again).take());
+}
+
+// -- malformed payload rejection --------------------------------------------
+
+TEST(WireDecode, LedgerRejectsEveryTruncation) {
+  Rng rng(0x74727563u);  // "truc"
+  DecoyLedger ledger;
+  build_random_ledger(rng, 4, 9, ledger);
+  ByteWriter w;
+  encode_ledger(w, ledger);
+  Bytes full = std::move(w).take();
+  // Stride keeps the quadratic scan fast; offset 0 and the last byte are
+  // always covered.
+  for (std::size_t len = 0; len < full.size(); len += 7) {
+    ByteReader r{BytesView(full.data(), len)};
+    auto decoded = decode_ledger(r);
+    EXPECT_FALSE(decoded.ok() && r.ok() && r.remaining() == 0)
+        << "accepted a " << len << "-byte prefix of " << full.size();
+  }
+}
+
+TEST(WireDecode, LedgerRejectsDuplicateSeq) {
+  DecoyLedger ledger;
+  DecoyRecord record;
+  record.id.seq = 42;
+  record.domain = net::DnsName::must_parse("dup.www.example.com");
+  ASSERT_TRUE(ledger.restore_decoy(record));
+  ASSERT_FALSE(ledger.restore_decoy(record)) << "ledger must reject in-process too";
+
+  // Hand-craft an encoding holding the same record twice: encode a
+  // two-record ledger, then splice record 0's bytes over record 1's. Easier:
+  // encode two ledgers and merge their payloads is fragile; instead encode
+  // one record and bump the count field.
+  ByteWriter w;
+  encode_ledger(w, ledger);
+  Bytes bytes = std::move(w).take();
+  // Layout: u32 path_count (0) | u32 decoy_count | records... Duplicate the
+  // single record's bytes and fix the count.
+  constexpr std::size_t kHeader = 8;
+  Bytes doubled(bytes.begin(), bytes.begin() + kHeader);
+  doubled[7] = 2;  // decoy_count 1 -> 2 (big-endian low byte)
+  doubled.insert(doubled.end(), bytes.begin() + kHeader, bytes.end());
+  doubled.insert(doubled.end(), bytes.begin() + kHeader, bytes.end());
+  ByteReader r{BytesView(doubled)};
+  auto decoded = decode_ledger(r);
+  EXPECT_FALSE(decoded.ok()) << "duplicate seq must be rejected";
+}
+
+TEST(WireDecode, HitsRejectBadEnum) {
+  std::vector<HoneypotHit> hits(1);
+  hits[0].location = "US";
+  ByteWriter w;
+  encode_hits(w, hits);
+  Bytes bytes = std::move(w).take();
+  bytes[4 + 8] = 0x9E;  // protocol byte right after count + time
+  ByteReader r{BytesView(bytes)};
+  auto decoded = decode_hits(r);
+  EXPECT_FALSE(decoded.ok() && r.ok());
+}
+
+TEST(WireDecode, InitMessageRoundTrip) {
+  InitMsg msg;
+  msg.shard_count = 6;
+  msg.proc_index = 2;
+  msg.proc_count = 3;
+  msg.bed_config.topology.seed = 777;
+  msg.bed_config.topology.apply_scale(0.5);
+  msg.config.screening = false;
+  msg.config.analysis_workers = 4;
+  auto profile = sim::FaultProfile::parse("loss=0.05,jitter=10ms,retries=2");
+  ASSERT_TRUE(profile.ok());
+  msg.config.faults = profile.value();
+
+  Bytes payload = encode_init(msg);
+  auto back = decode_init(payload);
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(back.value().shard_count, 6u);
+  EXPECT_EQ(back.value().proc_index, 2u);
+  EXPECT_EQ(back.value().proc_count, 3u);
+  EXPECT_EQ(back.value().bed_config.topology.seed, 777u);
+  EXPECT_FALSE(back.value().config.screening);
+  EXPECT_EQ(back.value().config.analysis_workers, 4);
+  EXPECT_TRUE(back.value().config.faults.enabled());
+  // Encode -> decode -> encode byte-equality holds for whole messages too.
+  EXPECT_EQ(payload, encode_init(back.value()));
+
+  // Truncations never crash or succeed.
+  for (std::size_t len = 0; len < payload.size(); len += 11) {
+    EXPECT_FALSE(decode_init(BytesView(payload.data(), len)).ok());
+  }
+}
+
+TEST(WireDecode, BarrierMessageRoundTrip) {
+  Rng rng(0x62617272u);  // "barr"
+  BarrierMsg msg;
+  build_random_ledger(rng, 3, 7, msg.ledger);
+  msg.hits = random_hits(rng, 5);
+  msg.replicated = {3, 9, 27};
+  msg.quarantined = {1, 4};
+  msg.cancelled = {10, 11, 12};
+  Bytes payload = encode_barrier(msg);
+  auto back = decode_barrier(payload);
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(back.value().replicated, msg.replicated);
+  EXPECT_EQ(back.value().quarantined, msg.quarantined);
+  EXPECT_EQ(back.value().cancelled, msg.cancelled);
+  EXPECT_EQ(payload, encode_barrier(back.value()));
+}
+
+}  // namespace
+}  // namespace shadowprobe::core::wire

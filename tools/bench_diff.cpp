@@ -10,7 +10,10 @@
 // even when wall-clock stays flat. The tool is informational by default
 // — exit code 0 regardless — because bench runners in CI are noisy shared
 // machines; --strict turns a flagged regression into exit 1 for local
-// before/after checks. Comparing files whose "context" differs (different
+// before/after checks. A baseline written before a field existed (schema-1
+// files predate setup_ms/peak_rss_kb) prints "n/a" for that column and
+// renders no verdict — never a miscompare against a neighbouring run's
+// value. Comparing files whose "context" differs (different
 // scale or seed) warns and skips the verdict: the numbers are not
 // commensurable.
 #include <cstdio>
@@ -23,13 +26,21 @@
 
 namespace {
 
+/// A numeric field that may be absent in files written by an older
+/// PerfReport schema. Absent is distinct from measured-zero: an absent field
+/// prints "n/a" and never participates in a verdict.
+struct Field {
+  bool present = false;
+  double value = 0.0;
+};
+
 struct Run {
   std::string config;
-  double wall_ms = 0.0;
-  double setup_ms = 0.0;
-  double events_per_sec = 0.0;
-  long peak_rss_kb = 0;
-  std::uint64_t allocs = 0;
+  Field wall_ms;
+  Field setup_ms;        // absent in schema-1 files
+  Field events_per_sec;
+  Field peak_rss_kb;     // absent in schema-1 files
+  Field allocs;
 };
 
 struct Report {
@@ -37,25 +48,30 @@ struct Report {
   std::vector<Run> runs;
 };
 
-// Extracts the value of `"key": "..."` or `"key": <number>` after `from`.
-// Minimal by design: PerfReport::write emits fixed key order and formatting,
-// so positional scanning is exact for these files.
+// Extracts the value of `"key": "..."` or `"key": <number>` in
+// [from, until). Minimal by design: PerfReport::write emits fixed
+// formatting, so positional scanning is exact for these files. The `until`
+// bound keeps a key that is absent from one run object (older schema) from
+// silently matching the next run's field — a miscompare is worse than no
+// number.
 std::string string_field(const std::string& text, const std::string& key,
-                         std::size_t from = 0) {
+                         std::size_t from = 0,
+                         std::size_t until = std::string::npos) {
   std::string needle = "\"" + key + "\": \"";
   std::size_t at = text.find(needle, from);
-  if (at == std::string::npos) return {};
+  if (at == std::string::npos || at >= until) return {};
   at += needle.size();
   std::size_t end = text.find('"', at);
-  return end == std::string::npos ? std::string{} : text.substr(at, end - at);
+  return end == std::string::npos || end >= until ? std::string{}
+                                                  : text.substr(at, end - at);
 }
 
-double number_field(const std::string& text, const std::string& key,
-                    std::size_t from = 0) {
+Field number_field(const std::string& text, const std::string& key,
+                   std::size_t from, std::size_t until) {
   std::string needle = "\"" + key + "\": ";
   std::size_t at = text.find(needle, from);
-  if (at == std::string::npos) return 0.0;
-  return std::strtod(text.c_str() + at + needle.size(), nullptr);
+  if (at == std::string::npos || at >= until) return {};
+  return {true, std::strtod(text.c_str() + at + needle.size(), nullptr)};
 }
 
 bool load(const char* path, Report& out) {
@@ -70,17 +86,30 @@ bool load(const char* path, Report& out) {
   out.context = string_field(text, "context");
   std::size_t at = 0;
   while ((at = text.find("{\"config\"", at)) != std::string::npos) {
+    // Run objects never nest, so the next '}' closes this one.
+    std::size_t end = text.find('}', at);
+    if (end == std::string::npos) end = text.size();
     Run run;
-    run.config = string_field(text, "config", at);
-    run.wall_ms = number_field(text, "wall_ms", at);
-    run.setup_ms = number_field(text, "setup_ms", at);  // 0.0 in schema-1 files
-    run.events_per_sec = number_field(text, "events_per_sec", at);
-    run.peak_rss_kb = static_cast<long>(number_field(text, "peak_rss_kb", at));
-    run.allocs = static_cast<std::uint64_t>(number_field(text, "allocs", at));
+    run.config = string_field(text, "config", at, end);
+    run.wall_ms = number_field(text, "wall_ms", at, end);
+    run.setup_ms = number_field(text, "setup_ms", at, end);
+    run.events_per_sec = number_field(text, "events_per_sec", at, end);
+    run.peak_rss_kb = number_field(text, "peak_rss_kb", at, end);
+    run.allocs = number_field(text, "allocs", at, end);
     out.runs.push_back(std::move(run));
     ++at;
   }
   return true;
+}
+
+long rss_kb(const Run& run) { return static_cast<long>(run.peak_rss_kb.value); }
+
+/// Formats an RSS cell: "n/a" for a pre-schema-2 file, "<n>K" otherwise.
+std::string rss_cell(const Run& run) {
+  if (!run.peak_rss_kb.present) return "n/a";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%ldK", rss_kb(run));
+  return buffer;
 }
 
 const Run* find_run(const Report& report, const std::string& config) {
@@ -130,25 +159,34 @@ int main(int argc, char** argv) {
   for (const Run& now : after.runs) {
     const Run* then = find_run(before, now.config);
     if (then == nullptr) {
-      std::printf("%-16s %12s %12.1f %9s %12s %12ld %9s  (new config)\n",
-                  now.config.c_str(), "-", now.wall_ms, "-", "-", now.peak_rss_kb, "-");
+      std::printf("%-16s %12s %12.1f %9s %12s %12s %9s  (new config)\n",
+                  now.config.c_str(), "-", now.wall_ms.value, "-", "-",
+                  rss_cell(now).c_str(), "-");
       continue;
     }
-    double delta_pct =
-        then->wall_ms > 0.0 ? (now.wall_ms / then->wall_ms - 1.0) * 100.0 : 0.0;
-    // RSS verdicts need both sides measured (0 = platform without getrusage).
-    double rss_delta_pct = (then->peak_rss_kb > 0 && now.peak_rss_kb > 0)
-                               ? (static_cast<double>(now.peak_rss_kb) /
-                                      static_cast<double>(then->peak_rss_kb) -
+    double delta_pct = then->wall_ms.value > 0.0
+                           ? (now.wall_ms.value / then->wall_ms.value - 1.0) * 100.0
+                           : 0.0;
+    // RSS verdicts need both sides measured: present in both files (an old
+    // baseline predates the field) and nonzero (0 = platform without
+    // getrusage). Everything else prints "n/a" and renders no verdict.
+    bool rss_measured = then->peak_rss_kb.present && now.peak_rss_kb.present &&
+                        rss_kb(*then) > 0 && rss_kb(now) > 0;
+    double rss_delta_pct = rss_measured
+                               ? (static_cast<double>(rss_kb(now)) /
+                                      static_cast<double>(rss_kb(*then)) -
                                   1.0) * 100.0
                                : 0.0;
     bool slower = comparable && delta_pct > threshold_pct;
-    bool fatter = comparable && then->peak_rss_kb > 0 && now.peak_rss_kb > 0 &&
-                  rss_delta_pct > kRssThresholdPct;
+    bool fatter = comparable && rss_measured && rss_delta_pct > kRssThresholdPct;
     if (slower || fatter) ++regressions;
-    std::printf("%-16s %12.1f %12.1f %+8.1f%% %11ldK %11ldK %+8.1f%%  %s%s\n",
-                now.config.c_str(), then->wall_ms, now.wall_ms, delta_pct,
-                then->peak_rss_kb, now.peak_rss_kb, rss_delta_pct,
+    char rss_delta[16] = "n/a";
+    if (rss_measured) {
+      std::snprintf(rss_delta, sizeof(rss_delta), "%+.1f%%", rss_delta_pct);
+    }
+    std::printf("%-16s %12.1f %12.1f %+8.1f%% %12s %12s %9s  %s%s\n",
+                now.config.c_str(), then->wall_ms.value, now.wall_ms.value, delta_pct,
+                rss_cell(*then).c_str(), rss_cell(now).c_str(), rss_delta,
                 slower ? "REGRESSION " : "", fatter ? "RSS-REGRESSION" : "");
   }
   if (regressions > 0) {

@@ -2,6 +2,9 @@
 // and print reports or export JSON.
 //
 //   shadowprobe_cli run [options]
+//   shadowprobe_cli --shard-worker     (internal: campaign worker process;
+//                                       speaks the wire protocol on
+//                                       stdin/stdout, spawned by --shard-procs)
 //
 //   options:
 //     --scale X            platform scale multiplier (default 1.0)
@@ -10,6 +13,11 @@
 //     --shards N           run the sharded engine with N VP partitions
 //                          (default: SHADOWPROBE_SHARDS env var, else serial);
 //                          results are byte-identical for any N
+//     --shard-procs P      distribute the shards over P worker processes
+//                          (default: SHADOWPROBE_SHARD_PROCS env var, else
+//                          in-process threads); implies the engine (1 shard
+//                          if unsharded); results are byte-identical to the
+//                          in-process run for any P
 //     --analysis-workers N worker threads for the post-barrier pipeline
 //                          (classification + analysis tables; default:
 //                          SHADOWPROBE_ANALYSIS_WORKERS env var, else 1);
@@ -40,6 +48,7 @@
 #include "core/cli.h"
 #include "core/json_export.h"
 #include "core/report.h"
+#include "core/shard_worker.h"
 #include "core/testbed.h"
 #include "shadow/profiles.h"
 #include "sim/trace.h"
@@ -51,7 +60,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: shadowprobe_cli run [--scale X] [--seed N] [--days N]\n"
-               "         [--shards N] [--analysis-workers N]\n"
+               "         [--shards N] [--shard-procs P] [--analysis-workers N]\n"
                "         [--fault-profile SPEC]\n"
                "         [--transport plain|dot|odoh] [--ech]\n"
                "         [--no-screening]\n"
@@ -63,6 +72,17 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--shard-worker") == 0) {
+    // Worker mode: the controller process speaks the wire protocol to us on
+    // stdin/stdout. The decorator must match the one `run` uses below so
+    // both sides instantiate the same ground-truth deployment.
+    shadow::ShadowConfig shadow_config;
+    return core::run_shard_worker(
+        0, 1, [shadow_config](core::Testbed& replica) -> std::shared_ptr<void> {
+          return std::make_shared<shadow::ShadowDeployment>(
+              shadow::deploy_standard_exhibitors(replica, shadow_config));
+        });
+  }
   if (argc < 2 || std::strcmp(argv[1], "run") != 0) return usage();
   std::vector<std::string> args(argv + 2, argv + argc);
   auto parsed = core::parse_cli_options(args, core::CliEnvironment::from_process());
@@ -94,12 +114,17 @@ int main(int argc, char** argv) {
   core::Testbed* context = nullptr;  // substrate the reports/export read from
 
   if (options.shards > 0) {
+    // worker_exe left empty: the backend re-execs this binary via
+    // /proc/self/exe (argv[0] may be PATH-relative).
+    core::EngineExec exec;
+    exec.shard_procs = options.shard_procs;
     engine = std::make_unique<core::CampaignEngine>(
         config, campaign_config, options.shards,
         [shadow_config](core::Testbed& replica) -> std::shared_ptr<void> {
           return std::make_shared<shadow::ShadowDeployment>(
               shadow::deploy_standard_exhibitors(replica, shadow_config));
-        });
+        },
+        exec);
     context = &engine->primary();
     if (options.trace > 0) {
       context->net().add_tap(context->topology().national_gateway("CN"), &trace);
