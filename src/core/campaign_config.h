@@ -2,11 +2,32 @@
 // Campaign, the CampaignPlan, and the sharded CampaignEngine.
 #pragma once
 
+#include <cstdint>
+
 #include "common/time.h"
 #include "core/vp_agent.h"
 #include "sim/fault.h"
 
 namespace shadowprobe::core {
+
+/// How the engine maps VPs onto shard workers at run time. Not part of
+/// CampaignConfig: the schedule is an execution concern (EngineExec) and
+/// must never influence campaign output or the exported JSON.
+enum class SchedulerMode : std::uint8_t {
+  /// Fixed ownership for the whole campaign (round-robin by VP index, or an
+  /// explicit deal). The pre-stealing engine behaviour, kept as the
+  /// reference the determinism suite compares against.
+  kStatic = 0,
+  /// Per-phase VP work queues with work stealing: each shard drains its own
+  /// deque VP by VP and, once empty, steals whole VPs from the most loaded
+  /// shard. Output is byte-identical to kStatic — VP placement is
+  /// layout-free — but ragged phases finish together.
+  kSteal = 1,
+};
+
+[[nodiscard]] constexpr const char* scheduler_mode_name(SchedulerMode mode) noexcept {
+  return mode == SchedulerMode::kStatic ? "static" : "steal";
+}
 
 struct CampaignConfig {
   /// Emission window of one Phase-I round.

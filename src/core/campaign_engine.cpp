@@ -75,11 +75,12 @@ void CampaignEngine::build_backend(const TestbedConfig& bed_config, int shard_co
                                    const Decorator& decorate, const EngineExec& exec,
                                    SubstrateMode mode) {
   int count = clamp_shards(shard_count);
+  scheduler_ = exec.scheduler;
   if (exec.shard_procs >= 1) {
     worker_procs_ = std::clamp(exec.shard_procs, 1, count);
     // Spawn first: the workers build their Worlds concurrently with ours.
-    backend_ = std::make_unique<MultiProcessBackend>(bed_config, config_, count,
-                                                     worker_procs_, exec.worker_exe);
+    backend_ = std::make_unique<MultiProcessBackend>(
+        bed_config, config_, count, worker_procs_, exec.worker_exe, exec.scheduler);
     // The controller still needs a context replica (geo database,
     // signatures, blocklist, VP storage for the merged ledger's pointer
     // rebinds). No traffic ever runs on it — an undecorated frozen instance
@@ -87,15 +88,17 @@ void CampaignEngine::build_backend(const TestbedConfig& bed_config, int shard_co
     world_ = World::build(bed_config, decorate);
     context_bed_ = Testbed::instantiate(world_);
     primary_ = context_bed_.get();
-    SP_LOG_INFO(strprintf("engine: multi-process backend, %d shards across %d workers",
-                          count, worker_procs_));
+    SP_LOG_INFO(strprintf("engine: multi-process backend, %d shards across %d workers "
+                          "(%s scheduler)",
+                          count, worker_procs_, scheduler_mode_name(exec.scheduler)));
     return;
   }
   if (mode == SubstrateMode::kSharedWorld) {
     world_ = World::build(bed_config, decorate);
   }
-  backend_ =
-      std::make_unique<InProcessBackend>(bed_config, world_, count, config_, decorate);
+  backend_ = std::make_unique<InProcessBackend>(bed_config, world_, count, config_,
+                                                decorate, exec.scheduler,
+                                                exec.initial_deal);
   primary_ = backend_->context_testbed();
 }
 
@@ -226,12 +229,15 @@ CampaignResult CampaignEngine::run() {
   out.shard_stats.effective_shards = backend_->shard_count();
   out.shard_stats.worker_procs = worker_procs_;
   out.shard_stats.clamped = requested_shards_ != backend_->shard_count();
+  out.shard_stats.scheduler = scheduler_;
   for (const ShardFinal& shard : finals) {
     // Each seq is owned by exactly one shard, so folding the shards' hop
     // tables into the ordered result map is order-insensitive.
     for (const auto& [seq, hop] : shard.hops) out.hop_log.emplace(seq, hop);
     out.shard_stats.per_shard.push_back(shard.stats);
     out.shard_stats.per_shard_net.push_back(shard.net);
+    out.shard_stats.steals_attempted += shard.steals_attempted;
+    out.shard_stats.steals_completed += shard.steals_completed;
   }
   if (config_.faults.enabled()) {
     CoverageStats cov;
@@ -254,9 +260,13 @@ CampaignResult CampaignEngine::run() {
                         out.unsolicited.size(), out.findings.size()));
   if (backend_->shard_count() > 1) {
     SP_LOG_INFO(strprintf("engine balance: event imbalance %.3f (max/mean over %zu "
-                          "shard loops)",
+                          "shard loops), %s scheduler, %llu/%llu steals "
+                          "completed/attempted",
                           out.shard_stats.event_imbalance(),
-                          out.shard_stats.per_shard.size()));
+                          out.shard_stats.per_shard.size(),
+                          scheduler_mode_name(scheduler_),
+                          static_cast<unsigned long long>(out.shard_stats.steals_completed),
+                          static_cast<unsigned long long>(out.shard_stats.steals_attempted)));
   }
   return out;
 }

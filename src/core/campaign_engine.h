@@ -59,6 +59,16 @@ struct EngineExec {
   /// Worker binary for the multi-process backend; empty resolves via
   /// $SHADOWPROBE_WORKER_BIN, then /proc/self/exe.
   std::string worker_exe;
+  /// VP scheduler (core/vp_scheduler.h): kSteal (default) lets idle shards
+  /// claim VPs from loaded ones; kStatic executes the fixed deal verbatim.
+  /// Output is byte-identical either way — this only moves work.
+  SchedulerMode scheduler = SchedulerMode::kSteal;
+  /// Test-only override of the initial vp->shard deal for the in-process
+  /// backend (the determinism suite skews it to force steals). Entries past
+  /// the vector — or the whole vp range when empty — fall back to
+  /// round-robin. Ignored by the multi-process backend, which computes its
+  /// own weight-balanced deals.
+  std::vector<std::uint32_t> initial_deal;
 };
 
 class CampaignEngine {
@@ -129,6 +139,7 @@ class CampaignEngine {
   CampaignPlan plan_;
   int requested_shards_ = 1;  ///< pre-clamp constructor argument
   int worker_procs_ = 0;      ///< 0 = in-process backend
+  SchedulerMode scheduler_ = SchedulerMode::kSteal;
   std::shared_ptr<const World> world_;  ///< null in kReplicaPerShard mode
   std::unique_ptr<ShardBackend> backend_;
   std::unique_ptr<Testbed> context_bed_;  ///< multi-process mode only

@@ -42,6 +42,12 @@ struct ShardExecutionStats {
   /// worker child still exercises the full wire protocol.
   int worker_procs = 0;
   bool clamped = false;  ///< requested_shards fell outside the valid range
+  /// Execution schedule the shards ran under. Report/log only — the
+  /// schedule never influences campaign output, so it is absent from the
+  /// exported JSON (which must stay byte-identical across schedulers).
+  SchedulerMode scheduler = SchedulerMode::kStatic;
+  std::uint64_t steals_attempted = 0;  ///< claims that found the own deque empty
+  std::uint64_t steals_completed = 0;  ///< whole VPs actually stolen
   std::vector<sim::EventLoopStats> per_shard;
   /// One network-counter snapshot per executed shard (delivered/forwarded/
   /// drops by reason). Per-shard values are NOT layout-invariant — replica

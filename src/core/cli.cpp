@@ -3,11 +3,21 @@
 #include <charconv>
 #include <cstdlib>
 
+#include "common/log.h"
+#include "common/strutil.h"
+
 namespace shadowprobe::core {
 
 namespace {
 
 Error bad(const std::string& what) { return Error(what); }
+
+Result<SchedulerMode> parse_scheduler(const std::string& option,
+                                      const std::string& text) {
+  if (text == "static") return SchedulerMode::kStatic;
+  if (text == "steal") return SchedulerMode::kSteal;
+  return bad(option + " expects static|steal, got '" + text + "'");
+}
 
 /// Whole-token integer parse; no trailing junk, no silent atoi zeroes.
 bool parse_int(const std::string& text, long long& out) {
@@ -45,6 +55,7 @@ CliEnvironment CliEnvironment::from_process() {
   CliEnvironment env;
   if (const char* v = std::getenv("SHADOWPROBE_SHARDS")) env.shards = v;
   if (const char* v = std::getenv("SHADOWPROBE_SHARD_PROCS")) env.shard_procs = v;
+  if (const char* v = std::getenv("SHADOWPROBE_SCHEDULER")) env.scheduler = v;
   if (const char* v = std::getenv("SHADOWPROBE_ANALYSIS_WORKERS")) {
     env.analysis_workers = v;
   }
@@ -65,6 +76,11 @@ Result<CliOptions> parse_cli_options(const std::vector<std::string>& args,
     auto procs = positive_int("SHADOWPROBE_SHARD_PROCS", env.shard_procs);
     if (!procs.ok()) return procs.error();
     options.shard_procs = procs.value();
+  }
+  if (!env.scheduler.empty()) {
+    auto scheduler = parse_scheduler("SHADOWPROBE_SCHEDULER", env.scheduler);
+    if (!scheduler.ok()) return scheduler.error();
+    options.scheduler = scheduler.value();
   }
   if (!env.analysis_workers.empty()) {
     auto workers = positive_int("SHADOWPROBE_ANALYSIS_WORKERS", env.analysis_workers);
@@ -116,6 +132,11 @@ Result<CliOptions> parse_cli_options(const std::vector<std::string>& args,
       auto procs = positive_int("--shard-procs", *v);
       if (!procs.ok()) return procs.error();
       options.shard_procs = procs.value();
+    } else if (arg == "--scheduler") {
+      if (!next(v)) return bad("--scheduler expects static|steal");
+      auto scheduler = parse_scheduler("--scheduler", *v);
+      if (!scheduler.ok()) return scheduler.error();
+      options.scheduler = scheduler.value();
     } else if (arg == "--analysis-workers") {
       if (!next(v)) return bad("--analysis-workers expects a value");
       auto workers = positive_int("--analysis-workers", *v);
@@ -166,6 +187,14 @@ Result<CliOptions> parse_cli_options(const std::vector<std::string>& args,
   // processes likewise imply the engine.
   if (options.faults.enabled() && options.shards == 0) options.shards = 1;
   if (options.shard_procs >= 1 && options.shards == 0) options.shards = 1;
+  // More workers than shards would leave the surplus idle at best (and shard
+  // ownership assumes proc_count <= shard_count); clamp like the engine
+  // clamps an oversized shard count.
+  if (options.shard_procs > options.shards) {
+    SP_LOG_WARN(strprintf("requested %d worker processes for %d shards, clamped to %d",
+                          options.shard_procs, options.shards, options.shards));
+    options.shard_procs = options.shards;
+  }
   return options;
 }
 

@@ -22,6 +22,7 @@ struct CliOptions {
   int days = 25;
   int shards = 0;       // 0 = serial Campaign, >= 1 = CampaignEngine
   int shard_procs = 0;  // 0 = in-process threads, >= 1 = worker processes
+  SchedulerMode scheduler = SchedulerMode::kSteal;
   int analysis_workers = 1;
   DnsDecoyTransport transport = DnsDecoyTransport::kPlain;
   bool ech = false;
@@ -38,6 +39,7 @@ struct CliOptions {
 struct CliEnvironment {
   std::string shards;            // SHADOWPROBE_SHARDS
   std::string shard_procs;       // SHADOWPROBE_SHARD_PROCS
+  std::string scheduler;         // SHADOWPROBE_SCHEDULER
   std::string analysis_workers;  // SHADOWPROBE_ANALYSIS_WORKERS
   std::string fault_profile;     // SHADOWPROBE_FAULT_PROFILE
 

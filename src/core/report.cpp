@@ -118,6 +118,10 @@ void print_reports(const std::string& report, const CampaignResult& result,
     }
     std::printf("  shard balance: event imbalance %.3f (max/mean)\n",
                 shard_stats.event_imbalance());
+    std::printf("  scheduler: %s, %llu/%llu steals completed/attempted\n",
+                scheduler_mode_name(shard_stats.scheduler),
+                static_cast<unsigned long long>(shard_stats.steals_completed),
+                static_cast<unsigned long long>(shard_stats.steals_attempted));
     std::printf("\n");
   }
   if (result.coverage) {

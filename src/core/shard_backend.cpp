@@ -27,8 +27,18 @@ namespace shadowprobe::core {
 InProcessBackend::InProcessBackend(const TestbedConfig& bed_config,
                                    std::shared_ptr<const World> world, int shard_count,
                                    const CampaignConfig& config,
-                                   const ShardRunner::Decorator& decorate)
-    : config_(config) {
+                                   const ShardRunner::Decorator& decorate,
+                                   SchedulerMode scheduler,
+                                   std::vector<std::uint32_t> initial_deal)
+    : config_(config),
+      scheduler_(scheduler),
+      initial_deal_(std::move(initial_deal)),
+      steal_totals_(static_cast<std::size_t>(shard_count)) {
+  // An out-of-range deal entry would leave a VP unowned under the static
+  // schedule (and unclaimed under stealing); fold it back into range.
+  for (std::uint32_t& shard : initial_deal_) {
+    shard %= static_cast<std::uint32_t>(shard_count);
+  }
   auto make_runner = [&](int i) {
     if (world != nullptr) {
       return std::make_unique<ShardRunner>(static_cast<std::uint32_t>(i),
@@ -42,6 +52,7 @@ InProcessBackend::InProcessBackend(const TestbedConfig& bed_config,
   runners_.resize(static_cast<std::size_t>(shard_count));
   if (shard_count == 1) {
     runners_[0] = make_runner(0);
+    if (!initial_deal_.empty()) runners_[0]->set_deal(initial_deal_);
     return;
   }
   // Shards are independent — frozen instances only read the shared World —
@@ -62,6 +73,9 @@ InProcessBackend::InProcessBackend(const TestbedConfig& bed_config,
   for (std::thread& builder : builders) builder.join();
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
+  }
+  if (!initial_deal_.empty()) {
+    for (auto& runner : runners_) runner->set_deal(initial_deal_);
   }
 }
 
@@ -90,14 +104,60 @@ void InProcessBackend::for_each_shard(const std::function<void(ShardRunner&)>& f
   }
 }
 
+std::vector<std::uint32_t> InProcessBackend::full_deal(std::size_t vp_count) const {
+  auto deal = round_robin_deal(vp_count, static_cast<std::uint32_t>(runners_.size()));
+  for (std::size_t vp = 0; vp < initial_deal_.size() && vp < vp_count; ++vp) {
+    if (initial_deal_[vp] < runners_.size()) deal[vp] = initial_deal_[vp];
+  }
+  return deal;
+}
+
+void InProcessBackend::drain_queue(
+    VpWorkQueue& queue, const std::function<void(ShardRunner&, std::size_t)>& run_vp,
+    SimTime deadline) {
+  for_each_shard([&](ShardRunner& shard) {
+    shard.begin_phase();
+    for (int vp; (vp = queue.claim(shard.shard_index())) >= 0;) {
+      run_vp(shard, static_cast<std::size_t>(vp));
+    }
+    // Drain leftovers (retry timers, exhibitor replays crossing the phase
+    // boundary) and park every shard clock on the same deadline.
+    shard.run_until(deadline);
+  });
+  for (std::size_t s = 0; s < runners_.size(); ++s) {
+    const auto counters = queue.counters(static_cast<std::uint32_t>(s));
+    steal_totals_[s].attempted += counters.attempted;
+    steal_totals_[s].completed += counters.completed;
+  }
+}
+
 ShardScreening InProcessBackend::run_screening(std::size_t vp_count) {
-  for_each_shard([](ShardRunner& shard) { shard.run_screening(); });
   ShardScreening out;
   out.verdicts.reserve(vp_count);
-  // Verdicts merge in global topology order — the order the serial campaign
-  // iterates — each read from the shard that owns the VP.
-  for (std::size_t i = 0; i < vp_count; ++i) {
-    out.verdicts.push_back(runners_[i % runners_.size()]->verdict(i));
+  if (scheduler_ == SchedulerMode::kSteal) {
+    VpWorkQueue queue(full_deal(vp_count), static_cast<std::uint32_t>(runners_.size()),
+                      {}, {}, /*allow_steal=*/true);
+    const SimTime deadline = runners_.front()->testbed().loop().now() + kHour;
+    drain_queue(queue,
+                [](ShardRunner& shard, std::size_t vp) { shard.run_screening_vp(vp); },
+                deadline);
+    // Verdicts merge in global topology order, each read from the shard
+    // that actually probed the VP (interception is observed executor-side).
+    for (std::size_t i = 0; i < vp_count; ++i) {
+      const std::uint32_t executor = queue.executors()[i];
+      out.verdicts.push_back(runners_[executor]->verdict(i));
+    }
+  } else {
+    for_each_shard([](ShardRunner& shard) { shard.run_screening(); });
+    // Verdicts merge in global topology order — the order the serial
+    // campaign iterates — each read from the shard that owns the VP.
+    for (std::size_t i = 0; i < vp_count; ++i) {
+      std::size_t owner = i % runners_.size();
+      if (!runners_[owner]->owns_vp(i)) {
+        for (owner = 0; !runners_[owner]->owns_vp(i); ++owner) {}
+      }
+      out.verdicts.push_back(runners_[owner]->verdict(i));
+    }
   }
   out.clock = runners_.front()->testbed().loop().now();
   return out;
@@ -134,16 +194,44 @@ ShardFinal InProcessBackend::snapshot_final(const ShardRunner& runner) const {
   out.stats = runner.stats();
   out.net = runner.net_counters();
   if (config_.faults.enabled()) out.coverage = runner.coverage();
+  out.steals_attempted = steal_totals_[runner.shard_index()].attempted;
+  out.steals_completed = steal_totals_[runner.shard_index()].completed;
   return out;
 }
 
 std::vector<ShardBarrier> InProcessBackend::run_phase1(const CampaignPlan& plan,
                                                        SimTime barrier) {
-  for (auto& runner : runners_) {
-    runner->adopt_plan(plan);
-    runner->schedule_owned(plan, 0, plan.phase1_count());
+  for (auto& runner : runners_) runner->adopt_plan(plan);
+  if (scheduler_ == SchedulerMode::kSteal) {
+    const std::size_t vp_count =
+        runners_.front()->testbed().topology().vantage_points().size();
+    const auto buckets = bucket_emissions_by_vp(plan, 0, plan.phase1_count(), vp_count);
+    std::vector<bool> include(buckets.size());
+    for (std::size_t vp = 0; vp < buckets.size(); ++vp) include[vp] = !buckets[vp].empty();
+    VpWorkQueue queue(full_deal(buckets.size()),
+                      static_cast<std::uint32_t>(runners_.size()),
+                      bucket_weights(buckets), include, /*allow_steal=*/true);
+    drain_queue(queue,
+                [&](ShardRunner& shard, std::size_t vp) {
+                  shard.run_plan_vp(plan, buckets[vp], barrier);
+                },
+                barrier);
+    phase1_executors_ = queue.executors();
+    // Export the fault-state carries here, at the post-grace barrier: every
+    // Phase-I decoy's retry deadline has resolved by now, so the streak and
+    // quarantine values are final and the Phase-II executor can adopt them.
+    carries_.clear();
+    if (config_.faults.enabled()) {
+      for (std::size_t vp = 0; vp < phase1_executors_.size(); ++vp) {
+        const std::uint32_t executor = phase1_executors_[vp];
+        if (executor == kVpUnassigned) continue;
+        carries_.push_back(runners_[executor]->export_carry(vp));
+      }
+    }
+  } else {
+    for (auto& runner : runners_) runner->schedule_owned(plan, 0, plan.phase1_count());
+    for_each_shard([barrier](ShardRunner& shard) { shard.run_until(barrier); });
   }
-  for_each_shard([barrier](ShardRunner& shard) { shard.run_until(barrier); });
   std::vector<ShardBarrier> out;
   out.reserve(runners_.size());
   for (const auto& runner : runners_) out.push_back(snapshot_barrier(*runner));
@@ -152,10 +240,33 @@ std::vector<ShardBarrier> InProcessBackend::run_phase1(const CampaignPlan& plan,
 
 std::vector<ShardFinal> InProcessBackend::run_phase2(const CampaignPlan& plan,
                                                      std::size_t schedule_from, SimTime end) {
-  for (auto& runner : runners_) {
-    runner->schedule_owned(plan, schedule_from, plan.emissions().size());
+  if (scheduler_ == SchedulerMode::kSteal) {
+    const std::size_t vp_count =
+        runners_.front()->testbed().topology().vantage_points().size();
+    const auto buckets =
+        bucket_emissions_by_vp(plan, schedule_from, plan.emissions().size(), vp_count);
+    std::vector<bool> include(buckets.size());
+    for (std::size_t vp = 0; vp < buckets.size(); ++vp) include[vp] = !buckets[vp].empty();
+    FlatMap<std::uint32_t, const VpCarry*> carry_of;
+    for (const VpCarry& carry : carries_) carry_of[carry.vp_index] = &carry;
+    VpWorkQueue queue(full_deal(buckets.size()),
+                      static_cast<std::uint32_t>(runners_.size()),
+                      bucket_weights(buckets), include, /*allow_steal=*/true);
+    drain_queue(queue,
+                [&](ShardRunner& shard, std::size_t vp) {
+                  if (const VpCarry* const* carry =
+                          carry_of.find(static_cast<std::uint32_t>(vp))) {
+                    shard.adopt_carry(**carry);
+                  }
+                  shard.run_plan_vp(plan, buckets[vp], end);
+                },
+                end);
+  } else {
+    for (auto& runner : runners_) {
+      runner->schedule_owned(plan, schedule_from, plan.emissions().size());
+    }
+    for_each_shard([end](ShardRunner& shard) { shard.run_until(end); });
   }
-  for_each_shard([end](ShardRunner& shard) { shard.run_until(end); });
   std::vector<ShardFinal> out;
   out.reserve(runners_.size());
   for (const auto& runner : runners_) out.push_back(snapshot_final(*runner));
@@ -193,8 +304,11 @@ std::string resolve_worker_exe(std::string explicit_path) {
 
 MultiProcessBackend::MultiProcessBackend(const TestbedConfig& bed_config,
                                          const CampaignConfig& config, int shard_count,
-                                         int proc_count, std::string worker_exe)
-    : shard_count_(shard_count), worker_exe_(resolve_worker_exe(std::move(worker_exe))) {
+                                         int proc_count, std::string worker_exe,
+                                         SchedulerMode scheduler)
+    : shard_count_(shard_count),
+      scheduler_(scheduler),
+      worker_exe_(resolve_worker_exe(std::move(worker_exe))) {
   if (::access(worker_exe_.c_str(), X_OK) != 0) {
     throw std::runtime_error("multiprocess backend: worker binary not executable: " +
                              worker_exe_);
@@ -210,6 +324,7 @@ MultiProcessBackend::MultiProcessBackend(const TestbedConfig& bed_config,
       init.shard_count = static_cast<std::uint32_t>(shard_count_);
       init.proc_index = static_cast<std::uint32_t>(p);
       init.proc_count = static_cast<std::uint32_t>(workers_.size());
+      init.scheduler = scheduler_;
       init.bed_config = bed_config;
       init.config = config;
       workers_[p].channel->send(wire::MsgType::kInit, 0, wire::encode_init(init));
@@ -291,6 +406,11 @@ void MultiProcessBackend::fail_worker(Worker& worker, const std::string& what) {
   }
   pid_t pid = worker.pid;
   worker.pid = -1;  // already reaped; shutdown() must not wait again
+  // One worker failing fails the campaign, so reap the *other* children and
+  // close every socketpair end before surfacing the error — the caller gets
+  // a clean process table (no zombies) and no leaked descriptors, whether or
+  // not the backend is destroyed afterwards.
+  shutdown();
   throw std::runtime_error(strprintf("shard worker (pid %d, %s): %s",
                                      static_cast<int>(pid), exit_desc.c_str(),
                                      what.c_str()));
@@ -341,16 +461,29 @@ ShardScreening MultiProcessBackend::run_screening(std::size_t vp_count) {
   return out;
 }
 
+std::vector<std::uint32_t> MultiProcessBackend::phase_deal(const CampaignPlan& plan,
+                                                           std::size_t first,
+                                                           std::size_t last) const {
+  if (scheduler_ != SchedulerMode::kSteal) return {};
+  // Weight-balance whole VPs across the shard bins (and therefore across the
+  // worker processes the bins are dealt to): stealing evens load *within* a
+  // process, but only the deal can move work between processes.
+  return balanced_deal(bucket_weights(bucket_emissions_by_vp(plan, first, last, 0)),
+                       static_cast<std::uint32_t>(shard_count_));
+}
+
 std::vector<ShardBarrier> MultiProcessBackend::run_phase1(const CampaignPlan& plan,
                                                           SimTime barrier) {
   ByteWriter w;
   wire::encode_plan(w, plan);
   wire::put_time(w, barrier);
+  wire::put_u32_list(w, phase_deal(plan, 0, plan.phase1_count()));
   broadcast(wire::MsgType::kPhase1, std::move(w).take());
 
   ledgers_.assign(static_cast<std::size_t>(shard_count_), DecoyLedger{});
   hits_.assign(static_cast<std::size_t>(shard_count_), {});
   std::vector<ShardBarrier> out(static_cast<std::size_t>(shard_count_));
+  carries_.clear();
   for (Worker& worker : workers_) {
     for (int shard : worker.owned) {
       wire::Frame frame = expect(worker, wire::MsgType::kBarrierShard);
@@ -370,6 +503,10 @@ std::vector<ShardBarrier> MultiProcessBackend::run_phase1(const CampaignPlan& pl
       slot.quarantined.assign(msg.value().quarantined.begin(),
                               msg.value().quarantined.end());
       slot.cancelled = std::move(msg.value().cancelled);
+      // Each VP was executed by exactly one shard, so concatenating the
+      // per-shard carry lists yields one carry per executed VP.
+      carries_.insert(carries_.end(), msg.value().carries.begin(),
+                      msg.value().carries.end());
     }
   }
   return out;
@@ -385,6 +522,8 @@ std::vector<ShardFinal> MultiProcessBackend::run_phase2(const CampaignPlan& plan
   w.u64(schedule_from);
   wire::encode_emissions(w, tail);
   wire::put_time(w, end);
+  wire::put_u32_list(w, phase_deal(plan, schedule_from, plan.emissions().size()));
+  wire::put_carries(w, carries_);
   broadcast(wire::MsgType::kPhase2, std::move(w).take());
 
   ledgers_.assign(static_cast<std::size_t>(shard_count_), DecoyLedger{});
@@ -411,6 +550,8 @@ std::vector<ShardFinal> MultiProcessBackend::run_phase2(const CampaignPlan& plan
       slot.stats = msg.value().stats;
       slot.net = std::move(msg.value().net);
       slot.coverage = std::move(msg.value().coverage);
+      slot.steals_attempted = msg.value().steals_attempted;
+      slot.steals_completed = msg.value().steals_completed;
       events_processed_ += slot.stats.processed;
     }
   }

@@ -69,6 +69,10 @@ struct ShardFinal {
   sim::EventLoopStats stats;
   sim::NetworkCounters net;
   CoverageStats coverage;  ///< this shard's partials (owned VPs only)
+  /// Work-stealing activity over all phases (zero under the static
+  /// scheduler). Report only — never part of the exported JSON.
+  std::uint64_t steals_attempted = 0;
+  std::uint64_t steals_completed = 0;
 };
 
 class ShardBackend {
@@ -106,9 +110,14 @@ class InProcessBackend final : public ShardBackend {
   /// `shard_count` is pre-clamped by the engine. With a non-null `world`
   /// every shard is a thin frozen instance over it; otherwise each shard
   /// authors a full private replica (SubstrateMode::kReplicaPerShard).
+  /// `initial_deal` overrides the round-robin vp->shard distribution (both
+  /// schedulers honour it; the determinism suite uses a skewed deal to force
+  /// steals). Entries past the vector fall back to round-robin.
   InProcessBackend(const TestbedConfig& bed_config, std::shared_ptr<const World> world,
                    int shard_count, const CampaignConfig& config,
-                   const ShardRunner::Decorator& decorate);
+                   const ShardRunner::Decorator& decorate,
+                   SchedulerMode scheduler = SchedulerMode::kSteal,
+                   std::vector<std::uint32_t> initial_deal = {});
   ~InProcessBackend() override;
 
   [[nodiscard]] int shard_count() const noexcept override {
@@ -130,9 +139,27 @@ class InProcessBackend final : public ShardBackend {
   void for_each_shard(const std::function<void(ShardRunner&)>& fn);
   [[nodiscard]] ShardBarrier snapshot_barrier(const ShardRunner& runner) const;
   [[nodiscard]] ShardFinal snapshot_final(const ShardRunner& runner) const;
+  /// The initial vp->shard deal for a phase: round-robin overlaid with the
+  /// caller's initial_deal entries.
+  [[nodiscard]] std::vector<std::uint32_t> full_deal(std::size_t vp_count) const;
+  /// Steal-mode phase driver: every shard drains `queue` (begin_phase, one
+  /// per-VP pass per claim via `run_vp`, then run_until(deadline) to drain
+  /// leftovers and align clocks), then the per-shard steal counters fold
+  /// into steal_totals_.
+  void drain_queue(VpWorkQueue& queue,
+                   const std::function<void(ShardRunner&, std::size_t)>& run_vp,
+                   SimTime deadline);
 
   CampaignConfig config_;
+  SchedulerMode scheduler_;
+  std::vector<std::uint32_t> initial_deal_;
   std::vector<std::unique_ptr<ShardRunner>> runners_;
+  /// vp -> shard that executed it in Phase I (steal mode; drives the
+  /// barrier carry export).
+  std::vector<std::uint32_t> phase1_executors_;
+  /// Carries exported at the Phase-II barrier, adopted at claim time.
+  std::vector<VpCarry> carries_;
+  std::vector<VpWorkQueue::StealCounters> steal_totals_;
 };
 
 /// Out-of-process execution: fork/execs worker children and drives them
@@ -147,7 +174,8 @@ class MultiProcessBackend final : public ShardBackend {
   /// path, else $SHADOWPROBE_WORKER_BIN, else /proc/self/exe.
   /// Throws std::runtime_error when a worker cannot be spawned.
   MultiProcessBackend(const TestbedConfig& bed_config, const CampaignConfig& config,
-                      int shard_count, int proc_count, std::string worker_exe = {});
+                      int shard_count, int proc_count, std::string worker_exe = {},
+                      SchedulerMode scheduler = SchedulerMode::kSteal);
   ~MultiProcessBackend() override;
 
   [[nodiscard]] int shard_count() const noexcept override { return shard_count_; }
@@ -176,13 +204,25 @@ class MultiProcessBackend final : public ShardBackend {
   /// corruption reaps the child and throws a std::runtime_error naming the
   /// worker, its exit status, and the wire error — the no-hang guarantee.
   wire::Frame expect(Worker& worker, wire::MsgType expected);
+  /// Reaps `worker` for the error message, then tears down *every* worker
+  /// (closing fds and reaping children) before throwing, so a failed
+  /// campaign leaves no zombies or leaked descriptors behind.
   [[noreturn]] void fail_worker(Worker& worker, const std::string& what);
   void shutdown() noexcept;
+  /// The stealing scheduler's cross-process rebalance: a weight-balanced
+  /// vp->shard deal over the phase's emissions (empty under kStatic, which
+  /// keeps the wire bytes equivalent to round-robin ownership).
+  [[nodiscard]] std::vector<std::uint32_t> phase_deal(const CampaignPlan& plan,
+                                                      std::size_t first,
+                                                      std::size_t last) const;
 
   int shard_count_ = 1;
+  SchedulerMode scheduler_ = SchedulerMode::kSteal;
   std::string worker_exe_;
   std::vector<Worker> workers_;
   std::uint64_t events_processed_ = 0;
+  /// Carries collected at the Phase-II barrier, broadcast with Phase2Msg.
+  std::vector<VpCarry> carries_;
 
   // Decoded storage backing the pointers handed out in phase results;
   // indexed by shard, replaced wholesale at each collection.

@@ -91,7 +91,7 @@ ShardRunner::ShardRunner(std::uint32_t shard_index, std::uint32_t shard_count,
       hooks.on_decoy_failed = [this, i](std::uint32_t) {
         ++decoys_lost_;
         if (++failure_streaks_[i] >= config_.faults.quarantine_threshold &&
-            !quarantined_.contains(i)) {
+            !vp_quarantined(i)) {
           quarantined_[i] = bed_->loop().now();
         }
       };
@@ -148,7 +148,6 @@ void ShardRunner::adopt_plan(const CampaignPlan& plan) {
 
 void ShardRunner::schedule_owned(const CampaignPlan& plan, std::size_t first,
                                  std::size_t last) {
-  const auto& vps = bed_->topology().vantage_points();
   // The plan fixes how many of these emissions this shard owns; size the
   // loop's queue and the decoy store once instead of regrowing mid-phase.
   std::size_t owned = 0;
@@ -167,46 +166,97 @@ void ShardRunner::schedule_owned(const CampaignPlan& plan, std::size_t first,
         !owns_vp(static_cast<std::size_t>(emission.vp_index))) {
       continue;
     }
-    const PathRecord& path = plan.path(emission.path_id);
-    const topo::VantagePoint* vp = &vps.at(static_cast<std::size_t>(path.vp_index));
-    SimTime when = emission.when;
-    if (injector_ && emission.phase2) {
-      // A Phase-II sweep scheduled into its VP's churn window would vanish
-      // wholesale; resume it after the session comes back, preserving the
-      // probe's offset within the sweep.
-      const sim::OutageWindow* window =
-          vp_outages_.find(static_cast<std::size_t>(emission.vp_index));
-      if (window != nullptr && window->contains(when)) {
-        when = window->end + (when - window->start);
-        ++phase2_deferred_;
-      }
+    schedule_emission(plan, i);
+  }
+}
+
+void ShardRunner::schedule_emission(const CampaignPlan& plan, std::size_t index) {
+  const PlanEmission& emission = plan.emissions()[index];
+  const PathRecord& path = plan.path(emission.path_id);
+  const topo::VantagePoint* vp =
+      &bed_->topology().vantage_points().at(static_cast<std::size_t>(path.vp_index));
+  SimTime when = emission.when;
+  if (injector_ && emission.phase2) {
+    // A Phase-II sweep scheduled into its VP's churn window would vanish
+    // wholesale; resume it after the session comes back, preserving the
+    // probe's offset within the sweep.
+    const sim::OutageWindow* window =
+        vp_outages_.find(static_cast<std::size_t>(emission.vp_index));
+    if (window != nullptr && window->contains(when)) {
+      when = window->end + (when - window->start);
+      ++phase2_deferred_;
     }
-    bed_->loop().schedule_at(
-        when,
-        [this, emission, when, vp, dst = path.dest_addr, protocol = path.protocol] {
-          if (injector_ &&
-              quarantined_.contains(static_cast<std::size_t>(emission.vp_index))) {
-            // Owner quarantined before this decoy fired: record the exact
-            // seq so the barrier re-plans precisely this set — no ledger
-            // record is created, the replacement emission gets a fresh seq.
-            ++decoys_cancelled_;
-            cancelled_seqs_.insert(emission.seq);
-            return;
-          }
-          DecoyRecord& record = ledger_.create_preassigned(
-              emission.seq, emission.path_id, when, vp->addr, dst, protocol,
-              emission.ttl, emission.phase2);
-          if (protocol == DecoyProtocol::kDns) {
-            agent_for(vp)->send_dns_decoy(record);
-          } else if (emission.phase2) {
-            // Handshake-less during tracerouting, same as the serial path.
-            agent_for(vp)->send_raw_decoy(record);
-          } else if (protocol == DecoyProtocol::kHttp) {
-            agent_for(vp)->send_http_decoy(record);
-          } else {
-            agent_for(vp)->send_tls_decoy(record);
-          }
-        });
+  }
+  bed_->loop().schedule_at(
+      when,
+      [this, emission, when, vp, dst = path.dest_addr, protocol = path.protocol] {
+        if (injector_ && vp_quarantined(static_cast<std::size_t>(emission.vp_index))) {
+          // Owner quarantined before this decoy fired: record the exact
+          // seq so the barrier re-plans precisely this set — no ledger
+          // record is created, the replacement emission gets a fresh seq.
+          ++decoys_cancelled_;
+          cancelled_seqs_.insert(emission.seq);
+          return;
+        }
+        DecoyRecord& record = ledger_.create_preassigned(
+            emission.seq, emission.path_id, when, vp->addr, dst, protocol,
+            emission.ttl, emission.phase2);
+        if (protocol == DecoyProtocol::kDns) {
+          agent_for(vp)->send_dns_decoy(record);
+        } else if (emission.phase2) {
+          // Handshake-less during tracerouting, same as the serial path.
+          agent_for(vp)->send_raw_decoy(record);
+        } else if (protocol == DecoyProtocol::kHttp) {
+          agent_for(vp)->send_http_decoy(record);
+        } else {
+          agent_for(vp)->send_tls_decoy(record);
+        }
+      });
+}
+
+void ShardRunner::run_screening_vp(std::size_t vp_index) {
+  const auto& vp = bed_->topology().vantage_points().at(vp_index);
+  bed_->loop().rewind(phase_start_);
+  if (!vp.residential) {
+    send_screening_probes(*agent_for(&vp), control_addr_, bed_->topology());
+  }
+  bed_->loop().run_until(phase_start_ + kHour);
+}
+
+void ShardRunner::run_plan_vp(const CampaignPlan& plan,
+                              const std::vector<std::uint32_t>& emissions,
+                              SimTime deadline) {
+  // Rewind before scheduling: at the old clock (a previous pass's deadline)
+  // schedule_at would clamp this VP's emissions forward to it.
+  bed_->loop().rewind(phase_start_);
+  bed_->loop().reserve(bed_->loop().pending() + emissions.size());
+  ledger_.reserve_decoys(emissions.size());
+  bed_->logbook().reserve(emissions.size());
+  for (std::uint32_t index : emissions) schedule_emission(plan, index);
+  bed_->loop().run_until(deadline);
+}
+
+VpCarry ShardRunner::export_carry(std::size_t vp_index) const {
+  VpCarry carry;
+  carry.vp_index = static_cast<std::uint32_t>(vp_index);
+  if (const int* streak = failure_streaks_.find(vp_index)) {
+    carry.failure_streak = *streak;
+  }
+  if (const SimTime* at = quarantined_.find(vp_index)) {
+    carry.quarantined = true;
+    carry.quarantined_at = *at;
+  } else if (const SimTime* at2 = carried_quarantined_.find(vp_index)) {
+    carry.quarantined = true;
+    carry.quarantined_at = *at2;
+  }
+  return carry;
+}
+
+void ShardRunner::adopt_carry(const VpCarry& carry) {
+  const auto vp = static_cast<std::size_t>(carry.vp_index);
+  failure_streaks_[vp] = carry.failure_streak;
+  if (carry.quarantined && !quarantined_.contains(vp)) {
+    carried_quarantined_[vp] = carry.quarantined_at;
   }
 }
 

@@ -28,6 +28,7 @@
 #include "core/screening.h"
 #include "core/testbed.h"
 #include "core/vp_agent.h"
+#include "core/vp_scheduler.h"
 #include "sim/fault.h"
 
 namespace shadowprobe::core {
@@ -55,9 +56,17 @@ class ShardRunner {
   ShardRunner& operator=(const ShardRunner&) = delete;
 
   [[nodiscard]] std::uint32_t shard_index() const noexcept { return shard_index_; }
+  /// Ownership under the static schedule: the explicit deal when one was
+  /// installed, round-robin by topology index otherwise. The stealing
+  /// schedule ignores this predicate — execution follows the work queue.
   [[nodiscard]] bool owns_vp(std::size_t vp_index) const noexcept {
+    if (vp_index < deal_.size()) return deal_[vp_index] == shard_index_;
     return vp_index % shard_count_ == shard_index_;
   }
+  /// Installs an explicit vp->shard deal (same vector on every shard). The
+  /// static scheduler executes it verbatim; the stealing scheduler seeds its
+  /// deques with it. Entries past the vector fall back to round-robin.
+  void set_deal(std::vector<std::uint32_t> deal) { deal_ = std::move(deal); }
 
   // -- phases (the engine runs these on worker threads; each touches only
   //    this shard's replica) ---------------------------------------------
@@ -73,6 +82,35 @@ class ShardRunner {
   void schedule_owned(const CampaignPlan& plan, std::size_t first, std::size_t last);
   /// Runs this shard's event loop up to `deadline`.
   void run_until(SimTime deadline);
+
+  // -- per-VP phase execution (the stealing scheduler's unit of work). A
+  //    phase becomes: begin_phase(); then one run_*_vp() per claimed VP; then
+  //    run_until(deadline) to drain stragglers and align the clock. Each
+  //    per-VP pass rewinds the loop to the phase start before scheduling, so
+  //    a stolen VP's events still run at their true simulated times and the
+  //    exported records match the static schedule byte for byte. ------------
+
+  /// Marks the current clock as the phase start every subsequent per-VP
+  /// pass rewinds to.
+  void begin_phase() { phase_start_ = bed_->loop().now(); }
+  [[nodiscard]] SimTime phase_start() const noexcept { return phase_start_; }
+  /// Screening pass for one claimed VP: probes (skipped for residential VPs,
+  /// like run_screening) plus the one-hour settle window.
+  void run_screening_vp(std::size_t vp_index);
+  /// Plan pass for one claimed VP: schedules exactly `emissions` (indices
+  /// into plan.emissions(), all belonging to the VP) and runs to `deadline`.
+  void run_plan_vp(const CampaignPlan& plan,
+                   const std::vector<std::uint32_t>& emissions, SimTime deadline);
+
+  // -- cross-phase fault-state hand-off (stealing only) --------------------
+
+  /// Snapshot of this shard's failure streak / quarantine state for a VP it
+  /// executed, for adoption by the VP's next-phase executor.
+  [[nodiscard]] VpCarry export_carry(std::size_t vp_index) const;
+  /// Installs a carry exported by the VP's previous executor. Must run
+  /// before the VP's first pass of the new phase. Idempotent when the
+  /// executor did not change.
+  void adopt_carry(const VpCarry& carry);
 
   // -- results -----------------------------------------------------------
 
@@ -129,8 +167,18 @@ class ShardRunner {
     return agents_[static_cast<std::size_t>(vp - vps_base_)].get();
   }
 
+  /// Shared body of schedule_owned and run_plan_vp: schedules one plan
+  /// emission (churn deferral, quarantine fire-time check, protocol fanout).
+  void schedule_emission(const CampaignPlan& plan, std::size_t index);
+  /// Fire-time quarantine predicate: locally quarantined or carried in.
+  [[nodiscard]] bool vp_quarantined(std::size_t vp_index) const noexcept {
+    return quarantined_.contains(vp_index) || carried_quarantined_.contains(vp_index);
+  }
+
   std::uint32_t shard_index_;
   std::uint32_t shard_count_;
+  std::vector<std::uint32_t> deal_;  // explicit vp->shard deal; empty = round-robin
+  SimTime phase_start_ = 0;
   CampaignConfig config_;
   std::unique_ptr<Testbed> bed_;
   std::shared_ptr<void> deployment_;
@@ -152,7 +200,11 @@ class ShardRunner {
   std::unique_ptr<sim::FaultInjector> injector_;
   FlatMap<std::size_t, sim::OutageWindow> vp_outages_;  // churned owned+peer VPs
   FlatMap<std::size_t, int> failure_streaks_;           // consecutive decoy failures
-  FlatMap<std::size_t, SimTime> quarantined_;           // owned VPs only
+  FlatMap<std::size_t, SimTime> quarantined_;           // quarantined *here* (counted once)
+  // Quarantines adopted from a VP's previous executor. Kept apart from
+  // quarantined_ so coverage() never counts a carried quarantine a second
+  // time, while the fire-time predicate still honours it.
+  FlatMap<std::size_t, SimTime> carried_quarantined_;
   FlatSet<std::uint32_t> cancelled_seqs_;
   std::uint64_t decoys_lost_ = 0;
   std::uint64_t decoys_retried_ = 0;

@@ -1,6 +1,9 @@
 #include "core/shard_worker.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <memory>
@@ -26,9 +29,59 @@ struct WorkerState {
   std::vector<std::unique_ptr<ShardRunner>> runners_;  // parallel to `owned`
   CampaignPlan plan;
   bool have_plan = false;
+  // Stealing-scheduler state. Queue shard slots are *local* runner indices
+  // (0..owned.size()-1): stealing never crosses the process boundary, so
+  // each worker's queue only spans its own shard set.
+  std::vector<VpWorkQueue::StealCounters> steal_totals;  // parallel to `owned`
+  std::vector<std::uint32_t> phase1_executors;  // vp -> local runner index
 
   ShardRunner& runner(std::size_t i) { return *runners_[i]; }
+  [[nodiscard]] bool stealing() const {
+    return init.scheduler == SchedulerMode::kSteal;
+  }
+  /// Local runner index for a global shard id; -1 when another process owns
+  /// it. owned[i] == proc_index + i * proc_count, so the division inverts it.
+  [[nodiscard]] int local_index(std::uint32_t shard) const {
+    if (shard >= init.shard_count || shard % init.proc_count != init.proc_index) {
+      return -1;
+    }
+    return static_cast<int>(shard / init.proc_count);
+  }
+  /// The deal entry for `vp`, defaulting to round-robin where the deal is
+  /// short (or empty, as under the static scheduler).
+  [[nodiscard]] std::uint32_t dealt_shard(const std::vector<std::uint32_t>& deal,
+                                          std::size_t vp) const {
+    if (vp < deal.size() && deal[vp] < init.shard_count) return deal[vp];
+    return static_cast<std::uint32_t>(vp % init.shard_count);
+  }
 };
+
+/// Seeds a local work queue from the controller's deal: only VPs dealt to
+/// this worker's shards (and passing `want`, e.g. "has emissions") are
+/// enqueued, under their local runner index.
+VpWorkQueue make_local_queue(const WorkerState& state,
+                             const std::vector<std::uint32_t>& deal,
+                             std::size_t vp_count,
+                             const std::vector<std::uint64_t>& weights,
+                             const std::function<bool(std::size_t)>& want) {
+  std::vector<std::uint32_t> local_deal(vp_count, 0);
+  std::vector<bool> include(vp_count, false);
+  for (std::size_t vp = 0; vp < vp_count; ++vp) {
+    const int local = state.local_index(state.dealt_shard(deal, vp));
+    if (local < 0 || (want && !want(vp))) continue;
+    local_deal[vp] = static_cast<std::uint32_t>(local);
+    include[vp] = true;
+  }
+  return VpWorkQueue(local_deal, static_cast<std::uint32_t>(state.owned.size()),
+                     weights, include, /*allow_steal=*/true);
+}
+
+/// Steal-mode phase driver mirroring InProcessBackend::drain_queue: each
+/// owned runner drains the queue with per-VP passes, runs to `deadline`,
+/// and the per-runner steal counters accumulate into the worker totals.
+void drain_local_queue(WorkerState& state, VpWorkQueue& queue,
+                       const std::function<void(ShardRunner&, std::size_t)>& run_vp,
+                       SimTime deadline);
 
 /// Runs `fn` once per owned runner on worker threads and joins them.
 void for_each_owned(WorkerState& state, const std::function<void(ShardRunner&)>& fn) {
@@ -79,27 +132,65 @@ void build_runners(WorkerState& state, const ShardRunner::Decorator& decorate) {
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
   }
-  SP_LOG_INFO(strprintf("shard worker %u/%u: built %zu runners over %u shards",
+  state.steal_totals.assign(state.owned.size(), {});
+  SP_LOG_INFO(strprintf("shard worker %u/%u: built %zu runners over %u shards (%s "
+                        "scheduler)",
                         init.proc_index, init.proc_count, state.owned.size(),
-                        init.shard_count));
+                        init.shard_count, scheduler_mode_name(init.scheduler)));
+}
+
+void drain_local_queue(WorkerState& state, VpWorkQueue& queue,
+                       const std::function<void(ShardRunner&, std::size_t)>& run_vp,
+                       SimTime deadline) {
+  for_each_owned(state, [&](ShardRunner& shard) {
+    const auto local = static_cast<std::uint32_t>(
+        shard.shard_index() / state.init.proc_count);
+    shard.begin_phase();
+    for (int vp; (vp = queue.claim(local)) >= 0;) {
+      run_vp(shard, static_cast<std::size_t>(vp));
+    }
+    shard.run_until(deadline);
+  });
+  for (std::size_t i = 0; i < state.owned.size(); ++i) {
+    const auto counters = queue.counters(static_cast<std::uint32_t>(i));
+    state.steal_totals[i].attempted += counters.attempted;
+    state.steal_totals[i].completed += counters.completed;
+  }
 }
 
 void handle_screening(WorkerState& state, wire::FrameChannel& chan) {
-  for_each_owned(state, [](ShardRunner& shard) { shard.run_screening(); });
   wire::VerdictsMsg msg;
-  msg.clock = state.runner(0).testbed().loop().now();
   std::size_t vp_count =
       state.runner(0).testbed().topology().vantage_points().size();
-  for (std::size_t i = 0; i < state.owned.size(); ++i) {
-    const ShardRunner& runner = state.runner(i);
+  if (state.stealing()) {
+    // No deal at screening time (the controller has no load signal yet):
+    // round-robin seeds, stealing evens out whatever raggedness shows up.
+    VpWorkQueue queue = make_local_queue(state, {}, vp_count, {}, nullptr);
+    const SimTime deadline = state.runner(0).testbed().loop().now() + kHour;
+    drain_local_queue(
+        state, queue,
+        [](ShardRunner& shard, std::size_t vp) { shard.run_screening_vp(vp); },
+        deadline);
     for (std::size_t vp = 0; vp < vp_count; ++vp) {
-      if (runner.owns_vp(vp)) {
-        msg.verdicts.emplace_back(static_cast<std::uint32_t>(vp), runner.verdict(vp));
+      const std::uint32_t executor = queue.executors()[vp];
+      if (executor == kVpUnassigned) continue;  // dealt to another process
+      msg.verdicts.emplace_back(static_cast<std::uint32_t>(vp),
+                                state.runner(executor).verdict(vp));
+    }
+  } else {
+    for_each_owned(state, [](ShardRunner& shard) { shard.run_screening(); });
+    for (std::size_t i = 0; i < state.owned.size(); ++i) {
+      const ShardRunner& runner = state.runner(i);
+      for (std::size_t vp = 0; vp < vp_count; ++vp) {
+        if (runner.owns_vp(vp)) {
+          msg.verdicts.emplace_back(static_cast<std::uint32_t>(vp), runner.verdict(vp));
+        }
       }
     }
+    std::sort(msg.verdicts.begin(), msg.verdicts.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
   }
-  std::sort(msg.verdicts.begin(), msg.verdicts.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+  msg.clock = state.runner(0).testbed().loop().now();
   chan.send(wire::MsgType::kScreeningVerdicts, 0, wire::encode_verdicts(msg));
 }
 
@@ -128,6 +219,19 @@ void send_barrier_results(WorkerState& state, wire::FrameChannel& chan) {
     std::sort(cancelled.begin(), cancelled.end());
     w.u32(static_cast<std::uint32_t>(cancelled.size()));
     for (std::uint32_t seq : cancelled) w.u32(seq);
+    // Fault-state carries for the VPs this runner executed in Phase I: the
+    // controller unions them and broadcasts with Phase2Msg so a VP's next
+    // executor adopts its streak/quarantine. Empty (but always present)
+    // under the static scheduler or with faults off.
+    std::vector<VpCarry> carries;
+    if (state.stealing() && state.init.config.faults.enabled()) {
+      for (std::size_t vp = 0; vp < state.phase1_executors.size(); ++vp) {
+        if (state.phase1_executors[vp] == static_cast<std::uint32_t>(i)) {
+          carries.push_back(runner.export_carry(vp));
+        }
+      }
+    }
+    wire::put_carries(w, carries);
     chan.send(wire::MsgType::kBarrierShard, static_cast<std::uint32_t>(state.owned[i]),
               std::move(w).take());
   }
@@ -138,12 +242,29 @@ void handle_phase1(WorkerState& state, wire::FrameChannel& chan, BytesView paylo
   if (!msg.ok()) throw std::runtime_error(msg.error().message);
   state.plan = std::move(msg.value().plan);
   state.have_plan = true;
-  for (auto& runner : state.runners_) {
-    runner->adopt_plan(state.plan);
-    runner->schedule_owned(state.plan, 0, state.plan.phase1_count());
-  }
+  for (auto& runner : state.runners_) runner->adopt_plan(state.plan);
   SimTime barrier = msg.value().barrier;
-  for_each_owned(state, [barrier](ShardRunner& shard) { shard.run_until(barrier); });
+  if (state.stealing()) {
+    const std::size_t vp_count =
+        state.runner(0).testbed().topology().vantage_points().size();
+    const auto buckets =
+        bucket_emissions_by_vp(state.plan, 0, state.plan.phase1_count(), vp_count);
+    VpWorkQueue queue = make_local_queue(
+        state, msg.value().deal, buckets.size(), bucket_weights(buckets),
+        [&buckets](std::size_t vp) { return !buckets[vp].empty(); });
+    drain_local_queue(
+        state, queue,
+        [&](ShardRunner& shard, std::size_t vp) {
+          shard.run_plan_vp(state.plan, buckets[vp], barrier);
+        },
+        barrier);
+    state.phase1_executors = queue.executors();
+  } else {
+    for (auto& runner : state.runners_) {
+      runner->schedule_owned(state.plan, 0, state.plan.phase1_count());
+    }
+    for_each_owned(state, [barrier](ShardRunner& shard) { shard.run_until(barrier); });
+  }
   send_barrier_results(state, chan);
 }
 
@@ -175,6 +296,8 @@ void send_final_results(WorkerState& state, wire::FrameChannel& chan) {
     CoverageStats coverage;
     if (state.init.config.faults.enabled()) coverage = runner.coverage();
     wire::encode_coverage(w, coverage);
+    w.u64(state.steal_totals[i].attempted);
+    w.u64(state.steal_totals[i].completed);
     chan.send(wire::MsgType::kFinalShard, static_cast<std::uint32_t>(state.owned[i]),
               std::move(w).take());
   }
@@ -195,11 +318,32 @@ void handle_phase2(WorkerState& state, wire::FrameChannel& chan, BytesView paylo
   }
   state.plan.append_emissions(msg.value().tail);
   std::size_t from = static_cast<std::size_t>(msg.value().schedule_from);
-  for (auto& runner : state.runners_) {
-    runner->schedule_owned(state.plan, from, state.plan.emissions().size());
-  }
   SimTime end = msg.value().end;
-  for_each_owned(state, [end](ShardRunner& shard) { shard.run_until(end); });
+  if (state.stealing()) {
+    const std::size_t vp_count =
+        state.runner(0).testbed().topology().vantage_points().size();
+    const auto buckets = bucket_emissions_by_vp(state.plan, from,
+                                                state.plan.emissions().size(), vp_count);
+    std::vector<const VpCarry*> carry_of(buckets.size(), nullptr);
+    for (const VpCarry& carry : msg.value().carries) {
+      if (carry.vp_index < carry_of.size()) carry_of[carry.vp_index] = &carry;
+    }
+    VpWorkQueue queue = make_local_queue(
+        state, msg.value().deal, buckets.size(), bucket_weights(buckets),
+        [&buckets](std::size_t vp) { return !buckets[vp].empty(); });
+    drain_local_queue(
+        state, queue,
+        [&](ShardRunner& shard, std::size_t vp) {
+          if (const VpCarry* carry = carry_of[vp]) shard.adopt_carry(*carry);
+          shard.run_plan_vp(state.plan, buckets[vp], end);
+        },
+        end);
+  } else {
+    for (auto& runner : state.runners_) {
+      runner->schedule_owned(state.plan, from, state.plan.emissions().size());
+    }
+    for_each_owned(state, [end](ShardRunner& shard) { shard.run_until(end); });
+  }
   send_final_results(state, chan);
 }
 
@@ -233,6 +377,13 @@ int run_shard_worker(int in_fd, int out_fd, const ShardRunner::Decorator& decora
           handle_phase1(state, chan, frame.value().payload);
           break;
         case wire::MsgType::kPhase2:
+          // Test hook: lets the backend error-path test kill a specific
+          // worker mid-campaign and assert the controller's teardown.
+          if (const char* die = std::getenv("SHADOWPROBE_TEST_WORKER_DIE_AT_PHASE2");
+              die != nullptr &&
+              std::atoi(die) == static_cast<int>(state.init.proc_index)) {
+            _exit(43);
+          }
           handle_phase2(state, chan, frame.value().payload);
           break;
         default:

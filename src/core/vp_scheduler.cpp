@@ -1,0 +1,137 @@
+#include "core/vp_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace shadowprobe::core {
+
+std::vector<std::uint32_t> round_robin_deal(std::size_t vp_count,
+                                            std::uint32_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  std::vector<std::uint32_t> deal(vp_count);
+  for (std::size_t vp = 0; vp < vp_count; ++vp) {
+    deal[vp] = static_cast<std::uint32_t>(vp % shard_count);
+  }
+  return deal;
+}
+
+std::vector<std::uint32_t> balanced_deal(const std::vector<std::uint64_t>& weights,
+                                         std::uint32_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  std::vector<std::uint32_t> deal(weights.size(), 0);
+  // Heaviest-first greedy over the weighted VPs; ties on weight keep VP-index
+  // order so the deal depends only on the weight vector, never on sort
+  // internals (std::sort is not stable).
+  std::vector<std::uint32_t> order(weights.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (weights[a] != weights[b]) return weights[a] > weights[b];
+    return a < b;
+  });
+  std::vector<std::uint64_t> load(shard_count, 0);
+  // Zero-weight VPs contribute no work; deal them round-robin (by their rank
+  // among zero-weight VPs) so the per-shard VP counts stay roughly even.
+  std::size_t zero_rank = 0;
+  for (std::uint32_t vp : order) {
+    if (weights[vp] == 0) {
+      deal[vp] = static_cast<std::uint32_t>(zero_rank++ % shard_count);
+      continue;
+    }
+    std::uint32_t lightest = 0;
+    for (std::uint32_t s = 1; s < shard_count; ++s) {
+      if (load[s] < load[lightest]) lightest = s;
+    }
+    deal[vp] = lightest;
+    load[lightest] += weights[vp];
+  }
+  return deal;
+}
+
+std::vector<std::vector<std::uint32_t>> bucket_emissions_by_vp(
+    const CampaignPlan& plan, std::size_t first, std::size_t last,
+    std::size_t vp_count) {
+  std::vector<std::vector<std::uint32_t>> buckets(vp_count);
+  const auto& emissions = plan.emissions();
+  if (last > emissions.size()) last = emissions.size();
+  for (std::size_t i = first; i < last; ++i) {
+    if (emissions[i].vp_index < 0) continue;
+    const auto vp = static_cast<std::size_t>(emissions[i].vp_index);
+    if (vp >= buckets.size()) buckets.resize(vp + 1);
+    buckets[vp].push_back(static_cast<std::uint32_t>(i));
+  }
+  return buckets;
+}
+
+std::vector<std::uint64_t> bucket_weights(
+    const std::vector<std::vector<std::uint32_t>>& buckets) {
+  std::vector<std::uint64_t> weights(buckets.size());
+  for (std::size_t vp = 0; vp < buckets.size(); ++vp) {
+    weights[vp] = buckets[vp].size();
+  }
+  return weights;
+}
+
+VpWorkQueue::VpWorkQueue(const std::vector<std::uint32_t>& deal,
+                         std::uint32_t shard_count,
+                         const std::vector<std::uint64_t>& weights,
+                         const std::vector<bool>& include, bool allow_steal)
+    : deques_(shard_count == 0 ? 1 : shard_count),
+      remaining_(deques_.size(), 0),
+      weights_(deal.size(), 1),
+      executor_(deal.size(), kVpUnassigned),
+      counters_(deques_.size()),
+      allow_steal_(allow_steal) {
+  for (std::size_t vp = 0; vp < deal.size(); ++vp) {
+    if (vp < weights.size()) weights_[vp] = weights[vp];
+    if (!include.empty() && (vp >= include.size() || !include[vp])) continue;
+    const std::uint32_t shard =
+        deal[vp] < deques_.size() ? deal[vp]
+                                  : static_cast<std::uint32_t>(vp % deques_.size());
+    deques_[shard].push_back(static_cast<std::uint32_t>(vp));
+    // A zero-weight VP still costs one claim round-trip; count it as one
+    // unit so victim selection sees deques with only trivial VPs left.
+    remaining_[shard] += weights_[vp] > 0 ? weights_[vp] : 1;
+  }
+}
+
+int VpWorkQueue::claim(std::uint32_t shard) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(shard < deques_.size());
+  auto take = [&](std::uint32_t victim, bool from_front) {
+    auto& dq = deques_[victim];
+    std::uint32_t vp;
+    if (from_front) {
+      vp = dq.front();
+      dq.pop_front();
+    } else {
+      vp = dq.back();
+      dq.pop_back();
+    }
+    const std::uint64_t w = weights_[vp] > 0 ? weights_[vp] : 1;
+    remaining_[victim] -= w < remaining_[victim] ? w : remaining_[victim];
+    executor_[vp] = shard;
+    return static_cast<int>(vp);
+  };
+  if (!deques_[shard].empty()) return take(shard, /*from_front=*/true);
+  if (!allow_steal_) return -1;
+  counters_[shard].attempted += 1;
+  // Steal from the deque with the most remaining weight (tie: lowest shard
+  // index). Taking the victim's *back* leaves its owner working the front
+  // undisturbed, mirroring Shadow's host-steal discipline.
+  std::uint32_t victim = deques_.size();
+  for (std::uint32_t s = 0; s < deques_.size(); ++s) {
+    if (s == shard || deques_[s].empty()) continue;
+    if (victim == deques_.size() || remaining_[s] > remaining_[victim]) victim = s;
+  }
+  if (victim == deques_.size()) return -1;
+  counters_[shard].completed += 1;
+  return take(victim, /*from_front=*/false);
+}
+
+VpWorkQueue::StealCounters VpWorkQueue::counters(std::uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shard < counters_.size() ? counters_[shard] : StealCounters{};
+}
+
+}  // namespace shadowprobe::core

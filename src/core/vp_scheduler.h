@@ -1,0 +1,112 @@
+// VP scheduling for sharded campaign phases: deals and work-stealing queues.
+//
+// A *deal* maps every VP index to the shard whose deque it starts in. The
+// static scheduler executes the deal verbatim; the stealing scheduler treats
+// it only as the initial distribution — idle shards claim whole VPs from the
+// most loaded deque once their own drains, so ragged phases finish together.
+//
+// Stealing is safe because VP->shard placement is layout-free: identifiers
+// and seqs are plan-preassigned (core/campaign_plan.h) and behavioural RNG
+// draws are entity-keyed (Rng::derive), so which shard replays a VP's event
+// cone cannot change campaign output. Shadow ships the same policy for
+// simulated hosts (shd-scheduler-policy-host-steal); here the unit of theft
+// is a whole VP so all of a VP's per-phase work stays on one replica.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/time.h"
+#include "core/campaign_config.h"
+#include "core/campaign_plan.h"
+
+namespace shadowprobe::core {
+
+/// Sentinel executor value for VPs no shard ever claimed (no work).
+inline constexpr std::uint32_t kVpUnassigned = UINT32_MAX;
+
+/// Fault-layer state a VP's Phase-I executor hands to its Phase-II executor
+/// when stealing moves the VP between shards (or worker processes). Exported
+/// at the Phase-II barrier — which sits *after* the phase2_grace window, by
+/// which time every Phase-I decoy's retry deadline has resolved, so the
+/// streak/quarantine values are final for Phase I. Without the carry, a VP
+/// quarantined on its Phase-I shard would emit again from a fresh Phase-II
+/// shard and the output would diverge from the static schedule.
+struct VpCarry {
+  std::uint32_t vp_index = 0;
+  std::int32_t failure_streak = 0;
+  bool quarantined = false;
+  SimTime quarantined_at = 0;
+};
+
+/// vp_index -> initial shard, round-robin (the pre-stealing static deal).
+[[nodiscard]] std::vector<std::uint32_t> round_robin_deal(std::size_t vp_count,
+                                                          std::uint32_t shard_count);
+
+/// vp_index -> shard balanced by per-VP weight: longest-processing-time
+/// greedy (heaviest VP first onto the lightest shard; ties break toward the
+/// lower VP / shard index, so the deal is a pure function of the weights).
+/// Zero-weight VPs land round-robin. Used by the multi-process backend,
+/// where stealing cannot cross a worker-process boundary and the
+/// cross-process balance must come from the deal itself.
+[[nodiscard]] std::vector<std::uint32_t> balanced_deal(
+    const std::vector<std::uint64_t>& weights, std::uint32_t shard_count);
+
+/// Plan emissions [first, last) bucketed per VP: bucket[vp] holds ascending
+/// emission indices. `vp_count` may underestimate; the result grows to the
+/// largest vp_index seen.
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> bucket_emissions_by_vp(
+    const CampaignPlan& plan, std::size_t first, std::size_t last,
+    std::size_t vp_count);
+
+/// Per-VP weights for balanced_deal: the bucket sizes (one pending emission
+/// is one unit of scheduled work).
+[[nodiscard]] std::vector<std::uint64_t> bucket_weights(
+    const std::vector<std::vector<std::uint32_t>>& buckets);
+
+/// One phase's VP work queue: a deque per shard, seeded from a deal.
+/// claim() pops the caller's own deque front; an empty deque turns the call
+/// into a steal from the back of the heaviest remaining deque (Shadow's
+/// host-steal discipline: owner takes the front, thieves take the tail).
+/// All claims are serialized by one mutex — claims are per-VP, orders of
+/// magnitude rarer than the events a claimed VP generates, so the lock is
+/// never contended enough to matter.
+class VpWorkQueue {
+ public:
+  struct StealCounters {
+    std::uint64_t attempted = 0;  ///< claims that found the own deque empty
+    std::uint64_t completed = 0;  ///< claims actually served from a victim
+  };
+
+  /// `deal[vp]` seeds the deques; only VPs with `include[vp]` true are
+  /// enqueued (pass {} to enqueue every VP). `weights` orders victims by
+  /// remaining load (pass {} for uniform weights). `allow_steal` false makes
+  /// claim() strictly own-deque (the static scheduler expressed as a queue).
+  VpWorkQueue(const std::vector<std::uint32_t>& deal, std::uint32_t shard_count,
+              const std::vector<std::uint64_t>& weights,
+              const std::vector<bool>& include, bool allow_steal);
+
+  /// Claims the next VP for `shard`; -1 when no work is left (for the static
+  /// queue: no *owned* work). Records the executor.
+  [[nodiscard]] int claim(std::uint32_t shard);
+
+  /// vp -> executing shard (kVpUnassigned where never claimed). Stable once
+  /// every worker has drained the queue.
+  [[nodiscard]] const std::vector<std::uint32_t>& executors() const noexcept {
+    return executor_;
+  }
+  [[nodiscard]] StealCounters counters(std::uint32_t shard) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::deque<std::uint32_t>> deques_;   // per shard
+  std::vector<std::uint64_t> remaining_;            // per shard, sum of weights
+  std::vector<std::uint64_t> weights_;              // per vp
+  std::vector<std::uint32_t> executor_;             // per vp
+  std::vector<StealCounters> counters_;             // per shard
+  bool allow_steal_;
+};
+
+}  // namespace shadowprobe::core

@@ -462,6 +462,9 @@ void encode_shard_stats(ByteWriter& w, const ShardExecutionStats& stats) {
   w.u32(static_cast<std::uint32_t>(stats.effective_shards));
   w.u32(static_cast<std::uint32_t>(stats.worker_procs));
   w.u8(stats.clamped ? 1 : 0);
+  w.u8(static_cast<std::uint8_t>(stats.scheduler));
+  w.u64(stats.steals_attempted);
+  w.u64(stats.steals_completed);
   w.u32(static_cast<std::uint32_t>(stats.per_shard.size()));
   for (const sim::EventLoopStats& loop : stats.per_shard) encode_loop_stats(w, loop);
   w.u32(static_cast<std::uint32_t>(stats.per_shard_net.size()));
@@ -474,6 +477,13 @@ Result<ShardExecutionStats> decode_shard_stats(ByteReader& r) {
   stats.effective_shards = static_cast<int>(r.u32());
   stats.worker_procs = static_cast<int>(r.u32());
   stats.clamped = r.u8() != 0;
+  std::uint8_t scheduler = r.u8();
+  if (r.ok() && scheduler > static_cast<std::uint8_t>(SchedulerMode::kSteal)) {
+    return Error("wire: unknown scheduler mode");
+  }
+  stats.scheduler = static_cast<SchedulerMode>(scheduler);
+  stats.steals_attempted = r.u64();
+  stats.steals_completed = r.u64();
   std::uint32_t loops = r.u32();
   if (!plausible_count(r, loops, 48)) return Error("wire: implausible shard count");
   stats.per_shard.reserve(loops);
@@ -656,8 +666,6 @@ Result<CampaignPlan> decode_plan(ByteReader& r) {
 
 // -- protocol messages -------------------------------------------------------
 
-namespace {
-
 void put_u32_list(ByteWriter& w, const std::vector<std::uint32_t>& values) {
   w.u32(static_cast<std::uint32_t>(values.size()));
   for (std::uint32_t value : values) w.u32(value);
@@ -674,13 +682,46 @@ bool get_u32_list(ByteReader& r, std::vector<std::uint32_t>& out) {
   return r.ok();
 }
 
-}  // namespace
+// vp_index u32 | failure_streak u32 | quarantined u8 | quarantined_at time
+void put_carries(ByteWriter& w, const std::vector<VpCarry>& carries) {
+  w.u32(static_cast<std::uint32_t>(carries.size()));
+  for (const VpCarry& carry : carries) {
+    w.u32(carry.vp_index);
+    w.u32(static_cast<std::uint32_t>(carry.failure_streak));
+    w.u8(carry.quarantined ? 1 : 0);
+    put_time(w, carry.quarantined_at);
+  }
+}
+
+bool get_carries(ByteReader& r, std::vector<VpCarry>& out) {
+  std::uint32_t count = r.u32();
+  if (!plausible_count(r, count, 17)) {
+    r.fail();
+    return false;
+  }
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count && r.ok(); ++i) {
+    VpCarry carry;
+    carry.vp_index = r.u32();
+    carry.failure_streak = static_cast<std::int32_t>(r.u32());
+    std::uint8_t quarantined = r.u8();
+    if (quarantined > 1) {
+      r.fail();
+      return false;
+    }
+    carry.quarantined = quarantined != 0;
+    carry.quarantined_at = get_time(r);
+    out.push_back(carry);
+  }
+  return r.ok();
+}
 
 Bytes encode_init(const InitMsg& msg) {
   ByteWriter w;
   w.u32(msg.shard_count);
   w.u32(msg.proc_index);
   w.u32(msg.proc_count);
+  w.u8(static_cast<std::uint8_t>(msg.scheduler));
   encode_testbed_config(w, msg.bed_config);
   encode_campaign_config(w, msg.config);
   return std::move(w).take();
@@ -692,6 +733,11 @@ Result<InitMsg> decode_init(BytesView payload) {
   msg.shard_count = r.u32();
   msg.proc_index = r.u32();
   msg.proc_count = r.u32();
+  std::uint8_t scheduler = r.u8();
+  if (r.ok() && scheduler > static_cast<std::uint8_t>(SchedulerMode::kSteal)) {
+    return Error("wire: unknown scheduler mode");
+  }
+  msg.scheduler = static_cast<SchedulerMode>(scheduler);
   msg.bed_config = decode_testbed_config(r);
   auto config = decode_campaign_config(r);
   if (!config.ok()) return config.error();
@@ -737,6 +783,7 @@ Bytes encode_phase1(const Phase1Msg& msg) {
   ByteWriter w;
   encode_plan(w, msg.plan);
   put_time(w, msg.barrier);
+  put_u32_list(w, msg.deal);
   return std::move(w).take();
 }
 
@@ -747,6 +794,7 @@ Result<Phase1Msg> decode_phase1(BytesView payload) {
   Phase1Msg msg;
   msg.plan = std::move(plan).take();
   msg.barrier = get_time(r);
+  if (!get_u32_list(r, msg.deal)) return Error("wire: malformed phase1 deal");
   if (!r.ok() || r.remaining() != 0) return Error("wire: malformed phase1 message");
   return msg;
 }
@@ -759,6 +807,7 @@ Bytes encode_barrier(const BarrierMsg& msg) {
   w.u32(static_cast<std::uint32_t>(msg.quarantined.size()));
   for (std::uint64_t vp : msg.quarantined) w.u64(vp);
   put_u32_list(w, msg.cancelled);
+  put_carries(w, msg.carries);
   return std::move(w).take();
 }
 
@@ -777,6 +826,7 @@ Result<BarrierMsg> decode_barrier(BytesView payload) {
   msg.quarantined.reserve(quarantined);
   for (std::uint32_t i = 0; i < quarantined && r.ok(); ++i) msg.quarantined.push_back(r.u64());
   if (!get_u32_list(r, msg.cancelled)) return Error("wire: malformed cancelled set");
+  if (!get_carries(r, msg.carries)) return Error("wire: malformed carry list");
   if (!r.ok() || r.remaining() != 0) return Error("wire: malformed barrier message");
   return msg;
 }
@@ -786,6 +836,8 @@ Bytes encode_phase2(const Phase2Msg& msg) {
   w.u64(msg.schedule_from);
   encode_emissions(w, msg.tail);
   put_time(w, msg.end);
+  put_u32_list(w, msg.deal);
+  put_carries(w, msg.carries);
   return std::move(w).take();
 }
 
@@ -797,6 +849,8 @@ Result<Phase2Msg> decode_phase2(BytesView payload) {
   if (!tail.ok()) return tail.error();
   msg.tail = std::move(tail).take();
   msg.end = get_time(r);
+  if (!get_u32_list(r, msg.deal)) return Error("wire: malformed phase2 deal");
+  if (!get_carries(r, msg.carries)) return Error("wire: malformed carry list");
   if (!r.ok() || r.remaining() != 0) return Error("wire: malformed phase2 message");
   return msg;
 }
@@ -814,6 +868,8 @@ Bytes encode_final(const FinalMsg& msg) {
   encode_loop_stats(w, msg.stats);
   encode_net_counters(w, msg.net);
   encode_coverage(w, msg.coverage);
+  w.u64(msg.steals_attempted);
+  w.u64(msg.steals_completed);
   return std::move(w).take();
 }
 
@@ -837,6 +893,8 @@ Result<FinalMsg> decode_final(BytesView payload) {
   msg.stats = decode_loop_stats(r);
   msg.net = decode_net_counters(r);
   msg.coverage = decode_coverage(r);
+  msg.steals_attempted = r.u64();
+  msg.steals_completed = r.u64();
   if (!r.ok() || r.remaining() != 0) return Error("wire: malformed final message");
   return msg;
 }

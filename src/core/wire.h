@@ -40,6 +40,7 @@
 #include "core/ledger.h"
 #include "core/screening.h"
 #include "core/testbed.h"
+#include "core/vp_scheduler.h"
 
 namespace shadowprobe::core::wire {
 
@@ -47,7 +48,10 @@ namespace shadowprobe::core::wire {
 
 /// "SPWF" — shadowprobe wire frame.
 inline constexpr std::uint32_t kMagic = 0x53505746;
-inline constexpr std::uint16_t kWireVersion = 1;
+/// v2: scheduler byte in Init, VP deals in Phase1/Phase2, fault-state
+/// carries in Barrier/Phase2, steal counters in Final (the work-stealing
+/// scheduler's cross-process rebalancing).
+inline constexpr std::uint16_t kWireVersion = 2;
 /// Upper bound on a sane payload (a scale-1 shard ledger is ~a few MB);
 /// anything larger is treated as a corrupt length field.
 inline constexpr std::uint32_t kMaxPayload = 1u << 30;
@@ -113,6 +117,13 @@ void put_time(ByteWriter& w, SimTime t);
 [[nodiscard]] SimTime get_time(ByteReader& r);
 void put_double(ByteWriter& w, double v);
 [[nodiscard]] double get_double(ByteReader& r);
+/// Length-prefixed u32 list (the deal encoding). get_* returns false (and
+/// latches r's error) on an implausible count or truncation.
+void put_u32_list(ByteWriter& w, const std::vector<std::uint32_t>& values);
+[[nodiscard]] bool get_u32_list(ByteReader& r, std::vector<std::uint32_t>& out);
+/// Length-prefixed VpCarry list (barrier/phase2 fault-state hand-off).
+void put_carries(ByteWriter& w, const std::vector<VpCarry>& carries);
+[[nodiscard]] bool get_carries(ByteReader& r, std::vector<VpCarry>& out);
 
 // -- payload codecs ---------------------------------------------------------
 //
@@ -166,6 +177,11 @@ struct InitMsg {
   std::uint32_t proc_index = 0;  ///< this worker's index; owns shards s where
                                  ///< s % proc_count == proc_index
   std::uint32_t proc_count = 1;
+  /// Execution schedule for the worker's shard set. With kSteal the worker
+  /// drains per-phase VP queues (stealing within its own shards) and honours
+  /// the per-phase deals the controller ships; with kStatic it executes the
+  /// fixed round-robin ownership.
+  SchedulerMode scheduler = SchedulerMode::kStatic;
   TestbedConfig bed_config;
   CampaignConfig config;
 };
@@ -182,10 +198,15 @@ struct VerdictsMsg {
 [[nodiscard]] Bytes encode_verdicts(const VerdictsMsg& msg);
 [[nodiscard]] Result<VerdictsMsg> decode_verdicts(BytesView payload);
 
-/// kPhase1: the full plan plus the Phase-II barrier time.
+/// kPhase1: the full plan plus the Phase-II barrier time. `deal` is the
+/// controller's cross-process VP rebalance for the stealing scheduler:
+/// vp_index -> shard, weight-balanced so every worker process starts the
+/// phase with comparable load (stealing cannot cross a process boundary).
+/// Empty = round-robin (always empty under the static scheduler).
 struct Phase1Msg {
   CampaignPlan plan;
   SimTime barrier = 0;
+  std::vector<std::uint32_t> deal;
 };
 [[nodiscard]] Bytes encode_phase1(const Phase1Msg& msg);
 [[nodiscard]] Result<Phase1Msg> decode_phase1(BytesView payload);
@@ -197,6 +218,11 @@ struct BarrierMsg {
   std::vector<std::uint32_t> replicated;
   std::vector<std::uint64_t> quarantined;
   std::vector<std::uint32_t> cancelled;
+  /// Fault-state carries for the VPs this shard executed in Phase I
+  /// (ascending by vp_index); the controller redistributes them with the
+  /// Phase-II deal so a VP's next executor adopts its streak/quarantine
+  /// state. Empty under the static scheduler or a null fault profile.
+  std::vector<VpCarry> carries;
 };
 [[nodiscard]] Bytes encode_barrier(const BarrierMsg& msg);
 [[nodiscard]] Result<BarrierMsg> decode_barrier(BytesView payload);
@@ -209,6 +235,11 @@ struct Phase2Msg {
   std::uint64_t schedule_from = 0;
   std::vector<PlanEmission> tail;
   SimTime end = 0;
+  /// Cross-process VP rebalance for the Phase-II tail (see Phase1Msg::deal).
+  std::vector<std::uint32_t> deal;
+  /// Union of the Phase-I barrier carries (ascending by vp_index), broadcast
+  /// so whichever shard claims a VP can adopt its Phase-I fault state.
+  std::vector<VpCarry> carries;
 };
 [[nodiscard]] Bytes encode_phase2(const Phase2Msg& msg);
 [[nodiscard]] Result<Phase2Msg> decode_phase2(BytesView payload);
@@ -222,6 +253,8 @@ struct FinalMsg {
   sim::EventLoopStats stats;
   sim::NetworkCounters net;
   CoverageStats coverage;
+  std::uint64_t steals_attempted = 0;  ///< this shard's empty-deque claims
+  std::uint64_t steals_completed = 0;  ///< whole VPs this shard stole
 };
 [[nodiscard]] Bytes encode_final(const FinalMsg& msg);
 [[nodiscard]] Result<FinalMsg> decode_final(BytesView payload);

@@ -65,6 +65,18 @@ class EventLoop {
   /// Runs a single event; returns false when the queue is empty.
   bool step();
 
+  /// Moves the clock *backwards* to `t` (no-op when t >= now()). Only legal
+  /// between run_until() calls: run_until(d) has already executed every event
+  /// at or before d, so all pending entries lie strictly beyond d and the
+  /// heap needs no repair. The work-stealing scheduler rewinds to the shared
+  /// phase start before replaying a claimed VP's event cone, so each per-VP
+  /// pass runs at its true simulated times. Rewind BEFORE scheduling: with
+  /// the clock still at the old deadline, schedule_at() would clamp the new
+  /// VP's earlier emissions forward.
+  void rewind(SimTime t) noexcept {
+    if (t < now_) now_ = t;
+  }
+
  private:
   /// Drops cancelled entries sitting at the heap front so front().when is
   /// always the time of the next *live* event (run_until relies on this).

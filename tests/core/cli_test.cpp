@@ -125,6 +125,51 @@ TEST(CliTest, MalformedEnvironmentValuesAreRejectedWithTheirSource) {
   EXPECT_NE(bad2.error().message.find("SHADOWPROBE_FAULT_PROFILE"), std::string::npos);
 }
 
+TEST(CliTest, SchedulerFlagAndEnvironment) {
+  EXPECT_EQ(parse({}).value().scheduler, SchedulerMode::kSteal);  // the default
+  EXPECT_EQ(parse({"--scheduler", "static"}).value().scheduler, SchedulerMode::kStatic);
+  EXPECT_EQ(parse({"--scheduler", "steal"}).value().scheduler, SchedulerMode::kSteal);
+  auto bad = parse({"--scheduler", "greedy"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("--scheduler"), std::string::npos);
+
+  CliEnvironment env;
+  env.scheduler = "static";
+  EXPECT_EQ(parse({}, env).value().scheduler, SchedulerMode::kStatic);
+  EXPECT_EQ(parse({"--scheduler", "steal"}, env).value().scheduler,
+            SchedulerMode::kSteal);  // flag wins
+  env.scheduler = "bogus";
+  auto bad_env = parse({}, env);
+  ASSERT_FALSE(bad_env.ok());
+  EXPECT_NE(bad_env.error().message.find("SHADOWPROBE_SCHEDULER"), std::string::npos);
+}
+
+TEST(CliTest, ShardProcsClampedToShardCount) {
+  // More workers than shards would idle the surplus; both spellings clamp.
+  auto flag = parse({"--shards", "2", "--shard-procs", "8"});
+  ASSERT_TRUE(flag.ok());
+  EXPECT_EQ(flag.value().shard_procs, 2);
+
+  CliEnvironment env;
+  env.shards = "3";
+  env.shard_procs = "5";
+  auto fromenv = parse({}, env);
+  ASSERT_TRUE(fromenv.ok());
+  EXPECT_EQ(fromenv.value().shard_procs, 3);
+
+  // Workers without an explicit shard count imply a single-shard engine —
+  // and therefore a single worker.
+  auto implied = parse({"--shard-procs", "4"});
+  ASSERT_TRUE(implied.ok());
+  EXPECT_EQ(implied.value().shards, 1);
+  EXPECT_EQ(implied.value().shard_procs, 1);
+
+  // In-range counts are untouched.
+  auto exact = parse({"--shards", "4", "--shard-procs", "4"});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact.value().shard_procs, 4);
+}
+
 TEST(CliTest, FaultProfileImpliesTheEngine) {
   // The serial Campaign has no fault layer; an unsharded faulty invocation
   // silently runs a single-shard engine instead.

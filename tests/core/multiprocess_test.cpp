@@ -10,8 +10,12 @@
 // by the build as the path to the freshly built CLI.
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <cstdlib>
+#include <dirent.h>
 #include <stdexcept>
 #include <string>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "core/campaign_engine.h"
@@ -137,6 +141,45 @@ TEST(MultiprocessCampaign, MissingWorkerBinaryFailsConstruction) {
   EXPECT_THROW(
       CampaignEngine(small_config(), fast_campaign(), 4, cli_exhibitors(), exec),
       std::runtime_error);
+}
+
+int open_fd_count() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+TEST(MultiprocessCampaign, DyingWorkerMidCampaignIsReapedWithNamedError) {
+  if (!worker_bin_available()) GTEST_SKIP() << "worker binary not built";
+  // The hook makes worker 1 _exit(43) the moment the Phase-II command
+  // arrives — mid-campaign, after it has already produced barrier results.
+  ::setenv("SHADOWPROBE_TEST_WORKER_DIE_AT_PHASE2", "1", 1);
+  const int fds_before = open_fd_count();
+  std::string message;
+  {
+    EngineExec exec;
+    exec.shard_procs = 2;
+    exec.worker_exe = worker_bin();
+    CampaignEngine engine(small_config(), fast_campaign(), 4, cli_exhibitors(), exec);
+    try {
+      engine.run();
+    } catch (const std::runtime_error& e) {
+      message = e.what();
+      // The error must surface only after full teardown: every child reaped
+      // (no zombies for anyone else to trip over) and every socketpair end
+      // closed — even though the backend still exists.
+      errno = 0;
+      EXPECT_EQ(::waitpid(-1, nullptr, WNOHANG), -1);
+      EXPECT_EQ(errno, ECHILD);
+      EXPECT_EQ(open_fd_count(), fds_before);
+    }
+  }
+  ::unsetenv("SHADOWPROBE_TEST_WORKER_DIE_AT_PHASE2");
+  ASSERT_FALSE(message.empty()) << "campaign with a dying worker did not fail";
+  EXPECT_NE(message.find("exit status 43"), std::string::npos) << message;
 }
 
 TEST(MultiprocessCampaign, WorkerProcsRecordedInShardStats) {

@@ -1,0 +1,174 @@
+// The VP scheduler contract: the stealing scheduler may move work between
+// shards (and, via deals, between worker processes) but must never move the
+// *output* — exported JSON stays byte-identical to the static schedule for
+// every layout, with and without a fault profile. A skewed initial deal
+// must actually trigger steals and leave the event load measurably more
+// balanced than the same deal executed statically.
+//
+// Also the event_imbalance() regression: a campaign whose shards processed
+// zero events (e.g. a zero-duration config) must report 1.0, not NaN.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+#include "core/campaign_engine.h"
+#include "core/campaign_result.h"
+#include "core/json_export.h"
+#include "shadow/profiles.h"
+
+namespace shadowprobe::core {
+namespace {
+
+#ifndef SHADOWPROBE_WORKER_BIN
+#define SHADOWPROBE_WORKER_BIN ""
+#endif
+
+bool worker_bin_available() {
+  return SHADOWPROBE_WORKER_BIN[0] != '\0' &&
+         ::access(SHADOWPROBE_WORKER_BIN, X_OK) == 0;
+}
+
+TestbedConfig small_config(std::uint64_t seed = 61) {
+  TestbedConfig config;
+  config.topology.seed = seed;
+  config.topology.global_vps = 6;
+  config.topology.cn_vps = 6;
+  config.topology.web_sites = 4;
+  return config;
+}
+
+CampaignConfig fast_campaign() {
+  CampaignConfig config;
+  config.phase1_window = 2 * kHour;
+  config.phase2_grace = 4 * kHour;
+  config.phase2_window = 2 * kHour;
+  config.total_duration = 3 * kDay;
+  return config;
+}
+
+CampaignConfig faulty_campaign() {
+  CampaignConfig config = fast_campaign();
+  auto profile = sim::FaultProfile::parse("loss=0.05,jitter=10ms,retries=2,rto=30s");
+  EXPECT_TRUE(profile.ok());
+  config.faults = profile.value();
+  return config;
+}
+
+/// The decorator the worker binary applies, so multi-process runs agree.
+CampaignEngine::Decorator cli_exhibitors() {
+  return [](Testbed& replica) -> std::shared_ptr<void> {
+    shadow::ShadowConfig shadow_config;
+    return std::make_shared<shadow::ShadowDeployment>(
+        shadow::deploy_standard_exhibitors(replica, shadow_config));
+  };
+}
+
+/// One campaign run: the merged result plus its JSON export (taken while
+/// the engine — and therefore the export's context testbed — is alive).
+struct RunOutcome {
+  CampaignResult result;
+  std::string json;
+};
+
+RunOutcome run_campaign(int shards, int procs, SchedulerMode scheduler,
+                        const CampaignConfig& campaign,
+                        std::vector<std::uint32_t> deal = {}) {
+  EngineExec exec;
+  exec.shard_procs = procs;
+  exec.worker_exe = procs >= 1 ? SHADOWPROBE_WORKER_BIN : "";
+  exec.scheduler = scheduler;
+  exec.initial_deal = std::move(deal);
+  CampaignEngine engine(small_config(), campaign, shards, cli_exhibitors(), exec);
+  RunOutcome out;
+  out.result = engine.run();
+  out.json = export_campaign_json(engine.primary(), out.result);
+  return out;
+}
+
+std::string run_and_export(int shards, int procs, SchedulerMode scheduler,
+                           const CampaignConfig& campaign,
+                           std::vector<std::uint32_t> deal = {}) {
+  return run_campaign(shards, procs, scheduler, campaign, std::move(deal)).json;
+}
+
+TEST(SchedulerStats, ZeroEventCampaignImbalanceIsOne) {
+  ShardExecutionStats stats;
+  stats.per_shard.resize(4);  // four shards, zero events each
+  EXPECT_TRUE(std::isfinite(stats.event_imbalance()));
+  EXPECT_DOUBLE_EQ(stats.event_imbalance(), 1.0);
+}
+
+TEST(SchedulerDeterminism, StealExportMatchesStaticAcrossShardCounts) {
+  CampaignConfig campaign = fast_campaign();
+  std::string reference = run_and_export(1, 0, SchedulerMode::kStatic, campaign);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(reference, run_and_export(1, 0, SchedulerMode::kSteal, campaign));
+  EXPECT_EQ(reference, run_and_export(4, 0, SchedulerMode::kSteal, campaign));
+  EXPECT_EQ(reference, run_and_export(4, 0, SchedulerMode::kStatic, campaign));
+}
+
+TEST(SchedulerDeterminism, StealExportMatchesStaticUnderFaultProfile) {
+  CampaignConfig campaign = faulty_campaign();
+  ASSERT_TRUE(campaign.faults.enabled());
+  std::string reference = run_and_export(4, 0, SchedulerMode::kStatic, campaign);
+  ASSERT_FALSE(reference.empty());
+  // Stealing moves quarantine/streak state between shards via barrier
+  // carries; the export must not notice.
+  EXPECT_EQ(reference, run_and_export(4, 0, SchedulerMode::kSteal, campaign));
+  if (worker_bin_available()) {
+    // Cross-process: balanced deals + carries ride the wire protocol.
+    EXPECT_EQ(reference, run_and_export(4, 2, SchedulerMode::kSteal, campaign));
+    EXPECT_EQ(reference, run_and_export(4, 2, SchedulerMode::kStatic, campaign));
+  }
+}
+
+TEST(SchedulerDeterminism, StealExportMatchesStaticAcrossProcesses) {
+  if (!worker_bin_available()) GTEST_SKIP() << "worker binary not built";
+  CampaignConfig campaign = fast_campaign();
+  std::string reference = run_and_export(4, 0, SchedulerMode::kStatic, campaign);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(reference, run_and_export(4, 1, SchedulerMode::kSteal, campaign));
+  EXPECT_EQ(reference, run_and_export(4, 2, SchedulerMode::kSteal, campaign));
+}
+
+TEST(SchedulerStats, SchedulerAndStealsRecorded) {
+  CampaignConfig campaign = fast_campaign();
+  ShardExecutionStats stat =
+      run_campaign(2, 0, SchedulerMode::kStatic, campaign).result.shard_stats;
+  EXPECT_EQ(stat.scheduler, SchedulerMode::kStatic);
+  EXPECT_EQ(stat.steals_attempted, 0u);
+  EXPECT_EQ(stat.steals_completed, 0u);
+  ShardExecutionStats steal =
+      run_campaign(2, 0, SchedulerMode::kSteal, campaign).result.shard_stats;
+  EXPECT_EQ(steal.scheduler, SchedulerMode::kSteal);
+  EXPECT_GE(steal.steals_attempted, steal.steals_completed);
+}
+
+TEST(SchedulerBalance, SkewedDealForcesStealsAndRebalances) {
+  // Deal *every* VP to shard 0: the static schedule leaves shards 1..3 with
+  // nothing but replica infrastructure traffic, the stealing schedule must
+  // notice and spread the load.
+  TestbedConfig bed = small_config();
+  const std::size_t vp_count =
+      static_cast<std::size_t>(bed.topology.global_vps + bed.topology.cn_vps);
+  std::vector<std::uint32_t> skew(vp_count, 0);
+  CampaignConfig campaign = fast_campaign();
+
+  RunOutcome stat = run_campaign(4, 0, SchedulerMode::kStatic, campaign, skew);
+  RunOutcome steal = run_campaign(4, 0, SchedulerMode::kSteal, campaign, skew);
+
+  // Moving every VP to one shard still must not move the output.
+  EXPECT_EQ(stat.json, run_and_export(4, 0, SchedulerMode::kStatic, campaign));
+  EXPECT_EQ(stat.json, steal.json);
+
+  EXPECT_EQ(stat.result.shard_stats.steals_completed, 0u);
+  EXPECT_GT(steal.result.shard_stats.steals_completed, 0u);
+  EXPECT_LT(steal.result.shard_stats.event_imbalance(),
+            stat.result.shard_stats.event_imbalance());
+}
+
+}  // namespace
+}  // namespace shadowprobe::core

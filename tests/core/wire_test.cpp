@@ -380,13 +380,88 @@ TEST(WireDecode, BarrierMessageRoundTrip) {
   msg.replicated = {3, 9, 27};
   msg.quarantined = {1, 4};
   msg.cancelled = {10, 11, 12};
+  msg.carries = {{.vp_index = 4, .failure_streak = 3, .quarantined = true,
+                  .quarantined_at = 90 * kMinute},
+                 {.vp_index = 7, .failure_streak = 1, .quarantined = false,
+                  .quarantined_at = 0}};
   Bytes payload = encode_barrier(msg);
   auto back = decode_barrier(payload);
   ASSERT_TRUE(back.ok()) << back.error().message;
   EXPECT_EQ(back.value().replicated, msg.replicated);
   EXPECT_EQ(back.value().quarantined, msg.quarantined);
   EXPECT_EQ(back.value().cancelled, msg.cancelled);
+  ASSERT_EQ(back.value().carries.size(), 2u);
+  EXPECT_EQ(back.value().carries[0].vp_index, 4u);
+  EXPECT_EQ(back.value().carries[0].failure_streak, 3);
+  EXPECT_TRUE(back.value().carries[0].quarantined);
+  EXPECT_EQ(back.value().carries[0].quarantined_at, 90 * kMinute);
+  EXPECT_FALSE(back.value().carries[1].quarantined);
   EXPECT_EQ(payload, encode_barrier(back.value()));
+}
+
+TEST(WireDecode, InitSchedulerRoundTripAndBadByteRejected) {
+  InitMsg msg;
+  msg.shard_count = 4;
+  msg.proc_index = 0;
+  msg.proc_count = 2;
+  msg.scheduler = SchedulerMode::kSteal;
+  Bytes payload = encode_init(msg);
+  auto back = decode_init(payload);
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(back.value().scheduler, SchedulerMode::kSteal);
+  EXPECT_EQ(payload, encode_init(back.value()));
+  // The scheduler byte sits right after the three layout u32s; any value
+  // beyond kSteal must be rejected, not silently mapped.
+  payload[12] = 7;
+  auto bad = decode_init(payload);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("scheduler"), std::string::npos);
+}
+
+TEST(WireRoundTrip, DealListAndCarries) {
+  const std::vector<std::uint32_t> deal = {0, 3, 1, 2, 1, 0};
+  std::vector<VpCarry> carries = {{.vp_index = 2, .failure_streak = 5,
+                                   .quarantined = true, .quarantined_at = kHour}};
+  ByteWriter w;
+  put_u32_list(w, deal);
+  put_carries(w, carries);
+  Bytes bytes = std::move(w).take();
+  ByteReader r{BytesView(bytes)};
+  std::vector<std::uint32_t> deal_back;
+  ASSERT_TRUE(get_u32_list(r, deal_back));
+  EXPECT_EQ(deal_back, deal);
+  std::vector<VpCarry> carries_back;
+  ASSERT_TRUE(get_carries(r, carries_back));
+  ASSERT_EQ(carries_back.size(), 1u);
+  EXPECT_EQ(carries_back[0].vp_index, 2u);
+  EXPECT_EQ(carries_back[0].failure_streak, 5);
+  EXPECT_TRUE(carries_back[0].quarantined);
+  EXPECT_EQ(carries_back[0].quarantined_at, kHour);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WireDecode, CarriesRejectBadQuarantineFlag) {
+  std::vector<VpCarry> carries(1);
+  carries[0].vp_index = 5;
+  ByteWriter w;
+  put_carries(w, carries);
+  Bytes bytes = std::move(w).take();
+  bytes[4 + 8] = 2;  // flag byte after count u32 + vp_index u32 + streak u32
+  ByteReader r{BytesView(bytes)};
+  std::vector<VpCarry> out;
+  EXPECT_FALSE(get_carries(r, out));
+}
+
+TEST(WireDecode, CarriesRejectTruncation) {
+  std::vector<VpCarry> carries = {{.vp_index = 1}, {.vp_index = 2}};
+  ByteWriter w;
+  put_carries(w, carries);
+  Bytes bytes = std::move(w).take();
+  for (std::size_t len = 0; len < bytes.size(); len += 3) {
+    ByteReader r{BytesView(bytes.data(), len)};
+    std::vector<VpCarry> out;
+    EXPECT_FALSE(get_carries(r, out) && r.remaining() == 0);
+  }
 }
 
 }  // namespace

@@ -60,7 +60,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: shadowprobe_cli run [--scale X] [--seed N] [--days N]\n"
-               "         [--shards N] [--shard-procs P] [--analysis-workers N]\n"
+               "         [--shards N] [--shard-procs P] [--scheduler static|steal]\n"
+               "         [--analysis-workers N]\n"
                "         [--fault-profile SPEC]\n"
                "         [--transport plain|dot|odoh] [--ech]\n"
                "         [--no-screening]\n"
@@ -118,6 +119,7 @@ int main(int argc, char** argv) {
     // /proc/self/exe (argv[0] may be PATH-relative).
     core::EngineExec exec;
     exec.shard_procs = options.shard_procs;
+    exec.scheduler = options.scheduler;
     engine = std::make_unique<core::CampaignEngine>(
         config, campaign_config, options.shards,
         [shadow_config](core::Testbed& replica) -> std::shared_ptr<void> {
