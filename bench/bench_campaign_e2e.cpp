@@ -10,9 +10,15 @@
 //
 // Scale and seed come from SHADOWPROBE_SCALE / SHADOWPROBE_SEED; shard
 // count for the engine run from SHADOWPROBE_SHARDS (default 2).
+//
+// The two multiprocess configs measure supervision: "procs=2" is a clean
+// two-worker run, "procs=2,killed-worker" SIGKILLs worker 1 at the Phase-I
+// command and recovers it via respawn — the delta between them is the
+// recovery overhead tools/bench_diff tracks per PR.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <unistd.h>
 
 #include "core/campaign.h"
 #include "core/campaign_engine.h"
@@ -25,6 +31,10 @@ using namespace shadowprobe;
 
 namespace {
 
+#ifndef SHADOWPROBE_WORKER_BIN
+#define SHADOWPROBE_WORKER_BIN ""
+#endif
+
 core::TestbedConfig bench_config() {
   core::TestbedConfig config;
   config.topology = topo::TopologyConfig::from_env();
@@ -36,6 +46,13 @@ int shards_from_env() {
   if (raw == nullptr || *raw == '\0') return 2;
   int shards = std::atoi(raw);
   return shards > 0 ? shards : 2;
+}
+
+core::CampaignEngine::Decorator standard_exhibitors() {
+  return [](core::Testbed& replica) -> std::shared_ptr<void> {
+    return std::make_shared<shadow::ShadowDeployment>(
+        shadow::deploy_standard_exhibitors(replica, shadow::ShadowConfig{}));
+  };
 }
 
 }  // namespace
@@ -115,6 +132,58 @@ int main() {
       std::fprintf(stderr, "determinism contract violated: engine result differs\n");
       return 1;
     }
+  }
+
+  // Multiprocess pair: clean run vs one worker SIGKILLed at the Phase-I
+  // command and respawned. Same shard count, same seed — the wall-clock
+  // delta is the supervisor's recovery cost (reap + backoff + replacement
+  // World build + replay).
+  if (SHADOWPROBE_WORKER_BIN[0] != '\0' &&
+      ::access(SHADOWPROBE_WORKER_BIN, X_OK) == 0) {
+    for (const bool kill_worker : {false, true}) {
+      if (kill_worker) {
+        ::setenv("SHADOWPROBE_TEST_WORKER_FAULT", "phase1:kill:1", 1);
+      }
+      bench::WallTimer setup_timer;
+      core::EngineExec exec;
+      exec.shard_procs = 2;
+      exec.worker_exe = SHADOWPROBE_WORKER_BIN;
+      core::CampaignEngine engine(bench_config(), core::CampaignConfig{}, shards,
+                                  standard_exhibitors(), exec);
+      double setup_ms = setup_timer.ms();
+      std::uint64_t allocs_before = bench::allocation_count();
+      bench::WallTimer timer;
+      core::CampaignResult result = engine.run();
+      std::string json = core::export_campaign_json(engine.primary(), result, shards);
+      if (kill_worker) ::unsetenv("SHADOWPROBE_TEST_WORKER_FAULT");
+      bench::PerfRun run;
+      run.config = kill_worker ? "procs=2,killed-worker" : "procs=2";
+      run.wall_ms = timer.ms();
+      run.setup_ms = setup_ms;
+      run.events_per_sec =
+          static_cast<double>(engine.events_processed()) / timer.seconds();
+      run.peak_rss_kb = bench::peak_rss_kb();
+      run.allocs = bench::allocation_count() - allocs_before;
+      bool consistent = result.ledger.decoy_count() == serial_decoys &&
+                        result.unsolicited.size() == serial_unsolicited;
+      if (kill_worker && result.shard_stats.workers_lost == 0) {
+        std::fprintf(stderr, "recovery bench: fault did not engage\n");
+        return 1;
+      }
+      std::printf("  %-22s %7.1fms  (setup %.1fms)  %12.0f events/s  rss %ld KiB"
+                  "  %llu allocs  (%zu-byte export)  %s\n",
+                  run.config.c_str(), run.wall_ms, run.setup_ms, run.events_per_sec,
+                  run.peak_rss_kb, static_cast<unsigned long long>(run.allocs),
+                  json.size(), consistent ? "consistent" : "MISMATCH");
+      report.add(std::move(run));
+      if (!consistent) {
+        std::fprintf(stderr,
+                     "determinism contract violated: multiprocess result differs\n");
+        return 1;
+      }
+    }
+  } else {
+    std::printf("  (worker binary unavailable; skipping recovery configs)\n");
   }
 
   report.write();

@@ -79,8 +79,11 @@ void CampaignEngine::build_backend(const TestbedConfig& bed_config, int shard_co
   if (exec.shard_procs >= 1) {
     worker_procs_ = std::clamp(exec.shard_procs, 1, count);
     // Spawn first: the workers build their Worlds concurrently with ours.
-    backend_ = std::make_unique<MultiProcessBackend>(
-        bed_config, config_, count, worker_procs_, exec.worker_exe, exec.scheduler);
+    auto multiproc = std::make_unique<MultiProcessBackend>(
+        bed_config, config_, count, worker_procs_, exec.worker_exe, exec.scheduler,
+        decorate, exec.supervision);
+    MultiProcessBackend* supervisor = multiproc.get();
+    backend_ = std::move(multiproc);
     // The controller still needs a context replica (geo database,
     // signatures, blocklist, VP storage for the merged ledger's pointer
     // rebinds). No traffic ever runs on it — an undecorated frozen instance
@@ -88,6 +91,9 @@ void CampaignEngine::build_backend(const TestbedConfig& bed_config, int shard_co
     world_ = World::build(bed_config, decorate);
     context_bed_ = Testbed::instantiate(world_);
     primary_ = context_bed_.get();
+    // Should a worker slot degrade to in-process execution, its runners
+    // instantiate against our World instead of building another.
+    supervisor->set_fallback_world(world_);
     SP_LOG_INFO(strprintf("engine: multi-process backend, %d shards across %d workers "
                           "(%s scheduler)",
                           count, worker_procs_, scheduler_mode_name(exec.scheduler)));
@@ -230,6 +236,11 @@ CampaignResult CampaignEngine::run() {
   out.shard_stats.worker_procs = worker_procs_;
   out.shard_stats.clamped = requested_shards_ != backend_->shard_count();
   out.shard_stats.scheduler = scheduler_;
+  const SupervisionStats sup = backend_->supervision_stats();
+  out.shard_stats.workers_lost = sup.workers_lost;
+  out.shard_stats.workers_respawned = sup.workers_respawned;
+  out.shard_stats.workers_degraded = sup.workers_degraded;
+  out.shard_stats.shards_retried = sup.shards_retried;
   for (const ShardFinal& shard : finals) {
     // Each seq is owned by exactly one shard, so folding the shards' hop
     // tables into the ordered result map is order-insensitive.
@@ -267,6 +278,15 @@ CampaignResult CampaignEngine::run() {
                           scheduler_mode_name(scheduler_),
                           static_cast<unsigned long long>(out.shard_stats.steals_completed),
                           static_cast<unsigned long long>(out.shard_stats.steals_attempted)));
+  }
+  if (out.shard_stats.workers_lost > 0) {
+    SP_LOG_WARN(strprintf("engine recovery: %llu worker(s) lost, %llu respawned, "
+                          "%llu degraded in-process, %llu shard(s) re-dispatched "
+                          "(output unaffected — re-execution is byte-identical)",
+                          static_cast<unsigned long long>(out.shard_stats.workers_lost),
+                          static_cast<unsigned long long>(out.shard_stats.workers_respawned),
+                          static_cast<unsigned long long>(out.shard_stats.workers_degraded),
+                          static_cast<unsigned long long>(out.shard_stats.shards_retried)));
   }
   return out;
 }

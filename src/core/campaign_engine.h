@@ -69,6 +69,9 @@ struct EngineExec {
   /// round-robin. Ignored by the multi-process backend, which computes its
   /// own weight-balanced deals.
   std::vector<std::uint32_t> initial_deal;
+  /// Worker supervision knobs (multi-process backend only): respawn budget,
+  /// heartbeat interval, stall timeout, backoff. See SupervisionConfig.
+  SupervisionConfig supervision;
 };
 
 class CampaignEngine {

@@ -48,6 +48,13 @@ struct ShardExecutionStats {
   SchedulerMode scheduler = SchedulerMode::kStatic;
   std::uint64_t steals_attempted = 0;  ///< claims that found the own deque empty
   std::uint64_t steals_completed = 0;  ///< whole VPs actually stolen
+  /// Supervision activity (multi-process backend only; all zero on a clean
+  /// run). Recovery re-executes shards byte-identically, so these are
+  /// report/log diagnostics, never part of the exported JSON.
+  std::uint64_t workers_lost = 0;       ///< death/stall/corruption events
+  std::uint64_t workers_respawned = 0;  ///< replacement processes brought up
+  std::uint64_t workers_degraded = 0;   ///< slots degraded to in-process
+  std::uint64_t shards_retried = 0;     ///< owned shards re-dispatched
   std::vector<sim::EventLoopStats> per_shard;
   /// One network-counter snapshot per executed shard (delivered/forwarded/
   /// drops by reason). Per-shard values are NOT layout-invariant — replica

@@ -49,12 +49,33 @@ Result<int> positive_int(const std::string& option, const std::string& text) {
   return static_cast<int>(value);
 }
 
+/// Like positive_int but admitting 0 (e.g. --worker-retries 0 = degrade on
+/// first loss, heartbeat 0 = stall detection off).
+Result<int> non_negative_int(const std::string& option, const std::string& text) {
+  long long value = 0;
+  if (!parse_int(text, value)) {
+    return bad(option + " expects an integer, got '" + text + "'");
+  }
+  if (value < 0) {
+    return bad(option + " must be >= 0, got " + text);
+  }
+  if (value > 1'000'000) {
+    return bad(option + " is implausibly large: " + text);
+  }
+  return static_cast<int>(value);
+}
+
 }  // namespace
 
 CliEnvironment CliEnvironment::from_process() {
   CliEnvironment env;
   if (const char* v = std::getenv("SHADOWPROBE_SHARDS")) env.shards = v;
   if (const char* v = std::getenv("SHADOWPROBE_SHARD_PROCS")) env.shard_procs = v;
+  if (const char* v = std::getenv("SHADOWPROBE_WORKER_RETRIES")) env.worker_retries = v;
+  if (const char* v = std::getenv("SHADOWPROBE_WORKER_HEARTBEAT_MS")) {
+    env.worker_heartbeat = v;
+  }
+  if (const char* v = std::getenv("SHADOWPROBE_WORKER_STALL_MS")) env.worker_stall = v;
   if (const char* v = std::getenv("SHADOWPROBE_SCHEDULER")) env.scheduler = v;
   if (const char* v = std::getenv("SHADOWPROBE_ANALYSIS_WORKERS")) {
     env.analysis_workers = v;
@@ -76,6 +97,22 @@ Result<CliOptions> parse_cli_options(const std::vector<std::string>& args,
     auto procs = positive_int("SHADOWPROBE_SHARD_PROCS", env.shard_procs);
     if (!procs.ok()) return procs.error();
     options.shard_procs = procs.value();
+  }
+  if (!env.worker_retries.empty()) {
+    auto retries = non_negative_int("SHADOWPROBE_WORKER_RETRIES", env.worker_retries);
+    if (!retries.ok()) return retries.error();
+    options.worker_retries = retries.value();
+  }
+  if (!env.worker_heartbeat.empty()) {
+    auto heartbeat =
+        non_negative_int("SHADOWPROBE_WORKER_HEARTBEAT_MS", env.worker_heartbeat);
+    if (!heartbeat.ok()) return heartbeat.error();
+    options.worker_heartbeat_ms = heartbeat.value();
+  }
+  if (!env.worker_stall.empty()) {
+    auto stall = positive_int("SHADOWPROBE_WORKER_STALL_MS", env.worker_stall);
+    if (!stall.ok()) return stall.error();
+    options.worker_stall_ms = stall.value();
   }
   if (!env.scheduler.empty()) {
     auto scheduler = parse_scheduler("SHADOWPROBE_SCHEDULER", env.scheduler);
@@ -132,6 +169,11 @@ Result<CliOptions> parse_cli_options(const std::vector<std::string>& args,
       auto procs = positive_int("--shard-procs", *v);
       if (!procs.ok()) return procs.error();
       options.shard_procs = procs.value();
+    } else if (arg == "--worker-retries") {
+      if (!next(v)) return bad("--worker-retries expects a value");
+      auto retries = non_negative_int("--worker-retries", *v);
+      if (!retries.ok()) return retries.error();
+      options.worker_retries = retries.value();
     } else if (arg == "--scheduler") {
       if (!next(v)) return bad("--scheduler expects static|steal");
       auto scheduler = parse_scheduler("--scheduler", *v);

@@ -22,6 +22,14 @@ struct CliOptions {
   int days = 25;
   int shards = 0;       // 0 = serial Campaign, >= 1 = CampaignEngine
   int shard_procs = 0;  // 0 = in-process threads, >= 1 = worker processes
+  /// Respawn budget per lost worker slot before degrading to in-process
+  /// execution (multi-process backend only). 0 = degrade on first loss.
+  int worker_retries = 2;
+  /// Worker heartbeat interval / stall timeout, in milliseconds. Env-only
+  /// knobs (SHADOWPROBE_WORKER_HEARTBEAT_MS / SHADOWPROBE_WORKER_STALL_MS);
+  /// heartbeat 0 disables stall detection.
+  int worker_heartbeat_ms = 200;
+  int worker_stall_ms = 30000;
   SchedulerMode scheduler = SchedulerMode::kSteal;
   int analysis_workers = 1;
   DnsDecoyTransport transport = DnsDecoyTransport::kPlain;
@@ -37,9 +45,12 @@ struct CliOptions {
 /// Empty string = unset. Consulted before the argument list, so explicit
 /// flags always win.
 struct CliEnvironment {
-  std::string shards;            // SHADOWPROBE_SHARDS
-  std::string shard_procs;       // SHADOWPROBE_SHARD_PROCS
-  std::string scheduler;         // SHADOWPROBE_SCHEDULER
+  std::string shards;             // SHADOWPROBE_SHARDS
+  std::string shard_procs;        // SHADOWPROBE_SHARD_PROCS
+  std::string worker_retries;     // SHADOWPROBE_WORKER_RETRIES
+  std::string worker_heartbeat;   // SHADOWPROBE_WORKER_HEARTBEAT_MS
+  std::string worker_stall;       // SHADOWPROBE_WORKER_STALL_MS
+  std::string scheduler;          // SHADOWPROBE_SCHEDULER
   std::string analysis_workers;  // SHADOWPROBE_ANALYSIS_WORKERS
   std::string fault_profile;     // SHADOWPROBE_FAULT_PROFILE
 

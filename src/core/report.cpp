@@ -124,6 +124,15 @@ void print_reports(const std::string& report, const CampaignResult& result,
                 static_cast<unsigned long long>(shard_stats.steals_attempted));
     std::printf("\n");
   }
+  if (shard_stats.workers_lost > 0) {
+    std::printf(
+        "  worker recovery: %llu worker(s) lost, %llu respawned, %llu degraded "
+        "in-process, %llu shard(s) re-dispatched (output unaffected)\n\n",
+        static_cast<unsigned long long>(shard_stats.workers_lost),
+        static_cast<unsigned long long>(shard_stats.workers_respawned),
+        static_cast<unsigned long long>(shard_stats.workers_degraded),
+        static_cast<unsigned long long>(shard_stats.shards_retried));
+  }
   if (result.coverage) {
     const CoverageStats& cov = *result.coverage;
     std::printf("fault profile: %s\n", result.config.faults.str().c_str());

@@ -1,5 +1,6 @@
 #include "core/shard_backend.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -19,6 +20,7 @@
 
 #include "common/log.h"
 #include "common/strutil.h"
+#include "core/shard_worker.h"
 
 namespace shadowprobe::core {
 
@@ -305,10 +307,16 @@ std::string resolve_worker_exe(std::string explicit_path) {
 MultiProcessBackend::MultiProcessBackend(const TestbedConfig& bed_config,
                                          const CampaignConfig& config, int shard_count,
                                          int proc_count, std::string worker_exe,
-                                         SchedulerMode scheduler)
+                                         SchedulerMode scheduler,
+                                         ShardRunner::Decorator decorate,
+                                         SupervisionConfig supervision)
     : shard_count_(shard_count),
       scheduler_(scheduler),
-      worker_exe_(resolve_worker_exe(std::move(worker_exe))) {
+      worker_exe_(resolve_worker_exe(std::move(worker_exe))),
+      bed_config_(bed_config),
+      config_(config),
+      decorate_(std::move(decorate)),
+      sup_(supervision) {
   if (::access(worker_exe_.c_str(), X_OK) != 0) {
     throw std::runtime_error("multiprocess backend: worker binary not executable: " +
                              worker_exe_);
@@ -316,35 +324,41 @@ MultiProcessBackend::MultiProcessBackend(const TestbedConfig& bed_config,
   int procs = std::clamp(proc_count, 1, shard_count);
   workers_.reserve(static_cast<std::size_t>(procs));
   try {
-    for (int p = 0; p < procs; ++p) spawn(p, procs, bed_config);
-    // Init goes out immediately so workers build their Worlds while the
-    // controller sets up its own context.
-    for (std::size_t p = 0; p < workers_.size(); ++p) {
-      wire::InitMsg init;
-      init.shard_count = static_cast<std::uint32_t>(shard_count_);
-      init.proc_index = static_cast<std::uint32_t>(p);
-      init.proc_count = static_cast<std::uint32_t>(workers_.size());
-      init.scheduler = scheduler_;
-      init.bed_config = bed_config;
-      init.config = config;
-      workers_[p].channel->send(wire::MsgType::kInit, 0, wire::encode_init(init));
+    for (int p = 0; p < procs; ++p) {
+      Worker worker;
+      worker.proc_index = p;
+      worker.respawns_left = std::max(0, sup_.worker_retries);
+      for (int s = p; s < shard_count_; s += procs) worker.owned.push_back(s);
+      workers_.push_back(std::move(worker));
+      spawn_process(workers_.back());
     }
   } catch (...) {
     shutdown();
     throw;
   }
+  // Init goes out immediately so workers build their Worlds while the
+  // controller sets up its own context. A worker already gone (it crashed
+  // the moment it started) is a supervision event, not a constructor
+  // failure.
+  for (Worker& worker : workers_) {
+    try {
+      send_init(worker);
+    } catch (const std::exception& e) {
+      lose_worker(worker, e.what());
+    }
+  }
 }
 
 MultiProcessBackend::~MultiProcessBackend() { shutdown(); }
 
-void MultiProcessBackend::spawn(int proc_index, int proc_count,
-                                const TestbedConfig& bed_config) {
-  (void)bed_config;
+void MultiProcessBackend::spawn_process(Worker& w) {
   int sv[2];
   if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
     throw std::runtime_error(std::string("multiprocess backend: socketpair failed: ") +
                              std::strerror(errno));
   }
+  // argv is assembled before fork: no allocation between fork and exec.
+  const std::string gen_arg = strprintf("%d", w.spawn_gen);
   pid_t pid = ::fork();
   if (pid < 0) {
     ::close(sv[0]);
@@ -359,8 +373,8 @@ void MultiProcessBackend::spawn(int proc_index, int proc_count,
     ::dup2(sv[1], STDOUT_FILENO);
     ::close(sv[0]);
     ::close(sv[1]);
-    ::execl(worker_exe_.c_str(), worker_exe_.c_str(), "--shard-worker",
-            static_cast<char*>(nullptr));
+    ::execl(worker_exe_.c_str(), worker_exe_.c_str(), "--shard-worker", "--spawn-gen",
+            gen_arg.c_str(), static_cast<char*>(nullptr));
     // exec only returns on failure; stdout is the wire now, so report on
     // stderr and die with the conventional exec-failure status.
     ::fprintf(stderr, "shard worker: exec %s failed: %s\n", worker_exe_.c_str(),
@@ -368,96 +382,392 @@ void MultiProcessBackend::spawn(int proc_index, int proc_count,
     ::_exit(127);
   }
   ::close(sv[1]);
-  Worker worker;
-  worker.pid = pid;
-  worker.fd = sv[0];
-  worker.channel = std::make_unique<wire::FrameChannel>(sv[0], sv[0]);
-  for (int s = proc_index; s < shard_count_; s += proc_count) worker.owned.push_back(s);
-  workers_.push_back(std::move(worker));
+  w.pid = pid;
+  w.fd = sv[0];
+  w.channel = std::make_unique<wire::FrameChannel>(sv[0], sv[0]);
+  w.degraded = false;
+  w.last_heard = std::chrono::steady_clock::now();
 }
 
-void MultiProcessBackend::broadcast(wire::MsgType type, BytesView payload) {
-  for (Worker& worker : workers_) {
-    try {
-      worker.channel->send(type, 0, payload);
-    } catch (const std::exception& e) {
-      fail_worker(worker, e.what());
-    }
+void MultiProcessBackend::spawn_degraded(Worker& w) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    fatal(std::string("degraded worker socketpair failed: ") + std::strerror(errno));
   }
+  w.pid = -1;
+  w.fd = sv[0];
+  w.channel = std::make_unique<wire::FrameChannel>(sv[0], sv[0]);
+  w.degraded = true;
+  w.last_heard = std::chrono::steady_clock::now();
+  const int child_fd = sv[1];
+  ShardWorkerOptions options;
+  // Never re-arm the test fault that exhausted the budget, and reuse the
+  // controller's World when it shared one.
+  options.enable_test_faults = false;
+  options.spawn_gen = w.spawn_gen;
+  options.world = fallback_world_;
+  w.thread = std::thread([child_fd, options, decorate = decorate_] {
+    run_shard_worker(child_fd, child_fd, decorate, options);
+    ::close(child_fd);
+  });
 }
 
-void MultiProcessBackend::fail_worker(Worker& worker, const std::string& what) {
-  // Reap (or kill-then-reap) the child so the error message can include its
-  // exit status — and so a wedged worker cannot outlive the failure.
+void MultiProcessBackend::send_init(Worker& w) {
+  wire::InitMsg init;
+  init.shard_count = static_cast<std::uint32_t>(shard_count_);
+  init.proc_index = static_cast<std::uint32_t>(w.proc_index);
+  init.proc_count = static_cast<std::uint32_t>(workers_.size());
+  init.scheduler = scheduler_;
+  init.heartbeat_ms = static_cast<std::uint32_t>(std::max(0, sup_.heartbeat_ms));
+  init.bed_config = bed_config_;
+  init.config = config_;
+  w.channel->send(wire::MsgType::kInit, 0, wire::encode_init(init));
+}
+
+std::string MultiProcessBackend::reap(Worker& w) noexcept {
+  if (w.fd >= 0) {
+    ::close(w.fd);
+    w.fd = -1;
+  }
+  w.channel.reset();
+  if (w.thread.joinable()) {
+    // Degraded worker: closing our channel end gave it EOF; it returns.
+    w.thread.join();
+    return "degraded thread joined";
+  }
+  if (w.pid < 0) return "no process";
   int status = 0;
-  std::string exit_desc = "still running";
-  pid_t reaped = ::waitpid(worker.pid, &status, WNOHANG);
+  std::string exit_desc = "reaped";
+  pid_t reaped = ::waitpid(w.pid, &status, WNOHANG);
   if (reaped == 0) {
-    ::kill(worker.pid, SIGKILL);
-    reaped = ::waitpid(worker.pid, &status, 0);
-    exit_desc = "killed after protocol failure";
+    // Still running (stalled, or healthy-but-corrupt): force it down.
+    ::kill(w.pid, SIGKILL);
+    reaped = ::waitpid(w.pid, &status, 0);
+    exit_desc = "killed by supervisor";
   }
-  if (reaped == worker.pid) {
+  if (reaped == w.pid) {
     if (WIFEXITED(status)) {
       exit_desc = strprintf("exit status %d", WEXITSTATUS(status));
     } else if (WIFSIGNALED(status)) {
       exit_desc = strprintf("killed by signal %d", WTERMSIG(status));
     }
   }
-  pid_t pid = worker.pid;
-  worker.pid = -1;  // already reaped; shutdown() must not wait again
-  // One worker failing fails the campaign, so reap the *other* children and
-  // close every socketpair end before surfacing the error — the caller gets
-  // a clean process table (no zombies) and no leaked descriptors, whether or
-  // not the backend is destroyed afterwards.
-  shutdown();
-  throw std::runtime_error(strprintf("shard worker (pid %d, %s): %s",
-                                     static_cast<int>(pid), exit_desc.c_str(),
-                                     what.c_str()));
+  w.pid = -1;
+  return exit_desc;
 }
 
-wire::Frame MultiProcessBackend::expect(Worker& worker, wire::MsgType expected) {
-  auto frame = worker.channel->recv();
-  if (!frame.ok()) fail_worker(worker, frame.error().message);
-  if (frame.value().type != expected) {
-    fail_worker(worker, strprintf("unexpected message type %d (wanted %d)",
-                                  static_cast<int>(frame.value().type),
-                                  static_cast<int>(expected)));
+void MultiProcessBackend::lose_worker(Worker& w, const std::string& why) {
+  const bool was_degraded = w.degraded;
+  const pid_t pid = w.pid;
+  const std::string exit_desc = reap(w);
+  if (was_degraded) {
+    // The in-process fallback executes the same code as InProcessBackend;
+    // its failure is a campaign bug, not an environment hazard. No further
+    // rung on the ladder.
+    fatal(strprintf("degraded worker %d failed: %s", w.proc_index, why.c_str()));
   }
-  return std::move(frame).take();
+  ++sup_stats_.workers_lost;
+  sup_stats_.shards_retried += w.owned.size();
+  SP_LOG_WARN(strprintf("supervisor: lost worker %d (pid %d, %s): %s — %zu shard(s) to "
+                        "re-dispatch, %d respawn(s) left",
+                        w.proc_index, static_cast<int>(pid), exit_desc.c_str(),
+                        why.c_str(), w.owned.size(), w.respawns_left));
+  bool respawned = false;
+  while (w.respawns_left > 0 && !respawned) {
+    const int attempt = std::max(0, sup_.worker_retries) - w.respawns_left;
+    --w.respawns_left;
+    const int backoff =
+        std::min(2000, std::max(1, sup_.backoff_base_ms) << std::min(attempt, 10));
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    ++w.spawn_gen;
+    try {
+      spawn_process(w);
+      respawned = true;
+      ++sup_stats_.workers_respawned;
+      SP_LOG_INFO(strprintf("supervisor: respawned worker %d (pid %d, generation %d)",
+                            w.proc_index, static_cast<int>(w.pid), w.spawn_gen));
+    } catch (const std::exception& e) {
+      SP_LOG_WARN(strprintf("supervisor: respawn of worker %d failed: %s", w.proc_index,
+                            e.what()));
+    }
+  }
+  if (!respawned) {
+    ++w.spawn_gen;
+    spawn_degraded(w);
+    ++sup_stats_.workers_degraded;
+    SP_LOG_WARN(strprintf("supervisor: worker %d degraded to in-process execution "
+                          "(respawn budget exhausted)",
+                          w.proc_index));
+  }
+  replay(w);
+}
+
+wire::Frame MultiProcessBackend::await_frame(Worker& w, wire::MsgType type,
+                                             std::uint32_t shard_id) {
+  const int timeout = sup_.heartbeat_ms > 0 ? sup_.stall_timeout_ms : -1;
+  for (;;) {
+    auto frame = w.channel->recv(timeout);
+    if (!frame.ok()) throw std::runtime_error(frame.error().message);
+    w.last_heard = std::chrono::steady_clock::now();
+    if (frame.value().type == wire::MsgType::kHeartbeat) {
+      auto hb = wire::decode_heartbeat(frame.value().payload);
+      if (!hb.ok()) throw std::runtime_error(hb.error().message);
+      if (hb.value().proc_index != static_cast<std::uint32_t>(w.proc_index)) {
+        throw std::runtime_error("heartbeat from wrong proc index");
+      }
+      continue;
+    }
+    if (frame.value().type != type || frame.value().shard_id != shard_id) {
+      throw std::runtime_error(strprintf(
+          "unexpected message (type %d shard %u, wanted type %d shard %u)",
+          static_cast<int>(frame.value().type), frame.value().shard_id,
+          static_cast<int>(type), shard_id));
+    }
+    return std::move(frame).take();
+  }
+}
+
+void MultiProcessBackend::record_result(Worker& w, const wire::Frame& frame, bool record) {
+  switch (frame.type) {
+    case wire::MsgType::kScreeningVerdicts: {
+      auto msg = wire::decode_verdicts(frame.payload);
+      if (!msg.ok()) throw std::runtime_error(msg.error().message);
+      if (record) {
+        verdict_msgs_[static_cast<std::size_t>(w.proc_index)] = std::move(msg).take();
+        verdict_filled_[static_cast<std::size_t>(w.proc_index)] = true;
+      }
+      return;
+    }
+    case wire::MsgType::kBarrierShard: {
+      auto msg = wire::decode_barrier(frame.payload);
+      if (!msg.ok()) throw std::runtime_error(msg.error().message);
+      if (record) barrier_msgs_[frame.shard_id] = std::move(msg).take();
+      return;
+    }
+    case wire::MsgType::kFinalShard: {
+      auto msg = wire::decode_final(frame.payload);
+      if (!msg.ok()) throw std::runtime_error(msg.error().message);
+      if (record) final_msgs_[frame.shard_id] = std::move(msg).take();
+      return;
+    }
+    default:
+      throw std::runtime_error(strprintf("unexpected result message type %d",
+                                         static_cast<int>(frame.type)));
+  }
+}
+
+void MultiProcessBackend::replay(Worker& w) {
+  w.script.clear();
+  try {
+    send_init(w);
+    // The replacement re-executes every issued phase in order — shard state
+    // is cumulative, so there is no shortcut to the in-flight phase. Each
+    // command is sent and its results consumed *synchronously*: queueing all
+    // commands at once could deadlock both ends on full socket buffers.
+    // Results for phases the controller already merged are validated and
+    // dropped; re-execution is byte-identical (plan-preassigned ids,
+    // entity-keyed RNG), so recording the in-flight phase wholesale recovers
+    // exactly the lost worker's contribution.
+    if (screening_sent_) {
+      w.channel->send(wire::MsgType::kRunScreening, 0, {});
+      wire::Frame frame = await_frame(w, wire::MsgType::kScreeningVerdicts, 0);
+      record_result(w, frame, current_ == Phase::kScreening);
+    }
+    if (phase1_sent_) {
+      w.channel->send(wire::MsgType::kPhase1, 0, phase1_payload_);
+      for (int shard : w.owned) {
+        wire::Frame frame = await_frame(w, wire::MsgType::kBarrierShard,
+                                        static_cast<std::uint32_t>(shard));
+        record_result(w, frame, current_ == Phase::kPhase1);
+      }
+    }
+    if (phase2_sent_) {
+      w.channel->send(wire::MsgType::kPhase2, 0, phase2_payload_);
+      for (int shard : w.owned) {
+        wire::Frame frame = await_frame(w, wire::MsgType::kFinalShard,
+                                        static_cast<std::uint32_t>(shard));
+        record_result(w, frame, current_ == Phase::kPhase2);
+      }
+    }
+  } catch (const std::exception& e) {
+    // The replacement failed too; burn another retry (bounded by the
+    // budget, then the degraded rung, then fatal).
+    lose_worker(w, e.what());
+  }
+}
+
+void MultiProcessBackend::dispatch(wire::MsgType type, BytesView payload) {
+  for (Worker& worker : workers_) {
+    try {
+      worker.channel->send(type, 0, payload);
+    } catch (const std::exception& e) {
+      // EPIPE to a dead child (or any send failure): lose_worker replays the
+      // whole history including this phase, so no expectations are queued.
+      lose_worker(worker, e.what());
+      continue;
+    }
+    switch (current_) {
+      case Phase::kScreening:
+        worker.script.push_back({wire::MsgType::kScreeningVerdicts, 0, true});
+        break;
+      case Phase::kPhase1:
+        for (int shard : worker.owned) {
+          worker.script.push_back(
+              {wire::MsgType::kBarrierShard, static_cast<std::uint32_t>(shard), true});
+        }
+        break;
+      case Phase::kPhase2:
+        for (int shard : worker.owned) {
+          worker.script.push_back(
+              {wire::MsgType::kFinalShard, static_cast<std::uint32_t>(shard), true});
+        }
+        break;
+      case Phase::kIdle:
+        break;
+    }
+  }
+}
+
+void MultiProcessBackend::consume_expected(Worker& w, const wire::Frame& frame) {
+  if (frame.type == wire::MsgType::kHeartbeat) {
+    auto hb = wire::decode_heartbeat(frame.payload);
+    if (!hb.ok()) throw std::runtime_error(hb.error().message);
+    if (hb.value().proc_index != static_cast<std::uint32_t>(w.proc_index)) {
+      throw std::runtime_error("heartbeat from wrong proc index");
+    }
+    return;
+  }
+  if (w.script.empty()) {
+    throw std::runtime_error(strprintf("unsolicited message type %d",
+                                       static_cast<int>(frame.type)));
+  }
+  const Expect want = w.script.front();
+  if (frame.type != want.type || frame.shard_id != want.shard_id) {
+    throw std::runtime_error(strprintf(
+        "unexpected message (type %d shard %u, wanted type %d shard %u)",
+        static_cast<int>(frame.type), frame.shard_id, static_cast<int>(want.type),
+        want.shard_id));
+  }
+  record_result(w, frame, want.record);
+  w.script.pop_front();
+}
+
+void MultiProcessBackend::collect() {
+  const bool stall_detection = sup_.heartbeat_ms > 0;
+  const auto stall_after = std::chrono::milliseconds(std::max(1, sup_.stall_timeout_ms));
+  for (;;) {
+    std::vector<struct pollfd> pfds;
+    std::vector<std::size_t> slots;
+    for (std::size_t p = 0; p < workers_.size(); ++p) {
+      if (workers_[p].script.empty()) continue;
+      pfds.push_back({workers_[p].fd, POLLIN, 0});
+      slots.push_back(p);
+    }
+    if (pfds.empty()) return;
+    int timeout = -1;
+    const auto now = std::chrono::steady_clock::now();
+    if (stall_detection) {
+      auto nearest = stall_after;
+      for (std::size_t p : slots) {
+        const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+            now - workers_[p].last_heard);
+        nearest = std::min(nearest, stall_after - std::min(elapsed, stall_after));
+      }
+      timeout = std::max<int>(10, static_cast<int>(nearest.count()));
+    }
+    const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fatal(std::string("supervisor poll failed: ") + std::strerror(errno));
+    }
+    bool lost_one = false;
+    for (std::size_t i = 0; i < pfds.size() && !lost_one; ++i) {
+      Worker& w = workers_[slots[i]];
+      if ((pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      // Readable: one bounded recv. The timeout guards the frame's *tail* —
+      // a peer that stops writing mid-frame is a stall, not a hang.
+      auto frame = w.channel->recv(stall_detection ? sup_.stall_timeout_ms : -1);
+      if (!frame.ok()) {
+        // Death (EOF), corruption (CRC/framing), or a mid-frame stall: all
+        // recovered the same way. lose_worker rebuilds the slot and empties
+        // its script, so restart the poll set from scratch.
+        lose_worker(w, frame.error().message);
+        lost_one = true;
+        break;
+      }
+      w.last_heard = std::chrono::steady_clock::now();
+      try {
+        consume_expected(w, frame.value());
+      } catch (const std::exception& e) {
+        lose_worker(w, e.what());
+        lost_one = true;
+      }
+    }
+    if (lost_one || !stall_detection) continue;
+    // Anyone silent past the stall budget — and not merely waiting behind a
+    // busy controller (their fd would be readable with queued heartbeats) —
+    // is wedged.
+    const auto after = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < pfds.size(); ++i) {
+      Worker& w = workers_[slots[i]];
+      if (w.script.empty()) continue;
+      if ((pfds[i].revents & (POLLIN | POLLERR | POLLHUP)) != 0) continue;
+      if (after - w.last_heard >= stall_after) {
+        lose_worker(w, strprintf("stalled (no heartbeat for %d ms)",
+                                 sup_.stall_timeout_ms));
+        break;  // poll set changed; rebuild
+      }
+    }
+  }
+}
+
+void MultiProcessBackend::fatal(const std::string& what) {
+  // Reap every child and close every socketpair end before surfacing the
+  // error — the caller gets a clean process table (no zombies) and no
+  // leaked descriptors, whether or not the backend is destroyed afterwards.
+  shutdown();
+  throw std::runtime_error("multiprocess backend: " + what);
 }
 
 ShardScreening MultiProcessBackend::run_screening(std::size_t vp_count) {
-  broadcast(wire::MsgType::kRunScreening, {});
+  current_ = Phase::kScreening;
+  screening_sent_ = true;
+  verdict_msgs_.assign(workers_.size(), {});
+  verdict_filled_.assign(workers_.size(), false);
+  dispatch(wire::MsgType::kRunScreening, {});
+  collect();
   ShardScreening out;
   out.verdicts.assign(vp_count, ScreeningVerdict::kUsable);
   std::vector<bool> filled(vp_count, false);
   bool have_clock = false;
-  for (Worker& worker : workers_) {
-    wire::Frame frame = expect(worker, wire::MsgType::kScreeningVerdicts);
-    auto msg = wire::decode_verdicts(frame.payload);
-    if (!msg.ok()) fail_worker(worker, msg.error().message);
-    if (!have_clock) {
-      out.clock = msg.value().clock;
-      have_clock = true;
-    } else if (out.clock != msg.value().clock) {
-      fail_worker(worker, strprintf("post-screening clock skew (%lld vs %lld)",
-                                    static_cast<long long>(msg.value().clock),
-                                    static_cast<long long>(out.clock)));
+  for (std::size_t p = 0; p < workers_.size(); ++p) {
+    if (!verdict_filled_[p]) {
+      fatal(strprintf("no screening verdicts recorded for worker %zu", p));
     }
-    for (const auto& [vp, verdict] : msg.value().verdicts) {
-      if (vp >= vp_count) fail_worker(worker, "verdict for out-of-range VP");
-      if (filled[vp]) fail_worker(worker, "duplicate verdict for a VP");
+    const wire::VerdictsMsg& msg = verdict_msgs_[p];
+    // Cross-worker inconsistencies survive any number of retries (the
+    // re-execution is deterministic), so they stay fatal.
+    if (!have_clock) {
+      out.clock = msg.clock;
+      have_clock = true;
+    } else if (out.clock != msg.clock) {
+      fatal(strprintf("post-screening clock skew (%lld vs %lld)",
+                      static_cast<long long>(msg.clock),
+                      static_cast<long long>(out.clock)));
+    }
+    for (const auto& [vp, verdict] : msg.verdicts) {
+      if (vp >= vp_count) fatal("verdict for out-of-range VP");
+      if (filled[vp]) fatal("duplicate verdict for a VP");
       filled[vp] = true;
       out.verdicts[vp] = verdict;
     }
   }
   for (std::size_t i = 0; i < vp_count; ++i) {
     if (!filled[i]) {
-      throw std::runtime_error(
-          strprintf("multiprocess screening: no worker reported a verdict for VP %zu", i));
+      fatal(strprintf("screening: no worker reported a verdict for VP %zu", i));
     }
   }
+  current_ = Phase::kIdle;
   return out;
 }
 
@@ -478,37 +788,31 @@ std::vector<ShardBarrier> MultiProcessBackend::run_phase1(const CampaignPlan& pl
   wire::encode_plan(w, plan);
   wire::put_time(w, barrier);
   wire::put_u32_list(w, phase_deal(plan, 0, plan.phase1_count()));
-  broadcast(wire::MsgType::kPhase1, std::move(w).take());
+  // The exact payload is kept: a replacement worker must replay the same
+  // plan/deal bytes or its re-execution would diverge.
+  phase1_payload_ = std::move(w).take();
+  current_ = Phase::kPhase1;
+  phase1_sent_ = true;
+  barrier_msgs_.assign(static_cast<std::size_t>(shard_count_), {});
+  dispatch(wire::MsgType::kPhase1, phase1_payload_);
+  collect();
 
-  ledgers_.assign(static_cast<std::size_t>(shard_count_), DecoyLedger{});
-  hits_.assign(static_cast<std::size_t>(shard_count_), {});
   std::vector<ShardBarrier> out(static_cast<std::size_t>(shard_count_));
   carries_.clear();
-  for (Worker& worker : workers_) {
-    for (int shard : worker.owned) {
-      wire::Frame frame = expect(worker, wire::MsgType::kBarrierShard);
-      if (frame.shard_id != static_cast<std::uint32_t>(shard)) {
-        fail_worker(worker, strprintf("barrier results for shard %u out of order "
-                                      "(expected shard %d)",
-                                      frame.shard_id, shard));
-      }
-      auto msg = wire::decode_barrier(frame.payload);
-      if (!msg.ok()) fail_worker(worker, msg.error().message);
-      auto& slot = out[static_cast<std::size_t>(shard)];
-      ledgers_[static_cast<std::size_t>(shard)] = std::move(msg.value().ledger);
-      hits_[static_cast<std::size_t>(shard)] = std::move(msg.value().hits);
-      slot.ledger = &ledgers_[static_cast<std::size_t>(shard)];
-      slot.hits = &hits_[static_cast<std::size_t>(shard)];
-      slot.replicated = std::move(msg.value().replicated);
-      slot.quarantined.assign(msg.value().quarantined.begin(),
-                              msg.value().quarantined.end());
-      slot.cancelled = std::move(msg.value().cancelled);
-      // Each VP was executed by exactly one shard, so concatenating the
-      // per-shard carry lists yields one carry per executed VP.
-      carries_.insert(carries_.end(), msg.value().carries.begin(),
-                      msg.value().carries.end());
-    }
+  for (std::size_t shard = 0; shard < barrier_msgs_.size(); ++shard) {
+    wire::BarrierMsg& msg = barrier_msgs_[shard];
+    auto& slot = out[shard];
+    slot.ledger = &msg.ledger;
+    slot.hits = &msg.hits;
+    slot.replicated = std::move(msg.replicated);
+    slot.quarantined.assign(msg.quarantined.begin(), msg.quarantined.end());
+    slot.cancelled = std::move(msg.cancelled);
+    // Each VP was executed by exactly one shard, so concatenating the
+    // per-shard carry lists (in shard order — deterministic regardless of
+    // worker layout or recovery history) yields one carry per executed VP.
+    carries_.insert(carries_.end(), msg.carries.begin(), msg.carries.end());
   }
+  current_ = Phase::kIdle;
   return out;
 }
 
@@ -524,37 +828,30 @@ std::vector<ShardFinal> MultiProcessBackend::run_phase2(const CampaignPlan& plan
   wire::put_time(w, end);
   wire::put_u32_list(w, phase_deal(plan, schedule_from, plan.emissions().size()));
   wire::put_carries(w, carries_);
-  broadcast(wire::MsgType::kPhase2, std::move(w).take());
+  phase2_payload_ = std::move(w).take();
+  current_ = Phase::kPhase2;
+  phase2_sent_ = true;
+  final_msgs_.assign(static_cast<std::size_t>(shard_count_), {});
+  dispatch(wire::MsgType::kPhase2, phase2_payload_);
+  collect();
 
-  ledgers_.assign(static_cast<std::size_t>(shard_count_), DecoyLedger{});
-  hits_.assign(static_cast<std::size_t>(shard_count_), {});
   std::vector<ShardFinal> out(static_cast<std::size_t>(shard_count_));
   events_processed_ = 0;
-  for (Worker& worker : workers_) {
-    for (int shard : worker.owned) {
-      wire::Frame frame = expect(worker, wire::MsgType::kFinalShard);
-      if (frame.shard_id != static_cast<std::uint32_t>(shard)) {
-        fail_worker(worker, strprintf("final results for shard %u out of order "
-                                      "(expected shard %d)",
-                                      frame.shard_id, shard));
-      }
-      auto msg = wire::decode_final(frame.payload);
-      if (!msg.ok()) fail_worker(worker, msg.error().message);
-      auto& slot = out[static_cast<std::size_t>(shard)];
-      ledgers_[static_cast<std::size_t>(shard)] = std::move(msg.value().ledger);
-      hits_[static_cast<std::size_t>(shard)] = std::move(msg.value().hits);
-      slot.ledger = &ledgers_[static_cast<std::size_t>(shard)];
-      slot.hits = &hits_[static_cast<std::size_t>(shard)];
-      slot.replicated = std::move(msg.value().replicated);
-      slot.hops = std::move(msg.value().hops);
-      slot.stats = msg.value().stats;
-      slot.net = std::move(msg.value().net);
-      slot.coverage = std::move(msg.value().coverage);
-      slot.steals_attempted = msg.value().steals_attempted;
-      slot.steals_completed = msg.value().steals_completed;
-      events_processed_ += slot.stats.processed;
-    }
+  for (std::size_t shard = 0; shard < final_msgs_.size(); ++shard) {
+    wire::FinalMsg& msg = final_msgs_[shard];
+    auto& slot = out[shard];
+    slot.ledger = &msg.ledger;
+    slot.hits = &msg.hits;
+    slot.replicated = std::move(msg.replicated);
+    slot.hops = std::move(msg.hops);
+    slot.stats = msg.stats;
+    slot.net = std::move(msg.net);
+    slot.coverage = std::move(msg.coverage);
+    slot.steals_attempted = msg.steals_attempted;
+    slot.steals_completed = msg.steals_completed;
+    events_processed_ += slot.stats.processed;
   }
+  current_ = Phase::kIdle;
   return out;
 }
 
@@ -568,6 +865,10 @@ void MultiProcessBackend::shutdown() noexcept {
       worker.fd = -1;
       worker.channel.reset();
     }
+  }
+  // Degraded in-process workers exit their loop on that same EOF.
+  for (Worker& worker : workers_) {
+    if (worker.thread.joinable()) worker.thread.join();
   }
   for (Worker& worker : workers_) {
     if (worker.pid < 0) continue;

@@ -23,10 +23,15 @@
 // valid until the next phase call on the backend (or its destruction).
 #pragma once
 
+#include <sys/types.h>
+
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -75,11 +80,39 @@ struct ShardFinal {
   std::uint64_t steals_completed = 0;
 };
 
+/// Supervision knobs for out-of-process execution (ignored in-process).
+struct SupervisionConfig {
+  /// Respawn budget per worker slot before degrading to in-process
+  /// execution. 0 = never respawn (degrade on first loss).
+  int worker_retries = 2;
+  /// Interval at which workers pulse kHeartbeat while computing. 0 disables
+  /// the pulse AND stall detection (a wedged worker then hangs the
+  /// controller, as before supervision).
+  int heartbeat_ms = 200;
+  /// Silence (no frame, no heartbeat) after which a worker counts as
+  /// stalled. Must comfortably exceed heartbeat_ms.
+  int stall_timeout_ms = 30000;
+  /// First respawn backoff; doubles per retry of the same slot (capped).
+  int backoff_base_ms = 50;
+};
+
+/// What the supervisor had to do during a campaign. All zero on a clean run
+/// (and always for InProcessBackend). Report-only — never exported JSON.
+struct SupervisionStats {
+  std::uint64_t workers_lost = 0;       ///< death + stall + corruption events
+  std::uint64_t workers_respawned = 0;  ///< replacement processes that came up
+  std::uint64_t workers_degraded = 0;   ///< slots that fell back in-process
+  std::uint64_t shards_retried = 0;     ///< owned shards re-dispatched
+};
+
 class ShardBackend {
  public:
   virtual ~ShardBackend() = default;
 
   [[nodiscard]] virtual int shard_count() const noexcept = 0;
+
+  /// Recovery activity, if this backend supervises workers.
+  [[nodiscard]] virtual SupervisionStats supervision_stats() const { return {}; }
 
   /// A Testbed usable as the engine's primary context (geo database,
   /// signatures, blocklist, topology storage for pointer rebinds), or
@@ -166,21 +199,51 @@ class InProcessBackend final : public ShardBackend {
 /// over the core/wire framed protocol. Shard s is owned by worker
 /// s % proc_count; workers build their substrates from the serialized
 /// configs, so nothing but wire frames crosses the process boundary.
+///
+/// Supervision: the controller collects phase results through a poll loop
+/// that watches every pending worker at once. A worker that dies (EOF +
+/// waitpid), stalls (heartbeat silence past the timeout), or corrupts the
+/// stream (CRC/framing/decode failure) is *lost*, not fatal: the supervisor
+/// reaps it and re-dispatches its owned shards — first to a respawned
+/// replacement (exponential backoff, bounded by SupervisionConfig
+/// worker_retries), then, budget exhausted, to an in-process degraded
+/// worker thread speaking the same protocol. A replacement is caught up by
+/// replaying the Init and every phase command issued so far; results for
+/// already-merged phases are validated and discarded, results for the
+/// in-flight phase replace the lost worker's. Because all identifiers are
+/// plan-preassigned and RNG draws entity-keyed, the re-executed shards are
+/// byte-identical to what the lost worker would have produced — recovery
+/// never changes the exported JSON. Only cross-worker inconsistencies the
+/// retry cannot fix (clock skew, duplicate/missing verdicts) and the
+/// failure of a degraded worker remain fatal.
 class MultiProcessBackend final : public ShardBackend {
  public:
   /// Spawns the workers immediately (they build their Worlds concurrently
   /// with whatever the caller does next). `proc_count` is clamped to
   /// [1, shard_count]. `worker_exe` resolves the worker binary: explicit
   /// path, else $SHADOWPROBE_WORKER_BIN, else /proc/self/exe.
-  /// Throws std::runtime_error when a worker cannot be spawned.
+  /// `decorate` must match the campaign's decorator — degraded in-process
+  /// workers replay the deployment with it. Throws std::runtime_error when
+  /// the worker binary cannot be resolved or the initial spawn fails
+  /// outright (fork/socketpair exhaustion).
   MultiProcessBackend(const TestbedConfig& bed_config, const CampaignConfig& config,
                       int shard_count, int proc_count, std::string worker_exe = {},
-                      SchedulerMode scheduler = SchedulerMode::kSteal);
+                      SchedulerMode scheduler = SchedulerMode::kSteal,
+                      ShardRunner::Decorator decorate = {},
+                      SupervisionConfig supervision = {});
   ~MultiProcessBackend() override;
 
   [[nodiscard]] int shard_count() const noexcept override { return shard_count_; }
   [[nodiscard]] int proc_count() const noexcept {
     return static_cast<int>(workers_.size());
+  }
+  [[nodiscard]] SupervisionStats supervision_stats() const override { return sup_stats_; }
+
+  /// Prebuilt World for degraded in-process workers to instantiate against
+  /// (saves a rebuild; the engine shares its own). Optional — without it a
+  /// degraded worker builds a private World from the serialized config.
+  void set_fallback_world(std::shared_ptr<const World> world) {
+    fallback_world_ = std::move(world);
   }
 
   ShardScreening run_screening(std::size_t vp_count) override;
@@ -190,24 +253,69 @@ class MultiProcessBackend final : public ShardBackend {
   [[nodiscard]] std::uint64_t events_processed() override;
 
  private:
+  /// One result frame the collector still owes a worker. `record` is false
+  /// while a replacement replays an already-merged phase.
+  struct Expect {
+    wire::MsgType type;
+    std::uint32_t shard_id;
+    bool record;
+  };
+
+  /// A worker *slot*: the slot (its proc_index and owned shards) is
+  /// permanent, the process behind it is replaceable.
   struct Worker {
+    int proc_index = 0;
     pid_t pid = -1;
     int fd = -1;  ///< our socketpair end (worker's stdin+stdout)
     std::unique_ptr<wire::FrameChannel> channel;
     std::vector<int> owned;  ///< shard indices, ascending
+    int spawn_gen = 0;       ///< incarnation counter (0 = original spawn)
+    int respawns_left = 0;
+    bool degraded = false;   ///< running as an in-process thread
+    std::thread thread;      ///< the degraded worker, when degraded
+    std::deque<Expect> script;
+    std::chrono::steady_clock::time_point last_heard;
   };
 
-  void spawn(int proc_index, int proc_count, const TestbedConfig& bed_config);
-  /// Broadcasts one frame to every worker.
-  void broadcast(wire::MsgType type, BytesView payload);
-  /// Receives the next frame from `worker`, requiring `expected`; on EOF or
-  /// corruption reaps the child and throws a std::runtime_error naming the
-  /// worker, its exit status, and the wire error — the no-hang guarantee.
-  wire::Frame expect(Worker& worker, wire::MsgType expected);
-  /// Reaps `worker` for the error message, then tears down *every* worker
-  /// (closing fds and reaping children) before throwing, so a failed
-  /// campaign leaves no zombies or leaked descriptors behind.
-  [[noreturn]] void fail_worker(Worker& worker, const std::string& what);
+  /// Which phase commands have been issued (drives replacement replay).
+  enum class Phase { kIdle, kScreening, kPhase1, kPhase2 };
+
+  /// Forks/execs a fresh process into `w` (throws on failure).
+  void spawn_process(Worker& w);
+  /// Replaces `w` with an in-process worker thread over a socketpair.
+  void spawn_degraded(Worker& w);
+  void send_init(Worker& w);
+  /// Sends the current phase command to every worker and fills its script.
+  /// A send failure is a lost worker, not an error.
+  void dispatch(wire::MsgType type, BytesView payload);
+  /// Poll loop draining every worker's script; detects death, stalls, and
+  /// corruption, recovering via lose_worker. Returns when all scripts empty.
+  void collect();
+  /// Decodes `frame` against the worker's script front; records per-phase
+  /// storage when the expectation says so. Throws on any mismatch/decode
+  /// failure (the caller loses the worker).
+  void consume_expected(Worker& w, const wire::Frame& frame);
+  /// Decodes + (optionally) records one result frame. Throws on failure.
+  void record_result(Worker& w, const wire::Frame& frame, bool record);
+  /// The recovery pivot: reaps the dead/stalled/corrupt process, then
+  /// respawns (with backoff, bounded) or degrades, and synchronously
+  /// catches the replacement up through every phase issued so far. On
+  /// return the slot is live again with an empty script. Throws only when
+  /// recovery itself is impossible (a degraded worker failed).
+  void lose_worker(Worker& w, const std::string& why);
+  /// Closes the channel and reaps the process (or joins the thread) behind
+  /// `w`, returning a human-readable exit description.
+  std::string reap(Worker& w) noexcept;
+  /// Replays Init + issued phase commands to a fresh incarnation of `w`,
+  /// consuming its result frames as they come (discarding merged phases,
+  /// recording the in-flight one). Failure loses the worker again.
+  void replay(Worker& w);
+  /// Waits (bounded by the stall timeout when heartbeats are on) for the
+  /// next non-heartbeat frame from `w`, requiring `type`/`shard_id`.
+  wire::Frame await_frame(Worker& w, wire::MsgType type, std::uint32_t shard_id);
+  /// Unrecoverable cross-worker inconsistency: tears everything down
+  /// (no zombies, no leaked fds) and throws.
+  [[noreturn]] void fatal(const std::string& what);
   void shutdown() noexcept;
   /// The stealing scheduler's cross-process rebalance: a weight-balanced
   /// vp->shard deal over the phase's emissions (empty under kStatic, which
@@ -219,15 +327,33 @@ class MultiProcessBackend final : public ShardBackend {
   int shard_count_ = 1;
   SchedulerMode scheduler_ = SchedulerMode::kSteal;
   std::string worker_exe_;
+  // Kept for replacement replay: a respawned worker needs the same Init.
+  TestbedConfig bed_config_;
+  CampaignConfig config_;
+  ShardRunner::Decorator decorate_;
+  SupervisionConfig sup_;
+  SupervisionStats sup_stats_;
+  std::shared_ptr<const World> fallback_world_;
   std::vector<Worker> workers_;
   std::uint64_t events_processed_ = 0;
   /// Carries collected at the Phase-II barrier, broadcast with Phase2Msg.
   std::vector<VpCarry> carries_;
 
-  // Decoded storage backing the pointers handed out in phase results;
-  // indexed by shard, replaced wholesale at each collection.
-  std::vector<DecoyLedger> ledgers_;
-  std::vector<std::vector<HoneypotHit>> hits_;
+  // Replay state: which commands have been issued, and their exact payloads.
+  Phase current_ = Phase::kIdle;
+  bool screening_sent_ = false;
+  bool phase1_sent_ = false;
+  bool phase2_sent_ = false;
+  Bytes phase1_payload_;
+  Bytes phase2_payload_;
+
+  // Decoded per-phase storage backing the pointers handed out in phase
+  // results; replaced wholesale at each phase (and per-slot when a
+  // replacement re-reports the in-flight phase).
+  std::vector<wire::VerdictsMsg> verdict_msgs_;  ///< by worker slot
+  std::vector<bool> verdict_filled_;             ///< by worker slot
+  std::vector<wire::BarrierMsg> barrier_msgs_;   ///< by shard
+  std::vector<wire::FinalMsg> final_msgs_;       ///< by shard
 };
 
 }  // namespace shadowprobe::core

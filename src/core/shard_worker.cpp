@@ -3,11 +3,16 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -19,6 +24,135 @@
 namespace shadowprobe::core {
 
 namespace {
+
+// -- deterministic fault harness --------------------------------------------
+//
+// SHADOWPROBE_TEST_WORKER_FAULT="<phase>:<kind>:<proc>[:<gen>|:*]" injects a
+// failure into exactly one worker when the named phase command arrives:
+//   phase: screening | phase1 | phase2
+//   kind:  kill (SIGKILL) | exit (_exit(43)) | stall (stop pulsing, pause
+//          forever) | corrupt (emit a checksum-flipped frame, then exit 0)
+//   proc:  the worker's proc_index
+//   gen:   which respawn generation triggers (default 0, the original
+//          spawn — so the replacement recovers); `*` means every
+//          generation, which exhausts the retry budget and forces the
+//          controller's in-process degradation path.
+// Death tests drive the full phase × kind matrix through this.
+
+enum class FaultKind { kKill, kExit, kStall, kCorrupt };
+
+struct TestFault {
+  wire::MsgType phase = wire::MsgType::kPhase2;
+  FaultKind kind = FaultKind::kExit;
+  int proc_index = 0;
+  int spawn_gen = 0;    // ignored when all_gens
+  bool all_gens = false;
+};
+
+bool parse_test_fault(const char* spec, TestFault& out) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char* p = spec; *p != '\0'; ++p) {
+    if (*p == ':') {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(*p);
+    }
+  }
+  parts.push_back(current);
+  if (parts.size() < 3 || parts.size() > 4) return false;
+  if (parts[0] == "screening") {
+    out.phase = wire::MsgType::kRunScreening;
+  } else if (parts[0] == "phase1") {
+    out.phase = wire::MsgType::kPhase1;
+  } else if (parts[0] == "phase2") {
+    out.phase = wire::MsgType::kPhase2;
+  } else {
+    return false;
+  }
+  if (parts[1] == "kill") {
+    out.kind = FaultKind::kKill;
+  } else if (parts[1] == "exit") {
+    out.kind = FaultKind::kExit;
+  } else if (parts[1] == "stall") {
+    out.kind = FaultKind::kStall;
+  } else if (parts[1] == "corrupt") {
+    out.kind = FaultKind::kCorrupt;
+  } else {
+    return false;
+  }
+  out.proc_index = std::atoi(parts[2].c_str());
+  out.spawn_gen = 0;
+  out.all_gens = false;
+  if (parts.size() == 4) {
+    if (parts[3] == "*") {
+      out.all_gens = true;
+    } else {
+      out.spawn_gen = std::atoi(parts[3].c_str());
+    }
+  }
+  return true;
+}
+
+/// Background thread pulsing kHeartbeat every `interval_ms` for the life of
+/// the worker. FrameChannel::send serializes internally, so pulses interleave
+/// safely with result frames. A send failure (controller gone) just stops
+/// the pulse: the main loop will see the same condition on its own fd soon.
+class HeartbeatPulse {
+ public:
+  HeartbeatPulse(wire::FrameChannel& chan, std::uint32_t proc_index,
+                 std::uint32_t interval_ms)
+      : chan_(chan), proc_index_(proc_index), interval_ms_(interval_ms) {
+    if (interval_ms_ > 0) thread_ = std::thread([this] { run(); });
+  }
+
+  HeartbeatPulse(const HeartbeatPulse&) = delete;
+  HeartbeatPulse& operator=(const HeartbeatPulse&) = delete;
+
+  ~HeartbeatPulse() { stop(); }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void run() {
+    wire::HeartbeatMsg msg;
+    msg.proc_index = proc_index_;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopped_) {
+      if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                       [this] { return stopped_; })) {
+        return;
+      }
+      lock.unlock();
+      try {
+        chan_.send(wire::MsgType::kHeartbeat, 0, wire::encode_heartbeat(msg));
+        ++msg.seq;
+      } catch (const std::exception&) {
+        lock.lock();
+        stopped_ = true;
+        return;
+      }
+      lock.lock();
+    }
+  }
+
+  wire::FrameChannel& chan_;
+  const std::uint32_t proc_index_;
+  const std::uint32_t interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
 
 /// Worker-side state: the owned shard runners plus everything needed to
 /// answer phase commands.
@@ -107,9 +241,10 @@ void for_each_owned(WorkerState& state, const std::function<void(ShardRunner&)>&
   }
 }
 
-void build_runners(WorkerState& state, const ShardRunner::Decorator& decorate) {
+void build_runners(WorkerState& state, const ShardRunner::Decorator& decorate,
+                   const std::shared_ptr<const World>& prebuilt) {
   const wire::InitMsg& init = state.init;
-  state.world = World::build(init.bed_config, decorate);
+  state.world = prebuilt ? prebuilt : World::build(init.bed_config, decorate);
   for (std::uint32_t s = init.proc_index; s < init.shard_count; s += init.proc_count) {
     state.owned.push_back(static_cast<int>(s));
   }
@@ -347,10 +482,57 @@ void handle_phase2(WorkerState& state, wire::FrameChannel& chan, BytesView paylo
   send_final_results(state, chan);
 }
 
+/// Fires the injected fault. Never returns (every kind ends or wedges the
+/// process).
+[[noreturn]] void inject_fault(const TestFault& fault, HeartbeatPulse& pulse, int out_fd) {
+  switch (fault.kind) {
+    case FaultKind::kKill:
+      ::raise(SIGKILL);
+      ::_exit(137);  // unreachable; keeps [[noreturn]] honest
+    case FaultKind::kExit:
+      ::_exit(43);
+    case FaultKind::kStall:
+      // Keep the process alive but silent: stop the pulse so the controller
+      // sees heartbeat silence, then park forever.
+      pulse.stop();
+      for (;;) ::pause();
+    case FaultKind::kCorrupt: {
+      // Emit a frame whose CRC byte is flipped, then exit "cleanly": the
+      // controller must treat the checksum mismatch itself as worker loss.
+      pulse.stop();
+      Bytes bytes = wire::encode_frame(wire::MsgType::kScreeningVerdicts, 0, {});
+      bytes.back() ^= 0x01;
+      const std::uint8_t* p = bytes.data();
+      std::size_t left = bytes.size();
+      while (left > 0) {
+        ssize_t n = ::write(out_fd, p, left);
+        if (n <= 0) break;
+        p += n;
+        left -= static_cast<std::size_t>(n);
+      }
+      ::_exit(0);
+    }
+  }
+  ::_exit(43);
+}
+
 }  // namespace
 
-int run_shard_worker(int in_fd, int out_fd, const ShardRunner::Decorator& decorate) {
+int run_shard_worker(int in_fd, int out_fd, const ShardRunner::Decorator& decorate,
+                     const ShardWorkerOptions& options) {
   wire::FrameChannel chan(in_fd, out_fd);
+  TestFault fault;
+  bool have_fault = false;
+  if (options.enable_test_faults) {
+    if (const char* spec = std::getenv("SHADOWPROBE_TEST_WORKER_FAULT")) {
+      have_fault = parse_test_fault(spec, fault);
+      if (!have_fault) {
+        SP_LOG_WARN(strprintf("shard worker: ignoring malformed "
+                              "SHADOWPROBE_TEST_WORKER_FAULT=\"%s\"",
+                              spec));
+      }
+    }
+  }
   try {
     auto first = chan.recv();
     if (!first.ok()) throw std::runtime_error(first.error().message);
@@ -361,13 +543,23 @@ int run_shard_worker(int in_fd, int out_fd, const ShardRunner::Decorator& decora
     auto init = wire::decode_init(first.value().payload);
     if (!init.ok()) throw std::runtime_error(init.error().message);
     state.init = std::move(init).take();
-    build_runners(state, decorate);
+    const bool fault_armed =
+        have_fault && fault.proc_index == static_cast<int>(state.init.proc_index) &&
+        (fault.all_gens || fault.spawn_gen == options.spawn_gen);
+    HeartbeatPulse pulse(chan, state.init.proc_index, state.init.heartbeat_ms);
+    build_runners(state, decorate, options.world);
 
     for (;;) {
       auto frame = chan.recv();
       if (!frame.ok()) {
-        if (frame.error().message == wire::kEofMessage) return 0;  // orderly shutdown
+        if (frame.error().message == wire::kEofMessage) {
+          pulse.stop();
+          return 0;  // orderly shutdown
+        }
         throw std::runtime_error(frame.error().message);
+      }
+      if (fault_armed && frame.value().type == fault.phase) {
+        inject_fault(fault, pulse, out_fd);
       }
       switch (frame.value().type) {
         case wire::MsgType::kRunScreening:
@@ -377,13 +569,6 @@ int run_shard_worker(int in_fd, int out_fd, const ShardRunner::Decorator& decora
           handle_phase1(state, chan, frame.value().payload);
           break;
         case wire::MsgType::kPhase2:
-          // Test hook: lets the backend error-path test kill a specific
-          // worker mid-campaign and assert the controller's teardown.
-          if (const char* die = std::getenv("SHADOWPROBE_TEST_WORKER_DIE_AT_PHASE2");
-              die != nullptr &&
-              std::atoi(die) == static_cast<int>(state.init.proc_index)) {
-            _exit(43);
-          }
           handle_phase2(state, chan, frame.value().payload);
           break;
         default:

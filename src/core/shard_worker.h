@@ -7,7 +7,9 @@
 // owns, and then executes phase commands — screening, Phase I to the
 // barrier, Phase II to the horizon — returning per-shard results as framed
 // wire messages. A clean EOF after the final results is the shutdown
-// signal.
+// signal. While a phase computes, a pulse thread emits kHeartbeat frames at
+// the interval the Init message requested so the controller's supervisor
+// can tell "busy" from "wedged".
 //
 // Determinism: the worker never re-derives any plan state. Paths, seqs, the
 // barrier time, and the Phase-II extension all arrive from the controller,
@@ -15,15 +17,36 @@
 // run on an in-process thread.
 #pragma once
 
+#include <memory>
+
 #include "core/shard_runner.h"
 
 namespace shadowprobe::core {
+
+class World;
+
+/// Knobs for run_shard_worker beyond the wire protocol itself.
+struct ShardWorkerOptions {
+  /// When true (real child processes), the SHADOWPROBE_TEST_WORKER_FAULT
+  /// harness is honoured. The controller's in-process degradation fallback
+  /// disables it — a degraded "worker" must never re-trigger the fault that
+  /// exhausted the respawn budget.
+  bool enable_test_faults = true;
+  /// Respawn generation of this worker process (0 = original spawn). The
+  /// fault harness uses it to target either only the first incarnation
+  /// (default) or every incarnation (`:*`, driving degradation tests).
+  int spawn_gen = 0;
+  /// When set, runners instantiate against this prebuilt World instead of
+  /// building their own (the degradation fallback reuses the controller's).
+  std::shared_ptr<const World> world;
+};
 
 /// Runs the worker protocol over the given descriptors until EOF or a
 /// protocol error. Returns a process exit status: 0 on orderly shutdown,
 /// 1 on any protocol/decode failure (logged to stderr). `decorate` must be
 /// the same decorator the controller's campaign uses — it replays the
 /// ground-truth deployment against this process's World.
-int run_shard_worker(int in_fd, int out_fd, const ShardRunner::Decorator& decorate);
+int run_shard_worker(int in_fd, int out_fd, const ShardRunner::Decorator& decorate,
+                     const ShardWorkerOptions& options = {});
 
 }  // namespace shadowprobe::core

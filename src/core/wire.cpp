@@ -1,12 +1,16 @@
 #include "core/wire.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <array>
 #include <bit>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -19,7 +23,33 @@ constexpr std::size_t kTrailerSize = 4;  // crc32
 
 bool valid_type(std::uint16_t type) {
   return type >= static_cast<std::uint16_t>(MsgType::kInit) &&
-         type <= static_cast<std::uint16_t>(MsgType::kFinalShard);
+         type <= static_cast<std::uint16_t>(MsgType::kHeartbeat);
+}
+
+/// write(2) with SIGPIPE masked for the calling thread: a pipe whose reader
+/// died yields EPIPE — which the caller surfaces as a worker-lost event —
+/// instead of the default process-killing SIGPIPE. Sockets take the
+/// MSG_NOSIGNAL path and never come through here.
+ssize_t sigpipe_safe_write(int fd, const void* buf, std::size_t len) {
+  sigset_t pipe_only;
+  sigemptyset(&pipe_only);
+  sigaddset(&pipe_only, SIGPIPE);
+  sigset_t pending_before;
+  sigpending(&pending_before);
+  const bool was_pending = sigismember(&pending_before, SIGPIPE) == 1;
+  sigset_t saved;
+  pthread_sigmask(SIG_BLOCK, &pipe_only, &saved);
+  ssize_t n = ::write(fd, buf, len);
+  int write_errno = errno;
+  if (n < 0 && write_errno == EPIPE && !was_pending) {
+    // Consume the SIGPIPE our write just queued so restoring the mask does
+    // not deliver it; a SIGPIPE pending before the call is left alone.
+    struct timespec zero = {0, 0};
+    while (sigtimedwait(&pipe_only, nullptr, &zero) > 0) {}
+  }
+  pthread_sigmask(SIG_SETMASK, &saved, nullptr);
+  errno = write_errno;
+  return n;
 }
 
 }  // namespace
@@ -80,6 +110,7 @@ Result<Frame> decode_frame(BytesView buffer) {
 
 void FrameChannel::send(MsgType type, std::uint32_t shard_id, BytesView payload) {
   Bytes bytes = encode_frame(type, shard_id, payload);
+  std::lock_guard<std::mutex> lock(send_mu_);
   const std::uint8_t* p = bytes.data();
   std::size_t left = bytes.size();
   while (left > 0) {
@@ -93,7 +124,8 @@ void FrameChannel::send(MsgType type, std::uint32_t shard_id, BytesView payload)
       }
       if (n >= 0) out_is_socket_ = 1;
     } else {
-      n = ::write(out_fd_, p, left);
+      // Pipes have no MSG_NOSIGNAL; mask SIGPIPE around the write instead.
+      n = sigpipe_safe_write(out_fd_, p, left);
     }
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -104,12 +136,40 @@ void FrameChannel::send(MsgType type, std::uint32_t shard_id, BytesView payload)
   }
 }
 
-Result<Frame> FrameChannel::recv() {
+namespace {
+
+/// Blocks until `fd` is readable or `deadline` passes. Returns true when
+/// readable; false only on deadline expiry. timeout_ms < 0 waits forever.
+bool wait_readable(int fd, int timeout_ms,
+                   std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    int wait = -1;
+    if (timeout_ms >= 0) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - std::chrono::steady_clock::now())
+                      .count();
+      if (left < 0) left = 0;
+      wait = static_cast<int>(left);
+    }
+    struct pollfd pfd = {fd, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, wait);
+    if (rc > 0) return true;  // readable, error, or hangup: let read() decide
+    if (rc == 0) return false;
+    if (errno != EINTR) return true;  // surface the errno via read()
+  }
+}
+
+}  // namespace
+
+Result<Frame> FrameChannel::recv(int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
   Bytes buffer(kHeaderSize);
   std::size_t have = 0;
   // Header first; a clean EOF before the first byte is the normal shutdown
   // signal, an EOF inside a frame is corruption/crash.
   while (have < kHeaderSize) {
+    if (!wait_readable(in_fd_, timeout_ms, deadline)) return Error(std::string(kTimeoutMessage));
     ssize_t n = ::read(in_fd_, buffer.data() + have, kHeaderSize - have);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -134,6 +194,7 @@ Result<Frame> FrameChannel::recv() {
   Bytes body(static_cast<std::size_t>(length) + kTrailerSize);
   have = 0;
   while (have < body.size()) {
+    if (!wait_readable(in_fd_, timeout_ms, deadline)) return Error(std::string(kTimeoutMessage));
     ssize_t n = ::read(in_fd_, body.data() + have, body.size() - have);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -722,6 +783,7 @@ Bytes encode_init(const InitMsg& msg) {
   w.u32(msg.proc_index);
   w.u32(msg.proc_count);
   w.u8(static_cast<std::uint8_t>(msg.scheduler));
+  w.u32(msg.heartbeat_ms);
   encode_testbed_config(w, msg.bed_config);
   encode_campaign_config(w, msg.config);
   return std::move(w).take();
@@ -738,6 +800,10 @@ Result<InitMsg> decode_init(BytesView payload) {
     return Error("wire: unknown scheduler mode");
   }
   msg.scheduler = static_cast<SchedulerMode>(scheduler);
+  msg.heartbeat_ms = r.u32();
+  if (r.ok() && msg.heartbeat_ms > 3'600'000) {
+    return Error("wire: implausible heartbeat interval");
+  }
   msg.bed_config = decode_testbed_config(r);
   auto config = decode_campaign_config(r);
   if (!config.ok()) return config.error();
@@ -746,6 +812,22 @@ Result<InitMsg> decode_init(BytesView payload) {
   if (msg.shard_count == 0 || msg.proc_count == 0 || msg.proc_index >= msg.proc_count) {
     return Error("wire: inconsistent init layout");
   }
+  return msg;
+}
+
+Bytes encode_heartbeat(const HeartbeatMsg& msg) {
+  ByteWriter w;
+  w.u32(msg.proc_index);
+  w.u64(msg.seq);
+  return std::move(w).take();
+}
+
+Result<HeartbeatMsg> decode_heartbeat(BytesView payload) {
+  ByteReader r(payload);
+  HeartbeatMsg msg;
+  msg.proc_index = r.u32();
+  msg.seq = r.u64();
+  if (!r.ok() || r.remaining() != 0) return Error("wire: malformed heartbeat message");
   return msg;
 }
 

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/bytes.h"
@@ -51,7 +52,9 @@ inline constexpr std::uint32_t kMagic = 0x53505746;
 /// v2: scheduler byte in Init, VP deals in Phase1/Phase2, fault-state
 /// carries in Barrier/Phase2, steal counters in Final (the work-stealing
 /// scheduler's cross-process rebalancing).
-inline constexpr std::uint16_t kWireVersion = 2;
+/// v3: heartbeat interval in Init and kHeartbeat liveness frames (the
+/// controller's worker-supervision layer).
+inline constexpr std::uint16_t kWireVersion = 3;
 /// Upper bound on a sane payload (a scale-1 shard ledger is ~a few MB);
 /// anything larger is treated as a corrupt length field.
 inline constexpr std::uint32_t kMaxPayload = 1u << 30;
@@ -67,6 +70,7 @@ enum class MsgType : std::uint16_t {
   kBarrierShard = 5,       ///< W->C: one shard's interim results
   kPhase2 = 6,             ///< C->W: plan extension + campaign horizon
   kFinalShard = 7,         ///< W->C: one shard's final results
+  kHeartbeat = 8,          ///< W->C: liveness pulse while a phase computes
 };
 
 struct Frame {
@@ -90,23 +94,38 @@ struct Frame {
 /// (EOF before the first header byte). A worker treats it as orderly
 /// shutdown; EOF *inside* a frame reports a distinct truncation error.
 inline constexpr const char* kEofMessage = "wire: end of stream";
+/// The Error message FrameChannel::recv returns when a read deadline
+/// expires before a complete frame arrived (header missing *or* a peer that
+/// stopped writing mid-frame). The supervisor maps it to a stalled worker.
+inline constexpr const char* kTimeoutMessage = "wire: read timed out";
 
 /// Blocking frame I/O over a pair of file descriptors (the controller's
 /// socketpair end, or the worker's stdin/stdout). Reads surface EOF and
 /// corruption as Error values; writes throw std::runtime_error (a dead peer
 /// is unrecoverable for the writer). Writes use send(MSG_NOSIGNAL) on
-/// sockets so a crashed peer produces EPIPE, not SIGPIPE.
+/// sockets — and a SIGPIPE-masked write on pipes — so a crashed peer
+/// produces EPIPE, not a fatal SIGPIPE. Sends are serialized by an internal
+/// mutex so a heartbeat thread can pulse while the owner emits results;
+/// recv is single-consumer.
 class FrameChannel {
  public:
   FrameChannel(int in_fd, int out_fd) : in_fd_(in_fd), out_fd_(out_fd) {}
 
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+
   void send(MsgType type, std::uint32_t shard_id, BytesView payload);
-  [[nodiscard]] Result<Frame> recv();
+  /// Receives one frame. `timeout_ms` < 0 blocks indefinitely (the worker's
+  /// command loop); >= 0 bounds the wait for the *whole* frame with a
+  /// poll-based deadline, so a peer that goes silent mid-frame yields
+  /// kTimeoutMessage instead of hanging the reader forever.
+  [[nodiscard]] Result<Frame> recv(int timeout_ms = -1);
 
  private:
   int in_fd_;
   int out_fd_;
   int out_is_socket_ = -1;  // tri-state cache: -1 unknown, 0 no, 1 yes
+  std::mutex send_mu_;
 };
 
 // -- primitive helpers (shared by the codecs and their tests) ---------------
@@ -182,11 +201,28 @@ struct InitMsg {
   /// the per-phase deals the controller ships; with kStatic it executes the
   /// fixed round-robin ownership.
   SchedulerMode scheduler = SchedulerMode::kStatic;
+  /// Interval between the worker's kHeartbeat liveness frames while it
+  /// computes (milliseconds of wall time; 0 disables the pulse and, with
+  /// it, controller-side stall detection). Validated on decode like the
+  /// scheduler byte — an implausible interval rejects the whole Init.
+  std::uint32_t heartbeat_ms = 0;
   TestbedConfig bed_config;
   CampaignConfig config;
 };
 [[nodiscard]] Bytes encode_init(const InitMsg& msg);
 [[nodiscard]] Result<InitMsg> decode_init(BytesView payload);
+
+/// kHeartbeat: a worker's liveness pulse, sent on a side thread every
+/// InitMsg::heartbeat_ms while the worker builds or computes a phase. The
+/// controller only refreshes the worker's stall deadline; `seq` increments
+/// per pulse so a babbling peer replaying one captured frame still trips
+/// the monotonicity check.
+struct HeartbeatMsg {
+  std::uint32_t proc_index = 0;
+  std::uint64_t seq = 0;
+};
+[[nodiscard]] Bytes encode_heartbeat(const HeartbeatMsg& msg);
+[[nodiscard]] Result<HeartbeatMsg> decode_heartbeat(BytesView payload);
 
 /// kScreeningVerdicts: the worker's owned VPs only, ascending by vp index,
 /// plus the worker's post-screening clock (identical across workers — the

@@ -7,7 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <csignal>
+#include <stdexcept>
 #include <string>
+#include <unistd.h>
 #include <vector>
 
 #include "common/rng.h"
@@ -450,6 +454,125 @@ TEST(WireDecode, CarriesRejectBadQuarantineFlag) {
   ByteReader r{BytesView(bytes)};
   std::vector<VpCarry> out;
   EXPECT_FALSE(get_carries(r, out));
+}
+
+// -- supervision wire surface ------------------------------------------------
+
+TEST(WireHeartbeat, RoundTripAndMalformedRejected) {
+  HeartbeatMsg msg;
+  msg.proc_index = 3;
+  msg.seq = 0x1122334455667788ull;
+  Bytes payload = encode_heartbeat(msg);
+  auto back = decode_heartbeat(payload);
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(back.value().proc_index, 3u);
+  EXPECT_EQ(back.value().seq, 0x1122334455667788ull);
+  EXPECT_EQ(payload, encode_heartbeat(back.value()));
+
+  // Trailing garbage and every truncation are rejected, never UB.
+  Bytes padded = payload;
+  padded.push_back(0x00);
+  EXPECT_FALSE(decode_heartbeat(padded).ok());
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(decode_heartbeat(BytesView(payload.data(), len)).ok());
+  }
+}
+
+TEST(WireDecode, InitHeartbeatIntervalRoundTripAndImplausibleRejected) {
+  InitMsg msg;
+  msg.shard_count = 2;
+  msg.proc_index = 0;
+  msg.proc_count = 1;
+  msg.heartbeat_ms = 250;
+  Bytes payload = encode_init(msg);
+  auto back = decode_init(payload);
+  ASSERT_TRUE(back.ok()) << back.error().message;
+  EXPECT_EQ(back.value().heartbeat_ms, 250u);
+  EXPECT_EQ(payload, encode_init(back.value()));
+
+  // 0 = disabled is valid; anything beyond an hour is a corrupt frame, not
+  // a configuration.
+  msg.heartbeat_ms = 0;
+  EXPECT_TRUE(decode_init(encode_init(msg)).ok());
+  msg.heartbeat_ms = 3'600'001;
+  auto bad = decode_init(encode_init(msg));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.error().message.find("heartbeat"), std::string::npos)
+      << bad.error().message;
+}
+
+/// Read/write fds of a pipe, closed on destruction unless already closed.
+struct Pipe {
+  int fds[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fds), 0); }
+  ~Pipe() {
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
+  }
+  void close_read() {
+    ::close(fds[0]);
+    fds[0] = -1;
+  }
+};
+
+TEST(FrameChannelTimeout, RecvTimesOutOnSilentPipe) {
+  // Nothing ever arrives: recv must give up at the deadline with the
+  // dedicated timeout error instead of blocking forever (the pre-supervision
+  // behavior, which let one stalled worker hang the whole controller).
+  Pipe pipe;
+  FrameChannel chan(pipe.fds[0], pipe.fds[1]);
+  const auto start = std::chrono::steady_clock::now();
+  auto result = chan.recv(/*timeout_ms=*/100);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().message, kTimeoutMessage);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(90));
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+}
+
+TEST(FrameChannelTimeout, RecvTimesOutMidFrame) {
+  // A frame that starts arriving and then stalls must also hit the deadline:
+  // the timeout covers every read, not just the first byte.
+  Pipe pipe;
+  FrameChannel chan(pipe.fds[0], pipe.fds[1]);
+  Bytes frame = encode_frame(MsgType::kBarrierShard, 1, Bytes(64, 0xAB));
+  // The full 16-byte header plus a few payload bytes, then silence.
+  constexpr std::size_t kPartial = 19;
+  ASSERT_LT(kPartial, frame.size());
+  ASSERT_EQ(::write(pipe.fds[1], frame.data(), kPartial),
+            static_cast<ssize_t>(kPartial));
+  auto result = chan.recv(/*timeout_ms=*/100);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().message, kTimeoutMessage);
+}
+
+TEST(FrameChannelTimeout, RecvReturnsFrameArrivingBeforeDeadline) {
+  Pipe pipe;
+  FrameChannel chan(pipe.fds[0], pipe.fds[1]);
+  Bytes frame = encode_frame(MsgType::kRunScreening, 0, BytesView{});
+  ASSERT_EQ(::write(pipe.fds[1], frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  auto result = chan.recv(/*timeout_ms=*/5000);
+  ASSERT_TRUE(result.ok()) << result.error().message;
+  EXPECT_EQ(result.value().type, MsgType::kRunScreening);
+}
+
+TEST(FrameChannelSigpipe, SendToClosedPipeThrowsInsteadOfKillingProcess) {
+  // Regression: a worker dying between poll and write used to deliver
+  // SIGPIPE to the controller (pipes have no MSG_NOSIGNAL), killing the
+  // whole campaign. The channel masks SIGPIPE around pipe writes, so EPIPE
+  // surfaces as an exception the supervisor turns into a worker-lost event.
+  // Pin the default disposition so this test actually proves the masking.
+  ::signal(SIGPIPE, SIG_DFL);
+  Pipe pipe;
+  FrameChannel chan(pipe.fds[0], pipe.fds[1]);
+  pipe.close_read();
+  EXPECT_THROW(chan.send(MsgType::kRunScreening, 0, Bytes(1024, 0x55)),
+               std::runtime_error);
+  // The process must survive with no SIGPIPE left pending for someone else.
+  sigset_t pending;
+  ASSERT_EQ(::sigpending(&pending), 0);
+  EXPECT_NE(sigismember(&pending, SIGPIPE), 1);
 }
 
 TEST(WireDecode, CarriesRejectTruncation) {

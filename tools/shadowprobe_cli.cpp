@@ -18,6 +18,10 @@
 //                          in-process threads); implies the engine (1 shard
 //                          if unsharded); results are byte-identical to the
 //                          in-process run for any P
+//     --worker-retries N   respawn budget per lost worker process before its
+//                          shards degrade to in-process execution (default:
+//                          SHADOWPROBE_WORKER_RETRIES env var, else 2);
+//                          recovery never changes campaign output
 //     --analysis-workers N worker threads for the post-barrier pipeline
 //                          (classification + analysis tables; default:
 //                          SHADOWPROBE_ANALYSIS_WORKERS env var, else 1);
@@ -60,7 +64,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: shadowprobe_cli run [--scale X] [--seed N] [--days N]\n"
-               "         [--shards N] [--shard-procs P] [--scheduler static|steal]\n"
+               "         [--shards N] [--shard-procs P] [--worker-retries N]\n"
+               "         [--scheduler static|steal]\n"
                "         [--analysis-workers N]\n"
                "         [--fault-profile SPEC]\n"
                "         [--transport plain|dot|odoh] [--ech]\n"
@@ -77,12 +82,23 @@ int main(int argc, char** argv) {
     // Worker mode: the controller process speaks the wire protocol to us on
     // stdin/stdout. The decorator must match the one `run` uses below so
     // both sides instantiate the same ground-truth deployment.
+    core::ShardWorkerOptions worker_options;
+    // --spawn-gen N: which incarnation of this worker slot we are (the
+    // supervisor increments it per respawn; the test fault harness keys off
+    // it). Absent for a hand-launched worker.
+    for (int i = 2; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--spawn-gen") == 0) {
+        worker_options.spawn_gen = std::atoi(argv[i + 1]);
+      }
+    }
     shadow::ShadowConfig shadow_config;
     return core::run_shard_worker(
-        0, 1, [shadow_config](core::Testbed& replica) -> std::shared_ptr<void> {
+        0, 1,
+        [shadow_config](core::Testbed& replica) -> std::shared_ptr<void> {
           return std::make_shared<shadow::ShadowDeployment>(
               shadow::deploy_standard_exhibitors(replica, shadow_config));
-        });
+        },
+        worker_options);
   }
   if (argc < 2 || std::strcmp(argv[1], "run") != 0) return usage();
   std::vector<std::string> args(argv + 2, argv + argc);
@@ -120,6 +136,9 @@ int main(int argc, char** argv) {
     core::EngineExec exec;
     exec.shard_procs = options.shard_procs;
     exec.scheduler = options.scheduler;
+    exec.supervision.worker_retries = options.worker_retries;
+    exec.supervision.heartbeat_ms = options.worker_heartbeat_ms;
+    exec.supervision.stall_timeout_ms = options.worker_stall_ms;
     engine = std::make_unique<core::CampaignEngine>(
         config, campaign_config, options.shards,
         [shadow_config](core::Testbed& replica) -> std::shared_ptr<void> {
